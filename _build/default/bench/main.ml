@@ -1,0 +1,754 @@
+(* Benchmark harness: regenerates every experiment of the reproduction
+   (DESIGN.md section 5 / EXPERIMENTS.md).
+
+   E1 — Figure 4 scenario replays (branch + values asserted).
+   E2 — Read-time recurrence TR, measured = paper, C sweep.
+   E3 — Write-time recurrence TW, measured = paper, C x R sweep.
+   E4 — Space recurrence, measured = paper, C/B/R sweeps.
+   E5 — Anderson vs Afek operation costs (crossover table).
+   E6 — Linearizability campaign summary (all impls).
+   E7 — Wall-clock latency and domain throughput (Bechamel + domains).
+   E8 — PRMW counter vs mutex counter (Bechamel).
+   E9 — Multi-writer composite register costs + verification.
+
+   Counts (E1-E6, E9) are deterministic and compared against the paper
+   exactly; wall-clock numbers (E7, E8) are machine-dependent and only
+   their shape is asserted in EXPERIMENTS.md. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* E1                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let case_name = function
+  | None -> "none"
+  | Some Composite.Anderson.Case_snapshot_seq -> "snapshot via seq handshake"
+  | Some Composite.Anderson.Case_snapshot_wc -> "snapshot via wc = a.wc+2"
+  | Some Composite.Anderson.Case_ab -> "(a, b)"
+  | Some Composite.Anderson.Case_cd -> "(c, d)"
+
+let e1 () =
+  section "E1: Figure 4 executions and Section 4.1 case analysis (scripted replays)";
+  let t =
+    Workload.Table.create
+      ~header:[ "scenario"; "branch taken"; "returned"; "ids"; "linearizable"; "as paper predicts" ]
+  in
+  let row (name, f, expected) =
+    let o = f () in
+    Workload.Table.add_row t
+      [
+        name;
+        case_name o.Workload.Scenario.case;
+        "["
+        ^ String.concat "; "
+            (Array.to_list (Array.map string_of_int o.Workload.Scenario.values))
+        ^ "]";
+        "["
+        ^ String.concat "; "
+            (Array.to_list (Array.map string_of_int o.Workload.Scenario.ids))
+        ^ "]";
+        Workload.Table.cell_bool o.Workload.Scenario.linearizable;
+        Workload.Table.cell_bool (o.Workload.Scenario.case = Some expected);
+      ]
+  in
+  List.iter row
+    [
+      ("fig 4(a)", Workload.Scenario.fig4a, Composite.Anderson.Case_snapshot_seq);
+      ("fig 4(b)", Workload.Scenario.fig4b, Composite.Anderson.Case_snapshot_wc);
+      ("case 3", Workload.Scenario.case_ab, Composite.Anderson.Case_ab);
+      ("case 4", Workload.Scenario.case_cd, Composite.Anderson.Case_cd);
+    ];
+  Workload.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E2 / E3                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2: Read time — register operations per Read (TR(C) = 5 + 2 TR(C-1))";
+  let t =
+    Workload.Table.create
+      ~header:[ "C"; "measured"; "paper recurrence"; "closed form 6*2^(C-1)-5"; "exact match" ]
+  in
+  for c = 1 to 10 do
+    let m = Workload.Meter.scan_cost Workload.Campaign.Impl_anderson ~c ~r:3 in
+    Workload.Table.add_row t
+      [
+        string_of_int c;
+        string_of_int m;
+        string_of_int (Composite.Complexity.tr ~c);
+        string_of_int (Composite.Complexity.tr_closed ~c);
+        Workload.Table.cell_bool (m = Composite.Complexity.tr ~c);
+      ]
+  done;
+  Workload.Table.print t
+
+let e3 () =
+  section "E3: Write time — register operations per Write (TW0(C,R) = R + 2 + TR(C-1))";
+  let t =
+    Workload.Table.create
+      ~header:
+        [ "C"; "R"; "writer 0 measured"; "writer 0 paper"; "writer C-1 measured"; "exact match" ]
+  in
+  List.iter
+    (fun (c, r) ->
+      let m0 =
+        Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r ~writer:0
+      in
+      let mlast =
+        Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r
+          ~writer:(c - 1)
+      in
+      Workload.Table.add_row t
+        [
+          string_of_int c;
+          string_of_int r;
+          string_of_int m0;
+          string_of_int (Composite.Complexity.tw0 ~c ~r);
+          string_of_int mlast;
+          Workload.Table.cell_bool (m0 = Composite.Complexity.tw0 ~c ~r);
+        ])
+    [ (1, 1); (2, 1); (2, 4); (3, 2); (4, 2); (4, 8); (6, 3); (8, 3); (10, 3) ];
+  Workload.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E4                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4: Space — MRSW registers and bits (recurrence S(C) = Y0 + Z + S(C-1))";
+  let t =
+    Workload.Table.create
+      ~header:
+        [ "C"; "B"; "R"; "registers"; "bits measured"; "bits paper"; "SRSW asymptotic"; "exact match" ]
+  in
+  List.iter
+    (fun (c, b, r) ->
+      let bits =
+        Workload.Meter.space_bits Workload.Campaign.Impl_anderson ~c ~b ~r
+      in
+      Workload.Table.add_row t
+        [
+          string_of_int c; string_of_int b; string_of_int r;
+          string_of_int
+            (Workload.Meter.space_registers Workload.Campaign.Impl_anderson ~c ~r);
+          string_of_int bits;
+          string_of_int (Composite.Complexity.space_mrsw_bits ~c ~b ~r);
+          string_of_int (Composite.Complexity.space_srsw_asymptotic ~c ~b ~r);
+          Workload.Table.cell_bool
+            (bits = Composite.Complexity.space_mrsw_bits ~c ~b ~r);
+        ])
+    [
+      (1, 8, 2); (2, 8, 2); (3, 8, 2); (4, 8, 2); (6, 8, 2); (8, 8, 2);
+      (3, 32, 2); (3, 8, 8); (5, 16, 4);
+    ];
+  Workload.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E5                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5: Anderson (exponential, SW registers only) vs Afek et al. (polynomial)";
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "C"; "anderson scan"; "afek scan (quiescent)"; "afek scan (worst case)";
+          "anderson update0"; "afek update"; "scan winner";
+        ]
+  in
+  for c = 1 to 12 do
+    let a = Workload.Meter.scan_cost Workload.Campaign.Impl_anderson ~c ~r:3 in
+    let f = Workload.Meter.scan_cost Workload.Campaign.Impl_afek ~c ~r:3 in
+    Workload.Table.add_row t
+      [
+        string_of_int c;
+        string_of_int a;
+        string_of_int f;
+        string_of_int (Composite.Afek.scan_bound ~components:c);
+        string_of_int
+          (Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r:3
+             ~writer:0);
+        string_of_int
+          (Workload.Meter.update_cost Workload.Campaign.Impl_afek ~c ~r:3
+             ~writer:0);
+        (if a <= Composite.Afek.scan_bound ~components:c then
+           if a <= f then "anderson" else "anderson..afek"
+         else "afek");
+      ]
+  done;
+  Workload.Table.print t;
+  print_endline
+    "(crossover: the recursive construction wins only for very small C — the\n\
+    \ comparison Section 5 of the paper draws against Afek et al.)";
+  print_newline ();
+  print_endline "space (declared register bits, B = 8, R = 3):";
+  print_newline ();
+  let t =
+    Workload.Table.create
+      ~header:[ "C"; "anderson bits"; "afek bits (embedded views)" ]
+  in
+  List.iter
+    (fun c ->
+      Workload.Table.add_row t
+        [
+          string_of_int c;
+          string_of_int
+            (Workload.Meter.space_bits Workload.Campaign.Impl_anderson ~c ~b:8
+               ~r:3);
+          string_of_int
+            (Workload.Meter.space_bits Workload.Campaign.Impl_afek ~c ~b:8 ~r:3);
+        ])
+    [ 1; 2; 4; 8; 12 ];
+  Workload.Table.print t;
+  print_endline
+    "(anderson stores one embedded snapshot per recursion level; afek stores \
+     one\n per component — with unbounded sequence numbers, counted as 64 \
+     bits here)"
+
+(* ------------------------------------------------------------------ *)
+(* E6                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6: Linearizability campaigns (Shrinking Lemma + witness + generic oracle)";
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "implementation"; "schedules"; "ops checked"; "flagged"; "oracle rejects";
+          "disagreements"; "expected";
+        ]
+  in
+  List.iter
+    (fun impl ->
+      let cfg = { Workload.Campaign.default with impl; schedules = 200 } in
+      let r = Workload.Campaign.run cfg in
+      let expected =
+        match impl with
+        | Workload.Campaign.Impl_unsafe_collect -> "violations caught"
+        | _ -> "clean"
+      in
+      Workload.Table.add_row t
+        [
+          Workload.Campaign.impl_name impl;
+          string_of_int r.Workload.Campaign.runs;
+          string_of_int r.Workload.Campaign.ops_checked;
+          string_of_int r.Workload.Campaign.flagged_runs;
+          string_of_int r.Workload.Campaign.generic_failures;
+          string_of_int r.Workload.Campaign.disagreements;
+          expected;
+        ])
+    Workload.Campaign.all_impls;
+  Workload.Table.print t;
+  let ex =
+    Workload.Campaign.exhaustive ~impl:Workload.Campaign.Impl_anderson
+      ~components:2 ~readers:1 ~writes_per_writer:1 ~scans_per_reader:1 ()
+  in
+  Printf.printf
+    "bounded-exhaustive (anderson, C=2, R=1, 1 write/writer, 1 scan): %d \
+     schedules, complete=%b, flagged=%d\n"
+    ex.Workload.Campaign.ex_runs ex.Workload.Campaign.ex_exhaustive
+    ex.Workload.Campaign.ex_flagged;
+  let soak =
+    Workload.Gen.soak ~impl:Workload.Campaign.Impl_anderson ~runs:100 ~seed:1
+      ~max_components:6 ~max_readers:4 ~max_ops:10
+  in
+  Printf.printf
+    "soak (random shapes up to C=6, R=4, 10 ops/proc): %d runs, %d \
+     operations, flagged=%d\n"
+    soak.Workload.Gen.soak_runs soak.Workload.Gen.soak_ops
+    soak.Workload.Gen.soak_flagged;
+  section "E6b: wait-freedom — reader work under a writer storm";
+  let t =
+    Workload.Table.create
+      ~header:[ "writer ops"; "repeated double collect"; "anderson (TR(2) = 7)" ]
+  in
+  List.iter
+    (fun n ->
+      Workload.Table.add_row t
+        [
+          string_of_int n;
+          string_of_int (Workload.Scenario.starvation_events ~writer_ops:n);
+          string_of_int (Workload.Scenario.wait_free_events ~writer_ops:n);
+        ])
+    [ 1; 10; 100; 1000 ];
+  Workload.Table.print t
+
+let e6c () =
+  section
+    "E6c: the paper's proof lemmas, machine-checked (Lemma 2, property (12), \
+     Lemma 1)";
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "C"; "R"; "schedules"; "reads"; "ghost states"; "Lemma 2 fail";
+          "prop (12) fail"; "Lemma 1 fail";
+        ]
+  in
+  List.iter
+    (fun (c, r, n) ->
+      let rep =
+        Workload.Lemmas.run ~components:c ~readers:r ~schedules:n ~base_seed:1 ()
+      in
+      Workload.Table.add_row t
+        [
+          string_of_int c; string_of_int r; string_of_int n;
+          string_of_int rep.Workload.Lemmas.reads_checked;
+          string_of_int rep.Workload.Lemmas.states_observed;
+          string_of_int rep.Workload.Lemmas.lemma2_failures;
+          string_of_int rep.Workload.Lemmas.property12_failures;
+          string_of_int rep.Workload.Lemmas.lemma1_failures;
+        ])
+    [ (2, 2, 40); (3, 2, 40); (4, 3, 20); (5, 1, 10) ];
+  Workload.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E9                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9: multi-writer composite register (companion-paper result)";
+  let factory_anderson mem =
+    {
+      Composite.Snapshot.make_sw =
+        (fun ~readers ~init ->
+          Composite.Anderson.handle
+            (Composite.Anderson.create mem ~readers ~bits_per_value:32 ~init));
+    }
+  in
+  let factory_afek mem =
+    {
+      Composite.Snapshot.make_sw =
+        (fun ~readers ~init ->
+          ignore readers;
+          Composite.Afek.create mem ~bits_per_value:32 ~init);
+    }
+  in
+  let open Csim in
+  let cost factory ~c ~w =
+    let env = Sim.create ~trace:false () in
+    let mem = Memory.of_sim env in
+    let mw =
+      Composite.Multi_writer.create (factory mem) ~components:c
+        ~writers_per_component:w ~readers:1 ~init:(Array.make c 0)
+    in
+    let before = Sim.now env in
+    ignore (Sim.run_solo env (fun () -> ignore (Composite.Multi_writer.scan_items mw ~reader:0)));
+    let scan_cost = Sim.now env - before in
+    let before = Sim.now env in
+    ignore
+      (Sim.run_solo env (fun () ->
+           ignore (Composite.Multi_writer.update mw ~comp:0 ~widx:0 42)));
+    (scan_cost, Sim.now env - before)
+  in
+  let t =
+    Workload.Table.create
+      ~header:[ "substrate"; "C"; "W/component"; "scan cost"; "write cost" ]
+  in
+  List.iter
+    (fun (name, factory, c, w) ->
+      let s, u = cost factory ~c ~w in
+      Workload.Table.add_row t
+        [ name; string_of_int c; string_of_int w; string_of_int s; string_of_int u ])
+    [
+      ("anderson", factory_anderson, 2, 2);
+      ("anderson", factory_anderson, 2, 3);
+      ("afek", factory_afek, 2, 2);
+      ("afek", factory_afek, 3, 2);
+      ("afek", factory_afek, 3, 3);
+    ];
+  Workload.Table.print t;
+  (* verification sweep *)
+  let flagged = ref 0 in
+  let runs = 60 in
+  for seed = 1 to runs do
+    let env = Sim.create ~trace:false () in
+    let mem = Memory.of_sim env in
+    let mw =
+      Composite.Multi_writer.create (factory_afek mem) ~components:2
+        ~writers_per_component:2 ~readers:2 ~init:[| 0; 0 |]
+    in
+    let rec_ =
+      Composite.Multi_writer.record
+        ~clock:(fun () -> Sim.now env)
+        ~initial:[| 0; 0 |] mw
+    in
+    let writer comp widx () =
+      for s = 1 to 2 do
+        rec_.Composite.Multi_writer.mupdate ~comp ~widx ((comp * 100) + (widx * 10) + s)
+      done
+    in
+    let reader j () =
+      for _ = 1 to 3 do
+        ignore (rec_.Composite.Multi_writer.mscan ~reader:j)
+      done
+    in
+    ignore
+      (Sim.run env ~policy:(Schedule.Random seed)
+         [| writer 0 0; writer 0 1; writer 1 0; writer 1 1; reader 0; reader 1 |]);
+    if
+      not
+        (History.Shrinking.conditions_hold ~equal:Int.equal
+           (Composite.Multi_writer.history rec_))
+    then incr flagged
+  done;
+  Printf.printf "verification: %d/%d random schedules flagged (expected 0)\n"
+    !flagged runs
+
+(* ------------------------------------------------------------------ *)
+(* E10                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section
+    "E10: full stack — the snapshot over MRSW registers constructed from \
+     SRSW registers";
+  let scan_cost ~c ~processes =
+    let open Csim in
+    let env = Sim.create ~trace:false () in
+    let mem = Registers.Full_stack.memory env ~processes in
+    let reg =
+      Composite.Anderson.create mem ~readers:1 ~bits_per_value:16
+        ~init:(Array.make c 0)
+    in
+    let t0 = Sim.now env in
+    let (_ : Sim.stats) =
+      Sim.run_solo env (fun () ->
+          ignore (Composite.Anderson.scan_items reg ~reader:0))
+    in
+    Sim.now env - t0
+  in
+  let t =
+    Workload.Table.create
+      ~header:[ "C"; "SRSW ops (P=1)"; "SRSW ops (P=2)"; "SRSW ops (P=4)"; "TR(C)" ]
+  in
+  List.iter
+    (fun c ->
+      Workload.Table.add_row t
+        [
+          string_of_int c;
+          string_of_int (scan_cost ~c ~processes:1);
+          string_of_int (scan_cost ~c ~processes:2);
+          string_of_int (scan_cost ~c ~processes:4);
+          string_of_int (Composite.Complexity.tr ~c);
+        ])
+    [ 1; 2; 3; 4; 5; 6 ];
+  Workload.Table.print t;
+  (* correctness over the composed substrate *)
+  let open Csim in
+  let flagged = ref 0 in
+  let runs = 40 in
+  for seed = 1 to runs do
+    let env = Sim.create ~trace:false () in
+    let mem = Registers.Full_stack.memory env ~processes:4 in
+    let init = [| 10; 20 |] in
+    let reg = Composite.Anderson.create mem ~readers:2 ~bits_per_value:16 ~init in
+    let rec_ =
+      Composite.Snapshot.record
+        ~clock:(fun () -> Sim.now env)
+        ~initial:init
+        (Composite.Anderson.handle reg)
+    in
+    let writer k () =
+      for s = 1 to 2 do
+        rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 100) + s)
+      done
+    in
+    let reader j () =
+      for _ = 1 to 2 do
+        ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+      done
+    in
+    let (_ : Sim.stats) =
+      Sim.run env ~policy:(Schedule.Random seed)
+        [| writer 0; writer 1; reader 0; reader 1 |]
+    in
+    if
+      not
+        (History.Shrinking.conditions_hold ~equal:Int.equal
+           (Composite.Snapshot.history rec_))
+    then incr flagged
+  done;
+  Printf.printf
+    "verification over the composed substrate: %d/%d schedules flagged \
+     (expected 0)\n"
+    !flagged runs
+
+(* ------------------------------------------------------------------ *)
+(* E11                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section
+    "E11: halting-failure resilience (Section 1: a halted process cannot \
+     block the others)";
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "C"; "R"; "crash scenarios"; "survivor ops"; "survivors blocked";
+          "violations";
+        ]
+  in
+  List.iter
+    (fun (c, r, mcp, seed) ->
+      let rep =
+        Workload.Resilience.run ~components:c ~readers:r ~max_crash_point:mcp
+          ~seed ()
+      in
+      Workload.Table.add_row t
+        [
+          string_of_int c; string_of_int r;
+          string_of_int rep.Workload.Resilience.scenarios;
+          string_of_int rep.Workload.Resilience.survivor_ops;
+          string_of_int rep.Workload.Resilience.blocked;
+          string_of_int rep.Workload.Resilience.not_linearizable;
+        ])
+    [ (2, 2, 12, 1); (3, 2, 20, 50); (4, 1, 30, 7) ];
+  Workload.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E12                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section
+    "E12: ablation — removing each mechanism of Figure 3 (mutation testing)";
+  let t =
+    Workload.Table.create
+      ~header:[ "mutant"; "violating schedule found"; "schedules"; "first diagnostic" ]
+  in
+  List.iter
+    (fun m ->
+      let v = Composite.Mutants.hunt m in
+      Workload.Table.add_row t
+        [
+          Composite.Mutants.name m;
+          Workload.Table.cell_bool v.Composite.Mutants.caught;
+          string_of_int v.Composite.Mutants.schedules_tried;
+          (match v.Composite.Mutants.counterexample with
+          | Some msg -> if String.length msg > 60 then String.sub msg 0 60 else msg
+          | None -> "-");
+        ])
+    (Composite.Mutants.None_ :: Composite.Mutants.all);
+  Workload.Table.print t;
+  print_endline
+    "(no-second-write survives: statement 7's publication rides on the next\n\
+    \ statement 3, so it buys freshness, not safety — see lib/core/mutants.mli)"
+
+(* ------------------------------------------------------------------ *)
+(* E7 / E8: wall-clock (Bechamel + domain throughput)                   *)
+(* ------------------------------------------------------------------ *)
+
+let ns_per_run results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols -> (
+    match Bechamel.Analyze.OLS.estimates ols with
+    | Some [ est ] -> est
+    | Some _ | None -> nan)
+
+let run_bechamel tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" tests) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  match Analyze.merge ols instances results with
+  | tbl -> Hashtbl.find tbl "monotonic-clock"
+
+let bech_test name f =
+  Bechamel.Test.make ~name (Bechamel.Staged.stage f)
+
+let e7 () =
+  section "E7: wall-clock operation latency (Atomic.t registers, this machine)";
+  let c = 3 in
+  let init = Array.make c 0 in
+  let anderson = Composite.Multicore.anderson ~readers:1 ~init in
+  let afek = Composite.Multicore.afek ~init in
+  let locked = Composite.Multicore.locked ~init in
+  let unsafe = Composite.Multicore.unsafe_collect ~init in
+  let mk_pair label handle =
+    [
+      bech_test (label ^ "/scan") (fun () ->
+          ignore (handle.Composite.Snapshot.scan_items ~reader:0));
+      bech_test (label ^ "/update") (fun () ->
+          ignore (handle.Composite.Snapshot.update ~writer:0 42));
+    ]
+  in
+  let tests =
+    List.concat
+      [
+        mk_pair "anderson" anderson; mk_pair "afek" afek; mk_pair "locked" locked;
+        mk_pair "unsafe-collect" unsafe;
+      ]
+  in
+  let results = run_bechamel tests in
+  let t = Workload.Table.create ~header:[ "implementation"; "op"; "ns/op" ] in
+  List.iter
+    (fun (impl, op) ->
+      Workload.Table.add_row t
+        [
+          impl; op;
+          Workload.Table.cell_float ~decimals:1
+            (ns_per_run results (Printf.sprintf "/%s/%s" impl op));
+        ])
+    [
+      ("anderson", "scan"); ("anderson", "update"); ("afek", "scan");
+      ("afek", "update"); ("locked", "scan"); ("locked", "update");
+      ("unsafe-collect", "scan"); ("unsafe-collect", "update");
+    ];
+  Workload.Table.print t;
+  section "E7b: anderson scan latency vs C (wall-clock shadow of TR = O(2^C))";
+  let sweep =
+    List.map
+      (fun c ->
+        let h = Composite.Multicore.anderson ~readers:1 ~init:(Array.make c 0) in
+        bech_test
+          (Printf.sprintf "scanC%d" c)
+          (fun () -> ignore (h.Composite.Snapshot.scan_items ~reader:0)))
+      [ 1; 2; 4; 6; 8 ]
+  in
+  let results = run_bechamel sweep in
+  let t = Workload.Table.create ~header:[ "C"; "ns/scan"; "TR(C)" ] in
+  List.iter
+    (fun c ->
+      Workload.Table.add_row t
+        [
+          string_of_int c;
+          Workload.Table.cell_float ~decimals:1
+            (ns_per_run results (Printf.sprintf "/scanC%d" c));
+          string_of_int (Composite.Complexity.tr ~c);
+        ])
+    [ 1; 2; 4; 6; 8 ];
+  Workload.Table.print t;
+  section "E7c: domain throughput under contention (wait-free vs blocking)";
+  let throughput make =
+    let handle = make () in
+    let stop = Atomic.make false in
+    let counts = Array.init 3 (fun _ -> Atomic.make 0) in
+    let writer k =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            ignore (handle.Composite.Snapshot.update ~writer:k 1);
+            Atomic.incr counts.(k)
+          done)
+    in
+    let writers = List.init 3 writer in
+    let reader_count = Atomic.make 0 in
+    let reader =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            ignore (handle.Composite.Snapshot.scan_items ~reader:0);
+            Atomic.incr reader_count
+          done)
+    in
+    Unix.sleepf 0.3;
+    Atomic.set stop true;
+    List.iter Domain.join (reader :: writers);
+    let w = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counts in
+    ( float_of_int w /. 0.3 /. 1e3,
+      float_of_int (Atomic.get reader_count) /. 0.3 /. 1e3 )
+  in
+  let t =
+    Workload.Table.create
+      ~header:[ "implementation"; "updates/ms (3 writers)"; "scans/ms (1 reader)" ]
+  in
+  List.iter
+    (fun (name, make) ->
+      let w, r = throughput make in
+      Workload.Table.add_row t
+        [
+          name;
+          Workload.Table.cell_float ~decimals:1 w;
+          Workload.Table.cell_float ~decimals:1 r;
+        ])
+    [
+      ("anderson", fun () -> Composite.Multicore.anderson ~readers:1 ~init:(Array.make 3 0));
+      ("afek", fun () -> Composite.Multicore.afek ~init:(Array.make 3 0));
+      ("locked", fun () -> Composite.Multicore.locked ~init:(Array.make 3 0));
+    ];
+  Workload.Table.print t;
+  Printf.printf
+    "(host has %d core(s); on a single core the table shows per-op overhead \
+     rather than parallel scaling)\n"
+    (Domain.recommended_domain_count ())
+
+let e8 () =
+  section "E8: PRMW wait-free counter vs mutex counter (wall-clock)";
+  let factory =
+    {
+      Composite.Snapshot.make_sw =
+        (fun ~readers ~init ->
+          ignore readers;
+          Composite.Multicore.afek ~init);
+    }
+  in
+  let counter = Prmw.counter factory ~processes:2 ~readers:1 in
+  let mutex = Mutex.create () in
+  let mcount = ref 0 in
+  let tests =
+    [
+      bech_test "prmw/incr" (fun () -> Prmw.incr counter ~proc:0);
+      bech_test "prmw/get" (fun () -> ignore (Prmw.get counter ~reader:0));
+      bech_test "mutex/incr" (fun () ->
+          Mutex.lock mutex;
+          incr mcount;
+          Mutex.unlock mutex);
+      bech_test "mutex/get" (fun () ->
+          Mutex.lock mutex;
+          ignore !mcount;
+          Mutex.unlock mutex);
+    ]
+  in
+  let results = run_bechamel tests in
+  let t = Workload.Table.create ~header:[ "object"; "op"; "ns/op" ] in
+  List.iter
+    (fun (o, op) ->
+      Workload.Table.add_row t
+        [
+          o; op;
+          Workload.Table.cell_float ~decimals:1
+            (ns_per_run results (Printf.sprintf "/%s/%s" o op));
+        ])
+    [ ("prmw", "incr"); ("prmw", "get"); ("mutex", "incr"); ("mutex", "get") ];
+  Workload.Table.print t;
+  print_endline
+    "(the mutex counter is faster per op but blocking: a stalled holder stops \
+     all; the PRMW counter is wait-free)"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  print_endline
+    "composite registers: experiment harness (see EXPERIMENTS.md for the \
+     paper-vs-measured record)";
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e6c ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  if not quick then begin
+    e7 ();
+    e8 ()
+  end
+  else print_endline "\n(--quick: skipping wall-clock benches E7/E8)"

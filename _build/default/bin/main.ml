@@ -1,0 +1,620 @@
+(* composite-registers: command-line driver regenerating every
+   experiment of the reproduction (see DESIGN.md section 5 and
+   EXPERIMENTS.md). *)
+
+open Cmdliner
+
+let impl_conv =
+  let parse s =
+    match Workload.Campaign.impl_of_name s with
+    | Some i -> Ok i
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown implementation %S (expected one of: %s)" s
+             (String.concat ", "
+                (List.map Workload.Campaign.impl_name
+                   Workload.Campaign.all_impls))))
+  in
+  let print fmt i = Format.pp_print_string fmt (Workload.Campaign.impl_name i) in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let verify impl components readers writes scans schedules seed exhaustive =
+  if exhaustive then begin
+    Printf.printf
+      "exhaustively exploring all interleavings: impl=%s C=%d R=%d writes=%d \
+       scans=%d\n\
+       %!"
+      (Workload.Campaign.impl_name impl)
+      components readers writes scans;
+    let r =
+      Workload.Campaign.exhaustive ~impl ~components ~readers
+        ~writes_per_writer:writes ~scans_per_reader:scans ()
+    in
+    Printf.printf "schedules executed: %d (complete: %b)\n" r.ex_runs
+      r.ex_exhaustive;
+    if r.ex_flagged = 0 then print_endline "all schedules linearizable."
+    else begin
+      Printf.printf "VIOLATION FOUND:\n%s\n"
+        (Option.value ~default:"" r.ex_first_failure);
+      exit 1
+    end
+  end
+  else begin
+    let cfg =
+      {
+        Workload.Campaign.impl;
+        components;
+        readers;
+        writes_per_writer = writes;
+        scans_per_reader = scans;
+        schedules;
+        base_seed = seed;
+        check_generic = components * (writes + scans) <= 40;
+      }
+    in
+    Printf.printf "randomized campaign: impl=%s C=%d R=%d ops/proc=%d/%d\n%!"
+      (Workload.Campaign.impl_name impl)
+      components readers writes scans;
+    let r = Workload.Campaign.run cfg in
+    Format.printf "%a@." Workload.Campaign.pp_result r;
+    (match r.example with
+    | Some ex -> Format.printf "@.example violation:@.%s@." ex
+    | None -> ());
+    if
+      r.flagged_runs > 0 || r.generic_failures > 0 || r.witness_failures > 0
+      || r.disagreements > 0
+    then exit 1
+  end
+
+let verify_cmd =
+  let impl =
+    Arg.(
+      value
+      & opt impl_conv Workload.Campaign.Impl_anderson
+      & info [ "impl" ] ~doc:"Implementation to verify.")
+  in
+  let components =
+    Arg.(value & opt int 3 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let writes =
+    Arg.(value & opt int 3 & info [ "writes" ] ~doc:"Writes per writer.")
+  in
+  let scans =
+    Arg.(value & opt int 3 & info [ "scans" ] ~doc:"Scans per reader.")
+  in
+  let schedules =
+    Arg.(value & opt int 200 & info [ "schedules" ] ~doc:"Random schedules.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  let exhaustive =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:"Enumerate every interleaving instead of sampling.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check linearizability over many schedules (Shrinking Lemma + \
+          generic oracle); experiment E6.")
+    Term.(
+      const verify $ impl $ components $ readers $ writes $ scans $ schedules
+      $ seed $ exhaustive)
+
+(* ------------------------------------------------------------------ *)
+(* complexity (E2/E3)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let complexity max_c readers =
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "C"; "TR measured"; "TR paper"; "TW0 measured"; "TW0 paper";
+          "TW(C-1) measured"; "match";
+        ]
+  in
+  let all_ok = ref true in
+  for c = 1 to max_c do
+    let tr_m = Workload.Meter.scan_cost Workload.Campaign.Impl_anderson ~c ~r:readers in
+    let tr_p = Composite.Complexity.tr ~c in
+    let tw_m =
+      Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r:readers
+        ~writer:0
+    in
+    let tw_p = Composite.Complexity.tw0 ~c ~r:readers in
+    let tw_last =
+      Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r:readers
+        ~writer:(c - 1)
+    in
+    let ok = tr_m = tr_p && tw_m = tw_p in
+    if not ok then all_ok := false;
+    Workload.Table.add_row t
+      [
+        string_of_int c; string_of_int tr_m; string_of_int tr_p;
+        string_of_int tw_m; string_of_int tw_p; string_of_int tw_last;
+        Workload.Table.cell_bool ok;
+      ]
+  done;
+  Printf.printf
+    "E2/E3: register operations per Read / Write, measured vs the paper's \
+     recurrences (R = %d)\n\n"
+    readers;
+  Workload.Table.print t;
+  if not !all_ok then exit 1
+
+let complexity_cmd =
+  let max_c = Arg.(value & opt int 8 & info [ "max-c" ] ~doc:"Largest C.") in
+  let readers = Arg.(value & opt int 3 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  Cmd.v
+    (Cmd.info "complexity"
+       ~doc:"Reproduce the time-complexity recurrences (experiments E2, E3).")
+    Term.(const complexity $ max_c $ readers)
+
+(* ------------------------------------------------------------------ *)
+(* space (E4)                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let space max_c bits readers =
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "C"; "registers"; "MRSW bits measured"; "MRSW bits paper";
+          "SRSW bits (asymptotic)"; "match";
+        ]
+  in
+  let all_ok = ref true in
+  for c = 1 to max_c do
+    let bits_m =
+      Workload.Meter.space_bits Workload.Campaign.Impl_anderson ~c ~b:bits
+        ~r:readers
+    in
+    let bits_p = Composite.Complexity.space_mrsw_bits ~c ~b:bits ~r:readers in
+    let regs = Workload.Meter.space_registers Workload.Campaign.Impl_anderson ~c ~r:readers in
+    let regs_p = Composite.Complexity.registers ~c ~r:readers in
+    let ok = bits_m = bits_p && regs = regs_p in
+    if not ok then all_ok := false;
+    Workload.Table.add_row t
+      [
+        string_of_int c; string_of_int regs; string_of_int bits_m;
+        string_of_int bits_p;
+        string_of_int
+          (Composite.Complexity.space_srsw_asymptotic ~c ~b:bits ~r:readers);
+        Workload.Table.cell_bool ok;
+      ]
+  done;
+  Printf.printf
+    "E4: space accounting, measured vs the paper's recurrence (B = %d, R = \
+     %d)\n\n"
+    bits readers;
+  Workload.Table.print t;
+  if not !all_ok then exit 1
+
+let space_cmd =
+  let max_c = Arg.(value & opt int 8 & info [ "max-c" ] ~doc:"Largest C.") in
+  let bits = Arg.(value & opt int 8 & info [ "b"; "bits" ] ~doc:"Bits per component.") in
+  let readers = Arg.(value & opt int 3 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  Cmd.v
+    (Cmd.info "space"
+       ~doc:"Reproduce the space-complexity recurrence (experiment E4).")
+    Term.(const space $ max_c $ bits $ readers)
+
+(* ------------------------------------------------------------------ *)
+(* compare (E5)                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compare_impls max_c readers =
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "C"; "anderson scan"; "afek scan"; "anderson update(0)";
+          "afek update"; "winner (scan)";
+        ]
+  in
+  for c = 1 to max_c do
+    let a_scan = Workload.Meter.scan_cost Workload.Campaign.Impl_anderson ~c ~r:readers in
+    let f_scan = Workload.Meter.scan_cost Workload.Campaign.Impl_afek ~c ~r:readers in
+    let a_up =
+      Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r:readers ~writer:0
+    in
+    let f_up =
+      Workload.Meter.update_cost Workload.Campaign.Impl_afek ~c ~r:readers ~writer:0
+    in
+    Workload.Table.add_row t
+      [
+        string_of_int c; string_of_int a_scan; string_of_int f_scan;
+        string_of_int a_up; string_of_int f_up;
+        (if a_scan <= f_scan then "anderson" else "afek");
+      ]
+  done;
+  Printf.printf
+    "E5: register operations per operation — recursive (exponential, \
+     single-writer registers only) vs Afek et al. (polynomial); R = %d\n\n"
+    readers;
+  Workload.Table.print t
+
+let compare_cmd =
+  let max_c = Arg.(value & opt int 10 & info [ "max-c" ] ~doc:"Largest C.") in
+  let readers = Arg.(value & opt int 3 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Anderson vs Afek et al. operation costs (experiment E5).")
+    Term.(const compare_impls $ max_c $ readers)
+
+(* ------------------------------------------------------------------ *)
+(* scenario (E1)                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let case_name = function
+  | None -> "none"
+  | Some Composite.Anderson.Case_snapshot_seq -> "snapshot (seq handshake)"
+  | Some Composite.Anderson.Case_snapshot_wc -> "snapshot (wc = a.wc+2)"
+  | Some Composite.Anderson.Case_ab -> "(a, b)"
+  | Some Composite.Anderson.Case_cd -> "(c, d)"
+
+let run_scenario show_trace name =
+  let scenarios =
+    [
+      ("fig4a", Workload.Scenario.fig4a, Composite.Anderson.Case_snapshot_seq);
+      ("fig4b", Workload.Scenario.fig4b, Composite.Anderson.Case_snapshot_wc);
+      ("ab", Workload.Scenario.case_ab, Composite.Anderson.Case_ab);
+      ("cd", Workload.Scenario.case_cd, Composite.Anderson.Case_cd);
+    ]
+  in
+  let run_one (label, f, expected) =
+    let o = f () in
+    let ok = o.Workload.Scenario.case = Some expected in
+    Printf.printf
+      "%-6s branch taken: %-26s values=[%s] ids=[%s] linearizable=%b  %s\n"
+      label
+      (case_name o.Workload.Scenario.case)
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int o.Workload.Scenario.values)))
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int o.Workload.Scenario.ids)))
+      o.Workload.Scenario.linearizable
+      (if ok then "[as the paper predicts]" else "[UNEXPECTED BRANCH]");
+    if show_trace then
+      Printf.printf "\n%s\n" o.Workload.Scenario.timeline;
+    ok
+  in
+  let selected =
+    if name = "all" then scenarios
+    else
+      match List.filter (fun (l, _, _) -> l = name) scenarios with
+      | [] ->
+        Printf.eprintf "unknown scenario %S (fig4a|fig4b|ab|cd|all)\n" name;
+        exit 2
+      | l -> l
+  in
+  print_endline
+    "E1: the paper's Figure 4 executions and Section 4.1 case analysis, \
+     replayed:";
+  let ok = List.for_all run_one selected in
+  if not ok then exit 1
+
+let scenario_cmd =
+  let scenario_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc:"fig4a|fig4b|ab|cd|all")
+  in
+  let show_trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Also print the schedule as a Figure-4-style timeline.")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Replay the paper's Figure 4 executions (experiment E1).")
+    Term.(const run_scenario $ show_trace $ scenario_arg)
+
+(* ------------------------------------------------------------------ *)
+(* starvation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let starvation () =
+  let t =
+    Workload.Table.create
+      ~header:[ "writer ops"; "repeated-collect reader events"; "anderson reader events" ]
+  in
+  List.iter
+    (fun n ->
+      Workload.Table.add_row t
+        [
+          string_of_int n;
+          string_of_int (Workload.Scenario.starvation_events ~writer_ops:n);
+          string_of_int (Workload.Scenario.wait_free_events ~writer_ops:n);
+        ])
+    [ 1; 5; 10; 50; 100; 500 ];
+  print_endline
+    "wait-freedom: reader work under a writer storm (repeated double collect \
+     starves; the construction is constant)";
+  print_newline ();
+  Workload.Table.print t
+
+let starvation_cmd =
+  Cmd.v
+    (Cmd.info "starvation"
+       ~doc:"Demonstrate wait-freedom vs reader starvation.")
+    Term.(const starvation $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* lemmas                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lemmas components readers schedules seed =
+  Printf.printf
+    "machine-checking the paper's proof lemmas on concrete runs (C=%d, R=%d, \
+     %d schedules):\n\
+     - Lemma 2: every Read has a state inside its window whose ghost \
+     contents equal what it returned\n\
+     - property (12): component ids are monotone across states\n\
+     - Lemma 1: bounded Writer-0 progress without the sequence handshake\n\n\
+     %!"
+    components readers schedules;
+  let r =
+    Workload.Lemmas.run ~components ~readers ~schedules ~base_seed:seed ()
+  in
+  Format.printf "%a@." Workload.Lemmas.pp_report r;
+  if
+    r.Workload.Lemmas.lemma2_failures > 0
+    || r.Workload.Lemmas.property12_failures > 0
+    || r.Workload.Lemmas.lemma1_failures > 0
+  then exit 1
+
+let lemmas_cmd =
+  let components =
+    Arg.(value & opt int 3 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let schedules =
+    Arg.(value & opt int 50 & info [ "schedules" ] ~doc:"Random schedules.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  Cmd.v
+    (Cmd.info "lemmas"
+       ~doc:
+         "Machine-check the paper's proof lemmas (Lemma 1, Lemma 2, property \
+          (12)) on concrete runs.")
+    Term.(const lemmas $ components $ readers $ schedules $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* fullstack                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fullstack max_c =
+  print_endline
+    "E10: the composite register over MRSW registers constructed from SRSW \
+     registers\n(SRSW operations per snapshot scan, solo process)";
+  print_newline ();
+  let t =
+    Workload.Table.create
+      ~header:[ "C"; "P=1"; "P=2"; "P=4"; "TR(C) (MRSW ops)" ]
+  in
+  let scan_cost ~c ~processes =
+    let env = Csim.Sim.create ~trace:false () in
+    let mem = Registers.Full_stack.memory env ~processes in
+    let reg =
+      Composite.Anderson.create mem ~readers:1 ~bits_per_value:16
+        ~init:(Array.make c 0)
+    in
+    let t0 = Csim.Sim.now env in
+    let (_ : Csim.Sim.stats) =
+      Csim.Sim.run_solo env (fun () ->
+          ignore (Composite.Anderson.scan_items reg ~reader:0))
+    in
+    Csim.Sim.now env - t0
+  in
+  for c = 1 to max_c do
+    Workload.Table.add_row t
+      [
+        string_of_int c;
+        string_of_int (scan_cost ~c ~processes:1);
+        string_of_int (scan_cost ~c ~processes:2);
+        string_of_int (scan_cost ~c ~processes:4);
+        string_of_int (Composite.Complexity.tr ~c);
+      ]
+  done;
+  Workload.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trace_run impl components readers seed show_witness =
+  let open Csim in
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let init = Array.init components (fun k -> (k + 1) * 10) in
+  let handle = Workload.Campaign.make_handle impl mem ~readers ~init in
+  let rec_ =
+    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init
+      handle
+  in
+  let writer k () =
+    for s = 1 to 2 do
+      rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 100) + s)
+    done
+  in
+  let reader j () =
+    for _ = 1 to 2 do
+      ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+    done
+  in
+  let procs =
+    Array.init (components + readers) (fun p ->
+        if p < components then writer p else reader (p - components))
+  in
+  let (_ : Sim.stats) = Sim.run env ~policy:(Schedule.Random seed) procs in
+  Printf.printf "one run of %s: C=%d R=%d seed=%d (2 ops per process)\n\n"
+    (Workload.Campaign.impl_name impl)
+    components readers seed;
+  let label p =
+    if p < components then Printf.sprintf "writer%d" p
+    else Printf.sprintf "reader%d" (p - components)
+  in
+  print_string (Render.timeline ~proc_label:label (Sim.trace env));
+  print_newline ();
+  let h = Composite.Snapshot.history rec_ in
+  Format.printf "%a@." (History.Snapshot_history.pp string_of_int) h;
+  (match History.Shrinking.check ~equal:Int.equal h with
+  | [] -> print_endline "shrinking conditions: all hold"
+  | violations ->
+    Printf.printf "shrinking violations (%d):\n" (List.length violations);
+    List.iter
+      (fun v -> Format.printf "  %a@." History.Shrinking.pp_violation v)
+      violations);
+  if show_witness then begin
+    match History.Shrinking.witness ~equal:Int.equal h with
+    | Error e -> Printf.printf "no witness: %s\n" e
+    | Ok order ->
+      print_endline "\nlinearization witness:";
+      List.iteri
+        (fun i op ->
+          match op with
+          | History.Shrinking.L_write w ->
+            Printf.printf "  %2d. Write comp %d := %d%s\n" (i + 1)
+              w.History.Snapshot_history.comp w.History.Snapshot_history.value
+              (if w.History.Snapshot_history.id = 0 then " (initial)" else "")
+          | History.Shrinking.L_read r ->
+            Printf.printf "  %2d. Read -> [%s]\n" (i + 1)
+              (String.concat "; "
+                 (Array.to_list
+                    (Array.map string_of_int r.History.Snapshot_history.values))))
+        order
+  end
+
+let trace_cmd =
+  let impl =
+    Arg.(
+      value
+      & opt impl_conv Workload.Campaign.Impl_anderson
+      & info [ "impl" ] ~doc:"Implementation to run.")
+  in
+  let components =
+    Arg.(value & opt int 2 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 1 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule seed.") in
+  let witness =
+    Arg.(value & flag & info [ "witness" ] ~doc:"Also print a linearization witness.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one seeded schedule and dump its timeline, history, checker \
+          verdict and (optionally) linearization witness.")
+    Term.(const trace_run $ impl $ components $ readers $ seed $ witness)
+
+(* ------------------------------------------------------------------ *)
+(* mutants                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mutants max_runs =
+  print_endline
+    "ablation: hunting a violating schedule for each mutated construction \
+     (experiment E12):";
+  print_newline ();
+  let any_unexpected = ref false in
+  List.iter
+    (fun m ->
+      let v = Composite.Mutants.hunt ~max_runs m in
+      Printf.printf "%-18s %s (after %d schedules)%s\n"
+        (Composite.Mutants.name m)
+        (if v.Composite.Mutants.caught then "violation found" else "survived")
+        v.Composite.Mutants.schedules_tried
+        (match v.Composite.Mutants.counterexample with
+        | Some msg -> ":\n                   " ^ msg
+        | None -> "");
+      match m with
+      | Composite.Mutants.None_ | Composite.Mutants.No_second_write ->
+        if v.Composite.Mutants.caught then any_unexpected := true
+      | _ -> if not v.Composite.Mutants.caught then any_unexpected := true)
+    (Composite.Mutants.None_ :: Composite.Mutants.all);
+  print_newline ();
+  print_endline
+    "expected: every mutant caught except the control and no-second-write\n\
+     (whose statement-7 publication rides on the next statement 3 — a \
+     freshness\noptimization, not a safety mechanism).";
+  if !any_unexpected then exit 1
+
+let mutants_cmd =
+  let max_runs =
+    Arg.(value & opt int 3000 & info [ "max-runs" ] ~doc:"Schedules per mutant.")
+  in
+  Cmd.v
+    (Cmd.info "mutants"
+       ~doc:"Ablation study: remove each mechanism of Figure 3 and hunt for \
+             a violating schedule (experiment E12).")
+    Term.(const mutants $ max_runs)
+
+(* ------------------------------------------------------------------ *)
+(* resilience                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let resilience components readers max_crash_point seed =
+  Printf.printf
+    "halting-failure sweep: for every process and every crash point <= %d, \
+     halt it mid-operation\nand verify the survivors finish and their \
+     history stays linearizable (C=%d, R=%d):\n\n%!"
+    max_crash_point components readers;
+  let r =
+    Workload.Resilience.run ~components ~readers ~max_crash_point ~seed ()
+  in
+  Format.printf "%a@." Workload.Resilience.pp_report r;
+  if r.Workload.Resilience.blocked > 0 || r.Workload.Resilience.not_linearizable > 0
+  then exit 1
+
+let resilience_cmd =
+  let components =
+    Arg.(value & opt int 2 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let max_crash =
+    Arg.(value & opt int 12 & info [ "max-crash-point" ] ~doc:"Largest crash point.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Halting-failure resilience sweep (the paper's Section 1 claim; \
+          experiment E11).")
+    Term.(const resilience $ components $ readers $ max_crash $ seed)
+
+let fullstack_cmd =
+  let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in
+  Cmd.v
+    (Cmd.info "fullstack"
+       ~doc:
+         "Cost of the snapshot when its MRSW registers are themselves \
+          constructed from SRSW registers (experiment E10).")
+    Term.(const fullstack $ max_c)
+
+(* ------------------------------------------------------------------ *)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "composite-registers" ~version:"1.0.0"
+      ~doc:
+        "Wait-free atomic snapshots: a reproduction of Anderson's composite \
+         registers (PODC 1990)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
+            starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
+            mutants_cmd; trace_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Array Composite Csim Memory Printf Schedule Sim

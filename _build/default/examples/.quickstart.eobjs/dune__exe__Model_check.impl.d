@@ -1,0 +1,1 @@
+examples/model_check.ml: Array Composite Csim Format History Int List Memory Printf Schedule Sim String

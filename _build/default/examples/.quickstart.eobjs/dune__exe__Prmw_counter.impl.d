@@ -1,0 +1,1 @@
+examples/prmw_counter.ml: Composite Domain List Printf Prmw

@@ -1,0 +1,1 @@
+examples/prmw_counter.mli:

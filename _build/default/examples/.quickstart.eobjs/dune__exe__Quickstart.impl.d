@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Composite Domain List Printf String

@@ -1,0 +1,1 @@
+examples/register_ladder.ml: Array Composite Constructions Csim Full_stack Printf Registers Sim String Weak

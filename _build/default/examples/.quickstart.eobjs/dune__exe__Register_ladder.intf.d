@@ -1,0 +1,1 @@
+examples/register_ladder.mli:

@@ -1,0 +1,1 @@
+examples/sensor_fusion.ml: Array Composite Domain Fun List Printf

@@ -1,0 +1,111 @@
+(* The whole story in one run: from safe bits to atomic snapshots.
+
+   The paper's contribution is the top rung of a ladder the literature
+   built over a decade.  This example climbs it, exercising each rung
+   and printing what it costs, ending with the composite register
+   running end-to-end on registers built from SRSW registers:
+
+     safe bit
+       -> regular bit          (Lamport: don't rewrite the same value)
+       -> k-valued regular     (unary encoding)
+       -> atomic SRSW          (sequence numbers)
+       -> atomic MRSW          (reader announcements)
+       -> composite register   (this paper)
+
+     dune exec examples/register_ladder.exe *)
+
+open Csim
+open Registers
+
+let step = ref 0
+
+let rung name detail =
+  incr step;
+  Printf.printf "%d. %-22s %s\n" !step name detail
+
+let () =
+  print_endline "climbing the register ladder:\n";
+
+  (* 1. A safe bit: correct alone, garbage under contention. *)
+  let env = Sim.create () in
+  let bit = Weak.safe_bit env ~name:"safe" ~seed:42 false in
+  let solo = ref false in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Weak.write_safe bit true;
+        solo := Weak.read_safe bit)
+  in
+  rung "safe bit"
+    (Printf.sprintf "quiescent read ok: %b (overlapping reads are arbitrary)"
+       !solo);
+
+  (* 2. Regular bit from the safe bit. *)
+  let env = Sim.create () in
+  let rb = Constructions.Regular_bit_of_safe.create env ~name:"reg" ~seed:7 false in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Regular_bit_of_safe.write rb true;
+        assert (Constructions.Regular_bit_of_safe.read rb))
+  in
+  rung "regular bit" "suppressing duplicate writes makes overlap reads old-or-new";
+
+  (* 3. k-valued regular register (unary). *)
+  let env = Sim.create () in
+  let kary = Constructions.Regular_kary_of_bits.create env ~name:"k" ~seed:3 ~k:8 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Regular_kary_of_bits.write kary 5;
+        assert (Constructions.Regular_kary_of_bits.read kary = 5))
+  in
+  rung "8-valued regular" "8 regular bits in unary; readers scan up to the first 1";
+
+  (* 4. Atomic SRSW via sequence numbers. *)
+  let env = Sim.create () in
+  let srsw = Constructions.Atomic_srsw_of_regular.create env ~name:"a" ~seed:5 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Atomic_srsw_of_regular.write srsw 41;
+        Constructions.Atomic_srsw_of_regular.write srsw 42;
+        assert (Constructions.Atomic_srsw_of_regular.read srsw = 42))
+  in
+  rung "atomic SRSW" "monotone tags forbid new-then-old inversions";
+
+  (* 5. Atomic MRSW: writer posts per reader, readers announce. *)
+  let env = Sim.create () in
+  let mrsw = Constructions.Atomic_mrsw_of_srsw.create env ~name:"m" ~readers:4 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Atomic_mrsw_of_srsw.write mrsw 9;
+        assert (Constructions.Atomic_mrsw_of_srsw.read mrsw ~reader:3 = 9))
+  in
+  rung "atomic MRSW"
+    (Printf.sprintf "4 readers need %d SRSW registers"
+       (Constructions.Atomic_mrsw_of_srsw.srsw_registers mrsw));
+
+  (* 6. The composite register, on MRSW registers built from SRSW. *)
+  let env = Sim.create ~trace:false () in
+  let processes = 4 in
+  let mem = Full_stack.memory env ~processes in
+  let init = [| 0; 0; 0 |] in
+  let reg = Composite.Anderson.create mem ~readers:1 ~bits_per_value:16 ~init in
+  let before = Sim.now env in
+  let snap = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (Composite.Anderson.update reg ~writer:0 10);
+        ignore (Composite.Anderson.update reg ~writer:2 30);
+        snap := Composite.Item.values (Composite.Anderson.scan_items reg ~reader:0))
+  in
+  rung "composite register"
+    (Printf.sprintf
+       "snapshot [%s] over the constructed substrate: %d SRSW ops for 2 \
+        Writes + 1 Read"
+       (String.concat "; " (Array.to_list (Array.map string_of_int !snap)))
+       (Sim.now env - before));
+
+  Printf.printf
+    "\nat C = 3 components: one snapshot Read costs TR = %d MRSW operations\n\
+     (paper: TR(C) = 5 + 2 TR(C-1) = 6*2^(C-1) - 5), each of which costs\n\
+     2P - 1 = %d SRSW operations here — wait-free all the way down.\n"
+    (Composite.Complexity.tr ~c:3)
+    (Full_stack.read_cost ~processes);

@@ -1,0 +1,1 @@
+lib/core/afek.ml: Array Csim Item Memory Printf Snapshot

@@ -1,0 +1,1 @@
+lib/core/afek.mli: Csim Snapshot

@@ -1,0 +1,1 @@
+lib/core/anderson.ml: Array Csim Item Memory Printf Snapshot

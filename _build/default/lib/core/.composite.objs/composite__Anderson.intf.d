@@ -1,0 +1,1 @@
+lib/core/anderson.mli: Csim Item Snapshot

@@ -1,0 +1,1 @@
+lib/core/double_collect.ml: Array Csim Item Memory Printf Snapshot

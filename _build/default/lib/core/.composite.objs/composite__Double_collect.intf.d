@@ -1,0 +1,1 @@
+lib/core/double_collect.mli: Csim Snapshot

@@ -1,0 +1,1 @@
+lib/core/multi_writer.ml: Array History Item Snapshot

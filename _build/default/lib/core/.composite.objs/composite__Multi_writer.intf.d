@@ -1,0 +1,1 @@
+lib/core/multi_writer.mli: History Item Snapshot

@@ -1,0 +1,1 @@
+lib/core/multicore.ml: Afek Anderson Array Atomic Csim Domain Double_collect History Item List Memory Multi_writer Mutex Snapshot

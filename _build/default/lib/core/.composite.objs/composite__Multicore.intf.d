@@ -1,0 +1,1 @@
+lib/core/multicore.mli: History Multi_writer Snapshot

@@ -1,0 +1,1 @@
+lib/core/mutants.ml: Array Csim Format History Int Item Memory Printf Schedule Sim Snapshot

@@ -1,0 +1,1 @@
+lib/core/mutants.mli: Csim Snapshot

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array History Item Printf

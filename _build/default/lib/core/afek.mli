@@ -1,0 +1,25 @@
+(** The Afek–Attiya–Dolev–Gafni–Merritt–Shavit single-writer snapshot
+    (paper's reference [1]), used as the polynomial-cost comparator.
+
+    Unbounded-sequence-number version of their algorithm: each component
+    register holds the writer's current item {e and an embedded view}
+    (the snapshot the writer itself collected just before writing).  A
+    scanner repeatedly double-collects; if both collects agree on every
+    id, the second collect is a valid snapshot; otherwise any writer
+    observed to move {e twice} since the scan began must have completed
+    an entire update — embedded scan included — inside the scanner's
+    interval, so the scanner returns ("borrows") that writer's embedded
+    view.  At most [C+1] double collects are needed: [O(C^2)] register
+    operations per scan and update, versus the paper's [O(2^C)].
+
+    Afek et al. also give a bounded-register variant using handshake
+    bits; the sequence numbers here are the unbounded variant's and are
+    doubly useful as the auxiliary ids for the Shrinking checker. *)
+
+val create :
+  Csim.Memory.t -> bits_per_value:int -> init:'a array -> 'a Snapshot.t
+(** Any number of readers; [C = Array.length init] components. *)
+
+val scan_bound : components:int -> int
+(** Worst-case number of register reads a scan can perform:
+    [(C+2) * C] (initial collect plus [C+1] further collects). *)

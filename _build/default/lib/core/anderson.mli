@@ -1,0 +1,90 @@
+(** The paper's C/B/1/R composite register construction (Section 4,
+    Figure 3).
+
+    The construction is recursive: a [C]-component register for [R]
+    readers is built from
+    - [Y[0]]: one multi-reader single-writer atomic register written by
+      Writer 0, holding the record
+      [(val, id, seq[0..1][0..R-1], ss[0..C-1], wc)];
+    - [Y[1..C-1]]: a [(C-1)]-component composite register with [R+1]
+      readers (the construction recursing; Writer 0 is its extra
+      reader), storing {!Item.t} values — the items written by Writers
+      [1..C-1];
+    - [Z[0..R-1]]: one single-writer atomic register per Reader, holding
+      a modulo-3 sequence number.
+
+    Every labeled statement of Figure 3 that accesses shared memory maps
+    to exactly one access of the underlying {!Csim.Memory.t}, so when the
+    memory is simulator-backed, statement interleavings, traces and
+    access counts are exactly those of the paper's model.  The auxiliary
+    [id] fields are carried verbatim (never branched on).
+
+    The base case [C = 1] is a single MRSW atomic register.
+
+    Fidelity notes:
+    - Reader statement 1 picks [newseq] as the smallest value in
+      [{0,1,2}] differing from both of Writer 0's copies — a
+      deterministic instance of the paper's [select].
+    - Writer 0's private variables ([wc], [item.id], [seq], [ss]) and
+      Writer [i]'s [item.id] persist across invocations and are
+      initialized exactly per the paper's [initialization] clauses. *)
+
+type 'a t
+(** A [C/B/1/R] composite register holding values of type ['a]. *)
+
+val create :
+  Csim.Memory.t -> readers:int -> bits_per_value:int -> init:'a array -> 'a t
+(** [create mem ~readers ~bits_per_value ~init] builds the register with
+    [C = Array.length init] components, all initialized per the paper's
+    Initial Writes assumption (every [Y[j].id = 0]).  [bits_per_value]
+    is the paper's [B], used only for space accounting of the allocated
+    registers. *)
+
+val components : 'a t -> int
+val readers : 'a t -> int
+
+val scan_items : 'a t -> reader:int -> 'a Item.t array
+(** The Reader procedure (statements 0–9).  Must be invoked serially per
+    reader index. *)
+
+val update : 'a t -> writer:int -> 'a -> int
+(** The Writer procedures: [writer = 0] runs Writer 0 (statements 0–8),
+    [writer = k >= 1] runs Writer [k] — which wraps the value in a fresh
+    item and performs a [(k-1)]-Write of the inner register.  Returns
+    the auxiliary id of the Write ([phi_k]).  Must be invoked serially
+    per writer index. *)
+
+val handle : 'a t -> 'a Snapshot.t
+(** Package as a generic {!Snapshot.t}. *)
+
+val depth_registers : 'a t -> int
+(** Number of underlying atomic registers allocated (all recursion
+    levels): [R + 2] at each [Rec] level plus the base register.  Used
+    by space-accounting tests. *)
+
+(** {2 Observability}
+
+    Ghost facilities for tests and the executable proof lemmas.  None of
+    these perform shared-memory events and none are ever consulted by
+    the algorithm itself. *)
+
+type case =
+  | Case_snapshot_seq
+      (** [e.seq[1,j] = newseq]: returned Writer 0's embedded snapshot
+          (the Figure 4 (a) situation). *)
+  | Case_snapshot_wc
+      (** [e.wc = a.wc ⊕ 2]: returned Writer 0's embedded snapshot (the
+          Figure 4 (b) situation). *)
+  | Case_ab  (** [a.wc = c.wc]: returned [(a.val, b)]. *)
+  | Case_cd  (** otherwise: returned [(c.val, d)]. *)
+
+val last_case : ?reader:int -> 'a t -> case option
+(** Which branch of Reader statement 8 the given reader's most recent
+    scan took, at the outermost recursion level (default reader 0). *)
+
+val ghost_items : 'a t -> 'a Item.t array
+(** The register's current logical contents — the item most recently
+    written to each component — read with cell peeks (no events).
+    Sampling this after every event yields the sequence of states the
+    paper's Lemma 2 and property (12) quantify over; see
+    [Workload.Lemmas]. *)

@@ -1,0 +1,48 @@
+let check_cr ~c ~r =
+  if c < 1 then invalid_arg "Complexity: c must be >= 1";
+  if r < 1 then invalid_arg "Complexity: r must be >= 1"
+
+let rec tr ~c =
+  if c < 1 then invalid_arg "Complexity.tr";
+  if c = 1 then 1 else 5 + (2 * tr ~c:(c - 1))
+
+let tr_closed ~c =
+  if c < 1 then invalid_arg "Complexity.tr_closed";
+  (6 * (1 lsl (c - 1))) - 5
+
+let tw0 ~c ~r =
+  check_cr ~c ~r;
+  if c = 1 then 1 else r + 2 + tr ~c:(c - 1)
+
+let tw ~c ~r ~writer =
+  check_cr ~c ~r;
+  if writer < 0 || writer >= c then invalid_arg "Complexity.tw: bad writer";
+  (* Writer k's operation wraps its value k times (no shared accesses)
+     and then performs a 0-Write of the level-k register, which has
+     C - k components and R + k readers. *)
+  tw0 ~c:(c - writer) ~r:(r + writer)
+
+let space_mrsw_bits ~c ~b ~r =
+  check_cr ~c ~r;
+  if b < 1 then invalid_arg "Complexity.space_mrsw_bits: b must be >= 1";
+  let total = ref 0 in
+  for l = 0 to c - 2 do
+    let rl = r + l and cl = c - l in
+    total := !total + ((4 * rl) + (cl * b) + b + 2);
+    (* Y[0] of level l *)
+    total := !total + (2 * rl)
+    (* Z registers of level l *)
+  done;
+  !total + b (* base register *)
+
+let registers ~c ~r =
+  check_cr ~c ~r;
+  let total = ref 0 in
+  for l = 0 to c - 2 do
+    total := !total + 1 + (r + l)
+  done;
+  !total + 1
+
+let space_srsw_asymptotic ~c ~b ~r =
+  check_cr ~c ~r;
+  (c * r * r) + (c * c * b * r) + (c * c * c * b)

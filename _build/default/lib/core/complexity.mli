@@ -1,0 +1,45 @@
+(** The complexity recurrences of Section 4, in closed executable form.
+
+    These functions compute the {e exact} operation and bit counts the
+    paper derives for the C/B/1/R construction, so that the measured
+    counters of a simulator-backed register can be compared for
+    equality (experiments E2–E4):
+
+    - Read time: [TR(1) = 1], [TR(C) = 5 + 2 * TR(C-1)] — the four reads
+      of [Y[0]], the write of [Z[j]], and two recursive scans.  (The
+      paper writes [TR(C,B,1,R) = 5 + 2 TR(C-1,B,1,R+1)]; the count is
+      independent of [R].)  Hence [TR(C) = 6 * 2^(C-1) - 5] = [O(2^C)].
+    - Write time, Writer 0: [TW0(1) = 1],
+      [TW0(C,R) = R + 2 + TR(C-1)] — [R] reads of [Z], two writes of
+      [Y[0]], one recursive scan; [O(R + 2^C)].
+    - Write time, Writer [k]: the Write descends [k] recursion levels
+      for free (pure wrapping) and then runs Writer 0 of level [k],
+      which serves [R + k] readers.
+    - Space, at MRSW granularity: level [l] (0-based, [l < C-1]) uses
+      one [Y[0]] of [4(R+l) + (C-l)B + B + 2] bits plus [R+l] two-bit
+      [Z] registers; the base level is one [B]-bit register. *)
+
+val tr : c:int -> int
+(** Register operations per Read. *)
+
+val tr_closed : c:int -> int
+(** The closed form [6 * 2^(C-1) - 5]; equals {!tr}. *)
+
+val tw : c:int -> r:int -> writer:int -> int
+(** Register operations per Write by the given writer index. *)
+
+val tw0 : c:int -> r:int -> int
+(** [tw ~writer:0] — the worst case the paper reports. *)
+
+val space_mrsw_bits : c:int -> b:int -> r:int -> int
+(** Total declared bits of all MRSW registers allocated by
+    [Anderson.create] — matches [Csim.Sim.space_bits] exactly. *)
+
+val registers : c:int -> r:int -> int
+(** Number of MRSW registers allocated — matches
+    [Anderson.depth_registers]. *)
+
+val space_srsw_asymptotic : c:int -> b:int -> r:int -> int
+(** The paper's asymptotic bound [C R^2 + C^2 B R + C^3 B] (coefficient
+    1), for shape comparison in the E4 table: the paper expands each
+    MRSW register into SRSW bits via its references [26, 27]. *)

@@ -1,0 +1,53 @@
+open Csim
+
+type 'a reg = {
+  cells : 'a Item.t Memory.cell array;
+  wids : int array;  (* per-writer private id counters *)
+}
+
+let make mem ~bits_per_value ~init ~prefix =
+  let cells =
+    Array.mapi
+      (fun k v ->
+        mem.Memory.make
+          ~name:(Printf.sprintf "%s.C%d" prefix k)
+          ~bits:bits_per_value (Item.initial v))
+      init
+  in
+  { cells; wids = Array.make (Array.length init) 0 }
+
+let collect reg = Array.map (fun c -> c.Memory.read ()) reg.cells
+
+let update reg ~writer v =
+  if writer < 0 || writer >= Array.length reg.cells then
+    invalid_arg "Double_collect.update: bad writer";
+  reg.wids.(writer) <- reg.wids.(writer) + 1;
+  let id = reg.wids.(writer) in
+  reg.cells.(writer).Memory.write { Item.v; id };
+  id
+
+let create_unsafe mem ~bits_per_value ~init =
+  let reg = make mem ~bits_per_value ~init ~prefix:"DC1" in
+  {
+    Snapshot.components = Array.length init;
+    readers = max_int;
+    scan_items = (fun ~reader:_ -> collect reg);
+    update = (fun ~writer v -> update reg ~writer v);
+  }
+
+let create_repeated mem ~bits_per_value ~init =
+  let reg = make mem ~bits_per_value ~init ~prefix:"DC2" in
+  let same a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun (x : _ Item.t) (y : _ Item.t) -> x.Item.id = y.Item.id) a b
+  in
+  let rec scan_until last =
+    let next = collect reg in
+    if same last next then next else scan_until next
+  in
+  {
+    Snapshot.components = Array.length init;
+    readers = max_int;
+    scan_items = (fun ~reader:_ -> scan_until (collect reg));
+    update = (fun ~writer v -> update reg ~writer v);
+  }

@@ -1,0 +1,27 @@
+(** Naive snapshot baselines.
+
+    Two classical straw-men that frame the paper's contribution:
+
+    - {!create_unsafe}: a Read is a single collect — one read of each
+      component register in index order.  This is {e not} linearizable:
+      writes interleaved with the collect can produce a view that was
+      never the register's state.  Used as the negative control for the
+      checkers (experiment E6): the Shrinking Lemma's Read Precedence /
+      Write Precedence conditions must flag it on an adversarial
+      schedule.
+
+    - {!create_repeated}: a Read repeatedly collects until two
+      successive collects are identical (same auxiliary ids).  This
+      {e is} linearizable (the identical double collect happened at one
+      point in time) but is {e not} wait-free: a persistent writer can
+      starve the reader forever, which the simulator demonstrates by
+      exceeding its step budget on a writer-storm schedule.
+
+    Both use one MRSW atomic register per component, like the real
+    constructions. *)
+
+val create_unsafe :
+  Csim.Memory.t -> bits_per_value:int -> init:'a array -> 'a Snapshot.t
+
+val create_repeated :
+  Csim.Memory.t -> bits_per_value:int -> init:'a array -> 'a Snapshot.t

@@ -1,0 +1,8 @@
+type 'a t = { v : 'a; id : int }
+
+let v it = it.v
+let id it = it.id
+let initial x = { v = x; id = 0 }
+let values a = Array.map (fun it -> it.v) a
+let ids a = Array.map (fun it -> it.id) a
+let pp show it = Printf.sprintf "%s#%d" (show it.v) it.id

@@ -1,0 +1,19 @@
+(** Items: values tagged with the paper's auxiliary id.
+
+    An item is a [(val, id)] pair (paper, Section 4.1).  The [id] is an
+    auxiliary variable: it is never branched on by any algorithm, only
+    carried along so that histories can be checked against the Shrinking
+    Lemma, whose numbering functions are exactly
+    [phi_k(op) = op!item.id]. *)
+
+type 'a t = { v : 'a; id : int }
+
+val v : 'a t -> 'a
+val id : 'a t -> int
+val initial : 'a -> 'a t
+(** [initial x] is [{ v = x; id = 0 }] — the item written by the virtual
+    initial Write of a component. *)
+
+val values : 'a t array -> 'a array
+val ids : 'a t array -> int array
+val pp : ('a -> string) -> 'a t -> string

@@ -1,0 +1,101 @@
+type 'a slot_value = { sv : 'a; tag : int }
+
+type 'a t = {
+  c : int;
+  w : int;  (* writers per component *)
+  r : int;  (* pure readers *)
+  base : 'a slot_value Snapshot.t;  (* C * W slots *)
+}
+
+let slot t ~comp ~widx = (comp * t.w) + widx
+
+let create factory ~components ~writers_per_component ~readers ~init =
+  if Array.length init <> components then
+    invalid_arg "Multi_writer.create: arity mismatch";
+  if components < 1 || writers_per_component < 1 || readers < 0 then
+    invalid_arg "Multi_writer.create: bad dimensions";
+  let c = components and w = writers_per_component in
+  let base_init =
+    Array.init (c * w) (fun s -> { sv = init.(s / w); tag = 0 })
+  in
+  let base =
+    factory.Snapshot.make_sw ~readers:(readers + (c * w)) ~init:base_init
+  in
+  { c; w; r = readers; base }
+
+let components t = t.c
+let writers_per_component t = t.w
+
+(* Auxiliary id of a Write: strictly monotone in (tag, widx) and >= 1
+   for real Writes (which always have tag >= 1).  Tag 0 means "never
+   written": the virtual initial Write, whose id is 0 by convention. *)
+let encode_id t ~tag ~widx = if tag = 0 then 0 else (tag * t.w) + widx + 1
+
+(* Per component, the winning slot is the one with the largest
+   (tag, widx) pair; widx order breaks ties between concurrent Writes. *)
+let select t (slots : 'a slot_value Item.t array) ~comp =
+  let best = ref 0 in
+  for widx = 1 to t.w - 1 do
+    let cur = (slots.(slot t ~comp ~widx)).Item.v in
+    let b = (slots.(slot t ~comp ~widx:!best)).Item.v in
+    if cur.tag > b.tag || (cur.tag = b.tag && widx > !best) then best := widx
+  done;
+  let v = (slots.(slot t ~comp ~widx:!best)).Item.v in
+  { Item.v = v.sv; id = encode_id t ~tag:v.tag ~widx:!best }
+
+let scan_items t ~reader =
+  if reader < 0 || reader >= t.r then invalid_arg "Multi_writer.scan_items";
+  let slots = t.base.Snapshot.scan_items ~reader in
+  Array.init t.c (fun comp -> select t slots ~comp)
+
+let update t ~comp ~widx v =
+  if comp < 0 || comp >= t.c then invalid_arg "Multi_writer.update: bad comp";
+  if widx < 0 || widx >= t.w then invalid_arg "Multi_writer.update: bad widx";
+  (* This writer's reader slot in the substrate. *)
+  let reader = t.r + slot t ~comp ~widx in
+  let slots = t.base.Snapshot.scan_items ~reader in
+  let max_tag = ref 0 in
+  for i = 0 to t.w - 1 do
+    let sv = (slots.(slot t ~comp ~widx:i)).Item.v in
+    if sv.tag > !max_tag then max_tag := sv.tag
+  done;
+  let tag = !max_tag + 1 in
+  let (_ : int) =
+    t.base.Snapshot.update ~writer:(slot t ~comp ~widx) { sv = v; tag }
+  in
+  encode_id t ~tag ~widx
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'a recorded = {
+  mw : 'a t;
+  coll : 'a History.Snapshot_history.collector;
+  mscan : reader:int -> 'a array;
+  mupdate : comp:int -> widx:int -> 'a -> unit;
+}
+
+let record ~clock ~initial mw =
+  if Array.length initial <> mw.c then
+    invalid_arg "Multi_writer.record: arity mismatch";
+  let coll = History.Snapshot_history.collector ~initial in
+  let mscan ~reader =
+    let inv = clock () in
+    let items = scan_items mw ~reader in
+    let res = clock () in
+    History.Snapshot_history.record_read coll ~proc:reader
+      ~values:(Item.values items) ~ids:(Item.ids items) ~inv ~res;
+    Item.values items
+  in
+  let mupdate ~comp ~widx v =
+    let inv = clock () in
+    let id = update mw ~comp ~widx v in
+    let res = clock () in
+    History.Snapshot_history.record_write coll
+      ~proc:(mw.r + slot mw ~comp ~widx)
+      ~comp ~value:v ~id ~inv ~res
+  in
+  { mw; coll; mscan; mupdate }
+
+let history r = History.Snapshot_history.history r.coll

@@ -1,0 +1,57 @@
+(** Multi-writer composite registers from single-writer ones.
+
+    The paper's companion result ([3], discussed in Sections 1 and 5) is
+    that composite registers with [W] writers per component can be built
+    from single-writer atomic registers.  We realize the combined claim
+    by the classical snapshot-based reduction (see DESIGN.md,
+    substitution 3):
+
+    - the substrate is a single-writer composite register with [C * W]
+      components, one {e slot} per (component, writer) pair, storing
+      [(value, tag)] pairs;
+    - a Write of component [k] by writer [w] scans the substrate, picks
+      [tag = 1 + max] of the tags in component [k]'s slots, and writes
+      [(value, tag)] to its own slot [(k, w)];
+    - a Read scans the substrate and, per component, returns the value
+      with the lexicographically largest [(tag, writer-index)].
+
+    Tags obtained from atomic scans order causally-separated Writes
+    correctly, and the writer index breaks ties between concurrent ones,
+    so the result is linearizable; the auxiliary id exposed for the
+    Shrinking checker is [tag * W + w + 1], which is strictly monotone
+    in [(tag, w)]. *)
+
+type 'a t
+
+type 'a slot_value = { sv : 'a; tag : int }
+
+val create :
+  Snapshot.factory -> components:int -> writers_per_component:int ->
+  readers:int -> init:'a array -> 'a t
+(** The factory builds the substrate single-writer register; callers
+    wrap {!Anderson.create} or {!Afek.create} in it.  [readers] is the
+    number of (pure) reader processes; the substrate is created with
+    [readers + components * writers_per_component] reader slots because
+    every Write also scans. *)
+
+val components : 'a t -> int
+val writers_per_component : 'a t -> int
+
+val scan_items : 'a t -> reader:int -> 'a Item.t array
+(** Read: values of all [C] components, ids as described above. *)
+
+val update : 'a t -> comp:int -> widx:int -> 'a -> int
+(** Write by writer [widx] (in [0 .. W-1]) to component [comp]; returns
+    the auxiliary id. *)
+
+(** {2 Recording} *)
+
+type 'a recorded = {
+  mw : 'a t;
+  coll : 'a History.Snapshot_history.collector;
+  mscan : reader:int -> 'a array;
+  mupdate : comp:int -> widx:int -> 'a -> unit;
+}
+
+val record : clock:(unit -> int) -> initial:'a array -> 'a t -> 'a recorded
+val history : 'a recorded -> 'a History.Snapshot_history.t

@@ -1,0 +1,48 @@
+(** Real-parallel instances of the constructions, on OCaml domains.
+
+    Each register of the algorithms becomes one [Atomic.t] holding an
+    immutable value — a hardware atomic register strictly stronger than
+    the MRSW primitive the constructions assume — so the very same
+    algorithm code (written against {!Csim.Memory.t}) runs unmodified
+    and wait-free on parallel domains.
+
+    This module also provides the lock-based snapshot used as the
+    blocking comparator of experiment E7 and a small stress harness that
+    runs writer and reader domains and returns the recorded history for
+    offline checking. *)
+
+val anderson : readers:int -> init:'a array -> 'a Snapshot.t
+val afek : init:'a array -> 'a Snapshot.t
+val unsafe_collect : init:'a array -> 'a Snapshot.t
+
+val multi_writer :
+  components:int -> writers_per_component:int -> readers:int ->
+  init:'a array -> 'a Multi_writer.t
+(** Multi-writer composite register on [Atomic.t] registers (substrate:
+    the Afek-style snapshot, whose polynomial scans suit the [C * W]
+    slot count). *)
+
+val locked : init:'a array -> 'a Snapshot.t
+(** Mutex-protected array: scans and updates serialize.  Linearizable
+    but blocking — the E7 baseline the wait-free constructions are
+    compared against. *)
+
+val tick_clock : unit -> (unit -> int)
+(** A fetch-and-add logical clock.  Timestamps taken before and after an
+    operation bound its real-time interval, so the interval order they
+    induce is a sound under-approximation of real-time precedence — as
+    required for linearizability checking of parallel runs. *)
+
+type stress_config = {
+  writer_ops : int;  (** operations per writer domain *)
+  reader_ops : int;  (** operations per reader domain *)
+  readers : int;
+}
+
+val stress :
+  config:stress_config -> init:int array -> handle:int Snapshot.t ->
+  int History.Snapshot_history.t
+(** Runs [C] writer domains (writer [k] writes values [k*1000 + seq])
+    and [config.readers] reader domains concurrently, recording every
+    operation with {!tick_clock} timestamps.  Returns the merged
+    history. *)

@@ -1,0 +1,255 @@
+open Csim
+
+type mutation =
+  | None_
+  | No_handshake
+  | No_write_counter
+  | No_second_write
+  | Single_collect
+  | Mod2_counter
+  | Two_value_seq
+
+let all =
+  [
+    No_handshake; No_write_counter; No_second_write; Single_collect;
+    Mod2_counter; Two_value_seq;
+  ]
+
+let name = function
+  | None_ -> "unmutated"
+  | No_handshake -> "no-handshake"
+  | No_write_counter -> "no-write-counter"
+  | No_second_write -> "no-second-write"
+  | Single_collect -> "single-collect"
+  | Mod2_counter -> "mod-2-counter"
+  | Two_value_seq -> "two-value-seq"
+
+(* The construction, verbatim from Anderson.ml except at the four
+   mutation points (marked MUTATION below). *)
+
+type 'a y0 = {
+  y_item : 'a Item.t;
+  seq : int array array;
+  ss : 'a Item.t array;
+  wc : int;
+}
+
+type 'a t =
+  | Base of { cell : 'a Item.t Memory.cell; mutable base_wid : int }
+  | Rec of {
+      c : int;
+      r : int;
+      mut : mutation;
+      y0 : 'a y0 Memory.cell;
+      z : int Memory.cell array;
+      rest : 'a Item.t t;
+      mutable w_wc : int;
+      mutable w_item : 'a Item.t;
+      mutable w_seq0 : int array;
+      mutable w_seq1 : int array;
+      mutable w_ss : 'a Item.t array;
+      w_ids : int array;
+    }
+
+let mod3 x = x mod 3
+
+let rec build : type a. mutation -> Memory.t -> prefix:string -> readers:int ->
+    bits_per_value:int -> init:a array -> a t =
+ fun mut mem ~prefix ~readers ~bits_per_value ~init ->
+  let c = Array.length init in
+  if c = 1 then
+    Base
+      {
+        cell =
+          mem.Memory.make ~name:(prefix ^ ".Y0") ~bits:bits_per_value
+            (Item.initial init.(0));
+        base_wid = 0;
+      }
+  else begin
+    let r = readers in
+    let initial_items = Array.map Item.initial init in
+    let y0_init =
+      {
+        y_item = initial_items.(0);
+        seq = [| Array.make r 0; Array.make r 0 |];
+        ss = Array.copy initial_items;
+        wc = 0;
+      }
+    in
+    let y0 =
+      mem.Memory.make ~name:(prefix ^ ".Y0")
+        ~bits:((4 * r) + (c * bits_per_value) + bits_per_value + 2)
+        y0_init
+    in
+    let z =
+      Array.init r (fun j ->
+          mem.Memory.make ~name:(Printf.sprintf "%s.Z%d" prefix j) ~bits:2 0)
+    in
+    let rest =
+      build mut mem ~prefix:(prefix ^ "'") ~readers:(r + 1) ~bits_per_value
+        ~init:(Array.sub initial_items 1 (c - 1))
+    in
+    Rec
+      {
+        c;
+        r;
+        mut;
+        y0;
+        z;
+        rest;
+        w_wc = y0_init.wc;
+        w_item = y0_init.y_item;
+        w_seq0 = Array.make r 0;
+        w_seq1 = Array.copy y0_init.seq.(1);
+        w_ss = Array.copy y0_init.ss;
+        w_ids = Array.make (c - 1) 0;
+      }
+  end
+
+let rec scan_items : type a. a t -> reader:int -> a Item.t array =
+ fun t ~reader ->
+  match t with
+  | Base b -> [| b.cell.Memory.read () |]
+  | Rec g ->
+    let j = reader in
+    let x = g.y0.Memory.read () in
+    let newseq =
+      let f0 = x.seq.(0).(j) and f1 = x.seq.(1).(j) in
+      (* MUTATION Two_value_seq: sequence numbers range over 0..1 — a
+         fresh value can be impossible (the paper's note at statement 1
+         says three values are needed precisely to avoid this). *)
+      if g.mut = Two_value_seq then
+        if f0 <> 0 && f1 <> 0 then 0 else if f0 <> 1 && f1 <> 1 then 1 else 0
+      else begin
+        let rec pick v = if v <> f0 && v <> f1 then v else pick (v + 1) in
+        pick 0
+      end
+    in
+    (* MUTATION No_handshake: statement 2 skipped. *)
+    if g.mut <> No_handshake then g.z.(j).Memory.write newseq;
+    let a = g.y0.Memory.read () in
+    let b = Item.values (scan_items g.rest ~reader:j) in
+    (* MUTATION Single_collect: return (a.val, b) immediately. *)
+    if g.mut = Single_collect then Array.append [| a.y_item |] b
+    else begin
+      let c = g.y0.Memory.read () in
+      let d = Item.values (scan_items g.rest ~reader:j) in
+      let e = g.y0.Memory.read () in
+      (* MUTATION Mod2_counter: the write counter wraps modulo 2. *)
+      let wc_trigger =
+        if g.mut = Mod2_counter then e.wc = (a.wc + 2) mod 2
+        else e.wc = mod3 (a.wc + 2)
+      in
+      if e.seq.(1).(j) = newseq || wc_trigger then Array.copy e.ss
+      else if a.wc = c.wc then Array.append [| a.y_item |] b
+      else Array.append [| c.y_item |] d
+    end
+
+let rec update : type a. a t -> writer:int -> a -> int =
+ fun t ~writer v ->
+  match t with
+  | Base b ->
+    b.base_wid <- b.base_wid + 1;
+    b.cell.Memory.write { Item.v; id = b.base_wid };
+    b.base_wid
+  | Rec g ->
+    if writer = 0 then begin
+      (* MUTATIONS No_write_counter: wc frozen; Mod2_counter: wraps
+         modulo 2. *)
+      if g.mut = Mod2_counter then g.w_wc <- (g.w_wc + 1) mod 2
+      else if g.mut <> No_write_counter then g.w_wc <- mod3 (g.w_wc + 1);
+      g.w_item <- { Item.v; id = g.w_item.Item.id + 1 };
+      for n = 0 to g.r - 1 do
+        g.w_seq0.(n) <- g.z.(n).Memory.read ()
+      done;
+      g.y0.Memory.write
+        {
+          y_item = g.w_item;
+          seq = [| Array.copy g.w_seq0; Array.copy g.w_seq1 |];
+          ss = Array.copy g.w_ss;
+          wc = g.w_wc;
+        };
+      let y = Item.values (scan_items g.rest ~reader:g.r) in
+      g.w_ss <- Array.append [| g.w_item |] y;
+      g.w_seq1 <- Array.copy g.w_seq0;
+      (* MUTATION No_second_write: statement 7 skipped (the private ss
+         and seq[1] updates above are never published). *)
+      if g.mut <> No_second_write then
+        g.y0.Memory.write
+          {
+            y_item = g.w_item;
+            seq = [| Array.copy g.w_seq0; Array.copy g.w_seq1 |];
+            ss = Array.copy g.w_ss;
+            wc = g.w_wc;
+          };
+      g.w_item.Item.id
+    end
+    else begin
+      let i = writer in
+      let id = g.w_ids.(i - 1) + 1 in
+      g.w_ids.(i - 1) <- id;
+      let (_ : int) = update g.rest ~writer:(i - 1) { Item.v; id } in
+      id
+    end
+
+let create mut mem ~readers ~bits_per_value ~init =
+  let t = build mut mem ~prefix:"M" ~readers ~bits_per_value ~init in
+  {
+    Snapshot.components = Array.length init;
+    readers;
+    scan_items = (fun ~reader -> scan_items t ~reader);
+    update = (fun ~writer v -> update t ~writer v);
+  }
+
+type verdict = {
+  mutant : mutation;
+  caught : bool;
+  schedules_tried : int;
+  counterexample : string option;
+}
+
+(* Random-schedule search: depth-first enumeration diverges late in the
+   schedule first, which is poor coverage for bugs that need an early
+   adversarial interleaving; seeded random schedules find them within a
+   few dozen runs. *)
+let hunt ?(max_runs = 3_000) ?(writes_per_writer = 4) mut =
+  let violation = ref None in
+  let tried = ref 0 in
+  (try
+     for seed = 1 to max_runs do
+       incr tried;
+       let env = Sim.create ~trace:false () in
+       let mem = Memory.of_sim env in
+       let init = [| 10; 20 |] in
+       let handle = create mut mem ~readers:2 ~bits_per_value:32 ~init in
+       let rec_ =
+         Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init handle
+       in
+       let writer k () =
+         for s = 1 to writes_per_writer do
+           rec_.Snapshot.rupdate ~writer:k (((k + 1) * 100) + s)
+         done
+       in
+       let reader j () =
+         for _ = 1 to 2 do
+           ignore (rec_.Snapshot.rscan ~reader:j)
+         done
+       in
+       let (_ : Sim.stats) =
+         Sim.run env ~policy:(Schedule.Random seed)
+           [| writer 0; writer 1; reader 0; reader 1 |]
+       in
+       let h = Snapshot.history rec_ in
+       match History.Shrinking.check ~equal:Int.equal h with
+       | [] -> ()
+       | v :: _ ->
+         violation := Some (Format.asprintf "%a" History.Shrinking.pp_violation v);
+         raise Exit
+     done
+   with Exit -> ());
+  {
+    mutant = mut;
+    caught = !violation <> None;
+    schedules_tried = !tried;
+    counterexample = !violation;
+  }

@@ -1,0 +1,73 @@
+(** Mutated variants of the construction: the ablation study.
+
+    Each mutation removes one mechanism of Figure 3.  The paper's proof
+    uses every one of them, so each mutant should admit a
+    non-linearizable history — found mechanically by the schedule
+    explorer and flagged by the Shrinking checker (experiment E12).
+    This demonstrates both that every moving part of the construction is
+    load-bearing and that the checkers are sharp enough to notice.
+
+    Mutations:
+
+    - {!No_handshake}: the Reader skips statement 2 (never publishes
+      [newseq] in [Z[j]]), so a completely-overlapped 0-Write is not
+      detected via [e.seq[1,j] = newseq] — Case 1 of the proof breaks.
+    - {!No_write_counter}: Writer 0 never increments [wc], so
+      [e.wc = a.wc ⊕ 2] never fires and [a.wc = c.wc] always does —
+      Cases 2–4 break.
+    - {!No_second_write}: Writer 0 skips statement 7.  {b Finding:} this
+      mutant {e survives} every search — Writer 0's private [ss] and
+      [seq[1]] updates (statements 5–6) still reach shared memory via
+      the {e next} operation's statement 3, so removing statement 7
+      only delays publication by one operation without breaking
+      linearizability on any schedule explored.  Statement 7 buys
+      freshness (a Write's embedded snapshot is visible as soon as the
+      Write finishes), not safety.
+    - {!Single_collect}: the Reader performs only statements 0–4 and
+      returns [(a.val, b)] unconditionally — the naive collect in
+      disguise.
+    - {!Mod2_counter}: [wc] wraps modulo 2 instead of 3, so the
+      "two writes elapsed" test [e.wc = a.wc ⊕ 2] degenerates to
+      [e.wc = a.wc] — the stale-snapshot branch fires spuriously.
+    - {!Two_value_seq}: sequence numbers range over [{0,1}] instead of
+      [{0,1,2}]; the Reader can fail to find a value differing from
+      both of Writer 0's copies (the paper's comment at statement 1
+      explains why three are needed), so the handshake can fire
+      spuriously.
+
+    [None_] is the unmutated construction (a control: it must pass the
+    same search that catches the mutants). *)
+
+type mutation =
+  | None_
+  | No_handshake
+  | No_write_counter
+  | No_second_write
+  | Single_collect
+  | Mod2_counter
+  | Two_value_seq
+
+val all : mutation list
+(** All real mutations (without [None_]). *)
+
+val name : mutation -> string
+
+val create :
+  mutation -> Csim.Memory.t -> readers:int -> bits_per_value:int ->
+  init:'a array -> 'a Snapshot.t
+(** Build the mutated register.  Same conventions as
+    {!Anderson.create}/{!Anderson.handle}. *)
+
+type verdict = {
+  mutant : mutation;
+  caught : bool;  (** a violating schedule was found *)
+  schedules_tried : int;
+  counterexample : string option;
+}
+
+val hunt :
+  ?max_runs:int -> ?writes_per_writer:int -> mutation -> verdict
+(** Seeded random-schedule search (2 components, 2 readers, default 4
+    writes per writer, 2 scans per reader, up to [max_runs] = 3000
+    seeds) for a schedule on which the mutant's history violates the
+    Shrinking conditions. *)

@@ -1,0 +1,48 @@
+type 'a t = {
+  components : int;
+  readers : int;
+  scan_items : reader:int -> 'a Item.t array;
+  update : writer:int -> 'a -> int;
+}
+
+let scan t ~reader = Item.values (t.scan_items ~reader)
+
+type factory = { make_sw : 'a. readers:int -> init:'a array -> 'a t }
+
+let name_check t ~reader ~writer =
+  if reader < -1 || reader >= t.readers then
+    invalid_arg (Printf.sprintf "reader index %d out of range" reader);
+  if writer < -1 || writer >= t.components then
+    invalid_arg (Printf.sprintf "writer index %d out of range" writer)
+
+type 'a recorded = {
+  handle : 'a t;
+  coll : 'a History.Snapshot_history.collector;
+  rscan : reader:int -> 'a array;
+  rupdate : writer:int -> 'a -> unit;
+}
+
+let record ~clock ~initial handle =
+  if Array.length initial <> handle.components then
+    invalid_arg "Snapshot.record: initial array arity mismatch";
+  let coll = History.Snapshot_history.collector ~initial in
+  let rscan ~reader =
+    let inv = clock () in
+    let items = handle.scan_items ~reader in
+    let res = clock () in
+    History.Snapshot_history.record_read coll ~proc:reader
+      ~values:(Item.values items) ~ids:(Item.ids items) ~inv ~res;
+    Item.values items
+  in
+  let rupdate ~writer v =
+    let inv = clock () in
+    let id = handle.update ~writer v in
+    let res = clock () in
+    (* Reader and Writer processes are distinct; offset writer process
+       ids past the readers' so diagnostics can tell them apart. *)
+    History.Snapshot_history.record_write coll ~proc:(handle.readers + writer)
+      ~comp:writer ~value:v ~id ~inv ~res
+  in
+  { handle; coll; rscan; rupdate }
+
+let history r = History.Snapshot_history.history r.coll

@@ -1,0 +1,62 @@
+(** The composite register object interface.
+
+    A single-writer composite register (the paper's [C/B/1/R] object)
+    has [C] components, each owned by exactly one Writer process, and
+    [R] Reader processes.  All implementations in this library — the
+    paper's construction, the Afek-et-al. baseline, the naive double
+    collects — are exposed as a {!t} handle so that tests, checkers and
+    benchmarks are implementation-generic.
+
+    Conventions:
+    - [update ~writer:k v] performs a k-Write of input value [v] and
+      returns the auxiliary id assigned to it ([phi_k] of the
+      operation);
+    - [scan ~reader:j] performs a Read returning all [C] component
+      values;
+    - [scan_items] additionally exposes the auxiliary ids
+      ([phi_k] for each [k]), which the harness records for checking.
+
+    Handles are not thread-safe by themselves: the caller must respect
+    the access pattern (one process per writer index, one per reader
+    index), exactly as the paper's procedures are resident to
+    processes. *)
+
+type 'a t = {
+  components : int;
+  readers : int;
+  scan_items : reader:int -> 'a Item.t array;
+  update : writer:int -> 'a -> int;
+}
+
+val scan : 'a t -> reader:int -> 'a array
+(** [scan_items] with the auxiliary ids stripped: the public Read. *)
+
+type factory = {
+  make_sw : 'a. readers:int -> init:'a array -> 'a t;
+      (** Builds a fresh single-writer composite register; higher-level
+          objects ({!Multi_writer}, the [Prmw] library) are parametric
+          in which construction they sit on. *)
+}
+
+val name_check : 'a t -> reader:int -> writer:int -> unit
+(** Validate indices; raises [Invalid_argument]. *)
+
+(** {2 Recording wrapper}
+
+    Wraps a handle so every operation is recorded into a
+    {!History.Snapshot_history.collector} with simulator timestamps.
+    Intended for single-threaded simulation runs. *)
+
+type 'a recorded = {
+  handle : 'a t;
+  coll : 'a History.Snapshot_history.collector;
+  rscan : reader:int -> 'a array;  (** recorded Read *)
+  rupdate : writer:int -> 'a -> unit;  (** recorded Write *)
+}
+
+val record : clock:(unit -> int) -> initial:'a array -> 'a t -> 'a recorded
+(** [record ~clock ~initial handle]: [clock] supplies invocation and
+    response timestamps (use [fun () -> Csim.Sim.now env] in
+    simulations, or a fetch-and-add counter on multicore). *)
+
+val history : 'a recorded -> 'a History.Snapshot_history.t

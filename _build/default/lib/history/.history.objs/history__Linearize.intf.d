@@ -1,0 +1,1 @@
+lib/history/linearize.mli: Oprec

@@ -1,0 +1,1 @@
+lib/history/oprec.ml: Csim Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/history/oprec.mli: Csim Format

@@ -1,0 +1,1 @@
+lib/history/regularity.ml: Linearize List Oprec

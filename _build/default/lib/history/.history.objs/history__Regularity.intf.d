@@ -1,0 +1,1 @@
+lib/history/regularity.mli: Linearize Oprec

@@ -1,0 +1,1 @@
+lib/history/shrinking.ml: Array Format Hashtbl List Printf Snapshot_history

@@ -1,0 +1,1 @@
+lib/history/shrinking.mli: Format Snapshot_history

@@ -1,0 +1,1 @@
+lib/history/snapshot_history.ml: Array Format Linearize List Oprec Printf String

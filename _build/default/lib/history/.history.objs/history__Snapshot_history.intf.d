@@ -1,0 +1,1 @@
+lib/history/snapshot_history.mli: Format Linearize Oprec

@@ -1,0 +1,125 @@
+type ('s, 'i, 'o) spec = {
+  apply : 's -> 'i -> 's * 'o;
+  equal_output : 'o -> 'o -> bool;
+}
+
+type ('i, 'o) verdict =
+  | Linearizable of ('i, 'o) Oprec.t list
+  | Not_linearizable
+  | Too_large
+
+let max_ops = 62
+
+let check spec ~init ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  if n > max_ops then Too_large
+  else begin
+    (* precedes.(i) is the bitmask of operations that precede op i; op i
+       may be linearized only once all of them have been. *)
+    let precedes = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && Oprec.precedes ops.(j) ops.(i) then
+          precedes.(i) <- precedes.(i) lor (1 lsl j)
+      done
+    done;
+    (* Wrap-around makes this correct even at n = 62 on 63-bit ints. *)
+    let all_done = (1 lsl n) - 1 in
+    let visited : (int * 's, unit) Hashtbl.t = Hashtbl.create 4096 in
+    (* DFS for a legal completion from [mask] (already linearized) and
+       specification state [state]; returns the witness suffix. *)
+    let rec search mask state =
+      if mask = all_done then Some []
+      else if Hashtbl.mem visited (mask, state) then None
+      else begin
+        let found = ref None in
+        let i = ref 0 in
+        while !found = None && !i < n do
+          let idx = !i in
+          incr i;
+          if mask land (1 lsl idx) = 0 && precedes.(idx) land lnot mask = 0
+          then begin
+            let state', out = spec.apply state ops.(idx).Oprec.input in
+            if spec.equal_output out ops.(idx).Oprec.output then
+              match search (mask lor (1 lsl idx)) state' with
+              | Some suffix -> found := Some (ops.(idx) :: suffix)
+              | None -> ()
+          end
+        done;
+        if !found = None then Hashtbl.replace visited (mask, state) ();
+        !found
+      end
+    in
+    match search 0 init with
+    | Some witness -> Linearizable witness
+    | None -> Not_linearizable
+  end
+
+let is_linearizable spec ~init ops =
+  match check spec ~init ops with
+  | Linearizable _ -> true
+  | Not_linearizable -> false
+  | Too_large -> invalid_arg "Linearize.is_linearizable: history too large"
+
+(* ------------------------------------------------------------------ *)
+(* Built-in specifications                                              *)
+(* ------------------------------------------------------------------ *)
+
+type 'v snap_input = Update of int * 'v | Scan
+type 'v snap_output = Done | View of 'v array
+
+let snapshot_spec ~equal =
+  let apply state input =
+    match input with
+    | Update (k, v) ->
+      let state' = Array.copy state in
+      state'.(k) <- v;
+      (state', Done)
+    | Scan -> (state, View (Array.copy state))
+  in
+  let equal_output a b =
+    match (a, b) with
+    | Done, Done -> true
+    | View x, View y ->
+      Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
+          !ok)
+    | Done, View _ | View _, Done -> false
+  in
+  { apply; equal_output }
+
+type 'v reg_input = Reg_write of 'v | Reg_read
+type 'v reg_output = Reg_done | Reg_value of 'v
+
+let register_spec ~equal =
+  let apply state input =
+    match input with
+    | Reg_write v -> (v, Reg_done)
+    | Reg_read -> (state, Reg_value state)
+  in
+  let equal_output a b =
+    match (a, b) with
+    | Reg_done, Reg_done -> true
+    | Reg_value x, Reg_value y -> equal x y
+    | Reg_done, Reg_value _ | Reg_value _, Reg_done -> false
+  in
+  { apply; equal_output }
+
+type counter_input = Incr of int | Get
+type counter_output = Incr_done | Count of int
+
+let counter_spec =
+  let apply state input =
+    match input with
+    | Incr d -> (state + d, Incr_done)
+    | Get -> (state, Count state)
+  in
+  let equal_output a b =
+    match (a, b) with
+    | Incr_done, Incr_done -> true
+    | Count x, Count y -> x = y
+    | Incr_done, Count _ | Count _, Incr_done -> false
+  in
+  { apply; equal_output }

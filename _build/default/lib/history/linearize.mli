@@ -1,0 +1,63 @@
+(** Generic linearizability checking by search (Wing–Gong style).
+
+    Given a sequential specification and a set of timed operations, the
+    checker searches for a total order that (a) extends the interval
+    precedence order and (b) is a legal sequential execution of the
+    specification producing exactly the observed outputs.  This is the
+    general definition of linearizability of Herlihy & Wing, to which
+    the paper's correctness condition (Section 2) specializes.
+
+    The search memoizes on (set of linearized operations, specification
+    state), which keeps small histories (tens of operations) tractable.
+    It is exponential in the worst case — for bulk checking of the
+    composite register the [Shrinking] checker (linear-ish, using the
+    paper's auxiliary ids) is preferred; this checker is the
+    ground-truth oracle used to validate that one and to check
+    implementations that carry no auxiliary ids. *)
+
+type ('s, 'i, 'o) spec = {
+  apply : 's -> 'i -> 's * 'o;
+      (** Sequential semantics: next state and expected output. *)
+  equal_output : 'o -> 'o -> bool;
+}
+
+type ('i, 'o) verdict =
+  | Linearizable of ('i, 'o) Oprec.t list
+      (** A witness linearization order. *)
+  | Not_linearizable
+  | Too_large  (** More than {!max_ops} operations. *)
+
+val max_ops : int
+(** Upper bound on history size (62: linearized sets are bitmasks). *)
+
+val check :
+  ('s, 'i, 'o) spec -> init:'s -> ('i, 'o) Oprec.t list -> ('i, 'o) verdict
+
+val is_linearizable :
+  ('s, 'i, 'o) spec -> init:'s -> ('i, 'o) Oprec.t list -> bool
+(** [true] iff {!check} returns [Linearizable _]; raises
+    [Invalid_argument] on [Too_large]. *)
+
+(** {2 Built-in specifications} *)
+
+type 'v snap_input = Update of int * 'v | Scan
+type 'v snap_output = Done | View of 'v array
+
+val snapshot_spec :
+  equal:('v -> 'v -> bool) -> ('v array, 'v snap_input, 'v snap_output) spec
+(** The composite register / atomic snapshot object: state is the vector
+    of component values; [Update (k, v)] writes component [k]; [Scan]
+    returns the whole vector. *)
+
+type 'v reg_input = Reg_write of 'v | Reg_read
+type 'v reg_output = Reg_done | Reg_value of 'v
+
+val register_spec :
+  equal:('v -> 'v -> bool) -> ('v, 'v reg_input, 'v reg_output) spec
+(** An ordinary atomic read/write register (the [C = 1] case). *)
+
+type counter_input = Incr of int | Get
+type counter_output = Incr_done | Count of int
+
+val counter_spec : (int, counter_input, counter_output) spec
+(** A counter with blind increments (a commutative PRMW object). *)

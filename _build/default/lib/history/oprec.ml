@@ -1,0 +1,57 @@
+type ('i, 'o) t = {
+  proc : int;
+  label : string;
+  input : 'i;
+  output : 'o;
+  inv : int;
+  res : int;
+}
+
+let v ~proc ~label ~input ~output ~inv ~res =
+  if res < inv then invalid_arg "Oprec.v: res < inv";
+  { proc; label; input; output; inv; res }
+
+let precedes p q = p.res <= q.inv
+let concurrent p q = (not (precedes p q)) && not (precedes q p)
+
+let well_formed ops =
+  let by_proc = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      let l = try Hashtbl.find by_proc o.proc with Not_found -> [] in
+      Hashtbl.replace by_proc o.proc (o :: l))
+    ops;
+  Hashtbl.fold
+    (fun _ l acc ->
+      acc
+      &&
+      let sorted = List.sort (fun a b -> compare a.inv b.inv) l in
+      let rec serial = function
+        | a :: (b :: _ as rest) -> a.res <= b.inv && serial rest
+        | [ _ ] | [] -> true
+      in
+      serial sorted)
+    by_proc true
+
+let tighten_intervals trace ops =
+  let events = Csim.Trace.events trace in
+  let tighten op =
+    let first = ref None and last = ref None in
+    List.iter
+      (fun (e : Csim.Trace.event) ->
+        if e.proc = op.proc && e.kind <> Csim.Trace.Note && e.step >= op.inv
+           && e.step < op.res
+        then begin
+          if !first = None then first := Some e.step;
+          last := Some e.step
+        end)
+      events;
+    match (!first, !last) with
+    | Some f, Some l -> { op with inv = f; res = l + 1 }
+    | _ -> op
+  in
+  List.map tighten ops
+
+let pp ppi ppo fmt o =
+  Format.fprintf fmt "@[p%d %s(%a) -> %a @@ [%d,%d)@]" o.proc o.label ppi
+    o.input ppo o.output o.inv o.res

@@ -1,0 +1,46 @@
+(** Generic timed operation records.
+
+    An operation is a contiguous sequence of events of one process (the
+    execution of one Reader or Writer procedure).  For checking we keep
+    only its endpoints: [inv] is a timestamp taken before its first
+    event and [res] a timestamp taken after its last event.  In the
+    simulator these timestamps are event-counter values, so the induced
+    interval order coincides with the paper's event-level precedence
+    once intervals are tightened to the operation's actual first/last
+    events (see {!tighten_intervals}). *)
+
+type ('i, 'o) t = {
+  proc : int;
+  label : string;
+  input : 'i;
+  output : 'o;
+  inv : int;
+  res : int;
+}
+
+val v :
+  proc:int -> label:string -> input:'i -> output:'o -> inv:int -> res:int ->
+  ('i, 'o) t
+
+val precedes : ('i, 'o) t -> ('i, 'o) t -> bool
+(** [precedes p q] iff every event of [p] occurs before every event of
+    [q], approximated as [p.res <= q.inv]. *)
+
+val concurrent : ('i, 'o) t -> ('i, 'o) t -> bool
+
+val well_formed : ('i, 'o) t list -> bool
+(** Per-process serial execution: no two operations of the same process
+    overlap. *)
+
+val tighten_intervals : Csim.Trace.t -> ('i, 'o) t list -> ('i, 'o) t list
+(** Replace each operation's [inv] by the step index of its process's
+    first shared access at or after [inv], and [res] by one past the
+    process's last access before [res].  Operations whose process
+    performed no access in the window are left unchanged.  This recovers
+    the paper's exact event-level precedence from harness
+    timestamps. *)
+
+val pp :
+  (Format.formatter -> 'i -> unit) ->
+  (Format.formatter -> 'o -> unit) ->
+  Format.formatter -> ('i, 'o) t -> unit

@@ -1,0 +1,46 @@
+let feasible ~equal ~init writes r value =
+  let overlapping =
+    List.filter
+      (fun w -> not (Oprec.precedes r w || Oprec.precedes w r))
+      writes
+  in
+  let preceding = List.filter (fun w -> Oprec.precedes w r) writes in
+  (* Latest preceding writes: those not succeeded by another write that
+     still precedes the read. *)
+  let latest =
+    List.filter
+      (fun w ->
+        not (List.exists (fun w' -> Oprec.precedes w w' && Oprec.precedes w' r) preceding))
+      preceding
+  in
+  let candidates =
+    List.filter_map
+      (fun (w : _ Oprec.t) ->
+        match w.Oprec.input with
+        | Linearize.Reg_write v -> Some v
+        | Linearize.Reg_read -> None)
+      (overlapping @ latest)
+  in
+  let candidates = if preceding = [] then init :: candidates else candidates in
+  List.exists (fun v -> equal v value) candidates
+
+let violations ~equal ~init ops =
+  let writes =
+    List.filter
+      (fun (o : _ Oprec.t) ->
+        match o.Oprec.input with
+        | Linearize.Reg_write _ -> true
+        | Linearize.Reg_read -> false)
+      ops
+  in
+  List.filter
+    (fun (o : _ Oprec.t) ->
+      match (o.Oprec.input, o.Oprec.output) with
+      | Linearize.Reg_read, Linearize.Reg_value v ->
+        not (feasible ~equal ~init writes o v)
+      | Linearize.Reg_read, Linearize.Reg_done
+      | Linearize.Reg_write _, _ ->
+        false)
+    ops
+
+let check ~equal ~init ops = violations ~equal ~init ops = []

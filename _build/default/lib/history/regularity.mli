@@ -1,0 +1,25 @@
+(** Regularity checking for read/write register histories.
+
+    A register is {e regular} (Lamport) if every read returns the value
+    of some write it overlaps, or of a latest write that precedes it
+    (the initial value standing for a virtual initial write).  This is
+    weaker than atomicity: two sequential reads may observe new-then-old
+    under a concurrent write.
+
+    Operations use the {!Linearize.reg_input}/[reg_output] vocabulary;
+    precedence is the interval order of {!Oprec}. *)
+
+val check :
+  equal:('v -> 'v -> bool) ->
+  init:'v ->
+  ('v Linearize.reg_input, 'v Linearize.reg_output) Oprec.t list ->
+  bool
+(** [true] iff every read's output is feasible under regular
+    semantics. *)
+
+val violations :
+  equal:('v -> 'v -> bool) ->
+  init:'v ->
+  ('v Linearize.reg_input, 'v Linearize.reg_output) Oprec.t list ->
+  ('v Linearize.reg_input, 'v Linearize.reg_output) Oprec.t list
+(** The reads whose outputs are not feasible. *)

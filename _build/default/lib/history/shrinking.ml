@@ -1,0 +1,308 @@
+open Snapshot_history
+
+type violation =
+  | Uniqueness_duplicate of { comp : int; id : int }
+  | Uniqueness_order of { comp : int; first_id : int; second_id : int }
+  | Integrity of { comp : int; rproc : int; id : int }
+  | Proximity_future of { comp : int; rproc : int; rid : int; wid : int }
+  | Proximity_overwritten of { comp : int; rproc : int; rid : int; wid : int }
+  | Read_precedence of { comp : int; rproc : int; sproc : int }
+  | Write_precedence of { jcomp : int; kcomp : int; rproc : int }
+
+let pp_violation fmt = function
+  | Uniqueness_duplicate { comp; id } ->
+    Format.fprintf fmt "Uniqueness: two %d-Writes share id %d" comp id
+  | Uniqueness_order { comp; first_id; second_id } ->
+    Format.fprintf fmt
+      "Uniqueness: %d-Write id %d precedes id %d but is not smaller" comp
+      first_id second_id
+  | Integrity { comp; rproc; id } ->
+    Format.fprintf fmt
+      "Integrity: Read by p%d returned id %d for component %d with no \
+       matching Write input"
+      rproc id comp
+  | Proximity_future { comp; rproc; rid; wid } ->
+    Format.fprintf fmt
+      "Proximity: Read by p%d (phi_%d = %d) returned a value from the future \
+       (Write id %d follows it)"
+      rproc comp rid wid
+  | Proximity_overwritten { comp; rproc; rid; wid } ->
+    Format.fprintf fmt
+      "Proximity: Read by p%d returned overwritten id %d for component %d \
+       (Write id %d precedes the Read)"
+      rproc rid comp wid
+  | Read_precedence { comp; rproc; sproc } ->
+    Format.fprintf fmt
+      "Read Precedence: Reads by p%d and p%d obtained inconsistent snapshots \
+       (component %d)"
+      rproc sproc comp
+  | Write_precedence { jcomp; kcomp; rproc } ->
+    Format.fprintf fmt
+      "Write Precedence: Read by p%d orders a %d-Write against a %d-Write \
+       that precedes it"
+      rproc jcomp kcomp
+
+(* ------------------------------------------------------------------ *)
+(* The five conditions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check ~equal h =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  let ws = Array.of_list (writes_with_initial h) in
+  let rs = Array.of_list h.reads in
+  let nw = Array.length ws in
+  let nr = Array.length rs in
+  (* Uniqueness *)
+  for k = 0 to h.components - 1 do
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun w ->
+        if w.comp = k then
+          if Hashtbl.mem seen w.id then
+            report (Uniqueness_duplicate { comp = k; id = w.id })
+          else Hashtbl.add seen w.id ())
+      ws
+  done;
+  for i = 0 to nw - 1 do
+    for j = 0 to nw - 1 do
+      let v = ws.(i) and w = ws.(j) in
+      if i <> j && v.comp = w.comp && write_precedes v w && v.id >= w.id then
+        report
+          (Uniqueness_order { comp = v.comp; first_id = v.id; second_id = w.id })
+    done
+  done;
+  (* Integrity *)
+  Array.iter
+    (fun r ->
+      for k = 0 to h.components - 1 do
+        let matching =
+          Array.exists
+            (fun w -> w.comp = k && w.id = r.ids.(k) && equal w.value r.values.(k))
+            ws
+        in
+        if not matching then
+          report (Integrity { comp = k; rproc = r.rproc; id = r.ids.(k) })
+      done)
+    rs;
+  (* Proximity *)
+  Array.iter
+    (fun r ->
+      Array.iter
+        (fun w ->
+          let k = w.comp in
+          if read_precedes_write r w && not (r.ids.(k) < w.id) then
+            report
+              (Proximity_future
+                 { comp = k; rproc = r.rproc; rid = r.ids.(k); wid = w.id });
+          if write_precedes_read w r && not (w.id <= r.ids.(k)) then
+            report
+              (Proximity_overwritten
+                 { comp = k; rproc = r.rproc; rid = r.ids.(k); wid = w.id }))
+        ws)
+    rs;
+  (* Read Precedence *)
+  for i = 0 to nr - 1 do
+    for j = 0 to nr - 1 do
+      if i <> j then begin
+        let r = rs.(i) and s = rs.(j) in
+        let exists_lt = ref false in
+        for k = 0 to h.components - 1 do
+          if r.ids.(k) < s.ids.(k) then exists_lt := true
+        done;
+        if !exists_lt || read_precedes r s then
+          for k = 0 to h.components - 1 do
+            if not (r.ids.(k) <= s.ids.(k)) then
+              report
+                (Read_precedence { comp = k; rproc = r.rproc; sproc = s.rproc })
+          done
+      end
+    done
+  done;
+  (* Write Precedence *)
+  Array.iter
+    (fun r ->
+      for i = 0 to nw - 1 do
+        for j = 0 to nw - 1 do
+          let v = ws.(i) and w = ws.(j) in
+          if
+            i <> j && write_precedes v w
+            && w.id <= r.ids.(w.comp)
+            && not (v.id <= r.ids.(v.comp))
+          then
+            report
+              (Write_precedence
+                 { jcomp = v.comp; kcomp = w.comp; rproc = r.rproc })
+        done
+      done)
+    rs;
+  List.rev !violations
+
+let conditions_hold ~equal h = check ~equal h = []
+
+(* ------------------------------------------------------------------ *)
+(* Linearization witness: relation F of the appendix                    *)
+(* ------------------------------------------------------------------ *)
+
+type 'a linearized_op =
+  | L_write of 'a Snapshot_history.write
+  | L_read of 'a Snapshot_history.read
+
+(* Operation universe for the relation: writes (with initial) first,
+   then reads. *)
+type 'a node = N_write of 'a write | N_read of 'a read
+
+let interval = function
+  | N_write w -> (w.winv, w.wres)
+  | N_read r -> (r.rinv, r.rres)
+
+let node_precedes a b =
+  let _, res_a = interval a and inv_b, _ = interval b in
+  res_a <= inv_b
+
+let witness ~equal h =
+  let ws = Array.of_list (writes_with_initial h) in
+  let rs = Array.of_list h.reads in
+  let nw = Array.length ws and nr = Array.length rs in
+  let n = nw + nr in
+  let node i = if i < nw then N_write ws.(i) else N_read rs.(i - nw) in
+  let adj = Array.make_matrix n n false in
+  let add i j = if i <> j then adj.(i).(j) <- true in
+  (* Relation A: interval precedence. *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && node_precedes (node i) (node j) then add i j
+    done
+  done;
+  (* Relation B: total order between each read and each write. *)
+  for i = 0 to nw - 1 do
+    for j = 0 to nr - 1 do
+      let w = ws.(i) and r = rs.(j) in
+      if w.id <= r.ids.(w.comp) then add i (nw + j) else add (nw + j) i
+    done
+  done;
+  (* Relation C: reads ordered by any strictly-smaller component id. *)
+  for i = 0 to nr - 1 do
+    for j = 0 to nr - 1 do
+      if i <> j then begin
+        let lt = ref false in
+        for k = 0 to h.components - 1 do
+          if rs.(i).ids.(k) < rs.(j).ids.(k) then lt := true
+        done;
+        if !lt then add (nw + i) (nw + j)
+      end
+    done
+  done;
+  (* Relation D: v -> w when some read separates them (vBr and rBw). *)
+  for i = 0 to nw - 1 do
+    for j = 0 to nw - 1 do
+      if i <> j then begin
+        let v = ws.(i) and w = ws.(j) in
+        let separated = ref false in
+        for r = 0 to nr - 1 do
+          let rd = rs.(r) in
+          if v.id <= rd.ids.(v.comp) && rd.ids.(w.comp) < w.id then
+            separated := true
+        done;
+        if !separated then add i j
+      end
+    done
+  done;
+  (* Relation E: v -> w when witnesses v' (same component as v) and w'
+     (same component as w) exist with phi v <= phi v', v' [=] w',
+     phi w' <= phi w.  Precompute, for every write v' and component k,
+     the minimum id of a k-write w' with v' [=] w'. *)
+  let min_w_id = Array.make_matrix nw h.components max_int in
+  for i = 0 to nw - 1 do
+    (* v' [=] v' holds (reflexive), so its own id participates for its
+       own component. *)
+    min_w_id.(i).(ws.(i).comp) <- ws.(i).id;
+    for j = 0 to nw - 1 do
+      if i <> j && write_precedes ws.(i) ws.(j) then begin
+        let k = ws.(j).comp in
+        if ws.(j).id < min_w_id.(i).(k) then min_w_id.(i).(k) <- ws.(j).id
+      end
+    done
+  done;
+  for i = 0 to nw - 1 do
+    for j = 0 to nw - 1 do
+      if i <> j then begin
+        let v = ws.(i) and w = ws.(j) in
+        (* exists v' with v'.comp = v.comp, v'.id >= v.id and
+           min_w_id v' w.comp <= w.id *)
+        let found = ref false in
+        for i' = 0 to nw - 1 do
+          if
+            ws.(i').comp = v.comp
+            && ws.(i').id >= v.id
+            && min_w_id.(i').(w.comp) <= w.id
+          then found := true
+        done;
+        if !found then add i j
+      end
+    done
+  done;
+  (* Kahn's algorithm, smallest index first (deterministic). *)
+  let indeg = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if adj.(i).(j) then indeg.(j) <- indeg.(j) + 1
+    done
+  done;
+  let order = ref [] in
+  let remaining = ref n in
+  let removed = Array.make n false in
+  (try
+     while !remaining > 0 do
+       let pick = ref (-1) in
+       for i = n - 1 downto 0 do
+         if (not removed.(i)) && indeg.(i) = 0 then pick := i
+       done;
+       if !pick = -1 then raise Exit;
+       let i = !pick in
+       removed.(i) <- true;
+       decr remaining;
+       order := i :: !order;
+       for j = 0 to n - 1 do
+         if adj.(i).(j) && not removed.(j) then indeg.(j) <- indeg.(j) - 1
+       done
+     done
+   with Exit -> ());
+  if !remaining > 0 then
+    Error
+      "relation F contains a cycle: the five Shrinking Lemma conditions do \
+       not hold for this history"
+  else begin
+    let order = List.rev !order in
+    (* Validate: sequential replay. *)
+    let current = Array.make h.components None in
+    let ok = ref (Ok ()) in
+    List.iter
+      (fun i ->
+        match node i with
+        | N_write w -> current.(w.comp) <- Some w.value
+        | N_read r ->
+          for k = 0 to h.components - 1 do
+            match current.(k) with
+            | Some v when equal v r.values.(k) -> ()
+            | _ ->
+              if !ok = Ok () then
+                ok :=
+                  Error
+                    (Printf.sprintf
+                       "witness replay failed: Read by p%d returned a stale \
+                        value for component %d"
+                       r.rproc k)
+          done)
+      order;
+    match !ok with
+    | Error _ as e -> e
+    | Ok () ->
+      Ok
+        (List.map
+           (fun i ->
+             match node i with
+             | N_write w -> L_write w
+             | N_read r -> L_read r)
+           order)
+  end

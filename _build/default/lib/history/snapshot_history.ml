@@ -1,0 +1,114 @@
+type 'a write = {
+  wproc : int;
+  comp : int;
+  value : 'a;
+  id : int;
+  winv : int;
+  wres : int;
+}
+
+type 'a read = {
+  rproc : int;
+  values : 'a array;
+  ids : int array;
+  rinv : int;
+  rres : int;
+}
+
+type 'a t = {
+  components : int;
+  initial : 'a array;
+  writes : 'a write list;
+  reads : 'a read list;
+}
+
+type 'a collector = {
+  c_initial : 'a array;
+  mutable c_writes : 'a write list;  (* newest first *)
+  mutable c_reads : 'a read list;  (* newest first *)
+}
+
+let collector ~initial =
+  if Array.length initial = 0 then invalid_arg "Snapshot_history.collector";
+  { c_initial = Array.copy initial; c_writes = []; c_reads = [] }
+
+let record_write c ~proc ~comp ~value ~id ~inv ~res =
+  if id < 1 then invalid_arg "record_write: ids of real Writes must be >= 1";
+  if comp < 0 || comp >= Array.length c.c_initial then
+    invalid_arg "record_write: component out of range";
+  c.c_writes <-
+    { wproc = proc; comp; value; id; winv = inv; wres = res } :: c.c_writes
+
+let record_read c ~proc ~values ~ids ~inv ~res =
+  let n = Array.length c.c_initial in
+  if Array.length values <> n || Array.length ids <> n then
+    invalid_arg "record_read: wrong arity";
+  c.c_reads <-
+    {
+      rproc = proc;
+      values = Array.copy values;
+      ids = Array.copy ids;
+      rinv = inv;
+      rres = res;
+    }
+    :: c.c_reads
+
+let history c =
+  {
+    components = Array.length c.c_initial;
+    initial = Array.copy c.c_initial;
+    writes = List.rev c.c_writes;
+    reads = List.rev c.c_reads;
+  }
+
+let initial_write h k =
+  if k < 0 || k >= h.components then invalid_arg "initial_write";
+  { wproc = -1; comp = k; value = h.initial.(k); id = 0; winv = -2; wres = -1 }
+
+let writes_with_initial h =
+  let initials = List.init h.components (initial_write h) in
+  initials @ h.writes
+
+let write_precedes v w = v.wres <= w.winv
+let read_precedes_write r w = r.rres <= w.winv
+let write_precedes_read w r = w.wres <= r.rinv
+let read_precedes r s = r.rres <= s.rinv
+
+let to_ops h =
+  let w_ops =
+    List.map
+      (fun w ->
+        Oprec.v ~proc:w.wproc ~label:"update"
+          ~input:(Linearize.Update (w.comp, w.value))
+          ~output:Linearize.Done ~inv:w.winv ~res:w.wres)
+      h.writes
+  in
+  let r_ops =
+    List.map
+      (fun r ->
+        Oprec.v ~proc:r.rproc ~label:"scan" ~input:Linearize.Scan
+          ~output:(Linearize.View (Array.copy r.values))
+          ~inv:r.rinv ~res:r.rres)
+      h.reads
+  in
+  w_ops @ r_ops
+
+let size h = List.length h.writes + List.length h.reads
+
+let pp show fmt h =
+  Format.fprintf fmt "@[<v>composite register history: C=%d, %d writes, %d reads@,"
+    h.components (List.length h.writes) (List.length h.reads);
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "W p%-2d comp=%d id=%-3d %s @@ [%d,%d)@," w.wproc
+        w.comp w.id (show w.value) w.winv w.wres)
+    h.writes;
+  List.iter
+    (fun r ->
+      let cells =
+        Array.to_list (Array.mapi (fun k v -> Printf.sprintf "%s#%d" (show v) r.ids.(k)) r.values)
+      in
+      Format.fprintf fmt "R p%-2d [%s] @@ [%d,%d)@," r.rproc
+        (String.concat "; " cells) r.rinv r.rres)
+    h.reads;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,79 @@
+(** Histories of a composite register, with the paper's auxiliary ids.
+
+    Harnesses record every completed Read and Write operation of a
+    composite register implementation here.  Write operations carry the
+    auxiliary [id] their Writer assigned (the paper's [item.id]); Read
+    operations carry, per component, the id of the Write whose value
+    they returned (the paper's [r!item[k].id]).  These ids {e are} the
+    functions [phi_k] of the Shrinking Lemma:
+    [phi_k(r) = r.ids.(k)] and [phi_k(w) = w.id].
+
+    Following the paper's Initial Writes assumption, each component [k]
+    has a virtual initial Write with id [0] and input [initial.(k)] that
+    precedes every other operation; {!writes_with_initial} materializes
+    them.  Real Writes must therefore use ids [>= 1]. *)
+
+type 'a write = {
+  wproc : int;
+  comp : int;
+  value : 'a;
+  id : int;
+  winv : int;
+  wres : int;
+}
+
+type 'a read = {
+  rproc : int;
+  values : 'a array;  (** length [components] *)
+  ids : int array;  (** length [components] *)
+  rinv : int;
+  rres : int;
+}
+
+type 'a t = {
+  components : int;
+  initial : 'a array;
+  writes : 'a write list;  (** in recording order *)
+  reads : 'a read list;  (** in recording order *)
+}
+
+(** {2 Recording} *)
+
+type 'a collector
+
+val collector : initial:'a array -> 'a collector
+
+val record_write :
+  'a collector -> proc:int -> comp:int -> value:'a -> id:int -> inv:int ->
+  res:int -> unit
+
+val record_read :
+  'a collector -> proc:int -> values:'a array -> ids:int array -> inv:int ->
+  res:int -> unit
+
+val history : 'a collector -> 'a t
+
+(** {2 Views} *)
+
+val initial_write : 'a t -> int -> 'a write
+(** The virtual initial Write of a component: id [0], interval
+    [(-2, -1)], process [-1]. *)
+
+val writes_with_initial : 'a t -> 'a write list
+(** All Writes including the virtual initial ones, initial first. *)
+
+val write_precedes : 'a write -> 'a write -> bool
+val read_precedes_write : 'a read -> 'a write -> bool
+val write_precedes_read : 'a write -> 'a read -> bool
+val read_precedes : 'a read -> 'a read -> bool
+
+val to_ops :
+  'a t -> ('a Linearize.snap_input, 'a Linearize.snap_output) Oprec.t list
+(** Forget the auxiliary ids, producing input for the generic
+    {!Linearize} checker (virtual initial Writes are not included; pass
+    [initial] as the checker's initial state). *)
+
+val size : 'a t -> int
+(** Total number of recorded (non-virtual) operations. *)
+
+val pp : ('a -> string) -> Format.formatter -> 'a t -> unit

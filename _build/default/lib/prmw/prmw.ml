@@ -1,0 +1,143 @@
+type ('a, 'acc) t = {
+  processes : int;
+  base : 'acc Composite.Snapshot.t;
+  (* Private mirror of each process's own component: a PRMW operation
+     needs its own previous contribution, which no other process ever
+     writes, so re-reading shared memory for it is unnecessary. *)
+  mine : 'acc array;
+  combine : 'acc -> 'a -> 'acc;
+  fold : 'acc -> 'acc -> 'acc;
+  unit_ : 'acc;
+}
+
+let create factory ~processes ~readers ~unit_ ~combine ~fold =
+  if processes < 1 then invalid_arg "Prmw.create: processes must be >= 1";
+  let base =
+    factory.Composite.Snapshot.make_sw ~readers
+      ~init:(Array.make processes unit_)
+  in
+  { processes; base; mine = Array.make processes unit_; combine; fold; unit_ }
+
+let apply t ~proc op =
+  if proc < 0 || proc >= t.processes then invalid_arg "Prmw.apply: bad proc";
+  let acc = t.combine t.mine.(proc) op in
+  t.mine.(proc) <- acc;
+  let (_ : int) = t.base.Composite.Snapshot.update ~writer:proc acc in
+  ()
+
+let component_values t ~reader =
+  Composite.Snapshot.scan t.base ~reader
+
+let read t ~reader =
+  Array.fold_left t.fold t.unit_ (component_values t ~reader)
+
+type counter = (int, int) t
+
+let counter factory ~processes ~readers =
+  create factory ~processes ~readers ~unit_:0 ~combine:( + ) ~fold:( + )
+
+let incr t ~proc = apply t ~proc 1
+let add t ~proc d = apply t ~proc d
+let get t ~reader = read t ~reader
+
+type max_register = (int, int) t
+
+let max_register factory ~processes ~readers =
+  create factory ~processes ~readers ~unit_:min_int ~combine:max ~fold:max
+
+
+module Versioned = struct
+(* Epochs are (tag, creator) pairs ordered lexicographically; (0, -1) is
+   the virtual initial epoch whose base value lives in [t.initial]. *)
+type epoch = int * int
+
+type 'acc slot = { epoch : epoch; base : 'acc; contrib : 'acc }
+
+type ('a, 'acc) t = {
+  processes : int;
+  readers : int;
+  base_reg : 'acc slot Composite.Snapshot.t;
+  mine : 'acc slot array;  (* private mirror of each process's own slot *)
+  initial : 'acc;
+  unit_ : 'acc;
+  combine : 'acc -> 'a -> 'acc;
+  fold : 'acc -> 'acc -> 'acc;
+}
+
+let initial_epoch : epoch = (0, -1)
+
+let create factory ~processes ~readers ~initial ~unit_ ~combine ~fold =
+  if processes < 1 then invalid_arg "Versioned.create: processes must be >= 1";
+  let empty = { epoch = initial_epoch; base = unit_; contrib = unit_ } in
+  let base_reg =
+    factory.Composite.Snapshot.make_sw
+      ~readers:(readers + processes)
+      ~init:(Array.make processes empty)
+  in
+  {
+    processes;
+    readers;
+    base_reg;
+    mine = Array.make processes empty;
+    initial;
+    unit_;
+    combine;
+    fold;
+  }
+
+let current_epoch slots =
+  Array.fold_left (fun acc s -> if s.epoch > acc then s.epoch else acc)
+    initial_epoch slots
+
+let write t ~proc v =
+  if proc < 0 || proc >= t.processes then invalid_arg "Versioned.write";
+  let slots =
+    Composite.Snapshot.scan t.base_reg ~reader:(t.readers + proc)
+  in
+  let max_tag =
+    Array.fold_left (fun acc s -> max acc (fst s.epoch)) 0 slots
+  in
+  let slot = { epoch = (max_tag + 1, proc); base = v; contrib = t.unit_ } in
+  t.mine.(proc) <- slot;
+  let (_ : int) = t.base_reg.Composite.Snapshot.update ~writer:proc slot in
+  ()
+
+let apply t ~proc delta =
+  if proc < 0 || proc >= t.processes then invalid_arg "Versioned.apply";
+  let slots =
+    Composite.Snapshot.scan t.base_reg ~reader:(t.readers + proc)
+  in
+  let cur = current_epoch slots in
+  let prev = t.mine.(proc) in
+  let slot =
+    if prev.epoch = cur then
+      { prev with contrib = t.combine prev.contrib delta }
+    else { epoch = cur; base = t.unit_; contrib = t.combine t.unit_ delta }
+  in
+  t.mine.(proc) <- slot;
+  let (_ : int) = t.base_reg.Composite.Snapshot.update ~writer:proc slot in
+  ()
+
+let read t ~reader =
+  if reader < 0 || reader >= t.readers then invalid_arg "Versioned.read";
+  let slots = Composite.Snapshot.scan t.base_reg ~reader in
+  let cur = current_epoch slots in
+  let base =
+    if cur = initial_epoch then t.initial
+    else begin
+      let creator = snd cur in
+      assert (slots.(creator).epoch = cur);
+      slots.(creator).base
+    end
+  in
+  Array.fold_left
+    (fun acc s -> if s.epoch = cur then t.fold acc s.contrib else acc)
+    base slots
+
+type counter = (int, int) t
+
+let counter factory ~processes ~readers =
+  create factory ~processes ~readers ~initial:0 ~unit_:0 ~combine:( + )
+    ~fold:( + )
+
+end

@@ -1,0 +1,137 @@
+(** Wait-free pseudo read-modify-write (PRMW) objects over composite
+    registers.
+
+    The paper (Section 1, citing its references [6, 7]) notes that
+    composite registers implement, without waiting, any object that can
+    be read, written, or modified by {e commutative} PRMW operations — a
+    PRMW modifies a shared variable as a function of its old value but
+    does not return the value (e.g. "increment", as opposed to
+    "fetch-and-increment", which is impossible from registers
+    wait-free).
+
+    Mechanism: each of [P] processes owns one component of a composite
+    register, where it accumulates the combined effect of {e its own}
+    operations; since the operations commute (and associate), the
+    object's logical value is the fold of all components, and a Read is
+    a snapshot followed by a fold — consistent because the snapshot is
+    atomic.
+
+    Applying an operation is a single component Write (plus private
+    accumulation): it never reads other processes' components, hence no
+    waiting and no lost updates. *)
+
+type ('a, 'acc) t
+(** A PRMW object with operation payload ['a] accumulated into ['acc]
+    per process. *)
+
+val create :
+  Composite.Snapshot.factory ->
+  processes:int ->
+  readers:int ->
+  unit_:'acc ->
+  combine:('acc -> 'a -> 'acc) ->
+  fold:('acc -> 'acc -> 'acc) ->
+  ('a, 'acc) t
+(** [create factory ~processes ~readers ~unit_ ~combine ~fold]:
+    [combine acc op] accumulates one operation into a process's
+    component; [fold] merges component accumulators (must be associative
+    and commutative with unit [unit_] for reads to be linearizable as
+    RMW-free counters). *)
+
+val apply : ('a, 'acc) t -> proc:int -> 'a -> unit
+(** Perform one PRMW operation on behalf of process [proc]
+    (wait-free: one component Write). *)
+
+val read : ('a, 'acc) t -> reader:int -> 'acc
+(** The object's current value: one snapshot + fold. *)
+
+val component_values : ('a, 'acc) t -> reader:int -> 'acc array
+(** The raw per-process contributions of one snapshot (diagnostic). *)
+
+(** {2 Ready-made objects} *)
+
+type counter = (int, int) t
+
+val counter :
+  Composite.Snapshot.factory -> processes:int -> readers:int -> counter
+(** A wait-free counter: [apply] adds a (possibly negative) delta,
+    [read] returns the sum of all increments ever applied. *)
+
+val incr : counter -> proc:int -> unit
+val add : counter -> proc:int -> int -> unit
+val get : counter -> reader:int -> int
+
+type max_register = (int, int) t
+
+val max_register :
+  Composite.Snapshot.factory -> processes:int -> readers:int -> max_register
+(** A wait-free max-register: [apply] contributes a sample, [read]
+    returns the maximum sample ever written (or [min_int]). *)
+
+
+(** {1 Read / Write / PRMW objects} *)
+
+module Versioned : sig
+(** Objects supporting Read, Write {e and} commutative PRMW operations.
+
+    The paper's Section 1 (citing [6, 7]) claims wait-free
+    implementability from composite registers of any object that can be
+    {e read}, {e written}, or modified by a {e commutative PRMW}
+    operation.  {!Prmw} covers the read+PRMW fragment; this module adds
+    overwriting Writes using epoch tags:
+
+    - each process owns one component (single-writer) holding its
+      {e epoch} — the identifier of the Write its contribution builds
+      on — its accumulated contribution under that epoch, and (if it is
+      the epoch's creator) the written base value;
+    - [write v]: scan, pick a fresh epoch tag
+      ([1 + max] over all slots, ties by process id), install
+      [(epoch, base = v, contribution = unit)] in the owner's slot —
+      one component Write;
+    - [apply delta]: scan to learn the current epoch; combine [delta]
+      into the caller's contribution {e under that epoch} (discarding
+      any contribution it held for older epochs); one component Write;
+    - [read]: scan; the value is the current epoch's base combined with
+      every contribution tagged with that epoch.
+
+    A contribution tagged with a stale epoch is exactly a PRMW that
+    linearizes {e before} the Write that overwrote it, so discarding it
+    is correct; commutativity makes the fold order irrelevant.  All
+    operations are wait-free (a scan plus at most one component Write).
+
+    Histories are validated against a sequential read/write/PRMW
+    specification in [test/test_prmw.ml], by the generic linearizability
+    oracle. *)
+
+type ('a, 'acc) t
+
+val create :
+  Composite.Snapshot.factory ->
+  processes:int ->
+  readers:int ->
+  initial:'acc ->
+  unit_:'acc ->
+  combine:('acc -> 'a -> 'acc) ->
+  fold:('acc -> 'acc -> 'acc) ->
+  ('a, 'acc) t
+(** [initial] is the object's starting value (the virtual epoch-0
+    Write); [combine]/[fold]/[unit_] as in {!Prmw.create}. *)
+
+val write : ('a, 'acc) t -> proc:int -> 'acc -> unit
+(** Overwrite the object's value. *)
+
+val apply : ('a, 'acc) t -> proc:int -> 'a -> unit
+(** One commutative PRMW operation. *)
+
+val read : ('a, 'acc) t -> reader:int -> 'acc
+
+(** {2 Ready-made: a resettable counter} *)
+
+type counter = (int, int) t
+
+val counter :
+  Composite.Snapshot.factory -> processes:int -> readers:int -> counter
+(** [write] sets the count, [apply] adds a delta, [read] returns the
+    current count. *)
+
+end

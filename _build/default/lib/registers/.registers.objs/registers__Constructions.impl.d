@@ -1,0 +1,1 @@
+lib/registers/constructions.ml: Array Cell Csim Printf Sim Weak

@@ -1,0 +1,1 @@
+lib/registers/constructions.mli: Csim

@@ -1,0 +1,1 @@
+lib/registers/full_stack.ml: Constructions Csim Memory Sim

@@ -1,0 +1,1 @@
+lib/registers/weak.ml: Cell Csim Schedule Sim

@@ -1,0 +1,1 @@
+lib/registers/weak.mli: Csim

@@ -1,0 +1,181 @@
+open Csim
+
+module Regular_bit_of_safe = struct
+  type t = { bit : bool Weak.safe; mutable last : bool }
+
+  let create env ~name ~seed init =
+    { bit = Weak.safe_bit env ~name ~seed init; last = init }
+
+  let read t = Weak.read_safe t.bit
+
+  (* Lamport's trick: never rewrite the stored value.  A read can then
+     only overlap a write that actually changes the bit, so even the
+     safe register's arbitrary answer is one of {old, new} = {0, 1} —
+     which is regularity. *)
+  let write t v =
+    if v <> t.last then begin
+      Weak.write_safe t.bit v;
+      t.last <- v
+    end
+end
+
+module Regular_kary_of_bits = struct
+  type t = { bits : bool Weak.regular array; k : int }
+
+  let create env ~name ~seed ~k init =
+    if k < 1 then invalid_arg "Regular_kary_of_bits.create";
+    if init < 0 || init >= k then invalid_arg "Regular_kary_of_bits.create";
+    let bits =
+      Array.init k (fun i ->
+          Weak.regular env
+            ~name:(Printf.sprintf "%s.b%d" name i)
+            ~seed:(seed + i) (i = init))
+    in
+    { bits; k }
+
+  (* Unary encoding: set own bit, then clear downward.  Readers scan
+     upward and stop at the first set bit; a bit left set above the
+     current value is never reached by a reader that already found a
+     lower one, and the downward clearing order guarantees the scan
+     always terminates on a set bit. *)
+  let write t v =
+    if v < 0 || v >= t.k then invalid_arg "Regular_kary_of_bits.write";
+    Weak.write_regular t.bits.(v) true;
+    for i = v - 1 downto 0 do
+      Weak.write_regular t.bits.(i) false
+    done
+
+  let read t =
+    let rec scan i =
+      if i >= t.k - 1 then t.k - 1
+      else if Weak.read_regular t.bits.(i) then i
+      else scan (i + 1)
+    in
+    scan 0
+end
+
+module Atomic_srsw_of_regular = struct
+  type 'a tagged = { value : 'a; seq : int }
+
+  type 'a t = {
+    reg : 'a tagged Weak.regular;
+    mutable wseq : int;  (* writer private *)
+    mutable last : 'a tagged;  (* reader private *)
+  }
+
+  let create env ~name ~seed init =
+    let tagged = { value = init; seq = 0 } in
+    { reg = Weak.regular env ~name ~seed tagged; wseq = 0; last = tagged }
+
+  let write t v =
+    t.wseq <- t.wseq + 1;
+    Weak.write_regular t.reg { value = v; seq = t.wseq }
+
+  (* A regular register can return new-then-old across two reads; the
+     monotone sequence number lets the single reader keep the freshest
+     pair it has ever seen, which restores atomicity. *)
+  let read t =
+    let x = Weak.read_regular t.reg in
+    if x.seq >= t.last.seq then t.last <- x;
+    t.last.value
+end
+
+module Atomic_mrsw_of_srsw = struct
+  type 'a tagged = { value : 'a; seq : int }
+
+  (* All underlying registers are SRSW: [w2r.(j)] is written by the
+     writer and read only by reader [j]; [r2r.(i).(j)] is written only
+     by reader [i] and read only by reader [j]. *)
+  type 'a t = {
+    w2r : 'a tagged Cell.t array;
+    r2r : 'a tagged Cell.t array array;
+    readers : int;
+    mutable wseq : int;
+  }
+
+  let create env ~name ~readers init =
+    if readers < 1 then invalid_arg "Atomic_mrsw_of_srsw.create";
+    let tagged = { value = init; seq = 0 } in
+    let w2r =
+      Array.init readers (fun j ->
+          Sim.make_cell env (Printf.sprintf "%s.w2r%d" name j) tagged)
+    in
+    let r2r =
+      Array.init readers (fun i ->
+          Array.init readers (fun j ->
+              Sim.make_cell env (Printf.sprintf "%s.r%dr%d" name i j) tagged))
+    in
+    { w2r; r2r; readers; wseq = 0 }
+
+  let write t v =
+    t.wseq <- t.wseq + 1;
+    let tagged = { value = v; seq = t.wseq } in
+    for j = 0 to t.readers - 1 do
+      Sim.write t.w2r.(j) tagged
+    done
+
+  (* Reader j: collect the writer's post and what every other reader
+     last returned, take the freshest, announce it, return it.  The
+     announcement is what prevents two readers from returning
+     new-then-old. *)
+  let read t ~reader =
+    if reader < 0 || reader >= t.readers then
+      invalid_arg "Atomic_mrsw_of_srsw.read";
+    let best = ref (Sim.read t.w2r.(reader)) in
+    for i = 0 to t.readers - 1 do
+      if i <> reader then begin
+        let x = Sim.read t.r2r.(i).(reader) in
+        if x.seq > !best.seq then best := x
+      end
+    done;
+    for i = 0 to t.readers - 1 do
+      if i <> reader then Sim.write t.r2r.(reader).(i) !best
+    done;
+    !best.value
+
+  let srsw_registers t = t.readers + (t.readers * t.readers)
+
+  let ghost_peek t =
+    let best = ref (Cell.peek t.w2r.(0)) in
+    for j = 1 to t.readers - 1 do
+      let x = Cell.peek t.w2r.(j) in
+      if x.seq > !best.seq then best := x
+    done;
+    !best.value
+end
+
+module Atomic_mrmw_of_mrsw = struct
+  type 'a stamped = { value : 'a; ts : int; wid : int }
+
+  (* One MRSW register per writer (exactly the primitive produced by
+     {!Atomic_mrsw_of_srsw}; modelled here by a simulator cell). *)
+  type 'a t = { posts : 'a stamped Cell.t array; writers : int }
+
+  let create env ~name ~writers init =
+    if writers < 1 then invalid_arg "Atomic_mrmw_of_mrsw.create";
+    let posts =
+      Array.init writers (fun i ->
+          Sim.make_cell env
+            (Printf.sprintf "%s.post%d" name i)
+            { value = init; ts = 0; wid = i })
+    in
+    { posts; writers }
+
+  let fresher a b = a.ts > b.ts || (a.ts = b.ts && a.wid > b.wid)
+
+  let collect_freshest t =
+    let best = ref (Sim.read t.posts.(0)) in
+    for i = 1 to t.writers - 1 do
+      let x = Sim.read t.posts.(i) in
+      if fresher x !best then best := x
+    done;
+    !best
+
+  let read t = (collect_freshest t).value
+
+  let write t ~writer v =
+    if writer < 0 || writer >= t.writers then
+      invalid_arg "Atomic_mrmw_of_mrsw.write";
+    let freshest = collect_freshest t in
+    Sim.write t.posts.(writer) { value = v; ts = freshest.ts + 1; wid = writer }
+end

@@ -1,0 +1,88 @@
+(** The classical register-construction ladder (the substrate of the
+    paper's primitives).
+
+    The composite register construction assumes multi-reader
+    single-writer atomic registers.  These are themselves
+    wait-free-constructible from safe bits through a ladder of classical
+    constructions, which the paper cites ([5, 9, 10, 16, 17, 19, 20, 23,
+    24, 25, 26, 27, 28]).  This module reproduces one standard path:
+
+    + {!Regular_bit_of_safe} — Lamport: a regular bit from a safe bit
+      (the writer suppresses writes of the value already stored, so an
+      overlapping read's arbitrary answer is necessarily old-or-new).
+    + {!Regular_kary_of_bits} — Lamport: a k-valued regular register
+      from [k] regular bits in unary ("set mine, clear below"; readers
+      scan upward to the first set bit).
+    + {!Atomic_srsw_of_regular} — a single-reader single-writer atomic
+      register from a regular one, by unbounded sequence numbers (an
+      overlapping read adopts the pair with the larger sequence number,
+      preventing new-then-old inversions).
+    + {!Atomic_mrsw_of_srsw} — a multi-reader atomic register from
+      single-reader ones (Israeli–Li style): the writer posts to one
+      SRSW register per reader; readers forward what they returned
+      through an [R x R] matrix and return the freshest of what they
+      received, so later reads never return older values.
+    + {!Atomic_mrmw_of_mrsw} — a multi-writer atomic register from
+      single-writer ones (Vitányi–Awerbuch style): writers timestamp
+      from the max of all posted timestamps (ties by writer id) and
+      readers return the lexicographically freshest pair.
+
+    The bounded-space versions of steps 3–5 are deep results in
+    themselves ([26, 27]); the unbounded-tag versions here preserve the
+    algorithmic content relevant to the composite register paper while
+    keeping each step independently testable (see
+    [test/test_registers.ml]).  Every construction is wait-free. *)
+
+(** Step 1: regular bit from one safe bit. *)
+module Regular_bit_of_safe : sig
+  type t
+
+  val create : Csim.Sim.env -> name:string -> seed:int -> bool -> t
+  val read : t -> bool
+  val write : t -> bool -> unit
+end
+
+(** Step 2: k-valued regular register from [k] regular bits. *)
+module Regular_kary_of_bits : sig
+  type t
+
+  val create : Csim.Sim.env -> name:string -> seed:int -> k:int -> int -> t
+  (** Values range over [0..k-1]; initial value given last. *)
+
+  val read : t -> int
+  val write : t -> int -> unit
+end
+
+(** Step 3: atomic SRSW register from a regular register. *)
+module Atomic_srsw_of_regular : sig
+  type 'a t
+
+  val create : Csim.Sim.env -> name:string -> seed:int -> 'a -> 'a t
+  val read : 'a t -> 'a
+  val write : 'a t -> 'a -> unit
+end
+
+(** Step 4: atomic MRSW register from atomic SRSW registers. *)
+module Atomic_mrsw_of_srsw : sig
+  type 'a t
+
+  val create : Csim.Sim.env -> name:string -> readers:int -> 'a -> 'a t
+  val read : 'a t -> reader:int -> 'a
+  val write : 'a t -> 'a -> unit
+
+  val srsw_registers : 'a t -> int
+  (** Number of underlying SRSW registers: [R + R^2]. *)
+
+  val ghost_peek : 'a t -> 'a
+  (** The logical current value (the freshest pair the writer has
+      posted), read without events.  Diagnostics only. *)
+end
+
+(** Step 5: atomic MRMW register from atomic MRSW registers. *)
+module Atomic_mrmw_of_mrsw : sig
+  type 'a t
+
+  val create : Csim.Sim.env -> name:string -> writers:int -> 'a -> 'a t
+  val read : 'a t -> 'a
+  val write : 'a t -> writer:int -> 'a -> unit
+end

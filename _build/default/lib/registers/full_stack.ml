@@ -1,0 +1,26 @@
+open Csim
+
+let memory env ~processes =
+  if processes < 1 then invalid_arg "Full_stack.memory";
+  let counter = ref 0 in
+  let make : type a. name:string -> bits:int -> a -> a Memory.cell =
+   fun ~name ~bits:_ init ->
+    incr counter;
+    let r =
+      Constructions.Atomic_mrsw_of_srsw.create env ~name ~readers:processes
+        init
+    in
+    {
+      Memory.read =
+        (fun () ->
+          Constructions.Atomic_mrsw_of_srsw.read r ~reader:(Sim.self ()));
+      write = (fun v -> Constructions.Atomic_mrsw_of_srsw.write r v);
+      peek = (fun () -> Constructions.Atomic_mrsw_of_srsw.ghost_peek r);
+    }
+  in
+  { Memory.make }
+
+(* Reader j of the constructed register: 1 read of the writer port,
+   P-1 reads of the other readers' announcements, P-1 announce writes. *)
+let read_cost ~processes = 1 + (2 * (processes - 1))
+let write_cost ~processes = processes

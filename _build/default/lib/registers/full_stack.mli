@@ -1,0 +1,32 @@
+(** End-to-end composition: MRSW registers {e constructed from SRSW
+    registers} packaged as a {!Csim.Memory.t}, so that any algorithm
+    written against the memory abstraction — in particular the composite
+    register construction itself — runs on the constructed substrate.
+
+    This realizes the paper's full claim chain mechanically: atomic
+    snapshots from MRSW atomic registers (the paper) from SRSW atomic
+    registers (its reference [26]-lineage, here
+    {!Constructions.Atomic_mrsw_of_srsw}).  Access routing uses the
+    simulator's process identity ({!Csim.Sim.self}): each simulated
+    process reads a constructed register through its own port.
+
+    Costs compose multiplicatively: one constructed-register read is
+    [2 (P-1) + 1] SRSW operations and one write is [P] (for [P]
+    processes), so a composite-register Read costs
+    [TR(C) * (2P - 1)]-ish SRSW operations — the figure experiment E10
+    tabulates. *)
+
+val memory : Csim.Sim.env -> processes:int -> Csim.Memory.t
+(** [memory env ~processes] returns a memory whose registers are
+    [Atomic_mrsw_of_srsw] instances with one reader port per process.
+    All accesses must come from simulated processes with ids below
+    [processes].  The writer of each register must be a single process,
+    as usual for the algorithms in this repository. *)
+
+val read_cost : processes:int -> int
+(** SRSW operations per constructed-register read:
+    [(P-1) reads + (P-1) announce-writes + 1 writer-port read]. *)
+
+val write_cost : processes:int -> int
+(** SRSW operations per constructed-register write: [P] (one post per
+    reader port). *)

@@ -1,0 +1,67 @@
+open Csim
+
+(* Both models keep (current value, pending value, writing flag) in one
+   simulator cell; a write performs two atomic events:
+
+     enter:  {cur; pending = new; writing = true}
+     commit: {cur = new; pending = new; writing = false}
+
+   A read is one atomic event; if it lands between enter and commit it
+   overlaps the write and the model answers adversarially.  The writer
+   (single, per the SWMR setting) tracks the current value privately, so
+   a write performs no read events. *)
+
+type 'a state = { cur : 'a; pending : 'a; writing : bool }
+
+type 'a safe = {
+  s_cell : 'a state Cell.t;
+  s_prng : Schedule.Prng.t;
+  s_domain : Schedule.Prng.t -> 'a;
+  mutable s_cur : 'a;
+}
+
+type 'a regular = {
+  r_cell : 'a state Cell.t;
+  r_prng : Schedule.Prng.t;
+  mutable r_cur : 'a;
+}
+
+let initial_state v = { cur = v; pending = v; writing = false }
+
+let safe env ~name ~seed ~domain init =
+  {
+    s_cell = Sim.make_cell env ~bits:1 name (initial_state init);
+    s_prng = Schedule.Prng.make seed;
+    s_domain = domain;
+    s_cur = init;
+  }
+
+let safe_bit env ~name ~seed init =
+  safe env ~name ~seed ~domain:(fun prng -> Schedule.Prng.int prng 2 = 1) init
+
+let read_safe t =
+  let st = Sim.read t.s_cell in
+  if st.writing then t.s_domain t.s_prng else st.cur
+
+let write_safe t v =
+  Sim.write t.s_cell { cur = t.s_cur; pending = v; writing = true };
+  Sim.write t.s_cell { cur = v; pending = v; writing = false };
+  t.s_cur <- v
+
+let regular env ~name ~seed init =
+  {
+    r_cell = Sim.make_cell env ~bits:1 name (initial_state init);
+    r_prng = Schedule.Prng.make seed;
+    r_cur = init;
+  }
+
+let read_regular t =
+  let st = Sim.read t.r_cell in
+  if st.writing then
+    if Schedule.Prng.int t.r_prng 2 = 0 then st.cur else st.pending
+  else st.cur
+
+let write_regular t v =
+  Sim.write t.r_cell { cur = t.r_cur; pending = v; writing = true };
+  Sim.write t.r_cell { cur = v; pending = v; writing = false };
+  t.r_cur <- v

@@ -1,0 +1,39 @@
+(** Models of safe and regular registers (Lamport, "On Interprocess
+    Communication" — the paper's reference [19]).
+
+    The composite register construction assumes {e atomic} MRSW
+    registers.  The literature it cites ([19, 26, 27]) builds those from
+    weaker primitives, down to safe single-bit registers; this library
+    reproduces that substrate, and this module supplies the weakest
+    rungs as {e models} whose adversarial behaviour is simulated:
+
+    - a {e safe} register's read returns the last value written if it
+      does not overlap any write, and an {e arbitrary} value of the
+      type's domain if it does;
+    - a {e regular} register's overlapping reads return either the old
+      or the new value.
+
+    A write is simulated as two atomic events (enter/commit), so that
+    reads scheduled between them genuinely overlap; the adversarial
+    result of an overlapping read is drawn from a seeded PRNG owned by
+    the register, keeping runs deterministic. *)
+
+type 'a safe
+type 'a regular
+
+val safe :
+  Csim.Sim.env -> name:string -> seed:int ->
+  domain:(Csim.Schedule.Prng.t -> 'a) -> 'a -> 'a safe
+(** [domain] draws an arbitrary value of the type (e.g.
+    [fun prng -> Prng.int prng 2 = 1] for a bit). *)
+
+val safe_bit : Csim.Sim.env -> name:string -> seed:int -> bool -> bool safe
+
+val read_safe : 'a safe -> 'a
+val write_safe : 'a safe -> 'a -> unit
+
+val regular :
+  Csim.Sim.env -> name:string -> seed:int -> 'a -> 'a regular
+
+val read_regular : 'a regular -> 'a
+val write_regular : 'a regular -> 'a -> unit

@@ -1,0 +1,1 @@
+lib/sim/render.ml: Buffer Bytes List Printf String Trace

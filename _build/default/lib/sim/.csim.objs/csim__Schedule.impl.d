@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Array Int64 List Printf

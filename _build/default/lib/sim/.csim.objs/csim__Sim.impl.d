@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Cell Effect List Option Printf Schedule Trace

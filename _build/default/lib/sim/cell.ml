@@ -1,0 +1,34 @@
+type 'a t = {
+  id : int;
+  name : string;
+  bits : int;
+  pp : ('a -> string) option;
+  storage : 'a ref;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+type packed = Packed : 'a t -> packed
+
+let make ~id ~name ~bits ~pp init =
+  { id; name; bits; pp; storage = ref init; reads = 0; writes = 0 }
+
+let name c = c.name
+let bits c = c.bits
+let id c = c.id
+let reads c = c.reads
+let writes c = c.writes
+
+let reset_counters c =
+  c.reads <- 0;
+  c.writes <- 0
+
+let peek c = !(c.storage)
+let poke c v = c.storage := v
+let count_read c = c.reads <- c.reads + 1
+let count_write c = c.writes <- c.writes + 1
+
+let pp_value c v =
+  match c.pp with
+  | None -> "_"
+  | Some f -> f v

@@ -1,0 +1,52 @@
+(** Shared atomic cells of the simulated machine.
+
+    A cell models one atomic register of the underlying shared memory: a
+    single read or write of a cell is one atomic event of a history, in
+    the sense of Section 2 of the paper.  Cells carry accounting
+    metadata (a declared width in bits and read/write counters) so that
+    the space and time complexity recurrences of Section 4 can be
+    measured rather than merely asserted.
+
+    Cells must only be accessed from inside a simulation (see
+    {!Sim.read} and {!Sim.write}); this module only exposes their
+    metadata and the unsynchronized accessors used by the scheduler
+    itself. *)
+
+type 'a t
+(** A shared cell holding values of type ['a]. *)
+
+type packed = Packed : 'a t -> packed
+(** Existential wrapper used by the per-environment cell registry. *)
+
+val make :
+  id:int -> name:string -> bits:int -> pp:('a -> string) option -> 'a -> 'a t
+(** [make ~id ~name ~bits ~pp init] creates a fresh cell.  [bits] is the
+    declared width used for space accounting; [pp] is used when tracing
+    values.  Intended to be called via {!Sim.make_cell}, which allocates
+    the [id] and registers the cell. *)
+
+val name : 'a t -> string
+val bits : 'a t -> int
+val id : 'a t -> int
+
+val reads : 'a t -> int
+(** Number of read events performed on this cell so far. *)
+
+val writes : 'a t -> int
+(** Number of write events performed on this cell so far. *)
+
+val reset_counters : 'a t -> unit
+
+val peek : 'a t -> 'a
+(** Current contents, without generating an event.  Scheduler/harness
+    use only. *)
+
+val poke : 'a t -> 'a -> unit
+(** Overwrite contents without generating an event.  Scheduler/harness
+    use only. *)
+
+val count_read : 'a t -> unit
+val count_write : 'a t -> unit
+
+val pp_value : 'a t -> 'a -> string
+(** Render a value with the cell's printer, or ["_"] if none. *)

@@ -1,0 +1,39 @@
+type 'a cell = { read : unit -> 'a; write : 'a -> unit; peek : unit -> 'a }
+
+type t = { make : 'a. name:string -> bits:int -> 'a -> 'a cell }
+
+let of_sim env =
+  let make : type a. name:string -> bits:int -> a -> a cell =
+   fun ~name ~bits init ->
+    let c = Sim.make_cell env ~bits name init in
+    {
+      read = (fun () -> Sim.read c);
+      write = (fun v -> Sim.write c v);
+      peek = (fun () -> Cell.peek c);
+    }
+  in
+  { make }
+
+let direct () =
+  let make : type a. name:string -> bits:int -> a -> a cell =
+   fun ~name:_ ~bits:_ init ->
+    let r = ref init in
+    {
+      read = (fun () -> !r);
+      write = (fun v -> r := v);
+      peek = (fun () -> !r);
+    }
+  in
+  { make }
+
+let atomic () =
+  let make : type a. name:string -> bits:int -> a -> a cell =
+   fun ~name:_ ~bits:_ init ->
+    let a = Atomic.make init in
+    {
+      read = (fun () -> Atomic.get a);
+      write = (fun v -> Atomic.set a v);
+      peek = (fun () -> Atomic.get a);
+    }
+  in
+  { make }

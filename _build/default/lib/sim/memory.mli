@@ -1,0 +1,47 @@
+(** Memory abstraction: the register interface algorithms are written
+    against.
+
+    The paper's constructions only assume multi-reader single-writer
+    atomic registers.  Algorithms in this repository are written once
+    against this abstract interface and instantiated twice:
+
+    - {!of_sim}: cells of the deterministic simulator, where every
+      access is a scheduling point and is traced/counted — used for
+      correctness checking and for measuring the complexity recurrences;
+    - an [Atomic.t]-backed instance (see [Composite.Multicore_mem]) for
+      genuinely parallel execution on OCaml domains.
+
+    A handle bundles the two operations as closures; the polymorphic
+    [make] field requires a record (not a functor) so that instances can
+    be created at runtime, one per simulation environment. *)
+
+type 'a cell = {
+  read : unit -> 'a;
+  write : 'a -> unit;
+  peek : unit -> 'a;
+      (** Ghost read: the current contents, {e without} generating an
+          event.  For observers and diagnostics only — algorithms must
+          never call it. *)
+}
+
+type t = {
+  make : 'a. name:string -> bits:int -> 'a -> 'a cell;
+      (** [make ~name ~bits init] allocates a fresh atomic register
+          holding [init].  [bits] is the declared width, used only for
+          space accounting. *)
+}
+
+val of_sim : Sim.env -> t
+(** Registers backed by simulator cells (traced, counted, scheduled). *)
+
+val direct : unit -> t
+(** Registers backed by plain [ref]s with no synchronization — only
+    valid single-threaded; used for sequential unit tests of algorithm
+    logic outside any simulation. *)
+
+val atomic : unit -> t
+(** Registers backed by [Stdlib.Atomic].  Each register holds an
+    immutable value; [Atomic.get]/[Atomic.set] are sequentially
+    consistent under the OCaml memory model, so such a register is a
+    hardware multi-reader multi-writer atomic register — strictly
+    stronger than the MRSW registers the constructions assume. *)

@@ -1,0 +1,50 @@
+let accesses tr =
+  List.filter (fun (e : Trace.event) -> e.kind <> Trace.Note) (Trace.events tr)
+
+let timeline ?(max_events = 120) ?(proc_label = Printf.sprintf "p%d") tr =
+  let events = accesses tr in
+  let truncated = List.length events > max_events in
+  let events = List.filteri (fun i _ -> i < max_events) events in
+  let procs =
+    List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.proc) events)
+  in
+  let n = List.length events in
+  let buf = Buffer.create 256 in
+  let label_width =
+    List.fold_left (fun acc p -> max acc (String.length (proc_label p))) 0 procs
+  in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "%-*s  " label_width (proc_label p));
+      let row = Bytes.make n '-' in
+      List.iteri
+        (fun i (e : Trace.event) ->
+          if e.proc = p then
+            Bytes.set row i (match e.kind with
+              | Trace.Read -> 'R'
+              | Trace.Write -> 'W'
+              | Trace.Note -> '#'))
+        events;
+      Buffer.add_string buf (Bytes.to_string row);
+      if truncated then Buffer.add_string buf "...";
+      Buffer.add_char buf '\n')
+    procs;
+  Buffer.contents buf
+
+let legend ?(max_events = 120) tr =
+  let events = accesses tr in
+  let truncated = List.length events > max_events in
+  let events = List.filteri (fun i _ -> i < max_events) events in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%4d  p%-2d %s %-10s %s\n" e.step e.proc
+           (match e.kind with
+           | Trace.Read -> "R"
+           | Trace.Write -> "W"
+           | Trace.Note -> "#")
+           e.cell e.value))
+    events;
+  if truncated then Buffer.add_string buf "  ...\n";
+  Buffer.contents buf

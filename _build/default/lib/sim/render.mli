@@ -1,0 +1,14 @@
+(** ASCII rendering of traces, in the style of the paper's Figure 4:
+    one timeline per process, time running left to right, one column per
+    shared-memory event. *)
+
+val timeline : ?max_events:int -> ?proc_label:(int -> string) -> Trace.t -> string
+(** [timeline tr] renders each process as a row; its events appear as
+    [R] (read) or [W] (write) at their global position, with [-]
+    elsewhere.  Traces longer than [max_events] (default 120) are
+    truncated with an ellipsis.  [proc_label] names the rows (default
+    ["p<i>"]). *)
+
+val legend : ?max_events:int -> Trace.t -> string
+(** One line per event: step, process, kind, cell, value — the detail
+    the timeline omits. *)

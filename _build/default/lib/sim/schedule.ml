@@ -1,0 +1,76 @@
+exception Bad_script of string
+
+module Prng = struct
+  (* splitmix64: tiny, fast, reproducible; good enough statistical
+     quality for schedule shuffling. *)
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int seed }
+
+  let bits64 t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    assert (bound > 0);
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    r mod bound
+
+  let float t =
+    let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+    r /. 9007199254740992.0
+end
+
+type t =
+  | Round_robin
+  | Random of int
+  | Scripted of int array * t
+  | Choose of (enabled:int array -> step:int -> int)
+
+type driver_state =
+  | D_round_robin of { mutable last : int }
+  | D_random of Prng.t
+  | D_scripted of { script : int array; mutable pos : int; fallback : driver_state }
+  | D_choose of (enabled:int array -> step:int -> int)
+
+type driver = driver_state
+
+let rec driver = function
+  | Round_robin -> D_round_robin { last = -1 }
+  | Random seed -> D_random (Prng.make seed)
+  | Scripted (script, fallback) ->
+    D_scripted { script; pos = 0; fallback = driver fallback }
+  | Choose f -> D_choose f
+
+let array_mem x a = Array.exists (fun y -> y = x) a
+
+let rec pick d ~enabled ~step =
+  match d with
+  | D_round_robin st ->
+    (* First enabled id strictly greater than [last], wrapping. *)
+    let above = Array.to_list enabled |> List.filter (fun p -> p > st.last) in
+    let choice = match above with p :: _ -> p | [] -> enabled.(0) in
+    st.last <- choice;
+    choice
+  | D_random prng -> enabled.(Prng.int prng (Array.length enabled))
+  | D_scripted st ->
+    if st.pos >= Array.length st.script then pick st.fallback ~enabled ~step
+    else begin
+      let p = st.script.(st.pos) in
+      st.pos <- st.pos + 1;
+      if not (array_mem p enabled) then
+        raise
+          (Bad_script
+             (Printf.sprintf
+                "script step %d schedules process %d, which is not enabled"
+                (st.pos - 1) p));
+      p
+    end
+  | D_choose f ->
+    let p = f ~enabled ~step in
+    if not (array_mem p enabled) then
+      raise (Bad_script (Printf.sprintf "Choose policy returned disabled process %d" p));
+    p

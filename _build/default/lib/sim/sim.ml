@@ -1,0 +1,265 @@
+exception Not_in_simulation
+exception Stuck of string
+
+type env = {
+  mutable cell_registry : Cell.packed list;  (* newest first *)
+  mutable next_cell_id : int;
+  mutable step : int;
+  tr : Trace.t;
+  mutable observers : (step:int -> unit) list;  (* newest first *)
+}
+
+let create ?(trace = true) () =
+  let tr = Trace.create () in
+  Trace.set_enabled tr trace;
+  { cell_registry = []; next_cell_id = 0; step = 0; tr; observers = [] }
+
+let on_event env f = env.observers <- f :: env.observers
+
+let notify_observers env =
+  List.iter (fun f -> f ~step:env.step) (List.rev env.observers)
+
+let make_cell env ?pp ?(bits = 0) name init =
+  let c = Cell.make ~id:env.next_cell_id ~name ~bits ~pp init in
+  env.next_cell_id <- env.next_cell_id + 1;
+  env.cell_registry <- Cell.Packed c :: env.cell_registry;
+  c
+
+let now env = env.step
+let trace env = env.tr
+let total_accesses env = env.step
+
+let note env ~proc text =
+  Trace.record env.tr
+    { Trace.step = env.step; proc; kind = Trace.Note; cell = text; value = "" }
+
+let reset_counters env =
+  List.iter (fun (Cell.Packed c) -> Cell.reset_counters c) env.cell_registry
+
+let space_bits env =
+  List.fold_left (fun acc (Cell.Packed c) -> acc + Cell.bits c) 0 env.cell_registry
+
+let cells env = List.rev env.cell_registry
+
+(* ------------------------------------------------------------------ *)
+(* Effects and the scheduler                                            *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | Sim_read : 'a Cell.t -> 'a Effect.t
+  | Sim_write : 'a Cell.t * 'a -> unit Effect.t
+  | Sim_self : int Effect.t
+
+let read c =
+  try Effect.perform (Sim_read c) with Effect.Unhandled _ -> raise Not_in_simulation
+
+let write c v =
+  try Effect.perform (Sim_write (c, v)) with
+  | Effect.Unhandled _ -> raise Not_in_simulation
+
+let self () =
+  try Effect.perform Sim_self with Effect.Unhandled _ -> raise Not_in_simulation
+
+(* A parked process is waiting for the scheduler to perform its next
+   atomic access.  The access is executed when the process is granted a
+   step, not when it yielded: this is what makes each labeled statement
+   atomic while allowing arbitrary interleaving between statements. *)
+type parked =
+  | Not_started of (unit -> unit)
+  | At_read : 'a Cell.t * ('a, unit) Effect.Deep.continuation -> parked
+  | At_write : 'a Cell.t * 'a * (unit, unit) Effect.Deep.continuation -> parked
+  | Finished
+
+type stats = { steps : int; switches : int }
+
+let handler_for state i =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> state.(i) <- Finished);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Sim_read c ->
+          Some (fun (k : (a, unit) continuation) -> state.(i) <- At_read (c, k))
+        | Sim_write (c, v) ->
+          Some (fun (k : (a, unit) continuation) -> state.(i) <- At_write (c, v, k))
+        | Sim_self ->
+          (* Identity query: resume immediately, no scheduling step. *)
+          Some (fun (k : (a, unit) continuation) -> continue k i)
+        | _ -> None);
+  }
+
+let record_access env ~proc ~kind ~cell ~value =
+  Trace.record env.tr { Trace.step = env.step; proc; kind; cell; value }
+
+(* Execute one step of process [i]: run it up to (and including) its
+   next shared-memory access, or to completion. *)
+let step_proc env state i =
+  match state.(i) with
+  | Finished -> invalid_arg "step_proc: process already finished"
+  | Not_started f -> Effect.Deep.match_with f () (handler_for state i)
+  | At_read (c, k) ->
+    let v = Cell.peek c in
+    Cell.count_read c;
+    record_access env ~proc:i ~kind:Trace.Read ~cell:(Cell.name c)
+      ~value:(Cell.pp_value c v);
+    env.step <- env.step + 1;
+    notify_observers env;
+    Effect.Deep.continue k v
+  | At_write (c, v, k) ->
+    Cell.poke c v;
+    Cell.count_write c;
+    record_access env ~proc:i ~kind:Trace.Write ~cell:(Cell.name c)
+      ~value:(Cell.pp_value c v);
+    env.step <- env.step + 1;
+    notify_observers env;
+    Effect.Deep.continue k ()
+
+(* An access happens only when a parked process is stepped, so a
+   freshly-started process "consumes" a scheduling turn to reach its
+   first access.  To keep scripted schedules intuitive (one script entry
+   = one event of that process), stepping a [Not_started] process
+   continues stepping it until it parks at an access or finishes. *)
+let step_until_event env state i =
+  (match state.(i) with
+  | Not_started _ ->
+    (* Run the process to its first access point; no event yet. *)
+    step_proc env state i
+  | At_read _ | At_write _ | Finished -> ());
+  match state.(i) with
+  | Finished -> ()  (* the process performed no shared access at all *)
+  | At_read _ | At_write _ ->
+    (* Perform the pending access: exactly one event for this turn. *)
+    step_proc env state i
+  | Not_started _ -> assert false
+
+let run env ?(policy = Schedule.Round_robin) ?(max_steps = 10_000_000)
+    ?(crashes = []) procs =
+  let n = Array.length procs in
+  if n = 0 then { steps = 0; switches = 0 }
+  else begin
+    let state = Array.map (fun f -> Not_started f) procs in
+    let driver = Schedule.driver policy in
+    let switches = ref 0 in
+    let last = ref (-1) in
+    let start_step = env.step in
+    (* Halting failures: once process p has performed its quota of
+       events it is treated as finished (never scheduled again), its
+       current operation left dangling mid-flight. *)
+    let events_done = Array.make n 0 in
+    let crash_after p =
+      List.fold_left
+        (fun acc (q, k) -> if q = p then Some (min k (Option.value acc ~default:k)) else acc)
+        None crashes
+    in
+    let crashed p =
+      match crash_after p with
+      | Some k -> events_done.(p) >= k
+      | None -> false
+    in
+    let enabled_ids state =
+      let ids = ref [] in
+      for i = Array.length state - 1 downto 0 do
+        match state.(i) with
+        | Finished -> ()
+        | _ -> if not (crashed i) then ids := i :: !ids
+      done;
+      Array.of_list !ids
+    in
+    let rec loop () =
+      let enabled = enabled_ids state in
+      if Array.length enabled > 0 then begin
+        if env.step - start_step > max_steps then
+          raise
+            (Stuck
+               (Printf.sprintf
+                  "simulation exceeded %d steps; a process appears to loop \
+                   forever (wait-freedom violation?)"
+                  max_steps));
+        let i = Schedule.pick driver ~enabled ~step:env.step in
+        if i <> !last then incr switches;
+        last := i;
+        let before = env.step in
+        step_until_event env state i;
+        if env.step > before then events_done.(i) <- events_done.(i) + 1;
+        loop ()
+      end
+    in
+    loop ();
+    { steps = env.step - start_step; switches = !switches }
+  end
+
+let run_solo env ?max_steps f = run env ?max_steps ~policy:Schedule.Round_robin [| f |]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded-exhaustive exploration                                       *)
+(* ------------------------------------------------------------------ *)
+
+type exploration = { runs : int; exhaustive : bool }
+
+exception Exploration_failure of { schedule : int list; exn : exn }
+
+type choice = { chosen : int; fanout : int; proc : int }
+
+let explore ?(max_runs = 100_000) factory =
+  let runs = ref 0 in
+  let exhausted = ref false in
+  (* [prefix] is the list of choice indices (into the enabled array) to
+     replay; beyond it we always take index 0 and record fanouts. *)
+  let run_once prefix =
+    let env, procs, check = factory () in
+    let choices : choice list ref = ref [] in
+    let pos = ref 0 in
+    let pick ~enabled ~step:_ =
+      let idx =
+        if !pos < Array.length prefix then prefix.(!pos)
+        else 0
+      in
+      incr pos;
+      if idx >= Array.length enabled then
+        invalid_arg
+          "explore: factory produced a nondeterministic system (replay \
+           diverged from recorded schedule)";
+      choices :=
+        { chosen = idx; fanout = Array.length enabled; proc = enabled.(idx) }
+        :: !choices;
+      enabled.(idx)
+    in
+    let schedule_of () = List.rev_map (fun c -> c.proc) !choices in
+    (try
+       ignore (run env ~policy:(Schedule.Choose pick) ~max_steps:1_000_000 procs);
+       check env
+     with exn ->
+       raise (Exploration_failure { schedule = schedule_of (); exn }));
+    List.rev !choices
+  in
+  (* Compute the next prefix in DFS order, or None when done. *)
+  let next_prefix choices =
+    let arr = Array.of_list choices in
+    let rec scan i =
+      if i < 0 then None
+      else if arr.(i).chosen + 1 < arr.(i).fanout then begin
+        let prefix = Array.make (i + 1) 0 in
+        for j = 0 to i - 1 do
+          prefix.(j) <- arr.(j).chosen
+        done;
+        prefix.(i) <- arr.(i).chosen + 1;
+        Some prefix
+      end
+      else scan (i - 1)
+    in
+    scan (Array.length arr - 1)
+  in
+  let rec loop prefix =
+    if !runs >= max_runs then exhausted := true
+    else begin
+      let choices = run_once prefix in
+      incr runs;
+      match next_prefix choices with
+      | None -> ()
+      | Some p -> loop p
+    end
+  in
+  loop [||];
+  { runs = !runs; exhaustive = not !exhausted }

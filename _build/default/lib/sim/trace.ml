@@ -1,0 +1,54 @@
+type kind = Read | Write | Note
+
+type event = {
+  step : int;
+  proc : int;
+  kind : kind;
+  cell : string;
+  value : string;
+}
+
+type t = { mutable rev_events : event list; mutable n : int; mutable on : bool }
+
+let create () = { rev_events = []; n = 0; on = true }
+
+let clear t =
+  t.rev_events <- [];
+  t.n <- 0
+
+let record t e =
+  if t.on then begin
+    t.rev_events <- e :: t.rev_events;
+    t.n <- t.n + 1
+  end
+
+let events t = List.rev t.rev_events
+let length t = t.n
+let set_enabled t b = t.on <- b
+let enabled t = t.on
+
+let pp_kind fmt = function
+  | Read -> Format.pp_print_string fmt "R"
+  | Write -> Format.pp_print_string fmt "W"
+  | Note -> Format.pp_print_string fmt "#"
+
+let pp_event fmt e =
+  match e.kind with
+  | Note -> Format.fprintf fmt "%6d  p%-2d # %s" e.step e.proc e.cell
+  | _ ->
+    Format.fprintf fmt "%6d  p%-2d %a %s = %s" e.step e.proc pp_kind e.kind
+      e.cell e.value
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)
+
+let accesses_of t ~cell =
+  List.filter (fun e -> e.kind <> Note && String.equal e.cell cell) (events t)
+
+let writes_between t ~cell ~lo ~hi =
+  List.fold_left
+    (fun acc e ->
+      if e.kind = Write && String.equal e.cell cell && e.step >= lo && e.step <= hi
+      then acc + 1
+      else acc)
+    0 (events t)

@@ -1,0 +1,41 @@
+(** Event traces of simulated histories.
+
+    A trace records, in execution order, every atomic shared-memory
+    access (an {e event} in the paper's terminology) together with
+    free-form notes emitted by the harness (operation boundaries,
+    schedule annotations, ...).  Traces are the raw material from which
+    histories are reconstructed and against which the Figure-4 scenarios
+    are asserted. *)
+
+type kind = Read | Write | Note
+
+type event = {
+  step : int;  (** index of the event; 0 is the first access of the run *)
+  proc : int;  (** process that performed the access; -1 for harness notes *)
+  kind : kind;
+  cell : string;  (** cell name, or the note text for [Note] events *)
+  value : string;  (** rendered value transferred by the access *)
+}
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val record : t -> event -> unit
+val events : t -> event list
+(** All recorded events, oldest first. *)
+
+val length : t -> int
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+val accesses_of : t -> cell:string -> event list
+(** Events (reads and writes) touching the named cell, oldest first. *)
+
+val writes_between : t -> cell:string -> lo:int -> hi:int -> int
+(** Number of [Write] events on [cell] with [lo <= step <= hi].  Used by
+    the Figure-4 scenario assertions ("Writer 0 executes its statement 3
+    exactly twice between r:3 and r:7"). *)

@@ -1,0 +1,1 @@
+lib/workload/campaign.ml: Array Composite Csim Format History Int List Memory Schedule Sim String

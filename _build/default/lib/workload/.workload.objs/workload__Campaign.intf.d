@@ -1,0 +1,1 @@
+lib/workload/campaign.mli: Composite Csim Format

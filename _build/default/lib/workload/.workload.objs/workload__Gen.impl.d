@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Campaign Composite Csim History Int Memory Schedule Sim

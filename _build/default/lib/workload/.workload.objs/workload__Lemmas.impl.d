@@ -1,0 +1,1 @@
+lib/workload/lemmas.ml: Array Composite Csim Format List Memory Schedule Sim String Trace

@@ -1,0 +1,1 @@
+lib/workload/lemmas.mli: Format

@@ -1,0 +1,1 @@
+lib/workload/meter.ml: Array Campaign Composite Csim List Memory Sim

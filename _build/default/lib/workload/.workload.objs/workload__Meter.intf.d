@@ -1,0 +1,1 @@
+lib/workload/meter.mli: Campaign

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Composite Csim Fun History Int List Memory Render Schedule Sim Trace

@@ -1,0 +1,1 @@
+lib/workload/table.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/workload/table.mli: Format

@@ -1,0 +1,237 @@
+open Csim
+
+type impl =
+  | Impl_anderson
+  | Impl_afek
+  | Impl_unsafe_collect
+  | Impl_repeated_collect
+
+let impl_name = function
+  | Impl_anderson -> "anderson"
+  | Impl_afek -> "afek"
+  | Impl_unsafe_collect -> "unsafe-collect"
+  | Impl_repeated_collect -> "repeated-collect"
+
+let all_impls =
+  [ Impl_anderson; Impl_afek; Impl_unsafe_collect; Impl_repeated_collect ]
+
+let impl_of_name s =
+  List.find_opt (fun i -> String.equal (impl_name i) s) all_impls
+
+let make_handle impl mem ~readers ~init =
+  let h =
+    match impl with
+    | Impl_anderson ->
+      Composite.Anderson.handle
+        (Composite.Anderson.create mem ~readers ~bits_per_value:64 ~init)
+    | Impl_afek -> Composite.Afek.create mem ~bits_per_value:64 ~init
+    | Impl_unsafe_collect ->
+      Composite.Double_collect.create_unsafe mem ~bits_per_value:64 ~init
+    | Impl_repeated_collect ->
+      Composite.Double_collect.create_repeated mem ~bits_per_value:64 ~init
+  in
+  (* Implementations that support any number of readers advertise
+     [max_int]; pin the actual count so process-id arithmetic in the
+     recording wrapper stays sane. *)
+  if h.Composite.Snapshot.readers = max_int then
+    { h with Composite.Snapshot.readers }
+  else h
+
+type config = {
+  impl : impl;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  schedules : int;
+  base_seed : int;
+  check_generic : bool;
+}
+
+let default =
+  {
+    impl = Impl_anderson;
+    components = 3;
+    readers = 2;
+    writes_per_writer = 3;
+    scans_per_reader = 3;
+    schedules = 100;
+    base_seed = 1;
+    check_generic = true;
+  }
+
+type result = {
+  runs : int;
+  ops_checked : int;
+  flagged_runs : int;
+  generic_failures : int;
+  witness_failures : int;
+  stuck_runs : int;
+  disagreements : int;
+  example : string option;
+}
+
+let build_system cfg ~seed:_ =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
+  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
+  let rec_ =
+    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init handle
+  in
+  let writer k () =
+    for s = 1 to cfg.writes_per_writer do
+      rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+    done
+  in
+  let reader j () =
+    for _ = 1 to cfg.scans_per_reader do
+      ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+    done
+  in
+  let procs =
+    Array.init (cfg.components + cfg.readers) (fun i ->
+        if i < cfg.components then writer i else reader (i - cfg.components))
+  in
+  (env, init, rec_, procs)
+
+let run cfg =
+  let flagged = ref 0 in
+  let generic_failures = ref 0 in
+  let witness_failures = ref 0 in
+  let stuck = ref 0 in
+  let disagreements = ref 0 in
+  let ops = ref 0 in
+  let example = ref None in
+  for i = 0 to cfg.schedules - 1 do
+    let seed = cfg.base_seed + i in
+    let env, init, rec_, procs = build_system cfg ~seed in
+    match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs with
+    | exception Sim.Stuck _ -> incr stuck
+    | (_ : Sim.stats) ->
+      let h = Composite.Snapshot.history rec_ in
+      ops := !ops + History.Snapshot_history.size h;
+      let violations = History.Shrinking.check ~equal:Int.equal h in
+      let shrinking_ok = violations = [] in
+      let witness_ok =
+        match History.Shrinking.witness ~equal:Int.equal h with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      let generic_ok =
+        if not cfg.check_generic then true
+        else
+          match
+            History.Linearize.check
+              (History.Linearize.snapshot_spec ~equal:Int.equal)
+              ~init
+              (History.Snapshot_history.to_ops h)
+          with
+          | History.Linearize.Linearizable _ -> true
+          | History.Linearize.Not_linearizable -> false
+          | History.Linearize.Too_large -> true (* skipped *)
+      in
+      if not shrinking_ok then begin
+        incr flagged;
+        if !example = None then
+          example :=
+            Some
+              (Format.asprintf "%a@.%a"
+                 (Format.pp_print_list History.Shrinking.pp_violation)
+                 violations
+                 (History.Snapshot_history.pp string_of_int)
+                 h)
+      end;
+      if not generic_ok then incr generic_failures;
+      if shrinking_ok && not witness_ok then incr witness_failures;
+      if shrinking_ok && not generic_ok then incr disagreements
+  done;
+  {
+    runs = cfg.schedules;
+    ops_checked = !ops;
+    flagged_runs = !flagged;
+    generic_failures = !generic_failures;
+    witness_failures = !witness_failures;
+    stuck_runs = !stuck;
+    disagreements = !disagreements;
+    example = !example;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>runs: %d@,operations checked: %d@,runs flagged by Shrinking \
+     checker: %d@,runs rejected by generic oracle: %d@,witness failures: \
+     %d@,stuck (non-wait-free) runs: %d@,checker disagreements: %d@]"
+    r.runs r.ops_checked r.flagged_runs r.generic_failures r.witness_failures
+    r.stuck_runs r.disagreements
+
+(* ------------------------------------------------------------------ *)
+(* Bounded-exhaustive                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type exhaustive_result = {
+  ex_runs : int;
+  ex_exhaustive : bool;
+  ex_flagged : int;
+  ex_first_failure : string option;
+}
+
+exception Flagged of string
+
+let exhaustive ?(max_runs = 200_000) ~impl ~components ~readers
+    ~writes_per_writer ~scans_per_reader () =
+  let flagged = ref 0 in
+  let first_failure = ref None in
+  let factory () =
+    let env = Sim.create ~trace:false () in
+    let mem = Memory.of_sim env in
+    let init = Array.init components (fun k -> (k + 1) * 10) in
+    let handle = make_handle impl mem ~readers ~init in
+    let rec_ =
+      Composite.Snapshot.record
+        ~clock:(fun () -> Sim.now env)
+        ~initial:init handle
+    in
+    let writer k () =
+      for s = 1 to writes_per_writer do
+        rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+      done
+    in
+    let reader j () =
+      for _ = 1 to scans_per_reader do
+        ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+      done
+    in
+    let procs =
+      Array.init (components + readers) (fun i ->
+          if i < components then writer i else reader (i - components))
+    in
+    let check (_ : Sim.env) =
+      let h = Composite.Snapshot.history rec_ in
+      match History.Shrinking.check ~equal:Int.equal h with
+      | [] -> ()
+      | violations ->
+        raise
+          (Flagged
+             (Format.asprintf "%a"
+                (Format.pp_print_list History.Shrinking.pp_violation)
+                violations))
+    in
+    (env, procs, check)
+  in
+  let runs, exhaustive =
+    match Sim.explore ~max_runs factory with
+    | exploration -> (exploration.Sim.runs, exploration.Sim.exhaustive)
+    | exception Sim.Exploration_failure { exn = Flagged msg; _ } ->
+      incr flagged;
+      if !first_failure = None then first_failure := Some msg;
+      (* Exploration aborts on its first failing schedule. *)
+      (0, false)
+    | exception Sim.Exploration_failure { exn; _ } -> raise exn
+  in
+  {
+    ex_runs = runs;
+    ex_exhaustive = exhaustive;
+    ex_flagged = !flagged;
+    ex_first_failure = !first_failure;
+  }

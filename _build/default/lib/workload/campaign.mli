@@ -1,0 +1,73 @@
+(** Randomized and bounded-exhaustive verification campaigns
+    (experiment E6).
+
+    A campaign runs a composite-register implementation in the simulator
+    over many schedules, recording every history and checking it with
+    the Shrinking Lemma checker, the witness construction, and (for
+    small histories) the generic linearizability oracle.  For the
+    paper's construction every schedule must pass; for the unsafe
+    double collect the campaign must catch violations. *)
+
+type impl =
+  | Impl_anderson
+  | Impl_afek
+  | Impl_unsafe_collect
+  | Impl_repeated_collect
+
+val impl_name : impl -> string
+val impl_of_name : string -> impl option
+val all_impls : impl list
+
+val make_handle :
+  impl -> Csim.Memory.t -> readers:int -> init:int array ->
+  int Composite.Snapshot.t
+(** Instantiate an implementation on the given memory. *)
+
+type config = {
+  impl : impl;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  schedules : int;  (** number of random seeds to run *)
+  base_seed : int;
+  check_generic : bool;
+      (** also run the exponential Wing–Gong oracle (requires small
+          histories) *)
+}
+
+val default : config
+
+type result = {
+  runs : int;
+  ops_checked : int;  (** operations across all runs *)
+  flagged_runs : int;  (** runs with at least one Shrinking violation *)
+  generic_failures : int;  (** runs the generic oracle rejected *)
+  witness_failures : int;  (** runs where witness construction failed *)
+  stuck_runs : int;  (** runs exceeding the step budget (wait-freedom) *)
+  disagreements : int;
+      (** runs where Shrinking said "ok" but the oracle said "not
+          linearizable" — must always be 0 (soundness of the lemma) *)
+  example : string option;  (** rendering of one flagged history *)
+}
+
+val run : config -> result
+
+val pp_result : Format.formatter -> result -> unit
+
+(** {2 Bounded-exhaustive exploration} *)
+
+type exhaustive_result = {
+  ex_runs : int;
+  ex_exhaustive : bool;  (** all interleavings were covered *)
+  ex_flagged : int;  (** schedules on which a checker failed *)
+  ex_first_failure : string option;
+}
+
+val exhaustive :
+  ?max_runs:int -> impl:impl -> components:int -> readers:int ->
+  writes_per_writer:int -> scans_per_reader:int -> unit ->
+  exhaustive_result
+(** Enumerates {e every} interleaving (up to [max_runs], default
+    200_000) of the given tiny configuration, checking the Shrinking
+    conditions on each. *)

@@ -1,0 +1,66 @@
+open Csim
+
+type shape = {
+  components : int;
+  readers : int;
+  writer_ops : int array;
+  reader_ops : int array;
+}
+
+let shape ~seed ~max_components ~max_readers ~max_ops =
+  if max_components < 1 || max_readers < 1 || max_ops < 0 then
+    invalid_arg "Gen.shape";
+  let prng = Schedule.Prng.make (seed * 2654435761) in
+  let components = 1 + Schedule.Prng.int prng max_components in
+  let readers = 1 + Schedule.Prng.int prng max_readers in
+  {
+    components;
+    readers;
+    writer_ops =
+      Array.init components (fun _ -> Schedule.Prng.int prng (max_ops + 1));
+    reader_ops =
+      Array.init readers (fun _ -> Schedule.Prng.int prng (max_ops + 1));
+  }
+
+let total_ops s =
+  Array.fold_left ( + ) 0 s.writer_ops + Array.fold_left ( + ) 0 s.reader_ops
+
+type soak_result = { soak_runs : int; soak_ops : int; soak_flagged : int }
+
+let soak ~impl ~runs ~seed ~max_components ~max_readers ~max_ops =
+  let flagged = ref 0 in
+  let ops = ref 0 in
+  for i = 0 to runs - 1 do
+    let s = shape ~seed:(seed + i) ~max_components ~max_readers ~max_ops in
+    let env = Sim.create ~trace:false () in
+    let mem = Memory.of_sim env in
+    let init = Array.init s.components (fun k -> k) in
+    let handle = Campaign.make_handle impl mem ~readers:s.readers ~init in
+    let rec_ =
+      Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init
+        handle
+    in
+    let writer k () =
+      for n = 1 to s.writer_ops.(k) do
+        rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 10_000) + n)
+      done
+    in
+    let reader j () =
+      for _ = 1 to s.reader_ops.(j) do
+        ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+      done
+    in
+    let procs =
+      Array.init
+        (s.components + s.readers)
+        (fun p -> if p < s.components then writer p else reader (p - s.components))
+    in
+    let (_ : Sim.stats) =
+      Sim.run env ~policy:(Schedule.Random (seed + (7919 * i))) procs
+    in
+    let h = Composite.Snapshot.history rec_ in
+    ops := !ops + History.Snapshot_history.size h;
+    if not (History.Shrinking.conditions_hold ~equal:Int.equal h) then
+      incr flagged
+  done;
+  { soak_runs = runs; soak_ops = !ops; soak_flagged = !flagged }

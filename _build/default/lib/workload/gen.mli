@@ -1,0 +1,33 @@
+(** Reproducible randomized workload generation.
+
+    Campaigns elsewhere use fixed per-process operation counts; this
+    module generates richer shapes deterministically from a seed —
+    varying operation counts per process, writer bursts, reader-heavy
+    and writer-heavy mixes — for soak testing. *)
+
+type shape = {
+  components : int;
+  readers : int;
+  writer_ops : int array;  (** ops per writer, length [components] *)
+  reader_ops : int array;  (** ops per reader, length [readers] *)
+}
+
+val shape :
+  seed:int -> max_components:int -> max_readers:int -> max_ops:int -> shape
+(** Dimensions and per-process op counts drawn uniformly (at least one
+    component, one reader; op counts in [0, max_ops]). *)
+
+val total_ops : shape -> int
+
+type soak_result = {
+  soak_runs : int;
+  soak_ops : int;
+  soak_flagged : int;  (** runs with a Shrinking violation *)
+}
+
+val soak :
+  impl:Campaign.impl -> runs:int -> seed:int -> max_components:int ->
+  max_readers:int -> max_ops:int -> soak_result
+(** Run [runs] randomly-shaped systems under random schedules, checking
+    each history against the Shrinking conditions (the generic oracle is
+    skipped: soak histories are large). *)

@@ -1,0 +1,153 @@
+open Csim
+
+type report = {
+  runs : int;
+  reads_checked : int;
+  states_observed : int;
+  lemma2_failures : int;
+  property12_failures : int;
+  lemma1_failures : int;
+}
+
+type ghost_state = { g_ids : int array; g_vals : int array }
+
+type read_obs = {
+  o_reader : int;
+  o_ids : int array;
+  o_vals : int array;
+  o_inv : int;
+  o_res : int;
+  o_case : Composite.Anderson.case option;
+}
+
+let run ?(components = 3) ?(readers = 2) ?(writes_per_writer = 3)
+    ?(scans_per_reader = 3) ?(schedules = 50) ~base_seed () =
+  let reads_checked = ref 0 in
+  let states_observed = ref 0 in
+  let lemma2_failures = ref 0 in
+  let property12_failures = ref 0 in
+  let lemma1_failures = ref 0 in
+  for i = 0 to schedules - 1 do
+    let seed = base_seed + i in
+    let env = Sim.create () in
+    let mem = Memory.of_sim env in
+    let init = Array.init components (fun k -> (k + 1) * 10) in
+    let reg =
+      Composite.Anderson.create mem ~readers ~bits_per_value:32 ~init
+    in
+    (* Ghost state after every event; index = event count. *)
+    let rev_states = ref [] in
+    let push_state () =
+      let items = Composite.Anderson.ghost_items reg in
+      rev_states :=
+        { g_ids = Composite.Item.ids items; g_vals = Composite.Item.values items }
+        :: !rev_states
+    in
+    push_state ();
+    Sim.on_event env (fun ~step:_ -> push_state ());
+    let observations = ref [] in
+    let writer k () =
+      for s = 1 to writes_per_writer do
+        ignore (Composite.Anderson.update reg ~writer:k (((k + 1) * 1000) + s))
+      done
+    in
+    let reader j () =
+      for _ = 1 to scans_per_reader do
+        let inv = Sim.now env in
+        let items = Composite.Anderson.scan_items reg ~reader:j in
+        let res = Sim.now env in
+        observations :=
+          {
+            o_reader = j;
+            o_ids = Composite.Item.ids items;
+            o_vals = Composite.Item.values items;
+            o_inv = inv;
+            o_res = res;
+            o_case = Composite.Anderson.last_case ~reader:j reg;
+          }
+          :: !observations
+      done
+    in
+    let procs =
+      Array.init (components + readers) (fun p ->
+          if p < components then writer p else reader (p - components))
+    in
+    let (_ : Sim.stats) = Sim.run env ~policy:(Schedule.Random seed) procs in
+    let states = Array.of_list (List.rev !rev_states) in
+    states_observed := !states_observed + Array.length states;
+    (* Property (12): ghost ids are non-decreasing. *)
+    for s = 0 to Array.length states - 2 do
+      for k = 0 to components - 1 do
+        if states.(s).g_ids.(k) > states.(s + 1).g_ids.(k) then
+          incr property12_failures
+      done
+    done;
+    (* Lemma 2: each Read's window contains its snapshot state. *)
+    List.iter
+      (fun o ->
+        incr reads_checked;
+        let found = ref false in
+        for s = o.o_inv + 1 to min o.o_res (Array.length states - 1) do
+          if states.(s).g_ids = o.o_ids && states.(s).g_vals = o.o_vals then
+            found := true
+        done;
+        if not !found then incr lemma2_failures)
+      !observations;
+    (* Lemma 1 (observable form): when statement 8 did not take the
+       handshake branch, at most 5 writes of Y[0] can fall between the
+       Read's statement-3 and statement-7 reads (the :7 of v and the :3
+       and :7 of v+1 and v+2). *)
+    if components >= 2 then begin
+      let events = Trace.events (Sim.trace env) in
+      let y0_write_steps =
+        List.filter_map
+          (fun (e : Trace.event) ->
+            if e.kind = Trace.Write && String.equal e.cell "A.Y0" then
+              Some e.step
+            else None)
+          events
+      in
+      List.iter
+        (fun o ->
+          if o.o_case <> Some Composite.Anderson.Case_snapshot_seq then begin
+            (* The reader's accesses to the outermost Y[0] within this
+               operation: statements 0, 3, 5, 7 in order. *)
+            let proc = components + o.o_reader in
+            let y0_reads =
+              List.filter_map
+                (fun (e : Trace.event) ->
+                  if
+                    e.proc = proc && e.kind = Trace.Read
+                    && String.equal e.cell "A.Y0"
+                    && e.step >= o.o_inv && e.step < o.o_res
+                  then Some e.step
+                  else None)
+                events
+            in
+            match y0_reads with
+            | [ _st0; st3; _st5; st7 ] ->
+              let between =
+                List.length
+                  (List.filter (fun s -> s > st3 && s < st7) y0_write_steps)
+              in
+              if between > 5 then incr lemma1_failures
+            | _ -> ()
+          end)
+        !observations
+    end
+  done;
+  {
+    runs = schedules;
+    reads_checked = !reads_checked;
+    states_observed = !states_observed;
+    lemma2_failures = !lemma2_failures;
+    property12_failures = !property12_failures;
+    lemma1_failures = !lemma1_failures;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>schedules: %d@,reads checked: %d@,ghost states observed: %d@,\
+     Lemma 2 failures: %d@,property (12) failures: %d@,Lemma 1 failures: %d@]"
+    r.runs r.reads_checked r.states_observed r.lemma2_failures
+    r.property12_failures r.lemma1_failures

@@ -1,0 +1,53 @@
+(** The paper's proof, executed: machine-checking the intermediate
+    lemmas of Section 4.2 on concrete runs.
+
+    The correctness proof of the construction rests on three facts that
+    are universally quantified over histories — and therefore checkable
+    on any particular history:
+
+    - {b Lemma 2} ("shrink to a point"): for every Read operation [r]
+      there exists a state {e strictly between its first and last
+      events} at which, for all [k],
+      [Y[k].val = r!item[k].val ∧ Y[k].id = phi_k(r)] — i.e. the
+      register's ghost contents coincide exactly with what [r] returns.
+      We sample the ghost state ({!Composite.Anderson.ghost_items})
+      after every event and search each Read's window.
+
+    - {b Property (12)} ([Y[k].id = D unless Y[k].id > D]): every
+      component's ghost id is non-decreasing across events.
+
+    - {b Lemma 1}: if a Read [r] of reader [j] does not trigger the
+      sequence-number handshake ([r!e.seq[1,j] ≠ r!newseq]), then the
+      0-Write last publishing [Y[0]] before [r:7] is at most two
+      operations past the one before [r:3].  We check the contrapositive
+      observable: the number of [Y[0]] writes between the Read's [a]
+      read (statement 3) and its [e] read (statement 7) is at most 5
+      ([v]'s statement 7 plus both writes of [v+1] and of [v+2])
+      whenever statement 8 did not take the handshake branch.
+
+    A failure of any check on any schedule would contradict the paper's
+    proof (or reveal a transcription bug); [report] counts failures over
+    a randomized campaign. *)
+
+type report = {
+  runs : int;
+  reads_checked : int;
+  states_observed : int;
+  lemma2_failures : int;
+  property12_failures : int;
+  lemma1_failures : int;
+}
+
+val run :
+  ?components:int ->
+  ?readers:int ->
+  ?writes_per_writer:int ->
+  ?scans_per_reader:int ->
+  ?schedules:int ->
+  base_seed:int ->
+  unit ->
+  report
+(** Defaults: [components = 3], [readers = 2], [writes_per_writer = 3],
+    [scans_per_reader = 3], [schedules = 50]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,55 @@
+open Csim
+
+let fresh impl ~c ~b ~r =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let init = Array.init c (fun k -> k) in
+  let handle =
+    match impl with
+    | Campaign.Impl_anderson ->
+      Composite.Anderson.handle
+        (Composite.Anderson.create mem ~readers:r ~bits_per_value:b ~init)
+    | Campaign.Impl_afek -> Composite.Afek.create mem ~bits_per_value:b ~init
+    | Campaign.Impl_unsafe_collect ->
+      Composite.Double_collect.create_unsafe mem ~bits_per_value:b ~init
+    | Campaign.Impl_repeated_collect ->
+      Composite.Double_collect.create_repeated mem ~bits_per_value:b ~init
+  in
+  (env, handle)
+
+(* Warm-up: one Write per component, so e.g. the repeated double collect
+   measures a steady-state scan rather than the initial state. *)
+let warm env handle =
+  let c = handle.Composite.Snapshot.components in
+  Sim.run_solo env (fun () ->
+      for k = 0 to c - 1 do
+        ignore (handle.Composite.Snapshot.update ~writer:k (100 + k))
+      done)
+
+let scan_cost impl ~c ~r =
+  let env, handle = fresh impl ~c ~b:64 ~r in
+  let (_ : Sim.stats) = warm env handle in
+  let before = Sim.now env in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (handle.Composite.Snapshot.scan_items ~reader:0))
+  in
+  Sim.now env - before
+
+let update_cost impl ~c ~r ~writer =
+  let env, handle = fresh impl ~c ~b:64 ~r in
+  let (_ : Sim.stats) = warm env handle in
+  let before = Sim.now env in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (handle.Composite.Snapshot.update ~writer 4242))
+  in
+  Sim.now env - before
+
+let space_bits impl ~c ~b ~r =
+  let env, _handle = fresh impl ~c ~b ~r in
+  Sim.space_bits env
+
+let space_registers impl ~c ~r =
+  let env, _handle = fresh impl ~c ~b:64 ~r in
+  List.length (Sim.cells env)

@@ -1,0 +1,23 @@
+(** Access-count measurement of composite register operations
+    (experiments E2, E3, E5).
+
+    Measures, by running one operation alone in a fresh simulator, the
+    exact number of underlying register operations (reads + writes of
+    MRSW atomic registers) a Read or Write performs.  For the paper's
+    construction these must equal the recurrences in
+    {!Composite.Complexity}; for the comparators they exhibit the
+    polynomial-versus-exponential contrast of experiment E5. *)
+
+val scan_cost : Campaign.impl -> c:int -> r:int -> int
+(** Register operations performed by one Read of a [c]-component,
+    [r]-reader register (measured in quiescence, after one Write per
+    component so caches of the algorithms are warm). *)
+
+val update_cost : Campaign.impl -> c:int -> r:int -> writer:int -> int
+(** Register operations performed by one Write by the given writer. *)
+
+val space_bits : Campaign.impl -> c:int -> b:int -> r:int -> int
+(** Declared bits of all registers the implementation allocates. *)
+
+val space_registers : Campaign.impl -> c:int -> r:int -> int
+(** Number of registers the implementation allocates. *)

@@ -1,0 +1,43 @@
+(** Halting-failure resilience (paper, Section 1).
+
+    "Wait-free shared data objects are inherently resilient to halting
+    failures: a process that halts while accessing such a data object
+    cannot block the progress of any other process."
+
+    This module tests that claim exhaustively over crash points: for a
+    given configuration it runs the system once per (victim process,
+    crash point) pair, halting the victim mid-operation after exactly
+    that many of its shared-memory events, and verifies that
+
+    - every surviving process completes all of its operations (the run
+      terminates without exhausting the step budget), and
+    - the history of {e completed} operations is still linearizable
+      (checked with the Shrinking conditions; the victim's dangling
+      operation is excluded, matching the paper's well-formedness).
+
+    A victim writer frozen between its two [Y[0]] writes is exactly the
+    adversary the construction's three-way case analysis guards
+    against, so this sweep exercises the subtle states on purpose. *)
+
+type report = {
+  scenarios : int;  (** (victim, crash point) pairs executed *)
+  survivor_ops : int;  (** completed operations across all scenarios *)
+  blocked : int;  (** scenarios where survivors failed to finish *)
+  not_linearizable : int;  (** scenarios with a Shrinking violation *)
+}
+
+val run :
+  ?components:int ->
+  ?readers:int ->
+  ?writes_per_writer:int ->
+  ?scans_per_reader:int ->
+  ?max_crash_point:int ->
+  seed:int ->
+  unit ->
+  report
+(** Defaults: [components = 2], [readers = 2], [writes_per_writer = 2],
+    [scans_per_reader = 2], [max_crash_point = 12].  For each process
+    [p] and each [k <= max_crash_point], one run crashes [p] after [k]
+    events under a seeded random schedule. *)
+
+val pp_report : Format.formatter -> report -> unit

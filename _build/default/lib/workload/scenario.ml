@@ -1,0 +1,129 @@
+open Csim
+
+let initial = [| 1; 2 |]
+
+type outcome = {
+  case : Composite.Anderson.case option;
+  values : int array;
+  ids : int array;
+  writer0_inputs : int list;
+  linearizable : bool;
+  shrinking_ok : bool;
+  timeline : string;
+}
+
+let expand segments =
+  Array.concat (List.map (fun (proc, n) -> Array.make n proc) segments)
+
+(* Run a 2/8/1/1 Anderson register with Writer 0 (process 0) performing
+   [writer_ops] Writes of 101, 102, ... and Reader 0 (process 1)
+   performing one Read, interleaved exactly per [segments] (process id,
+   event count), completed round-robin. *)
+let run_scenario ~writer_ops ~segments =
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let reg = Composite.Anderson.create mem ~readers:1 ~bits_per_value:8 ~init:initial in
+  let rec_ =
+    Composite.Snapshot.record
+      ~clock:(fun () -> Sim.now env)
+      ~initial (Composite.Anderson.handle reg)
+  in
+  let writer_inputs = ref [] in
+  let writer () =
+    for s = 1 to writer_ops do
+      let v = 100 + s in
+      writer_inputs := v :: !writer_inputs;
+      rec_.Composite.Snapshot.rupdate ~writer:0 v
+    done
+  in
+  let reader () = ignore (rec_.Composite.Snapshot.rscan ~reader:0) in
+  let policy = Schedule.Scripted (expand segments, Schedule.Round_robin) in
+  let (_ : Sim.stats) = Sim.run env ~policy [| writer; reader |] in
+  let h = Composite.Snapshot.history rec_ in
+  let values, ids =
+    match h.History.Snapshot_history.reads with
+    | [ r ] ->
+      (r.History.Snapshot_history.values, r.History.Snapshot_history.ids)
+    | _ -> failwith "scenario: expected exactly one Read"
+  in
+  {
+    case = Composite.Anderson.last_case reg;
+    values;
+    ids;
+    writer0_inputs = List.rev !writer_inputs;
+    linearizable =
+      History.Linearize.is_linearizable
+        (History.Linearize.snapshot_spec ~equal:Int.equal)
+        ~init:initial
+        (History.Snapshot_history.to_ops h);
+    shrinking_ok = History.Shrinking.conditions_hold ~equal:Int.equal h;
+    timeline =
+      Render.timeline
+        ~proc_label:(function 0 -> "writer0" | _ -> "reader ")
+        (Sim.trace env);
+  }
+
+(* Event counts for C = 2, R = 1 (cf. Complexity): a Read is 7 events
+   (Y0, Z, Y0, base, Y0, base, Y0); a 0-Write is 4 events (Z, Y0, base,
+   Y0). *)
+
+let fig4a () =
+  (* w complete; r:0-3; w+1 complete inside r (handshake: its Z read
+     follows r's Z write); r:4; w+2 executes statement 3; r:5-7. *)
+  run_scenario ~writer_ops:3
+    ~segments:[ (0, 4); (1, 3); (0, 4); (1, 1); (0, 2); (1, 3) ]
+
+let fig4b () =
+  (* w complete; w+1 reads Z before r writes it (stale handshake);
+     r:0-3; w+1 finishes; w+2 executes statement 3 (wc advances twice
+     inside r); r:4-7. *)
+  run_scenario ~writer_ops:3
+    ~segments:[ (0, 4); (0, 1); (1, 3); (0, 3); (0, 2); (1, 4) ]
+
+let case_ab () =
+  (* One complete Write, then a solo Read: a.wc = c.wc. *)
+  run_scenario ~writer_ops:1 ~segments:[ (0, 4); (1, 7) ]
+
+let case_cd () =
+  (* The Write's statement 3 lands between r:3 and r:5 only, with a
+     stale handshake: a.wc <> c.wc = e.wc. *)
+  run_scenario ~writer_ops:1
+    ~segments:[ (0, 1); (1, 3); (0, 1); (1, 4) ]
+
+let reader_events env =
+  List.length
+    (List.filter
+       (fun (e : Trace.event) -> e.proc = 1 && e.kind <> Trace.Note)
+       (Trace.events (Sim.trace env)))
+
+let starvation_events ~writer_ops =
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let handle =
+    Composite.Double_collect.create_repeated mem ~bits_per_value:8 ~init:initial
+  in
+  let writer () =
+    for s = 1 to writer_ops do
+      ignore (handle.Composite.Snapshot.update ~writer:0 (100 + s))
+    done
+  in
+  let reader () = ignore (handle.Composite.Snapshot.scan_items ~reader:0) in
+  (* Adversary: one write lands between every pair of reader collects. *)
+  let segments = (1, 2) :: List.concat_map (fun _ -> [ (0, 1); (1, 2) ]) (List.init writer_ops Fun.id) in
+  let policy = Schedule.Scripted (expand segments, Schedule.Round_robin) in
+  let (_ : Sim.stats) = Sim.run env ~policy [| writer; reader |] in
+  reader_events env
+
+let wait_free_events ~writer_ops =
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let reg = Composite.Anderson.create mem ~readers:1 ~bits_per_value:8 ~init:initial in
+  let handle = Composite.Anderson.handle reg in
+  let writer () =
+    for s = 1 to writer_ops do
+      ignore (handle.Composite.Snapshot.update ~writer:0 (100 + s))
+    done
+  in
+  let reader () = ignore (handle.Composite.Snapshot.scan_items ~reader:0) in
+  let (_ : Sim.stats) = Sim.run env ~policy:Schedule.Round_robin [| writer; reader |] in
+  reader_events env

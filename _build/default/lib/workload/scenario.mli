@@ -1,0 +1,58 @@
+(** Scripted executions reproducing the paper's Figure 4 and the case
+    analysis of Section 4.1 (experiment E1).
+
+    Each scenario builds a [2/B/1/1] Anderson register (Writer 0, one
+    further writer implicit in component 1's initial value, Reader 0)
+    and drives it with an exact event-level schedule.  The outcome
+    records which branch of Reader statement 8 fired and which values /
+    auxiliary ids the Read returned, so tests can assert precisely the
+    behaviour the paper's case analysis derives:
+
+    - {!fig4a} — Figure 4 (a): a 0-Write executes completely inside the
+      Read, copying the Reader's fresh sequence number into
+      [Y[0].seq[1,j]]; the Read must detect [e.seq[1,j] = newseq] and
+      return that Write's embedded snapshot.
+    - {!fig4b} — Figure 4 (b): statement 3 executes exactly twice inside
+      the Read without the sequence-number handshake completing; the
+      Read must detect [e.wc = a.wc ⊕ 2] and return the {e previous}
+      Write's embedded snapshot.
+    - {!case_ab} — Section 4.1, third case, first possibility: no
+      statement-3 execution between [r:3] and [r:5]; the Read returns
+      [(a.val, b)].
+    - {!case_cd} — third case, second possibility: no statement-3
+      execution between [r:5] and [r:7]; the Read returns [(c.val, d)].
+
+    {!starvation_events} and {!wait_free_events} contrast the repeated
+    double collect (reader work grows with writer activity — not
+    wait-free) against the construction (constant reader work) under the
+    same writer-storm adversary. *)
+
+type outcome = {
+  case : Composite.Anderson.case option;
+      (** branch taken by statement 8 *)
+  values : int array;  (** the Read's output values *)
+  ids : int array;  (** the Read's auxiliary ids *)
+  writer0_inputs : int list;  (** inputs of the 0-Writes, in order *)
+  linearizable : bool;  (** verdict of the generic checker *)
+  shrinking_ok : bool;  (** the five conditions hold *)
+  timeline : string;
+      (** Figure-4-style ASCII rendering of the schedule (one row per
+          process, [R]/[W] per event). *)
+}
+
+val initial : int array
+(** Initial component values used by all scenarios: [[| 1; 2 |]]. *)
+
+val fig4a : unit -> outcome
+val fig4b : unit -> outcome
+val case_ab : unit -> outcome
+val case_cd : unit -> outcome
+
+val starvation_events : writer_ops:int -> int
+(** Number of shared accesses the {e repeated-double-collect} reader
+    performs to finish one scan while an adversary interleaves
+    [writer_ops] writes between its collects.  Grows linearly. *)
+
+val wait_free_events : writer_ops:int -> int
+(** Same adversary against the Anderson reader: always exactly
+    [Complexity.tr ~c:2 = 7]. *)

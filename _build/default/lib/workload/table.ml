@@ -1,0 +1,32 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let pp fmt t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if String.length cell > width.(i) then width.(i) <- String.length cell)
+        row)
+    all;
+  let pad i cell = Printf.sprintf "%-*s" width.(i) cell in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') width))
+  in
+  Format.fprintf fmt "%s@.%s@." (line t.header) rule;
+  List.iter (fun row -> Format.fprintf fmt "%s@." (line row)) rows
+
+let print t =
+  pp Format.std_formatter t;
+  Format.print_newline ()
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_bool b = if b then "yes" else "no"

@@ -1,0 +1,13 @@
+(** Minimal fixed-width ASCII tables for experiment output. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+(** {!pp} to stdout, followed by a newline. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string

@@ -1,0 +1,1 @@
+test/test_anderson.ml: Alcotest Array Composite Csim Hashtbl History Int List Memory Printf QCheck2 QCheck_alcotest Schedule Sim Trace Workload

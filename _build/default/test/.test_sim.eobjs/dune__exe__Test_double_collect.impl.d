@@ -1,0 +1,1 @@
+test/test_double_collect.ml: Alcotest Composite Csim History Int Memory Schedule Sim String Workload

@@ -1,0 +1,1 @@
+test/test_fullstack.ml: Alcotest Array Composite Csim History Int List Printf Registers Schedule Sim

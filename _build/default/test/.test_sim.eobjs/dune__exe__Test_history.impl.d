@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Csim History Int Linearize List Oprec QCheck2 QCheck_alcotest Regularity Sim

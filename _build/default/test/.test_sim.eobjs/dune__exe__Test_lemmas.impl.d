@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Composite Csim List Memory Schedule Sim Workload

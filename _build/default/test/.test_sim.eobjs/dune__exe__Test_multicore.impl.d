@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Array Atomic Composite Domain History Int List

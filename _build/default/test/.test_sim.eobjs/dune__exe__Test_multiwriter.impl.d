@@ -1,0 +1,1 @@
+test/test_multiwriter.ml: Alcotest Array Composite Csim History Int List Memory Printf Schedule Sim

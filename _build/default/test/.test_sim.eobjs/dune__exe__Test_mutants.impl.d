@@ -1,0 +1,1 @@
+test/test_mutants.ml: Alcotest Composite Csim List Memory Sim

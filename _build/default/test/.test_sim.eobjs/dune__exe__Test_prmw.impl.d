@@ -1,0 +1,1 @@
+test/test_prmw.ml: Alcotest Composite Csim History List Memory Prmw Schedule Sim

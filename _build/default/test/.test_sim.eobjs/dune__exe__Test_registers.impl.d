@@ -1,0 +1,1 @@
+test/test_registers.ml: Alcotest Constructions Csim History Int List Registers Schedule Sim Weak

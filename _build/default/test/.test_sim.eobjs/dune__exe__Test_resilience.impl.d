@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Cell Composite Csim History Int List Memory QCheck2 QCheck_alcotest Render Schedule Sim String Workload

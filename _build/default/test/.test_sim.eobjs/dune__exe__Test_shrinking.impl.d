@@ -1,0 +1,1 @@
+test/test_shrinking.ml: Alcotest Array Composite Csim History Int Linearize List Memory QCheck2 QCheck_alcotest Schedule Shrinking Sim Snapshot_history

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cell Csim List Printf Schedule Sim Trace

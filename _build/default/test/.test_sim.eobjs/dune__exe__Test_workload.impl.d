@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Format List String Workload

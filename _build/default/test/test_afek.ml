@@ -1,0 +1,200 @@
+(* Tests for the Afek et al. baseline snapshot (lib/core/afek):
+   sequential semantics, the borrow path, the polynomial cost bound, and
+   linearizability campaigns. *)
+
+open Csim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let fresh ~init =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let handle = Composite.Afek.create mem ~bits_per_value:16 ~init in
+  (env, handle)
+
+let test_initial_scan () =
+  let env, h = fresh ~init:[| 4; 5; 6 |] in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () -> out := Composite.Snapshot.scan h ~reader:0)
+  in
+  check (Alcotest.array int) "initial" [| 4; 5; 6 |] !out
+
+let test_sequential_updates () =
+  let env, h = fresh ~init:[| 0; 0 |] in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (h.Composite.Snapshot.update ~writer:1 9);
+        ignore (h.Composite.Snapshot.update ~writer:0 8);
+        out := Composite.Snapshot.scan h ~reader:0)
+  in
+  check (Alcotest.array int) "values" [| 8; 9 |] !out
+
+let test_ids_monotone () =
+  let env, h = fresh ~init:[| 0; 0 |] in
+  let ids = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        for _ = 1 to 3 do
+          ids := h.Composite.Snapshot.update ~writer:0 1 :: !ids
+        done)
+  in
+  check (Alcotest.list int) "increasing ids" [ 1; 2; 3 ] (List.rev !ids)
+
+(* In quiescence a scan is exactly two collects (2C reads) and an update
+   is a scan plus one write. *)
+let quiescent_cost_case c =
+  Alcotest.test_case
+    (Printf.sprintf "quiescent costs at C=%d" c)
+    `Quick
+    (fun () ->
+      check int "scan = 2C reads" (2 * c)
+        (Workload.Meter.scan_cost Workload.Campaign.Impl_afek ~c ~r:2);
+      check int "update = scan + 1"
+        ((2 * c) + 1)
+        (Workload.Meter.update_cost Workload.Campaign.Impl_afek ~c ~r:2
+           ~writer:0);
+      check bool "within worst-case bound" true
+        (2 * c <= Composite.Afek.scan_bound ~components:c))
+
+let test_scan_cost_bounded_under_storm () =
+  (* Against a storm of writer activity the scan cost stays within the
+     (C+2)*C worst case — wait-freedom with a polynomial bound. *)
+  let c = 3 in
+  for seed = 1 to 60 do
+    let env = Sim.create () in
+    let mem = Memory.of_sim env in
+    let h = Composite.Afek.create mem ~bits_per_value:16 ~init:(Array.make c 0) in
+    let writer k () =
+      for s = 1 to 6 do
+        ignore (h.Composite.Snapshot.update ~writer:k s)
+      done
+    in
+    let reader () = ignore (h.Composite.Snapshot.scan_items ~reader:0) in
+    let procs =
+      Array.append (Array.init c (fun k -> writer k)) [| reader |]
+    in
+    ignore (Sim.run env ~policy:(Schedule.Random seed) procs);
+    let reader_events =
+      List.length
+        (List.filter
+           (fun (e : Trace.event) -> e.proc = c && e.kind <> Trace.Note)
+           (Trace.events (Sim.trace env)))
+    in
+    if reader_events > Composite.Afek.scan_bound ~components:c then
+      Alcotest.failf "scan used %d events (bound %d) at seed %d" reader_events
+        (Composite.Afek.scan_bound ~components:c)
+        seed
+  done
+
+let test_borrow_path () =
+  (* Force a borrow: the reader's first collect, then writer 0 completes
+     two full updates before the reader proceeds — the reader must
+     return the second update's embedded view, and stay linearizable.
+
+     Events: an update is (scan = 2 collects = 2C reads) + 1 write; a
+     collect is C reads. *)
+  let c = 2 in
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let h = Composite.Afek.create mem ~bits_per_value:16 ~init:(Array.make c 0) in
+  let rec_ =
+    Composite.Snapshot.record
+      ~clock:(fun () -> Sim.now env)
+      ~initial:(Array.make c 0) h
+  in
+  let writer () =
+    for s = 1 to 3 do
+      rec_.Composite.Snapshot.rupdate ~writer:0 s
+    done
+  in
+  let reader () = ignore (rec_.Composite.Snapshot.rscan ~reader:0) in
+  let update_events = (2 * c) + 1 in
+  let script =
+    Array.concat
+      [
+        Array.make c 1; (* reader: first collect *)
+        Array.make (2 * update_events) 0; (* writer: two full updates *)
+        Array.make c 1; (* reader: second collect — writer moved *)
+        Array.make update_events 0; (* third update *)
+        Array.make (2 * c) 1; (* reader: collects — writer moved again: borrow *)
+      ]
+  in
+  ignore
+    (Sim.run env
+       ~policy:(Schedule.Scripted (script, Schedule.Round_robin))
+       [| writer; reader |]);
+  let h' = Composite.Snapshot.history rec_ in
+  check bool "still linearizable (borrowed view)" true
+    (History.Shrinking.conditions_hold ~equal:Int.equal h');
+  check bool "generic oracle agrees" true
+    (History.Linearize.is_linearizable
+       (History.Linearize.snapshot_spec ~equal:Int.equal)
+       ~init:(Array.make c 0)
+       (History.Snapshot_history.to_ops h'))
+
+let campaign_clean cfg () =
+  let r = Workload.Campaign.run cfg in
+  check int "no shrinking violations" 0 r.Workload.Campaign.flagged_runs;
+  check int "no generic failures" 0 r.Workload.Campaign.generic_failures;
+  check int "no disagreements" 0 r.Workload.Campaign.disagreements;
+  check int "no stuck runs" 0 r.Workload.Campaign.stuck_runs
+
+let campaign_case (components, readers, schedules, base_seed) =
+  Alcotest.test_case
+    (Printf.sprintf "campaign C=%d R=%d (%d schedules)" components readers
+       schedules)
+    `Quick
+    (campaign_clean
+       {
+         Workload.Campaign.default with
+         impl = Workload.Campaign.Impl_afek;
+         components;
+         readers;
+         writes_per_writer = 2;
+         scans_per_reader = 2;
+         schedules;
+         base_seed;
+       })
+
+let campaign_matrix =
+  [
+    (1, 2, 60, 1); (2, 1, 80, 2); (2, 3, 80, 3); (3, 2, 150, 0);
+    (4, 2, 60, 4); (5, 3, 60, 11); (6, 2, 40, 5);
+  ]
+
+let test_exhaustive_tiny () =
+  (* Afek updates embed whole scans, so even the tiniest configuration
+     has ~252k interleavings; explore a 50k-schedule DFS prefix (the
+     adversarial region: schedules differing early). *)
+  let r =
+    Workload.Campaign.exhaustive ~max_runs:50_000
+      ~impl:Workload.Campaign.Impl_afek ~components:2 ~readers:1
+      ~writes_per_writer:1 ~scans_per_reader:1 ()
+  in
+  check int "explored the full budget" 50_000 r.Workload.Campaign.ex_runs;
+  check int "no flagged schedules" 0 r.Workload.Campaign.ex_flagged
+
+let () =
+  Alcotest.run "afek"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "initial scan" `Quick test_initial_scan;
+          Alcotest.test_case "updates" `Quick test_sequential_updates;
+          Alcotest.test_case "ids monotone" `Quick test_ids_monotone;
+        ] );
+      ( "cost",
+        List.map quiescent_cost_case [ 1; 2; 3; 4; 6; 8 ]
+        @ [
+            Alcotest.test_case "storm scan within bound" `Quick
+              test_scan_cost_bounded_under_storm;
+          ] );
+      ( "linearizability",
+        (Alcotest.test_case "borrow path" `Quick test_borrow_path
+        :: List.map campaign_case campaign_matrix)
+        @ [ Alcotest.test_case "exhaustive tiny" `Slow test_exhaustive_tiny ] );
+    ]

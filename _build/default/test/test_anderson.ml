@@ -1,0 +1,504 @@
+(* Tests for the paper's C/B/1/R construction (lib/core/anderson):
+   sequential semantics, the Figure-4 scenarios, exact agreement with
+   the complexity recurrences, wait-freedom, and linearizability under
+   randomized and exhaustive schedule exploration — checked with the
+   Shrinking Lemma, its witness construction, and the generic oracle. *)
+
+open Csim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let fresh ~readers ~init =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let reg = Composite.Anderson.create mem ~readers ~bits_per_value:16 ~init in
+  (env, reg)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_initial_scan () =
+  let env, reg = fresh ~readers:2 ~init:[| 7; 8; 9 |] in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        out :=
+          Composite.Item.values (Composite.Anderson.scan_items reg ~reader:0))
+  in
+  check (Alcotest.array int) "initial values" [| 7; 8; 9 |] !out
+
+let test_sequential_updates () =
+  let env, reg = fresh ~readers:1 ~init:[| 0; 0; 0; 0 |] in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (Composite.Anderson.update reg ~writer:2 22);
+        ignore (Composite.Anderson.update reg ~writer:0 10);
+        ignore (Composite.Anderson.update reg ~writer:3 33);
+        ignore (Composite.Anderson.update reg ~writer:0 11);
+        out :=
+          Composite.Item.values (Composite.Anderson.scan_items reg ~reader:0))
+  in
+  check (Alcotest.array int) "after updates" [| 11; 0; 22; 33 |] !out
+
+let test_ids_monotone_per_component () =
+  let env, reg = fresh ~readers:1 ~init:[| 0; 0; 0 |] in
+  let ids = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        for k = 0 to 2 do
+          for _ = 1 to 3 do
+            ids := (k, Composite.Anderson.update reg ~writer:k 5) :: !ids
+          done
+        done)
+  in
+  List.iter
+    (fun k ->
+      let ks =
+        List.filter_map (fun (k', i) -> if k = k' then Some i else None)
+          (List.rev !ids)
+      in
+      check (Alcotest.list int) "ids count from 1" [ 1; 2; 3 ] ks)
+    [ 0; 1; 2 ]
+
+let test_scan_ids_match_updates () =
+  let env, reg = fresh ~readers:1 ~init:[| 0; 0 |] in
+  let got = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (Composite.Anderson.update reg ~writer:0 1);
+        ignore (Composite.Anderson.update reg ~writer:0 2);
+        ignore (Composite.Anderson.update reg ~writer:1 3);
+        got := Composite.Item.ids (Composite.Anderson.scan_items reg ~reader:0))
+  in
+  check (Alcotest.array int) "ids" [| 2; 1 |] !got
+
+let test_bad_indices () =
+  let env, reg = fresh ~readers:2 ~init:[| 0; 0 |] in
+  let run f = ignore (Sim.run_solo env f) in
+  Alcotest.check_raises "bad reader"
+    (Invalid_argument "Anderson.scan_items: bad reader") (fun () ->
+      run (fun () -> ignore (Composite.Anderson.scan_items reg ~reader:5)));
+  Alcotest.check_raises "bad writer"
+    (Invalid_argument "Anderson.update: bad writer") (fun () ->
+      run (fun () -> ignore (Composite.Anderson.update reg ~writer:7 0)))
+
+let test_create_validation () =
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  Alcotest.check_raises "no components"
+    (Invalid_argument "Anderson.create: need at least one component")
+    (fun () ->
+      ignore (Composite.Anderson.create mem ~readers:1 ~bits_per_value:8 ~init:[||]));
+  Alcotest.check_raises "no readers"
+    (Invalid_argument "Anderson.create: need at least one reader") (fun () ->
+      ignore
+        (Composite.Anderson.create mem ~readers:0 ~bits_per_value:8
+           ~init:[| 1; 2 |]))
+
+let test_handle_wrapper () =
+  let env, reg = fresh ~readers:2 ~init:[| 1; 2; 3 |] in
+  let h = Composite.Anderson.handle reg in
+  check int "components" 3 h.Composite.Snapshot.components;
+  check int "readers" 2 h.Composite.Snapshot.readers;
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () -> out := Composite.Snapshot.scan h ~reader:1)
+  in
+  check (Alcotest.array int) "scan via handle" [| 1; 2; 3 |] !out
+
+(* ------------------------------------------------------------------ *)
+(* Complexity: exact agreement with the paper's recurrences (E2-E4)     *)
+(* ------------------------------------------------------------------ *)
+
+let read_time_case (c, r) =
+  Alcotest.test_case
+    (Printf.sprintf "TR(C=%d, R=%d) = paper recurrence" c r)
+    `Quick
+    (fun () ->
+      let measured =
+        Workload.Meter.scan_cost Workload.Campaign.Impl_anderson ~c ~r
+      in
+      check int "recurrence" (Composite.Complexity.tr ~c) measured;
+      check int "closed form" (Composite.Complexity.tr_closed ~c) measured)
+
+let write_time_case (c, r) =
+  Alcotest.test_case
+    (Printf.sprintf "TW(C=%d, R=%d) = paper recurrence, all writers" c r)
+    `Quick
+    (fun () ->
+      for writer = 0 to c - 1 do
+        let measured =
+          Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r
+            ~writer
+        in
+        check int
+          (Printf.sprintf "writer %d" writer)
+          (Composite.Complexity.tw ~c ~r ~writer)
+          measured
+      done)
+
+let space_case (c, b, r) =
+  Alcotest.test_case
+    (Printf.sprintf "S(C=%d, B=%d, R=%d) = paper recurrence" c b r)
+    `Quick
+    (fun () ->
+      check int "bits"
+        (Composite.Complexity.space_mrsw_bits ~c ~b ~r)
+        (Workload.Meter.space_bits Workload.Campaign.Impl_anderson ~c ~b ~r);
+      check int "register count"
+        (Composite.Complexity.registers ~c ~r)
+        (Workload.Meter.space_registers Workload.Campaign.Impl_anderson ~c ~r))
+
+let test_tr_growth_is_exponential () =
+  (* TR(C+1) = 2 TR(C) + 5: strictly doubling. *)
+  for c = 1 to 9 do
+    check int "recurrence step"
+      ((2 * Composite.Complexity.tr ~c) + 5)
+      (Composite.Complexity.tr ~c:(c + 1))
+  done
+
+let test_write_time_independent_of_depth_at_base () =
+  (* Writer C-1 descends to the base register: exactly one access. *)
+  List.iter
+    (fun c ->
+      check int "deepest writer cost" 1
+        (Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r:2
+           ~writer:(c - 1)))
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 scenarios (E1)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_test name f expected_case expected_values expected_ids () =
+  let o = f () in
+  check bool
+    (name ^ ": branch predicted by the paper")
+    true
+    (o.Workload.Scenario.case = Some expected_case);
+  check (Alcotest.array int) (name ^ ": values") expected_values
+    o.Workload.Scenario.values;
+  check (Alcotest.array int) (name ^ ": ids") expected_ids
+    o.Workload.Scenario.ids;
+  check bool (name ^ ": linearizable") true o.Workload.Scenario.linearizable;
+  check bool (name ^ ": shrinking ok") true o.Workload.Scenario.shrinking_ok
+
+let test_fig4a =
+  outcome_test "fig4a" Workload.Scenario.fig4a
+    Composite.Anderson.Case_snapshot_seq [| 102; 2 |] [| 2; 0 |]
+
+let test_fig4b =
+  outcome_test "fig4b" Workload.Scenario.fig4b
+    Composite.Anderson.Case_snapshot_wc [| 102; 2 |] [| 2; 0 |]
+
+let test_case_ab =
+  outcome_test "case_ab" Workload.Scenario.case_ab Composite.Anderson.Case_ab
+    [| 101; 2 |] [| 1; 0 |]
+
+let test_case_cd =
+  outcome_test "case_cd" Workload.Scenario.case_cd Composite.Anderson.Case_cd
+    [| 101; 2 |] [| 1; 0 |]
+
+(* ------------------------------------------------------------------ *)
+(* Wait-freedom                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_reader_never_starves () =
+  List.iter
+    (fun writer_ops ->
+      check int
+        (Printf.sprintf "reader events with %d writer ops" writer_ops)
+        (Composite.Complexity.tr ~c:2)
+        (Workload.Scenario.wait_free_events ~writer_ops))
+    [ 0; 1; 10; 200 ]
+
+let test_all_schedules_terminate () =
+  (* Random storms at C=4 with every process hammering: no Stuck. *)
+  for seed = 1 to 20 do
+    let env, reg = fresh ~readers:3 ~init:[| 0; 0; 0; 0 |] in
+    let writer k () =
+      for s = 1 to 5 do
+        ignore (Composite.Anderson.update reg ~writer:k s)
+      done
+    in
+    let reader j () =
+      for _ = 1 to 5 do
+        ignore (Composite.Anderson.scan_items reg ~reader:j)
+      done
+    in
+    let procs =
+      [| writer 0; writer 1; writer 2; writer 3; reader 0; reader 1; reader 2 |]
+    in
+    let stats = Sim.run env ~policy:(Schedule.Random seed) ~max_steps:200_000 procs in
+    check bool "finished" true (stats.Sim.steps > 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability campaigns (E6)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_clean cfg () =
+  let r = Workload.Campaign.run cfg in
+  check int "no shrinking violations" 0 r.Workload.Campaign.flagged_runs;
+  check int "no generic failures" 0 r.Workload.Campaign.generic_failures;
+  check int "no witness failures" 0 r.Workload.Campaign.witness_failures;
+  check int "no stuck runs" 0 r.Workload.Campaign.stuck_runs;
+  check int "no disagreements" 0 r.Workload.Campaign.disagreements
+
+(* One campaign per (C, R, ops, schedules, seed) configuration; each
+   exercises a different recursion depth and reader-port population. *)
+let campaign_case (components, readers, writes, scans, schedules, base_seed) =
+  Alcotest.test_case
+    (Printf.sprintf "campaign C=%d R=%d (%dw/%ds x %d schedules)" components
+       readers writes scans schedules)
+    `Quick
+    (campaign_clean
+       {
+         Workload.Campaign.impl = Workload.Campaign.Impl_anderson;
+         components;
+         readers;
+         writes_per_writer = writes;
+         scans_per_reader = scans;
+         schedules;
+         base_seed;
+         check_generic = true;
+       })
+
+let campaign_matrix =
+  [
+    (1, 1, 3, 3, 60, 1);
+    (1, 3, 3, 3, 60, 2);
+    (2, 1, 3, 3, 80, 3);
+    (2, 2, 3, 3, 150, 1000);
+    (2, 3, 2, 2, 60, 4);
+    (3, 1, 3, 3, 80, 31);
+    (3, 2, 3, 3, 100, 1);
+    (3, 3, 2, 2, 60, 5);
+    (4, 2, 2, 2, 60, 77);
+    (4, 3, 2, 2, 40, 78);
+    (5, 2, 2, 1, 40, 8);
+    (6, 1, 1, 2, 25, 9);
+  ]
+
+let test_soak_random_shapes () =
+  let r =
+    Workload.Gen.soak ~impl:Workload.Campaign.Impl_anderson ~runs:60 ~seed:11
+      ~max_components:5 ~max_readers:4 ~max_ops:8
+  in
+  check int "no flagged soak runs" 0 r.Workload.Gen.soak_flagged;
+  check bool "substantial op volume" true (r.Workload.Gen.soak_ops > 500)
+
+let test_soak_wide_and_deep () =
+  let r =
+    Workload.Gen.soak ~impl:Workload.Campaign.Impl_anderson ~runs:20 ~seed:313
+      ~max_components:7 ~max_readers:2 ~max_ops:6
+  in
+  check int "no flagged soak runs (deep recursion)" 0 r.Workload.Gen.soak_flagged
+
+let test_branch_coverage_exhaustive () =
+  (* The case analysis of statement 8 is not dead code: over all
+     interleavings of three 0-Writes and one Read (C=2, R=1), every
+     branch fires on some schedule — and every schedule linearizes. *)
+  let seen = Hashtbl.create 4 in
+  let explore =
+    Sim.explore ~max_runs:60_000 (fun () ->
+        let env = Sim.create ~trace:false () in
+        let mem = Memory.of_sim env in
+        let reg =
+          Composite.Anderson.create mem ~readers:1 ~bits_per_value:8
+            ~init:[| 1; 2 |]
+        in
+        let rec_ =
+          Composite.Snapshot.record
+            ~clock:(fun () -> Sim.now env)
+            ~initial:[| 1; 2 |]
+            (Composite.Anderson.handle reg)
+        in
+        let writer () =
+          for s = 1 to 3 do
+            rec_.Composite.Snapshot.rupdate ~writer:0 (100 + s)
+          done
+        in
+        let reader () = ignore (rec_.Composite.Snapshot.rscan ~reader:0) in
+        let check_run (_ : Sim.env) =
+          (match Composite.Anderson.last_case reg with
+          | Some c -> Hashtbl.replace seen c ()
+          | None -> ());
+          if
+            not
+              (History.Shrinking.conditions_hold ~equal:Int.equal
+                 (Composite.Snapshot.history rec_))
+          then failwith "violation"
+        in
+        (env, [| writer; reader |], check_run))
+  in
+  check bool "exhaustive" true explore.Sim.exhaustive;
+  List.iter
+    (fun (case, label) ->
+      check bool (label ^ " branch reachable") true (Hashtbl.mem seen case))
+    [
+      (Composite.Anderson.Case_snapshot_seq, "seq handshake");
+      (Composite.Anderson.Case_snapshot_wc, "wc = a.wc+2");
+      (Composite.Anderson.Case_ab, "(a,b)");
+      (Composite.Anderson.Case_cd, "(c,d)");
+    ]
+
+let test_exhaustive_tiny () =
+  let r =
+    Workload.Campaign.exhaustive ~impl:Workload.Campaign.Impl_anderson
+      ~components:2 ~readers:1 ~writes_per_writer:1 ~scans_per_reader:1 ()
+  in
+  check bool "exhaustive" true r.Workload.Campaign.ex_exhaustive;
+  check int "no flagged schedules" 0 r.Workload.Campaign.ex_flagged;
+  check bool "covered thousands of schedules" true
+    (r.Workload.Campaign.ex_runs > 1000)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_random_campaign =
+  QCheck2.Test.make ~count:60 ~name:"random configs: shrinking conditions hold"
+    QCheck2.Gen.(
+      quad (int_range 1 4) (* components *)
+        (int_range 1 3) (* readers *)
+        (int_range 1 3) (* writes per writer *)
+        (int_range 0 1_000_000) (* seed *))
+    (fun (components, readers, writes, seed) ->
+      let cfg =
+        {
+          Workload.Campaign.impl = Workload.Campaign.Impl_anderson;
+          components;
+          readers;
+          writes_per_writer = writes;
+          scans_per_reader = 2;
+          schedules = 3;
+          base_seed = seed;
+          check_generic = false;
+        }
+      in
+      let r = Workload.Campaign.run cfg in
+      r.Workload.Campaign.flagged_runs = 0
+      && r.Workload.Campaign.witness_failures = 0
+      && r.Workload.Campaign.stuck_runs = 0)
+
+let qcheck_scan_is_reachable_state =
+  (* Under a sequentially consistent single-process workload, every scan
+     returns exactly the current abstract state. *)
+  QCheck2.Test.make ~count:100 ~name:"solo scans return the abstract state"
+    QCheck2.Gen.(list_size (int_range 1 20) (pair (int_range 0 2) (int_range 1 9)))
+    (fun cmds ->
+      let env, reg = fresh ~readers:1 ~init:[| 0; 0; 0 |] in
+      let abstract = [| 0; 0; 0 |] in
+      let ok = ref true in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () ->
+            List.iter
+              (fun (k, v) ->
+                ignore (Composite.Anderson.update reg ~writer:k v);
+                abstract.(k) <- v;
+                let got =
+                  Composite.Item.values
+                    (Composite.Anderson.scan_items reg ~reader:0)
+                in
+                if got <> abstract then ok := false)
+              cmds)
+      in
+      !ok)
+
+let qcheck_wait_free_cost_constant =
+  (* Whatever concurrent interleaving occurs, a single scan performs
+     exactly TR(C) accesses — wait-freedom in its strongest form. *)
+  QCheck2.Test.make ~count:50 ~name:"scan cost independent of interference"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 0 1_000_000))
+    (fun (c, seed) ->
+      let env = Sim.create () in
+      let mem = Memory.of_sim env in
+      let reg =
+        Composite.Anderson.create mem ~readers:1 ~bits_per_value:8
+          ~init:(Array.make c 0)
+      in
+      let procs =
+        Array.append
+          (Array.init c (fun k () ->
+               for s = 1 to 3 do
+                 ignore (Composite.Anderson.update reg ~writer:k s)
+               done))
+          [| (fun () -> ignore (Composite.Anderson.scan_items reg ~reader:0)) |]
+      in
+      ignore (Sim.run env ~policy:(Schedule.Random seed) procs);
+      let reader_events =
+        List.length
+          (List.filter
+             (fun (e : Trace.event) -> e.proc = c && e.kind <> Trace.Note)
+             (Trace.events (Sim.trace env)))
+      in
+      reader_events = Composite.Complexity.tr ~c)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "anderson"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "initial scan" `Quick test_initial_scan;
+          Alcotest.test_case "sequential updates" `Quick test_sequential_updates;
+          Alcotest.test_case "ids monotone" `Quick test_ids_monotone_per_component;
+          Alcotest.test_case "scan ids match updates" `Quick
+            test_scan_ids_match_updates;
+          Alcotest.test_case "bad indices" `Quick test_bad_indices;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "handle wrapper" `Quick test_handle_wrapper;
+        ] );
+      ( "complexity",
+        List.map read_time_case
+          [ (1, 1); (2, 1); (3, 2); (4, 3); (5, 2); (6, 4); (7, 1); (8, 2) ]
+        @ List.map write_time_case
+            [ (1, 1); (2, 2); (3, 2); (4, 3); (5, 2); (6, 3) ]
+        @ List.map space_case
+            [ (1, 8, 1); (2, 8, 3); (3, 16, 2); (4, 4, 4); (6, 8, 3); (8, 8, 2) ]
+        @ [
+            Alcotest.test_case "TR doubles per component" `Quick
+              test_tr_growth_is_exponential;
+            Alcotest.test_case "deepest writer costs 1" `Quick
+              test_write_time_independent_of_depth_at_base;
+          ] );
+      ( "figure-4",
+        [
+          Alcotest.test_case "fig 4(a)" `Quick test_fig4a;
+          Alcotest.test_case "fig 4(b)" `Quick test_fig4b;
+          Alcotest.test_case "case (a,b)" `Quick test_case_ab;
+          Alcotest.test_case "case (c,d)" `Quick test_case_cd;
+        ] );
+      ( "wait-freedom",
+        [
+          Alcotest.test_case "reader never starves" `Quick
+            test_reader_never_starves;
+          Alcotest.test_case "storm schedules terminate" `Quick
+            test_all_schedules_terminate;
+        ] );
+      ( "linearizability",
+        List.map campaign_case campaign_matrix
+        @ [
+            Alcotest.test_case "soak: random shapes" `Quick
+              test_soak_random_shapes;
+            Alcotest.test_case "soak: wide and deep" `Quick
+              test_soak_wide_and_deep;
+            Alcotest.test_case "exhaustive tiny config" `Slow
+              test_exhaustive_tiny;
+            Alcotest.test_case "statement-8 branch coverage" `Slow
+              test_branch_coverage_exhaustive;
+          ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_random_campaign;
+            qcheck_scan_is_reachable_state;
+            qcheck_wait_free_cost_constant;
+          ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the naive baselines (lib/core/double_collect): the unsafe
+   single collect must be caught by the checkers (negative control for
+   experiment E6); the repeated double collect is linearizable but not
+   wait-free. *)
+
+open Csim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_unsafe_sequentially_fine () =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let h = Composite.Double_collect.create_unsafe mem ~bits_per_value:8 ~init:[| 1; 2 |] in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (h.Composite.Snapshot.update ~writer:0 9);
+        out := Composite.Snapshot.scan h ~reader:0)
+  in
+  check (Alcotest.array int) "sequentially correct" [| 9; 2 |] !out
+
+let test_unsafe_caught_by_random_campaign () =
+  let cfg =
+    {
+      Workload.Campaign.default with
+      impl = Workload.Campaign.Impl_unsafe_collect;
+      schedules = 100;
+    }
+  in
+  let r = Workload.Campaign.run cfg in
+  check bool "many schedules flagged" true (r.Workload.Campaign.flagged_runs > 10);
+  check int "checkers agree exactly" r.Workload.Campaign.flagged_runs
+    r.Workload.Campaign.generic_failures;
+  check int "no disagreements" 0 r.Workload.Campaign.disagreements
+
+let test_unsafe_caught_exhaustively () =
+  let r =
+    Workload.Campaign.exhaustive ~impl:Workload.Campaign.Impl_unsafe_collect
+      ~components:2 ~readers:1 ~writes_per_writer:2 ~scans_per_reader:1 ()
+  in
+  check int "a violating schedule exists" 1 r.Workload.Campaign.ex_flagged;
+  check bool "diagnostic names a condition" true
+    (match r.Workload.Campaign.ex_first_failure with
+    | Some msg -> String.length msg > 0
+    | None -> false)
+
+let test_torn_read_schedule () =
+  (* Deterministic torn snapshot: reader reads component 0 (old), both
+     writers complete, reader reads component 1 (new): the view pairs a
+     value overwritten before the scan ended with one written after it
+     started — fine for ONE read, but with two sequential writes on the
+     same component the paper's Proximity/Write Precedence conditions
+     break.  Schedule: w0 writes, reader reads comp0, w0 writes again,
+     w1 writes, reader reads comp1. *)
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let h = Composite.Double_collect.create_unsafe mem ~bits_per_value:8 ~init:[| 0; 0 |] in
+  let rec_ =
+    Composite.Snapshot.record
+      ~clock:(fun () -> Sim.now env)
+      ~initial:[| 0; 0 |] h
+  in
+  let writer0 () =
+    rec_.Composite.Snapshot.rupdate ~writer:0 1;
+    rec_.Composite.Snapshot.rupdate ~writer:0 2
+  in
+  let writer1 () = rec_.Composite.Snapshot.rupdate ~writer:1 5 in
+  let reader () = ignore (rec_.Composite.Snapshot.rscan ~reader:0) in
+  (* proc ids: 0 = writer0, 1 = writer1, 2 = reader *)
+  ignore
+    (Sim.run env
+       ~policy:(Schedule.Scripted ([| 0; 2; 0; 1; 2 |], Schedule.Round_robin))
+       [| writer0; writer1; reader |]);
+  let h' = Composite.Snapshot.history rec_ in
+  let violations = History.Shrinking.check ~equal:Int.equal h' in
+  check bool "shrinking flags the torn read" true (violations <> []);
+  check bool "generic oracle rejects it" false
+    (History.Linearize.is_linearizable
+       (History.Linearize.snapshot_spec ~equal:Int.equal)
+       ~init:[| 0; 0 |]
+       (History.Snapshot_history.to_ops h'))
+
+let test_repeated_is_linearizable () =
+  let cfg =
+    {
+      Workload.Campaign.default with
+      impl = Workload.Campaign.Impl_repeated_collect;
+      schedules = 100;
+    }
+  in
+  let r = Workload.Campaign.run cfg in
+  check int "never flagged" 0 r.Workload.Campaign.flagged_runs;
+  check int "generic agrees" 0 r.Workload.Campaign.generic_failures
+
+let test_repeated_starves () =
+  (* Reader work grows linearly with writer interference. *)
+  let e10 = Workload.Scenario.starvation_events ~writer_ops:10 in
+  let e100 = Workload.Scenario.starvation_events ~writer_ops:100 in
+  check bool "10x writers => ~10x reader work" true (e100 > 5 * e10);
+  check bool "unbounded growth" true (e100 >= 200)
+
+let () =
+  Alcotest.run "double_collect"
+    [
+      ( "unsafe",
+        [
+          Alcotest.test_case "sequentially fine" `Quick
+            test_unsafe_sequentially_fine;
+          Alcotest.test_case "caught by random campaign" `Quick
+            test_unsafe_caught_by_random_campaign;
+          Alcotest.test_case "caught exhaustively" `Quick
+            test_unsafe_caught_exhaustively;
+          Alcotest.test_case "torn read schedule" `Quick test_torn_read_schedule;
+        ] );
+      ( "repeated",
+        [
+          Alcotest.test_case "linearizable" `Quick test_repeated_is_linearizable;
+          Alcotest.test_case "not wait-free (starves)" `Quick
+            test_repeated_starves;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* The paper's proof, machine-checked on concrete runs: Lemma 2 ("every
+   Read shrinks to a point"), property (12) (ghost ids are monotone),
+   and Lemma 1 (bounded Writer-0 progress without the handshake) — see
+   Workload.Lemmas.  A failure of any of these on any schedule would
+   contradict the paper's Section 4.2. *)
+
+open Csim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let clean (r : Workload.Lemmas.report) =
+  check int "lemma 2 failures" 0 r.Workload.Lemmas.lemma2_failures;
+  check int "property (12) failures" 0 r.Workload.Lemmas.property12_failures;
+  check int "lemma 1 failures" 0 r.Workload.Lemmas.lemma1_failures;
+  check bool "reads were actually checked" true
+    (r.Workload.Lemmas.reads_checked > 0)
+
+let test_default_config () =
+  clean (Workload.Lemmas.run ~schedules:40 ~base_seed:1 ())
+
+let test_wide_register () =
+  clean
+    (Workload.Lemmas.run ~components:4 ~readers:3 ~writes_per_writer:2
+       ~scans_per_reader:2 ~schedules:20 ~base_seed:500 ())
+
+let test_deep_recursion () =
+  clean
+    (Workload.Lemmas.run ~components:5 ~readers:1 ~writes_per_writer:2
+       ~scans_per_reader:2 ~schedules:10 ~base_seed:900 ())
+
+let test_single_component () =
+  clean
+    (Workload.Lemmas.run ~components:1 ~readers:2 ~schedules:15 ~base_seed:77 ())
+
+let test_many_readers () =
+  clean
+    (Workload.Lemmas.run ~components:2 ~readers:4 ~writes_per_writer:2
+       ~scans_per_reader:2 ~schedules:20 ~base_seed:4242 ())
+
+(* The ghost-state machinery itself. *)
+
+let test_ghost_items_track_updates () =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let reg =
+    Composite.Anderson.create mem ~readers:1 ~bits_per_value:8 ~init:[| 1; 2; 3 |]
+  in
+  let ghosts = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (Composite.Anderson.update reg ~writer:1 9);
+        ghosts := Composite.Anderson.ghost_items reg :: !ghosts;
+        ignore (Composite.Anderson.update reg ~writer:0 8);
+        ghosts := Composite.Anderson.ghost_items reg :: !ghosts)
+  in
+  match List.rev !ghosts with
+  | [ g1; g2 ] ->
+    check (Alcotest.array int) "after first update" [| 1; 9; 3 |]
+      (Composite.Item.values g1);
+    check (Alcotest.array int) "after second update" [| 8; 9; 3 |]
+      (Composite.Item.values g2);
+    check (Alcotest.array int) "ghost ids" [| 1; 1; 0 |] (Composite.Item.ids g2)
+  | _ -> Alcotest.fail "expected two ghosts"
+
+let test_observer_called_per_event () =
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let calls = ref 0 in
+  Sim.on_event env (fun ~step:_ -> incr calls);
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.write c 1;
+        ignore (Sim.read c);
+        Sim.write c 2)
+  in
+  check int "one call per event" 3 !calls
+
+let test_self_identity () =
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let ids = ref [] in
+  let p () =
+    ids := Sim.self () :: !ids;
+    Sim.write c 1;
+    ids := Sim.self () :: !ids
+  in
+  let (_ : Sim.stats) = Sim.run env ~policy:Schedule.Round_robin [| p; p; p |] in
+  check int "six identity queries" 6 (List.length !ids);
+  List.iter
+    (fun i -> check bool "valid process id" true (i >= 0 && i < 3))
+    !ids;
+  Alcotest.check_raises "self outside simulation" Sim.Not_in_simulation
+    (fun () -> ignore (Sim.self ()))
+
+let () =
+  Alcotest.run "lemmas"
+    [
+      ( "executable proof",
+        [
+          Alcotest.test_case "default config" `Quick test_default_config;
+          Alcotest.test_case "wide register" `Quick test_wide_register;
+          Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+          Alcotest.test_case "single component" `Quick test_single_component;
+          Alcotest.test_case "many readers" `Quick test_many_readers;
+        ] );
+      ( "ghost machinery",
+        [
+          Alcotest.test_case "ghost items" `Quick test_ghost_items_track_updates;
+          Alcotest.test_case "observer per event" `Quick
+            test_observer_called_per_event;
+          Alcotest.test_case "process identity" `Quick test_self_identity;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the Atomic.t-backed parallel instances (lib/core/multicore):
+   real domains, recorded histories checked offline.  Workloads are kept
+   small — correctness, not throughput, is asserted (throughput is
+   bench/main.ml's job). *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let stress_and_check ~name handle ~init ~config =
+  let h = Composite.Multicore.stress ~config ~init ~handle in
+  let violations = History.Shrinking.check ~equal:Int.equal h in
+  if violations <> [] then
+    Alcotest.failf "%s: %d shrinking violations on domains" name
+      (List.length violations);
+  (* The generic oracle confirms small histories. *)
+  if History.Snapshot_history.size h <= 40 then
+    check bool (name ^ ": generic oracle") true
+      (History.Linearize.is_linearizable
+         (History.Linearize.snapshot_spec ~equal:Int.equal)
+         ~init
+         (History.Snapshot_history.to_ops h));
+  h
+
+let small_config =
+  { Composite.Multicore.writer_ops = 5; reader_ops = 6; readers = 2 }
+
+let test_anderson_domains () =
+  let init = [| 0; 0; 0 |] in
+  let handle = Composite.Multicore.anderson ~readers:2 ~init in
+  let h = stress_and_check ~name:"anderson" handle ~init ~config:small_config in
+  check int "all writes recorded" 15 (List.length h.History.Snapshot_history.writes);
+  check int "all reads recorded" 12 (List.length h.History.Snapshot_history.reads)
+
+let test_afek_domains () =
+  let init = [| 0; 0 |] in
+  let handle = Composite.Multicore.afek ~init in
+  ignore (stress_and_check ~name:"afek" handle ~init ~config:small_config)
+
+let test_locked_domains () =
+  let init = [| 0; 0 |] in
+  let handle = Composite.Multicore.locked ~init in
+  ignore (stress_and_check ~name:"locked" handle ~init ~config:small_config)
+
+let test_anderson_domains_larger () =
+  (* More operations; checked by the Shrinking conditions only. *)
+  let init = [| 0; 0; 0; 0 |] in
+  let handle = Composite.Multicore.anderson ~readers:3 ~init in
+  let config = { Composite.Multicore.writer_ops = 50; reader_ops = 50; readers = 3 } in
+  let h = Composite.Multicore.stress ~config ~init ~handle in
+  check int "no violations at scale" 0
+    (List.length (History.Shrinking.check ~equal:Int.equal h))
+
+let test_multi_writer_domains () =
+  (* 2 components x 2 writers each on domains, running raw (the handle
+     itself is wait-free and thread-safe).  Checks: a reader's
+     successive scans never observe a component's auxiliary id going
+     backwards (scans are linearized), and the final value of each
+     component is one of the values actually written to it. *)
+  let init = [| 0; 0 |] in
+  let mw =
+    Composite.Multicore.multi_writer ~components:2 ~writers_per_component:2
+      ~readers:2 ~init
+  in
+  let writer comp widx =
+    Domain.spawn (fun () ->
+        for s = 1 to 200 do
+          ignore
+            (Composite.Multi_writer.update mw ~comp ~widx
+               ((comp * 10_000) + (widx * 1_000) + s))
+        done)
+  in
+  let monotone = Atomic.make true in
+  let reader j =
+    Domain.spawn (fun () ->
+        let prev = ref [| 0; 0 |] in
+        for _ = 1 to 200 do
+          let ids =
+            Composite.Item.ids (Composite.Multi_writer.scan_items mw ~reader:j)
+          in
+          if not (Array.for_all2 ( <= ) !prev ids) then
+            Atomic.set monotone false;
+          prev := ids
+        done)
+  in
+  let doms = [ writer 0 0; writer 0 1; writer 1 0; writer 1 1; reader 0; reader 1 ] in
+  List.iter Domain.join doms;
+  check bool "per-reader id monotonicity" true (Atomic.get monotone);
+  let final =
+    Composite.Item.values (Composite.Multi_writer.scan_items mw ~reader:0)
+  in
+  Array.iteri
+    (fun comp v ->
+      let widx = v / 1_000 mod 10 and s = v mod 1_000 in
+      check bool "final value was genuinely written" true
+        (v / 10_000 = comp && widx < 2 && s >= 1 && s <= 200))
+    final
+
+let test_tick_clock_monotone () =
+  let clock = Composite.Multicore.tick_clock () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Array.init 1000 (fun _ -> clock ())))
+  in
+  let all = List.concat_map (fun d -> Array.to_list (Domain.join d)) domains in
+  let sorted = List.sort_uniq compare all in
+  check int "4000 distinct ticks" 4000 (List.length sorted)
+
+let test_snapshot_monotone_across_scans () =
+  (* One reader's successive scans of increasing counters never step
+     backwards in any component. *)
+  let init = [| 0; 0 |] in
+  let handle = Composite.Multicore.anderson ~readers:1 ~init in
+  let writers =
+    List.init 2 (fun k ->
+        Domain.spawn (fun () ->
+            for s = 1 to 2000 do
+              ignore (handle.Composite.Snapshot.update ~writer:k s)
+            done))
+  in
+  let ok = ref true in
+  let prev = ref [| 0; 0 |] in
+  for _ = 1 to 500 do
+    let snap = Composite.Snapshot.scan handle ~reader:0 in
+    if not (Array.for_all2 ( <= ) !prev snap) then ok := false;
+    prev := snap
+  done;
+  List.iter Domain.join writers;
+  check bool "componentwise monotone" true !ok
+
+let () =
+  Alcotest.run "multicore"
+    [
+      ( "stress",
+        [
+          Alcotest.test_case "anderson on domains" `Quick test_anderson_domains;
+          Alcotest.test_case "afek on domains" `Quick test_afek_domains;
+          Alcotest.test_case "locked on domains" `Quick test_locked_domains;
+          Alcotest.test_case "anderson at scale" `Slow
+            test_anderson_domains_larger;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "tick clock" `Quick test_tick_clock_monotone;
+          Alcotest.test_case "monotone scans" `Quick
+            test_snapshot_monotone_across_scans;
+          Alcotest.test_case "multi-writer on domains" `Quick
+            test_multi_writer_domains;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the multi-writer composite register (lib/core/multi_writer):
+   the companion-paper result realized over the single-writer
+   construction, with both Anderson and Afek substrates. *)
+
+open Csim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let anderson_factory mem =
+  {
+    Composite.Snapshot.make_sw =
+      (fun ~readers ~init ->
+        Composite.Anderson.handle
+          (Composite.Anderson.create mem ~readers ~bits_per_value:32 ~init));
+  }
+
+let afek_factory mem =
+  {
+    Composite.Snapshot.make_sw =
+      (fun ~readers ~init ->
+        ignore readers;
+        Composite.Afek.create mem ~bits_per_value:32 ~init);
+  }
+
+let fresh ?(factory = anderson_factory) ~c ~w ~readers ~init () =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let mw =
+    Composite.Multi_writer.create (factory mem) ~components:c
+      ~writers_per_component:w ~readers ~init
+  in
+  (env, mw)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_initial_scan () =
+  let env, mw = fresh ~c:2 ~w:2 ~readers:1 ~init:[| 7; 9 |] () in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        let items = Composite.Multi_writer.scan_items mw ~reader:0 in
+        out := Composite.Item.values items;
+        check (Alcotest.array int) "initial ids are 0" [| 0; 0 |]
+          (Composite.Item.ids items))
+  in
+  check (Alcotest.array int) "initial values" [| 7; 9 |] !out
+
+let test_last_writer_wins () =
+  let env, mw = fresh ~c:2 ~w:3 ~readers:1 ~init:[| 0; 0 |] () in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (Composite.Multi_writer.update mw ~comp:0 ~widx:1 11);
+        ignore (Composite.Multi_writer.update mw ~comp:0 ~widx:2 22);
+        ignore (Composite.Multi_writer.update mw ~comp:1 ~widx:0 33);
+        out :=
+          Composite.Item.values (Composite.Multi_writer.scan_items mw ~reader:0))
+  in
+  check (Alcotest.array int) "latest writes win" [| 22; 33 |] !out
+
+let test_same_writer_overwrites () =
+  let env, mw = fresh ~c:1 ~w:2 ~readers:1 ~init:[| 0 |] () in
+  let out = ref [||] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (Composite.Multi_writer.update mw ~comp:0 ~widx:0 1);
+        ignore (Composite.Multi_writer.update mw ~comp:0 ~widx:0 2);
+        out :=
+          Composite.Item.values (Composite.Multi_writer.scan_items mw ~reader:0))
+  in
+  check (Alcotest.array int) "own overwrite" [| 2 |] !out
+
+let test_ids_strictly_increase () =
+  let env, mw = fresh ~c:1 ~w:2 ~readers:1 ~init:[| 0 |] () in
+  let ids = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ids := Composite.Multi_writer.update mw ~comp:0 ~widx:0 1 :: !ids;
+        ids := Composite.Multi_writer.update mw ~comp:0 ~widx:1 2 :: !ids;
+        ids := Composite.Multi_writer.update mw ~comp:0 ~widx:0 3 :: !ids)
+  in
+  let l = List.rev !ids in
+  check bool "strictly increasing" true
+    (match l with [ a; b; c ] -> a < b && b < c | _ -> false)
+
+let test_validation () =
+  let env, mw = fresh ~c:2 ~w:2 ~readers:1 ~init:[| 0; 0 |] () in
+  ignore env;
+  Alcotest.check_raises "bad comp"
+    (Invalid_argument "Multi_writer.update: bad comp") (fun () ->
+      ignore (Composite.Multi_writer.update mw ~comp:5 ~widx:0 1));
+  Alcotest.check_raises "bad widx"
+    (Invalid_argument "Multi_writer.update: bad widx") (fun () ->
+      ignore (Composite.Multi_writer.update mw ~comp:0 ~widx:9 1))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent campaigns                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_campaign ~factory ~seeds ~c ~w ~readers =
+  let flagged = ref 0 and generic_fail = ref 0 in
+  for seed = 1 to seeds do
+    let env = Sim.create ~trace:false () in
+    let mem = Memory.of_sim env in
+    let init = Array.init c (fun k -> k * 100) in
+    let mw =
+      Composite.Multi_writer.create (factory mem) ~components:c
+        ~writers_per_component:w ~readers ~init
+    in
+    let rec_ =
+      Composite.Multi_writer.record ~clock:(fun () -> Sim.now env) ~initial:init mw
+    in
+    let writer comp widx () =
+      for s = 1 to 2 do
+        rec_.Composite.Multi_writer.mupdate ~comp ~widx
+          ((comp * 1000) + (widx * 100) + s)
+      done
+    in
+    let reader j () =
+      for _ = 1 to 3 do
+        ignore (rec_.Composite.Multi_writer.mscan ~reader:j)
+      done
+    in
+    let procs =
+      Array.append
+        (Array.concat
+           (List.init c (fun comp ->
+                Array.init w (fun widx -> writer comp widx))))
+        (Array.init readers (fun j -> reader j))
+    in
+    ignore (Sim.run env ~policy:(Schedule.Random seed) procs);
+    let h = Composite.Multi_writer.history rec_ in
+    if not (History.Shrinking.conditions_hold ~equal:Int.equal h) then
+      incr flagged;
+    if History.Snapshot_history.size h <= 40 then
+      if
+        not
+          (History.Linearize.is_linearizable
+             (History.Linearize.snapshot_spec ~equal:Int.equal)
+             ~init (History.Snapshot_history.to_ops h))
+      then incr generic_fail
+  done;
+  (!flagged, !generic_fail)
+
+let campaign_case (label, factory, seeds, c, w, readers) =
+  Alcotest.test_case
+    (Printf.sprintf "%s substrate, C=%d W=%d R=%d (%d seeds)" label c w readers
+       seeds)
+    `Quick
+    (fun () ->
+      let flagged, generic = run_campaign ~factory ~seeds ~c ~w ~readers in
+      check int "no shrinking violations" 0 flagged;
+      check int "no generic failures" 0 generic)
+
+let campaign_matrix =
+  [
+    ("anderson", anderson_factory, 60, 2, 2, 2);
+    ("anderson", anderson_factory, 30, 1, 3, 2);
+    ("afek", afek_factory, 60, 2, 2, 2);
+    ("afek", afek_factory, 40, 1, 3, 2);
+    ("afek", afek_factory, 30, 3, 2, 1);
+    ("afek", afek_factory, 30, 2, 3, 2);
+  ]
+
+(* The single-component multi-writer composite register is exactly a
+   multi-writer atomic register (the paper's Section 1 observation). *)
+let test_single_component_is_mrmw_register () =
+  for seed = 1 to 50 do
+    let env = Sim.create ~trace:false () in
+    let mem = Memory.of_sim env in
+    let mw =
+      Composite.Multi_writer.create (anderson_factory mem) ~components:1
+        ~writers_per_component:2 ~readers:1 ~init:[| 0 |]
+    in
+    let ops = ref [] in
+    let record proc label f =
+      let inv = Sim.now env in
+      let i, o = f () in
+      let res = Sim.now env in
+      ops := History.Oprec.v ~proc ~label ~input:i ~output:o ~inv ~res :: !ops
+    in
+    let writer widx () =
+      List.iter
+        (fun v ->
+          record widx "w" (fun () ->
+              ignore (Composite.Multi_writer.update mw ~comp:0 ~widx v);
+              (History.Linearize.Reg_write v, History.Linearize.Reg_done)))
+        [ (widx * 10) + 1; (widx * 10) + 2 ]
+    in
+    let reader () =
+      for _ = 1 to 3 do
+        record 2 "r" (fun () ->
+            let v =
+              (Composite.Multi_writer.scan_items mw ~reader:0).(0).Composite.Item.v
+            in
+            (History.Linearize.Reg_read, History.Linearize.Reg_value v))
+      done
+    in
+    ignore
+      (Sim.run env ~policy:(Schedule.Random seed) [| writer 0; writer 1; reader |]);
+    if
+      not
+        (History.Linearize.is_linearizable
+           (History.Linearize.register_spec ~equal:Int.equal)
+           ~init:0 !ops)
+    then Alcotest.failf "MRMW register semantics violated at seed %d" seed
+  done
+
+let () =
+  Alcotest.run "multi_writer"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "initial scan" `Quick test_initial_scan;
+          Alcotest.test_case "last writer wins" `Quick test_last_writer_wins;
+          Alcotest.test_case "own overwrite" `Quick test_same_writer_overwrites;
+          Alcotest.test_case "ids increase" `Quick test_ids_strictly_increase;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "concurrent",
+        List.map campaign_case campaign_matrix
+        @ [
+            Alcotest.test_case "single component = MRMW register" `Quick
+              test_single_component_is_mrmw_register;
+          ] );
+    ]

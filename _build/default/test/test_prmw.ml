@@ -1,0 +1,433 @@
+(* Tests for wait-free PRMW objects (lib/prmw): counters, max-registers
+   and generic commutative accumulators over composite registers. *)
+
+open Csim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let factory mem =
+  {
+    Composite.Snapshot.make_sw =
+      (fun ~readers ~init ->
+        Composite.Anderson.handle
+          (Composite.Anderson.create mem ~readers ~bits_per_value:64 ~init));
+  }
+
+let with_sim f =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  f env (factory mem)
+
+(* ------------------------------------------------------------------ *)
+(* Counter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_sequential () =
+  with_sim (fun env factory ->
+      let c = Prmw.counter factory ~processes:3 ~readers:1 in
+      let out = ref 0 in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () ->
+            Prmw.incr c ~proc:0;
+            Prmw.add c ~proc:1 10;
+            Prmw.add c ~proc:2 (-3);
+            out := Prmw.get c ~reader:0)
+      in
+      check int "sum of increments" 8 !out)
+
+let test_counter_exact_under_concurrency () =
+  for seed = 1 to 60 do
+    with_sim (fun env factory ->
+        let c = Prmw.counter factory ~processes:3 ~readers:1 in
+        let worker p () =
+          for _ = 1 to 5 do
+            Prmw.incr c ~proc:p
+          done
+        in
+        let final = ref 0 in
+        let reader () = final := Prmw.get c ~reader:0 in
+        ignore
+          (Sim.run env ~policy:(Schedule.Random seed)
+             [| worker 0; worker 1; worker 2 |]);
+        ignore (Sim.run_solo env reader);
+        check int "no lost updates" 15 !final)
+  done
+
+let test_counter_monotone_reads () =
+  for seed = 1 to 40 do
+    with_sim (fun env factory ->
+        let c = Prmw.counter factory ~processes:2 ~readers:1 in
+        let reads = ref [] in
+        let worker p () =
+          for _ = 1 to 5 do
+            Prmw.incr c ~proc:p
+          done
+        in
+        let reader () =
+          for _ = 1 to 6 do
+            reads := Prmw.get c ~reader:0 :: !reads
+          done
+        in
+        ignore
+          (Sim.run env ~policy:(Schedule.Random seed) [| worker 0; worker 1; reader |]);
+        let ordered = List.rev !reads in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> a <= b && monotone rest
+          | [ _ ] | [] -> true
+        in
+        check bool "reads monotone" true (monotone ordered);
+        check bool "reads bounded by total" true
+          (List.for_all (fun v -> v >= 0 && v <= 10) ordered))
+  done
+
+let test_counter_linearizable_as_counter_object () =
+  (* Record increments and gets; check against the counter spec with the
+     generic oracle. *)
+  for seed = 1 to 40 do
+    with_sim (fun env factory ->
+        let c = Prmw.counter factory ~processes:2 ~readers:1 in
+        let ops = ref [] in
+        let record proc label f =
+          let inv = Sim.now env in
+          let i, o = f () in
+          let res = Sim.now env in
+          ops := History.Oprec.v ~proc ~label ~input:i ~output:o ~inv ~res :: !ops
+        in
+        let worker p () =
+          for _ = 1 to 3 do
+            record p "incr" (fun () ->
+                Prmw.incr c ~proc:p;
+                (History.Linearize.Incr 1, History.Linearize.Incr_done))
+          done
+        in
+        let reader () =
+          for _ = 1 to 3 do
+            record 2 "get" (fun () ->
+                let v = Prmw.get c ~reader:0 in
+                (History.Linearize.Get, History.Linearize.Count v))
+          done
+        in
+        ignore
+          (Sim.run env ~policy:(Schedule.Random seed) [| worker 0; worker 1; reader |]);
+        if
+          not
+            (History.Linearize.is_linearizable History.Linearize.counter_spec
+               ~init:0 !ops)
+        then Alcotest.failf "counter not linearizable at seed %d" seed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Max register and generic objects                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_max_register () =
+  with_sim (fun env factory ->
+      let m = Prmw.max_register factory ~processes:2 ~readers:1 in
+      let out = ref 0 in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () ->
+            Prmw.apply m ~proc:0 5;
+            Prmw.apply m ~proc:1 9;
+            Prmw.apply m ~proc:0 7;
+            out := Prmw.read m ~reader:0)
+      in
+      check int "max of samples" 9 !out)
+
+let test_max_register_empty () =
+  with_sim (fun env factory ->
+      let m = Prmw.max_register factory ~processes:2 ~readers:1 in
+      let out = ref 0 in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () -> out := Prmw.read m ~reader:0)
+      in
+      check int "empty max is min_int" min_int !out)
+
+let test_generic_set_union () =
+  (* Commutative monoid: sorted-int-list union. *)
+  let union a b = List.sort_uniq compare (a @ b) in
+  with_sim (fun env factory ->
+      let s =
+        Prmw.create factory ~processes:2 ~readers:1 ~unit_:[]
+          ~combine:(fun acc x -> union acc [ x ])
+          ~fold:union
+      in
+      let out = ref [] in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () ->
+            Prmw.apply s ~proc:0 3;
+            Prmw.apply s ~proc:1 1;
+            Prmw.apply s ~proc:0 2;
+            Prmw.apply s ~proc:1 3;
+            out := Prmw.read s ~reader:0)
+      in
+      check (Alcotest.list int) "set union" [ 1; 2; 3 ] !out)
+
+let test_component_values () =
+  with_sim (fun env factory ->
+      let c = Prmw.counter factory ~processes:3 ~readers:1 in
+      let out = ref [||] in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () ->
+            Prmw.add c ~proc:0 1;
+            Prmw.add c ~proc:2 5;
+            out := Prmw.component_values c ~reader:0)
+      in
+      check (Alcotest.array int) "per-process contributions" [| 1; 0; 5 |] !out)
+
+let test_apply_is_wait_free () =
+  (* One apply = one component write plus nothing else: constant events
+     regardless of contention (the PRMW claim). *)
+  with_sim (fun env factory ->
+      let c = Prmw.counter factory ~processes:2 ~readers:1 in
+      let (_ : Sim.stats) = Sim.run_solo env (fun () -> Prmw.incr c ~proc:0) in
+      let baseline = Sim.now env in
+      let (_ : Sim.stats) = Sim.run_solo env (fun () -> Prmw.incr c ~proc:0) in
+      let cost = Sim.now env - baseline in
+      (* Writer 0 of a 2-component register: TW0(2, R). *)
+      check bool "constant small cost" true (cost <= 10);
+      check int "equals TW of the construction" cost
+        (Composite.Complexity.tw ~c:2 ~r:1 ~writer:0))
+
+let test_validation () =
+  with_sim (fun _env factory ->
+      Alcotest.check_raises "zero processes"
+        (Invalid_argument "Prmw.create: processes must be >= 1") (fun () ->
+          ignore (Prmw.counter factory ~processes:0 ~readers:1));
+      let c = Prmw.counter factory ~processes:2 ~readers:1 in
+      Alcotest.check_raises "bad proc" (Invalid_argument "Prmw.apply: bad proc")
+        (fun () -> Prmw.incr c ~proc:7))
+
+(* ------------------------------------------------------------------ *)
+(* Versioned objects: Read / Write / PRMW                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential specification of a resettable counter. *)
+type vin = V_write of int | V_add of int | V_read
+type vout = V_done | V_val of int
+
+let vspec : (int, vin, vout) History.Linearize.spec =
+  {
+    apply =
+      (fun st i ->
+        match i with
+        | V_write v -> (v, V_done)
+        | V_add d -> (st + d, V_done)
+        | V_read -> (st, V_val st));
+    equal_output = (fun a b -> a = b);
+  }
+
+let test_versioned_sequential () =
+  with_sim (fun env factory ->
+      let c = Prmw.Versioned.counter factory ~processes:2 ~readers:1 in
+      let reads = ref [] in
+      let rd () = reads := Prmw.Versioned.read c ~reader:0 :: !reads in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () ->
+            rd ();
+            Prmw.Versioned.apply c ~proc:0 5;
+            rd ();
+            Prmw.Versioned.write c ~proc:1 100;
+            rd ();
+            Prmw.Versioned.apply c ~proc:0 2;
+            Prmw.Versioned.apply c ~proc:1 3;
+            rd ();
+            Prmw.Versioned.write c ~proc:0 0;
+            rd ())
+      in
+      check (Alcotest.list int) "reset semantics" [ 0; 5; 100; 105; 0 ]
+        (List.rev !reads))
+
+let test_versioned_write_discards_contributions () =
+  with_sim (fun env factory ->
+      let c = Prmw.Versioned.counter factory ~processes:3 ~readers:1 in
+      let out = ref 0 in
+      let (_ : Sim.stats) =
+        Sim.run_solo env (fun () ->
+            Prmw.Versioned.apply c ~proc:0 7;
+            Prmw.Versioned.apply c ~proc:1 9;
+            Prmw.Versioned.write c ~proc:2 50;
+            Prmw.Versioned.apply c ~proc:0 1;
+            out := Prmw.Versioned.read c ~reader:0)
+      in
+      check int "only post-write contributions count" 51 !out)
+
+let test_versioned_linearizable () =
+  for seed = 1 to 80 do
+    with_sim (fun env factory ->
+        let c = Prmw.Versioned.counter factory ~processes:2 ~readers:2 in
+        let ops = ref [] in
+        let record proc f =
+          let inv = Sim.now env in
+          let i, o = f () in
+          let res = Sim.now env in
+          ops :=
+            History.Oprec.v ~proc ~label:"" ~input:i ~output:o ~inv ~res :: !ops
+        in
+        let worker p () =
+          record p (fun () ->
+              Prmw.Versioned.apply c ~proc:p 1;
+              (V_add 1, V_done));
+          record p (fun () ->
+              Prmw.Versioned.write c ~proc:p (p * 50);
+              (V_write (p * 50), V_done));
+          record p (fun () ->
+              Prmw.Versioned.apply c ~proc:p 2;
+              (V_add 2, V_done))
+        in
+        let reader j () =
+          for _ = 1 to 3 do
+            record (10 + j) (fun () ->
+                let v = Prmw.Versioned.read c ~reader:j in
+                (V_read, V_val v))
+          done
+        in
+        ignore
+          (Sim.run env ~policy:(Schedule.Random seed)
+             [| worker 0; worker 1; reader 0; reader 1 |]);
+        if not (History.Linearize.is_linearizable vspec ~init:0 !ops) then
+          Alcotest.failf "versioned object not linearizable at seed %d" seed)
+  done
+
+let test_versioned_exhaustive_tiny () =
+  (* Every interleaving of one Write, one PRMW and one Read. *)
+  let explore =
+    Sim.explore ~max_runs:150_000 (fun () ->
+        let env = Sim.create ~trace:false () in
+        let mem = Memory.of_sim env in
+        let fac =
+          {
+            Composite.Snapshot.make_sw =
+              (fun ~readers ~init ->
+                ignore readers;
+                Composite.Afek.create mem ~bits_per_value:64 ~init);
+          }
+        in
+        let c = Prmw.Versioned.counter fac ~processes:2 ~readers:1 in
+        let ops = ref [] in
+        let record proc f =
+          let inv = Sim.now env in
+          let i, o = f () in
+          let res = Sim.now env in
+          ops :=
+            History.Oprec.v ~proc ~label:"" ~input:i ~output:o ~inv ~res :: !ops
+        in
+        let procs =
+          [|
+            (fun () ->
+              record 0 (fun () ->
+                  Prmw.Versioned.write c ~proc:0 10;
+                  (V_write 10, V_done)));
+            (fun () ->
+              record 1 (fun () ->
+                  Prmw.Versioned.apply c ~proc:1 3;
+                  (V_add 3, V_done)));
+            (fun () ->
+              record 2 (fun () ->
+                  let v = Prmw.Versioned.read c ~reader:0 in
+                  (V_read, V_val v)));
+          |]
+        in
+        let check_run (_ : Sim.env) =
+          if not (History.Linearize.is_linearizable vspec ~init:0 !ops) then
+            failwith "not linearizable"
+        in
+        (env, procs, check_run))
+  in
+  check bool "explored a meaningful sample" true (explore.Sim.runs > 1000)
+
+let test_versioned_exhaustive_writes () =
+  (* Every interleaving of two concurrent Writes and one Read: the Read
+     must return one of the two written values or the initial one,
+     consistently with real-time order. *)
+  let explore =
+    Sim.explore ~max_runs:150_000 (fun () ->
+        let env = Sim.create ~trace:false () in
+        let mem = Memory.of_sim env in
+        let fac =
+          {
+            Composite.Snapshot.make_sw =
+              (fun ~readers ~init ->
+                ignore readers;
+                Composite.Afek.create mem ~bits_per_value:64 ~init);
+          }
+        in
+        let c = Prmw.Versioned.counter fac ~processes:2 ~readers:1 in
+        let ops = ref [] in
+        let record proc f =
+          let inv = Sim.now env in
+          let i, o = f () in
+          let res = Sim.now env in
+          ops :=
+            History.Oprec.v ~proc ~label:"" ~input:i ~output:o ~inv ~res :: !ops
+        in
+        let procs =
+          [|
+            (fun () ->
+              record 0 (fun () ->
+                  Prmw.Versioned.write c ~proc:0 10;
+                  (V_write 10, V_done)));
+            (fun () ->
+              record 1 (fun () ->
+                  Prmw.Versioned.write c ~proc:1 20;
+                  (V_write 20, V_done)));
+            (fun () ->
+              record 2 (fun () ->
+                  let v = Prmw.Versioned.read c ~reader:0 in
+                  (V_read, V_val v)));
+          |]
+        in
+        let check_run (_ : Sim.env) =
+          if not (History.Linearize.is_linearizable vspec ~init:0 !ops) then
+            failwith "not linearizable"
+        in
+        (env, procs, check_run))
+  in
+  check bool "explored a meaningful sample" true (explore.Sim.runs > 1000)
+
+let test_versioned_validation () =
+  with_sim (fun _env factory ->
+      let c = Prmw.Versioned.counter factory ~processes:2 ~readers:1 in
+      Alcotest.check_raises "bad proc" (Invalid_argument "Versioned.apply")
+        (fun () -> Prmw.Versioned.apply c ~proc:9 1);
+      Alcotest.check_raises "bad reader" (Invalid_argument "Versioned.read")
+        (fun () -> ignore (Prmw.Versioned.read c ~reader:9)))
+
+let () =
+  Alcotest.run "prmw"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "sequential" `Quick test_counter_sequential;
+          Alcotest.test_case "exact under concurrency" `Quick
+            test_counter_exact_under_concurrency;
+          Alcotest.test_case "monotone reads" `Quick test_counter_monotone_reads;
+          Alcotest.test_case "linearizable counter object" `Quick
+            test_counter_linearizable_as_counter_object;
+        ] );
+      ( "objects",
+        [
+          Alcotest.test_case "max register" `Quick test_max_register;
+          Alcotest.test_case "max register empty" `Quick test_max_register_empty;
+          Alcotest.test_case "generic set union" `Quick test_generic_set_union;
+          Alcotest.test_case "component values" `Quick test_component_values;
+          Alcotest.test_case "apply wait-free cost" `Quick
+            test_apply_is_wait_free;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "versioned",
+        [
+          Alcotest.test_case "sequential reset semantics" `Quick
+            test_versioned_sequential;
+          Alcotest.test_case "write discards stale contributions" `Quick
+            test_versioned_write_discards_contributions;
+          Alcotest.test_case "linearizable under random schedules" `Quick
+            test_versioned_linearizable;
+          Alcotest.test_case "exhaustive tiny" `Slow
+            test_versioned_exhaustive_tiny;
+          Alcotest.test_case "exhaustive concurrent writes" `Slow
+            test_versioned_exhaustive_writes;
+          Alcotest.test_case "validation" `Quick test_versioned_validation;
+        ] );
+    ]

@@ -1,0 +1,424 @@
+(* Tests for the register-construction ladder (lib/registers): each rung
+   is exercised sequentially, then under randomized schedules with the
+   appropriate checker (regularity for regular registers, the generic
+   linearizability oracle for atomic ones), and the separations between
+   the register classes are demonstrated. *)
+
+open Csim
+open Registers
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let reg_spec = History.Linearize.register_spec ~equal:Int.equal
+
+(* Record a register history: ops are closures returning reg in/out. *)
+let recorded_ops = ref []
+
+let record env ~proc ~label f =
+  let inv = Sim.now env in
+  let input, output = f () in
+  let res = Sim.now env in
+  recorded_ops :=
+    History.Oprec.v ~proc ~label ~input ~output ~inv ~res :: !recorded_ops
+
+let reset_record () = recorded_ops := []
+
+(* ------------------------------------------------------------------ *)
+(* Weak models                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_safe_quiescent () =
+  let env = Sim.create () in
+  let r = Weak.safe_bit env ~name:"s" ~seed:1 false in
+  let out = ref false in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Weak.write_safe r true;
+        out := Weak.read_safe r)
+  in
+  check bool "quiescent read correct" true !out
+
+let test_safe_overlap_arbitrary () =
+  (* A 10-valued safe register read during a write can return a value
+     that is neither old nor new. *)
+  let garbage = ref false in
+  for seed = 1 to 50 do
+    let env = Sim.create () in
+    let r =
+      Weak.safe env ~name:"s" ~seed
+        ~domain:(fun prng -> Schedule.Prng.int prng 10)
+        0
+    in
+    let seen = ref (-1) in
+    let procs =
+      [|
+        (fun () -> Weak.write_safe r 1);
+        (fun () -> seen := Weak.read_safe r);
+      |]
+    in
+    (* Schedule the read strictly between the write's two events. *)
+    ignore
+      (Sim.run env
+         ~policy:(Schedule.Scripted ([| 0; 1; 0 |], Schedule.Round_robin))
+         procs);
+    if !seen <> 0 && !seen <> 1 then garbage := true
+  done;
+  check bool "some overlapping read returned garbage" true !garbage
+
+let test_regular_overlap_old_or_new () =
+  for seed = 1 to 50 do
+    let env = Sim.create () in
+    let r = Weak.regular env ~name:"r" ~seed 0 in
+    let seen = ref (-1) in
+    let procs =
+      [|
+        (fun () -> Weak.write_regular r 1);
+        (fun () -> seen := Weak.read_regular r);
+      |]
+    in
+    ignore
+      (Sim.run env
+         ~policy:(Schedule.Scripted ([| 0; 1; 0 |], Schedule.Round_robin))
+         procs);
+    if !seen <> 0 && !seen <> 1 then
+      Alcotest.failf "regular register returned %d (neither old nor new)" !seen
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: regular bit from safe bit                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_regular_bit_sequential () =
+  let env = Sim.create () in
+  let r = Constructions.Regular_bit_of_safe.create env ~name:"b" ~seed:3 false in
+  let outs = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Regular_bit_of_safe.write r true;
+        outs := Constructions.Regular_bit_of_safe.read r :: !outs;
+        Constructions.Regular_bit_of_safe.write r true;
+        (* suppressed *)
+        Constructions.Regular_bit_of_safe.write r false;
+        outs := Constructions.Regular_bit_of_safe.read r :: !outs)
+  in
+  check (Alcotest.list bool) "reads" [ false; true ] !outs
+
+let test_regular_bit_is_regular () =
+  (* Under every interleaving of one write and one read, the read
+     returns old or new — never anything else (trivially true for bits,
+     but the suppressed-write mechanism is what the exhaustive run
+     exercises: rewriting the same value causes no overlap at all). *)
+  let r_explore =
+    Sim.explore (fun () ->
+        let env = Sim.create ~trace:false () in
+        let r =
+          Constructions.Regular_bit_of_safe.create env ~name:"b" ~seed:7 false
+        in
+        let seen = ref true in
+        let procs =
+          [|
+            (fun () ->
+              Constructions.Regular_bit_of_safe.write r false;
+              (* suppressed: no events *)
+              Constructions.Regular_bit_of_safe.write r true);
+            (fun () -> seen := Constructions.Regular_bit_of_safe.read r);
+          |]
+        in
+        (env, procs, fun (_ : Sim.env) -> ignore !seen))
+  in
+  check bool "exhaustive" true r_explore.Sim.exhaustive
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: k-ary regular from regular bits                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_kary_sequential () =
+  let env = Sim.create () in
+  let r = Constructions.Regular_kary_of_bits.create env ~name:"k" ~seed:3 ~k:5 2 in
+  let outs = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        outs := Constructions.Regular_kary_of_bits.read r :: !outs;
+        Constructions.Regular_kary_of_bits.write r 4;
+        outs := Constructions.Regular_kary_of_bits.read r :: !outs;
+        Constructions.Regular_kary_of_bits.write r 0;
+        outs := Constructions.Regular_kary_of_bits.read r :: !outs)
+  in
+  check (Alcotest.list int) "reads" [ 0; 4; 2 ] !outs
+
+let test_kary_regular_random () =
+  (* Randomized schedules: every read must be regular-feasible. *)
+  for seed = 1 to 100 do
+    let env = Sim.create () in
+    let r =
+      Constructions.Regular_kary_of_bits.create env ~name:"k" ~seed ~k:4 0
+    in
+    reset_record ();
+    let writer () =
+      List.iter
+        (fun v ->
+          record env ~proc:0 ~label:"w" (fun () ->
+              Constructions.Regular_kary_of_bits.write r v;
+              (History.Linearize.Reg_write v, History.Linearize.Reg_done)))
+        [ 3; 1; 2 ]
+    in
+    let reader () =
+      for _ = 1 to 4 do
+        record env ~proc:1 ~label:"r" (fun () ->
+            let v = Constructions.Regular_kary_of_bits.read r in
+            (History.Linearize.Reg_read, History.Linearize.Reg_value v))
+      done
+    in
+    ignore (Sim.run env ~policy:(Schedule.Random seed) [| writer; reader |]);
+    let ops = History.Oprec.tighten_intervals (Sim.trace env) !recorded_ops in
+    if not (History.Regularity.check ~equal:Int.equal ~init:0 ops) then
+      Alcotest.failf "k-ary register not regular under seed %d" seed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Step 3: atomic SRSW from regular                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_srsw_sequential () =
+  let env = Sim.create () in
+  let r = Constructions.Atomic_srsw_of_regular.create env ~name:"a" ~seed:3 0 in
+  let outs = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Atomic_srsw_of_regular.write r 5;
+        outs := Constructions.Atomic_srsw_of_regular.read r :: !outs;
+        Constructions.Atomic_srsw_of_regular.write r 6;
+        outs := Constructions.Atomic_srsw_of_regular.read r :: !outs)
+  in
+  check (Alcotest.list int) "reads" [ 6; 5 ] !outs
+
+let run_srsw_history seed =
+  let env = Sim.create () in
+  let r = Constructions.Atomic_srsw_of_regular.create env ~name:"a" ~seed 0 in
+  reset_record ();
+  let writer () =
+    List.iter
+      (fun v ->
+        record env ~proc:0 ~label:"w" (fun () ->
+            Constructions.Atomic_srsw_of_regular.write r v;
+            (History.Linearize.Reg_write v, History.Linearize.Reg_done)))
+      [ 1; 2; 3 ]
+  in
+  let reader () =
+    for _ = 1 to 4 do
+      record env ~proc:1 ~label:"r" (fun () ->
+          let v = Constructions.Atomic_srsw_of_regular.read r in
+          (History.Linearize.Reg_read, History.Linearize.Reg_value v))
+    done
+  in
+  ignore (Sim.run env ~policy:(Schedule.Random seed) [| writer; reader |]);
+  History.Oprec.tighten_intervals (Sim.trace env) !recorded_ops
+
+let test_srsw_atomic_random () =
+  for seed = 1 to 100 do
+    let ops = run_srsw_history seed in
+    if not (History.Linearize.is_linearizable reg_spec ~init:0 ops) then
+      Alcotest.failf "SRSW register not atomic under seed %d" seed
+  done
+
+let test_regular_alone_is_not_atomic () =
+  (* Motivating separation: with both reads scheduled inside the write's
+     window (script: w-enter, read, read, w-commit), some adversary
+     choice makes the raw regular register answer new-then-old — regular
+     but not atomic.  The sequence-number construction (previous test)
+     never does. *)
+  let found = ref false in
+  for seed = 1 to 20 do
+    let env = Sim.create () in
+    let r = Weak.regular env ~name:"r" ~seed 0 in
+    reset_record ();
+    let writer () =
+      record env ~proc:0 ~label:"w" (fun () ->
+          Weak.write_regular r 1;
+          (History.Linearize.Reg_write 1, History.Linearize.Reg_done))
+    in
+    let reader () =
+      for _ = 1 to 2 do
+        record env ~proc:1 ~label:"r" (fun () ->
+            let v = Weak.read_regular r in
+            (History.Linearize.Reg_read, History.Linearize.Reg_value v))
+      done
+    in
+    ignore
+      (Sim.run env
+         ~policy:(Schedule.Scripted ([| 0; 1; 1; 0 |], Schedule.Round_robin))
+         [| writer; reader |]);
+    let ops = History.Oprec.tighten_intervals (Sim.trace env) !recorded_ops in
+    if
+      History.Regularity.check ~equal:Int.equal ~init:0 ops
+      && not (History.Linearize.is_linearizable reg_spec ~init:0 ops)
+    then found := true
+  done;
+  check bool "found a regular-but-not-atomic history" true !found
+
+(* ------------------------------------------------------------------ *)
+(* Step 4: atomic MRSW from SRSW                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_mrsw_sequential () =
+  let env = Sim.create () in
+  let r = Constructions.Atomic_mrsw_of_srsw.create env ~name:"m" ~readers:3 0 in
+  check int "SRSW register count" 12
+    (Constructions.Atomic_mrsw_of_srsw.srsw_registers r);
+  let outs = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Atomic_mrsw_of_srsw.write r 5;
+        outs := Constructions.Atomic_mrsw_of_srsw.read r ~reader:0 :: !outs;
+        outs := Constructions.Atomic_mrsw_of_srsw.read r ~reader:2 :: !outs)
+  in
+  check (Alcotest.list int) "both readers" [ 5; 5 ] !outs
+
+let test_mrsw_atomic_random () =
+  for seed = 1 to 100 do
+    let env = Sim.create () in
+    let r = Constructions.Atomic_mrsw_of_srsw.create env ~name:"m" ~readers:2 0 in
+    reset_record ();
+    let writer () =
+      List.iter
+        (fun v ->
+          record env ~proc:0 ~label:"w" (fun () ->
+              Constructions.Atomic_mrsw_of_srsw.write r v;
+              (History.Linearize.Reg_write v, History.Linearize.Reg_done)))
+        [ 1; 2; 3 ]
+    in
+    let reader j () =
+      for _ = 1 to 3 do
+        record env ~proc:(1 + j) ~label:"r" (fun () ->
+            let v = Constructions.Atomic_mrsw_of_srsw.read r ~reader:j in
+            (History.Linearize.Reg_read, History.Linearize.Reg_value v))
+      done
+    in
+    ignore
+      (Sim.run env ~policy:(Schedule.Random seed) [| writer; reader 0; reader 1 |]);
+    let ops = History.Oprec.tighten_intervals (Sim.trace env) !recorded_ops in
+    if not (History.Linearize.is_linearizable reg_spec ~init:0 ops) then
+      Alcotest.failf "MRSW register not atomic under seed %d" seed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Step 5: atomic MRMW from MRSW                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_mrmw_sequential () =
+  let env = Sim.create () in
+  let r = Constructions.Atomic_mrmw_of_mrsw.create env ~name:"w" ~writers:2 0 in
+  let outs = ref [] in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Constructions.Atomic_mrmw_of_mrsw.write r ~writer:0 5;
+        Constructions.Atomic_mrmw_of_mrsw.write r ~writer:1 6;
+        outs := Constructions.Atomic_mrmw_of_mrsw.read r :: !outs)
+  in
+  check (Alcotest.list int) "last write wins" [ 6 ] !outs
+
+let test_mrmw_atomic_random () =
+  for seed = 1 to 100 do
+    let env = Sim.create () in
+    let r = Constructions.Atomic_mrmw_of_mrsw.create env ~name:"w" ~writers:2 0 in
+    reset_record ();
+    let writer i () =
+      List.iter
+        (fun v ->
+          record env ~proc:i ~label:"w" (fun () ->
+              Constructions.Atomic_mrmw_of_mrsw.write r ~writer:i v;
+              (History.Linearize.Reg_write v, History.Linearize.Reg_done)))
+        [ (10 * (i + 1)) + 1; (10 * (i + 1)) + 2 ]
+    in
+    let reader () =
+      for _ = 1 to 3 do
+        record env ~proc:2 ~label:"r" (fun () ->
+            let v = Constructions.Atomic_mrmw_of_mrsw.read r in
+            (History.Linearize.Reg_read, History.Linearize.Reg_value v))
+      done
+    in
+    ignore
+      (Sim.run env ~policy:(Schedule.Random seed) [| writer 0; writer 1; reader |]);
+    let ops = History.Oprec.tighten_intervals (Sim.trace env) !recorded_ops in
+    if not (History.Linearize.is_linearizable reg_spec ~init:0 ops) then
+      Alcotest.failf "MRMW register not atomic under seed %d" seed
+  done
+
+let test_mrmw_exhaustive_two_writers () =
+  let r_explore =
+    Sim.explore ~max_runs:100_000 (fun () ->
+        let env = Sim.create () in
+        let r =
+          Constructions.Atomic_mrmw_of_mrsw.create env ~name:"w" ~writers:2 0
+        in
+        reset_record ();
+        let writer i () =
+          record env ~proc:i ~label:"w" (fun () ->
+              Constructions.Atomic_mrmw_of_mrsw.write r ~writer:i (i + 1);
+              (History.Linearize.Reg_write (i + 1), History.Linearize.Reg_done))
+        in
+        let reader () =
+          record env ~proc:2 ~label:"r" (fun () ->
+              let v = Constructions.Atomic_mrmw_of_mrsw.read r in
+              (History.Linearize.Reg_read, History.Linearize.Reg_value v))
+        in
+        let check_run env =
+          let ops = History.Oprec.tighten_intervals (Sim.trace env) !recorded_ops in
+          if not (History.Linearize.is_linearizable reg_spec ~init:0 ops) then
+            failwith "not atomic"
+        in
+        (env, [| writer 0; writer 1; reader |], check_run))
+  in
+  check bool "exhaustive" true r_explore.Sim.exhaustive;
+  check bool "many interleavings" true (r_explore.Sim.runs > 100)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "registers"
+    [
+      ( "weak models",
+        [
+          Alcotest.test_case "safe quiescent" `Quick test_safe_quiescent;
+          Alcotest.test_case "safe overlap arbitrary" `Quick
+            test_safe_overlap_arbitrary;
+          Alcotest.test_case "regular overlap old/new" `Quick
+            test_regular_overlap_old_or_new;
+        ] );
+      ( "regular bit of safe",
+        [
+          Alcotest.test_case "sequential" `Quick test_regular_bit_sequential;
+          Alcotest.test_case "regularity (exhaustive)" `Quick
+            test_regular_bit_is_regular;
+        ] );
+      ( "k-ary regular",
+        [
+          Alcotest.test_case "sequential" `Quick test_kary_sequential;
+          Alcotest.test_case "regular under random schedules" `Quick
+            test_kary_regular_random;
+        ] );
+      ( "atomic srsw",
+        [
+          Alcotest.test_case "sequential" `Quick test_srsw_sequential;
+          Alcotest.test_case "atomic under random schedules" `Quick
+            test_srsw_atomic_random;
+          Alcotest.test_case "regular alone is not atomic" `Quick
+            test_regular_alone_is_not_atomic;
+        ] );
+      ( "atomic mrsw",
+        [
+          Alcotest.test_case "sequential" `Quick test_mrsw_sequential;
+          Alcotest.test_case "atomic under random schedules" `Quick
+            test_mrsw_atomic_random;
+        ] );
+      ( "atomic mrmw",
+        [
+          Alcotest.test_case "sequential" `Quick test_mrmw_sequential;
+          Alcotest.test_case "atomic under random schedules" `Quick
+            test_mrmw_atomic_random;
+          Alcotest.test_case "exhaustive two writers" `Slow
+            test_mrmw_exhaustive_two_writers;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Halting-failure resilience (the paper's Section 1 claim) and the
+   supporting sim crash-injection + trace-rendering machinery. *)
+
+open Csim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection in the simulator                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_before_first_event () =
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let p0 () = Sim.write c 1 in
+  let p1 () = Sim.write c 2 in
+  let stats = Sim.run env ~crashes:[ (0, 0) ] [| p0; p1 |] in
+  check int "only the survivor's event" 1 stats.Sim.steps;
+  check int "survivor's value stands" 2 (Cell.peek c)
+
+let test_crash_mid_sequence () =
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let victim () =
+    for i = 1 to 10 do
+      Sim.write c i
+    done
+  in
+  let stats = Sim.run env ~crashes:[ (0, 3) ] [| victim |] in
+  check int "exactly three events before the crash" 3 stats.Sim.steps;
+  check int "last write visible" 3 (Cell.peek c)
+
+let test_crash_unblocks_busy_wait () =
+  (* A spinner that would block forever terminates the run once it is
+     the only process left and it is crashed. *)
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let spinner () =
+    while Sim.read c = 0 do
+      ()
+    done
+  in
+  let worker () = Sim.write c 0 in
+  let stats =
+    Sim.run env ~max_steps:1_000 ~crashes:[ (0, 5) ] [| spinner; worker |]
+  in
+  check bool "run terminated" true (stats.Sim.steps <= 6)
+
+let test_crash_multiple () =
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let p k () = Sim.write c k in
+  let stats =
+    Sim.run env ~crashes:[ (0, 0); (2, 0) ] [| p 1; p 2; p 3 |]
+  in
+  check int "one survivor" 1 stats.Sim.steps;
+  check int "survivor is process 1" 2 (Cell.peek c)
+
+(* ------------------------------------------------------------------ *)
+(* The resilience sweep                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let clean (r : Workload.Resilience.report) =
+  check int "no blocked survivors" 0 r.Workload.Resilience.blocked;
+  check int "no linearizability violations" 0
+    r.Workload.Resilience.not_linearizable;
+  check bool "survivors did real work" true
+    (r.Workload.Resilience.survivor_ops > 0)
+
+let test_sweep_default () = clean (Workload.Resilience.run ~seed:1 ())
+
+let test_sweep_three_components () =
+  clean
+    (Workload.Resilience.run ~components:3 ~readers:2 ~max_crash_point:18
+       ~seed:100 ())
+
+let test_sweep_reader_victims () =
+  clean
+    (Workload.Resilience.run ~components:2 ~readers:3 ~max_crash_point:10
+       ~seed:7 ())
+
+let test_crashed_writer0_between_publications () =
+  (* The sharpest adversary: Writer 0 frozen exactly between its two
+     Y[0] writes (statements 3 and 7), forever.  Readers overlapping the
+     frozen half-write must still return consistent snapshots.  Writer 0
+     at C=2, R=1 performs Z-read, Y0-write, base-read, Y0-write: crash
+     after 2 events = after statement 3. *)
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let init = [| 5; 6 |] in
+  let reg = Composite.Anderson.create mem ~readers:2 ~bits_per_value:16 ~init in
+  let rec_ =
+    Composite.Snapshot.record
+      ~clock:(fun () -> Sim.now env)
+      ~initial:init
+      (Composite.Anderson.handle reg)
+  in
+  let writer0 () = rec_.Composite.Snapshot.rupdate ~writer:0 99 in
+  let writer1 () =
+    for s = 1 to 3 do
+      rec_.Composite.Snapshot.rupdate ~writer:1 (100 + s)
+    done
+  in
+  let reader j () =
+    for _ = 1 to 4 do
+      ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+    done
+  in
+  let (_ : Sim.stats) =
+    Sim.run env ~crashes:[ (0, 2) ] [| writer0; writer1; reader 0; reader 1 |]
+  in
+  let h = Composite.Snapshot.history rec_ in
+  (* Writer 0's op never completed: 3 recorded writes (writer 1's), 8
+     reads. *)
+  check int "writer 1's ops recorded" 3
+    (List.length h.History.Snapshot_history.writes);
+  check int "all scans completed" 8
+    (List.length h.History.Snapshot_history.reads);
+  (* Complete the dangling write if visible, then check. *)
+  let visible =
+    List.exists
+      (fun (r : int History.Snapshot_history.read) -> r.ids.(0) = 1)
+      h.History.Snapshot_history.reads
+  in
+  let h =
+    if visible then
+      {
+        h with
+        History.Snapshot_history.writes =
+          h.History.Snapshot_history.writes
+          @ [
+              {
+                History.Snapshot_history.wproc = -2;
+                comp = 0;
+                value = 99;
+                id = 1;
+                winv = 0;
+                wres = max_int;
+              };
+            ];
+      }
+    else h
+  in
+  check bool "history linearizable around the frozen writer" true
+    (History.Shrinking.conditions_hold ~equal:Int.equal h)
+
+(* ------------------------------------------------------------------ *)
+(* Trace rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_shape () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env "c" 0 in
+  let p0 () =
+    Sim.write c 1;
+    ignore (Sim.read c)
+  in
+  let p1 () = ignore (Sim.read c) in
+  let (_ : Sim.stats) =
+    Sim.run env
+      ~policy:(Schedule.Scripted ([| 0; 1; 0 |], Schedule.Round_robin))
+      [| p0; p1 |]
+  in
+  let art = Render.timeline (Sim.trace env) in
+  let lines = String.split_on_char '\n' (String.trim art) in
+  check int "two rows" 2 (List.length lines);
+  (match lines with
+  | [ row0; row1 ] ->
+    check bool "p0 row is W-R" true
+      (String.length row0 >= 3
+      && String.sub row0 (String.length row0 - 3) 3 = "W-R");
+    check bool "p1 row has R in the middle" true
+      (String.sub row1 (String.length row1 - 3) 3 = "-R-")
+  | _ -> Alcotest.fail "expected two rows");
+  let legend = Render.legend (Sim.trace env) in
+  check int "legend has three lines" 3
+    (List.length (String.split_on_char '\n' (String.trim legend)))
+
+let test_timeline_truncation () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env "c" 0 in
+  let p () =
+    for _ = 1 to 50 do
+      Sim.write c 1
+    done
+  in
+  let (_ : Sim.stats) = Sim.run env [| p |] in
+  let art = Render.timeline ~max_events:10 (Sim.trace env) in
+  check bool "ellipsis present" true
+    (String.length art > 3
+    && String.sub (String.trim art) (String.length (String.trim art) - 3) 3
+       = "...")
+
+let test_scenario_timelines_nonempty () =
+  let o = Workload.Scenario.fig4a () in
+  check bool "fig4a timeline rendered" true
+    (String.length o.Workload.Scenario.timeline > 20)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_multi_crash =
+  (* Several victims with random crash points: the remaining processes
+     still finish and completed operations stay consistent. *)
+  QCheck2.Test.make ~count:40 ~name:"multiple random crashes tolerated"
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000)
+        (list_size (int_range 1 3) (pair (int_range 0 4) (int_range 0 10)))
+        (pair (int_range 2 3) (int_range 1 2)))
+    (fun (seed, crashes, (components, readers)) ->
+      let env = Sim.create ~trace:false () in
+      let mem = Memory.of_sim env in
+      let init = Array.init components (fun k -> k) in
+      let reg =
+        Composite.Anderson.create mem ~readers ~bits_per_value:16 ~init
+      in
+      let rec_ =
+        Composite.Snapshot.record
+          ~clock:(fun () -> Sim.now env)
+          ~initial:init
+          (Composite.Anderson.handle reg)
+      in
+      let writer k () =
+        for s = 1 to 2 do
+          rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+        done
+      in
+      let reader j () =
+        for _ = 1 to 2 do
+          ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+        done
+      in
+      let nprocs = components + readers in
+      let crashes = List.filter (fun (p, _) -> p < nprocs) crashes in
+      let procs =
+        Array.init nprocs (fun p ->
+            if p < components then writer p else reader (p - components))
+      in
+      match Sim.run env ~policy:(Schedule.Random seed) ~crashes procs with
+      | exception Sim.Stuck _ -> false
+      | (_ : Sim.stats) ->
+        (* Crashed writers' pending Writes may be visible; only require
+           that the recorded reads are mutually consistent (Read
+           Precedence) — full Integrity needs completion, which the
+           dedicated sweep covers. *)
+        let h = Composite.Snapshot.history rec_ in
+        let violations = History.Shrinking.check ~equal:Int.equal h in
+        List.for_all
+          (function
+            | History.Shrinking.Integrity _ -> true (* pending write *)
+            | History.Shrinking.Read_precedence _
+            | History.Shrinking.Write_precedence _
+            | History.Shrinking.Proximity_future _
+            | History.Shrinking.Proximity_overwritten _
+            | History.Shrinking.Uniqueness_duplicate _
+            | History.Shrinking.Uniqueness_order _ ->
+              false)
+          violations)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "crash injection",
+        [
+          Alcotest.test_case "crash before first event" `Quick
+            test_crash_before_first_event;
+          Alcotest.test_case "crash mid-sequence" `Quick test_crash_mid_sequence;
+          Alcotest.test_case "crash unblocks busy wait" `Quick
+            test_crash_unblocks_busy_wait;
+          Alcotest.test_case "multiple crashes" `Quick test_crash_multiple;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "default" `Quick test_sweep_default;
+          Alcotest.test_case "three components" `Quick
+            test_sweep_three_components;
+          Alcotest.test_case "reader victims" `Quick test_sweep_reader_victims;
+          Alcotest.test_case "writer0 frozen between publications" `Quick
+            test_crashed_writer0_between_publications;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "timeline shape" `Quick test_timeline_shape;
+          Alcotest.test_case "truncation" `Quick test_timeline_truncation;
+          Alcotest.test_case "scenario timelines" `Quick
+            test_scenario_timelines_nonempty;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_multi_crash ]);
+    ]

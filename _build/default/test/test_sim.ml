@@ -1,0 +1,345 @@
+(* Unit tests for the deterministic simulator (lib/sim). *)
+
+open Csim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Cells                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_read_write () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env ~bits:8 "c" 41 in
+  let out = ref 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.write c 42;
+        out := Sim.read c)
+  in
+  check int "read back" 42 !out;
+  check int "peek" 42 (Cell.peek c)
+
+let test_cell_counters () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env ~bits:8 "c" 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.write c 1;
+        ignore (Sim.read c);
+        ignore (Sim.read c))
+  in
+  check int "writes" 1 (Cell.writes c);
+  check int "reads" 2 (Cell.reads c);
+  Cell.reset_counters c;
+  check int "reads after reset" 0 (Cell.reads c)
+
+let test_cell_outside_simulation () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env "c" 0 in
+  Alcotest.check_raises "read outside" Sim.Not_in_simulation (fun () ->
+      ignore (Sim.read c));
+  Alcotest.check_raises "write outside" Sim.Not_in_simulation (fun () ->
+      Sim.write c 1)
+
+let test_space_accounting () =
+  let env = Sim.create () in
+  let _a = Sim.make_cell env ~bits:8 "a" 0 in
+  let _b = Sim.make_cell env ~bits:24 "b" 0 in
+  let _c = Sim.make_cell env "c" 0 in
+  check int "space bits" 32 (Sim.space_bits env);
+  check int "cell count" 3 (List.length (Sim.cells env))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let two_writers_one_reader ~policy =
+  let env = Sim.create () in
+  let c = Sim.make_cell env ~pp:string_of_int ~bits:8 "c" 0 in
+  let seen = ref [] in
+  let procs =
+    [|
+      (fun () ->
+        Sim.write c 1;
+        Sim.write c 2);
+      (fun () ->
+        let v = Sim.read c in
+        seen := v :: !seen);
+    |]
+  in
+  let stats = Sim.run env ~policy procs in
+  (env, stats, List.rev !seen)
+
+let test_round_robin_interleaving () =
+  let _, stats, seen = two_writers_one_reader ~policy:Schedule.Round_robin in
+  check int "total events" 3 stats.Sim.steps;
+  (* Round-robin: w writes 1, reader reads 1, w writes 2. *)
+  check (Alcotest.list int) "reader saw" [ 1 ] seen
+
+let test_deterministic_replay () =
+  let trace_of seed =
+    let env, _, _ = two_writers_one_reader ~policy:(Schedule.Random seed) in
+    List.map
+      (fun (e : Trace.event) -> (e.proc, e.cell, e.value))
+      (Trace.events (Sim.trace env))
+  in
+  check bool "same seed, same trace" true (trace_of 7 = trace_of 7);
+  let distinct = List.exists (fun s -> trace_of s <> trace_of 7) [ 1; 2; 3; 4; 5 ] in
+  check bool "some other seed differs" true distinct
+
+let test_scripted_schedule () =
+  let _, _, seen =
+    two_writers_one_reader
+      ~policy:(Schedule.Scripted ([| 0; 0; 1 |], Schedule.Round_robin))
+  in
+  check (Alcotest.list int) "reader saw both writes" [ 2 ] seen
+
+let test_scripted_bad_script () =
+  Alcotest.check_raises "scheduling a finished process"
+    (Schedule.Bad_script "script step 1 schedules process 1, which is not enabled")
+    (fun () ->
+      let env = Sim.create () in
+      let c = Sim.make_cell env "c" 0 in
+      let procs = [| (fun () -> Sim.write c 1); (fun () -> Sim.write c 2) |] in
+      (* Process 1 performs one event then finishes; scheduling it again
+         is a script error. *)
+      ignore
+        (Sim.run env
+           ~policy:(Schedule.Scripted ([| 1; 1 |], Schedule.Round_robin))
+           procs))
+
+let test_stuck_detection () =
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let looper () =
+    while Sim.read c = 0 do
+      ()
+    done
+  in
+  let raised =
+    try
+      ignore (Sim.run env ~max_steps:1000 [| looper |]);
+      false
+    with Sim.Stuck _ -> true
+  in
+  check bool "unbounded busy-wait detected" true raised
+
+let test_switch_count () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env "c" 0 in
+  let p () =
+    Sim.write c 1;
+    Sim.write c 2
+  in
+  let stats = Sim.run env ~policy:Schedule.Round_robin [| p; p |] in
+  check int "events" 4 stats.Sim.steps;
+  check bool "switched at least once" true (stats.Sim.switches >= 2)
+
+let test_note_in_trace () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env "c" 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.note env ~proc:0 "before";
+        Sim.write c 1)
+  in
+  let notes =
+    List.filter (fun (e : Trace.event) -> e.kind = Trace.Note)
+      (Trace.events (Sim.trace env))
+  in
+  check int "one note" 1 (List.length notes)
+
+let test_now_counts_events () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env "c" 0 in
+  check int "initially zero" 0 (Sim.now env);
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.write c 1;
+        ignore (Sim.read c))
+  in
+  check int "two events" 2 (Sim.now env)
+
+(* ------------------------------------------------------------------ *)
+(* Trace utilities                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_writes_between () =
+  let env = Sim.create () in
+  let c = Sim.make_cell env ~pp:string_of_int "c" 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.write c 1;
+        Sim.write c 2;
+        ignore (Sim.read c);
+        Sim.write c 3)
+  in
+  let tr = Sim.trace env in
+  check int "writes in [0,3]" 3 (Trace.writes_between tr ~cell:"c" ~lo:0 ~hi:3);
+  check int "writes in [1,2]" 1 (Trace.writes_between tr ~cell:"c" ~lo:1 ~hi:2);
+  check int "accesses of c" 4 (List.length (Trace.accesses_of tr ~cell:"c"))
+
+let test_trace_disabled () =
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let (_ : Sim.stats) = Sim.run_solo env (fun () -> Sim.write c 1) in
+  check int "no events recorded" 0 (Trace.length (Sim.trace env));
+  check int "counters still live" 1 (Cell.writes c)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive exploration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let interleavings ~a ~b =
+  (* Two processes performing [a] and [b] writes: the number of distinct
+     schedules is binomial(a+b, a). *)
+  let factory () =
+    let env = Sim.create ~trace:false () in
+    let c = Sim.make_cell env "c" 0 in
+    let p n () =
+      for _ = 1 to n do
+        Sim.write c 1
+      done
+    in
+    (env, [| p a; p b |], fun (_ : Sim.env) -> ())
+  in
+  Sim.explore factory
+
+let binomial n k =
+  let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+  go 1 1
+
+let test_explore_counts () =
+  List.iter
+    (fun (a, b) ->
+      let r = interleavings ~a ~b in
+      check bool "exhaustive" true r.Sim.exhaustive;
+      check int
+        (Printf.sprintf "schedules for %d+%d writes" a b)
+        (binomial (a + b) a) r.Sim.runs)
+    [ (1, 1); (2, 1); (2, 2); (3, 2); (4, 3) ]
+
+let test_explore_finds_bug () =
+  (* A lost-update race: both processes read then write c+1; some
+     interleaving must yield a final value of 1. *)
+  let final = ref (-1) in
+  let factory () =
+    let env = Sim.create ~trace:false () in
+    let c = Sim.make_cell env "c" 0 in
+    let p () =
+      let v = Sim.read c in
+      Sim.write c (v + 1)
+    in
+    let check_run (_ : Sim.env) =
+      final := Cell.peek c;
+      if Cell.peek c = 1 then failwith "lost update"
+    in
+    (env, [| p; p |], check_run)
+  in
+  let caught =
+    try
+      ignore (Sim.explore factory);
+      false
+    with Sim.Exploration_failure { exn = Failure msg; schedule } ->
+      check bool "schedule is non-empty" true (schedule <> []);
+      msg = "lost update"
+  in
+  check bool "race found" true caught
+
+let test_explore_max_runs () =
+  let factory () =
+    let env = Sim.create ~trace:false () in
+    let c = Sim.make_cell env "c" 0 in
+    let p () =
+      for _ = 1 to 5 do
+        Sim.write c 1
+      done
+    in
+    (env, [| p; p; p |], fun (_ : Sim.env) -> ())
+  in
+  let r = Sim.explore ~max_runs:50 factory in
+  check bool "not exhaustive" false r.Sim.exhaustive;
+  check int "stopped at cap" 50 r.Sim.runs
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let seq seed =
+    let p = Schedule.Prng.make seed in
+    List.init 20 (fun _ -> Schedule.Prng.int p 100)
+  in
+  check bool "same seed" true (seq 5 = seq 5);
+  check bool "different seed" true (seq 5 <> seq 6)
+
+let test_prng_range () =
+  let p = Schedule.Prng.make 99 in
+  for _ = 1 to 1000 do
+    let v = Schedule.Prng.int p 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "out of range"
+  done;
+  for _ = 1 to 1000 do
+    let f = Schedule.Prng.float p in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range"
+  done
+
+let test_prng_spread () =
+  let p = Schedule.Prng.make 42 in
+  let buckets = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    let v = Schedule.Prng.int p 4 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun n -> check bool "each bucket hit reasonably often" true (n > 700))
+    buckets
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "read-write round trip" `Quick test_cell_read_write;
+          Alcotest.test_case "access counters" `Quick test_cell_counters;
+          Alcotest.test_case "access outside simulation" `Quick
+            test_cell_outside_simulation;
+          Alcotest.test_case "space accounting" `Quick test_space_accounting;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "round-robin interleaving" `Quick
+            test_round_robin_interleaving;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay;
+          Alcotest.test_case "scripted schedule" `Quick test_scripted_schedule;
+          Alcotest.test_case "bad script rejected" `Quick
+            test_scripted_bad_script;
+          Alcotest.test_case "busy-wait detection" `Quick test_stuck_detection;
+          Alcotest.test_case "switch counting" `Quick test_switch_count;
+          Alcotest.test_case "notes in trace" `Quick test_note_in_trace;
+          Alcotest.test_case "now counts events" `Quick test_now_counts_events;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "writes_between" `Quick test_writes_between;
+          Alcotest.test_case "tracing disabled" `Quick test_trace_disabled;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "interleaving counts" `Quick test_explore_counts;
+          Alcotest.test_case "finds a race" `Quick test_explore_finds_bug;
+          Alcotest.test_case "max_runs cap" `Quick test_explore_max_runs;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "range" `Quick test_prng_range;
+          Alcotest.test_case "spread" `Quick test_prng_spread;
+        ] );
+    ]

@@ -1,0 +1,81 @@
+(* Units for the workload utilities: table formatting and the soak
+   shape generator. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_table_alignment () =
+  let t = Workload.Table.create ~header:[ "a"; "bee"; "c" ] in
+  Workload.Table.add_row t [ "1"; "2"; "333" ];
+  Workload.Table.add_row t [ "1000"; "2"; "3" ];
+  let s = Format.asprintf "%a" Workload.Table.pp t in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check int "header + rule + 2 rows" 4 (List.length lines);
+  match lines with
+  | header :: rule :: rows ->
+    let width = String.length header in
+    check bool "rule as wide as header" true (String.length rule = width);
+    List.iter
+      (fun row ->
+        check bool "rows no wider than header" true (String.length row <= width))
+      rows
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_table_cells () =
+  check Alcotest.string "int" "42" (Workload.Table.cell_int 42);
+  check Alcotest.string "float" "3.14" (Workload.Table.cell_float 3.14159);
+  check Alcotest.string "float decimals" "3.1416"
+    (Workload.Table.cell_float ~decimals:4 3.14159);
+  check Alcotest.string "bool" "yes" (Workload.Table.cell_bool true);
+  check Alcotest.string "bool no" "no" (Workload.Table.cell_bool false)
+
+let test_gen_deterministic () =
+  let s1 = Workload.Gen.shape ~seed:5 ~max_components:6 ~max_readers:4 ~max_ops:9 in
+  let s2 = Workload.Gen.shape ~seed:5 ~max_components:6 ~max_readers:4 ~max_ops:9 in
+  check bool "same seed, same shape" true (s1 = s2);
+  let s3 = Workload.Gen.shape ~seed:6 ~max_components:6 ~max_readers:4 ~max_ops:9 in
+  check bool "different seeds usually differ" true
+    (s1 <> s3
+    || Workload.Gen.shape ~seed:7 ~max_components:6 ~max_readers:4 ~max_ops:9
+       <> s1)
+
+let test_gen_bounds () =
+  for seed = 1 to 200 do
+    let s = Workload.Gen.shape ~seed ~max_components:5 ~max_readers:3 ~max_ops:7 in
+    if s.Workload.Gen.components < 1 || s.Workload.Gen.components > 5 then
+      Alcotest.fail "components out of bounds";
+    if s.Workload.Gen.readers < 1 || s.Workload.Gen.readers > 3 then
+      Alcotest.fail "readers out of bounds";
+    Array.iter
+      (fun n -> if n < 0 || n > 7 then Alcotest.fail "writer ops out of bounds")
+      s.Workload.Gen.writer_ops;
+    Array.iter
+      (fun n -> if n < 0 || n > 7 then Alcotest.fail "reader ops out of bounds")
+      s.Workload.Gen.reader_ops;
+    check int "total is consistent"
+      (Array.fold_left ( + ) 0 s.Workload.Gen.writer_ops
+      + Array.fold_left ( + ) 0 s.Workload.Gen.reader_ops)
+      (Workload.Gen.total_ops s)
+  done
+
+let test_gen_validation () =
+  Alcotest.check_raises "bad dimensions" (Invalid_argument "Gen.shape")
+    (fun () ->
+      ignore (Workload.Gen.shape ~seed:1 ~max_components:0 ~max_readers:1 ~max_ops:1))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "bounds" `Quick test_gen_bounds;
+          Alcotest.test_case "validation" `Quick test_gen_validation;
+        ] );
+    ]
