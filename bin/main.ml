@@ -589,6 +589,178 @@ let resilience_cmd =
           experiment E11).")
     Term.(const resilience $ components $ readers $ max_crash $ seed)
 
+(* ------------------------------------------------------------------ *)
+(* chaos                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let chaos impls components readers writes scans seeds base_seed faults
+    profile_names minimize_budget expect_clean expect_flagged replay =
+  match replay with
+  | Some script -> begin
+    (* Re-execute a minimized counterexample emitted by a campaign. *)
+    match Workload.Chaos.cx_of_string script with
+    | Error msg ->
+      Printf.eprintf "cannot parse replay script: %s\n" msg;
+      exit 2
+    | Ok cx ->
+      let outcome =
+        Workload.Chaos.replay cx.Workload.Chaos.cx_case
+          ~script:cx.Workload.Chaos.cx_script
+      in
+      (match outcome with
+      | Workload.Chaos.Passed ->
+        print_endline "replay: passed (no violation reproduced)";
+        exit 1
+      | Workload.Chaos.Diverged msg ->
+        Printf.printf "replay: script diverged (%s)\n" msg;
+        exit 1
+      | Workload.Chaos.Stuck_run msg ->
+        Printf.printf "replay: reproduced a progress failure: %s\n" msg
+      | Workload.Chaos.Flagged vs ->
+        Printf.printf "replay: reproduced %d violation(s):\n" (List.length vs);
+        List.iter
+          (fun v -> Format.printf "  %a@." History.Shrinking.pp_violation v)
+          vs)
+  end
+  | None ->
+    let impls = if impls = [] then Workload.Campaign.all_impls else impls in
+    let profiles =
+      match faults with
+      | _ :: _ ->
+        (* Explicit fault specs build one ad-hoc faulty-memory profile. *)
+        [ Workload.Chaos.profile "cli" ~injections:faults ]
+      | [] ->
+        let all = Workload.Chaos.default_profiles ~components ~readers in
+        (match profile_names with
+        | [] -> all
+        | names ->
+          List.filter
+            (fun (p : Workload.Chaos.profile) -> List.mem p.label names)
+            all)
+    in
+    if profiles = [] then begin
+      Printf.eprintf "no profile matched (known: %s)\n"
+        (String.concat ", "
+           (List.map
+              (fun (p : Workload.Chaos.profile) -> p.label)
+              (Workload.Chaos.default_profiles ~components ~readers)));
+      exit 2
+    end;
+    let cfg =
+      {
+        Workload.Chaos.default with
+        impls;
+        profiles;
+        components;
+        readers;
+        writes_per_writer = writes;
+        scans_per_reader = scans;
+        seeds;
+        base_seed;
+        minimize_budget;
+      }
+    in
+    Printf.printf
+      "chaos campaign: %d impl(s) x %d profile(s) x %d seed(s), C=%d R=%d \
+       ops/proc=%d/%d\n\n\
+       %!"
+      (List.length impls) (List.length profiles) seeds components readers
+      writes scans;
+    let r = Workload.Chaos.run cfg in
+    Format.printf "%a@." Workload.Chaos.pp_report r;
+    List.iter
+      (fun (c : Workload.Chaos.cell) ->
+        match c.counterexample with
+        | Some cx -> Format.printf "@.%a@." Workload.Chaos.pp_counterexample cx
+        | None -> ())
+      r.cells;
+    if expect_clean && (r.total_flagged > 0 || r.total_stuck > 0) then exit 1;
+    if expect_flagged && r.total_flagged = 0 then exit 1
+
+let fault_conv =
+  let parse s =
+    match Csim.Faults.injection_of_string s with
+    | Ok i -> Ok i
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt i = Csim.Faults.pp_injection fmt i in
+  Arg.conv (parse, print)
+
+let chaos_cmd =
+  let impls =
+    Arg.(
+      value & opt_all impl_conv []
+      & info [ "impl" ] ~doc:"Implementation(s) to stress (default: all).")
+  in
+  let components =
+    Arg.(value & opt int 2 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let writes =
+    Arg.(value & opt int 2 & info [ "writes" ] ~doc:"Writes per writer.")
+  in
+  let scans =
+    Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
+  in
+  let seeds =
+    Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeds per (impl, profile).")
+  in
+  let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  let faults =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault" ]
+          ~doc:
+            "Ad-hoc fault injection (repeatable): KIND:ARG[@PREFIX] with KIND \
+             in lost|stuck|stutter|corrupt|regular, e.g. lost:0.2 or \
+             regular:2\\@Y.  Overrides --profile.")
+  in
+  let profiles =
+    Arg.(
+      value & opt_all string []
+      & info [ "profile" ]
+          ~doc:
+            "Fault profile(s) from the default taxonomy (repeatable; default: \
+             all).  See the report for the labels.")
+  in
+  let minimize_budget =
+    Arg.(
+      value & opt int 3000
+      & info [ "minimize-budget" ]
+          ~doc:"Replays the counterexample minimizer may spend (0 disables).")
+  in
+  let expect_clean =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:"Exit nonzero if any run is flagged or stuck.")
+  in
+  let expect_flagged =
+    Arg.(
+      value & flag
+      & info [ "expect-flagged" ]
+          ~doc:"Exit nonzero if no run is flagged (negative-control mode).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ]
+          ~doc:"Replay a minimized counterexample script verbatim and report.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection campaigns: faulty base memory (lost/stuck/stuttered \
+          writes, read corruption, regular-register weakening), process \
+          crashes and stall/resume faults, adversarial starvation \
+          scheduling; flagged runs are delta-debugged to a minimal \
+          replayable counterexample.")
+    Term.(
+      const chaos $ impls $ components $ readers $ writes $ scans $ seeds
+      $ base_seed $ faults $ profiles $ minimize_budget $ expect_clean
+      $ expect_flagged $ replay)
+
 let fullstack_cmd =
   let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in
   Cmd.v
@@ -616,5 +788,5 @@ let () =
           [
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
-            mutants_cmd; trace_cmd;
+            mutants_cmd; trace_cmd; chaos_cmd;
           ]))

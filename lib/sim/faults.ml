@@ -1,0 +1,179 @@
+type kind =
+  | Lost_write of { prob : float }
+  | Stuck_at of { after : int }
+  | Stutter of { prob : float }
+  | Corrupt of { prob : float }
+  | Regular of { window : int }
+
+type target = All | Exact of string | Prefix of string
+
+type injection = { kind : kind; target : target }
+
+type counters = {
+  mutable lost : int;
+  mutable frozen : int;
+  mutable stuttered : int;
+  mutable corrupted : int;
+  mutable stale : int;
+}
+
+let fired c = c.lost + c.frozen + c.stuttered + c.corrupted + c.stale
+
+let applies target name =
+  match target with
+  | All -> true
+  | Exact s -> String.equal s name
+  | Prefix p ->
+    String.length name >= String.length p
+    && String.equal (String.sub name 0 (String.length p)) p
+
+let wrap ~seed injections (base : Memory.t) =
+  let prng = Schedule.Prng.make seed in
+  let counters = { lost = 0; frozen = 0; stuttered = 0; corrupted = 0; stale = 0 } in
+  let chance p = Schedule.Prng.float prng < p in
+  let make : type a. name:string -> bits:int -> a -> a Memory.cell =
+   fun ~name ~bits init ->
+    let c = base.Memory.make ~name ~bits init in
+    let kinds =
+      List.filter_map
+        (fun i -> if applies i.target name then Some i.kind else None)
+        injections
+    in
+    if kinds = [] then c
+    else begin
+      let find f = List.find_map f kinds in
+      let lost_prob = find (function Lost_write { prob } -> Some prob | _ -> None) in
+      let stuck_after = find (function Stuck_at { after } -> Some after | _ -> None) in
+      let stutter_prob = find (function Stutter { prob } -> Some prob | _ -> None) in
+      let corrupt_prob = find (function Corrupt { prob } -> Some prob | _ -> None) in
+      let regular_window = find (function Regular { window } -> Some window | _ -> None) in
+      (* The wrapper shadows the cell contents: [cur] is what the cell
+         holds, [prev] what it held before the latest effective write.
+         Cells are single-writer, and this state only changes inside
+         the (single-threaded) simulation, so the shadow is exact. *)
+      let cur = ref init in
+      let prev = ref init in
+      let stale_budget = ref 0 in
+      let writes_seen = ref 0 in
+      let write v =
+        incr writes_seen;
+        let frozen =
+          match stuck_after with Some a -> !writes_seen > a | None -> false
+        in
+        if frozen then begin
+          counters.frozen <- counters.frozen + 1;
+          (* The event still happens; the value does not change. *)
+          c.Memory.write !cur
+        end
+        else if match lost_prob with Some p -> chance p | None -> false then begin
+          counters.lost <- counters.lost + 1;
+          c.Memory.write !cur
+        end
+        else begin
+          let old = !cur in
+          (match regular_window with
+          | Some w ->
+            prev := old;
+            stale_budget := w
+          | None -> ());
+          cur := v;
+          c.Memory.write v;
+          match stutter_prob with
+          | Some p when chance p ->
+            (* The previous write is spuriously re-delivered after the
+               new one: an extra event that reverts the cell. *)
+            counters.stuttered <- counters.stuttered + 1;
+            (match regular_window with
+            | Some w ->
+              prev := v;
+              stale_budget := w
+            | None -> ());
+            cur := old;
+            c.Memory.write old
+          | _ -> ()
+        end
+      in
+      let read () =
+        let v = c.Memory.read () in
+        if match corrupt_prob with Some p -> chance p | None -> false then begin
+          counters.corrupted <- counters.corrupted + 1;
+          init
+        end
+        else if !stale_budget > 0 then begin
+          stale_budget := !stale_budget - 1;
+          if chance 0.5 then begin
+            counters.stale <- counters.stale + 1;
+            !prev
+          end
+          else v
+        end
+        else v
+      in
+      { Memory.read; write; peek = c.Memory.peek }
+    end
+  in
+  ({ Memory.make }, counters)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and parsing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let kind_to_string = function
+  | Lost_write { prob } -> Printf.sprintf "lost:%g" prob
+  | Stuck_at { after } -> Printf.sprintf "stuck:%d" after
+  | Stutter { prob } -> Printf.sprintf "stutter:%g" prob
+  | Corrupt { prob } -> Printf.sprintf "corrupt:%g" prob
+  | Regular { window } -> Printf.sprintf "regular:%d" window
+
+let injection_to_string i =
+  match i.target with
+  | All -> kind_to_string i.kind
+  | Prefix p -> Printf.sprintf "%s@%s" (kind_to_string i.kind) p
+  | Exact s -> Printf.sprintf "%s@=%s" (kind_to_string i.kind) s
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+let pp_injection fmt i = Format.pp_print_string fmt (injection_to_string i)
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "lost=%d frozen=%d stuttered=%d corrupted=%d stale=%d" c.lost c.frozen
+    c.stuttered c.corrupted c.stale
+
+let injection_of_string s =
+  let spec, target =
+    match String.index_opt s '@' with
+    | None -> (s, All)
+    | Some i ->
+      let t = String.sub s (i + 1) (String.length s - i - 1) in
+      ( String.sub s 0 i,
+        if String.length t > 0 && t.[0] = '=' then
+          Exact (String.sub t 1 (String.length t - 1))
+        else Prefix t )
+  in
+  let prob_arg name arg k =
+    match float_of_string_opt arg with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok { kind = k p; target }
+    | _ -> Error (Printf.sprintf "%s wants a probability in [0,1], got %S" name arg)
+  in
+  let int_arg name arg k =
+    match int_of_string_opt arg with
+    | Some n when n >= 0 -> Ok { kind = k n; target }
+    | _ -> Error (Printf.sprintf "%s wants a non-negative integer, got %S" name arg)
+  in
+  match String.index_opt spec ':' with
+  | None ->
+    Error
+      (Printf.sprintf
+         "fault spec %S: expected KIND:ARG[@TARGET] with KIND one of \
+          lost|stuck|stutter|corrupt|regular"
+         s)
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let arg = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match name with
+    | "lost" -> prob_arg name arg (fun prob -> Lost_write { prob })
+    | "stutter" -> prob_arg name arg (fun prob -> Stutter { prob })
+    | "corrupt" -> prob_arg name arg (fun prob -> Corrupt { prob })
+    | "stuck" -> int_arg name arg (fun after -> Stuck_at { after })
+    | "regular" -> int_arg name arg (fun window -> Regular { window })
+    | _ -> Error (Printf.sprintf "unknown fault kind %S" name))

@@ -1,0 +1,85 @@
+(** Faulty-memory injection: composable chaos wrappers over {!Memory.t}.
+
+    The paper's construction is correct {e assuming} its base registers
+    are atomic and failures are halting.  This module deliberately
+    breaks the first assumption, one deviation at a time, so harnesses
+    can confirm that the Shrinking-Lemma oracle actually {e detects}
+    executions the theorem does not cover — the same discipline by which
+    the register-construction literature separates safe, regular and
+    atomic bases.
+
+    A wrapper intercepts the [read]/[write] closures of every cell a
+    memory hands out (matching a {!target}) and perturbs them with one
+    or more {!kind}s of fault.  All randomness comes from a private
+    {!Schedule.Prng} seeded at {!wrap} time and consumed in
+    process-execution order, so a faulty run is exactly as replayable as
+    a healthy one: same schedule + same fault seed = same run.  [peek]
+    (the ghost read) is never perturbed — observers and checkers see the
+    true cell contents.
+
+    Except for [Stutter] (which re-delivers an old write as an {e extra}
+    event), faults preserve the number and order of shared-memory
+    events: a dropped write still costs its event, it just has no
+    effect.  Schedules recorded under one fault set therefore stay
+    aligned when faults are removed during counterexample
+    minimization. *)
+
+type kind =
+  | Lost_write of { prob : float }
+      (** Each write is silently dropped with probability [prob]: the
+          event occurs but the cell keeps its previous value. *)
+  | Stuck_at of { after : int }
+      (** The cell accepts its first [after] writes and then freezes
+          forever ("stuck-at" its then-current value). *)
+  | Stutter of { prob : float }
+      (** With probability [prob], a write is followed by a spurious
+          re-delivery of the cell's {e previous} value (a duplicated old
+          write landing late, as an extra event) — so readers can see
+          the new value and then the old one again. *)
+  | Corrupt of { prob : float }
+      (** Each read independently returns the cell's {e initial} value
+          with probability [prob] (a reset glitch) instead of the
+          current contents. *)
+  | Regular of { window : int }
+      (** Regular-register weakening: after a write, the next [window]
+          reads of the cell may (coin flip each) still return the
+          previous value.  This is precisely the new/old inversion a
+          regular (non-atomic) register permits and an atomic one
+          forbids. *)
+
+type target =
+  | All  (** every cell of the wrapped memory *)
+  | Exact of string  (** the cell with exactly this name *)
+  | Prefix of string  (** every cell whose name starts with this prefix *)
+
+type injection = { kind : kind; target : target }
+
+type counters = {
+  mutable lost : int;  (** writes dropped by [Lost_write] *)
+  mutable frozen : int;  (** writes ignored by [Stuck_at] *)
+  mutable stuttered : int;  (** duplicate old writes re-delivered *)
+  mutable corrupted : int;  (** reads answered with the initial value *)
+  mutable stale : int;  (** reads answered with the previous value *)
+}
+
+val fired : counters -> int
+(** Total faults that actually triggered. *)
+
+val wrap : seed:int -> injection list -> Memory.t -> Memory.t * counters
+(** [wrap ~seed injections mem] is [mem] with every matching cell made
+    faulty.  Injections compose: a cell matched by several injections
+    suffers all of them.  An empty injection list yields a
+    pass-through wrapper (and the counters stay zero). *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_injection : Format.formatter -> injection -> unit
+val pp_counters : Format.formatter -> counters -> unit
+
+val injection_of_string : string -> (injection, string) result
+(** Parse a CLI fault spec: [KIND[@TARGET]] where [KIND] is one of
+    [lost:PROB], [stuck:N], [stutter:PROB], [corrupt:PROB],
+    [regular:WINDOW], and [TARGET] (default: all cells) is a cell-name
+    prefix.  E.g. ["lost:0.2"], ["regular:2@Y"]. *)
+
+val injection_to_string : injection -> string
+(** Inverse of {!injection_of_string} (round-trips). *)

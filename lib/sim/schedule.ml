@@ -15,9 +15,22 @@ module Prng = struct
     Int64.logxor z (Int64.shift_right_logical z 31)
 
   let int t bound =
-    assert (bound > 0);
-    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-    r mod bound
+    if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+    (* Rejection sampling: [r mod bound] alone over-weights small
+       residues whenever [bound] does not divide 2^62.  Redraw on the
+       (astronomically rare, for realistic bounds) overhang instead.
+       [r] is a 62-bit draw, so on a 64-bit platform [max_int] is
+       exactly 2^62 - 1 and the overhang [2^62 mod bound] can be
+       computed without overflowing: accepted draws are those [<=
+       max_int - overhang], a range whose size [2^62 - overhang] is an
+       exact multiple of [bound]. *)
+    let overhang = ((max_int mod bound) + 1) mod bound in
+    let cutoff = max_int - overhang in
+    let rec draw () =
+      let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+      if r > cutoff then draw () else r mod bound
+    in
+    draw ()
 
   let float t =
     let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
@@ -27,12 +40,14 @@ end
 type t =
   | Round_robin
   | Random of int
+  | Starving of int
   | Scripted of int array * t
   | Choose of (enabled:int array -> step:int -> int)
 
 type driver_state =
   | D_round_robin of { mutable last : int }
   | D_random of Prng.t
+  | D_starving of { prng : Prng.t; mutable granted : int array }
   | D_scripted of { script : int array; mutable pos : int; fallback : driver_state }
   | D_choose of (enabled:int array -> step:int -> int)
 
@@ -41,6 +56,7 @@ type driver = driver_state
 let rec driver = function
   | Round_robin -> D_round_robin { last = -1 }
   | Random seed -> D_random (Prng.make seed)
+  | Starving seed -> D_starving { prng = Prng.make seed; granted = [||] }
   | Scripted (script, fallback) ->
     D_scripted { script; pos = 0; fallback = driver fallback }
   | Choose f -> D_choose f
@@ -56,6 +72,33 @@ let rec pick d ~enabled ~step =
     st.last <- choice;
     choice
   | D_random prng -> enabled.(Prng.int prng (Array.length enabled))
+  | D_starving st ->
+    (* Adversarial starvation: most of the time, grant the enabled
+       process that has already been granted the most steps, so the
+       laggard's in-flight operation spans as many foreign events as
+       possible; occasionally (1 in 4) let the most-starved process
+       creep one step forward so its operation actually makes progress
+       through the danger zone instead of never starting. *)
+    let max_id = Array.fold_left max 0 enabled in
+    if max_id >= Array.length st.granted then begin
+      let g = Array.make (max_id + 1) 0 in
+      Array.blit st.granted 0 g 0 (Array.length st.granted);
+      st.granted <- g
+    end;
+    let best cmp =
+      Array.fold_left
+        (fun acc p ->
+          match acc with
+          | None -> Some p
+          | Some q -> if cmp st.granted.(p) st.granted.(q) then Some p else acc)
+        None enabled
+    in
+    let choice =
+      if Prng.float st.prng < 0.25 then Option.get (best ( < ))
+      else Option.get (best ( > ))
+    in
+    st.granted.(choice) <- st.granted.(choice) + 1;
+    choice
   | D_scripted st ->
     if st.pos >= Array.length st.script then pick st.fallback ~enabled ~step
     else begin

@@ -13,6 +13,15 @@ type t =
   | Random of int
       (** Uniform choice among enabled processes, driven by a private
           PRNG seeded with the given seed. *)
+  | Starving of int
+      (** Adversarial starvation, seeded.  Preferentially grants steps
+          to the process that has already received the most (so the
+          least-run process is starved and its pending operation spans
+          a maximal window of foreign events), with an occasional
+          (probability 1/4) step to the most-starved process so every
+          operation eventually completes.  This is the scheduler that
+          stretches one slow Read across many Writes — the adversary
+          the paper's handshake mechanisms exist to defeat. *)
   | Scripted of int array * t
       (** [Scripted (script, fallback)] follows [script] — an array of
           process ids, one per step — and switches to [fallback] when
@@ -45,7 +54,9 @@ module Prng : sig
 
   val make : int -> t
   val int : t -> int -> int
-  (** [int t bound] is uniform in [0, bound). [bound > 0]. *)
+  (** [int t bound] is uniform in [0, bound) — exactly uniform, via
+      rejection sampling of the 62-bit draw.  Raises [Invalid_argument]
+      if [bound <= 0]. *)
 
   val bits64 : t -> int64
   val float : t -> float

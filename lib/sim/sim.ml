@@ -134,9 +134,63 @@ let step_until_event env state i =
     step_proc env state i
   | Not_started _ -> assert false
 
+(* Fault-model input validation: a typo'd process id or a duplicate
+   entry silently weakens (or silently strengthens) the intended fault
+   scenario, so both are rejected loudly. *)
+let validate_faults ~n ~crashes ~stalls =
+  let check_proc what p =
+    if p < 0 || p >= n then
+      invalid_arg
+        (Printf.sprintf
+           "Sim.run: %s names process %d, but process ids range over 0..%d"
+           what p (n - 1))
+  in
+  let check_dups what ps =
+    let sorted = List.sort compare ps in
+    let rec scan = function
+      | p :: q :: _ when p = q ->
+        invalid_arg
+          (Printf.sprintf
+             "Sim.run: duplicate %s entry for process %d (merge them into \
+              one)"
+             what p)
+      | _ :: rest -> scan rest
+      | [] -> ()
+    in
+    scan sorted
+  in
+  List.iter
+    (fun (p, k) ->
+      check_proc "crash" p;
+      if k < 0 then
+        invalid_arg
+          (Printf.sprintf "Sim.run: negative crash point %d for process %d" k p))
+    crashes;
+  check_dups "crash" (List.map fst crashes);
+  List.iter
+    (fun (p, at, dur) ->
+      check_proc "stall" p;
+      if at < 0 then
+        invalid_arg
+          (Printf.sprintf "Sim.run: negative stall point %d for process %d" at p);
+      if dur < 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Sim.run: negative stall duration %d for process %d" dur p))
+    stalls;
+  check_dups "stall" (List.map (fun (p, _, _) -> p) stalls)
+
+(* A stall is armed until its process has performed [at] events, then
+   holds it unscheduled until [dur] further global events have elapsed
+   (or until every runnable process is stalled, in which case the
+   soonest-resuming stall is released early — global time only advances
+   through events, so waiting it out is not an option). *)
+type stall_phase = S_armed of { at : int; dur : int } | S_stalled of { since : int; dur : int } | S_released
+
 let run env ?(policy = Schedule.Round_robin) ?(max_steps = 10_000_000)
-    ?(crashes = []) procs =
+    ?(crashes = []) ?(stalls = []) procs =
   let n = Array.length procs in
+  validate_faults ~n ~crashes ~stalls;
   if n = 0 then { steps = 0; switches = 0 }
   else begin
     let state = Array.map (fun f -> Not_started f) procs in
@@ -148,27 +202,75 @@ let run env ?(policy = Schedule.Round_robin) ?(max_steps = 10_000_000)
        events it is treated as finished (never scheduled again), its
        current operation left dangling mid-flight. *)
     let events_done = Array.make n 0 in
-    let crash_after p =
-      List.fold_left
-        (fun acc (q, k) -> if q = p then Some (min k (Option.value acc ~default:k)) else acc)
-        None crashes
-    in
+    let crash_after p = List.assoc_opt p crashes in
     let crashed p =
       match crash_after p with
       | Some k -> events_done.(p) >= k
       | None -> false
+    in
+    let stall_phase = Array.make n S_released in
+    List.iter
+      (fun (p, at, dur) -> stall_phase.(p) <- S_armed { at; dur })
+      stalls;
+    let stalled p =
+      match stall_phase.(p) with
+      | S_released -> false
+      | S_armed { at; dur } ->
+        if events_done.(p) < at then false
+        else if dur = 0 then begin
+          stall_phase.(p) <- S_released;
+          false
+        end
+        else begin
+          stall_phase.(p) <- S_stalled { since = env.step; dur };
+          true
+        end
+      | S_stalled { since; dur } ->
+        if env.step - since >= dur then begin
+          stall_phase.(p) <- S_released;
+          false
+        end
+        else true
     in
     let enabled_ids state =
       let ids = ref [] in
       for i = Array.length state - 1 downto 0 do
         match state.(i) with
         | Finished -> ()
-        | _ -> if not (crashed i) then ids := i :: !ids
+        | _ -> if not (crashed i) && not (stalled i) then ids := i :: !ids
       done;
       Array.of_list !ids
     in
+    (* If every runnable process is stalled, no event can occur and the
+       resume clocks would never tick: release the stall due soonest
+       (lowest [since + dur], ties to the lowest process id). *)
+    let release_soonest_stall () =
+      let soonest = ref None in
+      Array.iteri
+        (fun p phase ->
+          match (state.(p), phase) with
+          | Finished, _ | _, (S_released | S_armed _) -> ()
+          | _, S_stalled { since; dur } ->
+            if not (crashed p) then begin
+              let due = since + dur in
+              match !soonest with
+              | Some (_, best) when best <= due -> ()
+              | _ -> soonest := Some (p, due)
+            end)
+        stall_phase;
+      match !soonest with
+      | None -> false
+      | Some (p, _) ->
+        stall_phase.(p) <- S_released;
+        true
+    in
     let rec loop () =
       let enabled = enabled_ids state in
+      let enabled =
+        if Array.length enabled > 0 then enabled
+        else if release_soonest_stall () then enabled_ids state
+        else enabled
+      in
       if Array.length enabled > 0 then begin
         if env.step - start_step > max_steps then
           raise

@@ -90,6 +90,7 @@ val run :
   ?policy:Schedule.t ->
   ?max_steps:int ->
   ?crashes:(int * int) list ->
+  ?stalls:(int * int * int) list ->
   (unit -> unit) array ->
   stats
 (** [run env procs] executes all processes to completion under the given
@@ -105,7 +106,21 @@ val run :
     scheduled again; the run completes when every process has finished
     or crashed.  Wait-freedom (Section 1 of the paper) says the
     surviving processes' operations still complete — which {!Stuck}
-    would expose if violated. *)
+    would expose if violated.
+
+    [stalls] injects transient (stall/resume) faults: [(p, at, dur)]
+    removes process [p] from the schedulable set once it has performed
+    [at] events — freezing it mid-operation, like a crash — and returns
+    it after [dur] further global events have been performed by other
+    processes.  Unlike a crash the operation then resumes and must still
+    complete correctly; a stalled process is exactly the "slow" process
+    of the paper's adversarial arguments, stretched over an explicit
+    window.  If at some point {e every} runnable process is stalled, the
+    stall due to resume soonest is released early (global time advances
+    only through events, so the window could otherwise never elapse).
+    At most one crash entry and one stall entry per process; duplicate
+    or out-of-range process ids, and negative event counts, raise
+    [Invalid_argument]. *)
 
 val run_solo : env -> ?max_steps:int -> (unit -> unit) -> stats
 (** Run a single process alone; convenient for sequential tests and for

@@ -1,0 +1,161 @@
+(** Chaos campaigns: linearizability checking under injected faults,
+    with automatic counterexample minimization.
+
+    A chaos campaign sweeps {implementation × fault profile × seed},
+    running the standard writers/readers workload in the simulator with
+
+    - faulty base memory (via {!Csim.Faults}: lost writes, stuck-at
+      cells, stuttered duplicate writes, read corruption, and the
+      regular-register new/old-inversion weakening),
+    - process faults (halting crashes and stall/resume freezes, via
+      [Sim.run ~crashes ~stalls]), and
+    - adversarial scheduling ([Schedule.Random] and the starvation
+      policy [Schedule.Starving], alternating by seed),
+
+    and judging every completed history with the Shrinking-Lemma
+    oracle ([History.Shrinking]).  The point is robustness of the
+    reproduction itself: on atomic memory the paper's constructions
+    must pass {e every} profile that only breaks processes (crash,
+    stall) — that is the theorem — while profiles that break the
+    {e memory} assumption must be caught by the oracle, exactly as the
+    deliberately-wrong implementations are.
+
+    When a run is flagged, the campaign delta-debugs the failing
+    (schedule, fault set) pair down to a locally-minimal reproduction:
+    chaos elements (injections, crashes, stalls) are removed first,
+    then schedule entries, re-running the candidate after each removal
+    and keeping it only if the violation persists.  The result replays
+    deterministically via [Schedule.Scripted] and serializes to a
+    one-line script ({!cx_to_string} / {!cx_of_string}) that the
+    [chaos] CLI subcommand can re-execute. *)
+
+open Csim
+
+(** {2 Fault profiles} *)
+
+type profile = {
+  label : string;
+  injections : Faults.injection list;  (** faulty-memory wrappers *)
+  crashes : (int * int) list;  (** halting failures, per [Sim.run] *)
+  stalls : (int * int * int) list;  (** stall/resume faults, per [Sim.run] *)
+}
+
+val profile :
+  ?injections:Faults.injection list ->
+  ?crashes:(int * int) list ->
+  ?stalls:(int * int * int) list ->
+  string ->
+  profile
+
+val faulty_memory : profile -> bool
+(** True iff the profile perturbs the memory itself (such profiles may
+    legitimately be flagged even for correct implementations). *)
+
+val default_profiles : components:int -> readers:int -> profile list
+(** The standard taxonomy: [none]; crash and stall variants aimed at
+    writer 0 and the last reader; and one profile per memory-fault
+    kind. *)
+
+(** {2 Campaign} *)
+
+type config = {
+  impls : Campaign.impl list;
+  profiles : profile list;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  seeds : int;  (** runs per (impl, profile) *)
+  base_seed : int;
+  max_steps : int;  (** step budget per run (bounds Stuck detection) *)
+  minimize_budget : int;
+      (** candidate replays the minimizer may spend per counterexample;
+          [0] disables minimization *)
+}
+
+val default : config
+
+type outcome =
+  | Passed
+  | Flagged of History.Shrinking.violation list
+      (** non-linearizable (after crash-completion, see below) *)
+  | Stuck_run of string  (** step budget exhausted: progress failure *)
+  | Diverged of string
+      (** replay script named a non-enabled process — only possible for
+          minimizer candidates, never for a recorded schedule *)
+
+val outcome_failed : outcome -> bool
+(** [Flagged] or [Stuck_run]. *)
+
+(** A self-contained, replayable case: everything needed to re-execute
+    one run, including the exact schedule. *)
+type case = {
+  impl : Campaign.impl;
+  prof : profile;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  fault_seed : int;  (** seed of the {!Faults.wrap} PRNG *)
+}
+
+val replay : case -> script:int array -> outcome
+(** Re-execute a case under [Schedule.Scripted (script, Round_robin)].
+    Fully deterministic: same case + same script = same outcome.
+
+    Judging: the history of completed operations is checked against all
+    five Shrinking conditions; for profiles with crashes, the victim's
+    dangling Write is first completed ({!Resilience.complete_dangling})
+    and residual [Integrity] violations — artifacts of writes left
+    half-published by a crash — are excused, as in the resilience
+    sweep.  Everything else counts. *)
+
+type counterexample = {
+  cx_case : case;  (** with the {e minimized} profile *)
+  cx_script : int array;  (** minimized schedule *)
+  cx_violations : string;  (** rendered violations of the minimized run *)
+  cx_original_entries : int;  (** schedule entries before minimization *)
+  cx_original_elements : int;  (** chaos elements before minimization *)
+  cx_replays : int;  (** candidate replays the minimizer spent *)
+}
+
+val minimize : budget:int -> case -> script:int array -> counterexample
+(** Delta-debug a failing (case, script) pair: first shrink the chaos
+    element list (injections @ crashes @ stalls), then the schedule,
+    preserving "replays to [Flagged] (resp. [Stuck_run])".  The input
+    must itself fail under {!replay}. *)
+
+val cx_to_string : counterexample -> string
+(** One-line replayable script:
+    [impl=... c=... r=... writes=... scans=... fault-seed=... faults=...
+    crashes=... stalls=... script=...]. *)
+
+val cx_of_string : string -> (counterexample, string) result
+(** Parse {!cx_to_string} output ([cx_violations] etc. are recomputed on
+    replay and left empty). *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+(** {2 Reports} *)
+
+type cell = {
+  cell_impl : Campaign.impl;
+  cell_profile : profile;
+  runs : int;
+  flagged : int;
+  stuck : int;
+  faults_fired : int;  (** memory faults that actually triggered *)
+  counterexample : counterexample option;
+      (** first failing run of this cell, minimized *)
+}
+
+type report = {
+  cells : cell list;
+  total_runs : int;
+  total_flagged : int;
+  total_stuck : int;
+}
+
+val run : config -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -26,6 +26,19 @@ type report = {
   not_linearizable : int;  (** scenarios with a Shrinking violation *)
 }
 
+val complete_dangling :
+  components:int -> int History.Snapshot_history.t -> int History.Snapshot_history.t
+(** Standard linearizability treatment of a crashed process's pending
+    Write, specialized to this module's deterministic workload (writer
+    [k]'s [s]-th Write has id [s] and input [(k+1)*1000 + s]): if some
+    Read returned, for component [k], an id one past the largest
+    {e recorded} [k]-Write id — i.e. exactly the next Write, whose
+    effect became visible before the crash — materialize that Write
+    with the maximal interval [(0, max_int)] (a pending operation is
+    concurrent with everything).  Ids further than one past the largest
+    recorded id, or no dangling id at all, leave the history unchanged.
+    Exposed for the chaos campaign's oracle and for direct testing. *)
+
 val run :
   ?components:int ->
   ?readers:int ->

@@ -1,0 +1,366 @@
+(* The chaos layer: faulty-memory wrappers (lib/sim/faults.ml), the
+   stall/resume + starvation machinery they ride on, and the chaos
+   campaign with its counterexample minimizer (lib/workload/chaos.ml).
+
+   The headline assertions mirror the robustness claim: on atomic
+   memory the paper's constructions survive every process-fault
+   profile (crash, stall — that is the theorem), while every
+   memory-fault profile, and the deliberately unsafe double collect
+   even on healthy memory, is caught by the Shrinking oracle — and the
+   minimized counterexample replays deterministically. *)
+
+open Csim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Faulty cells over direct memory                                      *)
+(* ------------------------------------------------------------------ *)
+
+let wrap_one ?(seed = 1) injections =
+  let mem, counters = Faults.wrap ~seed injections (Memory.direct ()) in
+  (mem, counters)
+
+let inj ?(target = Faults.All) kind = { Faults.kind; target }
+
+let test_lost_write () =
+  let mem, counters = wrap_one [ inj (Faults.Lost_write { prob = 1.0 }) ] in
+  let c = mem.Memory.make ~name:"c" ~bits:8 0 in
+  c.Memory.write 5;
+  check int "write dropped" 0 (c.Memory.read ());
+  check int "counted" 1 counters.Faults.lost;
+  check int "total fired" 1 (Faults.fired counters)
+
+let test_stuck_at () =
+  let mem, counters = wrap_one [ inj (Faults.Stuck_at { after = 1 }) ] in
+  let c = mem.Memory.make ~name:"c" ~bits:8 0 in
+  c.Memory.write 1;
+  check int "first write lands" 1 (c.Memory.read ());
+  c.Memory.write 2;
+  c.Memory.write 3;
+  check int "then frozen" 1 (c.Memory.read ());
+  check int "two frozen writes" 2 counters.Faults.frozen
+
+let test_corrupt_read () =
+  let mem, counters = wrap_one [ inj (Faults.Corrupt { prob = 1.0 }) ] in
+  let c = mem.Memory.make ~name:"c" ~bits:8 7 in
+  c.Memory.write 42;
+  check int "read glitches to the initial value" 7 (c.Memory.read ());
+  check int "peek sees the truth" 42 (c.Memory.peek ());
+  check bool "counted" true (counters.Faults.corrupted > 0)
+
+let test_stutter_reverts () =
+  let mem, counters = wrap_one [ inj (Faults.Stutter { prob = 1.0 }) ] in
+  let c = mem.Memory.make ~name:"c" ~bits:8 0 in
+  c.Memory.write 1;
+  (* The previous value (0) is re-delivered right after the write. *)
+  check int "old write re-delivered late" 0 (c.Memory.read ());
+  check int "counted" 1 counters.Faults.stuttered
+
+let test_regular_weakening () =
+  let mem, counters = wrap_one ~seed:3 [ inj (Faults.Regular { window = 2 }) ] in
+  let c = mem.Memory.make ~name:"c" ~bits:8 0 in
+  let ok = ref true in
+  for v = 1 to 20 do
+    c.Memory.write v;
+    for _ = 1 to 3 do
+      let r = c.Memory.read () in
+      (* A read returns the current or the previous value, nothing else. *)
+      if r <> v && r <> v - 1 then ok := false
+    done
+  done;
+  check bool "reads are new-or-old only" true !ok;
+  check bool "some reads were stale" true (counters.Faults.stale > 0)
+
+let test_targeting () =
+  let mem, counters =
+    wrap_one
+      [
+        inj ~target:(Faults.Prefix "Y") (Faults.Lost_write { prob = 1.0 });
+        inj ~target:(Faults.Exact "Z") (Faults.Corrupt { prob = 1.0 });
+      ]
+  in
+  let y = mem.Memory.make ~name:"Y[0]" ~bits:8 0 in
+  let z = mem.Memory.make ~name:"Z" ~bits:8 0 in
+  let z2 = mem.Memory.make ~name:"Z2" ~bits:8 0 in
+  y.Memory.write 1;
+  z.Memory.write 1;
+  z2.Memory.write 1;
+  check int "prefix match loses the write" 0 (y.Memory.read ());
+  check int "exact match corrupts the read" 0 (z.Memory.read ());
+  check int "near-miss name untouched" 1 (z2.Memory.read ());
+  check int "fired" 2 (Faults.fired counters)
+
+let test_healthy_passthrough () =
+  let mem, counters = wrap_one [] in
+  let c = mem.Memory.make ~name:"c" ~bits:8 0 in
+  c.Memory.write 9;
+  check int "no-injection wrapper is transparent" 9 (c.Memory.read ());
+  check int "nothing fired" 0 (Faults.fired counters)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun i ->
+      match Faults.injection_of_string (Faults.injection_to_string i) with
+      | Ok i' ->
+        check bool
+          ("round-trips: " ^ Faults.injection_to_string i)
+          true (i = i')
+      | Error e -> Alcotest.fail e)
+    [
+      inj (Faults.Lost_write { prob = 0.25 });
+      inj (Faults.Stuck_at { after = 3 });
+      inj ~target:(Faults.Prefix "Y") (Faults.Stutter { prob = 0.5 });
+      inj ~target:(Faults.Exact "Z[1]") (Faults.Regular { window = 2 });
+      inj (Faults.Corrupt { prob = 0.05 });
+    ];
+  List.iter
+    (fun s ->
+      match Faults.injection_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad spec " ^ s))
+    [ "lost"; "lost:2.0"; "stuck:-1"; "frob:0.1"; "regular:x" ]
+
+(* ------------------------------------------------------------------ *)
+(* Faults inside the simulator                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_deterministic_in_sim () =
+  (* Same schedule seed + same fault seed = same trace and counters. *)
+  let run () =
+    let env = Sim.create () in
+    let mem, counters =
+      Faults.wrap ~seed:5
+        [ inj (Faults.Lost_write { prob = 0.3 }) ]
+        (Memory.of_sim env)
+    in
+    let c = mem.Memory.make ~name:"c" ~bits:8 0 in
+    let out = ref [] in
+    let writer () =
+      for v = 1 to 10 do
+        c.Memory.write v
+      done
+    in
+    let reader () =
+      for _ = 1 to 10 do
+        out := c.Memory.read () :: !out
+      done
+    in
+    let (_ : Sim.stats) =
+      Sim.run env ~policy:(Schedule.Random 11) [| writer; reader |]
+    in
+    (!out, counters.Faults.lost)
+  in
+  let a = run () and b = run () in
+  check bool "identical replays" true (a = b);
+  check bool "faults actually fired" true (snd a > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The campaign: correct implementations survive process faults         *)
+(* ------------------------------------------------------------------ *)
+
+let process_fault_profiles =
+  List.filter
+    (fun p -> not (Workload.Chaos.faulty_memory p))
+    (Workload.Chaos.default_profiles ~components:2 ~readers:2)
+
+let memory_fault_profiles =
+  List.filter Workload.Chaos.faulty_memory
+    (Workload.Chaos.default_profiles ~components:2 ~readers:2)
+
+let test_profile_taxonomy () =
+  (* "none", three crash variants, three stall variants / five memory
+     fault kinds — keep the split honest if profiles are added. *)
+  check bool "several process-fault profiles" true
+    (List.length process_fault_profiles >= 7);
+  check int "one profile per fault kind" 5 (List.length memory_fault_profiles);
+  check bool "none profile is a process-fault profile" true
+    (List.exists (fun (p : Workload.Chaos.profile) -> p.label = "none")
+       process_fault_profiles)
+
+let test_correct_impls_survive_process_faults () =
+  (* The acceptance matrix: anderson and afek, all-atomic memory, every
+     fault-free and crash/stall config — zero violations, zero stuck. *)
+  let r =
+    Workload.Chaos.run
+      {
+        Workload.Chaos.default with
+        impls = [ Workload.Campaign.Impl_anderson; Workload.Campaign.Impl_afek ];
+        profiles = process_fault_profiles;
+        seeds = 6;
+        minimize_budget = 0;
+      }
+  in
+  check bool "ran the full matrix" true (r.Workload.Chaos.total_runs >= 84);
+  check int "zero linearizability violations" 0 r.Workload.Chaos.total_flagged;
+  check int "zero stuck runs" 0 r.Workload.Chaos.total_stuck
+
+(* ------------------------------------------------------------------ *)
+(* The campaign: violations are caught, minimized, and replayable       *)
+(* ------------------------------------------------------------------ *)
+
+let flagged_cx ~impl ~profiles ~seeds =
+  let r =
+    Workload.Chaos.run
+      { Workload.Chaos.default with impls = [ impl ]; profiles; seeds }
+  in
+  check bool "campaign flags at least one run" true
+    (r.Workload.Chaos.total_flagged > 0);
+  let cell =
+    List.find
+      (fun (c : Workload.Chaos.cell) -> c.counterexample <> None)
+      r.Workload.Chaos.cells
+  in
+  Option.get cell.Workload.Chaos.counterexample
+
+let violations_of = function
+  | Workload.Chaos.Flagged vs ->
+    Format.asprintf "%a"
+      (Format.pp_print_list History.Shrinking.pp_violation)
+      vs
+  | Workload.Chaos.Passed -> Alcotest.fail "replay passed: not reproduced"
+  | Workload.Chaos.Stuck_run m -> Alcotest.fail ("replay stuck: " ^ m)
+  | Workload.Chaos.Diverged m -> Alcotest.fail ("replay diverged: " ^ m)
+
+let assert_deterministic_replay (cx : Workload.Chaos.counterexample) =
+  let v1 =
+    violations_of
+      (Workload.Chaos.replay cx.Workload.Chaos.cx_case
+         ~script:cx.Workload.Chaos.cx_script)
+  in
+  let v2 =
+    violations_of
+      (Workload.Chaos.replay cx.Workload.Chaos.cx_case
+         ~script:cx.Workload.Chaos.cx_script)
+  in
+  check bool "violations nonempty" true (String.length v1 > 0);
+  check bool "identical violations on re-replay" true (String.equal v1 v2);
+  check bool "minimized schedule no longer than the original" true
+    (Array.length cx.Workload.Chaos.cx_script
+    <= cx.Workload.Chaos.cx_original_entries)
+
+let test_unsafe_collect_caught_minimized () =
+  (* The negative control: no injected faults at all, yet the unsafe
+     double collect must be flagged, and its minimized counterexample
+     must replay deterministically via Schedule.Scripted. *)
+  let cx =
+    flagged_cx ~impl:Workload.Campaign.Impl_unsafe_collect
+      ~profiles:[ Workload.Chaos.profile "none" ]
+      ~seeds:10
+  in
+  assert_deterministic_replay cx;
+  check int "nothing to shrink in an empty fault set" 0
+    cx.Workload.Chaos.cx_original_elements
+
+let test_lost_writes_caught_minimized () =
+  (* Faulty memory under the paper's own construction: the oracle must
+     detect that the atomicity assumption was broken. *)
+  let profiles =
+    List.filter
+      (fun (p : Workload.Chaos.profile) -> p.label = "lost-writes")
+      memory_fault_profiles
+  in
+  check int "profile exists" 1 (List.length profiles);
+  let cx =
+    flagged_cx ~impl:Workload.Campaign.Impl_anderson ~profiles ~seeds:10
+  in
+  assert_deterministic_replay cx
+
+let test_regular_weakening_caught_minimized () =
+  let profiles =
+    List.filter
+      (fun (p : Workload.Chaos.profile) -> p.label = "regular-weakening")
+      memory_fault_profiles
+  in
+  let cx =
+    flagged_cx ~impl:Workload.Campaign.Impl_anderson ~profiles ~seeds:10
+  in
+  assert_deterministic_replay cx
+
+let test_minimize_rejects_passing_case () =
+  let case =
+    {
+      Workload.Chaos.impl = Workload.Campaign.Impl_anderson;
+      prof = Workload.Chaos.profile "none";
+      components = 2;
+      readers = 1;
+      writes_per_writer = 1;
+      scans_per_reader = 1;
+      fault_seed = 1;
+    }
+  in
+  let raised =
+    try
+      ignore (Workload.Chaos.minimize ~budget:100 case ~script:[||]);
+      false
+    with Invalid_argument _ -> true
+  in
+  check bool "minimizing a passing case is refused" true raised
+
+let test_cx_script_roundtrip () =
+  let cx =
+    flagged_cx ~impl:Workload.Campaign.Impl_anderson
+      ~profiles:
+        (List.filter
+           (fun (p : Workload.Chaos.profile) -> p.label = "lost-writes")
+           memory_fault_profiles)
+      ~seeds:10
+  in
+  let s = Workload.Chaos.cx_to_string cx in
+  match Workload.Chaos.cx_of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok cx' ->
+    check bool "serialized form round-trips" true
+      (String.equal s (Workload.Chaos.cx_to_string cx'));
+    (* The parsed counterexample reproduces the same violations. *)
+    let v =
+      violations_of
+        (Workload.Chaos.replay cx'.Workload.Chaos.cx_case
+           ~script:cx'.Workload.Chaos.cx_script)
+    in
+    let v0 =
+      violations_of
+        (Workload.Chaos.replay cx.Workload.Chaos.cx_case
+           ~script:cx.Workload.Chaos.cx_script)
+    in
+    check bool "parsed replay matches" true (String.equal v v0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "faulty cells",
+        [
+          Alcotest.test_case "lost write" `Quick test_lost_write;
+          Alcotest.test_case "stuck-at" `Quick test_stuck_at;
+          Alcotest.test_case "corrupt read" `Quick test_corrupt_read;
+          Alcotest.test_case "stutter reverts" `Quick test_stutter_reverts;
+          Alcotest.test_case "regular weakening" `Quick test_regular_weakening;
+          Alcotest.test_case "targeting" `Quick test_targeting;
+          Alcotest.test_case "healthy passthrough" `Quick
+            test_healthy_passthrough;
+          Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "deterministic in the simulator" `Quick
+            test_faults_deterministic_in_sim;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "profile taxonomy" `Quick test_profile_taxonomy;
+          Alcotest.test_case
+            "anderson & afek survive every process-fault profile" `Quick
+            test_correct_impls_survive_process_faults;
+          Alcotest.test_case "unsafe collect caught & minimized" `Quick
+            test_unsafe_collect_caught_minimized;
+          Alcotest.test_case "lost writes caught & minimized" `Quick
+            test_lost_writes_caught_minimized;
+          Alcotest.test_case "regular weakening caught & minimized" `Quick
+            test_regular_weakening_caught_minimized;
+          Alcotest.test_case "minimizer refuses passing cases" `Quick
+            test_minimize_rejects_passing_case;
+          Alcotest.test_case "counterexample script round-trip" `Quick
+            test_cx_script_roundtrip;
+        ] );
+    ]

@@ -58,6 +58,202 @@ let test_crash_multiple () =
   check int "one survivor" 1 stats.Sim.steps;
   check int "survivor is process 1" 2 (Cell.peek c)
 
+let raises_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> true
+  | _ -> false
+
+let test_fault_input_validation () =
+  let run ?crashes ?stalls () =
+    let env = Sim.create ~trace:false () in
+    let c = Sim.make_cell env "c" 0 in
+    ignore
+      (Sim.run env ?crashes ?stalls
+         [| (fun () -> Sim.write c 1); (fun () -> Sim.write c 2) |])
+  in
+  List.iter
+    (fun (label, f) -> check bool label true (raises_invalid f))
+    [
+      ("crash id out of range", fun () -> run ~crashes:[ (2, 0) ] ());
+      ("negative crash id", fun () -> run ~crashes:[ (-1, 0) ] ());
+      ("negative crash point", fun () -> run ~crashes:[ (0, -1) ] ());
+      ( "duplicate crash entries",
+        fun () -> run ~crashes:[ (0, 1); (0, 2) ] () );
+      ("stall id out of range", fun () -> run ~stalls:[ (5, 0, 1) ] ());
+      ("negative stall point", fun () -> run ~stalls:[ (0, -1, 1) ] ());
+      ("negative stall duration", fun () -> run ~stalls:[ (0, 1, -1) ] ());
+      ( "duplicate stall entries",
+        fun () -> run ~stalls:[ (1, 0, 1); (1, 2, 2) ] () );
+    ];
+  (* Valid combinations are accepted. *)
+  run ~crashes:[ (0, 0) ] ~stalls:[ (1, 0, 1) ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Stall/resume injection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stall_defers_then_resumes () =
+  (* p0 stalls after its first event for 3 global events; round-robin
+     fills the window with p1's work, then p0 resumes and finishes. *)
+  let env = Sim.create () in
+  let a = Sim.make_cell env "a" 0 in
+  let b = Sim.make_cell env "b" 0 in
+  let p0 () =
+    Sim.write a 1;
+    Sim.write a 2
+  in
+  let p1 () =
+    for i = 1 to 4 do
+      Sim.write b i
+    done
+  in
+  let stats = Sim.run env ~stalls:[ (0, 1, 3) ] [| p0; p1 |] in
+  check int "all events delivered" 6 stats.Sim.steps;
+  check int "p0 finished" 2 (Cell.peek a);
+  let procs =
+    List.map (fun (e : Trace.event) -> e.proc) (Trace.events (Sim.trace env))
+  in
+  check (Alcotest.list int) "p0 frozen for exactly the window"
+    [ 0; 1; 1; 1; 0; 1 ] procs
+
+let test_stall_zero_duration_is_noop () =
+  let run stalls =
+    let env = Sim.create () in
+    let c = Sim.make_cell env "c" 0 in
+    let p0 () =
+      Sim.write c 1;
+      Sim.write c 2
+    in
+    let p1 () = Sim.write c 3 in
+    ignore (Sim.run env ~stalls [| p0; p1 |]);
+    List.map (fun (e : Trace.event) -> e.proc) (Trace.events (Sim.trace env))
+  in
+  check bool "dur = 0 behaves like no stall" true
+    (run [ (0, 1, 0) ] = run [])
+
+let test_all_stalled_releases_soonest () =
+  (* Both processes stalled before their first event with long windows:
+     global time only advances through events, so the stall due to
+     resume soonest (p1, window 500 < 1000) must be released early. *)
+  let env = Sim.create () in
+  let a = Sim.make_cell env "a" 0 in
+  let b = Sim.make_cell env "b" 0 in
+  let p0 () = Sim.write a 1 in
+  let p1 () = Sim.write b 1 in
+  let stats =
+    Sim.run env ~stalls:[ (0, 0, 1000); (1, 0, 500) ] [| p0; p1 |]
+  in
+  check int "run completed" 2 stats.Sim.steps;
+  let procs =
+    List.map (fun (e : Trace.event) -> e.proc) (Trace.events (Sim.trace env))
+  in
+  check (Alcotest.list int) "soonest-due stall released first" [ 1; 0 ] procs
+
+let test_stall_then_crash_interaction () =
+  (* A stalled process can still be crashed at a later event count; a
+     crashed process never resumes. *)
+  let env = Sim.create ~trace:false () in
+  let c = Sim.make_cell env "c" 0 in
+  let victim () =
+    for i = 1 to 10 do
+      Sim.write c i
+    done
+  in
+  let other () = Sim.write c 99 in
+  let stats =
+    Sim.run env ~stalls:[ (0, 2, 5) ] ~crashes:[ (0, 4) ] [| victim; other |]
+  in
+  (* victim: 2 events, stall, resumes, 2 more events, crash; other: 1. *)
+  check int "events before the crash plus the survivor's" 5 stats.Sim.steps;
+  check int "victim's fourth write was its last" 4 (Cell.peek c)
+
+(* ------------------------------------------------------------------ *)
+(* Dangling-write completion                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mk_write ~comp ~id : int History.Snapshot_history.write =
+  { wproc = comp; comp; value = ((comp + 1) * 1000) + id; id; winv = 0; wres = 1 }
+
+let mk_read ids : int History.Snapshot_history.read =
+  { rproc = 9; values = Array.map (fun _ -> 0) ids; ids; rinv = 0; rres = 1 }
+
+let mk_hist ~components ~writes ~reads : int History.Snapshot_history.t =
+  { components; initial = Array.make components 0; writes; reads }
+
+let test_complete_dangling_boundary () =
+  (* A read returned id exactly one past the last recorded write: that
+     is the signature of a write left dangling by a crash, and it is
+     reconstructed. *)
+  let h =
+    mk_hist ~components:2
+      ~writes:[ mk_write ~comp:0 ~id:1 ]
+      ~reads:[ mk_read [| 2; 0 |] ]
+  in
+  let h' = Workload.Resilience.complete_dangling ~components:2 h in
+  check int "one write added" 2 (List.length h'.History.Snapshot_history.writes);
+  let added =
+    List.find
+      (fun (w : int History.Snapshot_history.write) -> w.wproc = -2)
+      h'.History.Snapshot_history.writes
+  in
+  check int "component 0" 0 added.comp;
+  check int "id one past the recorded maximum" 2 added.id;
+  check int "workload value convention" 1002 added.value;
+  check bool "maximal interval" true (added.winv = 0 && added.wres = max_int)
+
+let test_complete_dangling_noop_when_equal () =
+  let h =
+    mk_hist ~components:2
+      ~writes:[ mk_write ~comp:0 ~id:1 ]
+      ~reads:[ mk_read [| 1; 0 |] ]
+  in
+  let h' = Workload.Resilience.complete_dangling ~components:2 h in
+  check int "nothing added" 1 (List.length h'.History.Snapshot_history.writes)
+
+let test_complete_dangling_noop_on_gap () =
+  (* A gap of two or more cannot come from a single dangling write; the
+     history is left alone so the checker flags it. *)
+  let h =
+    mk_hist ~components:2
+      ~writes:[ mk_write ~comp:0 ~id:1 ]
+      ~reads:[ mk_read [| 3; 0 |] ]
+  in
+  let h' = Workload.Resilience.complete_dangling ~components:2 h in
+  check int "nothing added" 1 (List.length h'.History.Snapshot_history.writes)
+
+let test_complete_dangling_multi_component () =
+  let h =
+    mk_hist ~components:2
+      ~writes:[ mk_write ~comp:0 ~id:2; mk_write ~comp:1 ~id:1 ]
+      ~reads:[ mk_read [| 3; 2 |] ]
+  in
+  let h' = Workload.Resilience.complete_dangling ~components:2 h in
+  check int "both components completed" 4
+    (List.length h'.History.Snapshot_history.writes);
+  let added k =
+    List.find
+      (fun (w : int History.Snapshot_history.write) ->
+        w.wproc = -2 && w.comp = k)
+      h'.History.Snapshot_history.writes
+  in
+  check int "comp 0 id" 3 (added 0).id;
+  check int "comp 1 id" 2 (added 1).id
+
+let test_complete_dangling_no_recorded_writes () =
+  (* max recorded id is 0 (only virtual initial writes): a read of id 1
+     is the crash-before-any-completion case. *)
+  let h =
+    mk_hist ~components:2 ~writes:[] ~reads:[ mk_read [| 1; 1 |] ]
+  in
+  let h' = Workload.Resilience.complete_dangling ~components:2 h in
+  check int "both first writes reconstructed" 2
+    (List.length h'.History.Snapshot_history.writes);
+  List.iter
+    (fun (w : int History.Snapshot_history.write) ->
+      check int "id 1" 1 w.id;
+      check int "value convention" (((w.comp + 1) * 1000) + 1) w.value)
+    h'.History.Snapshot_history.writes
+
 (* ------------------------------------------------------------------ *)
 (* The resilience sweep                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -235,6 +431,16 @@ let qcheck_multi_crash =
       in
       let nprocs = components + readers in
       let crashes = List.filter (fun (p, _) -> p < nprocs) crashes in
+      (* [Sim.run] rejects duplicate crash entries: keep the earliest
+         crash point per process. *)
+      let crashes =
+        let rec dedup = function
+          | (p, a) :: (q, b) :: rest when p = q -> dedup ((p, min a b) :: rest)
+          | x :: rest -> x :: dedup rest
+          | [] -> []
+        in
+        dedup (List.sort compare crashes)
+      in
       let procs =
         Array.init nprocs (fun p ->
             if p < components then writer p else reader (p - components))
@@ -271,6 +477,32 @@ let () =
           Alcotest.test_case "crash unblocks busy wait" `Quick
             test_crash_unblocks_busy_wait;
           Alcotest.test_case "multiple crashes" `Quick test_crash_multiple;
+          Alcotest.test_case "fault input validation" `Quick
+            test_fault_input_validation;
+        ] );
+      ( "stall injection",
+        [
+          Alcotest.test_case "stall defers then resumes" `Quick
+            test_stall_defers_then_resumes;
+          Alcotest.test_case "zero duration is a no-op" `Quick
+            test_stall_zero_duration_is_noop;
+          Alcotest.test_case "all stalled releases soonest" `Quick
+            test_all_stalled_releases_soonest;
+          Alcotest.test_case "stall then crash" `Quick
+            test_stall_then_crash_interaction;
+        ] );
+      ( "dangling-write completion",
+        [
+          Alcotest.test_case "boundary: max_read = max_recorded + 1" `Quick
+            test_complete_dangling_boundary;
+          Alcotest.test_case "no-op when ids agree" `Quick
+            test_complete_dangling_noop_when_equal;
+          Alcotest.test_case "no-op on a gap of two" `Quick
+            test_complete_dangling_noop_on_gap;
+          Alcotest.test_case "multiple components at once" `Quick
+            test_complete_dangling_multi_component;
+          Alcotest.test_case "no recorded writes at all" `Quick
+            test_complete_dangling_no_recorded_writes;
         ] );
       ( "sweeps",
         [
