@@ -37,6 +37,18 @@ let e1 () =
   in
   let row (name, f, expected) =
     let o = f () in
+    Record.row "E1"
+      [
+        ("scenario", Obs.Json.Str name);
+        ("branch", Obs.Json.Str (case_name o.Workload.Scenario.case));
+        ( "values",
+          Obs.Json.Arr
+            (Array.to_list
+               (Array.map (fun v -> Obs.Json.Int v) o.Workload.Scenario.values))
+        );
+        ("linearizable", Obs.Json.Bool o.Workload.Scenario.linearizable);
+        ("as_predicted", Obs.Json.Bool (o.Workload.Scenario.case = Some expected));
+      ];
     Workload.Table.add_row t
       [
         name;
@@ -74,6 +86,14 @@ let e2 () =
   in
   for c = 1 to 10 do
     let m = Workload.Meter.scan_cost Workload.Campaign.Impl_anderson ~c ~r:3 in
+    Record.row "E2"
+      [
+        ("c", Obs.Json.Int c);
+        ("measured", Obs.Json.Int m);
+        ("paper", Obs.Json.Int (Composite.Complexity.tr ~c));
+        ("closed_form", Obs.Json.Int (Composite.Complexity.tr_closed ~c));
+        ("exact_match", Obs.Json.Bool (m = Composite.Complexity.tr ~c));
+      ];
     Workload.Table.add_row t
       [
         string_of_int c;
@@ -101,6 +121,15 @@ let e3 () =
         Workload.Meter.update_cost Workload.Campaign.Impl_anderson ~c ~r
           ~writer:(c - 1)
       in
+      Record.row "E3"
+        [
+          ("c", Obs.Json.Int c);
+          ("r", Obs.Json.Int r);
+          ("writer0_measured", Obs.Json.Int m0);
+          ("writer0_paper", Obs.Json.Int (Composite.Complexity.tw0 ~c ~r));
+          ("writer_last_measured", Obs.Json.Int mlast);
+          ("exact_match", Obs.Json.Bool (m0 = Composite.Complexity.tw0 ~c ~r));
+        ];
       Workload.Table.add_row t
         [
           string_of_int c;
@@ -129,6 +158,24 @@ let e4 () =
       let bits =
         Workload.Meter.space_bits Workload.Campaign.Impl_anderson ~c ~b ~r
       in
+      Record.row "E4"
+        [
+          ("c", Obs.Json.Int c);
+          ("b", Obs.Json.Int b);
+          ("r", Obs.Json.Int r);
+          ( "registers",
+            Obs.Json.Int
+              (Workload.Meter.space_registers Workload.Campaign.Impl_anderson ~c
+                 ~r) );
+          ("bits_measured", Obs.Json.Int bits);
+          ( "bits_paper",
+            Obs.Json.Int (Composite.Complexity.space_mrsw_bits ~c ~b ~r) );
+          ( "srsw_asymptotic",
+            Obs.Json.Int (Composite.Complexity.space_srsw_asymptotic ~c ~b ~r) );
+          ( "exact_match",
+            Obs.Json.Bool (bits = Composite.Complexity.space_mrsw_bits ~c ~b ~r)
+          );
+        ];
       Workload.Table.add_row t
         [
           string_of_int c; string_of_int b; string_of_int r;
@@ -163,6 +210,14 @@ let e5 () =
   for c = 1 to 12 do
     let a = Workload.Meter.scan_cost Workload.Campaign.Impl_anderson ~c ~r:3 in
     let f = Workload.Meter.scan_cost Workload.Campaign.Impl_afek ~c ~r:3 in
+    Record.row "E5"
+      [
+        ("c", Obs.Json.Int c);
+        ("anderson_scan", Obs.Json.Int a);
+        ("afek_scan_quiescent", Obs.Json.Int f);
+        ( "afek_scan_worst",
+          Obs.Json.Int (Composite.Afek.scan_bound ~components:c) );
+      ];
     Workload.Table.add_row t
       [
         string_of_int c;
@@ -226,12 +281,22 @@ let e6 () =
   List.iter
     (fun impl ->
       let cfg = { Workload.Campaign.default with impl; schedules = 200 } in
-      let r = Workload.Campaign.run cfg in
+      let r = Workload.Campaign.run ~metrics:Record.metrics cfg in
       let expected =
         match impl with
         | Workload.Campaign.Impl_unsafe_collect -> "violations caught"
         | _ -> "clean"
       in
+      Record.row "E6"
+        [
+          ("impl", Obs.Json.Str (Workload.Campaign.impl_name impl));
+          ("schedules", Obs.Json.Int r.Workload.Campaign.runs);
+          ("ops_checked", Obs.Json.Int r.Workload.Campaign.ops_checked);
+          ("flagged", Obs.Json.Int r.Workload.Campaign.flagged_runs);
+          ("oracle_rejects", Obs.Json.Int r.Workload.Campaign.generic_failures);
+          ("disagreements", Obs.Json.Int r.Workload.Campaign.disagreements);
+          ("expected", Obs.Json.Str expected);
+        ];
       Workload.Table.add_row t
         [
           Workload.Campaign.impl_name impl;
@@ -549,7 +614,7 @@ let e13 () =
   section
     "E13: chaos — crash/stall faults tolerated, memory faults caught \
      (failure-model boundary)";
-  let report = Workload.Chaos.run Workload.Chaos.default in
+  let report = Workload.Chaos.run ~metrics:Record.metrics Workload.Chaos.default in
   let t =
     Workload.Table.create
       ~header:[ "impl"; "fault side"; "runs"; "flagged"; "stuck"; "faults fired" ]
@@ -566,6 +631,21 @@ let e13 () =
               report.Workload.Chaos.cells
           in
           let sum f = List.fold_left (fun a c -> a + f c) 0 cells in
+          Record.row "E13"
+            [
+              ("impl", Obs.Json.Str (Workload.Campaign.impl_name impl));
+              ("fault_side", Obs.Json.Str side);
+              ( "runs",
+                Obs.Json.Int (sum (fun (c : Workload.Chaos.cell) -> c.runs)) );
+              ( "flagged",
+                Obs.Json.Int (sum (fun (c : Workload.Chaos.cell) -> c.flagged))
+              );
+              ( "stuck",
+                Obs.Json.Int (sum (fun (c : Workload.Chaos.cell) -> c.stuck)) );
+              ( "faults_fired",
+                Obs.Json.Int
+                  (sum (fun (c : Workload.Chaos.cell) -> c.faults_fired)) );
+            ];
           Workload.Table.add_row t
             [
               Workload.Campaign.impl_name impl;
@@ -587,6 +667,69 @@ let e13 () =
     "(correct implementations: 0 flagged on the process side — the theorem;\n\
     \ every memory-fault profile is caught — the oracle.  Minimized replayable\n\
     \ counterexamples: composite-registers chaos)"
+
+(* ------------------------------------------------------------------ *)
+(* E14                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section
+    "E14: hot-cell contention profile (anderson vs afek, C=4, R=2, traced run)";
+  let profile_of impl =
+    let open Csim in
+    let env = Sim.create () in
+    let mem = Memory.of_sim env in
+    let init = Array.init 4 (fun k -> (k + 1) * 10) in
+    let handle = Workload.Campaign.make_handle impl mem ~readers:2 ~init in
+    let rec_ =
+      Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init
+        handle
+    in
+    let writer k () =
+      for s = 1 to 2 do
+        rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+      done
+    in
+    let reader j () =
+      for _ = 1 to 2 do
+        ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+      done
+    in
+    let procs =
+      Array.init 6 (fun i -> if i < 4 then writer i else reader (i - 4))
+    in
+    let (_ : Sim.stats) = Sim.run env ~policy:(Schedule.Random 1) procs in
+    let p = Obs.Profile.of_env env in
+    Obs.Profile.snapshot Record.metrics
+      ~prefix:("e14." ^ Workload.Campaign.impl_name impl)
+      env;
+    p
+  in
+  List.iter
+    (fun impl ->
+      let name = Workload.Campaign.impl_name impl in
+      let p = profile_of impl in
+      Printf.printf "\n%s (top 8 of %d cells):\n" name (List.length p.Obs.Profile.rows);
+      Format.printf "%a@?"
+        Obs.Profile.pp
+        { p with Obs.Profile.rows = Obs.Profile.top ~n:8 p };
+      List.iteri
+        (fun i r ->
+          Record.row "E14"
+            [
+              ("impl", Obs.Json.Str name);
+              ("rank", Obs.Json.Int (i + 1));
+              ("cell", Obs.Json.Str r.Obs.Profile.cell);
+              ("reads", Obs.Json.Int r.Obs.Profile.reads);
+              ("writes", Obs.Json.Int r.Obs.Profile.writes);
+              ("switch_adj", Obs.Json.Int r.Obs.Profile.switch_adj);
+            ])
+        (Obs.Profile.top ~n:8 p))
+    [ Workload.Campaign.Impl_anderson; Workload.Campaign.Impl_afek ];
+  print_endline
+    "(for the recursive construction the inner registers dominate: every scan\n\
+    \ at C=4 performs 2 scans of the C=3 register, 4 of C=2, 8 of the base —\n\
+    \ so traffic concentrates on the deepest Y0 cells)"
 
 (* ------------------------------------------------------------------ *)
 (* E7 / E8: wall-clock (Bechamel + domain throughput)                   *)
@@ -778,8 +921,18 @@ let e8 () =
 
 (* ------------------------------------------------------------------ *)
 
+let json_path () =
+  let path = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then
+        path := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let json = json_path () in
   print_endline
     "composite registers: experiment harness (see EXPERIMENTS.md for the \
      paper-vs-measured record)";
@@ -795,8 +948,14 @@ let () =
   e11 ();
   e12 ();
   e13 ();
+  e14 ();
   if not quick then begin
     e7 ();
     e8 ()
   end
-  else print_endline "\n(--quick: skipping wall-clock benches E7/E8)"
+  else print_endline "\n(--quick: skipping wall-clock benches E7/E8)";
+  match json with
+  | None -> ()
+  | Some path ->
+    Record.write ~path;
+    Printf.printf "\nwrote machine-readable results to %s\n" path

@@ -1,0 +1,51 @@
+(* Machine-readable benchmark output.
+
+   Every experiment section pushes rows (as JSON objects) into a global
+   store keyed by experiment name, and shared campaign/chaos metrics
+   accumulate into one registry.  When the harness is invoked with
+   [--json PATH], [write] dumps the whole run as one JSON document:
+
+     { "schema": "composite-registers/bench/v1",
+       "experiments": { "E2": [ {...}, ... ], ... },
+       "metrics": <Obs.Metrics registry dump> }
+
+   The numbers recorded here are the very values printed in the text
+   tables (same computation, recorded at the same call sites), so the
+   JSON agrees with the human-readable output by construction. *)
+
+let metrics = Obs.Metrics.create ()
+
+let experiments : (string, Obs.Json.t list ref) Hashtbl.t = Hashtbl.create 16
+
+let row exp fields =
+  let rows =
+    match Hashtbl.find_opt experiments exp with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add experiments exp r;
+      r
+  in
+  rows := Obs.Json.Obj fields :: !rows
+
+let write ~path =
+  let exps =
+    Hashtbl.fold
+      (fun k rows acc -> (k, Obs.Json.Arr (List.rev !rows)) :: acc)
+      experiments []
+  in
+  let exps = List.sort (fun (a, _) (b, _) -> compare a b) exps in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "composite-registers/bench/v1");
+        ("experiments", Obs.Json.Obj exps);
+        ("metrics", Obs.Metrics.to_json metrics);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Obs.Json.to_channel ~minify:false oc doc;
+      output_char oc '\n')

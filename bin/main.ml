@@ -429,14 +429,17 @@ let fullstack max_c =
 (* trace                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let trace_run impl components readers seed show_witness =
+let trace_run impl components readers seed show_witness export_chrome =
   let open Csim in
   let env = Sim.create () in
   let mem = Memory.of_sim env in
   let init = Array.init components (fun k -> (k + 1) * 10) in
-  let handle = Workload.Campaign.make_handle impl mem ~readers ~init in
+  (* Emit operation-span markers into the trace: invisible in the
+     timeline rendering, reconstructed by the Chrome exporter. *)
+  let note = Obs.Span.emitter env in
+  let handle = Workload.Campaign.make_handle ~note impl mem ~readers ~init in
   let rec_ =
-    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init
+    Composite.Snapshot.record ~note ~clock:(fun () -> Sim.now env) ~initial:init
       handle
   in
   let writer k () =
@@ -490,7 +493,17 @@ let trace_run impl components readers seed show_witness =
                  (Array.to_list
                     (Array.map string_of_int r.History.Snapshot_history.values))))
         order
-  end
+  end;
+  match export_chrome with
+  | None -> ()
+  | Some path ->
+    Obs.Chrome.export ~path ~proc_label:label (Sim.trace env);
+    let spans = Obs.Span.of_trace (Sim.trace env) in
+    Printf.printf
+      "\nwrote Chrome trace-event JSON to %s (%d spans, max nesting %d) — \
+       open in ui.perfetto.dev or chrome://tracing\n"
+      path (List.length spans)
+      (Obs.Span.max_depth spans)
 
 let trace_cmd =
   let impl =
@@ -507,12 +520,109 @@ let trace_cmd =
   let witness =
     Arg.(value & flag & info [ "witness" ] ~doc:"Also print a linearization witness.")
   in
+  let export_chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export-chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also export the run as Chrome trace-event JSON (operation spans \
+             + memory accesses), loadable in ui.perfetto.dev or \
+             chrome://tracing.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run one seeded schedule and dump its timeline, history, checker \
           verdict and (optionally) linearization witness.")
-    Term.(const trace_run $ impl $ components $ readers $ seed $ witness)
+    Term.(
+      const trace_run $ impl $ components $ readers $ seed $ witness
+      $ export_chrome)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let profile_run impl components readers writes scans seed json =
+  let open Csim in
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let init = Array.init components (fun k -> (k + 1) * 10) in
+  let note = Obs.Span.emitter env in
+  let handle = Workload.Campaign.make_handle ~note impl mem ~readers ~init in
+  let rec_ =
+    Composite.Snapshot.record ~note ~clock:(fun () -> Sim.now env) ~initial:init
+      handle
+  in
+  let writer k () =
+    for s = 1 to writes do
+      rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+    done
+  in
+  let reader j () =
+    for _ = 1 to scans do
+      ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+    done
+  in
+  let procs =
+    Array.init (components + readers) (fun p ->
+        if p < components then writer p else reader (p - components))
+  in
+  let (_ : Sim.stats) = Sim.run env ~policy:(Schedule.Random seed) procs in
+  let p = Obs.Profile.of_env env in
+  Printf.printf
+    "hot-cell contention profile: impl=%s C=%d R=%d ops/proc=%d/%d seed=%d\n\n"
+    (Workload.Campaign.impl_name impl)
+    components readers writes scans seed;
+  Format.printf "%a@?" Obs.Profile.pp p;
+  let spans = Obs.Span.of_trace (Sim.trace env) in
+  Printf.printf "operation spans: %d reconstructed, max nesting depth: %d\n"
+    (List.length spans)
+    (Obs.Span.max_depth spans);
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Obs.Json.to_channel ~minify:false oc (Obs.Profile.to_json p);
+        output_char oc '\n');
+    Printf.printf "wrote profile JSON to %s\n" path
+
+let profile_cmd =
+  let impl =
+    Arg.(
+      value
+      & opt impl_conv Workload.Campaign.Impl_anderson
+      & info [ "impl" ] ~doc:"Implementation to profile.")
+  in
+  let components =
+    Arg.(value & opt int 4 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let writes =
+    Arg.(value & opt int 2 & info [ "writes" ] ~doc:"Writes per writer.")
+  in
+  let scans =
+    Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule seed.") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also dump the profile as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one traced schedule and print the hot-cell contention profile: \
+          per-cell read/write counts ranked by traffic, per-process event \
+          counts, and switch adjacency (experiment E14).")
+    Term.(
+      const profile_run $ impl $ components $ readers $ writes $ scans $ seed
+      $ json)
 
 (* ------------------------------------------------------------------ *)
 (* mutants                                                              *)
@@ -788,5 +898,5 @@ let () =
           [
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
-            mutants_cmd; trace_cmd; chaos_cmd;
+            mutants_cmd; trace_cmd; chaos_cmd; profile_cmd;
           ]))

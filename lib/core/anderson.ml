@@ -28,10 +28,14 @@ type 'a t =
       cell : 'a Item.t Memory.cell;
       mutable base_wid : int;
       base_readers : int;
+      base_note : (string -> unit) option;
+      base_level : int;
     }
   | Rec of {
       c : int;  (* components at this level *)
       r : int;  (* readers at this level *)
+      note : (string -> unit) option;  (* span-marker sink (observability) *)
+      level : int;  (* recursion depth: 0 at the outermost register *)
       y0 : 'a y0 Memory.cell;
       z : int Memory.cell array;  (* Z[0..R-1] *)
       rest : 'a Item.t t;  (* Y[1..C-1]: C-1 components, R+1 readers *)
@@ -51,9 +55,18 @@ type 'a t =
 
 let mod3 x = x mod 3
 
-let rec create : type a. Memory.t -> prefix:string -> readers:int ->
+(* Span markers bracketing one operation at one recursion level, so a
+   reconstructed trace exhibits the C -> C-1 nesting.  No-ops (and no
+   string allocation) when the register was created without [note]. *)
+let span note marker op level =
+  match note with
+  | None -> ()
+  | Some f -> f (marker (Printf.sprintf "%s@%d" op level))
+
+let rec create : type a. Memory.t -> prefix:string ->
+    note:(string -> unit) option -> level:int -> readers:int ->
     bits_per_value:int -> init:a array -> a t =
- fun mem ~prefix ~readers ~bits_per_value ~init ->
+ fun mem ~prefix ~note ~level ~readers ~bits_per_value ~init ->
   let c = Array.length init in
   if c < 1 then invalid_arg "Anderson.create: need at least one component";
   if readers < 1 then invalid_arg "Anderson.create: need at least one reader";
@@ -66,6 +79,8 @@ let rec create : type a. Memory.t -> prefix:string -> readers:int ->
             ~bits:bits_per_value (Item.initial init.(0));
         base_wid = 0;
         base_readers = readers;
+        base_note = note;
+        base_level = level;
       }
   else begin
     let r = readers in
@@ -91,13 +106,15 @@ let rec create : type a. Memory.t -> prefix:string -> readers:int ->
     let rest =
       create mem
         ~prefix:(prefix ^ "'")
-        ~readers:(r + 1) ~bits_per_value
+        ~note ~level:(level + 1) ~readers:(r + 1) ~bits_per_value
         ~init:(Array.sub initial_items 1 (c - 1))
     in
     Rec
       {
         c;
         r;
+        note;
+        level;
         y0;
         z;
         rest;
@@ -115,10 +132,15 @@ let rec create : type a. Memory.t -> prefix:string -> readers:int ->
 let rec scan_items : type a. a t -> reader:int -> a Item.t array =
  fun t ~reader ->
   match t with
-  | Base b -> [| b.cell.Memory.read () |]
+  | Base b ->
+    span b.base_note Trace.span_begin "scan" b.base_level;
+    let v = [| b.cell.Memory.read () |] in
+    span b.base_note Trace.span_end "scan" b.base_level;
+    v
   | Rec g ->
     let j = reader in
     if j < 0 || j >= g.r then invalid_arg "Anderson.scan_items: bad reader";
+    span g.note Trace.span_begin "scan" g.level;
     (* 0: read x := Y[0] *)
     let x = g.y0.Memory.read () in
     (* 1: select newseq differing from both of Writer 0's copies *)
@@ -143,23 +165,27 @@ let rec scan_items : type a. a t -> reader:int -> a Item.t array =
     (* 7: read e := Y[0] *)
     let e = g.y0.Memory.read () in
     (* 8: the three-way case analysis *)
-    if e.seq.(1).(j) = newseq then begin
-      g.dbg_case.(j) <- Some Case_snapshot_seq;
-      Array.copy e.ss
-    end
-    else if e.wc = mod3 (a.wc + 2) then begin
-      g.dbg_case.(j) <- Some Case_snapshot_wc;
-      Array.copy e.ss
-    end
-    else if a.wc = c.wc then begin
-      g.dbg_case.(j) <- Some Case_ab;
-      Array.append [| a.y_item |] b
-    end
-    else begin
-      (* c.wc = e.wc *)
-      g.dbg_case.(j) <- Some Case_cd;
-      Array.append [| c.y_item |] d
-    end
+    let result =
+      if e.seq.(1).(j) = newseq then begin
+        g.dbg_case.(j) <- Some Case_snapshot_seq;
+        Array.copy e.ss
+      end
+      else if e.wc = mod3 (a.wc + 2) then begin
+        g.dbg_case.(j) <- Some Case_snapshot_wc;
+        Array.copy e.ss
+      end
+      else if a.wc = c.wc then begin
+        g.dbg_case.(j) <- Some Case_ab;
+        Array.append [| a.y_item |] b
+      end
+      else begin
+        (* c.wc = e.wc *)
+        g.dbg_case.(j) <- Some Case_cd;
+        Array.append [| c.y_item |] d
+      end
+    in
+    span g.note Trace.span_end "scan" g.level;
+    result
 
 (* procedure Writer0(val) — statements 0..8; and procedure
    Writer(i, val) for i >= 1, which performs an (i-1)-Write of the inner
@@ -169,11 +195,14 @@ let rec update : type a. a t -> writer:int -> a -> int =
   match t with
   | Base b ->
     if writer <> 0 then invalid_arg "Anderson.update: bad writer";
+    span b.base_note Trace.span_begin "update" b.base_level;
     b.base_wid <- b.base_wid + 1;
     b.cell.Memory.write { Item.v; id = b.base_wid };
+    span b.base_note Trace.span_end "update" b.base_level;
     b.base_wid
   | Rec g ->
     if writer < 0 || writer >= g.c then invalid_arg "Anderson.update: bad writer";
+    span g.note Trace.span_begin "update" g.level;
     if writer = 0 then begin
       (* 0: wc, item.val, item.id := wc (+) 1, val, item.id + 1 *)
       g.w_wc <- mod3 (g.w_wc + 1);
@@ -204,6 +233,7 @@ let rec update : type a. a t -> writer:int -> a -> int =
           ss = Array.copy g.w_ss;
           wc = g.w_wc;
         };
+      span g.note Trace.span_end "update" g.level;
       g.w_item.Item.id
     end
     else begin
@@ -213,6 +243,7 @@ let rec update : type a. a t -> writer:int -> a -> int =
       g.w_ids.(i - 1) <- id;
       (* 1: write Y[i] := item — a (i-1)-Write of the inner register. *)
       let (_ : int) = update g.rest ~writer:(i - 1) { Item.v; id } in
+      span g.note Trace.span_end "update" g.level;
       id
     end
 
@@ -237,8 +268,8 @@ let rec depth_registers : type a. a t -> int = function
   | Base _ -> 1
   | Rec g -> 1 + Array.length g.z + depth_registers g.rest
 
-let create mem ~readers ~bits_per_value ~init =
-  create mem ~prefix:"A" ~readers ~bits_per_value ~init
+let create ?note mem ~readers ~bits_per_value ~init =
+  create mem ~prefix:"A" ~note ~level:0 ~readers ~bits_per_value ~init
 
 let handle t =
   {

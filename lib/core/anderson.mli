@@ -33,12 +33,27 @@ type 'a t
 (** A [C/B/1/R] composite register holding values of type ['a]. *)
 
 val create :
-  Csim.Memory.t -> readers:int -> bits_per_value:int -> init:'a array -> 'a t
+  ?note:(string -> unit) ->
+  Csim.Memory.t ->
+  readers:int ->
+  bits_per_value:int ->
+  init:'a array ->
+  'a t
 (** [create mem ~readers ~bits_per_value ~init] builds the register with
     [C = Array.length init] components, all initialized per the paper's
     Initial Writes assumption (every [Y[j].id = 0]).  [bits_per_value]
     is the paper's [B], used only for space accounting of the allocated
-    registers. *)
+    registers.
+
+    [note] (default: none) receives operation-span markers at every
+    recursion level: each scan / update at depth [d] (0 = outermost) is
+    bracketed by [Csim.Trace.span_begin "scan@d"] / matching [span_end]
+    (likewise ["update@d"]), so a reconstructed trace exhibits the
+    [C -> C-1] nesting — a [C]-component scan contains two scans of the
+    inner [(C-1)]-component register, recursively.  Pass
+    [Obs.Span.emitter env] to record the markers into the simulator
+    trace.  When omitted, instrumentation costs nothing (no string
+    allocation). *)
 
 val components : 'a t -> int
 val readers : 'a t -> int

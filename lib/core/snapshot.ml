@@ -22,13 +22,18 @@ type 'a recorded = {
   rupdate : writer:int -> 'a -> unit;
 }
 
-let record ~clock ~initial handle =
+let record ?note ~clock ~initial handle =
   if Array.length initial <> handle.components then
     invalid_arg "Snapshot.record: initial array arity mismatch";
   let coll = History.Snapshot_history.collector ~initial in
+  let span marker name =
+    match note with None -> () | Some f -> f (marker name)
+  in
   let rscan ~reader =
     let inv = clock () in
+    span Csim.Trace.span_begin "scan";
     let items = handle.scan_items ~reader in
+    span Csim.Trace.span_end "scan";
     let res = clock () in
     History.Snapshot_history.record_read coll ~proc:reader
       ~values:(Item.values items) ~ids:(Item.ids items) ~inv ~res;
@@ -36,7 +41,9 @@ let record ~clock ~initial handle =
   in
   let rupdate ~writer v =
     let inv = clock () in
+    span Csim.Trace.span_begin "update";
     let id = handle.update ~writer v in
+    span Csim.Trace.span_end "update";
     let res = clock () in
     (* Reader and Writer processes are distinct; offset writer process
        ids past the readers' so diagnostics can tell them apart. *)

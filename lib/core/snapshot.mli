@@ -54,9 +54,20 @@ type 'a recorded = {
   rupdate : writer:int -> 'a -> unit;  (** recorded Write *)
 }
 
-val record : clock:(unit -> int) -> initial:'a array -> 'a t -> 'a recorded
+val record :
+  ?note:(string -> unit) ->
+  clock:(unit -> int) ->
+  initial:'a array ->
+  'a t ->
+  'a recorded
 (** [record ~clock ~initial handle]: [clock] supplies invocation and
     response timestamps (use [fun () -> Csim.Sim.now env] in
-    simulations, or a fetch-and-add counter on multicore). *)
+    simulations, or a fetch-and-add counter on multicore).
+
+    [note] (default: none) receives operation-span markers
+    ([Csim.Trace.span_begin "scan"] before each Scan starts, matching
+    [span_end] after it returns, likewise ["update"]) — pass
+    [Obs.Span.emitter env] to record them into the simulator trace for
+    span reconstruction and Chrome-trace export. *)
 
 val history : 'a recorded -> 'a History.Snapshot_history.t

@@ -1,0 +1,96 @@
+open Csim
+
+let of_trace ?(pid = 0) ?(proc_label = Printf.sprintf "p%d") tr =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let common ~name ~ph ~ts ~tid extra =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str ph);
+         ("ts", Json.Int ts);
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+       ]
+      @ extra)
+  in
+  let procs = Hashtbl.create 8 in
+  let see_proc p = if not (Hashtbl.mem procs p) then Hashtbl.add procs p () in
+  (* Per-process stacks of open span names; events are emitted in trace
+     order, so Chrome's per-track B/E nesting discipline is inherited
+     from the emission order of the markers themselves. *)
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let stack p = Option.value (Hashtbl.find_opt stacks p) ~default:[] in
+  let last_step = ref 0 in
+  Trace.iter tr (fun e ->
+      last_step := max !last_step e.Trace.step;
+      match e.Trace.kind with
+      | Trace.Note -> (
+        match Trace.span_of_note e.Trace.cell with
+        | Some (`B, name) ->
+          see_proc e.Trace.proc;
+          Hashtbl.replace stacks e.Trace.proc (name :: stack e.Trace.proc);
+          emit
+            (common ~name ~ph:"B" ~ts:e.Trace.step ~tid:e.Trace.proc
+               [ ("cat", Json.Str "op") ])
+        | Some (`E, _) -> (
+          match stack e.Trace.proc with
+          | [] -> ()  (* stray end marker: dropping it keeps pairs matched *)
+          | name :: rest ->
+            Hashtbl.replace stacks e.Trace.proc rest;
+            emit
+              (common ~name ~ph:"E" ~ts:e.Trace.step ~tid:e.Trace.proc
+                 [ ("cat", Json.Str "op") ]))
+        | None ->
+          see_proc e.Trace.proc;
+          emit
+            (common ~name:e.Trace.cell ~ph:"i" ~ts:e.Trace.step
+               ~tid:e.Trace.proc
+               [ ("cat", Json.Str "note"); ("s", Json.Str "t") ]))
+      | Trace.Read | Trace.Write ->
+        see_proc e.Trace.proc;
+        let rw = if e.Trace.kind = Trace.Read then "R" else "W" in
+        emit
+          (common
+             ~name:(Printf.sprintf "%s %s" rw e.Trace.cell)
+             ~ph:"i" ~ts:e.Trace.step ~tid:e.Trace.proc
+             [
+               ("cat", Json.Str "mem");
+               ("s", Json.Str "t");
+               ( "args",
+                 Json.Obj
+                   [
+                     ("cell", Json.Str e.Trace.cell);
+                     ("value", Json.Str e.Trace.value);
+                   ] );
+             ]));
+  (* Close whatever is still open, innermost first, at the final step. *)
+  let open_procs =
+    List.sort compare
+      (Hashtbl.fold (fun p st acc -> if st = [] then acc else p :: acc) stacks [])
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun name ->
+          emit
+            (common ~name ~ph:"E" ~ts:!last_step ~tid:p
+               [ ("cat", Json.Str "op") ]))
+        (stack p))
+    open_procs;
+  (* Name the per-process tracks. *)
+  let tids = List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) procs []) in
+  let metadata =
+    List.map
+      (fun p ->
+        common ~name:"thread_name" ~ph:"M" ~ts:0 ~tid:p
+          [ ("args", Json.Obj [ ("name", Json.Str (proc_label p)) ]) ])
+      tids
+  in
+  Json.Arr (metadata @ List.rev !events)
+
+let export ~path ?pid ?proc_label tr =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel ~minify:false oc (of_trace ?pid ?proc_label tr))

@@ -1,0 +1,23 @@
+(** Chrome trace-event (catapult) JSON export.
+
+    Converts a simulator trace into the JSON array format understood by
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}: one
+    process per export ([pid]), one track per simulated process
+    ([tid]), operation spans as matched ["B"]/["E"] duration events,
+    every shared-memory access as an instant event (["i"]) carrying the
+    cell and value in [args], and a ["M"] (metadata) event naming each
+    track.  Timestamps are the simulator's event counter, reported in
+    the format's microsecond unit — one step = 1us.
+
+    The exported events are guaranteed well formed: every ["B"] has a
+    matching ["E"] on the same [tid] (unclosed spans are closed at the
+    final step), and nesting order is preserved. *)
+
+val of_trace :
+  ?pid:int -> ?proc_label:(int -> string) -> Csim.Trace.t -> Json.t
+(** The trace as a Chrome trace-event JSON array.  [pid] defaults to 0;
+    [proc_label] names the per-process tracks (default ["p<i>"]). *)
+
+val export :
+  path:string -> ?pid:int -> ?proc_label:(int -> string) -> Csim.Trace.t -> unit
+(** Write {!of_trace} to [path]. *)

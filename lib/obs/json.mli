@@ -1,0 +1,33 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability layer emits machine-readable artifacts
+    ([BENCH.json], Chrome trace-event files, metric snapshots) and the
+    test suite validates them structurally; both directions live here so
+    the repository needs no external JSON dependency.  The printer emits
+    standard JSON (UTF-8 passthrough, control characters escaped); the
+    parser accepts standard JSON and is used by the tests to check
+    well-formedness of exported files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render; [minify] (default [true]) suppresses whitespace.  With
+    [~minify:false], arrays and objects are broken over indented
+    lines.  Non-finite floats render as [null] (JSON has no [nan]). *)
+
+val to_channel : ?minify:bool -> out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error string carries a byte
+    offset.  Numbers without [.], [e] or [E] parse as [Int] (falling
+    back to [Float] on overflow), all others as [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for missing fields or non-objects. *)

@@ -1,0 +1,197 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float; mutable g_set : bool }
+
+(* Log-scale buckets: indices 0..63 hold values 0..63 exactly; beyond
+   that, octave [2^e, 2^(e+1)) (e >= 6) is split into 32 buckets of
+   width 2^(e-5), giving <= 1/32 relative error.  Bucket lower bounds
+   are therefore exactly representable and percentile lookups below 64
+   are exact. *)
+type histogram = {
+  mutable buckets : int array;  (* grown on demand *)
+  mutable n : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  mutable sum : float;  (* of bucket lower bounds, for the mean *)
+}
+
+let sub = 64  (* one-bucket-per-value region *)
+let per_octave = 32
+
+let msb v =
+  (* Index of the most significant set bit; v > 0. *)
+  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of_value v =
+  if v < sub then v
+  else
+    let e = msb v in
+    sub + ((e - 6) * per_octave) + ((v lsr (e - 5)) - per_octave)
+
+let bucket_lower_bound idx =
+  if idx < sub then idx
+  else
+    let o = (idx - sub) / per_octave in
+    let r = (idx - sub) mod per_octave in
+    (per_octave + r) lsl (o + 1)
+
+type metric = C of counter | G of gauge | H of histogram
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let register t name make get =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+    match get m with
+    | Some x -> x
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Metrics: %S is already registered as a different metric kind" name))
+  | None ->
+    let m = make () in
+    Hashtbl.add t.tbl name m;
+    (match get m with Some x -> x | None -> assert false)
+
+let counter t name =
+  register t name (fun () -> C { c = 0 }) (function C c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name =
+  register t name
+    (fun () -> G { g = 0.; g_set = false })
+    (function G g -> Some g | _ -> None)
+
+let set g v =
+  g.g <- v;
+  g.g_set <- true
+
+let gauge_value g = g.g
+
+let histogram t name =
+  register t name
+    (fun () ->
+      H { buckets = Array.make sub 0; n = 0; h_min = 0; h_max = 0; sum = 0. })
+    (function H h -> Some h | _ -> None)
+
+let observe h v =
+  let v = max 0 v in
+  let idx = bucket_of_value v in
+  if idx >= Array.length h.buckets then begin
+    let len = ref (Array.length h.buckets) in
+    while idx >= !len do
+      len := !len * 2
+    done;
+    let b = Array.make !len 0 in
+    Array.blit h.buckets 0 b 0 (Array.length h.buckets);
+    h.buckets <- b
+  end;
+  h.buckets.(idx) <- h.buckets.(idx) + 1;
+  if h.n = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. float_of_int (bucket_lower_bound idx)
+
+let count h = h.n
+let hist_min h = h.h_min
+let hist_max h = h.h_max
+let mean h = if h.n = 0 then nan else h.sum /. float_of_int h.n
+
+let percentile h p =
+  if h.n = 0 then 0
+  else begin
+    let p = Float.min 100. (Float.max 0. p) in
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int h.n))) in
+    let acc = ref 0 in
+    let result = ref h.h_max in
+    (try
+       Array.iteri
+         (fun idx c ->
+           acc := !acc + c;
+           if c > 0 && !acc >= rank then begin
+             result := bucket_lower_bound idx;
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    min h.h_max (max h.h_min !result)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.n);
+      ("min", Json.Int (hist_min h));
+      ("max", Json.Int (hist_max h));
+      ("mean", if h.n = 0 then Json.Null else Json.Float (mean h));
+      ("p50", Json.Int (percentile h 50.));
+      ("p90", Json.Int (percentile h 90.));
+      ("p99", Json.Int (percentile h 99.));
+    ]
+
+let to_json t =
+  let bindings = sorted_bindings t in
+  let pick f = List.filter_map f bindings in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (pick (function
+            | name, C c -> Some (name, Json.Int c.c)
+            | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (function
+            | name, G g -> Some (name, if g.g_set then Json.Float g.g else Json.Null)
+            | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (function name, H h -> Some (name, hist_json h) | _ -> None)) );
+    ]
+
+let to_json_lines t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, m) ->
+      let obj =
+        match m with
+        | C c ->
+          Json.Obj
+            [
+              ("type", Json.Str "counter");
+              ("name", Json.Str name);
+              ("value", Json.Int c.c);
+            ]
+        | G g ->
+          Json.Obj
+            [
+              ("type", Json.Str "gauge");
+              ("name", Json.Str name);
+              ("value", if g.g_set then Json.Float g.g else Json.Null);
+            ]
+        | H h ->
+          Json.Obj
+            [ ("type", Json.Str "histogram"); ("name", Json.Str name); ("value", hist_json h) ]
+      in
+      Buffer.add_string buf (Json.to_string obj);
+      Buffer.add_char buf '\n')
+    (sorted_bindings t);
+  Buffer.contents buf

@@ -1,0 +1,123 @@
+open Csim
+
+type cell_row = { cell : string; reads : int; writes : int; switch_adj : int }
+
+type t = {
+  rows : cell_row list;
+  proc_events : (int * int) list;
+  switches : int;
+  total_accesses : int;
+  space_bits : int;
+}
+
+let of_env env =
+  let stats = Sim.cell_stats env in
+  (* Trace walk: per-process event counts, context switches, and the
+     cells touched on either side of each switch. *)
+  let adj : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let procs : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl k by =
+    Hashtbl.replace tbl k (by + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+  in
+  let switches = ref 0 in
+  let prev : Trace.event option ref = ref None in
+  Trace.iter (Sim.trace env) (fun e ->
+      if e.Trace.kind <> Trace.Note then begin
+        bump procs e.Trace.proc 1;
+        (match !prev with
+        | Some p when p.Trace.proc <> e.Trace.proc ->
+          incr switches;
+          bump adj p.Trace.cell 1;
+          bump adj e.Trace.cell 1
+        | _ -> ());
+        prev := Some e
+      end);
+  let rows =
+    List.map
+      (fun (s : Sim.cell_stat) ->
+        {
+          cell = s.Sim.cell;
+          reads = s.Sim.creads;
+          writes = s.Sim.cwrites;
+          switch_adj = Option.value (Hashtbl.find_opt adj s.Sim.cell) ~default:0;
+        })
+      stats
+  in
+  let rows =
+    List.stable_sort
+      (fun a b -> compare (b.reads + b.writes) (a.reads + a.writes))
+      rows
+  in
+  {
+    rows;
+    proc_events =
+      List.sort compare (Hashtbl.fold (fun p n acc -> (p, n) :: acc) procs []);
+    switches = !switches;
+    total_accesses = List.fold_left (fun a r -> a + r.reads + r.writes) 0 rows;
+    space_bits = Sim.space_bits env;
+  }
+
+let top ?(n = 10) t = List.filteri (fun i _ -> i < n) t.rows
+
+let pp fmt t =
+  let total = max 1 t.total_accesses in
+  Format.fprintf fmt "@[<v>%-4s %-16s %8s %8s %8s %7s %11s@,"
+    "rank" "cell" "reads" "writes" "total" "share" "switch-adj";
+  List.iteri
+    (fun i r ->
+      Format.fprintf fmt "%-4d %-16s %8d %8d %8d %6.1f%% %11d@," (i + 1) r.cell
+        r.reads r.writes (r.reads + r.writes)
+        (100. *. float_of_int (r.reads + r.writes) /. float_of_int total)
+        r.switch_adj)
+    t.rows;
+  Format.fprintf fmt "@,total accesses: %d  context switches: %d  space: %d bits@,"
+    t.total_accesses t.switches t.space_bits;
+  if t.proc_events <> [] then begin
+    Format.fprintf fmt "events per process:";
+    List.iter
+      (fun (p, n) -> Format.fprintf fmt " p%d=%d" p n)
+      t.proc_events;
+    Format.fprintf fmt "@,"
+  end;
+  Format.fprintf fmt "@]"
+
+let to_json t =
+  Json.Obj
+    [
+      ( "cells",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("cell", Json.Str r.cell);
+                   ("reads", Json.Int r.reads);
+                   ("writes", Json.Int r.writes);
+                   ("switch_adj", Json.Int r.switch_adj);
+                 ])
+             t.rows) );
+      ( "proc_events",
+        Json.Obj
+          (List.map
+             (fun (p, n) -> (Printf.sprintf "p%d" p, Json.Int n))
+             t.proc_events) );
+      ("switches", Json.Int t.switches);
+      ("total_accesses", Json.Int t.total_accesses);
+      ("space_bits", Json.Int t.space_bits);
+    ]
+
+let snapshot m ~prefix env =
+  let p = prefix in
+  Metrics.set (Metrics.gauge m (p ^ ".steps")) (float_of_int (Sim.now env));
+  Metrics.set
+    (Metrics.gauge m (p ^ ".space_bits"))
+    (float_of_int (Sim.space_bits env));
+  let stats = Sim.cell_stats env in
+  Metrics.set (Metrics.gauge m (p ^ ".cells")) (float_of_int (List.length stats));
+  let acc = Metrics.counter m (p ^ ".accesses") in
+  let per_cell = Metrics.histogram m (p ^ ".cell_accesses") in
+  List.iter
+    (fun (s : Sim.cell_stat) ->
+      Metrics.incr ~by:(s.Sim.creads + s.Sim.cwrites) acc;
+      Metrics.observe per_cell (s.Sim.creads + s.Sim.cwrites))
+    stats

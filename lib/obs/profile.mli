@@ -1,0 +1,49 @@
+(** The hot-cell contention profiler.
+
+    Aggregates one simulation run into a contention picture: per-cell
+    read/write counts ranked by total traffic ([Sim.cell_stats]),
+    per-process event counts, and {e switch adjacency} — how often each
+    cell was the last cell touched before, or the first cell touched
+    after, a context switch.  Cells with high switch adjacency are where
+    interleavings actually interact: for the paper's construction they
+    should be the recursion's inner [Y0] registers, which every scan and
+    every Writer-0 update funnel through (experiment E14). *)
+
+type cell_row = {
+  cell : string;
+  reads : int;
+  writes : int;
+  switch_adj : int;
+      (** events on this cell immediately adjacent to a context switch
+          (0 when the env was created with [~trace:false]) *)
+}
+
+type t = {
+  rows : cell_row list;  (** ranked by [reads + writes], descending *)
+  proc_events : (int * int) list;  (** per-process event counts, by id *)
+  switches : int;  (** context switches observed in the trace *)
+  total_accesses : int;
+  space_bits : int;
+}
+
+val of_env : Csim.Sim.env -> t
+(** Profile a finished (or quiescent) environment.  Cell counters come
+    from [Sim.cell_stats]; per-process counts, switches and adjacency
+    are reconstructed from the trace and are all zero/empty when tracing
+    was disabled.  With a capacity-bounded trace they describe the
+    retained suffix. *)
+
+val top : ?n:int -> t -> cell_row list
+(** The [n] (default 10) hottest cells. *)
+
+val pp : Format.formatter -> t -> unit
+(** Ranked hot-cell table followed by the per-process summary. *)
+
+val to_json : t -> Json.t
+
+val snapshot : Metrics.t -> prefix:string -> Csim.Sim.env -> unit
+(** Record a per-run metric snapshot into a registry: gauges
+    [<prefix>.steps], [<prefix>.space_bits], [<prefix>.cells], counter
+    [<prefix>.accesses], and histogram [<prefix>.cell_accesses] (one
+    observation per cell, so the percentiles summarize how skewed the
+    cell traffic is). *)

@@ -1,0 +1,74 @@
+open Csim
+
+type t = {
+  name : string;
+  proc : int;
+  t0 : int;
+  t1 : int;
+  depth : int;
+  closed : bool;
+}
+
+let emitter env text = Sim.note env ~proc:(Sim.self ()) text
+
+type open_span = { o_name : string; o_t0 : int; o_depth : int }
+
+let of_trace tr =
+  let stacks : (int, open_span list) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  let last_step = ref 0 in
+  let stack p = Option.value (Hashtbl.find_opt stacks p) ~default:[] in
+  Trace.iter tr (fun e ->
+      last_step := max !last_step e.Trace.step;
+      if e.Trace.kind = Trace.Note then
+        match Trace.span_of_note e.Trace.cell with
+        | None -> ()
+        | Some (`B, name) ->
+          let st = stack e.Trace.proc in
+          Hashtbl.replace stacks e.Trace.proc
+            ({ o_name = name; o_t0 = e.Trace.step; o_depth = List.length st }
+            :: st)
+        | Some (`E, _name) -> (
+          match stack e.Trace.proc with
+          | [] -> ()  (* stray end marker *)
+          | o :: rest ->
+            Hashtbl.replace stacks e.Trace.proc rest;
+            out :=
+              {
+                name = o.o_name;
+                proc = e.Trace.proc;
+                t0 = o.o_t0;
+                t1 = e.Trace.step;
+                depth = o.o_depth;
+                closed = true;
+              }
+              :: !out));
+  (* Close anything left open (crashed mid-operation, truncated trace). *)
+  Hashtbl.iter
+    (fun proc st ->
+      List.iter
+        (fun o ->
+          out :=
+            {
+              name = o.o_name;
+              proc;
+              t0 = o.o_t0;
+              t1 = !last_step;
+              depth = o.o_depth;
+              closed = false;
+            }
+            :: !out)
+        st)
+    stacks;
+  List.sort
+    (fun a b ->
+      match compare a.t0 b.t0 with 0 -> compare a.depth b.depth | c -> c)
+    !out
+
+let max_depth spans = List.fold_left (fun acc s -> max acc s.depth) (-1) spans
+
+let pp fmt s =
+  Format.fprintf fmt "p%d %s%s [%d, %d] depth %d%s" s.proc
+    (String.make (2 * s.depth) ' ')
+    s.name s.t0 s.t1 s.depth
+    (if s.closed then "" else " (unclosed)")

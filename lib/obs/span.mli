@@ -1,0 +1,39 @@
+(** Operation spans: begin/end intervals reconstructed from a trace.
+
+    Harnesses mark operation boundaries by emitting [Sim.note] events
+    whose text is [Trace.span_begin name] / [Trace.span_end name] (e.g.
+    the recording wrapper [Composite.Snapshot.record ~note] brackets
+    every Scan and Update, and [Composite.Anderson.create ~note]
+    brackets each recursion level, so a [C]-component Scan nests [C]
+    levels deep).  This module turns those markers back into an interval
+    tree: one {!t} per balanced begin/end pair, with the nesting depth
+    at which it ran. *)
+
+type t = {
+  name : string;
+  proc : int;  (** simulator process that ran the span *)
+  t0 : int;  (** step count at the begin marker *)
+  t1 : int;  (** step count at the end marker; [t0 <= t1] *)
+  depth : int;  (** nesting depth within [proc]; 0 = outermost *)
+  closed : bool;
+      (** [false] if the end marker was missing (crashed process,
+          truncated trace) and the span was closed at the last step *)
+}
+
+val emitter : Csim.Sim.env -> string -> unit
+(** [emitter env] is a note sink that attributes each marker to the
+    {e currently running} process ([Sim.self ()]).  Pass it as [~note]
+    to instrumented harnesses.  Must only be invoked from inside a
+    running simulation. *)
+
+val of_trace : Csim.Trace.t -> t list
+(** Reconstruct all spans, in order of their begin markers.  Markers are
+    matched per process, stack-wise (an end marker closes the innermost
+    open span of that process regardless of name — names only label).
+    Unclosed spans are closed at the last event's step with
+    [closed = false].  Stray end markers are ignored. *)
+
+val max_depth : t list -> int
+(** Deepest nesting over all spans; [-1] when empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -9,8 +9,8 @@ type env = {
   mutable observers : (step:int -> unit) list;  (* newest first *)
 }
 
-let create ?(trace = true) () =
-  let tr = Trace.create () in
+let create ?(trace = true) ?trace_capacity () =
+  let tr = Trace.create ?capacity:trace_capacity () in
   Trace.set_enabled tr trace;
   { cell_registry = []; next_cell_id = 0; step = 0; tr; observers = [] }
 
@@ -40,6 +40,14 @@ let space_bits env =
   List.fold_left (fun acc (Cell.Packed c) -> acc + Cell.bits c) 0 env.cell_registry
 
 let cells env = List.rev env.cell_registry
+
+type cell_stat = { cell : string; creads : int; cwrites : int }
+
+let cell_stats env =
+  List.rev_map
+    (fun (Cell.Packed c) ->
+      { cell = Cell.name c; creads = Cell.reads c; cwrites = Cell.writes c })
+    env.cell_registry
 
 (* ------------------------------------------------------------------ *)
 (* Effects and the scheduler                                            *)

@@ -16,9 +16,12 @@ type env
 (** A simulation environment: the registry of shared cells, the global
     event counter, and the trace buffer. *)
 
-val create : ?trace:bool -> unit -> env
+val create : ?trace:bool -> ?trace_capacity:int -> unit -> env
 (** Fresh environment.  [trace] (default [true]) controls whether events
-    are recorded; accounting counters are always maintained. *)
+    are recorded; accounting counters are always maintained.
+    [trace_capacity] bounds the trace to a ring buffer of that many
+    events (see [Trace.create]) — used by long campaigns so the event
+    list cannot grow without limit. *)
 
 val make_cell :
   env -> ?pp:('a -> string) -> ?bits:int -> string -> 'a -> 'a Cell.t
@@ -74,6 +77,18 @@ val space_bits : env -> int
 
 val cells : env -> Cell.packed list
 (** All registered cells, in creation order. *)
+
+type cell_stat = {
+  cell : string;  (** cell name *)
+  creads : int;  (** read events on this cell since creation/reset *)
+  cwrites : int;  (** write events on this cell since creation/reset *)
+}
+
+val cell_stats : env -> cell_stat list
+(** Per-cell read/write counters, in creation order.  Unlike
+    {!total_accesses} this attributes every event to the cell it
+    touched; the hot-cell profiler ([Obs.Profile]) ranks contention
+    from it.  Counters are zeroed by {!reset_counters}. *)
 
 type stats = {
   steps : int;  (** number of shared-memory events in the run *)

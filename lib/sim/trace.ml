@@ -8,22 +8,91 @@ type event = {
   value : string;
 }
 
-type t = { mutable rev_events : event list; mutable n : int; mutable on : bool }
+(* Storage is a circular buffer over a growable array.  With no capacity
+   the array doubles when full and nothing is ever evicted; with a
+   capacity the array is fixed at that size and recording a new event
+   into a full buffer overwrites the oldest one. *)
+type t = {
+  mutable buf : event array;
+  mutable start : int;  (* physical index of the oldest retained event *)
+  mutable len : int;  (* retained events *)
+  mutable total : int;  (* events ever recorded (retained + evicted) *)
+  capacity : int option;
+  mutable on : bool;
+}
 
-let create () = { rev_events = []; n = 0; on = true }
+let dummy = { step = 0; proc = -1; kind = Note; cell = ""; value = "" }
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Trace.create: capacity must be >= 1"
+  | _ -> ());
+  let initial =
+    match capacity with Some c -> min c 64 | None -> 64
+  in
+  {
+    buf = Array.make initial dummy;
+    start = 0;
+    len = 0;
+    total = 0;
+    capacity;
+    on = true;
+  }
+
+let capacity t = t.capacity
 
 let clear t =
-  t.rev_events <- [];
-  t.n <- 0
+  t.start <- 0;
+  t.len <- 0;
+  t.total <- 0
+
+let grow t =
+  let phys = Array.length t.buf in
+  let target =
+    match t.capacity with Some c -> min c (phys * 2) | None -> phys * 2
+  in
+  if target > phys then begin
+    let buf' = Array.make target dummy in
+    for i = 0 to t.len - 1 do
+      buf'.(i) <- t.buf.((t.start + i) mod phys)
+    done;
+    t.buf <- buf';
+    t.start <- 0
+  end
 
 let record t e =
   if t.on then begin
-    t.rev_events <- e :: t.rev_events;
-    t.n <- t.n + 1
+    let phys = Array.length t.buf in
+    if t.len = phys then grow t;
+    let phys = Array.length t.buf in
+    if t.len < phys then begin
+      t.buf.((t.start + t.len) mod phys) <- e;
+      t.len <- t.len + 1
+    end
+    else begin
+      (* Full at capacity: overwrite the oldest event. *)
+      t.buf.(t.start) <- e;
+      t.start <- (t.start + 1) mod phys
+    end;
+    t.total <- t.total + 1
   end
 
-let events t = List.rev t.rev_events
-let length t = t.n
+let nth t i = t.buf.((t.start + i) mod Array.length t.buf)
+let events t = List.init t.len (nth t)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (nth t i)
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+let length t = t.len
+let recorded t = t.total
+let dropped t = t.total - t.len
 let set_enabled t b = t.on <- b
 let enabled t = t.on
 
@@ -39,16 +108,33 @@ let pp_event fmt e =
     Format.fprintf fmt "%6d  p%-2d %a %s = %s" e.step e.proc pp_kind e.kind
       e.cell e.value
 
-let pp fmt t =
-  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)
+let pp fmt t = iter t (fun e -> Format.fprintf fmt "%a@." pp_event e)
 
 let accesses_of t ~cell =
-  List.filter (fun e -> e.kind <> Note && String.equal e.cell cell) (events t)
+  List.rev
+    (fold t ~init:[] (fun acc e ->
+         if e.kind <> Note && String.equal e.cell cell then e :: acc else acc))
 
 let writes_between t ~cell ~lo ~hi =
-  List.fold_left
-    (fun acc e ->
+  fold t ~init:0 (fun acc e ->
       if e.kind = Write && String.equal e.cell cell && e.step >= lo && e.step <= hi
       then acc + 1
       else acc)
-    0 (events t)
+
+(* ------------------------------------------------------------------ *)
+(* Span markers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let span_prefix_b = "span:B:"
+let span_prefix_e = "span:E:"
+let span_begin name = span_prefix_b ^ name
+let span_end name = span_prefix_e ^ name
+
+let span_of_note text =
+  let n = String.length span_prefix_b in
+  if String.length text < n then None
+  else
+    let body () = String.sub text n (String.length text - n) in
+    if String.sub text 0 n = span_prefix_b then Some (`B, body ())
+    else if String.sub text 0 n = span_prefix_e then Some (`E, body ())
+    else None

@@ -5,7 +5,18 @@
     free-form notes emitted by the harness (operation boundaries,
     schedule annotations, ...).  Traces are the raw material from which
     histories are reconstructed and against which the Figure-4 scenarios
-    are asserted. *)
+    are asserted.
+
+    {b Bounding.}  By default a trace retains every event.  Created with
+    [~capacity:n] it becomes a ring buffer: once [n] events are
+    retained, recording a new event {e evicts the oldest retained
+    event}, so the trace always holds the most recent [n] events (a
+    suffix of the run).  {!length} counts retained events, {!recorded}
+    counts all events ever recorded, and [recorded - length = ]
+    {!dropped}.  Query functions ({!events}, {!accesses_of},
+    {!writes_between}, {!pp}) see only the retained suffix — long
+    fault-sweep campaigns cap their traces, so their assertions must not
+    rely on evicted history. *)
 
 type kind = Read | Write | Note
 
@@ -19,13 +30,32 @@ type event = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** Fresh trace.  [capacity] (default: unbounded) caps the number of
+    retained events; see the eviction semantics above.  Raises
+    [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : t -> int option
 val clear : t -> unit
 val record : t -> event -> unit
+
 val events : t -> event list
-(** All recorded events, oldest first. *)
+(** All retained events, oldest first. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Iterate over retained events, oldest first, without materializing
+    the list. *)
 
 val length : t -> int
+(** Number of retained events. *)
+
+val recorded : t -> int
+(** Number of events ever recorded, including evicted ones. *)
+
+val dropped : t -> int
+(** Number of events evicted by the ring buffer ([recorded - length]);
+    always [0] for unbounded traces. *)
+
 val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 
@@ -33,9 +63,29 @@ val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 
 val accesses_of : t -> cell:string -> event list
-(** Events (reads and writes) touching the named cell, oldest first. *)
+(** Retained events (reads and writes) touching the named cell, oldest
+    first. *)
 
 val writes_between : t -> cell:string -> lo:int -> hi:int -> int
-(** Number of [Write] events on [cell] with [lo <= step <= hi].  Used by
-    the Figure-4 scenario assertions ("Writer 0 executes its statement 3
-    exactly twice between r:3 and r:7"). *)
+(** Number of retained [Write] events on [cell] with [lo <= step <= hi].
+    Used by the Figure-4 scenario assertions ("Writer 0 executes its
+    statement 3 exactly twice between r:3 and r:7"). *)
+
+(** {2 Operation-span markers}
+
+    Spans (operation begin/end intervals, possibly nested) are encoded
+    as [Note] events whose text uses a reserved prefix.  The harness
+    emits them via [Sim.note]; [Obs.Span] reconstructs the interval
+    tree from a trace.  The format is defined here, in the layer both
+    producers and consumers already depend on. *)
+
+val span_begin : string -> string
+(** [span_begin name] is the note text marking the start of span
+    [name]. *)
+
+val span_end : string -> string
+(** [span_end name] is the note text marking the end of span [name]. *)
+
+val span_of_note : string -> ([ `B | `E ] * string) option
+(** Parse a note text back into a span marker; [None] for ordinary
+    notes. *)

@@ -18,12 +18,12 @@ let all_impls =
 let impl_of_name s =
   List.find_opt (fun i -> String.equal (impl_name i) s) all_impls
 
-let make_handle impl mem ~readers ~init =
+let make_handle ?note impl mem ~readers ~init =
   let h =
     match impl with
     | Impl_anderson ->
       Composite.Anderson.handle
-        (Composite.Anderson.create mem ~readers ~bits_per_value:64 ~init)
+        (Composite.Anderson.create ?note mem ~readers ~bits_per_value:64 ~init)
     | Impl_afek -> Composite.Afek.create mem ~bits_per_value:64 ~init
     | Impl_unsafe_collect ->
       Composite.Double_collect.create_unsafe mem ~bits_per_value:64 ~init
@@ -95,7 +95,7 @@ let build_system cfg ~seed:_ =
   in
   (env, init, rec_, procs)
 
-let run cfg =
+let run ?metrics cfg =
   let flagged = ref 0 in
   let generic_failures = ref 0 in
   let witness_failures = ref 0 in
@@ -146,16 +146,30 @@ let run cfg =
       if shrinking_ok && not witness_ok then incr witness_failures;
       if shrinking_ok && not generic_ok then incr disagreements
   done;
-  {
-    runs = cfg.schedules;
-    ops_checked = !ops;
-    flagged_runs = !flagged;
-    generic_failures = !generic_failures;
-    witness_failures = !witness_failures;
-    stuck_runs = !stuck;
-    disagreements = !disagreements;
-    example = !example;
-  }
+  let result =
+    {
+      runs = cfg.schedules;
+      ops_checked = !ops;
+      flagged_runs = !flagged;
+      generic_failures = !generic_failures;
+      witness_failures = !witness_failures;
+      stuck_runs = !stuck;
+      disagreements = !disagreements;
+      example = !example;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
+    c "campaign.runs" result.runs;
+    c "campaign.ops_checked" result.ops_checked;
+    c "campaign.flagged_runs" result.flagged_runs;
+    c "campaign.generic_failures" result.generic_failures;
+    c "campaign.witness_failures" result.witness_failures;
+    c "campaign.stuck_runs" result.stuck_runs;
+    c "campaign.disagreements" result.disagreements);
+  result
 
 let pp_result fmt r =
   Format.fprintf fmt

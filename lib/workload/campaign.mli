@@ -19,9 +19,13 @@ val impl_of_name : string -> impl option
 val all_impls : impl list
 
 val make_handle :
+  ?note:(string -> unit) ->
   impl -> Csim.Memory.t -> readers:int -> init:int array ->
   int Composite.Snapshot.t
-(** Instantiate an implementation on the given memory. *)
+(** Instantiate an implementation on the given memory.  [note] is passed
+    through to implementations that emit operation-span markers (only
+    the paper's construction does today); see
+    [Composite.Anderson.create]. *)
 
 type config = {
   impl : impl;
@@ -51,7 +55,12 @@ type result = {
   example : string option;  (** rendering of one flagged history *)
 }
 
-val run : config -> result
+val run : ?metrics:Obs.Metrics.t -> config -> result
+(** Run the campaign.  When [metrics] is given, the result is also
+    accumulated into counters [campaign.runs], [campaign.ops_checked],
+    [campaign.flagged_runs], [campaign.generic_failures],
+    [campaign.witness_failures], [campaign.stuck_runs] and
+    [campaign.disagreements] (additive across calls). *)
 
 val pp_result : Format.formatter -> result -> unit
 

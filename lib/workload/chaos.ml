@@ -99,7 +99,11 @@ type mode = Record of Schedule.t | Replay of int array
    the repo) id s, which is what Resilience.complete_dangling assumes
    when materializing a crash victim's pending Write. *)
 let exec ~max_steps (case : case) mode =
-  let env = Sim.create ~trace:false () in
+  (* Chaos runs are numerous and can run long under stalls; keep the
+     trace for post-mortem observability but bound its memory with the
+     ring buffer (the retained suffix is what a profiler would want
+     anyway). *)
+  let env = Sim.create ~trace_capacity:4096 () in
   let base = Memory.of_sim env in
   let mem, counters = Faults.wrap ~seed:case.fault_seed case.prof.injections base in
   let init = Array.init case.components (fun k -> (k + 1) * 10) in
@@ -455,7 +459,12 @@ type report = {
   total_stuck : int;
 }
 
-let run cfg =
+let run ?metrics cfg =
+  let sched_hist =
+    Option.map
+      (fun m -> Obs.Metrics.histogram m "chaos.schedule_entries")
+      metrics
+  in
   let cells =
     List.concat_map
       (fun impl ->
@@ -485,6 +494,9 @@ let run cfg =
                 else Schedule.Starving seed
               in
               let r = exec ~max_steps:cfg.max_steps case (Record policy) in
+              Option.iter
+                (fun h -> Obs.Metrics.observe h (Array.length r.schedule))
+                sched_hist;
               fired := !fired + r.fired;
               (match r.outcome with
               | Passed | Diverged _ -> ()
@@ -512,12 +524,31 @@ let run cfg =
           cfg.profiles)
       cfg.impls
   in
-  {
-    cells;
-    total_runs = List.fold_left (fun a c -> a + c.runs) 0 cells;
-    total_flagged = List.fold_left (fun a c -> a + c.flagged) 0 cells;
-    total_stuck = List.fold_left (fun a c -> a + c.stuck) 0 cells;
-  }
+  let report =
+    {
+      cells;
+      total_runs = List.fold_left (fun a c -> a + c.runs) 0 cells;
+      total_flagged = List.fold_left (fun a c -> a + c.flagged) 0 cells;
+      total_stuck = List.fold_left (fun a c -> a + c.stuck) 0 cells;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
+    c "chaos.runs" report.total_runs;
+    c "chaos.flagged" report.total_flagged;
+    c "chaos.stuck" report.total_stuck;
+    c "chaos.faults_fired"
+      (List.fold_left (fun a cl -> a + cl.faults_fired) 0 cells);
+    c "chaos.minimize_replays"
+      (List.fold_left
+         (fun a cl ->
+           a
+           + Option.fold ~none:0 ~some:(fun cx -> cx.cx_replays)
+               cl.counterexample)
+         0 cells));
+  report
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>";

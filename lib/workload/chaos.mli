@@ -156,6 +156,11 @@ type report = {
   total_stuck : int;
 }
 
-val run : config -> report
+val run : ?metrics:Obs.Metrics.t -> config -> report
+(** Run the full sweep.  When [metrics] is given, totals are also
+    accumulated into counters [chaos.runs], [chaos.flagged],
+    [chaos.stuck], [chaos.faults_fired], [chaos.minimize_replays], and
+    per-run schedule lengths into histogram [chaos.schedule_entries]
+    (all additive across calls). *)
 
 val pp_report : Format.formatter -> report -> unit

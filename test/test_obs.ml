@@ -1,0 +1,494 @@
+(* Unit tests for the observability layer (lib/obs) and its hooks in
+   the simulator: metrics histograms, JSON printer/parser, span
+   reconstruction, Chrome trace export, trace ring-buffer eviction, and
+   per-cell access counters. *)
+
+open Csim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gauge () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "ops" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  check int "counter" 42 (Obs.Metrics.counter_value c);
+  check int "same handle on re-registration" 42
+    (Obs.Metrics.counter_value (Obs.Metrics.counter m "ops"));
+  let g = Obs.Metrics.gauge m "temp" in
+  Obs.Metrics.set g 3.5;
+  check (Alcotest.float 0.0) "gauge" 3.5 (Obs.Metrics.gauge_value g);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Metrics: \"ops\" is already registered as a different metric kind")
+    (fun () -> ignore (Obs.Metrics.gauge m "ops"))
+
+let test_histogram_exact_percentiles () =
+  (* Values below 64 land in exact unit buckets, so percentiles on
+     1..100 are exact up to the log-bucket width (~3.1%) above 63; the
+     chosen ranks all sit on bucket-aligned values. *)
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  for v = 1 to 100 do
+    Obs.Metrics.observe h v
+  done;
+  check int "count" 100 (Obs.Metrics.count h);
+  check int "min" 1 (Obs.Metrics.hist_min h);
+  check int "max" 100 (Obs.Metrics.hist_max h);
+  check int "p50" 50 (Obs.Metrics.percentile h 50.);
+  check int "p25" 25 (Obs.Metrics.percentile h 25.);
+  check int "p1" 1 (Obs.Metrics.percentile h 1.);
+  let p90 = Obs.Metrics.percentile h 90. in
+  check bool "p90 within bucket width" true (p90 >= 88 && p90 <= 90);
+  let p99 = Obs.Metrics.percentile h 99. in
+  check bool "p99 within bucket width" true (p99 >= 96 && p99 <= 99);
+  check int "p100 = max" 100 (Obs.Metrics.percentile h 100.)
+
+let test_histogram_log_buckets () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "big" in
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h 1000
+  done;
+  check int "count" 10 (Obs.Metrics.count h);
+  check int "max exact" 1000 (Obs.Metrics.hist_max h);
+  let p50 = Obs.Metrics.percentile h 50. in
+  (* One octave bucket is 1/32 of the value: 1000 lives in a bucket of
+     width 32, so the reported lower bound is within 3.2%. *)
+  check bool "p50 within relative error" true (p50 >= 968 && p50 <= 1000);
+  Obs.Metrics.observe h (-5);
+  check int "negative clamps to 0" 0 (Obs.Metrics.hist_min h)
+
+let test_metrics_json () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr ~by:7 (Obs.Metrics.counter m "c1");
+  Obs.Metrics.set (Obs.Metrics.gauge m "g1") 2.0;
+  Obs.Metrics.observe (Obs.Metrics.histogram m "h1") 5;
+  let j = Obs.Metrics.to_json m in
+  (match Obs.Json.member "counters" j with
+  | Some (Obs.Json.Obj [ ("c1", Obs.Json.Int 7) ]) -> ()
+  | _ -> Alcotest.fail "counters object");
+  (match Obs.Json.member "histograms" j with
+  | Some hs -> (
+    match Obs.Json.member "h1" hs with
+    | Some h ->
+      check bool "has count" true (Obs.Json.member "count" h = Some (Obs.Json.Int 1));
+      check bool "has p50" true (Obs.Json.member "p50" h = Some (Obs.Json.Int 5))
+    | None -> Alcotest.fail "h1 missing")
+  | None -> Alcotest.fail "histograms missing");
+  (* the dump is parseable by our own parser *)
+  match Obs.Json.of_string (Obs.Json.to_string j) with
+  | Ok j' -> check bool "roundtrip" true (j = j')
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("a", Obs.Json.Int 1);
+        ("b", Obs.Json.Arr [ Obs.Json.Null; Obs.Json.Bool true ]);
+        ("c", Obs.Json.Str "x\"y\n\t\\z");
+        ("d", Obs.Json.Float 1.5);
+        ("empty", Obs.Json.Obj []);
+      ]
+  in
+  (match Obs.Json.of_string (Obs.Json.to_string j) with
+  | Ok j' -> check bool "minified roundtrip" true (j = j')
+  | Error e -> Alcotest.fail e);
+  match Obs.Json.of_string (Obs.Json.to_string ~minify:false j) with
+  | Ok j' -> check bool "pretty roundtrip" true (j = j')
+  | Error e -> Alcotest.fail e
+
+let test_json_malformed () =
+  let bad s =
+    match Obs.Json.of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "[1] trailing";
+  bad "\"unterminated";
+  bad "nul"
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One solo scan of a C-component register, with span markers on. *)
+let traced_scan ~c =
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let reg =
+    Composite.Anderson.create
+      ~note:(Obs.Span.emitter env)
+      mem ~readers:1 ~bits_per_value:8
+      ~init:(Array.make c 0)
+  in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        ignore (Composite.Anderson.scan_items reg ~reader:0))
+  in
+  Sim.trace env
+
+let test_span_nesting () =
+  (* A C=3 scan performs 2 scans of the C=2 register, each performing 2
+     of the base register: 1 x scan@0, 2 x scan@1, 4 x scan@2, and the
+     recursion depth is C - 1. *)
+  let spans = Obs.Span.of_trace (traced_scan ~c:3) in
+  let count name =
+    List.length (List.filter (fun s -> s.Obs.Span.name = name) spans)
+  in
+  check int "scan@0" 1 (count "scan@0");
+  check int "scan@1" 2 (count "scan@1");
+  check int "scan@2" 4 (count "scan@2");
+  check int "total" 7 (List.length spans);
+  check int "max depth" 2 (Obs.Span.max_depth spans);
+  List.iter
+    (fun s ->
+      check bool "closed" true s.Obs.Span.closed;
+      check bool "ordered" true (s.Obs.Span.t0 <= s.Obs.Span.t1))
+    spans;
+  (* depth equals the recursion level encoded in the name *)
+  List.iter
+    (fun s ->
+      let level =
+        int_of_string
+          (String.sub s.Obs.Span.name 5 (String.length s.Obs.Span.name - 5))
+      in
+      check int ("depth of " ^ s.Obs.Span.name) level s.Obs.Span.depth)
+    spans
+
+let test_span_unclosed () =
+  let env = Sim.create () in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.note env ~proc:0 (Trace.span_begin "outer");
+        Sim.note env ~proc:0 (Trace.span_begin "inner");
+        Sim.note env ~proc:0 (Trace.span_end "inner")
+        (* "outer" is never closed *))
+  in
+  let spans = Obs.Span.of_trace (Sim.trace env) in
+  check int "two spans" 2 (List.length spans);
+  let outer = List.find (fun s -> s.Obs.Span.name = "outer") spans in
+  let inner = List.find (fun s -> s.Obs.Span.name = "inner") spans in
+  check bool "outer unclosed" false outer.Obs.Span.closed;
+  check bool "inner closed" true inner.Obs.Span.closed;
+  check int "inner depth" 1 inner.Obs.Span.depth;
+  (* a stray end marker with nothing open is ignored *)
+  let env2 = Sim.create () in
+  let (_ : Sim.stats) =
+    Sim.run_solo env2 (fun () -> Sim.note env2 ~proc:0 (Trace.span_end "lonely"))
+  in
+  check int "stray end ignored" 0
+    (List.length (Obs.Span.of_trace (Sim.trace env2)))
+
+let test_span_markers () =
+  check string "begin" "span:B:scan" (Trace.span_begin "scan");
+  check string "end" "span:E:scan" (Trace.span_end "scan");
+  (match Trace.span_of_note "span:B:update@2" with
+  | Some (`B, "update@2") -> ()
+  | _ -> Alcotest.fail "parse begin");
+  (match Trace.span_of_note "span:E:x" with
+  | Some (`E, "x") -> ()
+  | _ -> Alcotest.fail "parse end");
+  check bool "ordinary note" true (Trace.span_of_note "hello" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export () =
+  let tr = traced_scan ~c:3 in
+  let path = Filename.temp_file "chrome" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Chrome.export ~path tr;
+      let ic = open_in path in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let j =
+        match Obs.Json.of_string raw with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("export not valid JSON: " ^ e)
+      in
+      let events =
+        match j with
+        | Obs.Json.Arr evs -> evs
+        | _ -> Alcotest.fail "export is not a JSON array"
+      in
+      check bool "nonempty" true (events <> []);
+      (* every event is an object with the mandatory fields; B/E events
+         obey stack discipline per tid *)
+      let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+      let stack tid =
+        match Hashtbl.find_opt stacks tid with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add stacks tid s;
+          s
+      in
+      let begins = ref 0 and ends = ref 0 in
+      List.iter
+        (fun e ->
+          let field name =
+            match Obs.Json.member name e with
+            | Some v -> v
+            | None -> Alcotest.fail ("event missing field " ^ name)
+          in
+          let str v =
+            match v with Obs.Json.Str s -> s | _ -> Alcotest.fail "not a string"
+          in
+          let num v =
+            match v with Obs.Json.Int n -> n | _ -> Alcotest.fail "not an int"
+          in
+          let name = str (field "name") in
+          let ph = str (field "ph") in
+          let tid = num (field "tid") in
+          check int "pid" 0 (num (field "pid"));
+          ignore (num (field "ts"));
+          match ph with
+          | "B" ->
+            incr begins;
+            let s = stack tid in
+            s := name :: !s
+          | "E" -> (
+            incr ends;
+            let s = stack tid in
+            match !s with
+            | top :: rest ->
+              check string "E matches innermost B" top name;
+              s := rest
+            | [] -> Alcotest.fail "E without open B")
+          | "i" | "M" -> ()
+          | ph -> Alcotest.fail ("unexpected ph " ^ ph))
+        events;
+      check bool "has spans" true (!begins > 0);
+      check int "balanced B/E" !begins !ends;
+      Hashtbl.iter
+        (fun _ s -> check int "all stacks empty at the end" 0 (List.length !s))
+        stacks)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ev step =
+  {
+    Trace.step;
+    proc = 0;
+    kind = Trace.Write;
+    cell = Printf.sprintf "c%d" step;
+    value = string_of_int step;
+  }
+
+let test_ring_eviction () =
+  let t = Trace.create ~capacity:3 () in
+  for s = 0 to 4 do
+    Trace.record t (ev s)
+  done;
+  check int "length" 3 (Trace.length t);
+  check int "recorded" 5 (Trace.recorded t);
+  check int "dropped" 2 (Trace.dropped t);
+  check bool "oldest evicted" true
+    (List.for_all (fun e -> e.Trace.step >= 2) (Trace.events t));
+  check int "suffix retained" 3
+    (List.length
+       (List.filter (fun e -> e.Trace.step >= 2) (Trace.events t)));
+  Trace.clear t;
+  check int "cleared" 0 (Trace.length t);
+  check int "recorded reset" 0 (Trace.recorded t);
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Trace.create: capacity must be >= 1") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let test_unbounded_growth () =
+  let t = Trace.create () in
+  for s = 0 to 199 do
+    Trace.record t (ev s)
+  done;
+  check int "length" 200 (Trace.length t);
+  check int "dropped" 0 (Trace.dropped t);
+  check int "first retained" 0 (List.hd (Trace.events t)).Trace.step
+
+let test_trace_queries () =
+  let t = Trace.create () in
+  Trace.record t { (ev 0) with cell = "x"; kind = Trace.Write };
+  Trace.record t { (ev 1) with cell = "x"; kind = Trace.Read };
+  Trace.record t { (ev 2) with cell = "y"; kind = Trace.Write };
+  Trace.record t { (ev 3) with cell = "x"; kind = Trace.Write };
+  check int "accesses_of x" 3 (List.length (Trace.accesses_of t ~cell:"x"));
+  check int "accesses_of missing" 0
+    (List.length (Trace.accesses_of t ~cell:"z"));
+  check int "writes_between inclusive" 2
+    (Trace.writes_between t ~cell:"x" ~lo:0 ~hi:3);
+  check int "writes_between excludes reads" 0
+    (Trace.writes_between t ~cell:"x" ~lo:1 ~hi:1);
+  check int "writes_between empty window" 0
+    (Trace.writes_between t ~cell:"x" ~lo:2 ~hi:1);
+  check int "writes_between boundary" 1
+    (Trace.writes_between t ~cell:"x" ~lo:3 ~hi:3)
+
+let test_ring_queries_see_suffix () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.record t { (ev 0) with cell = "x" };
+  Trace.record t { (ev 1) with cell = "x" };
+  Trace.record t { (ev 2) with cell = "x" };
+  check int "only retained writes counted" 2
+    (Trace.writes_between t ~cell:"x" ~lo:0 ~hi:10)
+
+(* ------------------------------------------------------------------ *)
+(* Cell stats + profiler                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_stats () =
+  let env = Sim.create () in
+  let a = Sim.make_cell env ~bits:8 "a" 0 in
+  let b = Sim.make_cell env ~bits:8 "b" 0 in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.write a 1;
+        ignore (Sim.read a);
+        ignore (Sim.read a);
+        ignore (Sim.read b))
+  in
+  let stats = Sim.cell_stats env in
+  check int "two cells" 2 (List.length stats);
+  (* creation order *)
+  (match stats with
+  | [ sa; sb ] ->
+    check string "first cell" "a" sa.Sim.cell;
+    check int "a reads" 2 sa.Sim.creads;
+    check int "a writes" 1 sa.Sim.cwrites;
+    check string "second cell" "b" sb.Sim.cell;
+    check int "b reads" 1 sb.Sim.creads
+  | _ -> Alcotest.fail "unexpected stats shape");
+  Sim.reset_counters env;
+  List.iter
+    (fun s -> check int "reset" 0 (s.Sim.creads + s.Sim.cwrites))
+    (Sim.cell_stats env)
+
+let test_profile () =
+  let env = Sim.create () in
+  let mem = Memory.of_sim env in
+  let reg =
+    Composite.Anderson.create mem ~readers:1 ~bits_per_value:8
+      ~init:[| 0; 0; 0 |]
+  in
+  let (_ : Sim.stats) =
+    Sim.run env ~policy:Schedule.Round_robin
+      [|
+        (fun () -> ignore (Composite.Anderson.update reg ~writer:0 7));
+        (fun () -> ignore (Composite.Anderson.scan_items reg ~reader:0));
+      |]
+  in
+  let p = Obs.Profile.of_env env in
+  check bool "has rows" true (p.Obs.Profile.rows <> []);
+  check bool "sorted by traffic" true
+    (let totals =
+       List.map
+         (fun r -> r.Obs.Profile.reads + r.Obs.Profile.writes)
+         p.Obs.Profile.rows
+     in
+     totals = List.sort (fun a b -> compare b a) totals);
+  check int "total = sum of rows"
+    (List.fold_left
+       (fun a r -> a + r.Obs.Profile.reads + r.Obs.Profile.writes)
+       0 p.Obs.Profile.rows)
+    p.Obs.Profile.total_accesses;
+  check bool "switches observed" true (p.Obs.Profile.switches > 0);
+  check int "two procs" 2 (List.length p.Obs.Profile.proc_events);
+  check int "top 1" 1 (List.length (Obs.Profile.top ~n:1 p));
+  (* snapshot into a registry *)
+  let m = Obs.Metrics.create () in
+  Obs.Profile.snapshot m ~prefix:"p" env;
+  (match Obs.Json.member "counters" (Obs.Metrics.to_json m) with
+  | Some (Obs.Json.Obj kvs) ->
+    check bool "p.accesses present" true (List.mem_assoc "p.accesses" kvs)
+  | _ -> Alcotest.fail "counters");
+  (* text rendering smoke *)
+  let s = Format.asprintf "%a" Obs.Profile.pp p in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "renders the header" true (contains s "switch-adj");
+  check bool "renders the summary" true (contains s "total accesses")
+
+let test_campaign_metrics () =
+  let m = Obs.Metrics.create () in
+  let cfg =
+    { Workload.Campaign.default with schedules = 5; check_generic = false }
+  in
+  let r = Workload.Campaign.run ~metrics:m cfg in
+  let counter name =
+    Obs.Metrics.counter_value (Obs.Metrics.counter m name)
+  in
+  check int "runs counted" r.Workload.Campaign.runs (counter "campaign.runs");
+  check int "ops counted" r.Workload.Campaign.ops_checked
+    (counter "campaign.ops_checked");
+  check int "no flags" 0 (counter "campaign.flagged_runs");
+  (* additive across calls *)
+  let (_ : Workload.Campaign.result) = Workload.Campaign.run ~metrics:m cfg in
+  check int "additive" (2 * r.Workload.Campaign.runs) (counter "campaign.runs")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "histogram exact percentiles" `Quick
+            test_histogram_exact_percentiles;
+          Alcotest.test_case "histogram log buckets" `Quick
+            test_histogram_log_buckets;
+          Alcotest.test_case "registry to_json" `Quick test_metrics_json;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_json_malformed;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "marker format" `Quick test_span_markers;
+          Alcotest.test_case "anderson recursion nesting" `Quick
+            test_span_nesting;
+          Alcotest.test_case "unclosed and stray markers" `Quick
+            test_span_unclosed;
+        ] );
+      ( "chrome",
+        [ Alcotest.test_case "export well-formed" `Quick test_chrome_export ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "unbounded growth" `Quick test_unbounded_growth;
+          Alcotest.test_case "query boundaries" `Quick test_trace_queries;
+          Alcotest.test_case "ring queries see suffix" `Quick
+            test_ring_queries_see_suffix;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "cell stats" `Quick test_cell_stats;
+          Alcotest.test_case "hot-cell profile" `Quick test_profile;
+          Alcotest.test_case "campaign metrics" `Quick test_campaign_metrics;
+        ] );
+    ]
