@@ -10,10 +10,20 @@
    E7 — Wall-clock latency and domain throughput (Bechamel + domains).
    E8 — PRMW counter vs mutex counter (Bechamel).
    E9 — Multi-writer composite register costs + verification.
+   E15 — Parallel verification engine: campaign scaling over worker
+         domains (--jobs), with verdicts and merged metrics asserted
+         bit-identical to the sequential run, plus the indexed vs
+         naive Shrinking-checker speedup.
 
    Counts (E1-E6, E9) are deterministic and compared against the paper
-   exactly; wall-clock numbers (E7, E8) are machine-dependent and only
-   their shape is asserted in EXPERIMENTS.md. *)
+   exactly; wall-clock numbers (E7, E8, E15 timings) are
+   machine-dependent and only their shape is asserted in
+   EXPERIMENTS.md.
+
+   Flags: --quick skips E7/E8; --json PATH dumps Record;
+   --jobs N shards the E6 campaigns and the E13 chaos sweep over N
+   domains (results are identical for every N — that is E15's
+   assertion). *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -268,7 +278,7 @@ let e5 () =
 (* E6                                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let e6 () =
+let e6 ~jobs () =
   section "E6: Linearizability campaigns (Shrinking Lemma + witness + generic oracle)";
   let t =
     Workload.Table.create
@@ -281,7 +291,7 @@ let e6 () =
   List.iter
     (fun impl ->
       let cfg = { Workload.Campaign.default with impl; schedules = 200 } in
-      let r = Workload.Campaign.run ~metrics:Record.metrics cfg in
+      let r = Workload.Campaign.run ~jobs ~metrics:Record.metrics cfg in
       let expected =
         match impl with
         | Workload.Campaign.Impl_unsafe_collect -> "violations caught"
@@ -610,11 +620,13 @@ let e12 () =
 (* E13                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let e13 () =
+let e13 ~jobs () =
   section
     "E13: chaos — crash/stall faults tolerated, memory faults caught \
      (failure-model boundary)";
-  let report = Workload.Chaos.run ~metrics:Record.metrics Workload.Chaos.default in
+  let report =
+    Workload.Chaos.run ~jobs ~metrics:Record.metrics Workload.Chaos.default
+  in
   let t =
     Workload.Table.create
       ~header:[ "impl"; "fault side"; "runs"; "flagged"; "stuck"; "faults fired" ]
@@ -730,6 +742,124 @@ let e14 () =
     "(for the recursive construction the inner registers dominate: every scan\n\
     \ at C=4 performs 2 scans of the C=3 register, 4 of C=2, 8 of the base —\n\
     \ so traffic concentrates on the deepest Y0 cells)"
+
+(* ------------------------------------------------------------------ *)
+(* E15                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section
+    "E15: parallel verification engine — campaign scaling over domains and \
+     the indexed Shrinking checker";
+  (* (a) The same 400-schedule anderson campaign at increasing job
+     counts.  The timings are machine-dependent; what is asserted is
+     that the result record and the merged metrics registry are
+     bit-identical to the sequential run at every job count. *)
+  let cfg = { Workload.Campaign.default with schedules = 400 } in
+  let run_at jobs =
+    let m = Obs.Metrics.create () in
+    let t0 = Unix.gettimeofday () in
+    let r = Workload.Campaign.run ~jobs ~metrics:m cfg in
+    (r, Obs.Json.to_string (Obs.Metrics.to_json m), Unix.gettimeofday () -. t0)
+  in
+  let base_r, base_m, base_t = run_at 1 in
+  let t =
+    Workload.Table.create
+      ~header:[ "jobs"; "seconds"; "speedup vs jobs=1"; "identical result+metrics" ]
+  in
+  List.iter
+    (fun jobs ->
+      let r, m, dt =
+        if jobs = 1 then (base_r, base_m, base_t) else run_at jobs
+      in
+      let identical = r = base_r && String.equal m base_m in
+      Record.row "E15"
+        [
+          ("kind", Obs.Json.Str "campaign_scaling");
+          ("jobs", Obs.Json.Int jobs);
+          ("schedules", Obs.Json.Int cfg.Workload.Campaign.schedules);
+          ("seconds", Obs.Json.Float dt);
+          ("speedup", Obs.Json.Float (base_t /. dt));
+          ("identical", Obs.Json.Bool identical);
+        ];
+      Workload.Table.add_row t
+        [
+          string_of_int jobs;
+          Workload.Table.cell_float ~decimals:3 dt;
+          Workload.Table.cell_float ~decimals:2 (base_t /. dt);
+          Workload.Table.cell_bool identical;
+        ])
+    [ 1; 2; 4; 8 ];
+  Workload.Table.print t;
+  Printf.printf
+    "(400-schedule anderson campaign; host reports %d usable core(s) — \
+     speedup needs a multicore host, identity must hold everywhere)\n"
+    (Domain.recommended_domain_count ());
+  (* (b) The indexed checker against the naive transcription, on one
+     large clean history (the case the per-component indexes target). *)
+  let open Csim in
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let components = 4 and readers = 3 in
+  let init = Array.init components (fun k -> (k + 1) * 10) in
+  let handle =
+    Workload.Campaign.make_handle Workload.Campaign.Impl_anderson mem ~readers
+      ~init
+  in
+  let rec_ =
+    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init
+      handle
+  in
+  let writer k () =
+    for s = 1 to 40 do
+      rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+    done
+  in
+  let reader j () =
+    for _ = 1 to 30 do
+      ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+    done
+  in
+  let procs =
+    Array.init (components + readers) (fun i ->
+        if i < components then writer i else reader (i - components))
+  in
+  let (_ : Sim.stats) =
+    Sim.run env ~policy:(Schedule.Random 42) ~max_steps:10_000_000 procs
+  in
+  let h = Composite.Snapshot.history rec_ in
+  let reps = 20 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let indexed = time (fun () -> History.Shrinking.check ~equal:Int.equal h) in
+  let naive =
+    time (fun () -> History.Shrinking.check_naive ~equal:Int.equal h)
+  in
+  let agree =
+    History.Shrinking.check ~equal:Int.equal h
+    = History.Shrinking.check_naive ~equal:Int.equal h
+  in
+  Record.row "E15"
+    [
+      ("kind", Obs.Json.Str "checker_speedup");
+      ("history_ops", Obs.Json.Int (History.Snapshot_history.size h));
+      ("reps", Obs.Json.Int reps);
+      ("indexed_seconds", Obs.Json.Float indexed);
+      ("naive_seconds", Obs.Json.Float naive);
+      ("speedup", Obs.Json.Float (naive /. indexed));
+      ("identical", Obs.Json.Bool agree);
+    ];
+  Printf.printf
+    "\nindexed Shrinking checker, %d-operation history (C=%d, R=%d): %.3f ms \
+     vs %.3f ms naive — %.1fx, identical violation lists: %b\n"
+    (History.Snapshot_history.size h)
+    components readers (indexed *. 1e3) (naive *. 1e3) (naive /. indexed)
+    agree
 
 (* ------------------------------------------------------------------ *)
 (* E7 / E8: wall-clock (Bechamel + domain throughput)                   *)
@@ -930,9 +1060,21 @@ let json_path () =
     Sys.argv;
   !path
 
+let jobs_arg () =
+  let jobs = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--jobs" && i + 1 < Array.length Sys.argv then
+        jobs := int_of_string_opt Sys.argv.(i + 1))
+    Sys.argv;
+  match !jobs with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> Exec.Pool.default_jobs ()
+
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let json = json_path () in
+  let jobs = jobs_arg () in
   print_endline
     "composite registers: experiment harness (see EXPERIMENTS.md for the \
      paper-vs-measured record)";
@@ -941,14 +1083,15 @@ let () =
   e3 ();
   e4 ();
   e5 ();
-  e6 ();
+  e6 ~jobs ();
   e6c ();
   e9 ();
   e10 ();
   e11 ();
   e12 ();
-  e13 ();
+  e13 ~jobs ();
   e14 ();
+  e15 ();
   if not quick then begin
     e7 ();
     e8 ()

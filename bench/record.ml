@@ -5,9 +5,16 @@
    accumulate into one registry.  When the harness is invoked with
    [--json PATH], [write] dumps the whole run as one JSON document:
 
-     { "schema": "composite-registers/bench/v1",
+     { "schema": "composite-registers/bench/v2",
+       "version": 2,
+       "generated_at": "2025-01-01T00:00:00Z",
        "experiments": { "E2": [ {...}, ... ], ... },
        "metrics": <Obs.Metrics registry dump> }
+
+   [version] is the schema major (bumped on incompatible layout
+   changes; v2 added the version/generated_at header fields) and
+   [generated_at] is the UTC wall-clock instant of the dump in ISO
+   8601, so archived BENCH.json artifacts are self-dating.
 
    The numbers recorded here are the very values printed in the text
    tables (same computation, recorded at the same call sites), so the
@@ -28,6 +35,12 @@ let row exp fields =
   in
   rows := Obs.Json.Obj fields :: !rows
 
+let iso8601_now () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
 let write ~path =
   let exps =
     Hashtbl.fold
@@ -38,7 +51,9 @@ let write ~path =
   let doc =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.Str "composite-registers/bench/v1");
+        ("schema", Obs.Json.Str "composite-registers/bench/v2");
+        ("version", Obs.Json.Int 2);
+        ("generated_at", Obs.Json.Str (iso8601_now ()));
         ("experiments", Obs.Json.Obj exps);
         ("metrics", Obs.Metrics.to_json metrics);
       ]

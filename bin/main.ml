@@ -19,11 +19,44 @@ let impl_conv =
   let print fmt i = Format.pp_print_string fmt (Workload.Campaign.impl_name i) in
   Arg.conv (parse, print)
 
+(* Shared by the campaign-style subcommands. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Exec.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains to shard runs over (default: the number of \
+           recommended domains for this machine).  Results are \
+           bit-identical for every value.")
+
+let pool_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pool-trace" ] ~docv:"FILE"
+        ~doc:
+          "Export per-worker task spans as Chrome trace-event JSON \
+           (pool occupancy view), loadable in ui.perfetto.dev.")
+
+let with_pool_trace pool_trace f =
+  let recorder = Exec.Pool.recorder () in
+  let r = f recorder in
+  (match pool_trace with
+  | None -> ()
+  | Some path ->
+    Exec.Pool.export_chrome ~path recorder;
+    Printf.printf "wrote pool trace (%d task spans) to %s\n"
+      (List.length (Exec.Pool.spans recorder))
+      path);
+  r
+
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let verify impl components readers writes scans schedules seed exhaustive =
+let verify impl components readers writes scans schedules seed jobs pool_trace
+    exhaustive =
   if exhaustive then begin
     Printf.printf
       "exhaustively exploring all interleavings: impl=%s C=%d R=%d writes=%d \
@@ -57,10 +90,14 @@ let verify impl components readers writes scans schedules seed exhaustive =
         check_generic = components * (writes + scans) <= 40;
       }
     in
-    Printf.printf "randomized campaign: impl=%s C=%d R=%d ops/proc=%d/%d\n%!"
+    Printf.printf
+      "randomized campaign: impl=%s C=%d R=%d ops/proc=%d/%d jobs=%d\n%!"
       (Workload.Campaign.impl_name impl)
-      components readers writes scans;
-    let r = Workload.Campaign.run cfg in
+      components readers writes scans jobs;
+    let r =
+      with_pool_trace pool_trace (fun pool ->
+          Workload.Campaign.run ~jobs ~pool cfg)
+    in
     Format.printf "%a@." Workload.Campaign.pp_result r;
     (match r.example with
     | Some ex -> Format.printf "@.example violation:@.%s@." ex
@@ -105,7 +142,7 @@ let verify_cmd =
           generic oracle); experiment E6.")
     Term.(
       const verify $ impl $ components $ readers $ writes $ scans $ schedules
-      $ seed $ exhaustive)
+      $ seed $ jobs_arg $ pool_trace_arg $ exhaustive)
 
 (* ------------------------------------------------------------------ *)
 (* complexity (E2/E3)                                                   *)
@@ -704,7 +741,8 @@ let resilience_cmd =
 (* ------------------------------------------------------------------ *)
 
 let chaos impls components readers writes scans seeds base_seed faults
-    profile_names minimize_budget expect_clean expect_flagged replay =
+    profile_names minimize_budget jobs pool_trace expect_clean expect_flagged
+    replay =
   match replay with
   | Some script -> begin
     (* Re-execute a minimized counterexample emitted by a campaign. *)
@@ -772,11 +810,14 @@ let chaos impls components readers writes scans seeds base_seed faults
     in
     Printf.printf
       "chaos campaign: %d impl(s) x %d profile(s) x %d seed(s), C=%d R=%d \
-       ops/proc=%d/%d\n\n\
+       ops/proc=%d/%d jobs=%d\n\n\
        %!"
       (List.length impls) (List.length profiles) seeds components readers
-      writes scans;
-    let r = Workload.Chaos.run cfg in
+      writes scans jobs;
+    let r =
+      with_pool_trace pool_trace (fun pool ->
+          Workload.Chaos.run ~jobs ~pool cfg)
+    in
     Format.printf "%a@." Workload.Chaos.pp_report r;
     List.iter
       (fun (c : Workload.Chaos.cell) ->
@@ -868,8 +909,8 @@ let chaos_cmd =
           replayable counterexample.")
     Term.(
       const chaos $ impls $ components $ readers $ writes $ scans $ seeds
-      $ base_seed $ faults $ profiles $ minimize_budget $ expect_clean
-      $ expect_flagged $ replay)
+      $ base_seed $ faults $ profiles $ minimize_budget $ jobs_arg
+      $ pool_trace_arg $ expect_clean $ expect_flagged $ replay)
 
 let fullstack_cmd =
   let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in

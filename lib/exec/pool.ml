@@ -1,0 +1,119 @@
+type span = {
+  sp_worker : int;
+  sp_label : string;
+  sp_t0 : float;
+  sp_t1 : float;
+}
+
+type recorder = { mutable rspans : span list; lock : Mutex.t }
+
+let recorder () = { rspans = []; lock = Mutex.create () }
+
+let record r s =
+  Mutex.lock r.lock;
+  r.rspans <- s :: r.rspans;
+  Mutex.unlock r.lock
+
+let spans r =
+  Mutex.lock r.lock;
+  let l = r.rspans in
+  Mutex.unlock r.lock;
+  List.sort
+    (fun a b ->
+      match Float.compare a.sp_t0 b.sp_t0 with
+      | 0 -> compare a.sp_worker b.sp_worker
+      | c -> c)
+    l
+
+let chrome_json r =
+  let sp = spans r in
+  let base =
+    List.fold_left (fun acc s -> Float.min acc s.sp_t0) Float.infinity sp
+  in
+  let us t = Obs.Json.Float ((t -. base) *. 1e6) in
+  let workers =
+    List.sort_uniq compare (List.map (fun s -> s.sp_worker) sp)
+  in
+  let meta w =
+    Obs.Json.Obj
+      [
+        ("ph", Obs.Json.Str "M");
+        ("pid", Obs.Json.Int 0);
+        ("tid", Obs.Json.Int w);
+        ("name", Obs.Json.Str "thread_name");
+        ("args", Obs.Json.Obj [ ("name", Obs.Json.Str (Printf.sprintf "worker %d" w)) ]);
+      ]
+  in
+  let ev s =
+    Obs.Json.Obj
+      [
+        ("ph", Obs.Json.Str "X");
+        ("pid", Obs.Json.Int 0);
+        ("tid", Obs.Json.Int s.sp_worker);
+        ("name", Obs.Json.Str s.sp_label);
+        ("ts", us s.sp_t0);
+        ("dur", Obs.Json.Float ((s.sp_t1 -. s.sp_t0) *. 1e6));
+      ]
+  in
+  Obs.Json.Arr (List.map meta workers @ List.map ev sp)
+
+let export_chrome ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Obs.Json.to_channel ~minify:false oc (chrome_json r);
+      output_char oc '\n')
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map_workers ?jobs ?recorder:rec_ ?label ~worker tasks f =
+  if tasks < 0 then invalid_arg "Exec.Pool: negative task count";
+  (match jobs with
+  | Some j when j < 1 -> invalid_arg "Exec.Pool: jobs must be >= 1"
+  | _ -> ());
+  let jobs =
+    match jobs with None -> default_jobs () | Some j -> j
+  in
+  let jobs = max 1 (min jobs tasks) in
+  let label =
+    match label with Some f -> f | None -> fun i -> Printf.sprintf "task%d" i
+  in
+  let results = Array.make tasks None in
+  let next = Atomic.make 0 in
+  (* Each worker claims task indices from [next] one at a time until the
+     range is drained; results land in their own slot, so no lock is
+     needed on the way out. *)
+  let worker_loop wid =
+    let st = worker () in
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < tasks then begin
+        let t0 = Unix.gettimeofday () in
+        let v = f st i in
+        let t1 = Unix.gettimeofday () in
+        (match rec_ with
+        | None -> ()
+        | Some r ->
+          record r { sp_worker = wid; sp_label = label i; sp_t0 = t0; sp_t1 = t1 });
+        results.(i) <- Some v;
+        go ()
+      end
+    in
+    go ();
+    st
+  in
+  let states =
+    if jobs = 1 then [ worker_loop 0 ]
+    else
+      List.init jobs (fun wid -> Domain.spawn (fun () -> worker_loop wid))
+      |> List.map Domain.join
+  in
+  (Array.map (function Some v -> v | None -> assert false) results, states)
+
+let map ?jobs ?recorder ?label tasks f =
+  fst
+    (map_workers ?jobs ?recorder ?label
+       ~worker:(fun () -> ())
+       tasks
+       (fun () i -> f i))

@@ -1,0 +1,78 @@
+(** A fixed-size domain pool for embarrassingly parallel verification
+    work.
+
+    Campaigns, chaos sweeps and bench sections all consist of many
+    {e independent} seeded simulations: each schedule builds its own
+    simulator environment, so the only shared state is the result
+    aggregation.  This module farms a dense index range [0 .. tasks-1]
+    over OCaml 5 domains with an atomic self-scheduling queue and
+    returns the results {e keyed by task index}, which makes the
+    combined output bit-identical regardless of the number of jobs or
+    the runtime interleaving of workers: determinism lives in the
+    indexing, not in the assignment of tasks to domains.
+
+    Workers can carry private mutable state (typically an
+    {!Obs.Metrics.t} registry) created once per worker via [~worker];
+    the states are returned at the join for an order-insensitive merge
+    (see [Obs.Metrics.merge]).
+
+    The pool optionally records one wall-clock span per task into a
+    {!recorder}, exportable as Chrome trace-event JSON with one track
+    per worker — load it in ui.perfetto.dev to see the pool's
+    occupancy. *)
+
+type span = {
+  sp_worker : int;  (** worker (domain slot) that ran the task *)
+  sp_label : string;  (** task label *)
+  sp_t0 : float;  (** wall-clock start, seconds *)
+  sp_t1 : float;  (** wall-clock end, seconds *)
+}
+
+type recorder
+(** A thread-safe span collector shared by all workers of a run. *)
+
+val recorder : unit -> recorder
+
+val spans : recorder -> span list
+(** All recorded spans, sorted by start time (ties by worker). *)
+
+val chrome_json : recorder -> Obs.Json.t
+(** The recorded spans as a Chrome trace-event JSON array: one ["X"]
+    (complete) event per task on a per-worker track, timestamps in
+    microseconds relative to the earliest span. *)
+
+val export_chrome : path:string -> recorder -> unit
+(** Write {!chrome_json} to [path]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map_workers :
+  ?jobs:int ->
+  ?recorder:recorder ->
+  ?label:(int -> string) ->
+  worker:(unit -> 'w) ->
+  int ->
+  ('w -> int -> 'a) ->
+  'a array * 'w list
+(** [map_workers ~jobs ~worker tasks f] runs [f state i] for every
+    [i] in [0 .. tasks-1] on a pool of [min jobs tasks] domains (at
+    least 1; [jobs] defaults to {!default_jobs}), where each worker
+    first creates its private [state = worker ()].  Returns the results
+    indexed by [i] and the worker states in worker order.  With
+    [jobs = 1] (or [tasks <= 1]) everything runs inline on the calling
+    domain — no domain is spawned.
+
+    Tasks are claimed one at a time from an atomic counter, so the
+    assignment of tasks to workers is nondeterministic — everything
+    returned is not: results are positional and worker states must be
+    merged commutatively.  If a task raises, the exception is re-raised
+    at the join (remaining workers finish their queues first).
+
+    [label] names each task's span in [recorder] (default
+    ["task<i>"]).  Raises [Invalid_argument] if [jobs < 1] or
+    [tasks < 0]. *)
+
+val map : ?jobs:int -> ?recorder:recorder -> ?label:(int -> string) ->
+  int -> (int -> 'a) -> 'a array
+(** {!map_workers} without worker state. *)

@@ -1,6 +1,7 @@
 type ('s, 'i, 'o) spec = {
   apply : 's -> 'i -> 's * 'o;
   equal_output : 'o -> 'o -> bool;
+  equal_state : 's -> 's -> bool;
 }
 
 type ('i, 'o) verdict =
@@ -26,17 +27,46 @@ let check spec ~init ops =
     done;
     (* Wrap-around makes this correct even at n = 62 on 63-bit ints. *)
     let all_done = (1 lsl n) - 1 in
-    let visited : (int * 's, unit) Hashtbl.t = Hashtbl.create 4096 in
+    (* Memo buckets are keyed by the (int) mask alone; states within a
+       bucket are compared with the spec's own equality.  Hashing the
+       (mask, state) pair polymorphically would both miss states whose
+       custom equality is coarser than structural (false negatives,
+       wasted re-search) and — worse — conflate states that are
+       structurally similar but semantically distinct under a custom
+       [equal_state] (false cache hits). *)
+    let visited : (int, 's list) Hashtbl.t = Hashtbl.create 4096 in
+    let seen mask state =
+      match Hashtbl.find_opt visited mask with
+      | None -> false
+      | Some states -> List.exists (spec.equal_state state) states
+    in
+    let mark mask state =
+      let states =
+        match Hashtbl.find_opt visited mask with None -> [] | Some l -> l
+      in
+      Hashtbl.replace visited mask (state :: states)
+    in
+    (* Try candidates in invocation order (ties by index): operations
+       that started earlier are the likeliest legal next step, which
+       finds a witness with far less backtracking than index order on
+       histories whose list interleaves late and early operations. *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        match compare ops.(a).Oprec.inv ops.(b).Oprec.inv with
+        | 0 -> compare a b
+        | c -> c)
+      order;
     (* DFS for a legal completion from [mask] (already linearized) and
        specification state [state]; returns the witness suffix. *)
     let rec search mask state =
       if mask = all_done then Some []
-      else if Hashtbl.mem visited (mask, state) then None
+      else if seen mask state then None
       else begin
         let found = ref None in
         let i = ref 0 in
         while !found = None && !i < n do
-          let idx = !i in
+          let idx = order.(!i) in
           incr i;
           if mask land (1 lsl idx) = 0 && precedes.(idx) land lnot mask = 0
           then begin
@@ -47,7 +77,7 @@ let check spec ~init ops =
               | None -> ()
           end
         done;
-        if !found = None then Hashtbl.replace visited (mask, state) ();
+        if !found = None then mark mask state;
         !found
       end
     in
@@ -78,17 +108,19 @@ let snapshot_spec ~equal =
       (state', Done)
     | Scan -> (state, View (Array.copy state))
   in
+  let equal_array x y =
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
+        !ok)
+  in
   let equal_output a b =
     match (a, b) with
     | Done, Done -> true
-    | View x, View y ->
-      Array.length x = Array.length y
-      && (let ok = ref true in
-          Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
-          !ok)
+    | View x, View y -> equal_array x y
     | Done, View _ | View _, Done -> false
   in
-  { apply; equal_output }
+  { apply; equal_output; equal_state = equal_array }
 
 type 'v reg_input = Reg_write of 'v | Reg_read
 type 'v reg_output = Reg_done | Reg_value of 'v
@@ -105,7 +137,7 @@ let register_spec ~equal =
     | Reg_value x, Reg_value y -> equal x y
     | Reg_done, Reg_value _ | Reg_value _, Reg_done -> false
   in
-  { apply; equal_output }
+  { apply; equal_output; equal_state = equal }
 
 type counter_input = Incr of int | Get
 type counter_output = Incr_done | Count of int
@@ -122,4 +154,4 @@ let counter_spec =
     | Count x, Count y -> x = y
     | Incr_done, Count _ | Count _, Incr_done -> false
   in
-  { apply; equal_output }
+  { apply; equal_output; equal_state = Int.equal }

@@ -19,6 +19,12 @@ type ('s, 'i, 'o) spec = {
   apply : 's -> 'i -> 's * 'o;
       (** Sequential semantics: next state and expected output. *)
   equal_output : 'o -> 'o -> bool;
+  equal_state : 's -> 's -> bool;
+      (** Semantic state equality, used by the search memo (visited
+          states are bucketed by linearized-set mask and compared with
+          this — never with polymorphic hashing, which would produce
+          false cache hits for states whose equality is not
+          structural). *)
 }
 
 type ('i, 'o) verdict =

@@ -43,10 +43,10 @@ let pp_violation fmt = function
       rproc jcomp kcomp
 
 (* ------------------------------------------------------------------ *)
-(* The five conditions                                                  *)
+(* The five conditions — naive reference                                *)
 (* ------------------------------------------------------------------ *)
 
-let check ~equal h =
+let check_naive ~equal h =
   let violations = ref [] in
   let report v = violations := v :: !violations in
   let ws = Array.of_list (writes_with_initial h) in
@@ -135,6 +135,206 @@ let check ~equal h =
                  { jcomp = v.comp; kcomp = w.comp; rproc = r.rproc })
         done
       done)
+    rs;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* The five conditions — indexed                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-component index over the writes, sorted by id.  The Proximity and
+   Write-Precedence conditions only ever ask "does some k-Write with id
+   <= x (resp. > x) start late (resp. end early) enough?", which prefix
+   maxima of [winv] and suffix minima of [wres] answer after one binary
+   search; the Uniqueness order condition asks "does some k-Write ending
+   by time t carry an id >= x?", which a wres-sorted prefix maximum of
+   ids answers the same way.  The existence tests below are exact, but
+   to keep the reported violation list bit-identical to [check_naive]
+   (including order and multiplicity) each positive test falls back to
+   the naive enumeration for just that read / component — so the
+   quadratic loops are only ever paid for histories that are actually
+   broken. *)
+type comp_index = {
+  ix_ids : int array;  (* write ids, ascending *)
+  ix_pmax_winv : int array;  (* prefix max of winv over ix_ids order *)
+  ix_smin_wres : int array;  (* suffix min of wres over ix_ids order *)
+  ix_wres : int array;  (* write wres, ascending *)
+  ix_pmax_id : int array;  (* prefix max of id over ix_wres order *)
+}
+
+let build_index h ws =
+  let per = Array.make h.components [] in
+  Array.iter (fun w -> per.(w.comp) <- w :: per.(w.comp)) ws;
+  Array.map
+    (fun lst ->
+      let by_id = Array.of_list lst in
+      Array.sort (fun v w -> compare (v.id, v.winv) (w.id, w.winv)) by_id;
+      let n = Array.length by_id in
+      let ix_ids = Array.map (fun w -> w.id) by_id in
+      let ix_pmax_winv = Array.make n min_int in
+      let acc = ref min_int in
+      for i = 0 to n - 1 do
+        acc := max !acc by_id.(i).winv;
+        ix_pmax_winv.(i) <- !acc
+      done;
+      let ix_smin_wres = Array.make n max_int in
+      let acc = ref max_int in
+      for i = n - 1 downto 0 do
+        acc := min !acc by_id.(i).wres;
+        ix_smin_wres.(i) <- !acc
+      done;
+      let by_wres = Array.of_list lst in
+      Array.sort (fun v w -> compare (v.wres, v.id) (w.wres, w.id)) by_wres;
+      let ix_wres = Array.map (fun w -> w.wres) by_wres in
+      let ix_pmax_id = Array.make n min_int in
+      let acc = ref min_int in
+      for i = 0 to n - 1 do
+        acc := max !acc by_wres.(i).id;
+        ix_pmax_id.(i) <- !acc
+      done;
+      { ix_ids; ix_pmax_winv; ix_smin_wres; ix_wres; ix_pmax_id })
+    per
+
+(* Number of entries <= x in the ascending array [a]. *)
+let count_le a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let check ~equal h =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  let ws = Array.of_list (writes_with_initial h) in
+  let rs = Array.of_list h.reads in
+  let nw = Array.length ws in
+  let nr = Array.length rs in
+  let idx = build_index h ws in
+  (* Uniqueness: duplicates (already linear). *)
+  for k = 0 to h.components - 1 do
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun w ->
+        if w.comp = k then
+          if Hashtbl.mem seen w.id then
+            report (Uniqueness_duplicate { comp = k; id = w.id })
+          else Hashtbl.add seen w.id ())
+      ws
+  done;
+  (* Uniqueness: order.  Existence: some same-component v with
+     v.wres <= w.winv and v.id >= w.id.  (The test may also accept the
+     degenerate v = w when an interval is inverted; the naive fallback
+     settles exactness either way.) *)
+  let uniqueness_order_possible =
+    Array.exists
+      (fun w ->
+        let ci = idx.(w.comp) in
+        let p = count_le ci.ix_wres w.winv in
+        p > 0 && ci.ix_pmax_id.(p - 1) >= w.id)
+      ws
+  in
+  if uniqueness_order_possible then
+    for i = 0 to nw - 1 do
+      for j = 0 to nw - 1 do
+        let v = ws.(i) and w = ws.(j) in
+        if i <> j && v.comp = w.comp && write_precedes v w && v.id >= w.id then
+          report
+            (Uniqueness_order { comp = v.comp; first_id = v.id; second_id = w.id })
+      done
+    done;
+  (* Integrity: hash the writes by (component, id) once. *)
+  let wtbl = Hashtbl.create (max 16 (2 * nw)) in
+  Array.iter (fun w -> Hashtbl.add wtbl (w.comp, w.id) w.value) ws;
+  Array.iter
+    (fun r ->
+      for k = 0 to h.components - 1 do
+        let matching =
+          List.exists
+            (fun v -> equal v r.values.(k))
+            (Hashtbl.find_all wtbl (k, r.ids.(k)))
+        in
+        if not matching then
+          report (Integrity { comp = k; rproc = r.rproc; id = r.ids.(k) })
+      done)
+    rs;
+  (* Proximity.  Future: a k-Write with id <= phi_k(r) starting at or
+     after the Read's response; overwritten: one with id > phi_k(r)
+     ending by the Read's invocation. *)
+  Array.iter
+    (fun r ->
+      let flagged = ref false in
+      for k = 0 to h.components - 1 do
+        let ci = idx.(k) in
+        let p = count_le ci.ix_ids r.ids.(k) in
+        if p > 0 && ci.ix_pmax_winv.(p - 1) >= r.rres then flagged := true;
+        if p < Array.length ci.ix_ids && ci.ix_smin_wres.(p) <= r.rinv then
+          flagged := true
+      done;
+      if !flagged then
+        Array.iter
+          (fun w ->
+            let k = w.comp in
+            if read_precedes_write r w && not (r.ids.(k) < w.id) then
+              report
+                (Proximity_future
+                   { comp = k; rproc = r.rproc; rid = r.ids.(k); wid = w.id });
+            if write_precedes_read w r && not (w.id <= r.ids.(k)) then
+              report
+                (Proximity_overwritten
+                   { comp = k; rproc = r.rproc; rid = r.ids.(k); wid = w.id }))
+          ws)
+    rs;
+  (* Read Precedence (already O(nr^2 * C)). *)
+  for i = 0 to nr - 1 do
+    for j = 0 to nr - 1 do
+      if i <> j then begin
+        let r = rs.(i) and s = rs.(j) in
+        let exists_lt = ref false in
+        for k = 0 to h.components - 1 do
+          if r.ids.(k) < s.ids.(k) then exists_lt := true
+        done;
+        if !exists_lt || read_precedes r s then
+          for k = 0 to h.components - 1 do
+            if not (r.ids.(k) <= s.ids.(k)) then
+              report
+                (Read_precedence { comp = k; rproc = r.rproc; sproc = s.rproc })
+          done
+      end
+    done
+  done;
+  (* Write Precedence.  For a Read r split the writes into
+     S = { w | phi(w) <= phi_w.comp(r) } (ordered at or before r's view)
+     and T = { v | phi(v) > phi_v.comp(r) } (beyond it); a violation is
+     a pair v in T, w in S with v [=] w, which exists iff the earliest
+     response in T is <= the latest invocation in S.  S and T are
+     disjoint, so the witness pair is automatically distinct. *)
+  Array.iter
+    (fun r ->
+      let max_winv_s = ref min_int in
+      let min_wres_t = ref max_int in
+      for k = 0 to h.components - 1 do
+        let ci = idx.(k) in
+        let p = count_le ci.ix_ids r.ids.(k) in
+        if p > 0 then max_winv_s := max !max_winv_s ci.ix_pmax_winv.(p - 1);
+        if p < Array.length ci.ix_ids then
+          min_wres_t := min !min_wres_t ci.ix_smin_wres.(p)
+      done;
+      if !min_wres_t <= !max_winv_s then
+        for i = 0 to nw - 1 do
+          for j = 0 to nw - 1 do
+            let v = ws.(i) and w = ws.(j) in
+            if
+              i <> j && write_precedes v w
+              && w.id <= r.ids.(w.comp)
+              && not (v.id <= r.ids.(v.comp))
+            then
+              report
+                (Write_precedence
+                   { jcomp = v.comp; kcomp = w.comp; rproc = r.rproc })
+          done
+        done)
     rs;
   List.rev !violations
 

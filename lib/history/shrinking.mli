@@ -41,7 +41,22 @@ val pp_violation : Format.formatter -> violation -> unit
 
 val check : equal:('a -> 'a -> bool) -> 'a Snapshot_history.t -> violation list
 (** All violations of the five conditions (empty iff the history passes;
-    the lemma then guarantees linearizability). *)
+    the lemma then guarantees linearizability).
+
+    Complexity: clean histories cost
+    [O((nw + nr·C) log nw + nr²·C)] using per-component write-id
+    indexes (binary-searched prefix/suffix aggregates) for the
+    Proximity, Write-Precedence and Uniqueness-order conditions — the
+    naive quadratic enumerations run only for reads/components whose
+    existence test already found a violation, so the reported list is
+    bit-identical to {!check_naive}. *)
+
+val check_naive :
+  equal:('a -> 'a -> bool) -> 'a Snapshot_history.t -> violation list
+(** The direct transcription of the five conditions as nested loops
+    ([O(nw²·nr)] for Write Precedence).  Kept as the differential-test
+    reference for {!check}; both return the same violations in the same
+    order on every history. *)
 
 val conditions_hold : equal:('a -> 'a -> bool) -> 'a Snapshot_history.t -> bool
 

@@ -77,18 +77,21 @@ let histogram t name =
       H { buckets = Array.make sub 0; n = 0; h_min = 0; h_max = 0; sum = 0. })
     (function H h -> Some h | _ -> None)
 
+let ensure_buckets h len =
+  if len > Array.length h.buckets then begin
+    let n = ref (Array.length h.buckets) in
+    while len > !n do
+      n := !n * 2
+    done;
+    let b = Array.make !n 0 in
+    Array.blit h.buckets 0 b 0 (Array.length h.buckets);
+    h.buckets <- b
+  end
+
 let observe h v =
   let v = max 0 v in
   let idx = bucket_of_value v in
-  if idx >= Array.length h.buckets then begin
-    let len = ref (Array.length h.buckets) in
-    while idx >= !len do
-      len := !len * 2
-    done;
-    let b = Array.make !len 0 in
-    Array.blit h.buckets 0 b 0 (Array.length h.buckets);
-    h.buckets <- b
-  end;
+  ensure_buckets h (idx + 1);
   h.buckets.(idx) <- h.buckets.(idx) + 1;
   if h.n = 0 then begin
     h.h_min <- v;
@@ -127,13 +130,49 @@ let percentile h p =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Snapshots                                                            *)
+(* Merging                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let sorted_bindings t =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
     (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
+
+let merge ~into src =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c ->
+        let dst = counter into name in
+        dst.c <- dst.c + c.c
+      | G g ->
+        if g.g_set then begin
+          let dst = gauge into name in
+          if dst.g_set then set dst (Float.max dst.g g.g) else set dst g.g
+        end
+      | H h ->
+        let dst = histogram into name in
+        if h.n > 0 then begin
+          ensure_buckets dst (Array.length h.buckets);
+          Array.iteri
+            (fun i c -> if c > 0 then dst.buckets.(i) <- dst.buckets.(i) + c)
+            h.buckets;
+          if dst.n = 0 then begin
+            dst.h_min <- h.h_min;
+            dst.h_max <- h.h_max
+          end
+          else begin
+            dst.h_min <- min dst.h_min h.h_min;
+            dst.h_max <- max dst.h_max h.h_max
+          end;
+          dst.n <- dst.n + h.n;
+          dst.sum <- dst.sum +. h.sum
+        end)
+    (sorted_bindings src)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let hist_json h =
   Json.Obj

@@ -62,7 +62,31 @@ val percentile : histogram -> float -> int
     bound [x] such that at least [ceil (p/100 * count)] samples are
     [<= x] (see the precision note above).  0 when empty. *)
 
-(** {2 Snapshots} *)
+(** {2 Merging} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every metric of [src] into [into],
+    registering names absent from [into] on the fly.  The combination
+    is commutative and associative, so merging per-worker registries at
+    a parallel join yields the same registry regardless of worker count
+    or merge order:
+
+    - {b counters} add;
+    - {b gauges} keep the {e maximum} of the set values (max — not
+      last-write-wins — precisely so the result cannot depend on merge
+      order); a gauge never set in [src] contributes nothing;
+    - {b histograms} add bucket-wise, so [count], [mean] and every
+      percentile of the merged histogram are those of the union of the
+      observations (within the usual bucket precision).
+
+    Raises [Invalid_argument] if a name is registered with different
+    metric kinds in the two registries.  [src] is not modified. *)
+
+(** {2 Snapshots}
+
+    Snapshots are {e order-stable}: metrics are emitted sorted by name,
+    independent of registration or merge order, so dumps of merged
+    multi-worker registries diff cleanly across runs. *)
 
 val to_json : t -> Json.t
 (** The whole registry as one object:

@@ -95,7 +95,88 @@ let build_system cfg ~seed:_ =
   in
   (env, init, rec_, procs)
 
-let run ?metrics cfg =
+(* One seeded schedule, end to end: simulate, collect the history, run
+   every checker.  Self-contained (its own [Sim.create]) and so safe to
+   farm across domains; [ro_example] is rendered eagerly because the
+   parallel merge has no way to go back and ask for it. *)
+type run_outcome = {
+  ro_stuck : bool;
+  ro_ops : int;
+  ro_flagged : bool;
+  ro_generic_fail : bool;
+  ro_witness_fail : bool;
+  ro_disagreement : bool;
+  ro_example : string option;
+}
+
+let run_one worker_metrics cfg i =
+  let seed = cfg.base_seed + i in
+  let env, init, rec_, procs = build_system cfg ~seed in
+  match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs with
+  | exception Sim.Stuck _ ->
+    {
+      ro_stuck = true;
+      ro_ops = 0;
+      ro_flagged = false;
+      ro_generic_fail = false;
+      ro_witness_fail = false;
+      ro_disagreement = false;
+      ro_example = None;
+    }
+  | (_ : Sim.stats) ->
+    let h = Composite.Snapshot.history rec_ in
+    let ops = History.Snapshot_history.size h in
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram worker_metrics "campaign.ops_per_run")
+      ops;
+    let violations = History.Shrinking.check ~equal:Int.equal h in
+    let shrinking_ok = violations = [] in
+    let witness_ok =
+      match History.Shrinking.witness ~equal:Int.equal h with
+      | Ok _ -> true
+      | Error _ -> false
+    in
+    let generic_ok =
+      if not cfg.check_generic then true
+      else
+        match
+          History.Linearize.check
+            (History.Linearize.snapshot_spec ~equal:Int.equal)
+            ~init
+            (History.Snapshot_history.to_ops h)
+        with
+        | History.Linearize.Linearizable _ -> true
+        | History.Linearize.Not_linearizable -> false
+        | History.Linearize.Too_large -> true (* skipped *)
+    in
+    {
+      ro_stuck = false;
+      ro_ops = ops;
+      ro_flagged = not shrinking_ok;
+      ro_generic_fail = not generic_ok;
+      ro_witness_fail = shrinking_ok && not witness_ok;
+      ro_disagreement = shrinking_ok && not generic_ok;
+      ro_example =
+        (if shrinking_ok then None
+         else
+           Some
+             (Format.asprintf "%a@.%a"
+                (Format.pp_print_list History.Shrinking.pp_violation)
+                violations
+                (History.Snapshot_history.pp string_of_int)
+                h));
+    }
+
+let run ?(jobs = 1) ?pool ?metrics cfg =
+  let outcomes, workers =
+    Exec.Pool.map_workers ~jobs ?recorder:pool
+      ~label:(fun i -> Printf.sprintf "sched seed=%d" (cfg.base_seed + i))
+      ~worker:Obs.Metrics.create cfg.schedules
+      (fun m i -> run_one m cfg i)
+  in
+  (* The merge walks outcomes in schedule-index order, so the totals —
+     and in particular which flagged run supplies [example] — are the
+     same for every job count. *)
   let flagged = ref 0 in
   let generic_failures = ref 0 in
   let witness_failures = ref 0 in
@@ -103,49 +184,18 @@ let run ?metrics cfg =
   let disagreements = ref 0 in
   let ops = ref 0 in
   let example = ref None in
-  for i = 0 to cfg.schedules - 1 do
-    let seed = cfg.base_seed + i in
-    let env, init, rec_, procs = build_system cfg ~seed in
-    match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs with
-    | exception Sim.Stuck _ -> incr stuck
-    | (_ : Sim.stats) ->
-      let h = Composite.Snapshot.history rec_ in
-      ops := !ops + History.Snapshot_history.size h;
-      let violations = History.Shrinking.check ~equal:Int.equal h in
-      let shrinking_ok = violations = [] in
-      let witness_ok =
-        match History.Shrinking.witness ~equal:Int.equal h with
-        | Ok _ -> true
-        | Error _ -> false
-      in
-      let generic_ok =
-        if not cfg.check_generic then true
-        else
-          match
-            History.Linearize.check
-              (History.Linearize.snapshot_spec ~equal:Int.equal)
-              ~init
-              (History.Snapshot_history.to_ops h)
-          with
-          | History.Linearize.Linearizable _ -> true
-          | History.Linearize.Not_linearizable -> false
-          | History.Linearize.Too_large -> true (* skipped *)
-      in
-      if not shrinking_ok then begin
+  Array.iter
+    (fun o ->
+      if o.ro_stuck then incr stuck;
+      ops := !ops + o.ro_ops;
+      if o.ro_flagged then begin
         incr flagged;
-        if !example = None then
-          example :=
-            Some
-              (Format.asprintf "%a@.%a"
-                 (Format.pp_print_list History.Shrinking.pp_violation)
-                 violations
-                 (History.Snapshot_history.pp string_of_int)
-                 h)
+        if !example = None then example := o.ro_example
       end;
-      if not generic_ok then incr generic_failures;
-      if shrinking_ok && not witness_ok then incr witness_failures;
-      if shrinking_ok && not generic_ok then incr disagreements
-  done;
+      if o.ro_generic_fail then incr generic_failures;
+      if o.ro_witness_fail then incr witness_failures;
+      if o.ro_disagreement then incr disagreements)
+    outcomes;
   let result =
     {
       runs = cfg.schedules;
@@ -161,6 +211,7 @@ let run ?metrics cfg =
   (match metrics with
   | None -> ()
   | Some m ->
+    List.iter (fun w -> Obs.Metrics.merge ~into:m w) workers;
     let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
     c "campaign.runs" result.runs;
     c "campaign.ops_checked" result.ops_checked;

@@ -55,12 +55,25 @@ type result = {
   example : string option;  (** rendering of one flagged history *)
 }
 
-val run : ?metrics:Obs.Metrics.t -> config -> result
-(** Run the campaign.  When [metrics] is given, the result is also
-    accumulated into counters [campaign.runs], [campaign.ops_checked],
+val run :
+  ?jobs:int -> ?pool:Exec.Pool.recorder -> ?metrics:Obs.Metrics.t ->
+  config -> result
+(** Run the campaign.
+
+    [jobs] (default 1) schedules are farmed over that many domains via
+    {!Exec.Pool}; results are keyed by schedule index and merged in
+    index order, so the returned record — including which flagged run
+    supplies [example] — is identical for every job count.  [pool]
+    records per-schedule worker spans for the Chrome trace exporter.
+
+    When [metrics] is given, the result is also accumulated into
+    counters [campaign.runs], [campaign.ops_checked],
     [campaign.flagged_runs], [campaign.generic_failures],
     [campaign.witness_failures], [campaign.stuck_runs] and
-    [campaign.disagreements] (additive across calls). *)
+    [campaign.disagreements], and per-run history sizes into histogram
+    [campaign.ops_per_run] (additive across calls).  Workers observe
+    into private registries that are {!Obs.Metrics.merge}d at the join,
+    so the metrics too are independent of [jobs]. *)
 
 val pp_result : Format.formatter -> result -> unit
 

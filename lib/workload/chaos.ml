@@ -459,70 +459,89 @@ type report = {
   total_stuck : int;
 }
 
-let run ?metrics cfg =
-  let sched_hist =
-    Option.map
-      (fun m -> Obs.Metrics.histogram m "chaos.schedule_entries")
-      metrics
+let case_of (cfg : config) impl prof i =
+  {
+    impl;
+    prof;
+    components = cfg.components;
+    readers = cfg.readers;
+    writes_per_writer = cfg.writes_per_writer;
+    scans_per_reader = cfg.scans_per_reader;
+    fault_seed = cfg.base_seed + i;
+  }
+
+let run ?(jobs = 1) ?pool ?metrics cfg =
+  (* Flatten the {impl × profile × seed} sweep into one task list so the
+     pool can shard it: task [t] is seed index [t mod seeds] of cell
+     [t / seeds].  Each task is a fully independent simulation run;
+     minimization is deferred to the sequential merge below so that
+     "first failing seed of each cell" means the same thing at every
+     job count. *)
+  let cells_spec =
+    List.concat_map
+      (fun impl -> List.map (fun prof -> (impl, prof)) cfg.profiles)
+      cfg.impls
+    |> Array.of_list
+  in
+  let ncells = Array.length cells_spec in
+  let results, workers =
+    Exec.Pool.map_workers ~jobs ?recorder:pool
+      ~label:(fun t ->
+        let impl, prof = cells_spec.(t / cfg.seeds) in
+        Printf.sprintf "%s/%s seed=%d" (Campaign.impl_name impl) prof.label
+          (cfg.base_seed + (t mod cfg.seeds)))
+      ~worker:Obs.Metrics.create
+      (ncells * cfg.seeds)
+      (fun m t ->
+        let impl, prof = cells_spec.(t / cfg.seeds) in
+        let i = t mod cfg.seeds in
+        let case = case_of cfg impl prof i in
+        (* Alternate uniform-random and starvation scheduling so every
+           cell sees both kinds of adversary. *)
+        let policy =
+          if i mod 2 = 0 then Schedule.Random case.fault_seed
+          else Schedule.Starving case.fault_seed
+        in
+        let r = exec ~max_steps:cfg.max_steps case (Record policy) in
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram m "chaos.schedule_entries")
+          (Array.length r.schedule);
+        r)
   in
   let cells =
-    List.concat_map
-      (fun impl ->
-        List.map
-          (fun prof ->
-            let flagged = ref 0 in
-            let stuck = ref 0 in
-            let fired = ref 0 in
-            let cx = ref None in
-            for i = 0 to cfg.seeds - 1 do
-              let seed = cfg.base_seed + i in
-              let case =
-                {
-                  impl;
-                  prof;
-                  components = cfg.components;
-                  readers = cfg.readers;
-                  writes_per_writer = cfg.writes_per_writer;
-                  scans_per_reader = cfg.scans_per_reader;
-                  fault_seed = seed;
-                }
-              in
-              (* Alternate uniform-random and starvation scheduling so
-                 every cell sees both kinds of adversary. *)
-              let policy =
-                if i mod 2 = 0 then Schedule.Random seed
-                else Schedule.Starving seed
-              in
-              let r = exec ~max_steps:cfg.max_steps case (Record policy) in
-              Option.iter
-                (fun h -> Obs.Metrics.observe h (Array.length r.schedule))
-                sched_hist;
-              fired := !fired + r.fired;
-              (match r.outcome with
-              | Passed | Diverged _ -> ()
-              | Stuck_run _ -> incr stuck
-              | Flagged _ -> incr flagged);
-              if
-                !cx = None && cfg.minimize_budget > 0
-                && outcome_failed r.outcome
-                (* Minimization replays via Scripted, so only schedules
-                   that replay deterministically qualify; recorded
-                   schedules always do. *)
-              then
-                cx :=
-                  Some (minimize ~budget:cfg.minimize_budget case ~script:r.schedule)
-            done;
-            {
-              cell_impl = impl;
-              cell_profile = prof;
-              runs = cfg.seeds;
-              flagged = !flagged;
-              stuck = !stuck;
-              faults_fired = !fired;
-              counterexample = !cx;
-            })
-          cfg.profiles)
-      cfg.impls
+    List.init ncells (fun ci ->
+        let impl, prof = cells_spec.(ci) in
+        let flagged = ref 0 in
+        let stuck = ref 0 in
+        let fired = ref 0 in
+        let cx = ref None in
+        for i = 0 to cfg.seeds - 1 do
+          let r = results.((ci * cfg.seeds) + i) in
+          fired := !fired + r.fired;
+          (match r.outcome with
+          | Passed | Diverged _ -> ()
+          | Stuck_run _ -> incr stuck
+          | Flagged _ -> incr flagged);
+          if !cx = None && cfg.minimize_budget > 0 && outcome_failed r.outcome
+            (* Minimization replays via Scripted, so only schedules
+               that replay deterministically qualify; recorded
+               schedules always do. *)
+          then
+            cx :=
+              Some
+                (minimize ~budget:cfg.minimize_budget
+                   (case_of cfg impl prof i)
+                   ~script:r.schedule)
+        done;
+        {
+          cell_impl = impl;
+          cell_profile = prof;
+          runs = cfg.seeds;
+          flagged = !flagged;
+          stuck = !stuck;
+          faults_fired = !fired;
+          counterexample = !cx;
+        })
   in
   let report =
     {
@@ -535,6 +554,7 @@ let run ?metrics cfg =
   (match metrics with
   | None -> ()
   | Some m ->
+    List.iter (fun w -> Obs.Metrics.merge ~into:m w) workers;
     let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
     c "chaos.runs" report.total_runs;
     c "chaos.flagged" report.total_flagged;

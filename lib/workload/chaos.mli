@@ -156,11 +156,25 @@ type report = {
   total_stuck : int;
 }
 
-val run : ?metrics:Obs.Metrics.t -> config -> report
-(** Run the full sweep.  When [metrics] is given, totals are also
-    accumulated into counters [chaos.runs], [chaos.flagged],
-    [chaos.stuck], [chaos.faults_fired], [chaos.minimize_replays], and
-    per-run schedule lengths into histogram [chaos.schedule_entries]
-    (all additive across calls). *)
+val run :
+  ?jobs:int -> ?pool:Exec.Pool.recorder -> ?metrics:Obs.Metrics.t ->
+  config -> report
+(** Run the full sweep.
+
+    [jobs] (default 1) shards the flattened {impl × profile × seed}
+    task list over that many domains via {!Exec.Pool}; per-run results
+    are keyed by task index and folded back per cell in seed order, and
+    minimization runs sequentially at the merge on the first failing
+    seed of each cell — so the report (counterexamples included) is
+    identical for every job count.  [pool] records per-run worker spans
+    for the Chrome trace exporter.
+
+    When [metrics] is given, totals are also accumulated into counters
+    [chaos.runs], [chaos.flagged], [chaos.stuck], [chaos.faults_fired],
+    [chaos.minimize_replays], and per-run schedule lengths into
+    histogram [chaos.schedule_entries] (all additive across calls).
+    Workers observe into private registries that are
+    {!Obs.Metrics.merge}d at the join, so the metrics too are
+    independent of [jobs]. *)
 
 val pp_report : Format.formatter -> report -> unit

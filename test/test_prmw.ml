@@ -216,6 +216,7 @@ let vspec : (int, vin, vout) History.Linearize.spec =
         | V_add d -> (st + d, V_done)
         | V_read -> (st, V_val st));
     equal_output = (fun a b -> a = b);
+    equal_state = Int.equal;
   }
 
 let test_versioned_sequential () =
