@@ -14,6 +14,11 @@
          domains (--jobs), with verdicts and merged metrics asserted
          bit-identical to the sequential run, plus the indexed vs
          naive Shrinking-checker speedup.
+   E16 — Message complexity of the ABD network backend: solo register
+         ops meet the two-round bound (2n / 4n messages) exactly,
+         composite ops decompose into 4n*reads + 2n*writes, and the
+         net chaos fault envelope holds (in-model faults clean,
+         broken quorum caught).
 
    Counts (E1-E6, E9) are deterministic and compared against the paper
    exactly; wall-clock numbers (E7, E8, E15 timings) are
@@ -862,6 +867,194 @@ let e15 () =
     agree
 
 (* ------------------------------------------------------------------ *)
+(* E16                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Message complexity of the ABD network backend.  Solo register
+   operations meet the two-round bound exactly (write = 2n messages,
+   read = 4n); composite operations decompose exactly into their
+   register accesses, so  msgs = 4n*reads + 2n*writes  with the
+   read/write split taken from the emulation's own counters.  The
+   shared-memory access count for the same operation (Meter) is the
+   comparison column: over message passing every one of those accesses
+   costs 2n or 4n messages. *)
+let e16 ~jobs () =
+  section "E16: message complexity — ABD network backend vs shared memory";
+  let t =
+    Workload.Table.create
+      ~header:[ "replicas"; "write msgs"; "= 2n"; "read msgs"; "= 4n" ]
+  in
+  List.iter
+    (fun n ->
+      let env = Net.Sim.create ~replicas:n ~seed:16 () in
+      let abd = Net.Abd.create env in
+      let mem = Net.Abd.memory abd in
+      let cellr = ref None in
+      let s_w =
+        Net.Sim.run env
+          [|
+            (fun () ->
+              let c = mem.Csim.Memory.make ~name:"x" ~bits:64 0 in
+              cellr := Some c;
+              c.Csim.Memory.write 1);
+          |]
+      in
+      let s_r =
+        Net.Sim.run env
+          [| (fun () -> ignore ((Option.get !cellr).Csim.Memory.read ())) |]
+      in
+      assert (s_w.Net.Sim.sent = 2 * n);
+      assert (s_r.Net.Sim.sent = 4 * n);
+      Workload.Table.add_row t
+        [
+          string_of_int n;
+          string_of_int s_w.Net.Sim.sent;
+          Workload.Table.cell_bool (s_w.Net.Sim.sent = 2 * n);
+          string_of_int s_r.Net.Sim.sent;
+          Workload.Table.cell_bool (s_r.Net.Sim.sent = 4 * n);
+        ];
+      Record.row "E16"
+        [
+          ("kind", Obs.Json.Str "solo_register");
+          ("replicas", Obs.Json.Int n);
+          ("write_msgs", Obs.Json.Int s_w.Net.Sim.sent);
+          ("read_msgs", Obs.Json.Int s_r.Net.Sim.sent);
+          ( "matches_bound",
+            Obs.Json.Bool (s_w.Net.Sim.sent = 2 * n && s_r.Net.Sim.sent = 4 * n)
+          );
+        ])
+    [ 3; 5; 7 ];
+  Workload.Table.print t;
+  (* Composite operations over the net backend, n = 3. *)
+  let n = 3 in
+  let t2 =
+    Workload.Table.create
+      ~header:
+        [
+          "impl"; "C"; "R"; "op"; "shm accesses"; "reg reads"; "reg writes";
+          "net msgs"; "= 4nR+2nW";
+        ]
+  in
+  List.iter
+    (fun (impl, c, r) ->
+      let env = Net.Sim.create ~replicas:n ~seed:16 () in
+      let abd = Net.Abd.create env in
+      let mem = Net.Abd.memory abd in
+      let init = Array.init c (fun k -> k) in
+      let handle =
+        match impl with
+        | Workload.Campaign.Impl_anderson ->
+          Composite.Anderson.handle
+            (Composite.Anderson.create mem ~readers:r ~bits_per_value:64 ~init)
+        | _ -> Composite.Afek.create mem ~bits_per_value:64 ~init
+      in
+      (* Warm as Meter does: one Write per component. *)
+      let (_ : Net.Sim.stats) =
+        Net.Sim.run env
+          [|
+            (fun () ->
+              for k = 0 to c - 1 do
+                ignore (handle.Composite.Snapshot.update ~writer:k (100 + k))
+              done);
+          |]
+      in
+      let measure op f =
+        let a = Net.Abd.stats abd in
+        let reads0 = a.Net.Abd.reads and writes0 = a.Net.Abd.writes in
+        let s = Net.Sim.run env [| f |] in
+        let reads = a.Net.Abd.reads - reads0
+        and writes = a.Net.Abd.writes - writes0 in
+        let predicted = (4 * n * reads) + (2 * n * writes) in
+        let shm =
+          match op with
+          | "scan" -> Workload.Meter.scan_cost impl ~c ~r
+          | _ -> Workload.Meter.update_cost impl ~c ~r ~writer:0
+        in
+        assert (s.Net.Sim.sent = predicted);
+        assert (reads + writes = shm);
+        Workload.Table.add_row t2
+          [
+            Workload.Campaign.impl_name impl;
+            string_of_int c;
+            string_of_int r;
+            op;
+            string_of_int shm;
+            string_of_int reads;
+            string_of_int writes;
+            string_of_int s.Net.Sim.sent;
+            Workload.Table.cell_bool (s.Net.Sim.sent = predicted);
+          ];
+        Record.row "E16"
+          [
+            ("kind", Obs.Json.Str "composite_op");
+            ("impl", Obs.Json.Str (Workload.Campaign.impl_name impl));
+            ("replicas", Obs.Json.Int n);
+            ("c", Obs.Json.Int c);
+            ("r", Obs.Json.Int r);
+            ("op", Obs.Json.Str op);
+            ("shm_accesses", Obs.Json.Int shm);
+            ("reg_reads", Obs.Json.Int reads);
+            ("reg_writes", Obs.Json.Int writes);
+            ("net_msgs", Obs.Json.Int s.Net.Sim.sent);
+            ( "matches_decomposition",
+              Obs.Json.Bool (s.Net.Sim.sent = predicted) );
+          ]
+      in
+      measure "scan" (fun () ->
+          ignore (handle.Composite.Snapshot.scan_items ~reader:0));
+      measure "update" (fun () ->
+          ignore (handle.Composite.Snapshot.update ~writer:0 4242)))
+    [
+      (Workload.Campaign.Impl_anderson, 2, 2);
+      (Workload.Campaign.Impl_anderson, 3, 2);
+      (Workload.Campaign.Impl_afek, 2, 2);
+      (Workload.Campaign.Impl_afek, 3, 2);
+    ];
+  Workload.Table.print t2;
+  (* The fault envelope, summarized: in-model network faults stay
+     clean, the broken quorum is caught. *)
+  let report =
+    Workload.Netchaos.run ~jobs ~metrics:Record.metrics
+      { Workload.Netchaos.default with minimize_budget = 800 }
+  in
+  let clean, broken =
+    List.partition
+      (fun (cell : Workload.Netchaos.cell) ->
+        not (Workload.Netchaos.broken_quorum cell.cell_profile))
+      report.Workload.Netchaos.cells
+  in
+  let sum f = List.fold_left (fun a c -> a + f c) 0 in
+  let clean_flagged =
+    sum (fun (c : Workload.Netchaos.cell) -> c.flagged) clean
+  in
+  let broken_flagged =
+    sum (fun (c : Workload.Netchaos.cell) -> c.flagged) broken
+  in
+  Record.row "E16"
+    [
+      ("kind", Obs.Json.Str "fault_envelope");
+      ( "clean_runs",
+        Obs.Json.Int (sum (fun (c : Workload.Netchaos.cell) -> c.runs) clean)
+      );
+      ("clean_flagged", Obs.Json.Int clean_flagged);
+      ( "broken_runs",
+        Obs.Json.Int (sum (fun (c : Workload.Netchaos.cell) -> c.runs) broken)
+      );
+      ("broken_flagged", Obs.Json.Int broken_flagged);
+      ("stuck", Obs.Json.Int report.Workload.Netchaos.total_stuck);
+    ];
+  Printf.printf
+    "\nnet chaos: %d in-model-fault runs flagged %d (must be 0); broken \
+     quorum flagged %d of %d (must be > 0); stuck %d\n"
+    (sum (fun (c : Workload.Netchaos.cell) -> c.runs) clean)
+    clean_flagged broken_flagged
+    (sum (fun (c : Workload.Netchaos.cell) -> c.runs) broken)
+    report.Workload.Netchaos.total_stuck;
+  assert (clean_flagged = 0);
+  assert (broken_flagged > 0);
+  assert (report.Workload.Netchaos.total_stuck = 0)
+
+(* ------------------------------------------------------------------ *)
 (* E7 / E8: wall-clock (Bechamel + domain throughput)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -898,7 +1091,7 @@ let e7 () =
   let init = Array.make c 0 in
   let anderson = Composite.Multicore.anderson ~readers:1 ~init in
   let afek = Composite.Multicore.afek ~init in
-  let locked = Composite.Multicore.locked ~init in
+  let locked = Composite.Multicore.locked ~readers:1 ~init in
   let unsafe = Composite.Multicore.unsafe_collect ~init in
   let mk_pair label handle =
     [
@@ -998,7 +1191,7 @@ let e7 () =
     [
       ("anderson", fun () -> Composite.Multicore.anderson ~readers:1 ~init:(Array.make 3 0));
       ("afek", fun () -> Composite.Multicore.afek ~init:(Array.make 3 0));
-      ("locked", fun () -> Composite.Multicore.locked ~init:(Array.make 3 0));
+      ("locked", fun () -> Composite.Multicore.locked ~readers:1 ~init:(Array.make 3 0));
     ];
   Workload.Table.print t;
   Printf.printf
@@ -1092,6 +1285,7 @@ let () =
   e13 ~jobs ();
   e14 ();
   e15 ();
+  e16 ~jobs ();
   if not quick then begin
     e7 ();
     e8 ()

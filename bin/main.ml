@@ -55,9 +55,59 @@ let with_pool_trace pool_trace f =
 (* verify                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let verify impl components readers writes scans schedules seed jobs pool_trace
-    exhaustive =
+(* Net flags imply the net backend, so `verify --replicas 5 --crash 1`
+   does what it says without an explicit --backend. *)
+let resolve_backend backend replicas crash loss =
+  match backend with
+  | Some "shm" -> Workload.Campaign.Backend_shm
+  | Some "net" | None
+    when backend = Some "net" || replicas <> None || crash > 0 || loss > 0.0 ->
+    Workload.Campaign.Backend_net
+      { replicas = Option.value replicas ~default:5; crash; loss }
+  | None -> Workload.Campaign.Backend_shm
+  | Some other ->
+    raise (Invalid_argument (Printf.sprintf "unknown backend %S" other))
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("shm", "shm"); ("net", "net") ])) None
+    & info [ "backend" ] ~docv:"shm|net"
+        ~doc:
+          "Register backend: shared-memory simulator cells, or ABD quorum \
+           emulation over the simulated message-passing network.  Giving \
+           any of --replicas/--crash/--loss implies net.")
+
+let replicas_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:"Server replicas for the net backend (default 5).")
+
+let crash_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crash" ] ~docv:"F"
+        ~doc:
+          "Replicas that crash-stop mid-run (net backend); must keep a \
+           majority alive (F < N/2).")
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Per-message loss probability in [0,1) (net backend).")
+
+let verify impl backend replicas crash loss components readers writes scans
+    schedules seed jobs pool_trace exhaustive =
+  let backend = resolve_backend backend replicas crash loss in
   if exhaustive then begin
+    (if backend <> Workload.Campaign.Backend_shm then begin
+       prerr_endline
+         "verify --exhaustive explores shared-memory interleavings only";
+       exit 2
+     end);
     Printf.printf
       "exhaustively exploring all interleavings: impl=%s C=%d R=%d writes=%d \
        scans=%d\n\
@@ -81,6 +131,7 @@ let verify impl components readers writes scans schedules seed jobs pool_trace
     let cfg =
       {
         Workload.Campaign.impl;
+        backend;
         components;
         readers;
         writes_per_writer = writes;
@@ -90,10 +141,13 @@ let verify impl components readers writes scans schedules seed jobs pool_trace
         check_generic = components * (writes + scans) <= 40;
       }
     in
+    (* No [jobs] in the banner: the whole point of the sharded campaign
+       is that its output is bit-identical at every job count. *)
     Printf.printf
-      "randomized campaign: impl=%s C=%d R=%d ops/proc=%d/%d jobs=%d\n%!"
+      "randomized campaign: impl=%s backend=%s C=%d R=%d ops/proc=%d/%d\n%!"
       (Workload.Campaign.impl_name impl)
-      components readers writes scans jobs;
+      (Workload.Campaign.backend_name backend)
+      components readers writes scans;
     let r =
       with_pool_trace pool_trace (fun pool ->
           Workload.Campaign.run ~jobs ~pool cfg)
@@ -141,8 +195,9 @@ let verify_cmd =
          "Check linearizability over many schedules (Shrinking Lemma + \
           generic oracle); experiment E6.")
     Term.(
-      const verify $ impl $ components $ readers $ writes $ scans $ schedules
-      $ seed $ jobs_arg $ pool_trace_arg $ exhaustive)
+      const verify $ impl $ backend_arg $ replicas_arg $ crash_arg $ loss_arg
+      $ components $ readers $ writes $ scans $ schedules $ seed $ jobs_arg
+      $ pool_trace_arg $ exhaustive)
 
 (* ------------------------------------------------------------------ *)
 (* complexity (E2/E3)                                                   *)
@@ -912,6 +967,237 @@ let chaos_cmd =
       $ base_seed $ faults $ profiles $ minimize_budget $ jobs_arg
       $ pool_trace_arg $ expect_clean $ expect_flagged $ replay)
 
+(* ------------------------------------------------------------------ *)
+(* net                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let net impls replicas crash loss broken_quorum components readers writes
+    scans seeds base_seed profile_names minimize_budget timeline jobs
+    pool_trace expect_clean expect_flagged replay =
+  match replay with
+  | Some script -> begin
+    match Workload.Netchaos.cx_of_string script with
+    | Error msg ->
+      Printf.eprintf "cannot parse replay script: %s\n" msg;
+      exit 2
+    | Ok cx ->
+      let outcome =
+        Workload.Netchaos.replay cx.Workload.Netchaos.cx_case
+          ~script:cx.Workload.Netchaos.cx_script
+      in
+      (match outcome with
+      | Workload.Chaos.Passed ->
+        print_endline "replay: passed (no violation reproduced)";
+        exit 1
+      | Workload.Chaos.Diverged msg ->
+        Printf.printf "replay: script diverged (%s)\n" msg;
+        exit 1
+      | Workload.Chaos.Stuck_run msg ->
+        Printf.printf "replay: reproduced a progress failure: %s\n" msg
+      | Workload.Chaos.Flagged vs ->
+        Printf.printf "replay: reproduced %d violation(s):\n" (List.length vs);
+        List.iter
+          (fun v -> Format.printf "  %a@." History.Shrinking.pp_violation v)
+          vs)
+  end
+  | None ->
+    let impls =
+      if impls = [] then
+        [ Workload.Campaign.Impl_anderson; Workload.Campaign.Impl_afek ]
+      else impls
+    in
+    let profiles =
+      if crash > 0 || loss > 0.0 || broken_quorum then
+        (* Explicit knobs build one ad-hoc profile: the last [crash]
+           replicas stop early, each message lost with prob [loss]. *)
+        [
+          Workload.Netchaos.profile "cli" ~loss
+            ~crashes:(List.init crash (fun j -> (replicas - 1 - j, 3 + j)))
+            ?quorum:(if broken_quorum then Some 1 else None);
+        ]
+      else
+        let all = Workload.Netchaos.default_profiles ~replicas in
+        (match profile_names with
+        | [] -> all
+        | names ->
+          List.filter
+            (fun (p : Workload.Netchaos.profile) -> List.mem p.label names)
+            all)
+    in
+    if profiles = [] then begin
+      Printf.eprintf "no profile matched (known: %s)\n"
+        (String.concat ", "
+           (List.map
+              (fun (p : Workload.Netchaos.profile) -> p.label)
+              (Workload.Netchaos.default_profiles ~replicas)));
+      exit 2
+    end;
+    let cfg =
+      {
+        Workload.Netchaos.default with
+        impls;
+        profiles;
+        replicas;
+        components;
+        readers;
+        writes_per_writer = writes;
+        scans_per_reader = scans;
+        seeds;
+        base_seed;
+        minimize_budget;
+      }
+    in
+    (* No [jobs] in the banner: output is bit-identical at every job
+       count, and the CI legs diff it. *)
+    Printf.printf
+      "net chaos campaign: %d impl(s) x %d profile(s) x %d seed(s), n=%d \
+       replicas, C=%d R=%d ops/proc=%d/%d\n\n\
+       %!"
+      (List.length impls) (List.length profiles) seeds replicas components
+      readers writes scans;
+    let r =
+      with_pool_trace pool_trace (fun pool ->
+          Workload.Netchaos.run ~jobs ~pool cfg)
+    in
+    Format.printf "%a@." Workload.Netchaos.pp_report r;
+    List.iter
+      (fun (c : Workload.Netchaos.cell) ->
+        match c.counterexample with
+        | Some cx ->
+          Format.printf "@.%a@." Workload.Netchaos.pp_counterexample cx
+        | None -> ())
+      r.cells;
+    (match timeline with
+    | None -> ()
+    | Some path ->
+      (* One representative logged run: first impl, first profile,
+         base seed. *)
+      let case =
+        {
+          Workload.Netchaos.impl = List.hd impls;
+          prof = List.hd profiles;
+          replicas;
+          components;
+          readers;
+          writes_per_writer = writes;
+          scans_per_reader = scans;
+          seed = base_seed;
+        }
+      in
+      let tr =
+        Workload.Netchaos.export_timeline ~pp:Net.Abd.payload_label case ~path
+      in
+      Printf.printf "wrote message timeline (%d sent, %d delivered) to %s\n"
+        tr.Workload.Netchaos.net.Net.Sim.sent
+        tr.Workload.Netchaos.net.Net.Sim.delivered path);
+    if expect_clean && (r.total_flagged > 0 || r.total_stuck > 0) then exit 1;
+    if expect_flagged && r.total_flagged = 0 then exit 1
+
+let net_cmd =
+  let impls =
+    Arg.(
+      value & opt_all impl_conv []
+      & info [ "impl" ]
+          ~doc:"Implementation(s) to run over the network (default: \
+                anderson, afek).")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~docv:"N" ~doc:"Server replicas.")
+  in
+  let crash =
+    Arg.(
+      value & opt int 0
+      & info [ "crash" ] ~docv:"F"
+          ~doc:
+            "Crash-stop the last F replicas mid-run (ad-hoc profile; must \
+             keep a majority alive).")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Per-message loss probability in [0,1) (ad-hoc profile).")
+  in
+  let broken_quorum =
+    Arg.(
+      value & flag
+      & info [ "broken-quorum" ]
+          ~doc:
+            "Negative control: force quorum size 1, voiding the ABD \
+             intersection argument; the checkers must catch it.")
+  in
+  let components =
+    Arg.(value & opt int 2 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let writes =
+    Arg.(value & opt int 2 & info [ "writes" ] ~doc:"Writes per writer.")
+  in
+  let scans =
+    Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
+  in
+  let seeds =
+    Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeds per (impl, profile).")
+  in
+  let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  let profiles =
+    Arg.(
+      value & opt_all string []
+      & info [ "profile" ]
+          ~doc:
+            "Network fault profile(s) from the default taxonomy (repeatable; \
+             default: all).  Overridden by --crash/--loss/--broken-quorum.")
+  in
+  let minimize_budget =
+    Arg.(
+      value & opt int 3000
+      & info [ "minimize-budget" ]
+          ~doc:"Replays the counterexample minimizer may spend (0 disables).")
+  in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Export one run's message timeline (sends, deliveries, drops, \
+             timeouts, per-endpoint tracks) as Chrome trace-event JSON.")
+  in
+  let expect_clean =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:"Exit nonzero if any run is flagged or stuck.")
+  in
+  let expect_flagged =
+    Arg.(
+      value & flag
+      & info [ "expect-flagged" ]
+          ~doc:"Exit nonzero if no run is flagged (negative-control mode).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ]
+          ~doc:"Replay a minimized counterexample script verbatim and report.")
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Run the composite constructions over the message-passing backend \
+          (ABD quorum emulation on a simulated crash-prone network) under \
+          message loss, reordering and replica crashes; flagged runs are \
+          delta-debugged over the message schedule to a minimal replayable \
+          counterexample.")
+    Term.(
+      const net $ impls $ replicas $ crash $ loss $ broken_quorum $ components
+      $ readers $ writes $ scans $ seeds $ base_seed $ profiles
+      $ minimize_budget $ timeline $ jobs_arg $ pool_trace_arg $ expect_clean
+      $ expect_flagged $ replay)
+
 let fullstack_cmd =
   let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in
   Cmd.v
@@ -939,5 +1225,5 @@ let () =
           [
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
-            mutants_cmd; trace_cmd; chaos_cmd; profile_cmd;
+            mutants_cmd; trace_cmd; chaos_cmd; net_cmd; profile_cmd;
           ]))

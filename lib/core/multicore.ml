@@ -20,7 +20,8 @@ let multi_writer ~components ~writers_per_component ~readers ~init =
   in
   Multi_writer.create factory ~components ~writers_per_component ~readers ~init
 
-let locked ~init =
+let locked ~readers ~init =
+  if readers < 1 then invalid_arg "Multicore.locked: readers must be >= 1";
   let mutex = Mutex.create () in
   let c = Array.length init in
   let store = Array.map Item.initial init in
@@ -39,7 +40,7 @@ let locked ~init =
     Mutex.unlock mutex;
     id
   in
-  { Snapshot.components = c; readers = max_int; scan_items; update }
+  { Snapshot.components = c; readers; scan_items; update }
 
 let tick_clock () =
   let counter = Atomic.make 0 in

@@ -22,10 +22,13 @@ val multi_writer :
     the Afek-style snapshot, whose polynomial scans suit the [C * W]
     slot count). *)
 
-val locked : init:'a array -> 'a Snapshot.t
+val locked : readers:int -> init:'a array -> 'a Snapshot.t
 (** Mutex-protected array: scans and updates serialize.  Linearizable
     but blocking — the E7 baseline the wait-free constructions are
-    compared against. *)
+    compared against.  The mutex supports any number of readers, but
+    the handle reports the [readers] the caller declares (rather than a
+    [max_int] sentinel) so code sizing per-reader state from
+    [Snapshot.readers] stays honest. *)
 
 val tick_clock : unit -> (unit -> int)
 (** A fetch-and-add logical clock.  Timestamps taken before and after an

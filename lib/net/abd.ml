@@ -1,0 +1,202 @@
+type Sim.payload +=
+  | Read_req of { reg : int; rid : int }
+  | Read_ack of { reg : int; rid : int; ts : int; v : exn }
+  | Write_req of { reg : int; rid : int; ts : int; v : exn }
+  | Write_ack of { reg : int; rid : int }
+
+let payload_label = function
+  | Read_req { reg; _ } -> Printf.sprintf "rd?%d" reg
+  | Read_ack { reg; ts; _ } -> Printf.sprintf "rd!%d@%d" reg ts
+  | Write_req { reg; ts; _ } -> Printf.sprintf "wr?%d@%d" reg ts
+  | Write_ack { reg; _ } -> Printf.sprintf "wr!%d" reg
+  | _ -> "msg"
+
+type quorum = Majority | Fixed of int
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable rounds : int;
+  mutable retransmits : int;
+  mutable phase_wait_total : int;
+  mutable phase_wait_max : int;
+}
+
+type t = {
+  env : Sim.env;
+  n : int;
+  q : int;
+  stores : (int, int * exn) Hashtbl.t array;
+      (* per replica: register id -> (timestamp, value) *)
+  mutable next_reg : int;
+  mutable next_rid : int;
+  stats : stats;
+  on_phase : wait:int -> unit;
+}
+
+let quorum_size t = t.q
+let stats t = t.stats
+
+let create ?(quorum = Majority) ?(on_phase = fun ~wait:_ -> ()) env =
+  let n = Sim.replicas env in
+  let q =
+    match quorum with
+    | Majority -> (n / 2) + 1
+    | Fixed k ->
+      if k < 1 || k > n then
+        invalid_arg
+          (Printf.sprintf "Net.Abd.create: quorum %d not in 1..%d" k n);
+      k
+  in
+  let t =
+    {
+      env;
+      n;
+      q;
+      stores = Array.init n (fun _ -> Hashtbl.create 16);
+      next_reg = 0;
+      next_rid = 0;
+      stats =
+        {
+          reads = 0;
+          writes = 0;
+          rounds = 0;
+          retransmits = 0;
+          phase_wait_total = 0;
+          phase_wait_max = 0;
+        };
+      on_phase;
+    }
+  in
+  Sim.set_handler env (fun ~replica ~src payload ->
+      let store = t.stores.(replica) in
+      match payload with
+      | Read_req { reg; rid } ->
+        let ts, v = Hashtbl.find store reg in
+        [ (src, Read_ack { reg; rid; ts; v }) ]
+      | Write_req { reg; rid; ts; v } ->
+        (* Timestamp rule: adopt strictly newer values only. *)
+        let ts0, _ = Hashtbl.find store reg in
+        if ts > ts0 then Hashtbl.replace store reg (ts, v);
+        [ (src, Write_ack { reg; rid }) ]
+      | _ -> []);
+  t
+
+let fresh_rid t =
+  let r = t.next_rid in
+  t.next_rid <- r + 1;
+  r
+
+(* One quorum phase: broadcast [payload] to every replica not yet heard
+   from, then consume deliveries until [q] distinct replicas have acked
+   (matched by [on_ack]); a timeout retransmits to the laggards.  Acks
+   are counted per replica, so duplicates from retransmission are
+   harmless. *)
+let phase t payload ~on_ack =
+  t.stats.rounds <- t.stats.rounds + 1;
+  let started = Sim.now t.env in
+  let acked = Array.make t.n false in
+  let count = ref 0 in
+  let send_round () =
+    for r = 0 to t.n - 1 do
+      if not acked.(r) then Sim.send r payload
+    done
+  in
+  send_round ();
+  while !count < t.q do
+    match Sim.recv () with
+    | None ->
+      t.stats.retransmits <- t.stats.retransmits + 1;
+      send_round ()
+    | Some pkt -> (
+      match pkt.Sim.src with
+      | Sim.Replica r when not acked.(r) ->
+        if on_ack pkt.Sim.payload then begin
+          acked.(r) <- true;
+          incr count
+        end
+      | _ -> ())
+  done;
+  let wait = Sim.now t.env - started in
+  t.stats.phase_wait_total <- t.stats.phase_wait_total + wait;
+  if wait > t.stats.phase_wait_max then t.stats.phase_wait_max <- wait;
+  t.on_phase ~wait
+
+let write_phase t reg ~ts ~v =
+  let rid = fresh_rid t in
+  phase t
+    (Write_req { reg; rid; ts; v })
+    ~on_ack:(function Write_ack w -> w.rid = rid | _ -> false)
+
+(* SWMR write: one round.  [wts] is the writer's private timestamp
+   counter for this register. *)
+let write t reg wts v =
+  t.stats.writes <- t.stats.writes + 1;
+  incr wts;
+  write_phase t reg ~ts:!wts ~v
+
+(* Read: query round picks the maximum-timestamp value a quorum knows,
+   then a write-back round makes that value known to a quorum before
+   returning — the step that makes reads atomic rather than merely
+   regular (no new/old inversion between non-overlapping reads). *)
+let read t reg =
+  t.stats.reads <- t.stats.reads + 1;
+  let rid = fresh_rid t in
+  let best_ts = ref (-1) in
+  let best_v = ref None in
+  phase t
+    (Read_req { reg; rid })
+    ~on_ack:(function
+      | Read_ack a when a.rid = rid ->
+        if a.ts > !best_ts then begin
+          best_ts := a.ts;
+          best_v := Some a.v
+        end;
+        true
+      | _ -> false);
+  let ts = !best_ts and v = Option.get !best_v in
+  write_phase t reg ~ts ~v;
+  v
+
+(* Ghost read for [Memory.peek]: the freshest value any replica store
+   holds, without network traffic. *)
+let peek t reg =
+  let best = ref None in
+  for r = 0 to t.n - 1 do
+    match Hashtbl.find_opt t.stores.(r) reg with
+    | Some (ts, v) -> (
+      match !best with
+      | Some (bts, _) when bts >= ts -> ()
+      | _ -> best := Some (ts, v))
+    | None -> ()
+  done;
+  match !best with Some (_, v) -> v | None -> assert false
+
+(* A universal type via an extensible variant, so one monomorphic
+   network message type can carry values of every register's type. *)
+let embed (type a) () : (a -> exn) * (exn -> a) =
+  let module M = struct
+    exception E of a
+  end in
+  ( (fun x -> M.E x),
+    function
+    | M.E x -> x
+    | _ -> failwith "Net.Abd: register value of unexpected type" )
+
+let memory t =
+  let make : type a. name:string -> bits:int -> a -> a Csim.Memory.cell =
+   fun ~name:_ ~bits:_ init ->
+    let reg = t.next_reg in
+    t.next_reg <- reg + 1;
+    let inj, proj = embed () in
+    for r = 0 to t.n - 1 do
+      Hashtbl.replace t.stores.(r) reg (0, inj init)
+    done;
+    let wts = ref 0 in
+    {
+      Csim.Memory.read = (fun () -> proj (read t reg));
+      write = (fun v -> write t reg wts (inj v));
+      peek = (fun () -> proj (peek t reg));
+    }
+  in
+  { Csim.Memory.make }

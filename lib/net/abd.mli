@@ -1,0 +1,63 @@
+(** ABD-style emulation of SWMR atomic registers over {!Sim}.
+
+    Attiya–Bar-Noy–Dolev: each register is replicated with a timestamp
+    at all [n] replicas; a {e write} picks a fresh timestamp and
+    installs the value at a quorum (one round); a {e read} queries a
+    quorum, adopts the maximum-timestamp value, and {e writes it back}
+    to a quorum before returning (two rounds).  With majority quorums
+    any two quorums intersect, which — together with the write-back —
+    makes every register atomic (linearizable) despite message
+    reordering, loss and up to [f < n/2] replica crashes.  Single
+    writer per register means no timestamp arbitration is needed: the
+    writer's private counter is the timestamp order.
+
+    Message complexity on a fault-free network (after {!Sim.run}'s
+    drain): a write transmits exactly [2n] messages ([n] requests +
+    [n] acks), a read exactly [4n] — the bound bench section E16
+    checks.
+
+    The point of the module is {!memory}: the emulation presented as a
+    {!Csim.Memory.t}, so [Composite.Anderson.create] and
+    [Composite.Afek.create] run unchanged over message passing. *)
+
+type Sim.payload +=
+  | Read_req of { reg : int; rid : int }
+  | Read_ack of { reg : int; rid : int; ts : int; v : exn }
+  | Write_req of { reg : int; rid : int; ts : int; v : exn }
+  | Write_ack of { reg : int; rid : int }
+
+val payload_label : Sim.payload -> string
+(** Short human label for timelines, e.g. ["wr?3@7"]. *)
+
+type quorum =
+  | Majority  (** [n/2 + 1] — the correct choice. *)
+  | Fixed of int
+      (** Acknowledgement threshold forced to a given size.  A
+          non-majority value breaks the quorum-intersection argument
+          and yields observable non-atomicity — kept as a negative
+          control for the checkers. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable rounds : int;  (** quorum phases executed *)
+  mutable retransmits : int;
+  mutable phase_wait_total : int;
+      (** network-clock ticks spent waiting for quorums, summed *)
+  mutable phase_wait_max : int;
+}
+
+type t
+
+val create : ?quorum:quorum -> ?on_phase:(wait:int -> unit) -> Sim.env -> t
+(** Installs the replica handler on [env].  [on_phase] is called at the
+    end of every completed quorum phase with its latency in network
+    ticks (used to feed metrics histograms). *)
+
+val memory : t -> Csim.Memory.t
+(** Registers whose [read]/[write] are ABD operations issued by the
+    calling client process ({e must} run inside {!Sim.run}); [peek] is
+    a ghost read of the freshest replica state, for observers only. *)
+
+val quorum_size : t -> int
+val stats : t -> stats

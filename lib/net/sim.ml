@@ -1,0 +1,366 @@
+exception Not_in_network
+exception Stuck of string
+
+type payload = ..
+
+type addr = Client of int | Replica of int
+
+type packet = { src : addr; dst : addr; seq : int; payload : payload }
+
+type handler = replica:int -> src:int -> payload -> (int * payload) list
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable to_crashed : int;
+  mutable expired : int;
+  mutable timeouts : int;
+}
+
+type stats = {
+  steps : int;
+  sent : int;
+  delivered : int;
+  lost : int;
+  to_crashed : int;
+  expired : int;
+  timeouts : int;
+}
+
+type event_kind =
+  | Ev_send
+  | Ev_deliver
+  | Ev_loss
+  | Ev_to_crashed
+  | Ev_expire
+  | Ev_timeout
+
+type event = {
+  at : int;
+  kind : event_kind;
+  e_src : addr;
+  e_dst : addr;
+  e_seq : int;
+  e_payload : payload option;
+}
+
+type env = {
+  n_replicas : int;
+  loss : float;
+  crashes : (int * int) list;
+  prng : Csim.Schedule.Prng.t;
+  mutable handler : handler option;
+  mutable flight : packet list;  (* ascending seq: sends append *)
+  mutable next_seq : int;
+  mutable step : int;
+  ctr : counters;
+  log : bool;
+  mutable events : event list;  (* newest first *)
+  handled : int array;  (* per replica: messages processed so far *)
+}
+
+let create ?(loss = 0.0) ?(crashes = []) ?(log = false) ~replicas ~seed () =
+  if replicas < 1 then invalid_arg "Net.Sim.create: need at least one replica";
+  if loss < 0.0 || loss >= 1.0 then
+    invalid_arg "Net.Sim.create: loss probability must be in [0, 1)";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (r, k) ->
+      if r < 0 || r >= replicas then
+        invalid_arg
+          (Printf.sprintf "Net.Sim.create: crash names replica %d (of %d)" r
+             replicas);
+      if k < 0 then
+        invalid_arg "Net.Sim.create: crash point must be non-negative";
+      if Hashtbl.mem seen r then
+        invalid_arg
+          (Printf.sprintf "Net.Sim.create: duplicate crash for replica %d" r);
+      Hashtbl.add seen r ())
+    crashes;
+  (* ABD liveness needs a majority of replicas that never crash. *)
+  if 2 * List.length crashes >= replicas then
+    invalid_arg
+      (Printf.sprintf
+         "Net.Sim.create: %d crash(es) among %d replicas — need f < n/2"
+         (List.length crashes) replicas);
+  {
+    n_replicas = replicas;
+    loss;
+    crashes;
+    prng = Csim.Schedule.Prng.make seed;
+    handler = None;
+    flight = [];
+    next_seq = 0;
+    step = 0;
+    ctr =
+      {
+        sent = 0;
+        delivered = 0;
+        lost = 0;
+        to_crashed = 0;
+        expired = 0;
+        timeouts = 0;
+      };
+    log;
+    events = [];
+    handled = Array.make replicas 0;
+  }
+
+let replicas env = env.n_replicas
+let now env = env.step
+let set_handler env h = env.handler <- Some h
+let events env = List.rev env.events
+
+let crashed env r =
+  match List.assoc_opt r env.crashes with
+  | None -> false
+  | Some k -> env.handled.(r) >= k
+
+let totals env =
+  {
+    steps = env.step;
+    sent = env.ctr.sent;
+    delivered = env.ctr.delivered;
+    lost = env.ctr.lost;
+    to_crashed = env.ctr.to_crashed;
+    expired = env.ctr.expired;
+    timeouts = env.ctr.timeouts;
+  }
+
+let record env kind ~src ~dst ~seq ~payload =
+  if env.log then
+    env.events <-
+      { at = env.step; kind; e_src = src; e_dst = dst; e_seq = seq;
+        e_payload = payload }
+      :: env.events
+
+(* ------------------------------------------------------------------ *)
+(* Client-side effects                                                *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | Net_send : int * payload -> unit Effect.t
+  | Net_recv : packet option Effect.t
+  | Net_self : int Effect.t
+
+let send r p =
+  try Effect.perform (Net_send (r, p))
+  with Effect.Unhandled _ -> raise Not_in_network
+
+let recv () =
+  try Effect.perform Net_recv with Effect.Unhandled _ -> raise Not_in_network
+
+let self () =
+  try Effect.perform Net_self with Effect.Unhandled _ -> raise Not_in_network
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let transmit env ~src ~dst p =
+  let seq = env.next_seq in
+  env.next_seq <- seq + 1;
+  env.ctr.sent <- env.ctr.sent + 1;
+  record env Ev_send ~src ~dst ~seq ~payload:(Some p);
+  if env.loss > 0.0 && Csim.Schedule.Prng.float env.prng < env.loss then begin
+    env.ctr.lost <- env.ctr.lost + 1;
+    record env Ev_loss ~src ~dst ~seq ~payload:(Some p)
+  end
+  else env.flight <- env.flight @ [ { src; dst; seq; payload = p } ]
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type parked =
+  | Not_started of (unit -> unit)
+  | At_recv of (packet option, unit) Effect.Deep.continuation
+  | Finished
+
+type action = A_start of int | A_deliver of packet
+
+let run env ?(policy = Csim.Schedule.Round_robin) ?(max_steps = 200_000) procs =
+  (match env.handler with
+  | None ->
+    invalid_arg
+      "Net.Sim.run: no replica handler installed (e.g. via Net.Abd.create)"
+  | Some _ -> ());
+  let nc = Array.length procs in
+  let state = Array.map (fun f -> Not_started f) procs in
+  let start_step = env.step in
+  let c0 = totals env in
+  let driver = Csim.Schedule.driver policy in
+  let main_handler i : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> state.(i) <- Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Net_send (r, p) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if r < 0 || r >= env.n_replicas then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Net.Sim.send: replica %d out of range 0..%d" r
+                       (env.n_replicas - 1));
+                transmit env ~src:(Client i) ~dst:(Replica r) p;
+                Effect.Deep.continue k ())
+          | Net_recv ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                state.(i) <- At_recv k)
+          | Net_self ->
+            Some (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Effect.Deep.continue k i)
+          | _ -> None);
+    }
+  in
+  (* Packets addressed to a client that already returned can never be
+     consumed; expire them so they stop showing up as enabled actions. *)
+  let purge () =
+    env.flight <-
+      List.filter
+        (fun p ->
+          match p.dst with
+          | Client j when (match state.(j) with Finished -> true | _ -> false)
+            ->
+            env.ctr.expired <- env.ctr.expired + 1;
+            record env Ev_expire ~src:p.src ~dst:p.dst ~seq:p.seq
+              ~payload:(Some p.payload);
+            false
+          | _ -> true)
+        env.flight
+  in
+  let deliver p =
+    env.step <- env.step + 1;
+    match p.dst with
+    | Replica r ->
+      if crashed env r then begin
+        env.ctr.to_crashed <- env.ctr.to_crashed + 1;
+        record env Ev_to_crashed ~src:p.src ~dst:p.dst ~seq:p.seq
+          ~payload:(Some p.payload)
+      end
+      else begin
+        env.handled.(r) <- env.handled.(r) + 1;
+        env.ctr.delivered <- env.ctr.delivered + 1;
+        record env Ev_deliver ~src:p.src ~dst:p.dst ~seq:p.seq
+          ~payload:(Some p.payload);
+        let src =
+          match p.src with Client c -> c | Replica _ -> assert false
+        in
+        let handler = Option.get env.handler in
+        List.iter
+          (fun (c, reply) ->
+            if c < 0 || c >= nc then
+              invalid_arg
+                (Printf.sprintf
+                   "Net.Sim: replica %d replied to unknown client %d" r c);
+            transmit env ~src:(Replica r) ~dst:(Client c) reply)
+          (handler ~replica:r ~src p.payload)
+      end
+    | Client j -> (
+      env.ctr.delivered <- env.ctr.delivered + 1;
+      record env Ev_deliver ~src:p.src ~dst:p.dst ~seq:p.seq
+        ~payload:(Some p.payload);
+      match state.(j) with
+      | At_recv k -> Effect.Deep.continue k (Some p)
+      | _ -> assert false)
+  in
+  let check_budget () =
+    if env.step - start_step > max_steps then
+      raise
+        (Stuck
+           (Printf.sprintf
+              "network made no progress after %d steps (%d packets in \
+               flight, %d timeouts)"
+              max_steps (List.length env.flight)
+              (env.ctr.timeouts - c0.timeouts)))
+  in
+  let deliverable p =
+    match p.dst with
+    | Replica _ -> true
+    | Client j -> ( match state.(j) with At_recv _ -> true | _ -> false)
+  in
+  let rec loop () =
+    purge ();
+    let starts = ref [] in
+    for i = nc - 1 downto 0 do
+      match state.(i) with
+      | Not_started _ -> starts := A_start i :: !starts
+      | _ -> ()
+    done;
+    let deliveries =
+      List.filter_map
+        (fun p -> if deliverable p then Some (A_deliver p) else None)
+        env.flight
+    in
+    let actions = Array.of_list (!starts @ deliveries) in
+    if Array.length actions = 0 then begin
+      (* Quiescent: either everything returned, or every live client is
+         blocked in [recv] with nothing deliverable — fire a timeout so
+         protocols can retransmit. *)
+      let waiting = ref (-1) in
+      for j = nc - 1 downto 0 do
+        match state.(j) with At_recv _ -> waiting := j | _ -> ()
+      done;
+      if !waiting >= 0 then begin
+        check_budget ();
+        env.step <- env.step + 1;
+        env.ctr.timeouts <- env.ctr.timeouts + 1;
+        record env Ev_timeout ~src:(Client !waiting) ~dst:(Client !waiting)
+          ~seq:(-1) ~payload:None;
+        let j = !waiting in
+        (match state.(j) with
+        | At_recv k -> Effect.Deep.continue k None
+        | _ -> assert false);
+        loop ()
+      end
+    end
+    else begin
+      check_budget ();
+      let enabled = Array.init (Array.length actions) Fun.id in
+      let idx = Csim.Schedule.pick driver ~enabled ~step:env.step in
+      (match actions.(idx) with
+      | A_start i -> (
+        match state.(i) with
+        | Not_started f -> Effect.Deep.match_with f () (main_handler i)
+        | _ -> assert false)
+      | A_deliver p ->
+        env.flight <- List.filter (fun q -> q.seq <> p.seq) env.flight;
+        deliver p);
+      loop ()
+    end
+  in
+  loop ();
+  (* Drain the backlog still addressed to replicas so every request is
+     eventually handled (late acks to returned clients expire).  This
+     makes per-operation message counts exact: a run with no faults
+     sends precisely the ABD bound. *)
+  let rec flush () =
+    purge ();
+    match
+      List.find_opt
+        (fun p -> match p.dst with Replica _ -> true | Client _ -> false)
+        env.flight
+    with
+    | None -> ()
+    | Some p ->
+      env.flight <- List.filter (fun q -> q.seq <> p.seq) env.flight;
+      deliver p;
+      flush ()
+  in
+  flush ();
+  purge ();
+  let c1 = totals env in
+  {
+    steps = env.step - start_step;
+    sent = c1.sent - c0.sent;
+    delivered = c1.delivered - c0.delivered;
+    lost = c1.lost - c0.lost;
+    to_crashed = c1.to_crashed - c0.to_crashed;
+    expired = c1.expired - c0.expired;
+    timeouts = c1.timeouts - c0.timeouts;
+  }

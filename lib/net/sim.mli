@@ -1,0 +1,141 @@
+(** A deterministic simulated asynchronous message-passing system.
+
+    The system has [n] {e server replicas} (passive: they only react to
+    messages) and any number of {e client processes} (active: the
+    algorithm code, run as effect-handled coroutines exactly like
+    {!Csim.Sim} processes).  All communication is point-to-point
+    messages; there is no shared memory.  Messages in flight form a
+    single multiset and the scheduler — driven by an ordinary
+    {!Csim.Schedule.t} policy — picks which pending event happens next,
+    so message {e reordering and delay} fall out of the schedule
+    ([Random] explores them, [Scripted] replays an exact interleaving)
+    while {e loss} and {e replica crashes} are explicit injected faults:
+
+    - [loss]: each transmission is independently dropped with the given
+      probability (drawn from a private seeded PRNG, so runs replay);
+    - [crashes]: [(r, k)] crash-stops replica [r] after it has handled
+      its first [k] messages; later deliveries to [r] are discarded.
+      At most a minority of replicas may crash ([f < n/2]), matching
+      the ABD emulation's liveness requirement.
+
+    Determinism: a fixed [(seed, policy, crashes, loss)] yields a
+    bit-identical run — same delivery order, same counters, same
+    events — which is what campaign sharding and counterexample replay
+    rely on. *)
+
+exception Not_in_network
+(** Raised by {!send}/{!recv}/{!self} outside {!run}. *)
+
+exception Stuck of string
+(** The run exceeded its step budget without completing — e.g. a
+    protocol waiting on a quorum that loss keeps destroying. *)
+
+type payload = ..
+(** Protocol messages.  Extensible so each protocol (e.g. {!Abd})
+    declares its own constructors against one network type. *)
+
+type addr = Client of int | Replica of int
+
+type packet = { src : addr; dst : addr; seq : int; payload : payload }
+(** [seq] is a globally unique, monotonically increasing transmission
+    id — the canonical order used to enumerate pending deliveries. *)
+
+type handler = replica:int -> src:int -> payload -> (int * payload) list
+(** Replica logic: given the replica id, the sending client and the
+    message, return the replies to send as [(client, payload)] pairs.
+    Handlers run atomically at delivery. *)
+
+type env
+
+val create :
+  ?loss:float ->
+  ?crashes:(int * int) list ->
+  ?log:bool ->
+  replicas:int ->
+  seed:int ->
+  unit ->
+  env
+(** [loss] defaults to [0.]; must be in [[0, 1)].  [crashes] is a list
+    of [(replica, after_k_messages)] crash-stop faults, validated to
+    name distinct in-range replicas with [f < n/2].  [log] (default
+    [false]) records the full event timeline for {!Timeline} export.
+    [seed] drives the loss PRNG only; scheduling randomness comes from
+    the policy passed to {!run}. *)
+
+val replicas : env -> int
+
+val now : env -> int
+(** The network clock: delivery and timeout events each advance it by
+    one.  Used as the logical clock when recording operation
+    histories. *)
+
+val set_handler : env -> handler -> unit
+
+val crashed : env -> int -> bool
+(** Has this replica passed its crash point? *)
+
+(** {1 Client operations} (only inside {!run}) *)
+
+val send : int -> payload -> unit
+(** Asynchronous send to a replica; never blocks, may be lost. *)
+
+val recv : unit -> packet option
+(** Block until some message addressed to this client is delivered.
+    [None] is a timeout: the scheduler proves no message can currently
+    arrive (nothing deliverable is in flight and every other client is
+    also blocked), so the protocol should retransmit. *)
+
+val self : unit -> int
+(** This client's id. *)
+
+(** {1 Running} *)
+
+type stats = {
+  steps : int;
+  sent : int;       (** transmissions attempted (including lost) *)
+  delivered : int;  (** handled by a live replica or consumed by [recv] *)
+  lost : int;       (** dropped by the loss fault at transmission *)
+  to_crashed : int; (** delivered to a crashed replica, discarded *)
+  expired : int;    (** addressed to a client that had already returned *)
+  timeouts : int;
+}
+
+val run :
+  env ->
+  ?policy:Csim.Schedule.t ->
+  ?max_steps:int ->
+  (unit -> unit) array ->
+  stats
+(** Run the client processes to completion over this network, then
+    drain remaining replica-bound packets (so late requests are still
+    handled and message counts are exact).  The scheduler's enabled set
+    at each step is the canonical action list — unstarted clients in id
+    order, then pending deliveries in [seq] order — and the policy
+    picks an {e index} into it, which is what [Scripted] replay scripts
+    record.  Raises {!Stuck} after [max_steps] scheduling events
+    (default 200_000) without completion. *)
+
+val totals : env -> stats
+(** Absolute counters since [create] (a superset of any one run). *)
+
+(** {1 Event log} (only when [create ~log:true]) *)
+
+type event_kind =
+  | Ev_send
+  | Ev_deliver
+  | Ev_loss
+  | Ev_to_crashed
+  | Ev_expire
+  | Ev_timeout
+
+type event = {
+  at : int;
+  kind : event_kind;
+  e_src : addr;
+  e_dst : addr;
+  e_seq : int;
+  e_payload : payload option;
+}
+
+val events : env -> event list
+(** Oldest first. *)

@@ -1,0 +1,95 @@
+open Obs
+
+let addr_pid = function Sim.Client _ -> 0 | Sim.Replica _ -> 1
+let addr_tid = function Sim.Client j -> j | Sim.Replica r -> r
+
+let addr_label = function
+  | Sim.Client j -> Printf.sprintf "client %d" j
+  | Sim.Replica r -> Printf.sprintf "replica %d" r
+
+let of_env ?(pp = fun (_ : Sim.payload) -> "msg") env =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let common ~name ~ph ~ts ~addr extra =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str ph);
+         ("ts", Json.Int ts);
+         ("pid", Json.Int (addr_pid addr));
+         ("tid", Json.Int (addr_tid addr));
+       ]
+      @ extra)
+  in
+  let instant ~name ~ts ~addr args =
+    emit
+      (common ~name ~ph:"i" ~ts ~addr
+         ([ ("s", Json.Str "t") ] @ args))
+  in
+  let tracks = Hashtbl.create 16 in
+  let see addr = Hashtbl.replace tracks (addr_pid addr, addr_tid addr) addr in
+  let flow ~ph ~name ~ts ~addr ~seq =
+    emit
+      (common ~name ~ph ~ts ~addr
+         (("id", Json.Int seq)
+         :: ("cat", Json.Str "msg")
+         :: (if ph = "f" then [ ("bp", Json.Str "e") ] else [])))
+  in
+  List.iter
+    (fun (e : Sim.event) ->
+      see e.Sim.e_src;
+      see e.Sim.e_dst;
+      let name =
+        match e.Sim.e_payload with Some p -> pp p | None -> "timeout"
+      in
+      let seq_arg = ("args", Json.Obj [ ("seq", Json.Int e.Sim.e_seq) ]) in
+      match e.Sim.kind with
+      | Sim.Ev_send ->
+        (* Flow start on the sender's track; the matching deliver (if
+           any) draws the arrow. *)
+        flow ~ph:"s" ~name ~ts:e.Sim.at ~addr:e.Sim.e_src ~seq:e.Sim.e_seq
+      | Sim.Ev_deliver ->
+        flow ~ph:"f" ~name ~ts:e.Sim.at ~addr:e.Sim.e_dst ~seq:e.Sim.e_seq;
+        emit
+          (common ~name ~ph:"X" ~ts:e.Sim.at ~addr:e.Sim.e_dst
+             [ ("dur", Json.Int 1); ("cat", Json.Str "msg"); seq_arg ])
+      | Sim.Ev_loss ->
+        instant ~name:(Printf.sprintf "lost: %s" name) ~ts:e.Sim.at
+          ~addr:e.Sim.e_src [ seq_arg ]
+      | Sim.Ev_to_crashed ->
+        instant ~name:(Printf.sprintf "to crashed: %s" name) ~ts:e.Sim.at
+          ~addr:e.Sim.e_dst [ seq_arg ]
+      | Sim.Ev_expire ->
+        instant ~name:(Printf.sprintf "expired: %s" name) ~ts:e.Sim.at
+          ~addr:e.Sim.e_dst [ seq_arg ]
+      | Sim.Ev_timeout ->
+        instant ~name:"timeout" ~ts:e.Sim.at ~addr:e.Sim.e_dst [])
+    (Sim.events env);
+  let metadata =
+    Hashtbl.fold (fun _ addr acc -> addr :: acc) tracks []
+    |> List.sort compare
+    |> List.concat_map (fun addr ->
+           [
+             common ~name:"process_name" ~ph:"M" ~ts:0 ~addr
+               [
+                 ( "args",
+                   Json.Obj
+                     [
+                       ( "name",
+                         Json.Str
+                           (match addr with
+                           | Sim.Client _ -> "clients"
+                           | Sim.Replica _ -> "replicas") );
+                     ] );
+               ];
+             common ~name:"thread_name" ~ph:"M" ~ts:0 ~addr
+               [ ("args", Json.Obj [ ("name", Json.Str (addr_label addr)) ]) ];
+           ])
+  in
+  Json.Arr (metadata @ List.rev !events)
+
+let export ~path ?pp env =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel ~minify:false oc (of_env ?pp env))

@@ -1,0 +1,17 @@
+(** Chrome trace-event export of a network run's message timeline.
+
+    Renders the event log of a [Sim.create ~log:true] environment for
+    [chrome://tracing] / Perfetto: one process group for clients and
+    one for replicas, one track per endpoint; every delivery is a
+    1-tick ["X"] slice on the receiving track, matching ["s"]/["f"]
+    flow events (keyed by the packet [seq]) draw the send→deliver
+    arrows, and losses / deliveries-to-crashed-replicas / expirations /
+    timeouts appear as instant events.  Timestamps are network-clock
+    ticks reported as microseconds. *)
+
+val of_env : ?pp:(Sim.payload -> string) -> Sim.env -> Obs.Json.t
+(** [pp] names messages (e.g. {!Abd.payload_label}); defaults to
+    ["msg"]. *)
+
+val export : path:string -> ?pp:(Sim.payload -> string) -> Sim.env -> unit
+(** Write {!of_env} to [path]. *)

@@ -27,10 +27,25 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Non-finite values emit the conventional bare tokens ([NaN],
+   [Infinity], [-Infinity]) rather than silently collapsing to [null]:
+   a metric that diverged should be visible — and parseable — in the
+   artifact, not laundered into a missing value.  (Python's [json]
+   accepts these tokens, as does our own parser below.)  Finite values
+   use the shortest of %.15g/%.16g/%.17g that round-trips exactly;
+   %.17g always does, the shorter forms just keep the artifact
+   readable when they lose nothing. *)
 let float_to_string f =
-  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "Infinity"
+  else if f = Float.neg_infinity then "-Infinity"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else
+    let p15 = Printf.sprintf "%.15g" f in
+    if float_of_string p15 = f then p15
+    else
+      let p16 = Printf.sprintf "%.16g" f in
+      if float_of_string p16 = f then p16 else Printf.sprintf "%.17g" f
 
 let rec emit buf ~minify ~indent v =
   let nl i =
@@ -248,6 +263,10 @@ let of_string s =
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
+    | Some 'N' -> literal "NaN" (Float Float.nan)
+    | Some 'I' -> literal "Infinity" (Float Float.infinity)
+    | Some '-' when !pos + 1 < n && s.[!pos + 1] = 'I' ->
+      literal "-Infinity" (Float Float.neg_infinity)
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in

@@ -20,14 +20,20 @@ type t =
 val to_string : ?minify:bool -> t -> string
 (** Render; [minify] (default [true]) suppresses whitespace.  With
     [~minify:false], arrays and objects are broken over indented
-    lines.  Non-finite floats render as [null] (JSON has no [nan]). *)
+    lines.  Finite floats print with enough digits to round-trip
+    exactly; non-finite floats render as the conventional bare tokens
+    [NaN] / [Infinity] / [-Infinity] (outside strict JSON, but
+    accepted by {!of_string} and by Python's [json]) rather than
+    corrupting the value into [null]. *)
 
 val to_channel : ?minify:bool -> out_channel -> t -> unit
 
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document; the error string carries a byte
     offset.  Numbers without [.], [e] or [E] parse as [Int] (falling
-    back to [Float] on overflow), all others as [Float]. *)
+    back to [Float] on overflow), all others as [Float]; the
+    non-finite tokens [NaN] / [Infinity] / [-Infinity] parse as the
+    corresponding [Float]. *)
 
 val member : string -> t -> t option
 (** Field lookup in an [Obj]; [None] for missing fields or non-objects. *)

@@ -37,8 +37,18 @@ let make_handle ?note impl mem ~readers ~init =
     { h with Composite.Snapshot.readers }
   else h
 
+type backend =
+  | Backend_shm
+  | Backend_net of { replicas : int; crash : int; loss : float }
+
+let backend_name = function
+  | Backend_shm -> "shm"
+  | Backend_net { replicas; crash; loss } ->
+    Printf.sprintf "net(n=%d,f=%d,loss=%.2f)" replicas crash loss
+
 type config = {
   impl : impl;
+  backend : backend;
   components : int;
   readers : int;
   writes_per_writer : int;
@@ -51,6 +61,7 @@ type config = {
 let default =
   {
     impl = Impl_anderson;
+    backend = Backend_shm;
     components = 3;
     readers = 2;
     writes_per_writer = 3;
@@ -71,14 +82,7 @@ type result = {
   example : string option;
 }
 
-let build_system cfg ~seed:_ =
-  let env = Sim.create ~trace:false () in
-  let mem = Memory.of_sim env in
-  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
-  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
-  let rec_ =
-    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init handle
-  in
+let workload_procs cfg rec_ =
   let writer k () =
     for s = 1 to cfg.writes_per_writer do
       rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
@@ -89,11 +93,26 @@ let build_system cfg ~seed:_ =
       ignore (rec_.Composite.Snapshot.rscan ~reader:j)
     done
   in
-  let procs =
-    Array.init (cfg.components + cfg.readers) (fun i ->
-        if i < cfg.components then writer i else reader (i - cfg.components))
+  Array.init (cfg.components + cfg.readers) (fun i ->
+      if i < cfg.components then writer i else reader (i - cfg.components))
+
+let build_system cfg ~seed:_ =
+  let env = Sim.create ~trace:false () in
+  let mem = Memory.of_sim env in
+  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
+  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
+  let rec_ =
+    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init handle
   in
-  (env, init, rec_, procs)
+  (env, init, rec_, workload_procs cfg rec_)
+
+(* Crash points for the message-passing backend, derived from the
+   schedule seed: the last [crash] replicas each stop after handling a
+   small seed-dependent number of messages.  Deterministic, so the
+   sharded campaign merges bit-identically. *)
+let net_crashes ~replicas ~crash ~seed =
+  let prng = Schedule.Prng.make ((seed * 0x9e3779b9) lxor 0x2545f491) in
+  List.init crash (fun j -> (replicas - 1 - j, Schedule.Prng.int prng 40))
 
 (* One seeded schedule, end to end: simulate, collect the history, run
    every checker.  Self-contained (its own [Sim.create]) and so safe to
@@ -109,21 +128,18 @@ type run_outcome = {
   ro_example : string option;
 }
 
-let run_one worker_metrics cfg i =
-  let seed = cfg.base_seed + i in
-  let env, init, rec_, procs = build_system cfg ~seed in
-  match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs with
-  | exception Sim.Stuck _ ->
-    {
-      ro_stuck = true;
-      ro_ops = 0;
-      ro_flagged = false;
-      ro_generic_fail = false;
-      ro_witness_fail = false;
-      ro_disagreement = false;
-      ro_example = None;
-    }
-  | (_ : Sim.stats) ->
+let stuck_outcome =
+  {
+    ro_stuck = true;
+    ro_ops = 0;
+    ro_flagged = false;
+    ro_generic_fail = false;
+    ro_witness_fail = false;
+    ro_disagreement = false;
+    ro_example = None;
+  }
+
+let outcome_of_history worker_metrics cfg ~init rec_ =
     let h = Composite.Snapshot.history rec_ in
     let ops = History.Snapshot_history.size h in
     Obs.Metrics.observe
@@ -166,6 +182,63 @@ let run_one worker_metrics cfg i =
                 (History.Snapshot_history.pp string_of_int)
                 h));
     }
+
+let run_one_shm worker_metrics cfg i =
+  let seed = cfg.base_seed + i in
+  let env, init, rec_, procs = build_system cfg ~seed in
+  match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs with
+  | exception Sim.Stuck _ -> stuck_outcome
+  | (_ : Sim.stats) -> outcome_of_history worker_metrics cfg ~init rec_
+
+(* Same workload and checkers, but every register access is an ABD
+   quorum operation over the simulated network; the network scheduler
+   (message reordering) replaces the shared-memory scheduler as the
+   source of nondeterminism, with loss and replica crashes injected on
+   top. *)
+let run_one_net worker_metrics cfg ~replicas ~crash ~loss i =
+  let seed = cfg.base_seed + i in
+  let env =
+    Net.Sim.create ~loss ~crashes:(net_crashes ~replicas ~crash ~seed)
+      ~replicas ~seed ()
+  in
+  let abd =
+    Net.Abd.create env ~on_phase:(fun ~wait ->
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram worker_metrics "net.phase_wait")
+          wait)
+  in
+  let mem = Net.Abd.memory abd in
+  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
+  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
+  let rec_ =
+    Composite.Snapshot.record
+      ~clock:(fun () -> Net.Sim.now env)
+      ~initial:init handle
+  in
+  let procs = workload_procs cfg rec_ in
+  let outcome =
+    match
+      Net.Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs
+    with
+    | exception Net.Sim.Stuck _ -> stuck_outcome
+    | (_ : Net.Sim.stats) -> outcome_of_history worker_metrics cfg ~init rec_
+  in
+  let s = Net.Sim.totals env in
+  let a = Net.Abd.stats abd in
+  let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter worker_metrics name) in
+  c "net.msgs_sent" s.Net.Sim.sent;
+  c "net.msgs_delivered" s.Net.Sim.delivered;
+  c "net.msgs_lost" s.Net.Sim.lost;
+  c "net.timeouts" s.Net.Sim.timeouts;
+  c "net.rounds" a.Net.Abd.rounds;
+  c "net.retransmits" a.Net.Abd.retransmits;
+  outcome
+
+let run_one worker_metrics cfg i =
+  match cfg.backend with
+  | Backend_shm -> run_one_shm worker_metrics cfg i
+  | Backend_net { replicas; crash; loss } ->
+    run_one_net worker_metrics cfg ~replicas ~crash ~loss i
 
 let run ?(jobs = 1) ?pool ?metrics cfg =
   let outcomes, workers =

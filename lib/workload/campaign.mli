@@ -27,8 +27,23 @@ val make_handle :
     the paper's construction does today); see
     [Composite.Anderson.create]. *)
 
+type backend =
+  | Backend_shm
+      (** Registers are cells of the shared-memory simulator
+          ({!Csim.Memory.of_sim}); nondeterminism is the process
+          interleaving. *)
+  | Backend_net of { replicas : int; crash : int; loss : float }
+      (** Registers are ABD quorum emulations over the simulated
+          network ({!Net.Abd.memory}): [replicas] servers of which the
+          last [crash] stop at a seed-derived point ([crash < replicas/2]
+          is required), and each message is lost with probability
+          [loss].  Nondeterminism is the message delivery order. *)
+
+val backend_name : backend -> string
+
 type config = {
   impl : impl;
+  backend : backend;
   components : int;
   readers : int;
   writes_per_writer : int;
@@ -71,7 +86,11 @@ val run :
     [campaign.flagged_runs], [campaign.generic_failures],
     [campaign.witness_failures], [campaign.stuck_runs] and
     [campaign.disagreements], and per-run history sizes into histogram
-    [campaign.ops_per_run] (additive across calls).  Workers observe
+    [campaign.ops_per_run] (additive across calls).  With
+    [Backend_net], network totals accumulate too: counters
+    [net.msgs_sent] / [net.msgs_delivered] / [net.msgs_lost] /
+    [net.timeouts] / [net.rounds] / [net.retransmits] and the
+    quorum-phase latency histogram [net.phase_wait].  Workers observe
     into private registries that are {!Obs.Metrics.merge}d at the join,
     so the metrics too are independent of [jobs]. *)
 

@@ -110,6 +110,15 @@ val replay : case -> script:int array -> outcome
     half-published by a crash — are excused, as in the resilience
     sweep.  Everything else counts. *)
 
+val ddmin : budget:int -> test:('a list -> bool) -> 'a list -> 'a list * int
+(** Greedy delta debugging on a list: repeatedly try to delete chunks,
+    halving the chunk size whenever a whole sweep makes no progress.
+    [test] must return [true] iff the candidate still fails; at most
+    [budget] tests are run (further candidates are assumed passing).
+    Returns the shrunk list and the number of tests spent.  The engine
+    behind {!minimize}, exported for other fault domains (the
+    message-passing backend minimizes network schedules with it). *)
+
 type counterexample = {
   cx_case : case;  (** with the {e minimized} profile *)
   cx_script : int array;  (** minimized schedule *)

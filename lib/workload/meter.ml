@@ -26,7 +26,22 @@ let warm env handle =
         ignore (handle.Composite.Snapshot.update ~writer:k (100 + k))
       done)
 
+(* Validate at the API boundary: out-of-range arguments otherwise
+   abort deep inside the construction (index out of bounds in some
+   recursion level) with an error that names nothing the caller
+   wrote. *)
+let check_arity ~what ~c ~r =
+  if c < 1 then
+    invalid_arg (Printf.sprintf "Meter.%s: c = %d, need at least 1 component" what c);
+  if r < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Meter.%s: r = %d — the measured operation needs a declared reader"
+         what r)
+
 let scan_cost impl ~c ~r =
+  (* The scan below runs as [reader:0], which only exists if [r >= 1]. *)
+  check_arity ~what:"scan_cost" ~c ~r;
   let env, handle = fresh impl ~c ~b:64 ~r in
   let (_ : Sim.stats) = warm env handle in
   let before = Sim.now env in
@@ -37,6 +52,11 @@ let scan_cost impl ~c ~r =
   Sim.now env - before
 
 let update_cost impl ~c ~r ~writer =
+  check_arity ~what:"update_cost" ~c ~r;
+  if writer < 0 || writer >= c then
+    invalid_arg
+      (Printf.sprintf "Meter.update_cost: writer %d out of range 0..%d" writer
+         (c - 1));
   let env, handle = fresh impl ~c ~b:64 ~r in
   let (_ : Sim.stats) = warm env handle in
   let before = Sim.now env in

@@ -11,10 +11,14 @@
 val scan_cost : Campaign.impl -> c:int -> r:int -> int
 (** Register operations performed by one Read of a [c]-component,
     [r]-reader register (measured in quiescence, after one Write per
-    component so caches of the algorithms are warm). *)
+    component so caches of the algorithms are warm).  The measured
+    Read runs as reader 0, so raises [Invalid_argument] unless
+    [c >= 1] and [r >= 1]. *)
 
 val update_cost : Campaign.impl -> c:int -> r:int -> writer:int -> int
-(** Register operations performed by one Write by the given writer. *)
+(** Register operations performed by one Write by the given writer.
+    Raises [Invalid_argument] unless [c >= 1], [r >= 1] and
+    [0 <= writer < c]. *)
 
 val space_bits : Campaign.impl -> c:int -> b:int -> r:int -> int
 (** Declared bits of all registers the implementation allocates. *)

@@ -1,0 +1,534 @@
+(* Chaos campaigns for the message-passing backend: the injectable
+   faults are message loss, message reordering (the Random network
+   schedule), replica crash-stops, and — as a negative control — a
+   deliberately broken quorum size that voids the ABD intersection
+   argument.  Mirrors [Chaos] (shared-memory faults) in shape:
+   record → judge → ddmin-minimize → replayable one-line script. *)
+
+type profile = {
+  label : string;
+  loss : float;
+  crashes : (int * int) list;
+  quorum : int option;  (* None = majority; Some k = Net.Abd.Fixed k *)
+}
+
+let profile ?(loss = 0.0) ?(crashes = []) ?quorum label =
+  { label; loss; crashes; quorum }
+
+let broken_quorum p = match p.quorum with Some _ -> true | None -> false
+
+let default_profiles ~replicas =
+  [
+    profile "none";
+    profile "loss" ~loss:0.15;
+    profile "crash-last" ~crashes:[ (replicas - 1, 3) ];
+    profile "crash+loss" ~loss:0.1 ~crashes:[ (replicas - 1, 2) ];
+    (* Loss rides along: it stretches the window between a write
+       completing at its 1-replica "quorum" and the value reaching the
+       other replicas, which is what makes the missing intersection
+       observable in small runs. *)
+    profile "broken-quorum" ~loss:0.3 ~quorum:1;
+  ]
+
+type config = {
+  impls : Campaign.impl list;
+  profiles : profile list;
+  replicas : int;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  seeds : int;
+  base_seed : int;
+  max_steps : int;
+  minimize_budget : int;
+}
+
+let default =
+  {
+    impls = [ Campaign.Impl_anderson; Campaign.Impl_afek ];
+    profiles = default_profiles ~replicas:3;
+    replicas = 3;
+    components = 2;
+    readers = 2;
+    writes_per_writer = 2;
+    scans_per_reader = 2;
+    seeds = 10;
+    base_seed = 1;
+    max_steps = 100_000;
+    minimize_budget = 3_000;
+  }
+
+type case = {
+  impl : Campaign.impl;
+  prof : profile;
+  replicas : int;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  seed : int;  (* drives the loss PRNG and the recorded Random policy *)
+}
+
+type run_result = {
+  outcome : Chaos.outcome;
+  schedule : int array;  (* network-scheduler picks (record mode only) *)
+  net : Net.Sim.stats;
+}
+
+type mode = Record of Csim.Schedule.t | Replay of int array
+
+let run_case ?(log = false) ~max_steps (case : case) mode =
+  let env =
+    Net.Sim.create ~log ~loss:case.prof.loss ~crashes:case.prof.crashes
+      ~replicas:case.replicas ~seed:case.seed ()
+  in
+  let quorum =
+    match case.prof.quorum with
+    | None -> Net.Abd.Majority
+    | Some k -> Net.Abd.Fixed k
+  in
+  let abd = Net.Abd.create ~quorum env in
+  let mem = Net.Abd.memory abd in
+  let init = Array.init case.components (fun k -> (k + 1) * 10) in
+  let handle = Campaign.make_handle case.impl mem ~readers:case.readers ~init in
+  let rec_ =
+    Composite.Snapshot.record
+      ~clock:(fun () -> Net.Sim.now env)
+      ~initial:init handle
+  in
+  let writer k () =
+    for s = 1 to case.writes_per_writer do
+      rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+    done
+  in
+  let reader j () =
+    for _ = 1 to case.scans_per_reader do
+      ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+    done
+  in
+  let procs =
+    Array.init
+      (case.components + case.readers)
+      (fun i ->
+        if i < case.components then writer i else reader (i - case.components))
+  in
+  let picks = ref [] in
+  let policy =
+    match mode with
+    | Record inner ->
+      let d = Csim.Schedule.driver inner in
+      Csim.Schedule.Choose
+        (fun ~enabled ~step ->
+          let p = Csim.Schedule.pick d ~enabled ~step in
+          picks := p :: !picks;
+          p)
+    | Replay script -> Csim.Schedule.Scripted (script, Csim.Schedule.Round_robin)
+  in
+  let finish outcome =
+    ( {
+        outcome;
+        schedule = Array.of_list (List.rev !picks);
+        net = Net.Sim.totals env;
+      },
+      env )
+  in
+  match Net.Sim.run env ~policy ~max_steps procs with
+  | exception Net.Sim.Stuck msg -> finish (Chaos.Stuck_run msg)
+  | exception Csim.Schedule.Bad_script msg -> finish (Chaos.Diverged msg)
+  | (_ : Net.Sim.stats) ->
+    (* Replica crashes are the ABD emulation's problem, not the
+       clients': unlike shared-memory process crashes there are no
+       dangling operations to complete — every client op terminates,
+       and the full history must check out with no excuses. *)
+    let h = Composite.Snapshot.history rec_ in
+    let violations = History.Shrinking.check ~equal:Int.equal h in
+    finish
+      (if violations = [] then Chaos.Passed else Chaos.Flagged violations)
+
+let exec ~max_steps case mode = fst (run_case ~max_steps case mode)
+
+let replay case ~script =
+  (exec ~max_steps:default.max_steps case (Replay script)).outcome
+
+let export_timeline ?pp (case : case) ~path =
+  let result, env =
+    run_case ~log:true ~max_steps:default.max_steps case
+      (Record (Csim.Schedule.Random case.seed))
+  in
+  Net.Timeline.export ~path ?pp env;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample minimization                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The droppable network-fault elements.  The quorum override is part
+   of the case (the variant under test), not an element: dropping it
+   would change which algorithm is being accused. *)
+type element = E_loss of float | E_crash of int * int
+
+let elements_of_profile p =
+  (if p.loss > 0.0 then [ E_loss p.loss ] else [])
+  @ List.map (fun (r, k) -> E_crash (r, k)) p.crashes
+
+let profile_of_elements ~label ~quorum els =
+  {
+    label;
+    quorum;
+    loss =
+      List.fold_left
+        (fun acc -> function E_loss l -> l | _ -> acc)
+        0.0 els;
+    crashes =
+      List.filter_map (function E_crash (r, k) -> Some (r, k) | _ -> None) els;
+  }
+
+type counterexample = {
+  cx_case : case;
+  cx_script : int array;
+  cx_violations : string;
+  cx_original_entries : int;
+  cx_original_elements : int;
+  cx_replays : int;
+}
+
+let render_outcome = function
+  | Chaos.Passed -> "passed"
+  | Chaos.Stuck_run msg -> "stuck: " ^ msg
+  | Chaos.Diverged msg -> "diverged: " ^ msg
+  | Chaos.Flagged vs ->
+    Format.asprintf "%a"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+         History.Shrinking.pp_violation)
+      vs
+
+let minimize ~budget case ~script =
+  let same_kind reference o =
+    match (reference, o) with
+    | Chaos.Flagged _, Chaos.Flagged _ -> true
+    | Chaos.Stuck_run _, Chaos.Stuck_run _ -> true
+    | _ -> false
+  in
+  let reference = replay case ~script in
+  if not (Chaos.outcome_failed reference) then
+    invalid_arg "Netchaos.minimize: the given case does not fail under replay";
+  let original_elements = elements_of_profile case.prof in
+  (* Pass 1: shrink the fault elements (loss, crashes), replaying the
+     full message schedule. *)
+  let elements, spent1 =
+    Chaos.ddmin ~budget
+      ~test:(fun els ->
+        let prof =
+          profile_of_elements ~label:case.prof.label ~quorum:case.prof.quorum
+            els
+        in
+        same_kind reference (replay { case with prof } ~script))
+      original_elements
+  in
+  let case =
+    {
+      case with
+      prof =
+        profile_of_elements ~label:case.prof.label ~quorum:case.prof.quorum
+          elements;
+    }
+  in
+  (* Pass 2: shrink the message schedule itself.  A dropped entry hands
+     the remaining deliveries to the round-robin fallback; entries the
+     shorter action list can no longer satisfy make the candidate
+     Diverge, which the test rejects. *)
+  let entries, spent2 =
+    Chaos.ddmin
+      ~budget:(max 0 (budget - spent1))
+      ~test:(fun entries ->
+        same_kind reference (replay case ~script:(Array.of_list entries)))
+      (Array.to_list script)
+  in
+  let cx_script = Array.of_list entries in
+  {
+    cx_case = case;
+    cx_script;
+    cx_violations = render_outcome (replay case ~script:cx_script);
+    cx_original_entries = Array.length script;
+    cx_original_elements = List.length original_elements;
+    cx_replays = spent1 + spent2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Replayable one-line scripts                                          *)
+(* ------------------------------------------------------------------ *)
+
+let concat_map sep f xs = String.concat sep (List.map f xs)
+
+let cx_to_string cx =
+  let c = cx.cx_case in
+  Printf.sprintf
+    "impl=%s n=%d quorum=%s c=%d r=%d writes=%d scans=%d seed=%d label=%s \
+     loss=%g crashes=%s script=%s"
+    (Campaign.impl_name c.impl) c.replicas
+    (match c.prof.quorum with
+    | None -> "majority"
+    | Some k -> string_of_int k)
+    c.components c.readers c.writes_per_writer c.scans_per_reader c.seed
+    c.prof.label c.prof.loss
+    (concat_map "," (fun (r, k) -> Printf.sprintf "%d:%d" r k) c.prof.crashes)
+    (concat_map "," string_of_int (Array.to_list cx.cx_script))
+
+let cx_of_string s =
+  let ( let* ) = Result.bind in
+  let fields =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | None -> None
+        | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) ))
+      (String.split_on_char ' ' (String.trim s))
+  in
+  let field name = List.assoc_opt name fields in
+  let req name =
+    match field name with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "net replay script: missing %s=" name)
+  in
+  let int_field name =
+    let* v = req name in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None ->
+      Error (Printf.sprintf "net replay script: %s=%S is not an integer" name v)
+  in
+  let list_field name parse =
+    match field name with
+    | None | Some "" -> Ok []
+    | Some v ->
+      List.fold_right
+        (fun tok acc ->
+          let* acc = acc in
+          let* x = parse tok in
+          Ok (x :: acc))
+        (String.split_on_char ',' v) (Ok [])
+  in
+  let* impl_s = req "impl" in
+  let* impl =
+    match Campaign.impl_of_name impl_s with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "net replay script: unknown impl %S" impl_s)
+  in
+  let* replicas = int_field "n" in
+  let* quorum =
+    let* v = req "quorum" in
+    if v = "majority" then Ok None
+    else
+      match int_of_string_opt v with
+      | Some k -> Ok (Some k)
+      | None -> Error (Printf.sprintf "net replay script: bad quorum %S" v)
+  in
+  let* components = int_field "c" in
+  let* readers = int_field "r" in
+  let* writes_per_writer = int_field "writes" in
+  let* scans_per_reader = int_field "scans" in
+  let* seed = int_field "seed" in
+  let label = Option.value (field "label") ~default:"replay" in
+  let* loss =
+    match field "loss" with
+    | None -> Ok 0.0
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "net replay script: bad loss %S" v))
+  in
+  let* crashes =
+    list_field "crashes" (fun tok ->
+        match String.split_on_char ':' tok with
+        | [ r; k ] -> (
+          match (int_of_string_opt r, int_of_string_opt k) with
+          | Some r, Some k -> Ok (r, k)
+          | _ ->
+            Error (Printf.sprintf "net replay script: bad crash entry %S" tok))
+        | _ -> Error (Printf.sprintf "net replay script: bad crash entry %S" tok))
+  in
+  let* script =
+    list_field "script" (fun tok ->
+        match int_of_string_opt tok with
+        | Some n -> Ok n
+        | None ->
+          Error (Printf.sprintf "net replay script: bad script entry %S" tok))
+  in
+  Ok
+    {
+      cx_case =
+        {
+          impl;
+          prof = { label; loss; crashes; quorum };
+          replicas;
+          components;
+          readers;
+          writes_per_writer;
+          scans_per_reader;
+          seed;
+        };
+      cx_script = Array.of_list script;
+      cx_violations = "";
+      cx_original_entries = List.length script;
+      cx_original_elements =
+        (if loss > 0.0 then 1 else 0) + List.length crashes;
+      cx_replays = 0;
+    }
+
+let pp_counterexample fmt cx =
+  let c = cx.cx_case in
+  Format.fprintf fmt
+    "@[<v>minimized counterexample: impl=%s profile=%s n=%d quorum=%s@,\
+     fault elements: %d (from %d)  message-schedule entries: %d (from %d)  \
+     minimizer replays: %d@,\
+     loss=%g crashes=[%s] seed=%d@,\
+     violations of the minimized run:@,%s@,\
+     replay with:@,  net --replay '%s'@]"
+    (Campaign.impl_name c.impl) c.prof.label c.replicas
+    (match c.prof.quorum with
+    | None -> "majority"
+    | Some k -> string_of_int k)
+    (List.length (elements_of_profile c.prof))
+    cx.cx_original_elements (Array.length cx.cx_script)
+    cx.cx_original_entries cx.cx_replays c.prof.loss
+    (concat_map "," (fun (r, k) -> Printf.sprintf "%d:%d" r k) c.prof.crashes)
+    c.seed cx.cx_violations (cx_to_string cx)
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type cell = {
+  cell_impl : Campaign.impl;
+  cell_profile : profile;
+  runs : int;
+  flagged : int;
+  stuck : int;
+  msgs_sent : int;
+  msgs_lost : int;
+  counterexample : counterexample option;
+}
+
+type report = {
+  cells : cell list;
+  total_runs : int;
+  total_flagged : int;
+  total_stuck : int;
+}
+
+let case_of (cfg : config) impl prof i =
+  {
+    impl;
+    prof;
+    replicas = cfg.replicas;
+    components = cfg.components;
+    readers = cfg.readers;
+    writes_per_writer = cfg.writes_per_writer;
+    scans_per_reader = cfg.scans_per_reader;
+    seed = cfg.base_seed + i;
+  }
+
+let run ?(jobs = 1) ?pool ?metrics cfg =
+  let cells_spec =
+    List.concat_map
+      (fun impl -> List.map (fun prof -> (impl, prof)) cfg.profiles)
+      cfg.impls
+    |> Array.of_list
+  in
+  let ncells = Array.length cells_spec in
+  let results, workers =
+    Exec.Pool.map_workers ~jobs ?recorder:pool
+      ~label:(fun t ->
+        let impl, prof = cells_spec.(t / cfg.seeds) in
+        Printf.sprintf "net %s/%s seed=%d" (Campaign.impl_name impl) prof.label
+          (cfg.base_seed + (t mod cfg.seeds)))
+      ~worker:Obs.Metrics.create
+      (ncells * cfg.seeds)
+      (fun m t ->
+        let impl, prof = cells_spec.(t / cfg.seeds) in
+        let i = t mod cfg.seeds in
+        let case = case_of cfg impl prof i in
+        (* Random delivery order is the reordering adversary. *)
+        let r =
+          exec ~max_steps:cfg.max_steps case
+            (Record (Csim.Schedule.Random case.seed))
+        in
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram m "netchaos.schedule_entries")
+          (Array.length r.schedule);
+        r)
+  in
+  (* Sequential merge in cell-and-seed order, minimizing the first
+     failing seed of each cell — deterministic at every job count. *)
+  let cells =
+    List.init ncells (fun ci ->
+        let impl, prof = cells_spec.(ci) in
+        let flagged = ref 0 in
+        let stuck = ref 0 in
+        let sent = ref 0 in
+        let lost = ref 0 in
+        let cx = ref None in
+        for i = 0 to cfg.seeds - 1 do
+          let r = results.((ci * cfg.seeds) + i) in
+          sent := !sent + r.net.Net.Sim.sent;
+          lost := !lost + r.net.Net.Sim.lost;
+          (match r.outcome with
+          | Chaos.Passed | Chaos.Diverged _ -> ()
+          | Chaos.Stuck_run _ -> incr stuck
+          | Chaos.Flagged _ -> incr flagged);
+          if
+            !cx = None && cfg.minimize_budget > 0
+            && Chaos.outcome_failed r.outcome
+          then
+            cx :=
+              Some
+                (minimize ~budget:cfg.minimize_budget
+                   (case_of cfg impl prof i)
+                   ~script:r.schedule)
+        done;
+        {
+          cell_impl = impl;
+          cell_profile = prof;
+          runs = cfg.seeds;
+          flagged = !flagged;
+          stuck = !stuck;
+          msgs_sent = !sent;
+          msgs_lost = !lost;
+          counterexample = !cx;
+        })
+  in
+  let report =
+    {
+      cells;
+      total_runs = List.fold_left (fun a c -> a + c.runs) 0 cells;
+      total_flagged = List.fold_left (fun a c -> a + c.flagged) 0 cells;
+      total_stuck = List.fold_left (fun a c -> a + c.stuck) 0 cells;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    List.iter (fun w -> Obs.Metrics.merge ~into:m w) workers;
+    let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
+    c "netchaos.runs" report.total_runs;
+    c "netchaos.flagged" report.total_flagged;
+    c "netchaos.stuck" report.total_stuck;
+    c "netchaos.msgs_sent" (List.fold_left (fun a cl -> a + cl.msgs_sent) 0 cells);
+    c "netchaos.msgs_lost" (List.fold_left (fun a cl -> a + cl.msgs_lost) 0 cells));
+  report
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt
+        "%-18s %-16s runs=%-4d flagged=%-4d stuck=%-4d msgs=%d lost=%d@,"
+        (Campaign.impl_name c.cell_impl)
+        c.cell_profile.label c.runs c.flagged c.stuck c.msgs_sent c.msgs_lost)
+    r.cells;
+  Format.fprintf fmt "total: runs=%d flagged=%d stuck=%d@]" r.total_runs
+    r.total_flagged r.total_stuck

@@ -1,0 +1,135 @@
+(** Chaos campaigns for the message-passing backend.
+
+    The network analogue of {!Chaos}: run composite registers over the
+    ABD emulation while injecting {e network} faults — message loss,
+    adversarial message reordering (a recorded [Random] delivery
+    schedule), replica crash-stops — plus one deliberately wrong
+    protocol variant (a non-majority quorum) as a negative control.
+    In-model faults (loss, reorder, minority crashes) must leave every
+    history clean: that is exactly the fault envelope the ABD emulation
+    claims to mask.  The broken quorum voids the intersection argument,
+    and the campaign must catch it, minimize the failure with
+    {!Chaos.ddmin} — over both the fault list and the {e message
+    delivery schedule} — and print a one-line deterministic replay.
+
+    Unlike shared-memory process crashes, replica crashes leave no
+    dangling client operations (the emulation retransmits around them),
+    so the judge excuses nothing: all Shrinking conditions must hold on
+    the full history. *)
+
+type profile = {
+  label : string;
+  loss : float;  (** per-message loss probability in [0, 1) *)
+  crashes : (int * int) list;
+      (** [(replica, after_k_messages)] crash-stops; must leave a
+          majority alive *)
+  quorum : int option;
+      (** [None] = majority (correct); [Some k] forces
+          {!Net.Abd.Fixed}[ k] — non-majority values are the broken
+          variant *)
+}
+
+val profile :
+  ?loss:float -> ?crashes:(int * int) list -> ?quorum:int -> string -> profile
+
+val broken_quorum : profile -> bool
+
+val default_profiles : replicas:int -> profile list
+(** [none], [loss], [crash-last], [crash+loss] (all of which must stay
+    clean) and [broken-quorum] (which must be caught). *)
+
+type config = {
+  impls : Campaign.impl list;
+  profiles : profile list;
+  replicas : int;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  seeds : int;
+  base_seed : int;
+  max_steps : int;
+  minimize_budget : int;
+}
+
+val default : config
+
+type case = {
+  impl : Campaign.impl;
+  prof : profile;
+  replicas : int;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  seed : int;
+}
+
+type run_result = {
+  outcome : Chaos.outcome;
+  schedule : int array;
+      (** network-scheduler picks, in order (record mode only) *)
+  net : Net.Sim.stats;
+}
+
+val replay : case -> script:int array -> Chaos.outcome
+(** Re-execute a case under [Scripted (script, Round_robin)] over the
+    network's canonical action enumeration.  Deterministic: same case +
+    same script = same outcome. *)
+
+val export_timeline :
+  ?pp:(Net.Sim.payload -> string) -> case -> path:string -> run_result
+(** Run one recorded schedule of the case with event logging on and
+    write the message timeline ({!Net.Timeline}) to [path]. *)
+
+type counterexample = {
+  cx_case : case;  (** with the {e minimized} fault profile *)
+  cx_script : int array;  (** minimized message-delivery schedule *)
+  cx_violations : string;
+  cx_original_entries : int;
+  cx_original_elements : int;
+  cx_replays : int;
+}
+
+val minimize : budget:int -> case -> script:int array -> counterexample
+(** Delta-debug a failing (case, script) pair: first shrink the fault
+    elements (the loss knob, each crash), then the message schedule,
+    preserving failure kind.  The quorum override is part of the case
+    and is never dropped — it names the variant under accusation. *)
+
+val cx_to_string : counterexample -> string
+(** One-line replay script (for [net --replay]). *)
+
+val cx_of_string : string -> (counterexample, string) result
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+type cell = {
+  cell_impl : Campaign.impl;
+  cell_profile : profile;
+  runs : int;
+  flagged : int;
+  stuck : int;
+  msgs_sent : int;
+  msgs_lost : int;
+  counterexample : counterexample option;  (** first failing run, minimized *)
+}
+
+type report = {
+  cells : cell list;
+  total_runs : int;
+  total_flagged : int;
+  total_stuck : int;
+}
+
+val run :
+  ?jobs:int -> ?pool:Exec.Pool.recorder -> ?metrics:Obs.Metrics.t ->
+  config -> report
+(** The {impl × profile × seed} sweep, sharded over domains like
+    {!Chaos.run}; minimization happens in the sequential merge on the
+    first failing seed of each cell, so the report is bit-identical at
+    every job count.  With [metrics]: counters [netchaos.runs],
+    [netchaos.flagged], [netchaos.stuck], [netchaos.msgs_sent],
+    [netchaos.msgs_lost]; histogram [netchaos.schedule_entries]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -259,6 +259,7 @@ let campaign_case (components, readers, writes, scans, schedules, base_seed) =
     (campaign_clean
        {
          Workload.Campaign.impl = Workload.Campaign.Impl_anderson;
+         backend = Workload.Campaign.Backend_shm;
          components;
          readers;
          writes_per_writer = writes;
@@ -372,6 +373,7 @@ let qcheck_random_campaign =
       let cfg =
         {
           Workload.Campaign.impl = Workload.Campaign.Impl_anderson;
+          backend = Workload.Campaign.Backend_shm;
           components;
           readers;
           writes_per_writer = writes;

@@ -39,8 +39,19 @@ let test_afek_domains () =
 
 let test_locked_domains () =
   let init = [| 0; 0 |] in
-  let handle = Composite.Multicore.locked ~init in
+  let handle = Composite.Multicore.locked ~readers:2 ~init in
   ignore (stress_and_check ~name:"locked" handle ~init ~config:small_config)
+
+let test_locked_reports_readers () =
+  (* Regression: [locked] used to advertise [readers = max_int], which
+     missizes anything allocating per-reader state from the handle. *)
+  let handle = Composite.Multicore.locked ~readers:3 ~init:[| 0; 0 |] in
+  check int "declared reader count" 3 handle.Composite.Snapshot.readers;
+  check bool "rejects readers < 1" true
+    (try
+       ignore (Composite.Multicore.locked ~readers:0 ~init:[| 0 |]);
+       false
+     with Invalid_argument _ -> true)
 
 let test_anderson_domains_larger () =
   (* More operations; checked by the Shrinking conditions only. *)
@@ -136,6 +147,8 @@ let () =
           Alcotest.test_case "anderson on domains" `Quick test_anderson_domains;
           Alcotest.test_case "afek on domains" `Quick test_afek_domains;
           Alcotest.test_case "locked on domains" `Quick test_locked_domains;
+          Alcotest.test_case "locked reports readers" `Quick
+            test_locked_reports_readers;
           Alcotest.test_case "anderson at scale" `Slow
             test_anderson_domains_larger;
         ] );

@@ -1,0 +1,328 @@
+(* The message-passing backend: the simulated network, the ABD
+   emulation, and the composite constructions running over it. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let mk_env ?loss ?crashes ?log ~replicas ~seed () =
+  Net.Sim.create ?loss ?crashes ?log ~replicas ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* Solo register semantics and exact message complexity               *)
+(* ------------------------------------------------------------------ *)
+
+let test_solo_write_read () =
+  let env = mk_env ~replicas:3 ~seed:1 () in
+  let abd = Net.Abd.create env in
+  let mem = Net.Abd.memory abd in
+  let got = ref (-1) in
+  let stats =
+    Net.Sim.run env
+      [|
+        (fun () ->
+          let cell = mem.Csim.Memory.make ~name:"x" ~bits:64 0 in
+          cell.Csim.Memory.write 42;
+          got := cell.Csim.Memory.read ();
+          check int "peek sees the write" 42 (cell.Csim.Memory.peek ()));
+      |]
+  in
+  check int "read returns the written value" 42 !got;
+  check int "no losses on a clean network" 0 stats.Net.Sim.lost;
+  (* One write (2n) + one read (4n) on n = 3 replicas. *)
+  check int "ABD message bound" ((2 * 3) + (4 * 3)) stats.Net.Sim.sent
+
+let test_message_bound_per_op () =
+  List.iter
+    (fun n ->
+      (* Write alone: n requests + n acks after the drain. *)
+      let env = mk_env ~replicas:n ~seed:7 () in
+      let abd = Net.Abd.create env in
+      let mem = Net.Abd.memory abd in
+      let cellr = ref None in
+      let s_write =
+        Net.Sim.run env
+          [|
+            (fun () ->
+              let cell = mem.Csim.Memory.make ~name:"x" ~bits:64 0 in
+              cellr := Some cell;
+              cell.Csim.Memory.write 1);
+          |]
+      in
+      check int
+        (Printf.sprintf "write sends 2n messages (n=%d)" n)
+        (2 * n) s_write.Net.Sim.sent;
+      (* Read alone: query round + write-back round, 4n total. *)
+      let s_read =
+        Net.Sim.run env
+          [| (fun () -> ignore ((Option.get !cellr).Csim.Memory.read ())) |]
+      in
+      check int
+        (Printf.sprintf "read sends 4n messages (n=%d)" n)
+        (4 * n) s_read.Net.Sim.sent;
+      check int "two quorum phases per read" 3 (Net.Abd.stats abd).Net.Abd.rounds)
+    [ 3; 5; 7 ]
+
+let test_determinism () =
+  let run () =
+    let env = mk_env ~loss:0.2 ~crashes:[ (2, 4) ] ~replicas:5 ~seed:11 () in
+    let abd = Net.Abd.create env in
+    let mem = Net.Abd.memory abd in
+    let outs = Array.make 2 [] in
+    let stats =
+      Net.Sim.run env ~policy:(Csim.Schedule.Random 99)
+        [|
+          (fun () ->
+            let c = mem.Csim.Memory.make ~name:"a" ~bits:64 0 in
+            for v = 1 to 5 do
+              c.Csim.Memory.write v;
+              outs.(0) <- c.Csim.Memory.read () :: outs.(0)
+            done);
+          (fun () ->
+            let c = mem.Csim.Memory.make ~name:"b" ~bits:64 0 in
+            for v = 1 to 5 do
+              c.Csim.Memory.write (100 + v);
+              outs.(1) <- c.Csim.Memory.read () :: outs.(1)
+            done);
+        |]
+    in
+    (stats, outs)
+  in
+  let s1, o1 = run () in
+  let s2, o2 = run () in
+  check bool "same stats on same seed" true (s1 = s2);
+  check bool "same outputs on same seed" true (o1 = o2);
+  check bool "losses actually happened" true (s1.Net.Sim.lost > 0)
+
+let test_crash_validation () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check bool "majority crash rejected" true
+    (expect_invalid (fun () -> mk_env ~replicas:3 ~crashes:[ (0, 1); (1, 2) ] ~seed:0 ()));
+  check bool "out-of-range replica rejected" true
+    (expect_invalid (fun () -> mk_env ~replicas:3 ~crashes:[ (3, 1) ] ~seed:0 ()));
+  check bool "duplicate crash rejected" true
+    (expect_invalid (fun () -> mk_env ~replicas:5 ~crashes:[ (1, 1); (1, 2) ] ~seed:0 ()));
+  check bool "bad loss rejected" true
+    (expect_invalid (fun () -> mk_env ~replicas:3 ~loss:1.0 ~seed:0 ()));
+  check bool "minority crash accepted" true
+    (Option.is_some (try Some (mk_env ~replicas:5 ~crashes:[ (3, 0); (4, 2) ] ~seed:0 ()) with Invalid_argument _ -> None))
+
+let test_crash_masked () =
+  (* A crashed minority never blocks termination, and reads still see
+     the latest completed write. *)
+  let env = mk_env ~crashes:[ (4, 0); (3, 2) ] ~replicas:5 ~seed:3 () in
+  let abd = Net.Abd.create env in
+  let mem = Net.Abd.memory abd in
+  let out = ref [] in
+  let (_ : Net.Sim.stats) =
+    Net.Sim.run env ~policy:(Csim.Schedule.Random 17)
+      [|
+        (fun () ->
+          let c = mem.Csim.Memory.make ~name:"x" ~bits:64 0 in
+          for v = 1 to 8 do
+            c.Csim.Memory.write v;
+            out := c.Csim.Memory.read () :: !out
+          done);
+      |]
+  in
+  check bool "solo client reads its own writes" true
+    (!out = [ 8; 7; 6; 5; 4; 3; 2; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability of the emulated register under network faults       *)
+(* ------------------------------------------------------------------ *)
+
+(* One ABD register, several clients, random delivery order, message
+   loss and a minority crash: every completed history must linearize
+   against the sequential register spec.  This is the ground-truth
+   oracle check (Wing–Gong search), independent of the Shrinking
+   machinery the campaigns use. *)
+let qcheck_abd_linearizable =
+  QCheck2.Test.make ~count:40
+    ~name:"ABD register linearizes under loss + reorder + crash"
+    QCheck2.Gen.(
+      quad
+        (int_range 0 1) (* 0 = 3 replicas no crash, 1 = 5 replicas f=2 *)
+        (int_range 0 2) (* loss knob: 0.0 / 0.1 / 0.25 *)
+        (int_range 2 3) (* clients *)
+        (int_range 0 1_000_000) (* seed *))
+    (fun (topo, lossk, clients, seed) ->
+      let replicas, crashes =
+        if topo = 0 then (3, []) else (5, [ (4, 2); (3, 5) ])
+      in
+      let loss = [| 0.0; 0.1; 0.25 |].(lossk) in
+      let env = mk_env ~loss ~crashes ~replicas ~seed () in
+      let abd = Net.Abd.create env in
+      let mem = Net.Abd.memory abd in
+      let ops = ref [] in
+      let record ~proc ~label ~input ~output ~inv ~res =
+        ops := History.Oprec.v ~proc ~label ~input ~output ~inv ~res :: !ops
+      in
+      let cellr = ref None in
+      let client proc () =
+        let cell =
+          match !cellr with
+          | Some c -> c
+          | None ->
+              let c = mem.Csim.Memory.make ~name:"r" ~bits:64 0 in
+              cellr := Some c;
+              c
+        in
+        (* 4 ops per client: writes carry globally distinct values. *)
+        for i = 1 to 2 do
+          let v = (100 * (proc + 1)) + i in
+          let inv = Net.Sim.now env in
+          cell.Csim.Memory.write v;
+          record ~proc ~label:"write"
+            ~input:(History.Linearize.Reg_write v)
+            ~output:History.Linearize.Reg_done ~inv ~res:(Net.Sim.now env);
+          let inv = Net.Sim.now env in
+          let got = cell.Csim.Memory.read () in
+          record ~proc ~label:"read" ~input:History.Linearize.Reg_read
+            ~output:(History.Linearize.Reg_value got) ~inv
+            ~res:(Net.Sim.now env)
+        done
+      in
+      let (_ : Net.Sim.stats) =
+        Net.Sim.run env
+          ~policy:(Csim.Schedule.Random (seed lxor 0x5ca1ab1e))
+          (Array.init clients client)
+      in
+      History.Linearize.is_linearizable
+        (History.Linearize.register_spec ~equal:Int.equal)
+        ~init:0 (List.rev !ops))
+
+(* ------------------------------------------------------------------ *)
+(* Negative control: the broken quorum variant must be caught          *)
+(* ------------------------------------------------------------------ *)
+
+let broken_profile () =
+  List.find Workload.Netchaos.broken_quorum
+    (Workload.Netchaos.default_profiles ~replicas:3)
+
+let test_broken_quorum_flagged () =
+  let cfg =
+    {
+      Workload.Netchaos.default with
+      impls = [ Workload.Campaign.Impl_anderson ];
+      profiles = [ broken_profile () ];
+      seeds = 10;
+      minimize_budget = 800;
+    }
+  in
+  let r = Workload.Netchaos.run cfg in
+  check bool "broken quorum is flagged" true
+    (r.Workload.Netchaos.total_flagged > 0);
+  check int "no stuck runs" 0 r.Workload.Netchaos.total_stuck;
+  match r.Workload.Netchaos.cells with
+  | [ cell ] -> (
+      match cell.Workload.Netchaos.counterexample with
+      | None -> Alcotest.fail "flagged cell carries no counterexample"
+      | Some cx ->
+          check bool "minimizer shrank the schedule" true
+            (Array.length cx.Workload.Netchaos.cx_script
+            <= cx.Workload.Netchaos.cx_original_entries);
+          (* The quorum override names the accused variant and is never
+             minimized away. *)
+          check bool "quorum override survives minimization" true
+            (cx.Workload.Netchaos.cx_case.Workload.Netchaos.prof
+               .Workload.Netchaos.quorum
+            = Some 1);
+          (* The one-line script round-trips and replays to the same
+             verdict. *)
+          let line = Workload.Netchaos.cx_to_string cx in
+          let cx' =
+            match Workload.Netchaos.cx_of_string line with
+            | Ok cx' -> cx'
+            | Error e -> Alcotest.fail ("cx_of_string: " ^ e)
+          in
+          check bool "round-tripped script replays to Flagged" true
+            (match
+               Workload.Netchaos.replay cx'.Workload.Netchaos.cx_case
+                 ~script:cx'.Workload.Netchaos.cx_script
+             with
+            | Workload.Chaos.Flagged _ -> true
+            | _ -> false))
+  | cells ->
+      Alcotest.failf "expected 1 cell, got %d" (List.length cells)
+
+(* A pinned, pre-minimized counterexample from the broken-quorum
+   variant (captured by `net --broken-quorum --loss 0.3`): 54 scheduler
+   picks that drive Anderson-over-ABD with a 1-replica write quorum
+   into two Write Precedence violations.  Replaying it is a regression
+   lock on the scheduler's canonical action enumeration — if the
+   enumeration order ever changes, this diverges rather than silently
+   passing. *)
+let pinned_cx =
+  "impl=anderson n=3 quorum=1 c=2 r=2 writes=2 scans=2 seed=5 label=cli \
+   loss=0.3 crashes= \
+   script=2,1,0,2,4,0,0,2,2,8,6,1,6,9,2,8,2,3,0,7,6,4,2,0,0,4,0,0,3,3,0,5,3,1,3,1,3,3,3,0,3,1,4,1,3,2,0,0,2,0,0,0,2,1"
+
+let test_pinned_replay () =
+  let cx =
+    match Workload.Netchaos.cx_of_string pinned_cx with
+    | Ok cx -> cx
+    | Error e -> Alcotest.fail ("pinned cx_of_string: " ^ e)
+  in
+  match
+    Workload.Netchaos.replay cx.Workload.Netchaos.cx_case
+      ~script:cx.Workload.Netchaos.cx_script
+  with
+  | Workload.Chaos.Flagged vs ->
+      check bool "pinned script yields violations" true (vs <> [])
+  | Workload.Chaos.Passed -> Alcotest.fail "pinned counterexample passed"
+  | Workload.Chaos.Stuck_run m -> Alcotest.failf "pinned replay stuck: %s" m
+  | Workload.Chaos.Diverged m ->
+      Alcotest.failf
+        "pinned replay diverged (action enumeration changed?): %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Campaign over the net backend: job-count independence               *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_net_jobs_identical () =
+  let cfg =
+    {
+      Workload.Campaign.default with
+      backend =
+        Workload.Campaign.Backend_net { replicas = 5; crash = 1; loss = 0.1 };
+      schedules = 6;
+    }
+  in
+  let r1 = Workload.Campaign.run ~jobs:1 cfg in
+  let r4 = Workload.Campaign.run ~jobs:4 cfg in
+  check bool "net campaign result independent of jobs" true (r1 = r4);
+  check int "no violations over the net backend" 0
+    r1.Workload.Campaign.flagged_runs;
+  check int "no stuck runs over the net backend" 0
+    r1.Workload.Campaign.stuck_runs
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "abd",
+        [
+          Alcotest.test_case "solo write/read" `Quick test_solo_write_read;
+          Alcotest.test_case "exact message bound" `Quick
+            test_message_bound_per_op;
+          Alcotest.test_case "deterministic replay" `Quick test_determinism;
+          Alcotest.test_case "fault validation" `Quick test_crash_validation;
+          Alcotest.test_case "minority crash masked" `Quick test_crash_masked;
+        ] );
+      ( "linearizability",
+        [ QCheck_alcotest.to_alcotest qcheck_abd_linearizable ] );
+      ( "netchaos",
+        [
+          Alcotest.test_case "broken quorum flagged + minimized" `Slow
+            test_broken_quorum_flagged;
+          Alcotest.test_case "pinned counterexample replays" `Quick
+            test_pinned_replay;
+          Alcotest.test_case "campaign jobs-independent" `Slow
+            test_campaign_net_jobs_identical;
+        ] );
+    ]

@@ -110,6 +110,38 @@ let test_json_roundtrip () =
   | Ok j' -> check bool "pretty roundtrip" true (j = j')
   | Error e -> Alcotest.fail e
 
+let test_json_float_sentinels () =
+  let p f = Obs.Json.to_string (Obs.Json.Float f) in
+  (* Non-finite floats print as the bare tokens Python's json module
+     (which validates BENCH.json in CI) accepts — never as "nan"/"inf",
+     which nothing reparses. *)
+  check Alcotest.string "NaN token" "NaN" (p Float.nan);
+  check Alcotest.string "Infinity token" "Infinity" (p Float.infinity);
+  check Alcotest.string "-Infinity token" "-Infinity" (p Float.neg_infinity);
+  (match Obs.Json.of_string "NaN" with
+  | Ok (Obs.Json.Float f) -> check bool "NaN reparses" true (Float.is_nan f)
+  | _ -> Alcotest.fail "NaN not parsed");
+  (match Obs.Json.of_string "Infinity" with
+  | Ok (Obs.Json.Float f) ->
+      check bool "Infinity reparses" true (f = Float.infinity)
+  | _ -> Alcotest.fail "Infinity not parsed");
+  (match Obs.Json.of_string "[-Infinity]" with
+  | Ok (Obs.Json.Arr [ Obs.Json.Float f ]) ->
+      check bool "-Infinity reparses" true (f = Float.neg_infinity)
+  | _ -> Alcotest.fail "-Infinity not parsed");
+  (* Integral floats keep a decimal point so they reparse as Float, not
+     Int. *)
+  check Alcotest.string "integral float keeps the point" "3.0" (p 3.0);
+  check Alcotest.string "negative integral float" "-17.0" (p (-17.0))
+
+let qcheck_json_float_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"float print/parse round-trip is exact"
+    QCheck2.Gen.float (fun f ->
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+      | Ok (Obs.Json.Float f') ->
+          (Float.is_nan f && Float.is_nan f') || f = f'
+      | _ -> false)
+
 let test_json_malformed () =
   let bad s =
     match Obs.Json.of_string s with
@@ -466,6 +498,9 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "malformed rejected" `Quick test_json_malformed;
+          Alcotest.test_case "non-finite float sentinels" `Quick
+            test_json_float_sentinels;
+          QCheck_alcotest.to_alcotest qcheck_json_float_roundtrip;
         ] );
       ( "spans",
         [

@@ -64,6 +64,29 @@ let test_gen_validation () =
     (fun () ->
       ignore (Workload.Gen.shape ~seed:1 ~max_components:0 ~max_readers:1 ~max_ops:1))
 
+let test_meter_arity () =
+  let expect_invalid what f =
+    match f () with
+    | (_ : int) -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  let impl = Workload.Campaign.Impl_anderson in
+  expect_invalid "scan_cost c=0" (fun () ->
+      Workload.Meter.scan_cost impl ~c:0 ~r:1);
+  expect_invalid "scan_cost r=0" (fun () ->
+      Workload.Meter.scan_cost impl ~c:2 ~r:0);
+  expect_invalid "update_cost c=0" (fun () ->
+      Workload.Meter.update_cost impl ~c:0 ~r:1 ~writer:0);
+  expect_invalid "update_cost writer<0" (fun () ->
+      Workload.Meter.update_cost impl ~c:2 ~r:1 ~writer:(-1));
+  expect_invalid "update_cost writer>=c" (fun () ->
+      Workload.Meter.update_cost impl ~c:2 ~r:1 ~writer:2);
+  (* The smallest legal shapes still measure. *)
+  check bool "scan_cost c=1 r=1 positive" true
+    (Workload.Meter.scan_cost impl ~c:1 ~r:1 > 0);
+  check bool "update_cost writer=c-1 positive" true
+    (Workload.Meter.update_cost impl ~c:2 ~r:1 ~writer:1 > 0)
+
 let () =
   Alcotest.run "workload"
     [
@@ -78,4 +101,6 @@ let () =
           Alcotest.test_case "bounds" `Quick test_gen_bounds;
           Alcotest.test_case "validation" `Quick test_gen_validation;
         ] );
+      ( "meter",
+        [ Alcotest.test_case "arity validation" `Quick test_meter_arity ] );
     ]
