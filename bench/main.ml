@@ -19,6 +19,9 @@
          composite ops decompose into 4n*reads + 2n*writes, and the
          net chaos fault envelope holds (in-model faults clean,
          broken quorum caught).
+   E17 — Serving layer: write/scan throughput and latency across shard
+         counts, write burst sizes, and with caching disabled; exact
+         coalesce and cache hit/stale ratios from the serve counters.
 
    Counts (E1-E6, E9) are deterministic and compared against the paper
    exactly; wall-clock numbers (E7, E8, E15 timings) are
@@ -1243,6 +1246,141 @@ let e8 () =
      all; the PRMW counter is wait-free)"
 
 (* ------------------------------------------------------------------ *)
+(* E17                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One serving-layer cell: C writer domains each run [rounds] bursts of
+   [burst] writes — [burst - 1] asynchronous posts (the coalescing path)
+   followed by one synchronous update whose end-to-end latency
+   (mailbox -> applier -> publish -> ack) is sampled — while R reader
+   domains scan at full speed until the writers finish.  Throughput and
+   latency are wall-clock (shape only, like E7/E8); the coalesce and
+   cache ratios come from the exact serve counters.  Runs even under
+   --quick: each cell is a few hundred milliseconds and CI validates the
+   E17 rows in BENCH.json. *)
+let e17 () =
+  section
+    "E17: serving layer — throughput/latency vs shards, burst size, caching";
+  let components = 4 and readers = 2 and rounds = 60 in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "cell"; "writes/ms"; "scans/ms"; "update p50 ns"; "update p99 ns";
+          "scan p50 ns"; "scan p99 ns"; "coalesced"; "cache hit"; "stale";
+        ]
+  in
+  let run_cell (label, shards, burst, cache) =
+    let srv =
+      Serve.create ~cache ~shards ~readers ~init:(Array.make components 0) ()
+    in
+    Serve.start srv;
+    let update_lat = Array.init components (fun _ -> ref []) in
+    let scan_lat = Array.init readers (fun _ -> ref []) in
+    let writers_left = Atomic.make components in
+    let t0 = Unix.gettimeofday () in
+    let writer k =
+      Domain.spawn (fun () ->
+          for round = 1 to rounds do
+            for i = 1 to burst - 1 do
+              Serve.post srv ~writer:k ((round * 1000) + i)
+            done;
+            let s = Unix.gettimeofday () in
+            ignore (Serve.update srv ~writer:k (round * 1000));
+            update_lat.(k) :=
+              ((Unix.gettimeofday () -. s) *. 1e9) :: !(update_lat.(k))
+          done;
+          Atomic.decr writers_left)
+    in
+    let reader j =
+      Domain.spawn (fun () ->
+          while Atomic.get writers_left > 0 do
+            let s = Unix.gettimeofday () in
+            ignore (Serve.scan_items srv ~reader:j);
+            scan_lat.(j) :=
+              ((Unix.gettimeofday () -. s) *. 1e9) :: !(scan_lat.(j))
+          done)
+    in
+    let domains = List.init components writer @ List.init readers reader in
+    List.iter Domain.join domains;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Serve.shutdown srv;
+    let st = Serve.stats srv in
+    let sorted rs =
+      let a =
+        Array.concat (Array.to_list (Array.map (fun r -> Array.of_list !r) rs))
+      in
+      Array.sort compare a;
+      a
+    in
+    let ul = sorted update_lat and sl = sorted scan_lat in
+    let scans = Array.length sl in
+    let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+    let writes_per_ms = float_of_int st.Serve.posted /. elapsed /. 1e3 in
+    let scans_per_ms = float_of_int scans /. elapsed /. 1e3 in
+    let coalesce_ratio = ratio st.Serve.coalesced st.Serve.posted in
+    let hit_ratio =
+      ratio st.Serve.hits (st.Serve.hits + st.Serve.misses + st.Serve.stale)
+    in
+    let stale_ratio =
+      ratio st.Serve.stale (st.Serve.hits + st.Serve.misses + st.Serve.stale)
+    in
+    Record.row "E17"
+      [
+        ("cell", Obs.Json.Str label);
+        ("shards", Obs.Json.Int shards);
+        ("burst", Obs.Json.Int burst);
+        ("cache", Obs.Json.Bool cache);
+        ("writes_per_ms", Obs.Json.Float writes_per_ms);
+        ("scans_per_ms", Obs.Json.Float scans_per_ms);
+        ("update_p50_ns", Obs.Json.Float (percentile ul 0.50));
+        ("update_p99_ns", Obs.Json.Float (percentile ul 0.99));
+        ("scan_p50_ns", Obs.Json.Float (percentile sl 0.50));
+        ("scan_p99_ns", Obs.Json.Float (percentile sl 0.99));
+        ("coalesce_ratio", Obs.Json.Float coalesce_ratio);
+        ("cache_hit_ratio", Obs.Json.Float hit_ratio);
+        ("cache_stale_ratio", Obs.Json.Float stale_ratio);
+        ("posted", Obs.Json.Int st.Serve.posted);
+        ("coalesced", Obs.Json.Int st.Serve.coalesced);
+        ("applied", Obs.Json.Int st.Serve.applied);
+        ("publishes", Obs.Json.Int st.Serve.publishes);
+      ];
+    Workload.Table.add_row t
+      [
+        label;
+        Workload.Table.cell_float ~decimals:1 writes_per_ms;
+        Workload.Table.cell_float ~decimals:1 scans_per_ms;
+        Workload.Table.cell_float ~decimals:0 (percentile ul 0.50);
+        Workload.Table.cell_float ~decimals:0 (percentile ul 0.99);
+        Workload.Table.cell_float ~decimals:0 (percentile sl 0.50);
+        Workload.Table.cell_float ~decimals:0 (percentile sl 0.99);
+        Printf.sprintf "%.0f%%" (100. *. coalesce_ratio);
+        Printf.sprintf "%.0f%%" (100. *. hit_ratio);
+        Printf.sprintf "%.0f%%" (100. *. stale_ratio);
+      ]
+  in
+  List.iter run_cell
+    [
+      ("S=1 burst=8", 1, 8, true);
+      ("S=2 burst=8", 2, 8, true);
+      ("S=4 burst=8", 4, 8, true);
+      ("S=2 burst=1", 2, 1, true);
+      ("S=2 burst=32", 2, 32, true);
+      ("S=2 no-cache", 2, 8, false);
+    ];
+  Workload.Table.print t;
+  Printf.printf
+    "(C=%d writer domains x %d bursts, %d reader domains scanning \
+     throughout; coalesce and cache ratios are exact counter values, \
+     times are wall-clock shape only)\n"
+    components rounds readers
+
+(* ------------------------------------------------------------------ *)
 
 let json_path () =
   let path = ref None in
@@ -1286,6 +1424,7 @@ let () =
   e14 ();
   e15 ();
   e16 ~jobs ();
+  e17 ();
   if not quick then begin
     e7 ();
     e8 ()

@@ -30,6 +30,32 @@ let jobs_arg =
            recommended domains for this machine).  Results are \
            bit-identical for every value.")
 
+(* Canonical flag spellings are shared across the campaign subcommands
+   (--jobs, --seed, --schedules, --backend); superseded spellings
+   survive as aliases hidden from the man page that print a one-line
+   deprecation note when used. *)
+let schedules_term ~legacy ~default ~doc =
+  let canonical =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "schedules" ] ~docv:"N" ~doc)
+  in
+  let alias =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ legacy ] ~deprecated:"use --schedules instead"
+          ~docs:Manpage.s_none ~docv:"N" ~doc)
+  in
+  Term.(
+    const (fun c a ->
+        match (c, a) with
+        | Some n, _ -> n
+        | None, Some n -> n
+        | None, None -> default)
+    $ canonical $ alias)
+
 let pool_trace_arg =
   Arg.(
     value
@@ -55,28 +81,41 @@ let with_pool_trace pool_trace f =
 (* verify                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Net flags imply the net backend, so `verify --replicas 5 --crash 1`
-   does what it says without an explicit --backend. *)
+(* Backends resolve through the named registry; net flags imply the net
+   backend, so `verify --replicas 5 --crash 1` does what it says without
+   an explicit --backend.  Unknown names die listing what is
+   registered. *)
 let resolve_backend backend replicas crash loss =
-  match backend with
-  | Some "shm" -> Workload.Campaign.Backend_shm
-  | Some "net" | None
-    when backend = Some "net" || replicas <> None || crash > 0 || loss > 0.0 ->
-    Workload.Campaign.Backend_net
-      { replicas = Option.value replicas ~default:5; crash; loss }
-  | None -> Workload.Campaign.Backend_shm
-  | Some other ->
-    raise (Invalid_argument (Printf.sprintf "unknown backend %S" other))
+  let name =
+    match backend with
+    | Some n -> n
+    | None ->
+      if replicas <> None || crash > 0 || loss > 0.0 then "net" else "shm"
+  in
+  match Workload.Backend.find name with
+  | Error msg ->
+    prerr_endline msg;
+    exit 2
+  | Ok b -> (
+    match b.Workload.Backend.kind with
+    | Workload.Backend.Net _ ->
+      (* Re-derive the descriptor so the CLI parameter overrides apply. *)
+      Workload.Backend.net
+        ~replicas:(Option.value replicas ~default:5)
+        ~crash ~loss ()
+    | _ -> b)
 
 let backend_arg =
   Arg.(
     value
-    & opt (some (enum [ ("shm", "shm"); ("net", "net") ])) None
-    & info [ "backend" ] ~docv:"shm|net"
+    & opt (some string) None
+    & info [ "backend" ] ~docv:"NAME"
         ~doc:
-          "Register backend: shared-memory simulator cells, or ABD quorum \
-           emulation over the simulated message-passing network.  Giving \
-           any of --replicas/--crash/--loss implies net.")
+          "Register backend, by registry name: $(b,shm) (simulator cells, \
+           seeded interleavings), $(b,net) (ABD quorum emulation over the \
+           simulated message-passing network) or $(b,multicore) (Atomic.t \
+           registers on real domains).  Giving any of \
+           --replicas/--crash/--loss implies net.")
 
 let replicas_arg =
   Arg.(
@@ -103,7 +142,7 @@ let verify impl backend replicas crash loss components readers writes scans
     schedules seed jobs pool_trace exhaustive =
   let backend = resolve_backend backend replicas crash loss in
   if exhaustive then begin
-    (if backend <> Workload.Campaign.Backend_shm then begin
+    (if backend.Workload.Backend.kind <> Workload.Backend.Shm then begin
        prerr_endline
          "verify --exhaustive explores shared-memory interleavings only";
        exit 2
@@ -146,7 +185,7 @@ let verify impl backend replicas crash loss components readers writes scans
     Printf.printf
       "randomized campaign: impl=%s backend=%s C=%d R=%d ops/proc=%d/%d\n%!"
       (Workload.Campaign.impl_name impl)
-      (Workload.Campaign.backend_name backend)
+      (Workload.Backend.label backend)
       components readers writes scans;
     let r =
       with_pool_trace pool_trace (fun pool ->
@@ -909,7 +948,8 @@ let chaos_cmd =
     Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
   in
   let seeds =
-    Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeds per (impl, profile).")
+    schedules_term ~legacy:"seeds" ~default:10
+      ~doc:"Seeded schedules per (impl, profile) cell."
   in
   let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
   let faults =
@@ -1139,7 +1179,8 @@ let net_cmd =
     Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
   in
   let seeds =
-    Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeds per (impl, profile).")
+    schedules_term ~legacy:"seeds" ~default:10
+      ~doc:"Seeded schedules per (impl, profile) cell."
   in
   let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
   let profiles =
@@ -1198,6 +1239,174 @@ let net_cmd =
       $ minimize_budget $ timeline $ jobs_arg $ pool_trace_arg $ expect_clean
       $ expect_flagged $ replay)
 
+(* ------------------------------------------------------------------ *)
+(* serve (E17's correctness side)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let outer_conv =
+  let parse s =
+    match Serve.outer_impl_of_name s with
+    | Some o -> Ok o
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown outer implementation %S (anderson|afek)" s))
+  in
+  let print fmt o = Format.pp_print_string fmt (Serve.outer_impl_name o) in
+  Arg.conv (parse, print)
+
+let serve_run outer shard_counts components readers writes scans schedules
+    jobs pool_trace no_validate no_cache expect_clean expect_flagged =
+  let shard_counts = if shard_counts = [] then [ 1; 2; 4 ] else shard_counts in
+  let shard_counts =
+    List.sort_uniq compare
+      (List.filter (fun s -> s >= 1 && s <= components) shard_counts)
+  in
+  if shard_counts = [] then begin
+    Printf.eprintf "no requested shard count lies in 1..%d\n" components;
+    exit 2
+  end;
+  let validate = not no_validate and cache = not no_cache in
+  (* No [jobs] in the banner: clean campaign output is bit-identical at
+     every job count, and the CI legs diff it. *)
+  Printf.printf
+    "serve campaign: outer=%s C=%d R=%d ops/proc=%d/%d runs/shard-count=%d \
+     validate=%b cache=%b\n\n\
+     %!"
+    (Serve.outer_impl_name outer)
+    components readers writes scans schedules validate cache;
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "S"; "runs"; "ops"; "flagged"; "oracle fails"; "publishes";
+          "coalesced"; "hit%"; "stale";
+        ]
+  in
+  let total_flagged = ref 0 and total_generic = ref 0 in
+  let example = ref None in
+  with_pool_trace pool_trace (fun pool ->
+      List.iter
+        (fun shards ->
+          let m = Obs.Metrics.create () in
+          let cfg =
+            {
+              Workload.Serve_campaign.outer;
+              shards;
+              components;
+              readers;
+              writer_ops = writes;
+              reader_ops = scans;
+              runs = schedules;
+              validate;
+              cache;
+              check_generic = components * (writes + scans) <= 40;
+            }
+          in
+          let r = Workload.Serve_campaign.run ~jobs ~pool ~metrics:m cfg in
+          total_flagged := !total_flagged + r.flagged_runs;
+          total_generic := !total_generic + r.generic_failures;
+          if !example = None then example := r.example;
+          let c name =
+            Obs.Metrics.counter_value (Obs.Metrics.counter m name)
+          in
+          let hits = c "serve.cache.hit" in
+          let misses = c "serve.cache.miss" in
+          let stale = c "serve.cache.stale" in
+          let cached_scans = hits + misses + stale in
+          Workload.Table.add_row t
+            [
+              string_of_int shards;
+              string_of_int r.runs;
+              string_of_int r.ops_checked;
+              string_of_int r.flagged_runs;
+              string_of_int r.generic_failures;
+              string_of_int (c "serve.publishes");
+              string_of_int (c "serve.coalesced");
+              (if cached_scans = 0 then "-"
+               else
+                 Printf.sprintf "%.0f" (100. *. float hits /. float cached_scans));
+              string_of_int stale;
+            ])
+        shard_counts);
+  Workload.Table.print t;
+  (match !example with
+  | Some ex -> Format.printf "@.example violation:@.%s@." ex
+  | None -> ());
+  if expect_clean && (!total_flagged > 0 || !total_generic > 0) then exit 1;
+  if expect_flagged && !total_flagged = 0 then exit 1
+
+let serve_cmd =
+  let outer =
+    Arg.(
+      value
+      & opt outer_conv Serve.Outer_afek
+      & info [ "impl" ] ~docv:"anderson|afek"
+          ~doc:"Construction for the outer register of shard views.")
+  in
+  let shard_counts =
+    Arg.(
+      value & opt_all int []
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Shard count to stress (repeatable, forming a matrix; default 1, \
+             2, 4; counts above C are dropped).")
+  in
+  let components =
+    Arg.(value & opt int 4 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let writes =
+    Arg.(
+      value & opt int 4
+      & info [ "writes" ] ~doc:"Synchronous updates per writer domain.")
+  in
+  let scans =
+    Arg.(value & opt int 4 & info [ "scans" ] ~doc:"Scans per reader domain.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 5
+      & info [ "schedules" ]
+          ~doc:"Service lifetimes to stress per shard count.")
+  in
+  let no_validate =
+    Arg.(
+      value & flag
+      & info [ "no-validate" ]
+          ~doc:
+            "Disable cache freshness validation (the broken mutant readers \
+             reuse caches blindly; the checkers must flag it).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable read caching (every scan is full).")
+  in
+  let expect_clean =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:"Exit nonzero if any run is flagged by any checker.")
+  in
+  let expect_flagged =
+    Arg.(
+      value & flag
+      & info [ "expect-flagged" ]
+          ~doc:"Exit nonzero if no run is flagged (negative-control mode).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Stress the sharded serving layer (write-coalescing mailboxes, \
+          validated read caching) on real domains across a shard-count \
+          matrix, checking every recorded history with the Shrinking and \
+          Wing-Gong checkers (experiment E17's correctness side).")
+    Term.(
+      const serve_run $ outer $ shard_counts $ components $ readers $ writes
+      $ scans $ schedules $ jobs_arg $ pool_trace_arg $ no_validate $ no_cache
+      $ expect_clean $ expect_flagged)
+
 let fullstack_cmd =
   let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in
   Cmd.v
@@ -1225,5 +1434,6 @@ let () =
           [
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
-            mutants_cmd; trace_cmd; chaos_cmd; net_cmd; profile_cmd;
+            mutants_cmd; trace_cmd; chaos_cmd; net_cmd; serve_cmd;
+            profile_cmd;
           ]))

@@ -1,0 +1,22 @@
+type 'a t = {
+  components : int;
+  readers : int;
+  scan_items : reader:int -> 'a Item.t array;
+  update : writer:int -> 'a -> int;
+}
+
+let components t = t.components
+let readers t = t.readers
+let scan_items t ~reader = t.scan_items ~reader
+let update t ~writer v = t.update ~writer v
+let scan t ~reader = Item.values (t.scan_items ~reader)
+
+module type HANDLE = sig
+  type elt
+  type handle
+
+  val components : handle -> int
+  val readers : handle -> int
+  val scan_items : handle -> reader:int -> elt Item.t array
+  val update : handle -> writer:int -> elt -> int
+end

@@ -1,0 +1,57 @@
+(** The one handle interface every composite-register object satisfies.
+
+    A composite register presents [C] components to [R] declared Reader
+    processes; a Scan ([scan_items]) returns all [C] components with
+    their auxiliary ids, and [update ~writer v] performs a Write and
+    returns the auxiliary id assigned to it.  Every construction in
+    this repository — the paper's recursive construction, the Afek
+    et al. baseline, the double collects, the multi-writer wrapper
+    ({!Multi_writer.handle}) and the serving layer ([Serve.handle]) —
+    is reachable through a value of this record type, so campaigns,
+    meters, stress harnesses and benchmarks are written once, against
+    this interface.
+
+    Conventions:
+    - [update ~writer:k v] performs a Write of [v] through write port
+      [k] and returns the auxiliary id ([phi] of the operation).  For
+      single-writer objects, port [k] writes component [k]; wrappers
+      with several writers per component (e.g. [Multi_writer.handle])
+      expose [W] ports per component and document the port-to-component
+      mapping.
+    - [scan_items ~reader:j] performs a Read as Reader [j], returning
+      all [C] components.
+    - Handles are not thread-safe by themselves: one process per write
+      port, one per reader index, exactly as the paper's procedures are
+      resident to processes.
+
+    [Snapshot.t] is an alias of this type (the record is re-exported
+    there), so existing code using [Composite.Snapshot.t] and new code
+    using [Composite_intf.t] interoperate freely. *)
+
+type 'a t = {
+  components : int;
+  readers : int;
+  scan_items : reader:int -> 'a Item.t array;
+  update : writer:int -> 'a -> int;
+}
+
+val components : 'a t -> int
+val readers : 'a t -> int
+val scan_items : 'a t -> reader:int -> 'a Item.t array
+val update : 'a t -> writer:int -> 'a -> int
+
+val scan : 'a t -> reader:int -> 'a array
+(** [scan_items] with the auxiliary ids stripped: the public Read. *)
+
+(** First-class-module spelling of the same contract, for code that
+    wants to abstract the handle representation itself rather than use
+    the record directly. *)
+module type HANDLE = sig
+  type elt
+  type handle
+
+  val components : handle -> int
+  val readers : handle -> int
+  val scan_items : handle -> reader:int -> elt Item.t array
+  val update : handle -> writer:int -> elt -> int
+end

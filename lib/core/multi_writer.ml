@@ -65,6 +65,20 @@ let update t ~comp ~widx v =
   in
   encode_id t ~tag ~widx
 
+(* The unified-handle view: write port p drives (comp, widx) =
+   (p / W, p mod W), so ports group by component in slot order. *)
+let handle t =
+  {
+    Composite_intf.components = t.c;
+    readers = t.r;
+    scan_items = (fun ~reader -> scan_items t ~reader);
+    update =
+      (fun ~writer v ->
+        if writer < 0 || writer >= t.c * t.w then
+          invalid_arg "Multi_writer.handle: bad write port";
+        update t ~comp:(writer / t.w) ~widx:(writer mod t.w) v);
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Recording                                                            *)
 (* ------------------------------------------------------------------ *)

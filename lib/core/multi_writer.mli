@@ -44,6 +44,12 @@ val update : 'a t -> comp:int -> widx:int -> 'a -> int
 (** Write by writer [widx] (in [0 .. W-1]) to component [comp]; returns
     the auxiliary id. *)
 
+val handle : 'a t -> 'a Composite_intf.t
+(** The unified-handle view.  The handle advertises [C] components and
+    [C * W] write ports: port [p] writes component [p / W] as writer
+    [p mod W], so generic harnesses drive a multi-writer object through
+    the same interface as single-writer ones. *)
+
 (** {2 Recording} *)
 
 type 'a recorded = {

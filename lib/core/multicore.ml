@@ -52,7 +52,7 @@ type recorded_op =
   | Rec_write of { proc : int; comp : int; value : int; id : int; inv : int; res : int }
   | Rec_read of { proc : int; values : int array; ids : int array; inv : int; res : int }
 
-let stress ~config ~init ~handle =
+let stress ?(reader_pace = fun () -> ()) ~config ~init ~handle () =
   let c = handle.Snapshot.components in
   if Array.length init <> c then invalid_arg "Multicore.stress: arity mismatch";
   let clock = tick_clock () in
@@ -74,6 +74,7 @@ let stress ~config ~init ~handle =
   in
   let reader_body j () =
     for _ = 1 to config.reader_ops do
+      reader_pace ();
       let inv = clock () in
       let items = handle.Snapshot.scan_items ~reader:j in
       let res = clock () in

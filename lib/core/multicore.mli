@@ -43,9 +43,17 @@ type stress_config = {
 }
 
 val stress :
+  ?reader_pace:(unit -> unit) ->
   config:stress_config -> init:int array -> handle:int Snapshot.t ->
-  int History.Snapshot_history.t
+  unit -> int History.Snapshot_history.t
 (** Runs [C] writer domains (writer [k] writes values [k*1000 + seq])
     and [config.readers] reader domains concurrently, recording every
     operation with {!tick_clock} timestamps.  Returns the merged
-    history. *)
+    history.
+
+    [reader_pace] (default: none) runs on the reader domain before each
+    scan's invocation timestamp is taken.  Handles whose scans are much
+    cheaper than their updates (e.g. cached serving-layer reads) finish
+    all their scans before the first write completes, leaving nothing
+    concurrent to check; a pacing hook that waits for writer progress
+    restores genuine overlap. *)

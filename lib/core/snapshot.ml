@@ -1,4 +1,4 @@
-type 'a t = {
+type 'a t = 'a Composite_intf.t = {
   components : int;
   readers : int;
   scan_items : reader:int -> 'a Item.t array;

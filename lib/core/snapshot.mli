@@ -19,9 +19,14 @@
     Handles are not thread-safe by themselves: the caller must respect
     the access pattern (one process per writer index, one per reader
     index), exactly as the paper's procedures are resident to
-    processes. *)
+    processes.
 
-type 'a t = {
+    The record is an alias of {!Composite_intf.t} — the unified handle
+    interface every composite object in the repository satisfies — so
+    generic code written against either module accepts handles from
+    both. *)
+
+type 'a t = 'a Composite_intf.t = {
   components : int;
   readers : int;
   scan_items : reader:int -> 'a Item.t array;

@@ -1,0 +1,340 @@
+open Csim
+
+type outer_impl = Outer_anderson | Outer_afek
+
+let outer_impl_name = function
+  | Outer_anderson -> "anderson"
+  | Outer_afek -> "afek"
+
+let outer_impl_of_name = function
+  | "anderson" -> Some Outer_anderson
+  | "afek" -> Some Outer_afek
+  | _ -> None
+
+type 'a shard_view = { view : 'a Composite.Item.t array; version : int }
+
+type 'a cache = { snap : 'a Composite.Item.t array; versions : int array }
+
+type 'a t = {
+  components : int;
+  shards : int;
+  readers : int;
+  validate : bool;
+  cache_enabled : bool;
+  slice_off : int array;  (* per shard: first owned component *)
+  slice_len : int array;  (* per shard: number of owned components *)
+  owner : int array;  (* component -> owning shard *)
+  outer : 'a shard_view Composite.Snapshot.t;
+  (* Bumped by the owning applier BEFORE each publish: a reader that
+     finds a cell equal to its cached version knows no publish of that
+     shard has intervened (cells can run ahead of the outer register,
+     never behind it). *)
+  version_cells : int Atomic.t array;  (* per shard *)
+  mailboxes : ('a * int) option Atomic.t array;  (* per comp: value, ticket *)
+  tickets : int array;  (* per component; touched only by its writer *)
+  acked : (int * int) Atomic.t array;  (* per comp: last applied ticket, id *)
+  states : 'a Composite.Item.t array array;  (* per shard; applier-private *)
+  next_id : int array;  (* per component; touched only by its applier *)
+  posted : int Atomic.t array;  (* per component *)
+  coalesced : int Atomic.t array;  (* per component *)
+  applied : int Atomic.t array;  (* per component *)
+  publishes : int Atomic.t array;  (* per shard *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stale : int Atomic.t;
+  full_scans : int Atomic.t;
+  caches : 'a cache option array;  (* per reader; touched only by it *)
+  stop : bool Atomic.t;
+  mutable appliers : unit Domain.t list;
+}
+
+let components t = t.components
+let shards t = t.shards
+let readers t = t.readers
+let shard_of t k = t.owner.(k)
+
+let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true) ~shards
+    ~readers ~init () =
+  let components = Array.length init in
+  if components < 1 then invalid_arg "Serve.create: need at least 1 component";
+  if shards < 1 || shards > components then
+    invalid_arg
+      (Printf.sprintf "Serve.create: shards = %d not in 1..%d" shards components);
+  if readers < 1 then invalid_arg "Serve.create: readers must be >= 1";
+  (* Contiguous partition; shard sizes differ by at most one. *)
+  let q = components / shards and rem = components mod shards in
+  let slice_off = Array.make shards 0 and slice_len = Array.make shards 0 in
+  let off = ref 0 in
+  for s = 0 to shards - 1 do
+    slice_off.(s) <- !off;
+    slice_len.(s) <- (q + if s < rem then 1 else 0);
+    off := !off + slice_len.(s)
+  done;
+  let owner = Array.make components 0 in
+  for s = 0 to shards - 1 do
+    for k = slice_off.(s) to slice_off.(s) + slice_len.(s) - 1 do
+      owner.(k) <- s
+    done
+  done;
+  let states =
+    Array.init shards (fun s ->
+        Array.init slice_len.(s) (fun i ->
+            Composite.Item.initial init.(slice_off.(s) + i)))
+  in
+  let outer_init =
+    Array.init shards (fun s -> { view = Array.copy states.(s); version = 0 })
+  in
+  let mem = Memory.atomic () in
+  let outer_h =
+    match outer with
+    | Outer_afek -> Composite.Afek.create mem ~bits_per_value:64 ~init:outer_init
+    | Outer_anderson ->
+      Composite.Anderson.handle
+        (Composite.Anderson.create mem ~readers ~bits_per_value:64
+           ~init:outer_init)
+  in
+  let outer_h =
+    if outer_h.Composite.Snapshot.readers = max_int then
+      { outer_h with Composite.Snapshot.readers }
+    else outer_h
+  in
+  {
+    components;
+    shards;
+    readers;
+    validate;
+    cache_enabled = cache;
+    slice_off;
+    slice_len;
+    owner;
+    outer = outer_h;
+    version_cells = Array.init shards (fun _ -> Atomic.make 0);
+    mailboxes = Array.init components (fun _ -> Atomic.make None);
+    tickets = Array.make components 0;
+    acked = Array.init components (fun _ -> Atomic.make (0, 0));
+    states;
+    next_id = Array.make components 0;
+    posted = Array.init components (fun _ -> Atomic.make 0);
+    coalesced = Array.init components (fun _ -> Atomic.make 0);
+    applied = Array.init components (fun _ -> Atomic.make 0);
+    publishes = Array.init shards (fun _ -> Atomic.make 0);
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stale = Atomic.make 0;
+    full_scans = Atomic.make 0;
+    caches = Array.make readers None;
+    stop = Atomic.make false;
+    appliers = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Write path: mailboxes, coalescing, appliers                          *)
+(* ------------------------------------------------------------------ *)
+
+let post t ~writer v =
+  if writer < 0 || writer >= t.components then
+    invalid_arg "Serve.post: bad writer";
+  t.tickets.(writer) <- t.tickets.(writer) + 1;
+  Atomic.incr t.posted.(writer);
+  (* The exchange hands the mailbox over wait-free: whatever it returns
+     was never taken by the applier (its own exchange would have got it
+     first), so "applied" and "coalesced" partition the posts exactly. *)
+  match Atomic.exchange t.mailboxes.(writer) (Some (v, t.tickets.(writer))) with
+  | None -> ()
+  | Some _ -> Atomic.incr t.coalesced.(writer)
+
+let drain_shard t s =
+  let off = t.slice_off.(s) and len = t.slice_len.(s) in
+  let batch = ref [] in
+  for i = len - 1 downto 0 do
+    let k = off + i in
+    match Atomic.exchange t.mailboxes.(k) None with
+    | None -> ()
+    | Some (v, ticket) -> batch := (i, k, v, ticket) :: !batch
+  done;
+  match !batch with
+  | [] -> false
+  | batch ->
+    let acks =
+      List.map
+        (fun (i, k, v, ticket) ->
+          t.next_id.(k) <- t.next_id.(k) + 1;
+          let id = t.next_id.(k) in
+          t.states.(s).(i) <- { Composite.Item.v; id };
+          Atomic.incr t.applied.(k);
+          (k, ticket, id))
+        batch
+    in
+    (* Freshness invariant: bump the cell BEFORE the publish.  A cell
+       can then read ahead of the outer register (a harmless forced
+       miss) but never behind it, which is what makes a single collect
+       of the cells a sound cache validation. *)
+    let version = 1 + Atomic.fetch_and_add t.version_cells.(s) 1 in
+    let (_ : int) =
+      t.outer.Composite.Snapshot.update ~writer:s
+        { view = Array.copy t.states.(s); version }
+    in
+    Atomic.incr t.publishes.(s);
+    (* Acks only after the publish: a synchronous update that saw its
+       ticket acked knows its value is in the outer register. *)
+    List.iter (fun (k, ticket, id) -> Atomic.set t.acked.(k) (ticket, id)) acks;
+    true
+
+let drain t =
+  if t.appliers <> [] then
+    invalid_arg "Serve.drain: appliers are running; drain is for manual mode";
+  for s = 0 to t.shards - 1 do
+    ignore (drain_shard t s : bool)
+  done
+
+let applier t s () =
+  while not (Atomic.get t.stop) do
+    if not (drain_shard t s) then Domain.cpu_relax ()
+  done;
+  (* One sweep after the stop flag: posts that raced with shutdown must
+     still be applied so blocked synchronous updates can complete. *)
+  ignore (drain_shard t s : bool)
+
+let start t =
+  if t.appliers <> [] then invalid_arg "Serve.start: already started";
+  Atomic.set t.stop false;
+  t.appliers <- List.init t.shards (fun s -> Domain.spawn (applier t s))
+
+let shutdown t =
+  Atomic.set t.stop true;
+  List.iter Domain.join t.appliers;
+  t.appliers <- []
+
+let update t ~writer v =
+  post t ~writer v;
+  let ticket = t.tickets.(writer) in
+  let rec wait () =
+    let tk, id = Atomic.get t.acked.(writer) in
+    if tk >= ticket then id
+    else begin
+      Domain.cpu_relax ();
+      wait ()
+    end
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+(* Read path: full scans and the validated cache                        *)
+(* ------------------------------------------------------------------ *)
+
+let full_scan t ~reader =
+  Atomic.incr t.full_scans;
+  let views = t.outer.Composite.Snapshot.scan_items ~reader in
+  let versions = Array.map (fun it -> it.Composite.Item.v.version) views in
+  let snap =
+    Array.concat
+      (Array.to_list (Array.map (fun it -> it.Composite.Item.v.view) views))
+  in
+  { snap; versions }
+
+(* Single collect of the version cells.  Sound because cells are bumped
+   before publishes and versions are strictly monotone: if every cell
+   still equals the cached version at its read point, every shard has
+   held the cached view continuously since before this scan began, so
+   at the instant the collect started the outer register held exactly
+   the cached state. *)
+let cache_fresh t c =
+  let ok = ref true in
+  for s = 0 to t.shards - 1 do
+    if Atomic.get t.version_cells.(s) <> c.versions.(s) then ok := false
+  done;
+  !ok
+
+let scan_items t ~reader =
+  if reader < 0 || reader >= t.readers then
+    invalid_arg "Serve.scan_items: bad reader";
+  if not t.cache_enabled then (full_scan t ~reader).snap
+  else
+    match t.caches.(reader) with
+    | None ->
+      Atomic.incr t.misses;
+      let c = full_scan t ~reader in
+      t.caches.(reader) <- Some c;
+      Array.copy c.snap
+    | Some c ->
+      if (not t.validate) || cache_fresh t c then begin
+        (* [validate = false] is the deliberately broken mutant: blind
+           reuse, for the checkers to catch. *)
+        Atomic.incr t.hits;
+        Array.copy c.snap
+      end
+      else begin
+        Atomic.incr t.stale;
+        let c = full_scan t ~reader in
+        t.caches.(reader) <- Some c;
+        Array.copy c.snap
+      end
+
+let scan t ~reader = Composite.Item.values (scan_items t ~reader)
+
+let handle t =
+  {
+    Composite.Snapshot.components = t.components;
+    readers = t.readers;
+    scan_items = (fun ~reader -> scan_items t ~reader);
+    update = (fun ~writer v -> update t ~writer v);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  posted : int;
+  coalesced : int;
+  applied : int;
+  pending : int;
+  publishes : int;
+  hits : int;
+  misses : int;
+  stale : int;
+  full_scans : int;
+}
+
+type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
+
+let sum a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
+
+let stats t =
+  let pending =
+    Array.fold_left
+      (fun acc mb -> if Atomic.get mb = None then acc else acc + 1)
+      0 t.mailboxes
+  in
+  {
+    posted = sum t.posted;
+    coalesced = sum t.coalesced;
+    applied = sum t.applied;
+    pending;
+    publishes = sum t.publishes;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    stale = Atomic.get t.stale;
+    full_scans = Atomic.get t.full_scans;
+  }
+
+let writer_stats t ~writer =
+  if writer < 0 || writer >= t.components then
+    invalid_arg "Serve.writer_stats: bad writer";
+  {
+    w_posted = Atomic.get t.posted.(writer);
+    w_coalesced = Atomic.get t.coalesced.(writer);
+    w_applied = Atomic.get t.applied.(writer);
+  }
+
+let observe t m =
+  let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
+  let s = stats t in
+  c "serve.posted" s.posted;
+  c "serve.coalesced" s.coalesced;
+  c "serve.applied" s.applied;
+  c "serve.publishes" s.publishes;
+  c "serve.cache.hit" s.hits;
+  c "serve.cache.miss" s.misses;
+  c "serve.cache.stale" s.stale;
+  c "serve.full_scans" s.full_scans

@@ -1,0 +1,159 @@
+(** The snapshot {e serving} layer: a long-lived, sharded composite
+    register with write coalescing and validated read caching.
+
+    The paper's Section 4 recursion builds a [C]-component register out
+    of smaller composite registers; this module applies the same move
+    horizontally to serve traffic.  [C] components are partitioned
+    across [S] {e shards}.  Each shard's state lives in one component
+    of an {e outer} composite register (Afek et al. by default, or the
+    paper's construction), so a cross-shard Scan is one linearizable
+    scan of the outer register — the serving layer is itself literally
+    an [S]-component composite register of shard views.
+
+    {2 Write path}
+
+    Writers never touch the outer register.  A {!post} drops the value
+    into the component's {e mailbox} — a single [Atomic.exchange], so
+    the handoff is wait-free — and each shard has one {e applier}
+    domain that repeatedly drains its mailboxes, folds the batch into
+    its private shard state, and publishes the new view with a single
+    outer-register update.  Posts to a component that arrive while an
+    earlier post is still in the mailbox {e coalesce}: the mailbox
+    keeps only the latest value and the earlier one is counted in the
+    coalesce counters.  Because the exchange is atomic, every post is
+    either applied or coalesced, exactly once:
+    [posted = applied + coalesced + pending].
+
+    The synchronous {!update} (the {!handle} path used by the stress
+    harness and checkers) posts and then waits for its ticket to be
+    acknowledged; acks are written only after the publish, so the write
+    is in the outer register when [update] returns, and every
+    synchronous write receives an auxiliary id — no write checked by
+    the history checkers is ever coalesced away.
+
+    {2 Read path}
+
+    Every shard has a version counter: a plain atomic cell the applier
+    bumps {e before} each publish, and whose current value is also
+    embedded in each published view.  A reader caches its last full
+    scan together with the version vector it saw.  On the next Scan it
+    collects the [S] cells once; if each equals the cached version,
+    monotonicity of versions plus bump-before-publish imply every shard
+    has held the cached view continuously since before the collect
+    began — so the cached snapshot was the exact register state at the
+    instant the collect started, a valid linearization point inside the
+    Scan's interval.  Otherwise the cache is stale and the reader pays
+    a full outer scan.  This is the double-collect validation idea
+    turned into a cache-freshness check; hits, misses and stale
+    revalidations are counted ({!stats}, {!observe}).
+
+    Passing [~validate:false] to {!create} produces the deliberately
+    broken mutant that reuses the cache blindly — the Shrinking and
+    Wing–Gong checkers must flag it (new-old inversions). *)
+
+type outer_impl = Outer_anderson | Outer_afek
+
+val outer_impl_name : outer_impl -> string
+val outer_impl_of_name : string -> outer_impl option
+
+type 'a t
+
+val create :
+  ?outer:outer_impl ->
+  ?validate:bool ->
+  ?cache:bool ->
+  shards:int ->
+  readers:int ->
+  init:'a array ->
+  unit ->
+  'a t
+(** [create ~shards ~readers ~init ()] builds a service with
+    [C = Array.length init] components partitioned contiguously across
+    [shards] inner slices (sizes differ by at most one), composed via an
+    outer register built by [outer] (default [Outer_afek], whose
+    polynomial scans suit the [S]-component outer object) on
+    {!Csim.Memory.atomic} registers.
+
+    [cache] (default [true]) enables per-reader validated caching;
+    [validate] (default [true]) enables the freshness check — disabling
+    it while caching yields the broken mutant.
+
+    Raises [Invalid_argument] unless [1 <= shards <= C] and
+    [readers >= 1]. *)
+
+val components : 'a t -> int
+val shards : 'a t -> int
+val readers : 'a t -> int
+
+val shard_of : 'a t -> int -> int
+(** Owning shard of a component. *)
+
+(** {2 Service lifecycle} *)
+
+val start : 'a t -> unit
+(** Spawn one applier domain per shard.  Raises [Invalid_argument] if
+    already started. *)
+
+val shutdown : 'a t -> unit
+(** Stop and join the appliers.  Each applier performs one final drain
+    after seeing the stop flag, so posts issued before [shutdown] are
+    still applied.  Callers must have stopped issuing operations. *)
+
+(** {2 Operations} *)
+
+val post : 'a t -> writer:int -> 'a -> unit
+(** Asynchronous write: wait-free mailbox handoff, coalescing bursts to
+    the same component down to the latest value.  [writer] is the
+    component index (one writer process per component). *)
+
+val update : 'a t -> writer:int -> 'a -> int
+(** Synchronous write: posts, then waits until the owning applier has
+    published the value; returns the auxiliary id it was assigned.
+    Requires the appliers to be running ({!start}) — in manual mode
+    ({!drain}) it would spin forever. *)
+
+val scan_items : 'a t -> reader:int -> 'a Composite.Item.t array
+(** Linearizable Scan of all [C] components: a cache hit when the
+    version collect validates, a full outer-register scan otherwise. *)
+
+val scan : 'a t -> reader:int -> 'a array
+(** [scan_items] with the auxiliary ids stripped. *)
+
+val handle : 'a t -> 'a Composite.Snapshot.t
+(** The unified-handle view ({!Composite.Composite_intf.t}): synchronous
+    [update], cached [scan_items].  Plugs the service into the existing
+    stress harness, checkers and campaigns unchanged. *)
+
+val drain : 'a t -> unit
+(** Manual mode for deterministic unit tests: drain every shard once on
+    the calling thread.  Raises [Invalid_argument] if appliers are
+    running (shard state is applier-private). *)
+
+(** {2 Accounting}
+
+    All counters are exact, not sampled; see the module preamble for
+    the [posted = applied + coalesced + pending] invariant. *)
+
+type stats = {
+  posted : int;  (** posts accepted across all components *)
+  coalesced : int;  (** posts superseded in a mailbox before application *)
+  applied : int;  (** posts folded into a published view *)
+  pending : int;  (** posts currently sitting in mailboxes *)
+  publishes : int;  (** outer-register updates across all shards *)
+  hits : int;  (** scans served from a validated cache *)
+  misses : int;  (** scans with no cache to validate *)
+  stale : int;  (** scans whose cache failed validation *)
+  full_scans : int;  (** outer-register scans (misses + stale + uncached) *)
+}
+
+type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
+
+val stats : 'a t -> stats
+val writer_stats : 'a t -> writer:int -> writer_stats
+
+val observe : 'a t -> Obs.Metrics.t -> unit
+(** Accumulate current totals into counters [serve.posted],
+    [serve.coalesced], [serve.applied], [serve.publishes],
+    [serve.cache.hit], [serve.cache.miss], [serve.cache.stale] and
+    [serve.full_scans] (additive across calls — observe once per
+    service lifetime). *)

@@ -1,0 +1,62 @@
+type kind =
+  | Shm
+  | Net of { replicas : int; crash : int; loss : float }
+  | Multicore
+
+type t = { name : string; doc : string; kind : kind }
+
+let shm =
+  {
+    name = "shm";
+    doc =
+      "deterministic shared-memory simulator; nondeterminism is the \
+       process interleaving";
+    kind = Shm;
+  }
+
+let net ?(replicas = 3) ?(crash = 0) ?(loss = 0.) () =
+  if replicas < 1 then invalid_arg "Backend.net: replicas must be >= 1";
+  if crash < 0 || 2 * crash >= replicas then
+    invalid_arg "Backend.net: need crash < replicas / 2 (quorum intact)";
+  if loss < 0. || loss >= 1. then
+    invalid_arg "Backend.net: loss must be in [0, 1)";
+  {
+    name = "net";
+    doc =
+      "ABD quorum emulation over the simulated crash-prone network; \
+       nondeterminism is the message delivery order";
+    kind = Net { replicas; crash; loss };
+  }
+
+let multicore =
+  {
+    name = "multicore";
+    doc =
+      "real parallelism on OCaml domains over Atomic.t registers; \
+       nondeterminism is the hardware schedule";
+    kind = Multicore;
+  }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register b = Hashtbl.replace registry b.name b
+
+let () = List.iter register [ shm; net (); multicore ]
+
+let names () =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+
+let find name =
+  match Hashtbl.find_opt registry name with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (Printf.sprintf "unknown backend %S (registered: %s)" name
+         (String.concat ", " (names ())))
+
+let label b =
+  match b.kind with
+  | Shm -> "shm"
+  | Net { replicas; crash; loss } ->
+    Printf.sprintf "net(n=%d,f=%d,loss=%.2f)" replicas crash loss
+  | Multicore -> "multicore"

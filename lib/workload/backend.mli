@@ -1,0 +1,54 @@
+(** Execution backends for verification campaigns, as first-class
+    descriptors in a named registry.
+
+    A backend decides what the algorithms' registers are made of and
+    where the nondeterminism that drives a campaign comes from.  The
+    three built-ins:
+
+    - ["shm"] — cells of the deterministic shared-memory simulator
+      ({!Csim.Memory.of_sim}); schedules are seeded interleavings.
+    - ["net"] — each register is an ABD quorum emulation over the
+      simulated crash-prone network ({!Net.Abd.memory}); schedules are
+      seeded message delivery orders, with loss and replica crashes
+      injected on top.
+    - ["multicore"] — [Atomic.t] registers on real OCaml domains; the
+      hardware schedule is the nondeterminism, and histories are
+      recorded with a fetch-and-add clock for offline checking.
+
+    The registry maps names to descriptors so front ends resolve user
+    input with {!find} and error messages can enumerate what exists;
+    {!register} lets out-of-tree code plug in additional backends. *)
+
+type kind =
+  | Shm
+  | Net of { replicas : int; crash : int; loss : float }
+  | Multicore
+
+type t = {
+  name : string;  (** registry key, e.g. ["net"] *)
+  doc : string;  (** one-line description, for [--help] and errors *)
+  kind : kind;
+}
+
+val shm : t
+
+val net : ?replicas:int -> ?crash:int -> ?loss:float -> unit -> t
+(** Defaults: 3 replicas, no crashes, no loss.  Raises
+    [Invalid_argument] unless [crash < replicas / 2] (a write quorum
+    must survive) and [0 <= loss < 1]. *)
+
+val multicore : t
+
+val register : t -> unit
+(** Add (or replace) a descriptor under its [name]. *)
+
+val find : string -> (t, string) result
+(** Look a backend up by name; the error message lists the registered
+    names. *)
+
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val label : t -> string
+(** Parameter-carrying rendering for reports, e.g.
+    ["net(n=5,f=1,loss=0.10)"]. *)

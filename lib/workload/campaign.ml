@@ -18,17 +18,17 @@ let all_impls =
 let impl_of_name s =
   List.find_opt (fun i -> String.equal (impl_name i) s) all_impls
 
-let make_handle ?note impl mem ~readers ~init =
+let make_handle ?note ?(bits_per_value = 64) impl mem ~readers ~init =
   let h =
     match impl with
     | Impl_anderson ->
       Composite.Anderson.handle
-        (Composite.Anderson.create ?note mem ~readers ~bits_per_value:64 ~init)
-    | Impl_afek -> Composite.Afek.create mem ~bits_per_value:64 ~init
+        (Composite.Anderson.create ?note mem ~readers ~bits_per_value ~init)
+    | Impl_afek -> Composite.Afek.create mem ~bits_per_value ~init
     | Impl_unsafe_collect ->
-      Composite.Double_collect.create_unsafe mem ~bits_per_value:64 ~init
+      Composite.Double_collect.create_unsafe mem ~bits_per_value ~init
     | Impl_repeated_collect ->
-      Composite.Double_collect.create_repeated mem ~bits_per_value:64 ~init
+      Composite.Double_collect.create_repeated mem ~bits_per_value ~init
   in
   (* Implementations that support any number of readers advertise
      [max_int]; pin the actual count so process-id arithmetic in the
@@ -37,18 +37,9 @@ let make_handle ?note impl mem ~readers ~init =
     { h with Composite.Snapshot.readers }
   else h
 
-type backend =
-  | Backend_shm
-  | Backend_net of { replicas : int; crash : int; loss : float }
-
-let backend_name = function
-  | Backend_shm -> "shm"
-  | Backend_net { replicas; crash; loss } ->
-    Printf.sprintf "net(n=%d,f=%d,loss=%.2f)" replicas crash loss
-
 type config = {
   impl : impl;
-  backend : backend;
+  backend : Backend.t;
   components : int;
   readers : int;
   writes_per_writer : int;
@@ -61,7 +52,7 @@ type config = {
 let default =
   {
     impl = Impl_anderson;
-    backend = Backend_shm;
+    backend = Backend.shm;
     components = 3;
     readers = 2;
     writes_per_writer = 3;
@@ -139,8 +130,7 @@ let stuck_outcome =
     ro_example = None;
   }
 
-let outcome_of_history worker_metrics cfg ~init rec_ =
-    let h = Composite.Snapshot.history rec_ in
+let outcome_of_history worker_metrics cfg ~init h =
     let ops = History.Snapshot_history.size h in
     Obs.Metrics.observe
       (Obs.Metrics.histogram worker_metrics "campaign.ops_per_run")
@@ -188,7 +178,8 @@ let run_one_shm worker_metrics cfg i =
   let env, init, rec_, procs = build_system cfg ~seed in
   match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs with
   | exception Sim.Stuck _ -> stuck_outcome
-  | (_ : Sim.stats) -> outcome_of_history worker_metrics cfg ~init rec_
+  | (_ : Sim.stats) ->
+    outcome_of_history worker_metrics cfg ~init (Composite.Snapshot.history rec_)
 
 (* Same workload and checkers, but every register access is an ABD
    quorum operation over the simulated network; the network scheduler
@@ -221,7 +212,9 @@ let run_one_net worker_metrics cfg ~replicas ~crash ~loss i =
       Net.Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs
     with
     | exception Net.Sim.Stuck _ -> stuck_outcome
-    | (_ : Net.Sim.stats) -> outcome_of_history worker_metrics cfg ~init rec_
+    | (_ : Net.Sim.stats) ->
+      outcome_of_history worker_metrics cfg ~init
+        (Composite.Snapshot.history rec_)
   in
   let s = Net.Sim.totals env in
   let a = Net.Abd.stats abd in
@@ -234,11 +227,35 @@ let run_one_net worker_metrics cfg ~replicas ~crash ~loss i =
   c "net.retransmits" a.Net.Abd.retransmits;
   outcome
 
+(* Real parallelism: the handle sits on [Atomic.t] registers and the
+   stress harness runs one domain per process.  The schedule index
+   seeds nothing (the hardware interleaves), but every operation is
+   recorded, so for histories the checkers accept — the expected case
+   for the correct constructions — the outcome record is deterministic
+   and the campaign result still merges bit-identically across [jobs]. *)
+let run_one_mc worker_metrics cfg _i =
+  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
+  let handle =
+    make_handle cfg.impl (Memory.atomic ()) ~readers:cfg.readers ~init
+  in
+  let h =
+    Composite.Multicore.stress
+      ~config:
+        {
+          Composite.Multicore.writer_ops = cfg.writes_per_writer;
+          reader_ops = cfg.scans_per_reader;
+          readers = cfg.readers;
+        }
+      ~init ~handle ()
+  in
+  outcome_of_history worker_metrics cfg ~init h
+
 let run_one worker_metrics cfg i =
-  match cfg.backend with
-  | Backend_shm -> run_one_shm worker_metrics cfg i
-  | Backend_net { replicas; crash; loss } ->
+  match cfg.backend.Backend.kind with
+  | Backend.Shm -> run_one_shm worker_metrics cfg i
+  | Backend.Net { replicas; crash; loss } ->
     run_one_net worker_metrics cfg ~replicas ~crash ~loss i
+  | Backend.Multicore -> run_one_mc worker_metrics cfg i
 
 let run ?(jobs = 1) ?pool ?metrics cfg =
   let outcomes, workers =

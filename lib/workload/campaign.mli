@@ -20,30 +20,23 @@ val all_impls : impl list
 
 val make_handle :
   ?note:(string -> unit) ->
+  ?bits_per_value:int ->
   impl -> Csim.Memory.t -> readers:int -> init:int array ->
   int Composite.Snapshot.t
-(** Instantiate an implementation on the given memory.  [note] is passed
-    through to implementations that emit operation-span markers (only
-    the paper's construction does today); see
-    [Composite.Anderson.create]. *)
-
-type backend =
-  | Backend_shm
-      (** Registers are cells of the shared-memory simulator
-          ({!Csim.Memory.of_sim}); nondeterminism is the process
-          interleaving. *)
-  | Backend_net of { replicas : int; crash : int; loss : float }
-      (** Registers are ABD quorum emulations over the simulated
-          network ({!Net.Abd.memory}): [replicas] servers of which the
-          last [crash] stop at a seed-derived point ([crash < replicas/2]
-          is required), and each message is lost with probability
-          [loss].  Nondeterminism is the message delivery order. *)
-
-val backend_name : backend -> string
+(** Instantiate an implementation on the given memory, as a unified
+    {!Composite.Composite_intf.t} handle.  [note] is passed through to
+    implementations that emit operation-span markers (only the paper's
+    construction does today); see [Composite.Anderson.create].
+    [bits_per_value] (default 64) is the declared register width, for
+    space accounting in the simulator. *)
 
 type config = {
   impl : impl;
-  backend : backend;
+  backend : Backend.t;
+      (** Execution substrate, from the {!Backend} registry: ["shm"]
+          (seeded simulator interleavings), ["net"] (ABD quorums over
+          the simulated network, seeded delivery orders) or
+          ["multicore"] (real domains over [Atomic.t] registers). *)
   components : int;
   readers : int;
   writes_per_writer : int;
@@ -80,14 +73,19 @@ val run :
     index order, so the returned record — including which flagged run
     supplies [example] — is identical for every job count.  [pool]
     records per-schedule worker spans for the Chrome trace exporter.
+    With the ["multicore"] backend, individual runs are scheduled by
+    the hardware rather than a seed; every operation is still recorded
+    and checked, so for histories the checkers accept (the expected
+    case for correct implementations) the merged record remains
+    bit-identical across job counts.
 
     When [metrics] is given, the result is also accumulated into
     counters [campaign.runs], [campaign.ops_checked],
     [campaign.flagged_runs], [campaign.generic_failures],
     [campaign.witness_failures], [campaign.stuck_runs] and
     [campaign.disagreements], and per-run history sizes into histogram
-    [campaign.ops_per_run] (additive across calls).  With
-    [Backend_net], network totals accumulate too: counters
+    [campaign.ops_per_run] (additive across calls).  With the ["net"]
+    backend, network totals accumulate too: counters
     [net.msgs_sent] / [net.msgs_delivered] / [net.msgs_lost] /
     [net.timeouts] / [net.rounds] / [net.retransmits] and the
     quorum-phase latency histogram [net.phase_wait].  Workers observe

@@ -1,21 +1,12 @@
 open Csim
 
+(* One instantiation path for every measured implementation: the
+   campaign's unified-handle factory. *)
 let fresh impl ~c ~b ~r =
   let env = Sim.create ~trace:false () in
   let mem = Memory.of_sim env in
   let init = Array.init c (fun k -> k) in
-  let handle =
-    match impl with
-    | Campaign.Impl_anderson ->
-      Composite.Anderson.handle
-        (Composite.Anderson.create mem ~readers:r ~bits_per_value:b ~init)
-    | Campaign.Impl_afek -> Composite.Afek.create mem ~bits_per_value:b ~init
-    | Campaign.Impl_unsafe_collect ->
-      Composite.Double_collect.create_unsafe mem ~bits_per_value:b ~init
-    | Campaign.Impl_repeated_collect ->
-      Composite.Double_collect.create_repeated mem ~bits_per_value:b ~init
-  in
-  (env, handle)
+  (env, Campaign.make_handle ~bits_per_value:b impl mem ~readers:r ~init)
 
 (* Warm-up: one Write per component, so e.g. the repeated double collect
    measures a steady-state scan rather than the initial state. *)

@@ -259,7 +259,7 @@ let campaign_case (components, readers, writes, scans, schedules, base_seed) =
     (campaign_clean
        {
          Workload.Campaign.impl = Workload.Campaign.Impl_anderson;
-         backend = Workload.Campaign.Backend_shm;
+         backend = Workload.Backend.shm;
          components;
          readers;
          writes_per_writer = writes;
@@ -373,7 +373,7 @@ let qcheck_random_campaign =
       let cfg =
         {
           Workload.Campaign.impl = Workload.Campaign.Impl_anderson;
-          backend = Workload.Campaign.Backend_shm;
+          backend = Workload.Backend.shm;
           components;
           readers;
           writes_per_writer = writes;

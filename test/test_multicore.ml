@@ -8,7 +8,7 @@ let bool = Alcotest.bool
 let int = Alcotest.int
 
 let stress_and_check ~name handle ~init ~config =
-  let h = Composite.Multicore.stress ~config ~init ~handle in
+  let h = Composite.Multicore.stress ~config ~init ~handle () in
   let violations = History.Shrinking.check ~equal:Int.equal h in
   if violations <> [] then
     Alcotest.failf "%s: %d shrinking violations on domains" name
@@ -58,7 +58,7 @@ let test_anderson_domains_larger () =
   let init = [| 0; 0; 0; 0 |] in
   let handle = Composite.Multicore.anderson ~readers:3 ~init in
   let config = { Composite.Multicore.writer_ops = 50; reader_ops = 50; readers = 3 } in
-  let h = Composite.Multicore.stress ~config ~init ~handle in
+  let h = Composite.Multicore.stress ~config ~init ~handle () in
   check int "no violations at scale" 0
     (List.length (History.Shrinking.check ~equal:Int.equal h))
 

@@ -290,7 +290,7 @@ let test_campaign_net_jobs_identical () =
     {
       Workload.Campaign.default with
       backend =
-        Workload.Campaign.Backend_net { replicas = 5; crash = 1; loss = 0.1 };
+        Workload.Backend.net ~replicas:5 ~crash:1 ~loss:0.1 ();
       schedules = 6;
     }
   in

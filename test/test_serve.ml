@@ -1,0 +1,399 @@
+(* Tests for the snapshot serving layer (lib/serve) and its campaign
+   wrapper: exact coalesce/cache accounting in manual-drain mode,
+   linearizability of the sharded + cached service under real domains
+   (Shrinking checker and, where feasible, the generic oracle), and the
+   validation-disabled mutant being caught.  Also covers the unified
+   Backend registry and the Multi_writer unified handle (the API
+   satellites of the same change). *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---------------------------------------------------------------- *)
+(* Shape and argument validation                                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_partition () =
+  (* 5 components over 3 shards: contiguous slices of sizes 2/2/1. *)
+  let srv = Serve.create ~shards:3 ~readers:1 ~init:[| 0; 1; 2; 3; 4 |] () in
+  check int "components" 5 (Serve.components srv);
+  check int "shards" 3 (Serve.shards srv);
+  check int "readers" 1 (Serve.readers srv);
+  let owners = List.init 5 (Serve.shard_of srv) in
+  check (Alcotest.list int) "contiguous partition" [ 0; 0; 1; 1; 2 ] owners;
+  (* Slice sizes differ by at most one for any shape. *)
+  List.iter
+    (fun (c, s) ->
+      let srv = Serve.create ~shards:s ~readers:1 ~init:(Array.make c 0) () in
+      let sizes = Array.make s 0 in
+      for k = 0 to c - 1 do
+        let o = Serve.shard_of srv k in
+        sizes.(o) <- sizes.(o) + 1
+      done;
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      check bool
+        (Printf.sprintf "balanced C=%d S=%d" c s)
+        true
+        (mx - mn <= 1 && Array.for_all (fun n -> n >= 1) sizes))
+    [ (1, 1); (4, 2); (7, 3); (8, 8); (9, 4) ]
+
+let test_create_validation () =
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool "shards = 0" true
+    (rejects (fun () -> Serve.create ~shards:0 ~readers:1 ~init:[| 0 |] ()));
+  check bool "shards > C" true
+    (rejects (fun () -> Serve.create ~shards:3 ~readers:1 ~init:[| 0; 1 |] ()));
+  check bool "readers = 0" true
+    (rejects (fun () -> Serve.create ~shards:1 ~readers:0 ~init:[| 0 |] ()));
+  check bool "empty init" true
+    (rejects (fun () -> Serve.create ~shards:1 ~readers:1 ~init:[||] ()))
+
+let test_lifecycle_guards () =
+  let srv = Serve.create ~shards:2 ~readers:1 ~init:[| 0; 0 |] () in
+  Serve.start srv;
+  check bool "double start rejected" true
+    (try Serve.start srv; false with Invalid_argument _ -> true);
+  check bool "manual drain rejected while running" true
+    (try Serve.drain srv; false with Invalid_argument _ -> true);
+  Serve.shutdown srv
+
+(* ---------------------------------------------------------------- *)
+(* Coalescing accounting (manual drain: fully deterministic)         *)
+(* ---------------------------------------------------------------- *)
+
+let test_coalesce_counters () =
+  let srv = Serve.create ~shards:2 ~readers:1 ~init:[| 0; 0; 0 |] () in
+  (* Two posts to component 0 before any drain: the second supersedes
+     the first in the mailbox, so exactly one is coalesced and one
+     applied. *)
+  Serve.post srv ~writer:0 7;
+  Serve.post srv ~writer:0 8;
+  Serve.post srv ~writer:2 9;
+  let st = Serve.stats srv in
+  check int "posted before drain" 3 st.Serve.posted;
+  check int "pending before drain" 2 st.Serve.pending;
+  check int "applied before drain" 0 st.Serve.applied;
+  Serve.drain srv;
+  let st = Serve.stats srv in
+  check int "posted" 3 st.Serve.posted;
+  check int "coalesced" 1 st.Serve.coalesced;
+  check int "applied" 2 st.Serve.applied;
+  check int "pending" 0 st.Serve.pending;
+  (* One publish per shard that had work: components 0 and 2 live on
+     different shards of the 2-shard partition. *)
+  check int "publishes" 2 st.Serve.publishes;
+  check (Alcotest.array int) "latest values win" [| 8; 0; 9 |]
+    (Serve.scan srv ~reader:0);
+  (* Per-writer split agrees with the totals. *)
+  let w0 = Serve.writer_stats srv ~writer:0 in
+  check int "w0 posted" 2 w0.Serve.w_posted;
+  check int "w0 coalesced" 1 w0.Serve.w_coalesced;
+  check int "w0 applied" 1 w0.Serve.w_applied
+
+let test_accounting_invariant_under_domains () =
+  (* posted = applied + coalesced + pending at every quiescent point,
+     including after a real concurrent run (pending = 0 after
+     shutdown's final drain). *)
+  let srv = Serve.create ~shards:2 ~readers:1 ~init:[| 0; 0; 0; 0 |] () in
+  Serve.start srv;
+  let writers =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for s = 1 to 100 do
+              Serve.post srv ~writer:k ((k * 1000) + s)
+            done;
+            ignore (Serve.update srv ~writer:k ((k * 1000) + 999))))
+  in
+  List.iter Domain.join writers;
+  Serve.shutdown srv;
+  let st = Serve.stats srv in
+  check int "all posts accepted" 404 st.Serve.posted;
+  check int "nothing left pending" 0 st.Serve.pending;
+  check int "posted = applied + coalesced" st.Serve.posted
+    (st.Serve.applied + st.Serve.coalesced);
+  (* The closing synchronous update makes the final state the last
+     write of each component. *)
+  check (Alcotest.array int) "final state"
+    [| 999; 1999; 2999; 3999 |]
+    (Serve.scan srv ~reader:0)
+
+(* ---------------------------------------------------------------- *)
+(* Cache accounting (manual drain)                                   *)
+(* ---------------------------------------------------------------- *)
+
+let test_cache_hit_miss_stale () =
+  let srv = Serve.create ~shards:2 ~readers:2 ~init:[| 1; 2; 3 |] () in
+  check (Alcotest.array int) "first scan (miss)" [| 1; 2; 3 |]
+    (Serve.scan srv ~reader:0);
+  check (Alcotest.array int) "second scan (hit)" [| 1; 2; 3 |]
+    (Serve.scan srv ~reader:0);
+  check (Alcotest.array int) "third scan (hit)" [| 1; 2; 3 |]
+    (Serve.scan srv ~reader:0);
+  Serve.post srv ~writer:1 20;
+  Serve.drain srv;
+  check (Alcotest.array int) "post-drain scan (stale)" [| 1; 20; 3 |]
+    (Serve.scan srv ~reader:0);
+  (* The other reader has its own cache: its first scan is a miss. *)
+  check (Alcotest.array int) "reader 1 first scan" [| 1; 20; 3 |]
+    (Serve.scan srv ~reader:1);
+  let st = Serve.stats srv in
+  check int "misses" 2 st.Serve.misses;
+  check int "hits" 2 st.Serve.hits;
+  check int "stale" 1 st.Serve.stale;
+  check int "full scans" 3 st.Serve.full_scans
+
+let test_cache_disabled () =
+  let srv =
+    Serve.create ~cache:false ~shards:1 ~readers:1 ~init:[| 5 |] ()
+  in
+  for _ = 1 to 4 do
+    check (Alcotest.array int) "uncached scan" [| 5 |] (Serve.scan srv ~reader:0)
+  done;
+  let st = Serve.stats srv in
+  check int "no hits" 0 st.Serve.hits;
+  check int "no misses" 0 st.Serve.misses;
+  check int "every scan pays the outer register" 4 st.Serve.full_scans
+
+let test_observe_metrics () =
+  let srv = Serve.create ~shards:1 ~readers:1 ~init:[| 0 |] () in
+  ignore (Serve.scan srv ~reader:0);
+  ignore (Serve.scan srv ~reader:0);
+  Serve.post srv ~writer:0 1;
+  Serve.post srv ~writer:0 2;
+  Serve.drain srv;
+  let m = Obs.Metrics.create () in
+  Serve.observe srv m;
+  let v name = Obs.Metrics.counter_value (Obs.Metrics.counter m name) in
+  check int "serve.posted" 2 (v "serve.posted");
+  check int "serve.coalesced" 1 (v "serve.coalesced");
+  check int "serve.cache.hit" 1 (v "serve.cache.hit");
+  check int "serve.cache.miss" 1 (v "serve.cache.miss")
+
+(* ---------------------------------------------------------------- *)
+(* Linearizability under real domains                                *)
+(* ---------------------------------------------------------------- *)
+
+(* Paced stress of one service lifetime, as in Serve_campaign: cached
+   scans are far cheaper than synchronous updates, so unpaced readers
+   would finish before any write completes and the history would have
+   no concurrency to check. *)
+let stress_serve srv ~writer_ops ~reader_ops ~readers ~init =
+  Serve.start srv;
+  let total_writes = Serve.components srv * writer_ops in
+  let applied () = (Serve.stats srv).Serve.applied in
+  let reader_pace () =
+    let before = applied () in
+    while before < total_writes && applied () = before do
+      Domain.cpu_relax ()
+    done
+  in
+  let h =
+    Composite.Multicore.stress ~reader_pace
+      ~config:{ Composite.Multicore.writer_ops; reader_ops; readers }
+      ~init ~handle:(Serve.handle srv) ()
+  in
+  Serve.shutdown srv;
+  h
+
+let test_stress_per_shard_count () =
+  let init = [| 10; 20; 30; 40 |] in
+  List.iter
+    (fun shards ->
+      let srv = Serve.create ~shards ~readers:2 ~init () in
+      let h = stress_serve srv ~writer_ops:3 ~reader_ops:3 ~readers:2 ~init in
+      check int
+        (Printf.sprintf "S=%d: no shrinking violations" shards)
+        0
+        (List.length (History.Shrinking.check ~equal:Int.equal h));
+      check bool
+        (Printf.sprintf "S=%d: generic oracle" shards)
+        true
+        (History.Linearize.is_linearizable
+           (History.Linearize.snapshot_spec ~equal:Int.equal)
+           ~init
+           (History.Snapshot_history.to_ops h)))
+    [ 1; 2; 4 ]
+
+let qcheck_stress_random_shapes =
+  QCheck2.Test.make ~count:6
+    ~name:"random service shapes stay linearizable under domains"
+    QCheck2.Gen.(
+      tup4 (int_range 1 5) (int_range 1 3) (int_range 1 3) (int_range 1 3))
+    (fun (c, shards_raw, writer_ops, reader_ops) ->
+      let shards = 1 + ((shards_raw - 1) mod c) in
+      let init = Array.init c (fun k -> k * 100) in
+      let srv = Serve.create ~shards ~readers:2 ~init () in
+      let h = stress_serve srv ~writer_ops ~reader_ops ~readers:2 ~init in
+      History.Shrinking.check ~equal:Int.equal h = [])
+
+let test_campaign_clean () =
+  let cfg =
+    {
+      Workload.Serve_campaign.default with
+      shards = 2;
+      components = 4;
+      readers = 2;
+      writer_ops = 3;
+      reader_ops = 3;
+      runs = 3;
+    }
+  in
+  let r = Workload.Serve_campaign.run ~jobs:2 cfg in
+  check int "runs" 3 r.Workload.Serve_campaign.runs;
+  check int "flagged" 0 r.Workload.Serve_campaign.flagged_runs;
+  check int "oracle failures" 0 r.Workload.Serve_campaign.generic_failures;
+  (* 4 writers x 3 ops + 2 readers x 3 ops, per run. *)
+  check int "ops checked" (3 * ((4 * 3) + (2 * 3)))
+    r.Workload.Serve_campaign.ops_checked
+
+let test_campaign_jobs_deterministic () =
+  (* Clean campaigns report identically at every job count (the same
+     property Campaign.run has: index-ordered merge of fixed-size
+     runs). *)
+  let cfg =
+    {
+      Workload.Serve_campaign.default with
+      shards = 2;
+      components = 3;
+      readers = 2;
+      writer_ops = 2;
+      reader_ops = 2;
+      runs = 4;
+    }
+  in
+  let strip (r : Workload.Serve_campaign.result) =
+    ( (r.Workload.Serve_campaign.runs, r.Workload.Serve_campaign.ops_checked),
+      ( r.Workload.Serve_campaign.flagged_runs,
+        r.Workload.Serve_campaign.generic_failures ) )
+  in
+  let r1 = strip (Workload.Serve_campaign.run ~jobs:1 cfg) in
+  let r3 = strip (Workload.Serve_campaign.run ~jobs:3 cfg) in
+  check
+    Alcotest.(pair (pair int int) (pair int int))
+    "jobs=1 = jobs=3" r1 r3
+
+let test_mutant_caught () =
+  (* Blind cache reuse (validate = false, cache = true) must produce
+     histories the Shrinking checker flags.  The interleaving is real
+     concurrency, so allow a few attempts — each campaign runs several
+     paced lifetimes and in practice flags nearly every one. *)
+  let cfg =
+    {
+      Workload.Serve_campaign.default with
+      shards = 2;
+      components = 3;
+      readers = 2;
+      writer_ops = 10;
+      reader_ops = 10;
+      runs = 3;
+      validate = false;
+      check_generic = false;
+    }
+  in
+  let rec attempt n =
+    let r = Workload.Serve_campaign.run cfg in
+    if r.Workload.Serve_campaign.flagged_runs > 0 then r
+    else if n > 1 then attempt (n - 1)
+    else r
+  in
+  let r = attempt 3 in
+  check bool "mutant flagged" true (r.Workload.Serve_campaign.flagged_runs > 0);
+  check bool "an example history is rendered" true
+    (r.Workload.Serve_campaign.example <> None)
+
+(* ---------------------------------------------------------------- *)
+(* API satellites: Backend registry, unified handles                 *)
+(* ---------------------------------------------------------------- *)
+
+let test_backend_registry () =
+  check (Alcotest.list Alcotest.string) "registered names"
+    [ "multicore"; "net"; "shm" ]
+    (Workload.Backend.names ());
+  (match Workload.Backend.find "shm" with
+  | Ok b -> check bool "shm kind" true (b.Workload.Backend.kind = Workload.Backend.Shm)
+  | Error e -> Alcotest.failf "shm not found: %s" e);
+  (match Workload.Backend.find "bogus" with
+  | Ok _ -> Alcotest.fail "bogus resolved"
+  | Error e ->
+    check bool "error names the unknown backend" true (contains e "bogus");
+    check bool "error lists the registry" true
+      (contains e "multicore, net, shm"));
+  let net = Workload.Backend.net ~replicas:5 ~crash:1 ~loss:0.1 () in
+  check Alcotest.string "net label" "net(n=5,f=1,loss=0.10)"
+    (Workload.Backend.label net);
+  check bool "quorum validation" true
+    (try ignore (Workload.Backend.net ~replicas:3 ~crash:2 ()); false
+     with Invalid_argument _ -> true)
+
+let test_multi_writer_handle () =
+  let mw =
+    Composite.Multicore.multi_writer ~components:2 ~writers_per_component:2
+      ~readers:1 ~init:[| 0; 0 |]
+  in
+  let h = Composite.Multi_writer.handle mw in
+  check int "C*W write ports" 2 h.Composite.Snapshot.components;
+  ignore (h.Composite.Snapshot.update ~writer:0 11);
+  (* writer 3 = component 1, writer index 1 *)
+  ignore (h.Composite.Snapshot.update ~writer:3 22);
+  check (Alcotest.array int) "values via unified handle" [| 11; 22 |]
+    (Composite.Snapshot.scan h ~reader:0);
+  check bool "bad port rejected" true
+    (try ignore (h.Composite.Snapshot.update ~writer:4 0); false
+     with Invalid_argument _ -> true)
+
+let test_unified_handle_interop () =
+  (* One polymorphic consumer accepts a construction handle and a serve
+     handle alike: Composite_intf.t is the single handle type. *)
+  let total (h : int Composite.Composite_intf.t) =
+    Array.fold_left ( + ) 0 (Composite.Snapshot.scan h ~reader:0)
+  in
+  let a = Composite.Multicore.afek ~init:[| 1; 2 |] in
+  let srv = Serve.create ~shards:1 ~readers:1 ~init:[| 3; 4 |] () in
+  check int "construction handle" 3 (total a);
+  check int "serve handle" 7 (total (Serve.handle srv))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "lifecycle guards" `Quick test_lifecycle_guards;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "coalesce counters" `Quick test_coalesce_counters;
+          Alcotest.test_case "invariant under domains" `Quick
+            test_accounting_invariant_under_domains;
+          Alcotest.test_case "cache hit/miss/stale" `Quick
+            test_cache_hit_miss_stale;
+          Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+          Alcotest.test_case "observe metrics" `Quick test_observe_metrics;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "stress per shard count" `Quick
+            test_stress_per_shard_count;
+          QCheck_alcotest.to_alcotest qcheck_stress_random_shapes;
+          Alcotest.test_case "campaign clean" `Quick test_campaign_clean;
+          Alcotest.test_case "campaign jobs deterministic" `Quick
+            test_campaign_jobs_deterministic;
+          Alcotest.test_case "mutant caught" `Quick test_mutant_caught;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "backend registry" `Quick test_backend_registry;
+          Alcotest.test_case "multi-writer unified handle" `Quick
+            test_multi_writer_handle;
+          Alcotest.test_case "unified handle interop" `Quick
+            test_unified_handle_interop;
+        ] );
+    ]
