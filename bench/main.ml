@@ -22,6 +22,10 @@
    E17 — Serving layer: write/scan throughput and latency across shard
          counts, write burst sizes, and with caching disabled; exact
          coalesce and cache hit/stale ratios from the serve counters.
+   E18 — Byzantine-tolerant register construction: closed-form and
+         measured base-access overhead vs plain SWSR cells, and the
+         tolerance boundary asserted from both sides (within-f
+         adversaries masked, beyond-f or unprotected caught).
 
    Counts (E1-E6, E9) are deterministic and compared against the paper
    exactly; wall-clock numbers (E7, E8, E15 timings) are
@@ -1058,6 +1062,191 @@ let e16 ~jobs () =
   assert (report.Workload.Netchaos.total_stuck = 0)
 
 (* ------------------------------------------------------------------ *)
+(* E18                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Overhead of the Byzantine-tolerant register construction vs the
+   plain SWSR cells it replaces, and the tolerance boundary asserted
+   from both sides.  A counting wrapper around the simulator memory
+   gives the exact base-register accesses per composite operation; the
+   construction's closed-form costs per logical access —
+   read (2f+1)(2R-1), write (2f+1)R over (R+R²)(2f+1) base cells —
+   predict the blow-up. *)
+let e18 ~jobs () =
+  section "E18: Byzantine-tolerant construction — overhead and the tolerance \
+           boundary";
+  let t =
+    Workload.Table.create
+      ~header:[ "f"; "ports"; "replication"; "base regs"; "read cost";
+                "write cost" ]
+  in
+  List.iter
+    (fun (f, ports) ->
+      let repl = Registers.Byzantine.replication ~f in
+      let cells = Registers.Byzantine.base_registers ~f ~readers:ports in
+      let rc = Registers.Byzantine.read_cost ~f ~readers:ports in
+      let wc = Registers.Byzantine.write_cost ~f ~readers:ports in
+      Workload.Table.add_row t
+        [
+          string_of_int f; string_of_int ports; string_of_int repl;
+          string_of_int cells; string_of_int rc; string_of_int wc;
+        ];
+      Record.row "E18"
+        [
+          ("kind", Obs.Json.Str "construction_cost");
+          ("f", Obs.Json.Int f);
+          ("ports", Obs.Json.Int ports);
+          ("replication", Obs.Json.Int repl);
+          ("base_registers", Obs.Json.Int cells);
+          ("read_cost", Obs.Json.Int rc);
+          ("write_cost", Obs.Json.Int wc);
+        ])
+    [ (1, 4); (2, 4); (1, 6) ];
+  Workload.Table.print t;
+  (* Empirical base-register accesses per composite operation: plain
+     simulator cells vs the construction at f = 1 and f = 2, same
+     workload, counted at the base-memory seam. *)
+  let counting (mem : Csim.Memory.t) =
+    let reads = ref 0 and writes = ref 0 in
+    let make ~name ~bits init =
+      let c = mem.Csim.Memory.make ~name ~bits init in
+      {
+        Csim.Memory.read =
+          (fun () ->
+            incr reads;
+            c.Csim.Memory.read ());
+        write =
+          (fun v ->
+            incr writes;
+            c.Csim.Memory.write v);
+        peek = c.Csim.Memory.peek;
+      }
+    in
+    ({ Csim.Memory.make }, reads, writes)
+  in
+  let c = 2 and r = 2 in
+  let ports = c + r in
+  let measure impl protection op =
+    let env = Csim.Sim.create ~trace:false () in
+    let counted, reads, writes = counting (Csim.Memory.of_sim env) in
+    let mem =
+      match protection with
+      | None -> counted
+      | Some f -> Registers.Byzantine.memory ~f ~readers:ports counted
+    in
+    let init = Array.init c (fun k -> k) in
+    let handle =
+      match impl with
+      | Workload.Campaign.Impl_anderson ->
+        Composite.Anderson.handle
+          (Composite.Anderson.create mem ~readers:r ~bits_per_value:64 ~init)
+      | _ -> Composite.Afek.create mem ~bits_per_value:64 ~init
+    in
+    (* Warm as Meter does: one Write per component. *)
+    let (_ : Csim.Sim.stats) =
+      Csim.Sim.run_solo env (fun () ->
+          for k = 0 to c - 1 do
+            ignore (handle.Composite.Snapshot.update ~writer:k (100 + k))
+          done)
+    in
+    let r0 = !reads and w0 = !writes in
+    let (_ : Csim.Sim.stats) =
+      Csim.Sim.run_solo env (fun () ->
+          match op with
+          | "scan" -> ignore (handle.Composite.Snapshot.scan_items ~reader:0)
+          | _ -> ignore (handle.Composite.Snapshot.update ~writer:0 4242))
+    in
+    (!reads - r0) + (!writes - w0)
+  in
+  let t2 =
+    Workload.Table.create
+      ~header:
+        [ "impl"; "op"; "plain accesses"; "f=1 accesses"; "x"; "f=2 accesses";
+          "x" ]
+  in
+  List.iter
+    (fun (impl, op) ->
+      let plain = measure impl None op in
+      let f1 = measure impl (Some 1) op in
+      let f2 = measure impl (Some 2) op in
+      let factor a = float_of_int a /. float_of_int plain in
+      Workload.Table.add_row t2
+        [
+          Workload.Campaign.impl_name impl;
+          op;
+          string_of_int plain;
+          string_of_int f1;
+          Printf.sprintf "%.1f" (factor f1);
+          string_of_int f2;
+          Printf.sprintf "%.1f" (factor f2);
+        ];
+      Record.row "E18"
+        [
+          ("kind", Obs.Json.Str "overhead");
+          ("impl", Obs.Json.Str (Workload.Campaign.impl_name impl));
+          ("c", Obs.Json.Int c);
+          ("r", Obs.Json.Int r);
+          ("op", Obs.Json.Str op);
+          ("plain_accesses", Obs.Json.Int plain);
+          ("f1_accesses", Obs.Json.Int f1);
+          ("f1_factor", Obs.Json.Float (factor f1));
+          ("f2_accesses", Obs.Json.Int f2);
+          ("f2_factor", Obs.Json.Float (factor f2));
+        ])
+    [
+      (Workload.Campaign.Impl_anderson, "scan");
+      (Workload.Campaign.Impl_anderson, "update");
+      (Workload.Campaign.Impl_afek, "scan");
+      (Workload.Campaign.Impl_afek, "update");
+    ];
+  Workload.Table.print t2;
+  (* The tolerance boundary, asserted from both sides: survive profiles
+     (adversary within f) stay clean, break profiles (budget exceeded,
+     or the unprotected stack) are caught. *)
+  let report =
+    Workload.Byzchaos.run ~jobs ~metrics:Record.metrics
+      { Workload.Byzchaos.default with seeds = 2; minimize_budget = 400 }
+  in
+  let survive, break =
+    List.partition
+      (fun (cell : Workload.Byzchaos.cell) ->
+        cell.cell_profile.Workload.Byzchaos.expect = Workload.Byzchaos.Survive)
+      report.Workload.Byzchaos.cells
+  in
+  let sum f = List.fold_left (fun a cell -> a + f cell) 0 in
+  let survive_flagged =
+    sum (fun (cell : Workload.Byzchaos.cell) -> cell.flagged) survive
+  in
+  let break_flagged =
+    sum (fun (cell : Workload.Byzchaos.cell) -> cell.flagged) break
+  in
+  Record.row "E18"
+    [
+      ("kind", Obs.Json.Str "tolerance_boundary");
+      ( "survive_runs",
+        Obs.Json.Int (sum (fun (cell : Workload.Byzchaos.cell) -> cell.runs)
+                        survive) );
+      ("survive_flagged", Obs.Json.Int survive_flagged);
+      ( "break_runs",
+        Obs.Json.Int (sum (fun (cell : Workload.Byzchaos.cell) -> cell.runs)
+                        break) );
+      ("break_flagged", Obs.Json.Int break_flagged);
+      ("stuck", Obs.Json.Int report.Workload.Byzchaos.total_stuck);
+      ("boundary_holds", Obs.Json.Bool report.Workload.Byzchaos.boundary_holds);
+    ];
+  Printf.printf
+    "\nbyz chaos: %d within-tolerance runs flagged %d (must be 0); beyond \
+     tolerance flagged %d of %d (must be > 0); boundary %s\n"
+    (sum (fun (cell : Workload.Byzchaos.cell) -> cell.runs) survive)
+    survive_flagged break_flagged
+    (sum (fun (cell : Workload.Byzchaos.cell) -> cell.runs) break)
+    (if report.Workload.Byzchaos.boundary_holds then "holds" else "VIOLATED");
+  assert (survive_flagged = 0);
+  assert (break_flagged > 0);
+  assert (report.Workload.Byzchaos.total_stuck = 0);
+  assert report.Workload.Byzchaos.boundary_holds
+
+(* ------------------------------------------------------------------ *)
 (* E7 / E8: wall-clock (Bechamel + domain throughput)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1425,6 +1614,7 @@ let () =
   e15 ();
   e16 ~jobs ();
   e17 ();
+  e18 ~jobs ();
   if not quick then begin
     e7 ();
     e8 ()

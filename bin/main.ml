@@ -113,7 +113,9 @@ let backend_arg =
         ~doc:
           "Register backend, by registry name: $(b,shm) (simulator cells, \
            seeded interleavings), $(b,net) (ABD quorum emulation over the \
-           simulated message-passing network) or $(b,multicore) (Atomic.t \
+           simulated message-passing network), $(b,byz) (the f-tolerant \
+           Byzantine construction over simulator cells, with a budgeted \
+           lying adversary on the base cells) or $(b,multicore) (Atomic.t \
            registers on real domains).  Giving any of \
            --replicas/--crash/--loss implies net.")
 
@@ -1011,7 +1013,7 @@ let chaos_cmd =
 (* net                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let net impls replicas crash loss broken_quorum components readers writes
+let net impls replicas crash loss broken_quorum byz components readers writes
     scans seeds base_seed profile_names minimize_budget timeline jobs
     pool_trace expect_clean expect_flagged replay =
   match replay with
@@ -1047,12 +1049,14 @@ let net impls replicas crash loss broken_quorum components readers writes
       else impls
     in
     let profiles =
-      if crash > 0 || loss > 0.0 || broken_quorum then
+      if crash > 0 || loss > 0.0 || broken_quorum || byz <> [] then
         (* Explicit knobs build one ad-hoc profile: the last [crash]
-           replicas stop early, each message lost with prob [loss]. *)
+           replicas stop early, each message lost with prob [loss],
+           the [--byz] replicas lie. *)
         [
           Workload.Netchaos.profile "cli" ~loss
             ~crashes:(List.init crash (fun j -> (replicas - 1 - j, 3 + j)))
+            ~byz
             ?quorum:(if broken_quorum then Some 1 else None);
         ]
       else
@@ -1168,6 +1172,39 @@ let net_cmd =
             "Negative control: force quorum size 1, voiding the ABD \
              intersection argument; the checkers must catch it.")
   in
+  let byz =
+    let byz_conv =
+      let parse s =
+        match String.index_opt s ':' with
+        | None ->
+          Error (`Msg "expected REPLICA:FLAVOR, e.g. 1:forge")
+        | Some i ->
+          let r = String.sub s 0 i
+          and fl = String.sub s (i + 1) (String.length s - i - 1) in
+          (match (int_of_string_opt r, Net.Sim.byz_flavor_of_string fl) with
+          | Some r, Some fl -> Ok (r, fl)
+          | None, _ -> Error (`Msg (Printf.sprintf "bad replica number %S" r))
+          | _, None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown flavor %S (forge|stale|equivocate|mute)" fl)))
+      in
+      let print fmt (r, fl) =
+        Format.fprintf fmt "%d:%s" r (Net.Sim.byz_flavor_to_string fl)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt_all byz_conv []
+      & info [ "byz" ] ~docv:"REPLICA:FLAVOR"
+          ~doc:
+            "Make a replica Byzantine instead of crash-stop (repeatable, \
+             ad-hoc profile): FLAVOR is forge (acks without storing, leads \
+             timestamps), stale (serves the initial value), equivocate \
+             (answers honestly or stale by client parity) or mute.  The ABD \
+             emulation makes no Byzantine claim, so expect flags.")
+  in
   let components =
     Arg.(value & opt int 2 & info [ "c"; "components" ] ~doc:"Components.")
   in
@@ -1230,13 +1267,222 @@ let net_cmd =
        ~doc:
          "Run the composite constructions over the message-passing backend \
           (ABD quorum emulation on a simulated crash-prone network) under \
-          message loss, reordering and replica crashes; flagged runs are \
-          delta-debugged over the message schedule to a minimal replayable \
-          counterexample.")
+          message loss, reordering, replica crashes and Byzantine replicas; \
+          flagged runs are delta-debugged over the message schedule to a \
+          minimal replayable counterexample.")
     Term.(
-      const net $ impls $ replicas $ crash $ loss $ broken_quorum $ components
-      $ readers $ writes $ scans $ seeds $ base_seed $ profiles
+      const net $ impls $ replicas $ crash $ loss $ broken_quorum $ byz
+      $ components $ readers $ writes $ scans $ seeds $ base_seed $ profiles
       $ minimize_budget $ timeline $ jobs_arg $ pool_trace_arg $ expect_clean
+      $ expect_flagged $ replay)
+
+(* ------------------------------------------------------------------ *)
+(* byz                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let byz_chaos impls components readers writes scans seeds base_seed faults
+    tolerance unprotected profile_names minimize_budget jobs pool_trace
+    expect_clean expect_flagged replay =
+  match replay with
+  | Some script -> begin
+    match Workload.Byzchaos.cx_of_string script with
+    | Error msg ->
+      Printf.eprintf "cannot parse replay script: %s\n" msg;
+      exit 2
+    | Ok cx ->
+      let outcome =
+        Workload.Byzchaos.replay cx.Workload.Byzchaos.cx_case
+          ~script:cx.Workload.Byzchaos.cx_script
+      in
+      (match outcome with
+      | Workload.Chaos.Passed ->
+        print_endline "replay: passed (no violation reproduced)";
+        exit 1
+      | Workload.Chaos.Diverged msg ->
+        Printf.printf "replay: script diverged (%s)\n" msg;
+        exit 1
+      | Workload.Chaos.Stuck_run msg ->
+        Printf.printf "replay: reproduced a progress failure: %s\n" msg
+      | Workload.Chaos.Flagged vs ->
+        Printf.printf "replay: reproduced %d violation(s):\n" (List.length vs);
+        List.iter
+          (fun v -> Format.printf "  %a@." History.Shrinking.pp_violation v)
+          vs)
+  end
+  | None ->
+    let impls =
+      if impls = [] then
+        [ Workload.Campaign.Impl_anderson; Workload.Campaign.Impl_afek ]
+      else impls
+    in
+    let profiles =
+      match faults with
+      | _ :: _ ->
+        (* Explicit adversary specs build one ad-hoc profile; the
+           expectation follows the expect flag so the boundary report
+           stays meaningful. *)
+        let protection =
+          if unprotected then Workload.Byzchaos.Unprotected
+          else Workload.Byzchaos.Tolerant tolerance
+        in
+        let expect =
+          if expect_flagged then Workload.Byzchaos.Break
+          else Workload.Byzchaos.Survive
+        in
+        [ Workload.Byzchaos.profile "cli" ~protection ~expect faults ]
+      | [] ->
+        let all = Workload.Byzchaos.default_profiles ~components ~readers in
+        (match profile_names with
+        | [] -> all
+        | names ->
+          List.filter
+            (fun (p : Workload.Byzchaos.profile) -> List.mem p.label names)
+            all)
+    in
+    if profiles = [] then begin
+      Printf.eprintf "no profile matched (known: %s)\n"
+        (String.concat ", "
+           (List.map
+              (fun (p : Workload.Byzchaos.profile) -> p.label)
+              (Workload.Byzchaos.default_profiles ~components ~readers)));
+      exit 2
+    end;
+    let cfg =
+      {
+        Workload.Byzchaos.default with
+        impls;
+        profiles;
+        components;
+        readers;
+        writes_per_writer = writes;
+        scans_per_reader = scans;
+        seeds;
+        base_seed;
+        minimize_budget;
+      }
+    in
+    (* No [jobs] in the banner: output is bit-identical at every job
+       count, and the CI legs diff it. *)
+    Printf.printf
+      "byzantine campaign: %d impl(s) x %d profile(s) x %d seed(s), C=%d \
+       R=%d ops/proc=%d/%d\n\n\
+       %!"
+      (List.length impls) (List.length profiles) seeds components readers
+      writes scans;
+    let r =
+      with_pool_trace pool_trace (fun pool ->
+          Workload.Byzchaos.run ~jobs ~pool cfg)
+    in
+    Format.printf "%a@." Workload.Byzchaos.pp_report r;
+    List.iter
+      (fun (c : Workload.Byzchaos.cell) ->
+        match c.counterexample with
+        | Some cx ->
+          Format.printf "@.%a@." Workload.Byzchaos.pp_counterexample cx
+        | None -> ())
+      r.cells;
+    if expect_clean && (r.total_flagged > 0 || r.total_stuck > 0) then exit 1;
+    if expect_flagged && r.total_flagged = 0 then exit 1;
+    if not r.boundary_holds then exit 1
+
+let byz_cmd =
+  let impls =
+    Arg.(
+      value & opt_all impl_conv []
+      & info [ "impl" ]
+          ~doc:"Implementation(s) to stress (default: anderson, afek).")
+  in
+  let components =
+    Arg.(value & opt int 2 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let writes =
+    Arg.(value & opt int 2 & info [ "writes" ] ~doc:"Writes per writer.")
+  in
+  let scans =
+    Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
+  in
+  let seeds =
+    schedules_term ~legacy:"seeds" ~default:6
+      ~doc:"Seeded schedules per (impl, profile) cell."
+  in
+  let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  let faults =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault" ]
+          ~doc:
+            "Ad-hoc adversary (repeatable): KIND:ARG[@TARGET] with KIND in \
+             lost|stuck|stutter|corrupt|regular|equivocate|regress|byz and \
+             TARGET a name prefix, =NAME exact, or *SUB substring — e.g. \
+             byz:2:1 (budget of 2 lying cells) or equivocate:1\\@*.rep0 \
+             (replica 0 of every link).  Overrides --profile.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt int 1
+      & info [ "f" ] ~docv:"F"
+          ~doc:
+            "Tolerance of the Byzantine construction protecting the ad-hoc \
+             profile: each register masks up to F lying base replicas.")
+  in
+  let unprotected =
+    Arg.(
+      value & flag
+      & info [ "unprotected" ]
+          ~doc:
+            "Drop the Byzantine-tolerant layer from the ad-hoc profile: the \
+             implementations read the faulty memory directly (negative \
+             control; combine with --expect-flagged).")
+  in
+  let profiles =
+    Arg.(
+      value & opt_all string []
+      & info [ "profile" ]
+          ~doc:
+            "Profile(s) from the default survive/break taxonomy (repeatable; \
+             default: all).  Overridden by --fault.")
+  in
+  let minimize_budget =
+    Arg.(
+      value & opt int 1200
+      & info [ "minimize-budget" ]
+          ~doc:"Replays the counterexample minimizer may spend (0 disables).")
+  in
+  let expect_clean =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:"Exit nonzero if any run is flagged or stuck.")
+  in
+  let expect_flagged =
+    Arg.(
+      value & flag
+      & info [ "expect-flagged" ]
+          ~doc:"Exit nonzero if no run is flagged (negative-control mode).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ]
+          ~doc:"Replay a minimized counterexample script verbatim and report.")
+  in
+  Cmd.v
+    (Cmd.info "byz"
+       ~doc:
+         "Byzantine survive/break campaigns: the composite constructions run \
+          over the f-tolerant Byzantine register construction whose base \
+          cells equivocate, regress timestamps and lie under a budget; \
+          survive profiles (adversary within f) must stay clean, break \
+          profiles (budget exceeded, or the unprotected stack) must be \
+          caught and delta-debugged to a minimal replayable counterexample.  \
+          Exits nonzero if any profile lands on the wrong side of the \
+          tolerance boundary.")
+    Term.(
+      const byz_chaos $ impls $ components $ readers $ writes $ scans $ seeds
+      $ base_seed $ faults $ tolerance $ unprotected $ profiles
+      $ minimize_budget $ jobs_arg $ pool_trace_arg $ expect_clean
       $ expect_flagged $ replay)
 
 (* ------------------------------------------------------------------ *)
@@ -1434,6 +1680,6 @@ let () =
           [
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
-            mutants_cmd; trace_cmd; chaos_cmd; net_cmd; serve_cmd;
+            mutants_cmd; trace_cmd; chaos_cmd; net_cmd; byz_cmd; serve_cmd;
             profile_cmd;
           ]))

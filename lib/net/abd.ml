@@ -13,11 +13,24 @@ let payload_label = function
 
 type quorum = Majority | Fixed of int
 
+type backoff = { base : int; cap : int; jitter : int }
+
+(* Legacy behavior: retransmit on every timeout.  Exponential backoff
+   is opt-in so that pinned counterexample scripts recorded before the
+   knob existed keep replaying bit-identically. *)
+let no_backoff = { base = 1; cap = 1; jitter = 0 }
+
+(* Timestamp lead of a Forge_ts reply: far past anything an honest
+   writer reaches, so the forged pair wins every max-timestamp vote. *)
+let forge_lead = 1_000_000
+
 type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable rounds : int;
   mutable retransmits : int;
+  mutable retrans_suppressed : int;
+  mutable backoff_peak : int;
   mutable phase_wait_total : int;
   mutable phase_wait_max : int;
 }
@@ -28,6 +41,11 @@ type t = {
   q : int;
   stores : (int, int * exn) Hashtbl.t array;
       (* per replica: register id -> (timestamp, value) *)
+  firsts : (int, int * exn) Hashtbl.t;
+      (* register id -> initial (timestamp, value): the pair lying
+         replicas serve as their maximally stale answer *)
+  backoff : backoff;
+  retry_prng : Csim.Schedule.Prng.t;
   mutable next_reg : int;
   mutable next_rid : int;
   stats : stats;
@@ -37,7 +55,8 @@ type t = {
 let quorum_size t = t.q
 let stats t = t.stats
 
-let create ?(quorum = Majority) ?(on_phase = fun ~wait:_ -> ()) env =
+let create ?(quorum = Majority) ?(backoff = no_backoff) ?(retry_seed = 0)
+    ?(on_phase = fun ~wait:_ -> ()) env =
   let n = Sim.replicas env in
   let q =
     match quorum with
@@ -48,12 +67,17 @@ let create ?(quorum = Majority) ?(on_phase = fun ~wait:_ -> ()) env =
           (Printf.sprintf "Net.Abd.create: quorum %d not in 1..%d" k n);
       k
   in
+  if backoff.base < 1 || backoff.cap < backoff.base || backoff.jitter < 0 then
+    invalid_arg "Net.Abd.create: backoff wants 1 <= base <= cap, jitter >= 0";
   let t =
     {
       env;
       n;
       q;
       stores = Array.init n (fun _ -> Hashtbl.create 16);
+      firsts = Hashtbl.create 16;
+      backoff;
+      retry_prng = Csim.Schedule.Prng.make retry_seed;
       next_reg = 0;
       next_rid = 0;
       stats =
@@ -62,24 +86,82 @@ let create ?(quorum = Majority) ?(on_phase = fun ~wait:_ -> ()) env =
           writes = 0;
           rounds = 0;
           retransmits = 0;
+          retrans_suppressed = 0;
+          backoff_peak = 0;
           phase_wait_total = 0;
           phase_wait_max = 0;
         };
       on_phase;
     }
   in
+  (* Honest replica logic, shared by every flavor branch that does not
+     override the given request. *)
+  let honest_read store ~src ~reg ~rid =
+    let ts, v = Hashtbl.find store reg in
+    [ (src, Read_ack { reg; rid; ts; v }) ]
+  in
+  let honest_write store ~src ~reg ~rid ~ts ~v =
+    (* Timestamp rule: adopt strictly newer values only. *)
+    let ts0, _ = Hashtbl.find store reg in
+    if ts > ts0 then Hashtbl.replace store reg (ts, v);
+    [ (src, Write_ack { reg; rid }) ]
+  in
   Sim.set_handler env (fun ~replica ~src payload ->
       let store = t.stores.(replica) in
-      match payload with
-      | Read_req { reg; rid } ->
-        let ts, v = Hashtbl.find store reg in
-        [ (src, Read_ack { reg; rid; ts; v }) ]
-      | Write_req { reg; rid; ts; v } ->
-        (* Timestamp rule: adopt strictly newer values only. *)
-        let ts0, _ = Hashtbl.find store reg in
-        if ts > ts0 then Hashtbl.replace store reg (ts, v);
-        [ (src, Write_ack { reg; rid }) ]
-      | _ -> []);
+      match Sim.byz_flavor env replica with
+      | None -> (
+        match payload with
+        | Read_req { reg; rid } -> honest_read store ~src ~reg ~rid
+        | Write_req { reg; rid; ts; v } ->
+          honest_write store ~src ~reg ~rid ~ts ~v
+        | _ -> [])
+      | Some flavor -> (
+        let st = Sim.byz_stat env replica in
+        match flavor with
+        | Sim.Mute ->
+          (* Swallow every delivery: a silent Byzantine, observationally
+             a crash but accounted as misbehavior. *)
+          st.Sim.muted <- st.Sim.muted + 1;
+          []
+        | Sim.Forge_ts -> (
+          match payload with
+          | Read_req { reg; rid } ->
+            (* Serve whatever stale pair it kept, with a forged
+               far-future timestamp: honest readers adopt it, write it
+               back, and the poison spreads. *)
+            let ts, v = Hashtbl.find store reg in
+            st.Sim.forged <- st.Sim.forged + 1;
+            [ (src, Read_ack { reg; rid; ts = ts + forge_lead; v }) ]
+          | Write_req { reg; rid; ts = _; v = _ } ->
+            (* A forged ack: pretend to store, keep nothing. *)
+            st.Sim.forged <- st.Sim.forged + 1;
+            [ (src, Write_ack { reg; rid }) ]
+          | _ -> [])
+        | Sim.Stale_replies -> (
+          match payload with
+          | Read_req { reg; rid } ->
+            (* Store honestly but always answer with the register's
+               initial pair — a maximal timestamp regression. *)
+            st.Sim.stale_served <- st.Sim.stale_served + 1;
+            let ts, v = Hashtbl.find t.firsts reg in
+            [ (src, Read_ack { reg; rid; ts; v }) ]
+          | Write_req { reg; rid; ts; v } ->
+            honest_write store ~src ~reg ~rid ~ts ~v
+          | _ -> [])
+        | Sim.Equivocate -> (
+          match payload with
+          | Read_req { reg; rid } ->
+            if src land 1 = 0 then honest_read store ~src ~reg ~rid
+            else begin
+              (* Odd clients are shown the initial pair, even ones the
+                 truth: different quorum faces for different readers. *)
+              st.Sim.equivocations <- st.Sim.equivocations + 1;
+              let ts, v = Hashtbl.find t.firsts reg in
+              [ (src, Read_ack { reg; rid; ts; v }) ]
+            end
+          | Write_req { reg; rid; ts; v } ->
+            honest_write store ~src ~reg ~rid ~ts ~v
+          | _ -> [])));
   t
 
 let fresh_rid t =
@@ -89,9 +171,11 @@ let fresh_rid t =
 
 (* One quorum phase: broadcast [payload] to every replica not yet heard
    from, then consume deliveries until [q] distinct replicas have acked
-   (matched by [on_ack]); a timeout retransmits to the laggards.  Acks
-   are counted per replica, so duplicates from retransmission are
-   harmless. *)
+   (matched by [on_ack]); timeouts retransmit to the laggards under
+   bounded exponential backoff — the delay (counted in timeout events)
+   doubles up to [cap] plus seeded jitter, and resets to [base] whenever
+   an ack is accepted.  Acks are counted per replica, so duplicates from
+   retransmission are harmless. *)
 let phase t payload ~on_ack =
   t.stats.rounds <- t.stats.rounds + 1;
   let started = Sim.now t.env in
@@ -103,17 +187,36 @@ let phase t payload ~on_ack =
     done
   in
   send_round ();
+  let timeouts = ref 0 in
+  let delay = ref t.backoff.base in
+  let due = ref t.backoff.base in
   while !count < t.q do
     match Sim.recv () with
     | None ->
-      t.stats.retransmits <- t.stats.retransmits + 1;
-      send_round ()
+      incr timeouts;
+      if !timeouts >= !due then begin
+        t.stats.retransmits <- t.stats.retransmits + 1;
+        send_round ();
+        delay := min t.backoff.cap (!delay * 2);
+        if !delay > t.stats.backoff_peak then
+          t.stats.backoff_peak <- !delay;
+        let j =
+          if t.backoff.jitter > 0 then
+            Csim.Schedule.Prng.int t.retry_prng (t.backoff.jitter + 1)
+          else 0
+        in
+        due := !timeouts + !delay + j
+      end
+      else t.stats.retrans_suppressed <- t.stats.retrans_suppressed + 1
     | Some pkt -> (
       match pkt.Sim.src with
       | Sim.Replica r when not acked.(r) ->
         if on_ack pkt.Sim.payload then begin
           acked.(r) <- true;
-          incr count
+          incr count;
+          (* Progress: collapse the backoff window. *)
+          delay := t.backoff.base;
+          due := !timeouts
         end
       | _ -> ())
   done;
@@ -189,8 +292,10 @@ let memory t =
     let reg = t.next_reg in
     t.next_reg <- reg + 1;
     let inj, proj = embed () in
+    let first = (0, inj init) in
+    Hashtbl.replace t.firsts reg first;
     for r = 0 to t.n - 1 do
-      Hashtbl.replace t.stores.(r) reg (0, inj init)
+      Hashtbl.replace t.stores.(r) reg first
     done;
     let wts = ref 0 in
     {

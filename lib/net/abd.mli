@@ -37,11 +37,27 @@ type quorum =
           and yields observable non-atomicity — kept as a negative
           control for the checkers. *)
 
+type backoff = { base : int; cap : int; jitter : int }
+(** Retransmission policy for quorum phases, counted in timeout events:
+    wait [base] timeouts before the first retransmit, double the wait
+    after each retransmit up to [cap], add a seeded uniform draw from
+    [0..jitter] on top, and collapse back to [base] whenever an ack is
+    accepted (progress). *)
+
+val no_backoff : backoff
+(** [{ base = 1; cap = 1; jitter = 0 }]: retransmit on every timeout —
+    the default, and the legacy behavior pinned counterexample scripts
+    were recorded under. *)
+
 type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable rounds : int;  (** quorum phases executed *)
   mutable retransmits : int;
+  mutable retrans_suppressed : int;
+      (** timeouts absorbed by the backoff window without retransmitting *)
+  mutable backoff_peak : int;
+      (** largest backoff window (in timeouts) reached by any phase *)
   mutable phase_wait_total : int;
       (** network-clock ticks spent waiting for quorums, summed *)
   mutable phase_wait_max : int;
@@ -49,10 +65,22 @@ type stats = {
 
 type t
 
-val create : ?quorum:quorum -> ?on_phase:(wait:int -> unit) -> Sim.env -> t
-(** Installs the replica handler on [env].  [on_phase] is called at the
-    end of every completed quorum phase with its latency in network
-    ticks (used to feed metrics histograms). *)
+val create :
+  ?quorum:quorum ->
+  ?backoff:backoff ->
+  ?retry_seed:int ->
+  ?on_phase:(wait:int -> unit) ->
+  Sim.env ->
+  t
+(** Installs the replica handler on [env] — including the lying
+    branches for any {!Sim.byz_flavor} replicas the environment was
+    created with; every individual lie is booked into the replica's
+    {!Sim.byz_stat}.  [backoff] (default {!no_backoff}) governs phase
+    retransmission; [retry_seed] (default [0]) seeds its private jitter
+    PRNG, so retransmission timing replays deterministically.
+    [on_phase] is called at the end of every completed quorum phase
+    with its latency in network ticks (used to feed metrics
+    histograms). *)
 
 val memory : t -> Csim.Memory.t
 (** Registers whose [read]/[write] are ABD operations issued by the

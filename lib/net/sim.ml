@@ -18,6 +18,30 @@ type counters = {
   mutable timeouts : int;
 }
 
+type byz_flavor = Forge_ts | Stale_replies | Equivocate | Mute
+
+let byz_flavor_to_string = function
+  | Forge_ts -> "forge"
+  | Stale_replies -> "stale"
+  | Equivocate -> "equivocate"
+  | Mute -> "mute"
+
+let byz_flavor_of_string = function
+  | "forge" -> Some Forge_ts
+  | "stale" -> Some Stale_replies
+  | "equivocate" -> Some Equivocate
+  | "mute" -> Some Mute
+  | _ -> None
+
+type byz_stat = {
+  mutable forged : int;
+  mutable stale_served : int;
+  mutable equivocations : int;
+  mutable muted : int;
+}
+
+let byz_misbehaviors s = s.forged + s.stale_served + s.equivocations + s.muted
+
 type stats = {
   steps : int;
   sent : int;
@@ -49,6 +73,8 @@ type env = {
   n_replicas : int;
   loss : float;
   crashes : (int * int) list;
+  byzantine : (int * byz_flavor) list;
+  byz : byz_stat array;  (* per replica, indexed by replica id *)
   prng : Csim.Schedule.Prng.t;
   mutable handler : handler option;
   mutable flight : packet list;  (* ascending seq: sends append *)
@@ -60,7 +86,8 @@ type env = {
   handled : int array;  (* per replica: messages processed so far *)
 }
 
-let create ?(loss = 0.0) ?(crashes = []) ?(log = false) ~replicas ~seed () =
+let create ?(loss = 0.0) ?(crashes = []) ?(byzantine = []) ?(log = false)
+    ~replicas ~seed () =
   if replicas < 1 then invalid_arg "Net.Sim.create: need at least one replica";
   if loss < 0.0 || loss >= 1.0 then
     invalid_arg "Net.Sim.create: loss probability must be in [0, 1)";
@@ -78,16 +105,39 @@ let create ?(loss = 0.0) ?(crashes = []) ?(log = false) ~replicas ~seed () =
           (Printf.sprintf "Net.Sim.create: duplicate crash for replica %d" r);
       Hashtbl.add seen r ())
     crashes;
-  (* ABD liveness needs a majority of replicas that never crash. *)
-  if 2 * List.length crashes >= replicas then
+  List.iter
+    (fun (r, _) ->
+      if r < 0 || r >= replicas then
+        invalid_arg
+          (Printf.sprintf
+             "Net.Sim.create: byzantine names replica %d (of %d)" r replicas);
+      if Hashtbl.mem seen r then
+        invalid_arg
+          (Printf.sprintf
+             "Net.Sim.create: replica %d is both crashed and byzantine (or \
+              named twice)"
+             r);
+      Hashtbl.add seen r ())
+    byzantine;
+  (* ABD liveness needs a majority of replicas that answer: crash-stops
+     and mute Byzantines both silence a replica for good. *)
+  let silent =
+    List.length crashes
+    + List.length (List.filter (fun (_, fl) -> fl = Mute) byzantine)
+  in
+  if 2 * silent >= replicas then
     invalid_arg
       (Printf.sprintf
-         "Net.Sim.create: %d crash(es) among %d replicas — need f < n/2"
-         (List.length crashes) replicas);
+         "Net.Sim.create: %d silent replica(s) among %d — need f < n/2" silent
+         replicas);
   {
     n_replicas = replicas;
     loss;
     crashes;
+    byzantine;
+    byz =
+      Array.init replicas (fun _ ->
+          { forged = 0; stale_served = 0; equivocations = 0; muted = 0 });
     prng = Csim.Schedule.Prng.make seed;
     handler = None;
     flight = [];
@@ -116,6 +166,12 @@ let crashed env r =
   match List.assoc_opt r env.crashes with
   | None -> false
   | Some k -> env.handled.(r) >= k
+
+let byz_flavor env r = List.assoc_opt r env.byzantine
+let byz_stat env r = env.byz.(r)
+
+let byz_stats env =
+  List.map (fun (r, fl) -> (r, fl, env.byz.(r))) env.byzantine
 
 let totals env =
   {

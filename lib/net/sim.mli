@@ -47,9 +47,49 @@ type handler = replica:int -> src:int -> payload -> (int * payload) list
 
 type env
 
+(** {1 Byzantine replicas}
+
+    A Byzantine replica does not merely stop: it {e lies}.  Each faulty
+    replica is assigned one misbehavior flavor, applied by the protocol
+    handler (see {!Abd}) at every delivery, and every individual lie is
+    accounted per replica in a {!byz_stat} so campaign reports can say
+    exactly which replica misbehaved how often. *)
+
+type byz_flavor =
+  | Forge_ts
+      (** Acknowledge writes without storing them, and answer reads
+          with a forged far-future timestamp on a stale value — the
+          poisoning lie, since honest readers write the forged pair
+          back. *)
+  | Stale_replies
+      (** Store honestly but always answer reads with the register's
+          initial value — a maximally regressing timestamp. *)
+  | Equivocate
+      (** Answer honestly to even-numbered clients and with the initial
+          value to odd-numbered ones: different quorum faces for
+          different readers. *)
+  | Mute  (** Never reply — a silent Byzantine, counted against the
+          liveness minority like a crash. *)
+
+val byz_flavor_to_string : byz_flavor -> string
+val byz_flavor_of_string : string -> byz_flavor option
+(** Round-tripping names ["forge"], ["stale"], ["equivocate"], ["mute"]
+    — the forms counterexample scripts and CLI flags use. *)
+
+type byz_stat = {
+  mutable forged : int;  (** forged-timestamp replies and dropped stores *)
+  mutable stale_served : int;  (** initial-value replies by [Stale_replies] *)
+  mutable equivocations : int;  (** lying faces shown by [Equivocate] *)
+  mutable muted : int;  (** deliveries swallowed by [Mute] *)
+}
+
+val byz_misbehaviors : byz_stat -> int
+(** Total individual lies of one replica. *)
+
 val create :
   ?loss:float ->
   ?crashes:(int * int) list ->
+  ?byzantine:(int * byz_flavor) list ->
   ?log:bool ->
   replicas:int ->
   seed:int ->
@@ -57,12 +97,25 @@ val create :
   env
 (** [loss] defaults to [0.]; must be in [[0, 1)].  [crashes] is a list
     of [(replica, after_k_messages)] crash-stop faults, validated to
-    name distinct in-range replicas with [f < n/2].  [log] (default
-    [false]) records the full event timeline for {!Timeline} export.
-    [seed] drives the loss PRNG only; scheduling randomness comes from
-    the policy passed to {!run}. *)
+    name distinct in-range replicas.  [byzantine] assigns misbehavior
+    flavors to distinct replicas (disjoint from [crashes]).  Liveness
+    validation: crash-stops plus [Mute] Byzantines together must stay a
+    minority ([f < n/2]); lying flavors do answer, so they do not count
+    against it.  [log] (default [false]) records the full event
+    timeline for {!Timeline} export.  [seed] drives the loss PRNG only;
+    scheduling randomness comes from the policy passed to {!run}. *)
 
 val replicas : env -> int
+
+val byz_flavor : env -> int -> byz_flavor option
+(** The misbehavior assigned to this replica, if any. *)
+
+val byz_stat : env -> int -> byz_stat
+(** This replica's (mutable) misbehavior account — protocol handlers
+    bump it as they lie. *)
+
+val byz_stats : env -> (int * byz_flavor * byz_stat) list
+(** Exact per-replica misbehavior accounting, in assignment order. *)
 
 val now : env -> int
 (** The network clock: delivery and timeout events each advance it by

@@ -1,0 +1,183 @@
+open Csim
+
+(* Byzantine-linearizable SWMR atomic register from SWSR atomic
+   registers of which up to [f] may lie arbitrarily — the construction
+   of Kshemkalyani–Rai–Vaidya (arXiv 2405.19457), adapted to this
+   repository's substrate.  The paper builds the register from two
+   mechanisms and we keep both:
+
+   - Vouching: a value counts only when f+1 independent sources agree
+     on it, so f liars can never push a fabricated (value, timestamp)
+     pair past a reader.  Here every single-writer/single-reader link
+     is replicated over n = 2f+1 base cells; a link read collects all
+     n and accepts the highest-timestamp pair supported by at least
+     f+1 of them.  Correct cells of a link are written sequentially by
+     one writer, so at any point they split between at most two
+     adjacent pairs; with 2f+1 - f = f+1 correct cells the pigeonhole
+     gives some correct pair the required support mid-write, and when
+     no pair qualifies (more liars than the design point) the reader
+     falls back to the freshest pair it ever validated — which keeps
+     each link's reads monotone, i.e. atomic for its single reader.
+
+   - Relay: readers announce the value they are about to return to
+     every other reader over reader-to-reader links and adopt the
+     freshest of the writer's post and all announcements (the
+     Israeli–Li handshake this repo already uses for
+     [Constructions.Atomic_mrsw_of_srsw]).  This is what upgrades the
+     per-reader-monotone links to a register that is atomic across
+     readers: no two non-overlapping reads can return new-then-old.
+
+   Tolerance boundary: with a global adversary budget of at most f
+   faulty base cells every link still has >= f+1 correct replicas, so
+   the construction masks the faults exactly; at f+1 faults
+   concentrated on one link, the liars' agreed-on pair reaches the
+   vouching threshold (or starves the correct pair of it) and the
+   regression becomes observable — which is what the byz campaign's
+   flagged side demonstrates. *)
+
+type 'a tagged = { ts : int; v : 'a }
+
+type 'a link = {
+  reps : 'a tagged Memory.cell array;  (* n = 2f + 1 base cells *)
+  lf : int;
+  mutable last : 'a tagged;  (* freshest validated pair (reader-private) *)
+}
+
+let mk_link (mem : Memory.t) ~name ~bits ~f init =
+  let t0 = { ts = 0; v = init } in
+  {
+    reps =
+      Array.init
+        ((2 * f) + 1)
+        (fun i ->
+          mem.Memory.make ~name:(Printf.sprintf "%s.rep%d" name i) ~bits t0);
+    lf = f;
+    last = t0;
+  }
+
+let write_link l x = Array.iter (fun c -> c.Memory.write x) l.reps
+
+(* Collect all replicas, vote, keep the link monotone.  Support is
+   counted on structurally equal (ts, v) pairs: correct replicas of a
+   link hold identical pairs because they are written with the same
+   tagged value. *)
+let read_link l =
+  let seen = Array.map (fun c -> c.Memory.read ()) l.reps in
+  let best = ref None in
+  Array.iter
+    (fun x ->
+      let support =
+        Array.fold_left (fun a y -> if y = x then a + 1 else a) 0 seen
+      in
+      if support >= l.lf + 1 then
+        match !best with
+        | Some b when b.ts >= x.ts -> ()
+        | _ -> best := Some x)
+    seen;
+  (match !best with
+  | Some x when x.ts > l.last.ts -> l.last <- x
+  | _ -> ());
+  l.last
+
+let peek_link l =
+  (* Ghost vote over [peek]s: never mutates [last], never an event. *)
+  let seen = Array.map (fun c -> c.Memory.peek ()) l.reps in
+  let best = ref None in
+  Array.iter
+    (fun x ->
+      let support =
+        Array.fold_left (fun a y -> if y = x then a + 1 else a) 0 seen
+      in
+      if support >= l.lf + 1 then
+        match !best with
+        | Some b when b.ts >= x.ts -> ()
+        | _ -> best := Some x)
+    seen;
+  match !best with Some x when x.ts > l.last.ts -> x | _ -> l.last
+
+type 'a t = {
+  w2r : 'a link array;  (* writer -> reader j *)
+  r2r : 'a link array array;  (* reader i -> reader j *)
+  readers : int;
+  f : int;
+  mutable wseq : int;
+}
+
+let create (mem : Memory.t) ~name ~bits ~f ~readers init =
+  if f < 0 then invalid_arg "Byzantine.create: f must be >= 0";
+  if readers < 1 then invalid_arg "Byzantine.create: readers must be >= 1";
+  let w2r =
+    Array.init readers (fun j ->
+        mk_link mem ~name:(Printf.sprintf "%s.w2r%d" name j) ~bits ~f init)
+  in
+  let r2r =
+    Array.init readers (fun i ->
+        Array.init readers (fun j ->
+            mk_link mem
+              ~name:(Printf.sprintf "%s.r%dr%d" name i j)
+              ~bits ~f init))
+  in
+  { w2r; r2r; readers; f; wseq = 0 }
+
+let write t v =
+  t.wseq <- t.wseq + 1;
+  let x = { ts = t.wseq; v } in
+  for j = 0 to t.readers - 1 do
+    write_link t.w2r.(j) x
+  done
+
+let read t ~reader =
+  if reader < 0 || reader >= t.readers then
+    invalid_arg "Byzantine.read: reader out of range";
+  let best = ref (read_link t.w2r.(reader)) in
+  for i = 0 to t.readers - 1 do
+    if i <> reader then begin
+      let x = read_link t.r2r.(i).(reader) in
+      if x.ts > !best.ts then best := x
+    end
+  done;
+  for i = 0 to t.readers - 1 do
+    if i <> reader then write_link t.r2r.(reader).(i) !best
+  done;
+  !best.v
+
+let ghost_peek t =
+  let best = ref (peek_link t.w2r.(0)) in
+  for j = 1 to t.readers - 1 do
+    let x = peek_link t.w2r.(j) in
+    if x.ts > !best.ts then best := x
+  done;
+  !best.v
+
+(* Exact base-register and access accounting, for the space/time
+   overhead bench (E18). *)
+let replication ~f = (2 * f) + 1
+let base_registers ~f ~readers = (readers + (readers * readers)) * replication ~f
+
+let read_cost ~f ~readers =
+  (* own post + (readers-1) announcements in, (readers-1) announcements
+     out; every link access touches all 2f+1 replicas. *)
+  replication ~f * ((2 * readers) - 1)
+
+let write_cost ~f ~readers = replication ~f * readers
+
+(* ------------------------------------------------------------------ *)
+(* The construction as a Memory.t                                       *)
+(* ------------------------------------------------------------------ *)
+
+let memory ?self ~f ~readers (base : Memory.t) =
+  let self =
+    match self with
+    | Some s -> s
+    | None -> fun () -> (try Sim.self () with Sim.Not_in_simulation -> 0)
+  in
+  let make : type a. name:string -> bits:int -> a -> a Memory.cell =
+   fun ~name ~bits init ->
+    let r = create base ~name ~bits ~f ~readers init in
+    {
+      Memory.read = (fun () -> read r ~reader:(self ()));
+      write = (fun v -> write r v);
+      peek = (fun () -> ghost_peek r);
+    }
+  in
+  { Memory.make }

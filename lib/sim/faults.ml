@@ -4,8 +4,11 @@ type kind =
   | Stutter of { prob : float }
   | Corrupt of { prob : float }
   | Regular of { window : int }
+  | Equivocate of { prob : float }
+  | Regress of { prob : float }
+  | Byzantine of { f : int; prob : float }
 
-type target = All | Exact of string | Prefix of string
+type target = All | Exact of string | Prefix of string | Contains of string
 
 type injection = { kind : kind; target : target }
 
@@ -15,9 +18,40 @@ type counters = {
   mutable stuttered : int;
   mutable corrupted : int;
   mutable stale : int;
+  mutable equivocated : int;
+  mutable regressed : int;
+  mutable byz_lies : int;
+  mutable byz_drops : int;
+  mutable byz_cells : int;
 }
 
-let fired c = c.lost + c.frozen + c.stuttered + c.corrupted + c.stale
+let fresh_counters () =
+  {
+    lost = 0;
+    frozen = 0;
+    stuttered = 0;
+    corrupted = 0;
+    stale = 0;
+    equivocated = 0;
+    regressed = 0;
+    byz_lies = 0;
+    byz_drops = 0;
+    byz_cells = 0;
+  }
+
+(* [byz_cells] is the adversary's head count, not a triggered fault. *)
+let fired c =
+  c.lost + c.frozen + c.stuttered + c.corrupted + c.stale + c.equivocated
+  + c.regressed + c.byz_lies + c.byz_drops
+
+let contains ~sub name =
+  let ls = String.length sub and ln = String.length name in
+  ls = 0
+  ||
+  let rec at i =
+    i + ls <= ln && (String.equal (String.sub name i ls) sub || at (i + 1))
+  in
+  at 0
 
 let applies target name =
   match target with
@@ -26,18 +60,74 @@ let applies target name =
   | Prefix p ->
     String.length name >= String.length p
     && String.equal (String.sub name 0 (String.length p)) p
+  | Contains sub -> contains ~sub name
 
-let wrap ~seed injections (base : Memory.t) =
+(* How far back [Regress] may reach: superseded values kept per cell. *)
+let regress_depth = 8
+
+type t = {
+  mem : Memory.t;
+  (* Layers of the wrapper stack, outermost first, each with its own
+     counters.  A bare [stack] has no layers. *)
+  layers : (injection list * counters) list;
+  base : string;
+}
+
+let stack ?(base = "base") mem = { mem; layers = []; base }
+
+let counters t =
+  match t.layers with [] -> fresh_counters () | (_, c) :: _ -> c
+
+let fired_stack t = List.fold_left (fun a (_, c) -> a + fired c) 0 t.layers
+
+let wrap_over ~seed ?who injections (outer : t) =
+  let base = outer.mem in
   let prng = Schedule.Prng.make seed in
-  let counters = { lost = 0; frozen = 0; stuttered = 0; corrupted = 0; stale = 0 } in
+  let counters = fresh_counters () in
   let chance p = Schedule.Prng.float prng < p in
+  (* Reader identity for equivocation: route through [who] when the
+     caller can name the reading process (e.g. [Sim.self]); default to
+     a round-robin witness so equivocation still alternates faces in
+     single-threaded tests. *)
+  let turn = ref 0 in
+  let who =
+    match who with
+    | Some f -> f
+    | None ->
+      fun () ->
+        incr turn;
+        !turn
+  in
+  (* The Byzantine adversary owns a budget of [f] cells per injection;
+     it claims the first matching cells as they are allocated, which
+     concentrates the corruption (the strongest placement against a
+     replicated construction) and keeps claims deterministic. *)
+  let budgets =
+    List.map
+      (fun i ->
+        match i.kind with
+        | Byzantine { f; _ } -> (i, ref f)
+        | _ -> (i, ref 0))
+      injections
+  in
   let make : type a. name:string -> bits:int -> a -> a Memory.cell =
    fun ~name ~bits init ->
     let c = base.Memory.make ~name ~bits init in
     let kinds =
       List.filter_map
-        (fun i -> if applies i.target name then Some i.kind else None)
-        injections
+        (fun (i, budget) ->
+          if not (applies i.target name) then None
+          else
+            match i.kind with
+            | Byzantine { prob; _ } ->
+              if !budget > 0 then begin
+                decr budget;
+                counters.byz_cells <- counters.byz_cells + 1;
+                Some (Byzantine { f = 0; prob })
+              end
+              else None
+            | k -> Some k)
+        budgets
     in
     if kinds = [] then c
     else begin
@@ -47,14 +137,26 @@ let wrap ~seed injections (base : Memory.t) =
       let stutter_prob = find (function Stutter { prob } -> Some prob | _ -> None) in
       let corrupt_prob = find (function Corrupt { prob } -> Some prob | _ -> None) in
       let regular_window = find (function Regular { window } -> Some window | _ -> None) in
+      let equivocate_prob = find (function Equivocate { prob } -> Some prob | _ -> None) in
+      let regress_prob = find (function Regress { prob } -> Some prob | _ -> None) in
+      let byz_prob = find (function Byzantine { prob; _ } -> Some prob | _ -> None) in
       (* The wrapper shadows the cell contents: [cur] is what the cell
          holds, [prev] what it held before the latest effective write.
          Cells are single-writer, and this state only changes inside
          the (single-threaded) simulation, so the shadow is exact. *)
       let cur = ref init in
       let prev = ref init in
+      let history = ref [] in
+      (* superseded values, newest first *)
       let stale_budget = ref 0 in
       let writes_seen = ref 0 in
+      let supersede old =
+        prev := old;
+        history :=
+          old :: (if List.length !history >= regress_depth then
+                    List.filteri (fun i _ -> i < regress_depth - 1) !history
+                  else !history)
+      in
       let write v =
         incr writes_seen;
         let frozen =
@@ -65,16 +167,21 @@ let wrap ~seed injections (base : Memory.t) =
           (* The event still happens; the value does not change. *)
           c.Memory.write !cur
         end
+        else if match byz_prob with Some p -> chance p | None -> false then begin
+          (* A claimed cell silently discards the write: the targeted
+             drop of an actively faulty base register. *)
+          counters.byz_drops <- counters.byz_drops + 1;
+          c.Memory.write !cur
+        end
         else if match lost_prob with Some p -> chance p | None -> false then begin
           counters.lost <- counters.lost + 1;
           c.Memory.write !cur
         end
         else begin
           let old = !cur in
+          supersede old;
           (match regular_window with
-          | Some w ->
-            prev := old;
-            stale_budget := w
+          | Some w -> stale_budget := w
           | None -> ());
           cur := v;
           c.Memory.write v;
@@ -83,10 +190,9 @@ let wrap ~seed injections (base : Memory.t) =
             (* The previous write is spuriously re-delivered after the
                new one: an extra event that reverts the cell. *)
             counters.stuttered <- counters.stuttered + 1;
+            supersede v;
             (match regular_window with
-            | Some w ->
-              prev := v;
-              stale_budget := w
+            | Some w -> stale_budget := w
             | None -> ());
             cur := old;
             c.Memory.write old
@@ -95,9 +201,36 @@ let wrap ~seed injections (base : Memory.t) =
       in
       let read () =
         let v = c.Memory.read () in
-        if match corrupt_prob with Some p -> chance p | None -> false then begin
+        if match byz_prob with Some p -> chance p | None -> false then begin
+          (* A claimed cell answers with its initial state: the largest
+             possible timestamp regression, and — because every replica
+             of a register group starts identical — the lie on which
+             colluding claimed cells automatically agree. *)
+          counters.byz_lies <- counters.byz_lies + 1;
+          init
+        end
+        else if match corrupt_prob with Some p -> chance p | None -> false
+        then begin
           counters.corrupted <- counters.corrupted + 1;
           init
+        end
+        else if
+          match equivocate_prob with Some p -> chance p | None -> false
+        then begin
+          (* Equivocation: the answer depends on who is asking, so two
+             concurrent readers see different faces of the register. *)
+          counters.equivocated <- counters.equivocated + 1;
+          if who () land 1 = 1 then !prev else v
+        end
+        else if match regress_prob with Some p -> chance p | None -> false
+        then begin
+          (* Bogus/regressing timestamps: replay an arbitrarily old
+             superseded value (any tag embedded in it rides along). *)
+          match !history with
+          | [] -> v
+          | h ->
+            counters.regressed <- counters.regressed + 1;
+            List.nth h (Schedule.Prng.int prng (List.length h))
         end
         else if !stale_budget > 0 then begin
           stale_budget := !stale_budget - 1;
@@ -112,7 +245,15 @@ let wrap ~seed injections (base : Memory.t) =
       { Memory.read; write; peek = c.Memory.peek }
     end
   in
-  ({ Memory.make }, counters)
+  {
+    mem = { Memory.make };
+    layers = (injections, counters) :: outer.layers;
+    base = outer.base;
+  }
+
+let wrap ~seed ?who injections (base : Memory.t) =
+  let w = wrap_over ~seed ?who injections (stack base) in
+  (w.mem, counters w)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering and parsing                                                *)
@@ -124,20 +265,36 @@ let kind_to_string = function
   | Stutter { prob } -> Printf.sprintf "stutter:%g" prob
   | Corrupt { prob } -> Printf.sprintf "corrupt:%g" prob
   | Regular { window } -> Printf.sprintf "regular:%d" window
+  | Equivocate { prob } -> Printf.sprintf "equivocate:%g" prob
+  | Regress { prob } -> Printf.sprintf "regress:%g" prob
+  | Byzantine { f; prob } -> Printf.sprintf "byz:%d:%g" f prob
 
 let injection_to_string i =
   match i.target with
   | All -> kind_to_string i.kind
   | Prefix p -> Printf.sprintf "%s@%s" (kind_to_string i.kind) p
   | Exact s -> Printf.sprintf "%s@=%s" (kind_to_string i.kind) s
+  | Contains sub -> Printf.sprintf "%s@*%s" (kind_to_string i.kind) sub
 
 let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
 let pp_injection fmt i = Format.pp_print_string fmt (injection_to_string i)
 
 let pp_counters fmt c =
   Format.fprintf fmt
-    "lost=%d frozen=%d stuttered=%d corrupted=%d stale=%d" c.lost c.frozen
-    c.stuttered c.corrupted c.stale
+    "lost=%d frozen=%d stuttered=%d corrupted=%d stale=%d equivocated=%d \
+     regressed=%d byz-lies=%d byz-drops=%d byz-cells=%d"
+    c.lost c.frozen c.stuttered c.corrupted c.stale c.equivocated c.regressed
+    c.byz_lies c.byz_drops c.byz_cells
+
+let layer_label injections =
+  match injections with
+  | [] -> "pass-through"
+  | is -> String.concat "+" (List.map injection_to_string is)
+
+let stack_label ~layers ~base =
+  String.concat " over " (List.map layer_label layers @ [ base ])
+
+let describe t = stack_label ~layers:(List.map fst t.layers) ~base:t.base
 
 let injection_of_string s =
   let spec, target =
@@ -148,6 +305,8 @@ let injection_of_string s =
       ( String.sub s 0 i,
         if String.length t > 0 && t.[0] = '=' then
           Exact (String.sub t 1 (String.length t - 1))
+        else if String.length t > 0 && t.[0] = '*' then
+          Contains (String.sub t 1 (String.length t - 1))
         else Prefix t )
   in
   let prob_arg name arg k =
@@ -165,7 +324,7 @@ let injection_of_string s =
     Error
       (Printf.sprintf
          "fault spec %S: expected KIND:ARG[@TARGET] with KIND one of \
-          lost|stuck|stutter|corrupt|regular"
+          lost|stuck|stutter|corrupt|regular|equivocate|regress|byz"
          s)
   | Some i ->
     let name = String.sub spec 0 i in
@@ -176,4 +335,21 @@ let injection_of_string s =
     | "corrupt" -> prob_arg name arg (fun prob -> Corrupt { prob })
     | "stuck" -> int_arg name arg (fun after -> Stuck_at { after })
     | "regular" -> int_arg name arg (fun window -> Regular { window })
+    | "equivocate" -> prob_arg name arg (fun prob -> Equivocate { prob })
+    | "regress" -> prob_arg name arg (fun prob -> Regress { prob })
+    | "byz" -> (
+      match String.index_opt arg ':' with
+      | None -> Error "byz wants F:PROB, e.g. byz:1:1"
+      | Some j ->
+        let f_s = String.sub arg 0 j in
+        let p_s = String.sub arg (j + 1) (String.length arg - j - 1) in
+        (match (int_of_string_opt f_s, float_of_string_opt p_s) with
+        | Some f, Some p when f >= 0 && p >= 0.0 && p <= 1.0 ->
+          Ok { kind = Byzantine { f; prob = p }; target }
+        | _ ->
+          Error
+            (Printf.sprintf
+               "byz wants a non-negative budget and a probability in \
+                [0,1], got %S"
+               arg)))
     | _ -> Error (Printf.sprintf "unknown fault kind %S" name))

@@ -17,6 +17,17 @@
     (the ghost read) is never perturbed — observers and checkers see the
     true cell contents.
 
+    Benign faults ([Lost_write] … [Regular]) model a register that is
+    {e weak} but not adversarial.  The Byzantine kinds model a register
+    that actively {e lies}: [Equivocate] shows different values to
+    different readers, [Regress] replays arbitrarily old superseded
+    values (with whatever timestamp rode inside them), and [Byzantine]
+    is a seeded adversary that claims a budget of up to [f] matching
+    cells and turns each into a maximally-regressing liar (reads answer
+    the initial state, writes are silently discarded).  Claims are made
+    in allocation order, concentrating the corruption — the strongest
+    placement against an [f]-masking replicated construction.
+
     Except for [Stutter] (which re-delivers an old write as an {e extra}
     event), faults preserve the number and order of shared-memory
     events: a dropped write still costs its event, it just has no
@@ -46,11 +57,36 @@ type kind =
           previous value.  This is precisely the new/old inversion a
           regular (non-atomic) register permits and an atomic one
           forbids. *)
+  | Equivocate of { prob : float }
+      (** Byzantine equivocation: with probability [prob] a read's
+          answer depends on the asking process ([who] at {!wrap} time) —
+          odd witnesses are shown the previous value while even ones see
+          the current one, so concurrent readers observe different
+          register faces. *)
+  | Regress of { prob : float }
+      (** Byzantine timestamp regression: with probability [prob] a read
+          replays a uniformly chosen value from the cell's superseded
+          history (bounded depth), i.e. a stale value presented as
+          current — any sequence tag embedded in the value regresses
+          with it. *)
+  | Byzantine of { f : int; prob : float }
+      (** Seeded adversary budget: claim up to [f] matching cells (in
+          allocation order) and make each an active liar — with
+          probability [prob] per access, reads answer the initial state
+          and writes are silently discarded.  Colluding claimed cells
+          agree on the lie for free, because replicas of a register
+          group start identical. *)
 
 type target =
   | All  (** every cell of the wrapped memory *)
   | Exact of string  (** the cell with exactly this name *)
   | Prefix of string  (** every cell whose name starts with this prefix *)
+  | Contains of string
+      (** every cell whose name contains this substring — the natural
+          way to hit one replica group of a replicated construction
+          (e.g. ["*.rep0"] for the first base cell of every link of
+          {!Registers.Byzantine}) without knowing the register names
+          the construction was built over. *)
 
 type injection = { kind : kind; target : target }
 
@@ -60,16 +96,62 @@ type counters = {
   mutable stuttered : int;  (** duplicate old writes re-delivered *)
   mutable corrupted : int;  (** reads answered with the initial value *)
   mutable stale : int;  (** reads answered with the previous value *)
+  mutable equivocated : int;  (** reads whose answer depended on the asker *)
+  mutable regressed : int;  (** reads answered from the superseded history *)
+  mutable byz_lies : int;  (** claimed-cell reads that lied *)
+  mutable byz_drops : int;  (** claimed-cell writes silently discarded *)
+  mutable byz_cells : int;  (** cells the Byzantine adversary claimed *)
 }
 
 val fired : counters -> int
-(** Total faults that actually triggered. *)
+(** Total faults that actually triggered ([byz_cells] is a head count,
+    not a triggered fault, and is excluded). *)
 
-val wrap : seed:int -> injection list -> Memory.t -> Memory.t * counters
+(** {2 Wrapped memories}
+
+    A {!t} is a memory together with the stack of fault layers wrapped
+    around it, so failure reports can name exactly which adversary was
+    active ({!describe}). *)
+
+type t = {
+  mem : Memory.t;
+  layers : (injection list * counters) list;
+      (** wrap layers, outermost first, each with its own counters *)
+  base : string;  (** label of the innermost memory, e.g. ["sim"] *)
+}
+
+val stack : ?base:string -> Memory.t -> t
+(** A bare stack: no fault layers, [describe] names just the base. *)
+
+val wrap_over : seed:int -> ?who:(unit -> int) -> injection list -> t -> t
+(** Push one fault layer onto a stack.  Injections compose: a cell
+    matched by several injections suffers all of them.  [who] supplies
+    the identity of the reading process for [Equivocate] (e.g.
+    [Sim.self]); the default alternates a private witness counter. *)
+
+val counters : t -> counters
+(** The outermost layer's counters (fresh zeros for a bare stack). *)
+
+val fired_stack : t -> int
+(** {!fired} summed over every layer. *)
+
+val describe : t -> string
+(** Name the active fault stack, outermost first, e.g.
+    ["byz:1:1 over lost:0.2 over sim"].  Used by campaign failure
+    reports so a minimized counterexample says what was lying. *)
+
+val stack_label : layers:injection list list -> base:string -> string
+(** {!describe} for a stack that was never built: render the layers
+    directly (campaign reports reconstructing the stack from a
+    profile). *)
+
+val wrap :
+  seed:int -> ?who:(unit -> int) -> injection list -> Memory.t ->
+  Memory.t * counters
 (** [wrap ~seed injections mem] is [mem] with every matching cell made
-    faulty.  Injections compose: a cell matched by several injections
-    suffers all of them.  An empty injection list yields a
-    pass-through wrapper (and the counters stay zero). *)
+    faulty — a one-layer {!wrap_over} returning just the memory and its
+    counters.  An empty injection list yields a pass-through wrapper
+    (and the counters stay zero). *)
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp_injection : Format.formatter -> injection -> unit
@@ -78,8 +160,10 @@ val pp_counters : Format.formatter -> counters -> unit
 val injection_of_string : string -> (injection, string) result
 (** Parse a CLI fault spec: [KIND[@TARGET]] where [KIND] is one of
     [lost:PROB], [stuck:N], [stutter:PROB], [corrupt:PROB],
-    [regular:WINDOW], and [TARGET] (default: all cells) is a cell-name
-    prefix.  E.g. ["lost:0.2"], ["regular:2@Y"]. *)
+    [regular:WINDOW], [equivocate:PROB], [regress:PROB], [byz:F:PROB],
+    and [TARGET] (default: all cells) is a cell-name prefix — or
+    [=NAME] for an exact cell, [*SUB] for a substring match.  E.g.
+    ["lost:0.2"], ["regular:2@Y"], ["byz:1:1"], ["regress:1@*.rep0"]. *)
 
 val injection_to_string : injection -> string
 (** Inverse of {!injection_of_string} (round-trips). *)

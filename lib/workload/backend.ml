@@ -1,6 +1,7 @@
 type kind =
   | Shm
   | Net of { replicas : int; crash : int; loss : float }
+  | Byz of { f : int; budget : int }
   | Multicore
 
 type t = { name : string; doc : string; kind : kind }
@@ -28,6 +29,18 @@ let net ?(replicas = 3) ?(crash = 0) ?(loss = 0.) () =
     kind = Net { replicas; crash; loss };
   }
 
+let byz ?(f = 1) ?(budget = 1) () =
+  if f < 0 then invalid_arg "Backend.byz: f must be >= 0";
+  if budget < 0 then invalid_arg "Backend.byz: budget must be >= 0";
+  {
+    name = "byz";
+    doc =
+      "the f-tolerant Byzantine register construction over shared memory \
+       with a budgeted lying adversary on the base cells; nondeterminism \
+       is the process interleaving";
+    kind = Byz { f; budget };
+  }
+
 let multicore =
   {
     name = "multicore";
@@ -41,7 +54,7 @@ let registry : (string, t) Hashtbl.t = Hashtbl.create 8
 
 let register b = Hashtbl.replace registry b.name b
 
-let () = List.iter register [ shm; net (); multicore ]
+let () = List.iter register [ shm; net (); byz (); multicore ]
 
 let names () =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
@@ -59,4 +72,5 @@ let label b =
   | Shm -> "shm"
   | Net { replicas; crash; loss } ->
     Printf.sprintf "net(n=%d,f=%d,loss=%.2f)" replicas crash loss
+  | Byz { f; budget } -> Printf.sprintf "byz(f=%d,budget=%d)" f budget
   | Multicore -> "multicore"

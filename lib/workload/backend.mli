@@ -11,6 +11,10 @@
       simulated crash-prone network ({!Net.Abd.memory}); schedules are
       seeded message delivery orders, with loss and replica crashes
       injected on top.
+    - ["byz"] — each register is the f-tolerant Byzantine construction
+      ({!Registers.Byzantine.memory}) over simulator cells, with a
+      budgeted lying adversary injected on the base cells; campaigns
+      over it exercise the construction's masking claim end to end.
     - ["multicore"] — [Atomic.t] registers on real OCaml domains; the
       hardware schedule is the nondeterminism, and histories are
       recorded with a fetch-and-add clock for offline checking.
@@ -22,6 +26,7 @@
 type kind =
   | Shm
   | Net of { replicas : int; crash : int; loss : float }
+  | Byz of { f : int; budget : int }
   | Multicore
 
 type t = {
@@ -36,6 +41,13 @@ val net : ?replicas:int -> ?crash:int -> ?loss:float -> unit -> t
 (** Defaults: 3 replicas, no crashes, no loss.  Raises
     [Invalid_argument] unless [crash < replicas / 2] (a write quorum
     must survive) and [0 <= loss < 1]. *)
+
+val byz : ?f:int -> ?budget:int -> unit -> t
+(** Registers of {!Registers.Byzantine.memory} with tolerance [f] over
+    the shared-memory simulator, with a {!Csim.Faults.Byzantine}
+    adversary owning [budget] base cells (lying on every access).
+    Defaults: [f = 1], [budget = 1] — within tolerance, so campaigns
+    must stay clean.  Raises [Invalid_argument] on negative values. *)
 
 val multicore : t
 

@@ -1,0 +1,148 @@
+(** Byzantine survive/break campaigns across the full stack.
+
+    The composite snapshot constructions run over
+    {!Registers.Byzantine.memory} — the f-tolerant SWMR-from-SWSR
+    construction — whose base cells are actively faulty
+    ({!Csim.Faults} Byzantine kinds: equivocation, timestamp
+    regression, budgeted lying adversaries).  The campaign asserts the
+    tolerance boundary from both sides:
+
+    - {e survive} profiles keep the adversary within the construction's
+      budget (at most [f] lying base cells per link) and every history
+      must check out clean;
+    - {e break} profiles exceed the budget, or remove the protective
+      layer entirely (the unprotected stack), and the Shrinking oracle
+      must catch the regression; the failure is delta-debugged — over
+      the adversary's injections and the schedule — to a minimal
+      counterexample replaying deterministically from a one-line
+      script.
+
+    Mirrors {!Chaos} (benign memory faults) and {!Netchaos} (network
+    faults) in shape: record → judge → ddmin → replay script. *)
+
+type protection =
+  | Unprotected
+      (** the impls run directly over the faulty memory — the stack the
+          construction is supposed to make unnecessary to trust *)
+  | Tolerant of int
+      (** [Registers.Byzantine.memory ~f] sits between the faulty
+          memory and the impls *)
+
+type expectation = Survive | Break
+
+type profile = {
+  label : string;
+  protection : protection;
+  injections : Csim.Faults.injection list;  (** the adversary *)
+  expect : expectation;
+      (** which side of the tolerance boundary this profile
+          demonstrates *)
+}
+
+val profile :
+  ?protection:protection ->
+  expect:expectation ->
+  string ->
+  Csim.Faults.injection list ->
+  profile
+(** [protection] defaults to [Tolerant 1]. *)
+
+val protection_label : protection -> string
+
+val default_profiles : components:int -> readers:int -> profile list
+(** The default sweep over [f] and misbehavior profiles: budgeted
+    adversaries at [f] and [f = 2] (masked), per-replica equivocation /
+    regression / targeted drops (masked), every link into the first
+    scanning reader lying (caught), and the unprotected stack
+    (caught). *)
+
+type config = {
+  impls : Campaign.impl list;
+  profiles : profile list;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  seeds : int;
+  base_seed : int;
+  max_steps : int;
+  minimize_budget : int;
+}
+
+val default : config
+
+type case = {
+  impl : Campaign.impl;
+  prof : profile;
+  components : int;
+  readers : int;
+  writes_per_writer : int;
+  scans_per_reader : int;
+  fault_seed : int;
+}
+
+val stack_description : case -> string
+(** The active fault stack of a case, outermost first — e.g.
+    ["byzantine(f=1,ports=4) over byz:1:1 over sim"] ({!Csim.Faults.describe}
+    composed with the protection layer). *)
+
+val replay : case -> script:int array -> Chaos.outcome
+(** Re-execute a case under [Scripted (script, Round_robin)].
+    Deterministic: same case + same script = same outcome.  No crash
+    excuses: all Shrinking conditions must hold. *)
+
+type counterexample = {
+  cx_case : case;  (** with the {e minimized} adversary *)
+  cx_script : int array;
+  cx_violations : string;
+  cx_stack : string;  (** active fault stack of the minimized case *)
+  cx_original_entries : int;
+  cx_original_elements : int;
+  cx_replays : int;
+}
+
+val minimize : budget:int -> case -> script:int array -> counterexample
+(** Delta-debug a failing (case, script) pair: shrink the adversary's
+    injection list, then the schedule, preserving failure kind.  The
+    protection layer is part of the case and is never dropped — it
+    names the construction under accusation. *)
+
+val cx_to_string : counterexample -> string
+(** One-line replay script (for [byz --replay]). *)
+
+val cx_of_string : string -> (counterexample, string) result
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+type cell = {
+  cell_impl : Campaign.impl;
+  cell_profile : profile;
+  runs : int;
+  flagged : int;
+  stuck : int;
+  faults_fired : int;
+  cells_claimed : int;
+      (** base cells owned by budgeted adversaries, summed over runs *)
+  as_expected : bool;
+      (** [Survive] rows stayed clean / [Break] rows were caught *)
+  counterexample : counterexample option;  (** first failing run, minimized *)
+}
+
+type report = {
+  cells : cell list;
+  total_runs : int;
+  total_flagged : int;
+  total_stuck : int;
+  boundary_holds : bool;  (** every cell matched its profile's side *)
+}
+
+val run :
+  ?jobs:int -> ?pool:Exec.Pool.recorder -> ?metrics:Obs.Metrics.t ->
+  config -> report
+(** The {impl × profile × seed} sweep, sharded over domains; the merge
+    (and minimization of the first failing seed per cell) is
+    sequential, so the report is bit-identical at every job count.
+    With [metrics]: counters [byz.runs], [byz.flagged], [byz.stuck],
+    [byz.faults_fired], [byz.cells_claimed], [byz.minimize_replays];
+    histogram [byz.schedule_entries]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -225,6 +225,52 @@ let run_one_net worker_metrics cfg ~replicas ~crash ~loss i =
   c "net.timeouts" s.Net.Sim.timeouts;
   c "net.rounds" a.Net.Abd.rounds;
   c "net.retransmits" a.Net.Abd.retransmits;
+  c "net.retransmit.sent" a.Net.Abd.retransmits;
+  c "net.retransmit.suppressed" a.Net.Abd.retrans_suppressed;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram worker_metrics "net.retransmit.backoff_peak")
+    a.Net.Abd.backoff_peak;
+  outcome
+
+(* The Byzantine backend: every register the impl allocates is the
+   f-tolerant construction over simulator cells, and a budgeted lying
+   adversary ([Faults.Byzantine]) owns the first [budget] base cells.
+   With [budget <= f] the lies must be masked — the same workload and
+   checkers as shm, with an actively hostile memory underneath. *)
+let run_one_byz worker_metrics cfg ~f ~budget i =
+  let seed = cfg.base_seed + i in
+  let env = Sim.create ~trace:false () in
+  let base = Memory.of_sim env in
+  let who () = try Sim.self () with Sim.Not_in_simulation -> 0 in
+  let injections =
+    if budget > 0 then
+      [ { Faults.kind = Faults.Byzantine { f = budget; prob = 1.0 };
+          target = Faults.All } ]
+    else []
+  in
+  let faulty, counters = Faults.wrap ~seed ~who injections base in
+  let mem =
+    Registers.Byzantine.memory ~f
+      ~readers:(cfg.components + cfg.readers)
+      faulty
+  in
+  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
+  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
+  let rec_ =
+    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init handle
+  in
+  let procs = workload_procs cfg rec_ in
+  let outcome =
+    match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:2_000_000 procs with
+    | exception Sim.Stuck _ -> stuck_outcome
+    | (_ : Sim.stats) ->
+      outcome_of_history worker_metrics cfg ~init
+        (Composite.Snapshot.history rec_)
+  in
+  let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter worker_metrics name) in
+  c "byz.cells_claimed" counters.Faults.byz_cells;
+  c "byz.lies" counters.Faults.byz_lies;
+  c "byz.drops" counters.Faults.byz_drops;
   outcome
 
 (* Real parallelism: the handle sits on [Atomic.t] registers and the
@@ -255,6 +301,7 @@ let run_one worker_metrics cfg i =
   | Backend.Shm -> run_one_shm worker_metrics cfg i
   | Backend.Net { replicas; crash; loss } ->
     run_one_net worker_metrics cfg ~replicas ~crash ~loss i
+  | Backend.Byz { f; budget } -> run_one_byz worker_metrics cfg ~f ~budget i
   | Backend.Multicore -> run_one_mc worker_metrics cfg i
 
 let run ?(jobs = 1) ?pool ?metrics cfg =

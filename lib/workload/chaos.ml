@@ -105,7 +105,12 @@ let exec ~max_steps (case : case) mode =
      anyway). *)
   let env = Sim.create ~trace_capacity:4096 () in
   let base = Memory.of_sim env in
-  let mem, counters = Faults.wrap ~seed:case.fault_seed case.prof.injections base in
+  (* [who] names the asking process for equivocating faults, so two
+     concurrent readers really are shown different register faces. *)
+  let who () = try Sim.self () with Sim.Not_in_simulation -> 0 in
+  let mem, counters =
+    Faults.wrap ~seed:case.fault_seed ~who case.prof.injections base
+  in
   let init = Array.init case.components (fun k -> (k + 1) * 10) in
   let handle = Campaign.make_handle case.impl mem ~readers:case.readers ~init in
   let rec_ =
@@ -422,12 +427,14 @@ let pp_counterexample fmt cx =
   let c = cx.cx_case in
   Format.fprintf fmt
     "@[<v>minimized counterexample: impl=%s profile=%s@,\
+     fault stack: %s@,\
      chaos elements: %d (from %d)  schedule entries: %d (from %d)  \
      minimizer replays: %d@,\
      faults=[%s] crashes=[%s] stalls=[%s] fault-seed=%d@,\
      violations of the minimized run:@,%s@,\
      replay with:@,  chaos --replay '%s'@]"
     (Campaign.impl_name c.impl) c.prof.label
+    (Faults.stack_label ~layers:[ c.prof.injections ] ~base:"sim")
     (List.length (elements_of_profile c.prof))
     cx.cx_original_elements (Array.length cx.cx_script)
     cx.cx_original_entries cx.cx_replays

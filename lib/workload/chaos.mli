@@ -87,6 +87,10 @@ type outcome =
 val outcome_failed : outcome -> bool
 (** [Flagged] or [Stuck_run]. *)
 
+val render_outcome : outcome -> string
+(** Human rendering of an outcome (violation lists included) — shared
+    by the campaign counterexample reports. *)
+
 (** A self-contained, replayable case: everything needed to re-execute
     one run, including the exact schedule. *)
 type case = {

@@ -9,11 +9,13 @@ type profile = {
   label : string;
   loss : float;
   crashes : (int * int) list;
+  byz : (int * Net.Sim.byz_flavor) list;
+      (* replicas that lie rather than stop *)
   quorum : int option;  (* None = majority; Some k = Net.Abd.Fixed k *)
 }
 
-let profile ?(loss = 0.0) ?(crashes = []) ?quorum label =
-  { label; loss; crashes; quorum }
+let profile ?(loss = 0.0) ?(crashes = []) ?(byz = []) ?quorum label =
+  { label; loss; crashes; byz; quorum }
 
 let broken_quorum p = match p.quorum with Some _ -> true | None -> false
 
@@ -74,6 +76,9 @@ type run_result = {
   outcome : Chaos.outcome;
   schedule : int array;  (* network-scheduler picks (record mode only) *)
   net : Net.Sim.stats;
+  byz_lies : int;  (* individual replica misbehaviors, summed *)
+  byz_per_replica : (int * int) list;
+      (* (replica, misbehaviors), in assignment order *)
 }
 
 type mode = Record of Csim.Schedule.t | Replay of int array
@@ -81,7 +86,7 @@ type mode = Record of Csim.Schedule.t | Replay of int array
 let run_case ?(log = false) ~max_steps (case : case) mode =
   let env =
     Net.Sim.create ~log ~loss:case.prof.loss ~crashes:case.prof.crashes
-      ~replicas:case.replicas ~seed:case.seed ()
+      ~byzantine:case.prof.byz ~replicas:case.replicas ~seed:case.seed ()
   in
   let quorum =
     match case.prof.quorum with
@@ -130,6 +135,14 @@ let run_case ?(log = false) ~max_steps (case : case) mode =
         outcome;
         schedule = Array.of_list (List.rev !picks);
         net = Net.Sim.totals env;
+        byz_lies =
+          List.fold_left
+            (fun a (_, _, st) -> a + Net.Sim.byz_misbehaviors st)
+            0 (Net.Sim.byz_stats env);
+        byz_per_replica =
+          List.map
+            (fun (r, _, st) -> (r, Net.Sim.byz_misbehaviors st))
+            (Net.Sim.byz_stats env);
       },
       env )
   in
@@ -166,11 +179,15 @@ let export_timeline ?pp (case : case) ~path =
 (* The droppable network-fault elements.  The quorum override is part
    of the case (the variant under test), not an element: dropping it
    would change which algorithm is being accused. *)
-type element = E_loss of float | E_crash of int * int
+type element =
+  | E_loss of float
+  | E_crash of int * int
+  | E_byz of int * Net.Sim.byz_flavor
 
 let elements_of_profile p =
   (if p.loss > 0.0 then [ E_loss p.loss ] else [])
   @ List.map (fun (r, k) -> E_crash (r, k)) p.crashes
+  @ List.map (fun (r, fl) -> E_byz (r, fl)) p.byz
 
 let profile_of_elements ~label ~quorum els =
   {
@@ -182,6 +199,8 @@ let profile_of_elements ~label ~quorum els =
         0.0 els;
     crashes =
       List.filter_map (function E_crash (r, k) -> Some (r, k) | _ -> None) els;
+    byz =
+      List.filter_map (function E_byz (r, fl) -> Some (r, fl) | _ -> None) els;
   }
 
 type counterexample = {
@@ -261,11 +280,17 @@ let minimize ~budget case ~script =
 
 let concat_map sep f xs = String.concat sep (List.map f xs)
 
+let render_byz byz =
+  concat_map ","
+    (fun (r, fl) ->
+      Printf.sprintf "%d:%s" r (Net.Sim.byz_flavor_to_string fl))
+    byz
+
 let cx_to_string cx =
   let c = cx.cx_case in
   Printf.sprintf
     "impl=%s n=%d quorum=%s c=%d r=%d writes=%d scans=%d seed=%d label=%s \
-     loss=%g crashes=%s script=%s"
+     loss=%g crashes=%s byz=%s script=%s"
     (Campaign.impl_name c.impl) c.replicas
     (match c.prof.quorum with
     | None -> "majority"
@@ -273,6 +298,7 @@ let cx_to_string cx =
     c.components c.readers c.writes_per_writer c.scans_per_reader c.seed
     c.prof.label c.prof.loss
     (concat_map "," (fun (r, k) -> Printf.sprintf "%d:%d" r k) c.prof.crashes)
+    (render_byz c.prof.byz)
     (concat_map "," string_of_int (Array.to_list cx.cx_script))
 
 let cx_of_string s =
@@ -351,6 +377,18 @@ let cx_of_string s =
             Error (Printf.sprintf "net replay script: bad crash entry %S" tok))
         | _ -> Error (Printf.sprintf "net replay script: bad crash entry %S" tok))
   in
+  let* byz =
+    (* Absent in scripts recorded before Byzantine replicas existed —
+       an empty assignment keeps those replaying verbatim. *)
+    list_field "byz" (fun tok ->
+        match String.split_on_char ':' tok with
+        | [ r; fl ] -> (
+          match (int_of_string_opt r, Net.Sim.byz_flavor_of_string fl) with
+          | Some r, Some fl -> Ok (r, fl)
+          | _ ->
+            Error (Printf.sprintf "net replay script: bad byz entry %S" tok))
+        | _ -> Error (Printf.sprintf "net replay script: bad byz entry %S" tok))
+  in
   let* script =
     list_field "script" (fun tok ->
         match int_of_string_opt tok with
@@ -363,7 +401,7 @@ let cx_of_string s =
       cx_case =
         {
           impl;
-          prof = { label; loss; crashes; quorum };
+          prof = { label; loss; crashes; byz; quorum };
           replicas;
           components;
           readers;
@@ -375,7 +413,7 @@ let cx_of_string s =
       cx_violations = "";
       cx_original_entries = List.length script;
       cx_original_elements =
-        (if loss > 0.0 then 1 else 0) + List.length crashes;
+        (if loss > 0.0 then 1 else 0) + List.length crashes + List.length byz;
       cx_replays = 0;
     }
 
@@ -385,7 +423,7 @@ let pp_counterexample fmt cx =
     "@[<v>minimized counterexample: impl=%s profile=%s n=%d quorum=%s@,\
      fault elements: %d (from %d)  message-schedule entries: %d (from %d)  \
      minimizer replays: %d@,\
-     loss=%g crashes=[%s] seed=%d@,\
+     loss=%g crashes=[%s] byz=[%s] seed=%d@,\
      violations of the minimized run:@,%s@,\
      replay with:@,  net --replay '%s'@]"
     (Campaign.impl_name c.impl) c.prof.label c.replicas
@@ -396,7 +434,7 @@ let pp_counterexample fmt cx =
     cx.cx_original_elements (Array.length cx.cx_script)
     cx.cx_original_entries cx.cx_replays c.prof.loss
     (concat_map "," (fun (r, k) -> Printf.sprintf "%d:%d" r k) c.prof.crashes)
-    c.seed cx.cx_violations (cx_to_string cx)
+    (render_byz c.prof.byz) c.seed cx.cx_violations (cx_to_string cx)
 
 (* ------------------------------------------------------------------ *)
 (* The campaign                                                         *)
@@ -518,7 +556,16 @@ let run ?(jobs = 1) ?pool ?metrics cfg =
     c "netchaos.flagged" report.total_flagged;
     c "netchaos.stuck" report.total_stuck;
     c "netchaos.msgs_sent" (List.fold_left (fun a cl -> a + cl.msgs_sent) 0 cells);
-    c "netchaos.msgs_lost" (List.fold_left (fun a cl -> a + cl.msgs_lost) 0 cells));
+    c "netchaos.msgs_lost" (List.fold_left (fun a cl -> a + cl.msgs_lost) 0 cells);
+    c "netchaos.byz_lies" (Array.fold_left (fun a r -> a + r.byz_lies) 0 results);
+    (* Exact per-replica misbehavior accounting. *)
+    Array.iter
+      (fun r ->
+        List.iter
+          (fun (rep, n) ->
+            c (Printf.sprintf "netchaos.byz.replica%d" rep) n)
+          r.byz_per_replica)
+      results);
   report
 
 let pp_report fmt r =

@@ -23,6 +23,11 @@ type profile = {
   crashes : (int * int) list;
       (** [(replica, after_k_messages)] crash-stops; must leave a
           majority alive *)
+  byz : (int * Net.Sim.byz_flavor) list;
+      (** replicas that {e lie} instead of stopping — forged acks,
+          stale-value replies, equivocating quorum responses
+          ({!Net.Sim.byz_flavor}); the ABD emulation makes no Byzantine
+          claim, so these profiles are expected to be flagged *)
   quorum : int option;
       (** [None] = majority (correct); [Some k] forces
           {!Net.Abd.Fixed}[ k] — non-majority values are the broken
@@ -30,7 +35,12 @@ type profile = {
 }
 
 val profile :
-  ?loss:float -> ?crashes:(int * int) list -> ?quorum:int -> string -> profile
+  ?loss:float ->
+  ?crashes:(int * int) list ->
+  ?byz:(int * Net.Sim.byz_flavor) list ->
+  ?quorum:int ->
+  string ->
+  profile
 
 val broken_quorum : profile -> bool
 
@@ -70,6 +80,11 @@ type run_result = {
   schedule : int array;
       (** network-scheduler picks, in order (record mode only) *)
   net : Net.Sim.stats;
+  byz_lies : int;
+      (** individual replica misbehaviors, summed over the run *)
+  byz_per_replica : (int * int) list;
+      (** [(replica, misbehaviors)] in assignment order — the exact
+          per-replica account ({!Net.Sim.byz_stats}) *)
 }
 
 val replay : case -> script:int array -> Chaos.outcome
@@ -130,6 +145,7 @@ val run :
     first failing seed of each cell, so the report is bit-identical at
     every job count.  With [metrics]: counters [netchaos.runs],
     [netchaos.flagged], [netchaos.stuck], [netchaos.msgs_sent],
-    [netchaos.msgs_lost]; histogram [netchaos.schedule_entries]. *)
+    [netchaos.msgs_lost], [netchaos.byz_lies] and per-replica
+    [netchaos.byz.replicaR]; histogram [netchaos.schedule_entries]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -314,7 +314,7 @@ let test_mutant_caught () =
 
 let test_backend_registry () =
   check (Alcotest.list Alcotest.string) "registered names"
-    [ "multicore"; "net"; "shm" ]
+    [ "byz"; "multicore"; "net"; "shm" ]
     (Workload.Backend.names ());
   (match Workload.Backend.find "shm" with
   | Ok b -> check bool "shm kind" true (b.Workload.Backend.kind = Workload.Backend.Shm)
