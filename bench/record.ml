@@ -41,26 +41,26 @@ let iso8601_now () =
     (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
     t.Unix.tm_sec
 
-let write ~path =
+let doc () =
   let exps =
     Hashtbl.fold
       (fun k rows acc -> (k, Obs.Json.Arr (List.rev !rows)) :: acc)
       experiments []
   in
   let exps = List.sort (fun (a, _) (b, _) -> compare a b) exps in
-  let doc =
-    Obs.Json.Obj
-      [
-        ("schema", Obs.Json.Str "composite-registers/bench/v2");
-        ("version", Obs.Json.Int 2);
-        ("generated_at", Obs.Json.Str (iso8601_now ()));
-        ("experiments", Obs.Json.Obj exps);
-        ("metrics", Obs.Metrics.to_json metrics);
-      ]
-  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "composite-registers/bench/v2");
+      ("version", Obs.Json.Int 2);
+      ("generated_at", Obs.Json.Str (iso8601_now ()));
+      ("experiments", Obs.Json.Obj exps);
+      ("metrics", Obs.Metrics.to_json metrics);
+    ]
+
+let write ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Obs.Json.to_channel ~minify:false oc doc;
+      Obs.Json.to_channel ~minify:false oc (doc ());
       output_char oc '\n')

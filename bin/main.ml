@@ -1014,8 +1014,8 @@ let chaos_cmd =
 (* ------------------------------------------------------------------ *)
 
 let net impls replicas crash loss broken_quorum byz components readers writes
-    scans seeds base_seed profile_names minimize_budget timeline jobs
-    pool_trace expect_clean expect_flagged replay =
+    scans seeds base_seed profile_names minimize_budget timeline causal_trace
+    jobs pool_trace expect_clean expect_flagged replay =
   match replay with
   | Some script -> begin
     match Workload.Netchaos.cx_of_string script with
@@ -1111,29 +1111,42 @@ let net impls replicas crash loss broken_quorum byz components readers writes
           Format.printf "@.%a@." Workload.Netchaos.pp_counterexample cx
         | None -> ())
       r.cells;
+    (* One representative logged run for either export: first impl,
+       first profile, base seed. *)
+    let rep_case () =
+      {
+        Workload.Netchaos.impl = List.hd impls;
+        prof = List.hd profiles;
+        replicas;
+        components;
+        readers;
+        writes_per_writer = writes;
+        scans_per_reader = scans;
+        seed = base_seed;
+      }
+    in
     (match timeline with
     | None -> ()
     | Some path ->
-      (* One representative logged run: first impl, first profile,
-         base seed. *)
-      let case =
-        {
-          Workload.Netchaos.impl = List.hd impls;
-          prof = List.hd profiles;
-          replicas;
-          components;
-          readers;
-          writes_per_writer = writes;
-          scans_per_reader = scans;
-          seed = base_seed;
-        }
-      in
       let tr =
-        Workload.Netchaos.export_timeline ~pp:Net.Abd.payload_label case ~path
+        Workload.Netchaos.export_timeline ~pp:Net.Abd.payload_label
+          (rep_case ()) ~path
       in
       Printf.printf "wrote message timeline (%d sent, %d delivered) to %s\n"
         tr.Workload.Netchaos.net.Net.Sim.sent
         tr.Workload.Netchaos.net.Net.Sim.delivered path);
+    (match causal_trace with
+    | None -> ()
+    | Some path ->
+      let tr, c =
+        Workload.Netchaos.export_causal ~pp:Net.Abd.payload_label (rep_case ())
+          ~path
+      in
+      Printf.printf
+        "wrote merged causal trace (%d msgs, %d spans, %d unclosed, %d \
+         mismatched) to %s\n"
+        tr.Workload.Netchaos.net.Net.Sim.sent (Obs.Causal.span_count c)
+        (Obs.Causal.unclosed_count c) (Obs.Causal.mismatched c) path);
     if expect_clean && (r.total_flagged > 0 || r.total_stuck > 0) then exit 1;
     if expect_flagged && r.total_flagged = 0 then exit 1
 
@@ -1243,6 +1256,17 @@ let net_cmd =
             "Export one run's message timeline (sends, deliveries, drops, \
              timeouts, per-endpoint tracks) as Chrome trace-event JSON.")
   in
+  let causal_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "causal-trace" ] ~docv:"FILE"
+          ~doc:
+            "Export one run's merged causal trace as Chrome trace-event \
+             JSON: span trees for every composite Scan/Update, ABD op, \
+             quorum phase and per-replica rpc, plus the message timeline \
+             with flow arrows joining sends to deliveries.")
+  in
   let expect_clean =
     Arg.(
       value & flag
@@ -1273,8 +1297,8 @@ let net_cmd =
     Term.(
       const net $ impls $ replicas $ crash $ loss $ broken_quorum $ byz
       $ components $ readers $ writes $ scans $ seeds $ base_seed $ profiles
-      $ minimize_budget $ timeline $ jobs_arg $ pool_trace_arg $ expect_clean
-      $ expect_flagged $ replay)
+      $ minimize_budget $ timeline $ causal_trace $ jobs_arg $ pool_trace_arg
+      $ expect_clean $ expect_flagged $ replay)
 
 (* ------------------------------------------------------------------ *)
 (* byz                                                                  *)
@@ -1663,6 +1687,113 @@ let fullstack_cmd =
     Term.(const fullstack $ max_c)
 
 (* ------------------------------------------------------------------ *)
+(* stat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One-screen health snapshot of the whole stack: a traced shm run for
+   the hot-cell profile and span health, a traced net run for the
+   message counters and causal span accounting, and the SLO budget
+   table graded over the latency histograms both probe runs book. *)
+let stat seed =
+  let m = Obs.Metrics.create () in
+  Printf.printf "composite registers: status snapshot (seed %d)\n" seed;
+  (* shm probe: one traced schedule, the E14 shape. *)
+  let profile, shm_spans, shm_mismatched =
+    let open Csim in
+    let env = Sim.create () in
+    let mem = Memory.of_sim env in
+    let init = Array.init 4 (fun k -> (k + 1) * 10) in
+    let note = Obs.Span.emitter env in
+    let handle =
+      Workload.Campaign.make_handle ~note Workload.Campaign.Impl_anderson mem
+        ~readers:2 ~init
+    in
+    let rec_ =
+      Composite.Snapshot.record ~note
+        ~clock:(fun () -> Sim.now env)
+        ~initial:init handle
+    in
+    let writer k () =
+      for s = 1 to 2 do
+        rec_.Composite.Snapshot.rupdate ~writer:k (((k + 1) * 1000) + s)
+      done
+    in
+    let reader j () =
+      for _ = 1 to 2 do
+        ignore (rec_.Composite.Snapshot.rscan ~reader:j)
+      done
+    in
+    let procs =
+      Array.init 6 (fun p -> if p < 4 then writer p else reader (p - 4))
+    in
+    let (_ : Sim.stats) = Sim.run env ~policy:(Schedule.Random seed) procs in
+    Workload.Campaign.observe_op_latencies m ~prefix:"campaign.shm"
+      (Composite.Snapshot.history rec_);
+    let spans = Obs.Span.of_trace ~metrics:m (Sim.trace env) in
+    (Obs.Profile.of_env env, spans, Obs.Span.mismatch_count spans)
+  in
+  print_endline "\nshm probe (anderson, C=4 R=2, 2 ops/proc) — top hot cells:";
+  Format.printf "%a@?" Obs.Profile.pp
+    { profile with Obs.Profile.rows = Obs.Profile.top ~n:5 profile };
+  Printf.printf "operation spans: %d reconstructed, %d mismatched end markers\n"
+    (List.length shm_spans) shm_mismatched;
+  (* net probe: one traced run over the ABD emulation, with a replica
+     crash and message loss so the counters have something to show. *)
+  let case =
+    {
+      Workload.Netchaos.impl = Workload.Campaign.Impl_anderson;
+      prof =
+        Workload.Netchaos.profile ~loss:0.05 ~crashes:[ (0, 40) ] "loss+crash";
+      replicas = 3;
+      components = 3;
+      readers = 2;
+      writes_per_writer = 3;
+      scans_per_reader = 3;
+      seed;
+    }
+  in
+  let c = Obs.Causal.create () in
+  let r = Workload.Netchaos.run_once ~metrics:m ~causal:c case in
+  let s = r.Workload.Netchaos.net in
+  print_endline "\nnet probe (abd, n=3, loss 5%, crash replica 0):";
+  Printf.printf
+    "  messages: %d sent, %d delivered, %d lost, %d to-crashed, %d timeouts\n"
+    s.Net.Sim.sent s.Net.Sim.delivered s.Net.Sim.lost s.Net.Sim.to_crashed
+    s.Net.Sim.timeouts;
+  Printf.printf "  outcome: %s\n"
+    (match r.Workload.Netchaos.outcome with
+    | Workload.Chaos.Passed -> "clean"
+    | Workload.Chaos.Flagged vs ->
+      Printf.sprintf "FLAGGED (%d violations)" (List.length vs)
+    | Workload.Chaos.Stuck_run msg -> "STUCK: " ^ msg
+    | Workload.Chaos.Diverged msg -> "DIVERGED: " ^ msg);
+  Printf.printf
+    "  causal spans: %d collected, %d unclosed (crashed-replica rpcs), %d \
+     mismatched\n"
+    (Obs.Causal.span_count c)
+    (Obs.Causal.unclosed_count c)
+    (Obs.Causal.mismatched c);
+  (* SLO verdicts over what the two probes booked; classes this
+     snapshot does not exercise (byz, serve) show as "(no data)". *)
+  Format.printf "@.SLO budgets (p999 per op class):@.%a@?" Obs.Slo.pp
+    (Obs.Slo.check m)
+
+let stat_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Schedule seed for both probe runs.")
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "One-screen status snapshot: hot cells and span health of a traced \
+          shared-memory run, message counters and causal span accounting of \
+          a traced network run, and the SLO budget table over both probes' \
+          latency histograms.")
+    Term.(const stat $ seed)
+
+(* ------------------------------------------------------------------ *)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -1681,5 +1812,5 @@ let () =
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
             mutants_cmd; trace_cmd; chaos_cmd; net_cmd; byz_cmd; serve_cmd;
-            profile_cmd;
+            profile_cmd; stat_cmd;
           ]))

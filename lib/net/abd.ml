@@ -50,13 +50,14 @@ type t = {
   mutable next_rid : int;
   stats : stats;
   on_phase : wait:int -> unit;
+  causal : Obs.Causal.t option;
 }
 
 let quorum_size t = t.q
 let stats t = t.stats
 
 let create ?(quorum = Majority) ?(backoff = no_backoff) ?(retry_seed = 0)
-    ?(on_phase = fun ~wait:_ -> ()) env =
+    ?(on_phase = fun ~wait:_ -> ()) ?causal env =
   let n = Sim.replicas env in
   let q =
     match quorum with
@@ -92,6 +93,7 @@ let create ?(quorum = Majority) ?(backoff = no_backoff) ?(retry_seed = 0)
           phase_wait_max = 0;
         };
       on_phase;
+      causal;
     }
   in
   (* Honest replica logic, shared by every flavor branch that does not
@@ -169,6 +171,100 @@ let fresh_rid t =
   t.next_rid <- r + 1;
   r
 
+(* Causal bookkeeping around one phase: the phase span (child of the
+   operation span), one async rpc span per replica request — closed by
+   the accepted ack, left unclosed by a silent replica — instant retx
+   child spans per retransmission, and a wait span per backoff window.
+   All sends inside the phase are stamped with the phase's (trace, span)
+   context via [Sim.set_context], so replies and retransmits alike carry
+   the phase identity on the wire. *)
+type probe = {
+  c : Obs.Causal.t;
+  client : int;
+  ph : Obs.Causal.span;
+  rpcs : Obs.Causal.span option array;
+  mutable waiting : Obs.Causal.span option;  (* open backoff window *)
+}
+
+let probe_start t ~op ~name =
+  match t.causal with
+  | None -> None
+  | Some c ->
+    let client = Sim.self () in
+    let ph =
+      Obs.Causal.start c ?parent:op ~kind:Obs.Causal.Phase ~track:client
+        ~at:(Sim.now t.env) name
+    in
+    Sim.set_context t.env ~client
+      (Some { Sim.trace = ph.Obs.Causal.trace; span = ph.Obs.Causal.id });
+    Some { c; client; ph; rpcs = Array.make t.n None; waiting = None }
+
+let probe_sent t pr ~replica ~retx =
+  Option.iter
+    (fun p ->
+      let at = Sim.now t.env in
+      match p.rpcs.(replica) with
+      | None ->
+        p.rpcs.(replica) <-
+          Some
+            (Obs.Causal.start p.c ~parent:p.ph ~kind:Obs.Causal.Rpc
+               ~track:p.client ~at
+               (Printf.sprintf "rpc r%d" replica))
+      | Some rpc ->
+        if retx then begin
+          (* An instant child span per retransmission to this replica. *)
+          let s =
+            Obs.Causal.start p.c ~parent:rpc ~kind:Obs.Causal.Rpc
+              ~track:p.client ~at
+              (Printf.sprintf "retx r%d" replica)
+          in
+          Obs.Causal.finish p.c ~at s
+        end)
+    pr
+
+let probe_wait_begin t pr =
+  Option.iter
+    (fun p ->
+      if p.waiting = None then
+        p.waiting <-
+          Some
+            (Obs.Causal.start p.c ~parent:p.ph ~kind:Obs.Causal.Wait
+               ~track:p.client ~at:(Sim.now t.env) "backoff"))
+    pr
+
+let probe_wait_end t pr =
+  Option.iter
+    (fun p ->
+      Option.iter
+        (fun w ->
+          Obs.Causal.finish p.c ~at:(Sim.now t.env) w;
+          p.waiting <- None)
+        p.waiting)
+    pr
+
+let probe_acked t pr ~replica ~lamport =
+  Option.iter
+    (fun p ->
+      Option.iter
+        (fun rpc ->
+          Obs.Causal.finish p.c ~at:(Sim.now t.env)
+            ~args:[ ("ack_lamport", Obs.Json.Int lamport) ]
+            rpc)
+        p.rpcs.(replica))
+    pr
+
+let probe_finish t pr ~wait =
+  Option.iter
+    (fun p ->
+      probe_wait_end t pr;
+      (* Unacked rpc spans stay open on purpose: a crashed or mute
+         replica's request is visibly unclosed in the export. *)
+      Obs.Causal.finish p.c ~at:(Sim.now t.env)
+        ~args:[ ("wait", Obs.Json.Int wait) ]
+        p.ph;
+      Sim.set_context t.env ~client:p.client None)
+    pr
+
 (* One quorum phase: broadcast [payload] to every replica not yet heard
    from, then consume deliveries until [q] distinct replicas have acked
    (matched by [on_ack]); timeouts retransmit to the laggards under
@@ -176,17 +272,21 @@ let fresh_rid t =
    doubles up to [cap] plus seeded jitter, and resets to [base] whenever
    an ack is accepted.  Acks are counted per replica, so duplicates from
    retransmission are harmless. *)
-let phase t payload ~on_ack =
+let phase t ?op ~name payload ~on_ack =
   t.stats.rounds <- t.stats.rounds + 1;
   let started = Sim.now t.env in
+  let pr = probe_start t ~op ~name in
   let acked = Array.make t.n false in
   let count = ref 0 in
-  let send_round () =
+  let send_round ~retx =
     for r = 0 to t.n - 1 do
-      if not acked.(r) then Sim.send r payload
+      if not acked.(r) then begin
+        Sim.send r payload;
+        probe_sent t pr ~replica:r ~retx
+      end
     done
   in
-  send_round ();
+  send_round ~retx:false;
   let timeouts = ref 0 in
   let delay = ref t.backoff.base in
   let due = ref t.backoff.base in
@@ -196,7 +296,8 @@ let phase t payload ~on_ack =
       incr timeouts;
       if !timeouts >= !due then begin
         t.stats.retransmits <- t.stats.retransmits + 1;
-        send_round ();
+        probe_wait_end t pr;
+        send_round ~retx:true;
         delay := min t.backoff.cap (!delay * 2);
         if !delay > t.stats.backoff_peak then
           t.stats.backoff_peak <- !delay;
@@ -207,13 +308,18 @@ let phase t payload ~on_ack =
         in
         due := !timeouts + !delay + j
       end
-      else t.stats.retrans_suppressed <- t.stats.retrans_suppressed + 1
+      else begin
+        t.stats.retrans_suppressed <- t.stats.retrans_suppressed + 1;
+        probe_wait_begin t pr
+      end
     | Some pkt -> (
       match pkt.Sim.src with
       | Sim.Replica r when not acked.(r) ->
         if on_ack pkt.Sim.payload then begin
           acked.(r) <- true;
           incr count;
+          probe_wait_end t pr;
+          probe_acked t pr ~replica:r ~lamport:pkt.Sim.lamport;
           (* Progress: collapse the backoff window. *)
           delay := t.backoff.base;
           due := !timeouts
@@ -223,11 +329,32 @@ let phase t payload ~on_ack =
   let wait = Sim.now t.env - started in
   t.stats.phase_wait_total <- t.stats.phase_wait_total + wait;
   if wait > t.stats.phase_wait_max then t.stats.phase_wait_max <- wait;
+  probe_finish t pr ~wait;
   t.on_phase ~wait
 
-let write_phase t reg ~ts ~v =
+(* The operation-level span: parent of the phases.  [Causal.start]
+   resolves its parent to the innermost composite-level note span of
+   this client (a Scan/Update bracket), stitching the layers. *)
+let op_start t name =
+  match t.causal with
+  | None -> None
+  | Some c ->
+    Some
+      (Obs.Causal.start c ~kind:Obs.Causal.Op ~track:(Sim.self ())
+         ~at:(Sim.now t.env) name)
+
+let op_finish t op =
+  match (t.causal, op) with
+  | Some c, Some sp ->
+    let client = sp.Obs.Causal.track in
+    Obs.Causal.finish c ~at:(Sim.now t.env)
+      ~args:[ ("lamport", Obs.Json.Int (Sim.lamport t.env (Sim.Client client))) ]
+      sp
+  | _ -> ()
+
+let write_phase t ?op reg ~ts ~v =
   let rid = fresh_rid t in
-  phase t
+  phase t ?op ~name:(Printf.sprintf "write reg%d" reg)
     (Write_req { reg; rid; ts; v })
     ~on_ack:(function Write_ack w -> w.rid = rid | _ -> false)
 
@@ -236,7 +363,9 @@ let write_phase t reg ~ts ~v =
 let write t reg wts v =
   t.stats.writes <- t.stats.writes + 1;
   incr wts;
-  write_phase t reg ~ts:!wts ~v
+  let op = op_start t (Printf.sprintf "abd.write reg%d" reg) in
+  write_phase t ?op reg ~ts:!wts ~v;
+  op_finish t op
 
 (* Read: query round picks the maximum-timestamp value a quorum knows,
    then a write-back round makes that value known to a quorum before
@@ -245,9 +374,10 @@ let write t reg wts v =
 let read t reg =
   t.stats.reads <- t.stats.reads + 1;
   let rid = fresh_rid t in
+  let op = op_start t (Printf.sprintf "abd.read reg%d" reg) in
   let best_ts = ref (-1) in
   let best_v = ref None in
-  phase t
+  phase t ?op ~name:(Printf.sprintf "query reg%d" reg)
     (Read_req { reg; rid })
     ~on_ack:(function
       | Read_ack a when a.rid = rid ->
@@ -258,7 +388,8 @@ let read t reg =
         true
       | _ -> false);
   let ts = !best_ts and v = Option.get !best_v in
-  write_phase t reg ~ts ~v;
+  write_phase t ?op reg ~ts ~v;
+  op_finish t op;
   v
 
 (* Ghost read for [Memory.peek]: the freshest value any replica store

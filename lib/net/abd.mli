@@ -70,6 +70,7 @@ val create :
   ?backoff:backoff ->
   ?retry_seed:int ->
   ?on_phase:(wait:int -> unit) ->
+  ?causal:Obs.Causal.t ->
   Sim.env ->
   t
 (** Installs the replica handler on [env] — including the lying
@@ -80,7 +81,21 @@ val create :
     PRNG, so retransmission timing replays deterministically.
     [on_phase] is called at the end of every completed quorum phase
     with its latency in network ticks (used to feed metrics
-    histograms). *)
+    histograms).
+
+    [causal] enables causal tracing: every read/write opens an [Op]
+    span (parented under the issuing client's innermost composite-level
+    note span, if the same collector is fed as the harness's note
+    sink), each quorum phase a [Phase] child, each replica request an
+    async [Rpc] child closed by the accepted ack — and left visibly
+    unclosed by a crashed/mute replica — with retransmissions as
+    instant [retx] children and backoff windows as [Wait] spans.  The
+    phase's [(trace, span)] is stamped on every packet it sends via
+    {!Sim.set_context}, replies inherit it, and accepted acks record
+    the reply's Lamport stamp — so the Chrome export can draw flow
+    arrows from the message timeline into the span tree.  Tracing
+    changes packet metadata only: scheduling, counters and results are
+    bit-identical with and without it. *)
 
 val memory : t -> Csim.Memory.t
 (** Registers whose [read]/[write] are ABD operations issued by the

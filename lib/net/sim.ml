@@ -5,7 +5,16 @@ type payload = ..
 
 type addr = Client of int | Replica of int
 
-type packet = { src : addr; dst : addr; seq : int; payload : payload }
+type ctx = { trace : int; span : int }
+
+type packet = {
+  src : addr;
+  dst : addr;
+  seq : int;
+  payload : payload;
+  lamport : int;  (* sender's Lamport clock after the send tick *)
+  ctx : ctx option;  (* causal trace/span the message belongs to *)
+}
 
 type handler = replica:int -> src:int -> payload -> (int * payload) list
 
@@ -67,6 +76,8 @@ type event = {
   e_dst : addr;
   e_seq : int;
   e_payload : payload option;
+  e_lamport : int;
+  e_ctx : ctx option;
 }
 
 type env = {
@@ -84,6 +95,8 @@ type env = {
   log : bool;
   mutable events : event list;  (* newest first *)
   handled : int array;  (* per replica: messages processed so far *)
+  clocks : (addr, int) Hashtbl.t;  (* per-node Lamport clocks *)
+  client_ctx : (int, ctx) Hashtbl.t;  (* current causal ctx per client *)
 }
 
 let create ?(loss = 0.0) ?(crashes = []) ?(byzantine = []) ?(log = false)
@@ -155,12 +168,29 @@ let create ?(loss = 0.0) ?(crashes = []) ?(byzantine = []) ?(log = false)
     log;
     events = [];
     handled = Array.make replicas 0;
+    clocks = Hashtbl.create 16;
+    client_ctx = Hashtbl.create 8;
   }
 
 let replicas env = env.n_replicas
 let now env = env.step
 let set_handler env h = env.handler <- Some h
 let events env = List.rev env.events
+
+let lamport env node =
+  Option.value (Hashtbl.find_opt env.clocks node) ~default:0
+
+let tick env node witnessed =
+  let c = max (lamport env node) witnessed + 1 in
+  Hashtbl.replace env.clocks node c;
+  c
+
+let set_context env ~client ctx =
+  match ctx with
+  | None -> Hashtbl.remove env.client_ctx client
+  | Some c -> Hashtbl.replace env.client_ctx client c
+
+let context env ~client = Hashtbl.find_opt env.client_ctx client
 
 let crashed env r =
   match List.assoc_opt r env.crashes with
@@ -184,11 +214,11 @@ let totals env =
     timeouts = env.ctr.timeouts;
   }
 
-let record env kind ~src ~dst ~seq ~payload =
+let record env kind ~src ~dst ~seq ~payload ?(lamport = 0) ?ctx () =
   if env.log then
     env.events <-
       { at = env.step; kind; e_src = src; e_dst = dst; e_seq = seq;
-        e_payload = payload }
+        e_payload = payload; e_lamport = lamport; e_ctx = ctx }
       :: env.events
 
 (* ------------------------------------------------------------------ *)
@@ -214,16 +244,25 @@ let self () =
 (* Transport                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let transmit env ~src ~dst p =
+let transmit env ~src ~dst ?ctx p =
+  (* Causal context: explicit (replica replies inherit the request's),
+     else the sending client's current context, if any. *)
+  let ctx =
+    match (ctx, src) with
+    | (Some _ as c), _ -> c
+    | None, Client c -> context env ~client:c
+    | None, Replica _ -> None
+  in
+  let lamport = tick env src 0 in
   let seq = env.next_seq in
   env.next_seq <- seq + 1;
   env.ctr.sent <- env.ctr.sent + 1;
-  record env Ev_send ~src ~dst ~seq ~payload:(Some p);
+  record env Ev_send ~src ~dst ~seq ~payload:(Some p) ~lamport ?ctx ();
   if env.loss > 0.0 && Csim.Schedule.Prng.float env.prng < env.loss then begin
     env.ctr.lost <- env.ctr.lost + 1;
-    record env Ev_loss ~src ~dst ~seq ~payload:(Some p)
+    record env Ev_loss ~src ~dst ~seq ~payload:(Some p) ~lamport ?ctx ()
   end
-  else env.flight <- env.flight @ [ { src; dst; seq; payload = p } ]
+  else env.flight <- env.flight @ [ { src; dst; seq; payload = p; lamport; ctx } ]
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                          *)
@@ -285,7 +324,7 @@ let run env ?(policy = Csim.Schedule.Round_robin) ?(max_steps = 200_000) procs =
             ->
             env.ctr.expired <- env.ctr.expired + 1;
             record env Ev_expire ~src:p.src ~dst:p.dst ~seq:p.seq
-              ~payload:(Some p.payload);
+              ~payload:(Some p.payload) ~lamport:p.lamport ?ctx:p.ctx ();
             false
           | _ -> true)
         env.flight
@@ -297,13 +336,14 @@ let run env ?(policy = Csim.Schedule.Round_robin) ?(max_steps = 200_000) procs =
       if crashed env r then begin
         env.ctr.to_crashed <- env.ctr.to_crashed + 1;
         record env Ev_to_crashed ~src:p.src ~dst:p.dst ~seq:p.seq
-          ~payload:(Some p.payload)
+          ~payload:(Some p.payload) ~lamport:p.lamport ?ctx:p.ctx ()
       end
       else begin
         env.handled.(r) <- env.handled.(r) + 1;
         env.ctr.delivered <- env.ctr.delivered + 1;
+        let lamport = tick env p.dst p.lamport in
         record env Ev_deliver ~src:p.src ~dst:p.dst ~seq:p.seq
-          ~payload:(Some p.payload);
+          ~payload:(Some p.payload) ~lamport ?ctx:p.ctx ();
         let src =
           match p.src with Client c -> c | Replica _ -> assert false
         in
@@ -314,13 +354,15 @@ let run env ?(policy = Csim.Schedule.Round_robin) ?(max_steps = 200_000) procs =
               invalid_arg
                 (Printf.sprintf
                    "Net.Sim: replica %d replied to unknown client %d" r c);
-            transmit env ~src:(Replica r) ~dst:(Client c) reply)
+            (* Replies join the causal trace of the request. *)
+            transmit env ~src:(Replica r) ~dst:(Client c) ?ctx:p.ctx reply)
           (handler ~replica:r ~src p.payload)
       end
     | Client j -> (
       env.ctr.delivered <- env.ctr.delivered + 1;
+      let lamport = tick env p.dst p.lamport in
       record env Ev_deliver ~src:p.src ~dst:p.dst ~seq:p.seq
-        ~payload:(Some p.payload);
+        ~payload:(Some p.payload) ~lamport ?ctx:p.ctx ();
       match state.(j) with
       | At_recv k -> Effect.Deep.continue k (Some p)
       | _ -> assert false)
@@ -366,8 +408,9 @@ let run env ?(policy = Csim.Schedule.Round_robin) ?(max_steps = 200_000) procs =
         check_budget ();
         env.step <- env.step + 1;
         env.ctr.timeouts <- env.ctr.timeouts + 1;
+        let lamport = tick env (Client !waiting) 0 in
         record env Ev_timeout ~src:(Client !waiting) ~dst:(Client !waiting)
-          ~seq:(-1) ~payload:None;
+          ~seq:(-1) ~payload:None ~lamport ();
         let j = !waiting in
         (match state.(j) with
         | At_recv k -> Effect.Deep.continue k None

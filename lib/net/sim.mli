@@ -36,9 +36,28 @@ type payload = ..
 
 type addr = Client of int | Replica of int
 
-type packet = { src : addr; dst : addr; seq : int; payload : payload }
+type ctx = { trace : int; span : int }
+(** Causal context stamped on messages: the trace id of the top-level
+    operation and the span id of the protocol step that sent the
+    message (ids from an {!Obs.Causal} collector).  Replica replies
+    inherit the request's context, so every message of an ABD phase —
+    including retransmits and late acks — carries the phase's identity
+    end to end. *)
+
+type packet = {
+  src : addr;
+  dst : addr;
+  seq : int;
+  payload : payload;
+  lamport : int;
+  ctx : ctx option;
+}
 (** [seq] is a globally unique, monotonically increasing transmission
-    id — the canonical order used to enumerate pending deliveries. *)
+    id — the canonical order used to enumerate pending deliveries.
+    [lamport] is the sender's Lamport clock after the send tick (each
+    node ticks on send; receivers advance to [max local witnessed + 1]
+    at delivery), giving every message a happens-before-consistent
+    timestamp independent of the delivery schedule. *)
 
 type handler = replica:int -> src:int -> payload -> (int * payload) list
 (** Replica logic: given the replica id, the sending client and the
@@ -122,6 +141,17 @@ val now : env -> int
     one.  Used as the logical clock when recording operation
     histories. *)
 
+val lamport : env -> addr -> int
+(** This node's current Lamport clock (0 before its first event). *)
+
+val set_context : env -> client:int -> ctx option -> unit
+(** Set (or with [None] clear) the causal context stamped on this
+    client's subsequent sends.  Protocol layers (see [Abd]) set it
+    around each phase; it changes nothing but the metadata carried on
+    packets, so traced and untraced runs schedule identically. *)
+
+val context : env -> client:int -> ctx option
+
 val set_handler : env -> handler -> unit
 
 val crashed : env -> int -> bool
@@ -188,6 +218,11 @@ type event = {
   e_dst : addr;
   e_seq : int;
   e_payload : payload option;
+  e_lamport : int;
+      (** send-side events carry the packet's Lamport stamp, deliveries
+          the receiver's clock after the merge, timeouts the waiting
+          client's tick *)
+  e_ctx : ctx option;  (** the packet's causal context, if any *)
 }
 
 val events : env -> event list

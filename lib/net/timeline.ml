@@ -7,7 +7,7 @@ let addr_label = function
   | Sim.Client j -> Printf.sprintf "client %d" j
   | Sim.Replica r -> Printf.sprintf "replica %d" r
 
-let of_env ?(pp = fun (_ : Sim.payload) -> "msg") env =
+let of_env ?(pp = fun (_ : Sim.payload) -> "msg") ?causal env =
   let events = ref [] in
   let emit e = events := e :: !events in
   let common ~name ~ph ~ts ~addr extra =
@@ -42,11 +42,25 @@ let of_env ?(pp = fun (_ : Sim.payload) -> "msg") env =
       let name =
         match e.Sim.e_payload with Some p -> pp p | None -> "timeout"
       in
-      let seq_arg = ("args", Json.Obj [ ("seq", Json.Int e.Sim.e_seq) ]) in
+      let seq_arg =
+        ( "args",
+          Json.Obj
+            (("seq", Json.Int e.Sim.e_seq)
+            :: ("lamport", Json.Int e.Sim.e_lamport)
+            :: (match e.Sim.e_ctx with
+               | None -> []
+               | Some c ->
+                 [
+                   ("trace", Json.Int c.Sim.trace);
+                   ("span", Json.Int c.Sim.span);
+                 ])) )
+      in
       match e.Sim.kind with
       | Sim.Ev_send ->
         (* Flow start on the sender's track; the matching deliver (if
-           any) draws the arrow. *)
+           any) draws the arrow.  With [causal] in play the send sits on
+           the same (pid, tid) as the sending phase's span, so the arrow
+           departs from inside the span tree. *)
         flow ~ph:"s" ~name ~ts:e.Sim.at ~addr:e.Sim.e_src ~seq:e.Sim.e_seq
       | Sim.Ev_deliver ->
         flow ~ph:"f" ~name ~ts:e.Sim.at ~addr:e.Sim.e_dst ~seq:e.Sim.e_seq;
@@ -86,10 +100,19 @@ let of_env ?(pp = fun (_ : Sim.payload) -> "msg") env =
                [ ("args", Json.Obj [ ("name", Json.Str (addr_label addr)) ]) ];
            ])
   in
-  Json.Arr (metadata @ List.rev !events)
+  let causal_events =
+    match causal with
+    | None -> []
+    | Some c ->
+      (* Spans live on the client tracks (pid 0, tid = client id), the
+         same coordinates as the message flow starts, so the merged file
+         shows each quorum read as a span tree with arrows leaving it. *)
+      Causal.to_events ~pid:0 c
+  in
+  Json.Arr (metadata @ causal_events @ List.rev !events)
 
-let export ~path ?pp env =
+let export ~path ?pp ?causal env =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Json.to_channel ~minify:false oc (of_env ?pp env))
+    (fun () -> Json.to_channel ~minify:false oc (of_env ?pp ?causal env))

@@ -6,12 +6,27 @@
     1-tick ["X"] slice on the receiving track, matching ["s"]/["f"]
     flow events (keyed by the packet [seq]) draw the send→deliver
     arrows, and losses / deliveries-to-crashed-replicas / expirations /
-    timeouts appear as instant events.  Timestamps are network-clock
-    ticks reported as microseconds. *)
+    timeouts appear as instant events.  Every message event's args
+    carry its Lamport stamp and, when present, the causal [(trace,
+    span)] context from the packet.  Timestamps are network-clock ticks
+    reported as microseconds.
 
-val of_env : ?pp:(Sim.payload -> string) -> Sim.env -> Obs.Json.t
+    With [?causal] (the collector fed to [Abd.create ~causal] and used
+    as the note sink), the same file additionally contains the
+    reconstructed span trees — composite Scan/Update note spans, ABD op
+    and phase spans as nested ["X"] slices, per-replica rpc and backoff
+    waits as async spans — on the client tracks, i.e. the same
+    coordinates the flow arrows depart from: one merged causal trace. *)
+
+val of_env :
+  ?pp:(Sim.payload -> string) -> ?causal:Obs.Causal.t -> Sim.env -> Obs.Json.t
 (** [pp] names messages (e.g. {!Abd.payload_label}); defaults to
     ["msg"]. *)
 
-val export : path:string -> ?pp:(Sim.payload -> string) -> Sim.env -> unit
+val export :
+  path:string ->
+  ?pp:(Sim.payload -> string) ->
+  ?causal:Obs.Causal.t ->
+  Sim.env ->
+  unit
 (** Write {!of_env} to [path]. *)

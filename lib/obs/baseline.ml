@@ -1,0 +1,345 @@
+(* The perf-regression gate: diff a BENCH.json document's E-series rows
+   against a committed baseline, under per-metric tolerance policies the
+   baseline file itself carries. *)
+
+type policy = Exact | Band of float | Skip
+
+type spec = { pattern : string; policy : policy }
+
+type severity = Regression | Info
+
+type issue = { path : string; severity : severity; msg : string }
+
+(* --- glob matching: '*' matches any (possibly empty) substring ----- *)
+
+let glob_match pat s =
+  let np = String.length pat and ns = String.length s in
+  let rec go i j =
+    if i = np then j = ns
+    else
+      match pat.[i] with
+      | '*' ->
+        (* collapse runs of '*', then try every split *)
+        if i + 1 < np && pat.[i + 1] = '*' then go (i + 1) j
+        else
+          let rec try_from k = k <= ns && (go (i + 1) k || try_from (k + 1)) in
+          try_from j
+      | c -> j < ns && s.[j] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+(* A field is addressed as "EXP.field" (e.g. "E17.update_p99_ns"); a
+   spec pattern matches either the full address or the bare field. *)
+let find_policy specs ~path ~field =
+  let rec go = function
+    | [] -> None
+    | s :: rest ->
+      if glob_match s.pattern path || glob_match s.pattern field then
+        Some s.policy
+      else go rest
+  in
+  go specs
+
+(* Wall-clock-derived and scheduling-dependent fields that no tolerance
+   band can sensibly cover; everything else defaults to Exact for
+   ints/bools/strings and Band for floats. *)
+let default_tolerances =
+  List.map
+    (fun pattern -> { pattern; policy = Skip })
+    [
+      "generated_at";
+      "*seconds*";
+      "*_ns";
+      "*_ms";
+      "*per_ms*";
+      "*per_sec*";
+      "*_ratio";
+      "*speedup*";
+      "*overhead*";
+      "*_wall*";
+      "posted";
+      "applied";
+      "coalesced";
+      "publishes";
+      "hits";
+      "misses";
+      "stale";
+      "scans";
+      "ops";
+    ]
+
+let default_band = 0.5
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "composite-registers/baseline/v1"
+
+type t = { tolerances : spec list; snapshot : Json.t }
+
+let policy_json = function
+  | Exact -> Json.Str "exact"
+  | Skip -> Json.Str "skip"
+  | Band b -> Json.Obj [ ("band", Json.Float b) ]
+
+let policy_of_json = function
+  | Json.Str "exact" -> Ok Exact
+  | Json.Str "skip" -> Ok Skip
+  | Json.Obj _ as o -> (
+    match Json.member "band" o with
+    | Some (Json.Float b) -> Ok (Band b)
+    | Some (Json.Int b) -> Ok (Band (float_of_int b))
+    | _ -> Error "policy object without a numeric \"band\"")
+  | _ -> Error "policy must be \"exact\", \"skip\" or {\"band\": f}"
+
+let make ?(tolerances = default_tolerances) snapshot =
+  {
+    tolerances;
+    (* Strip volatile top-level fields from the stored snapshot so the
+       committed file does not churn on every regeneration. *)
+    snapshot =
+      (match snapshot with
+      | Json.Obj fields ->
+        Json.Obj (List.filter (fun (k, _) -> k <> "generated_at") fields)
+      | j -> j);
+  }
+
+let to_json b =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "tolerances",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("pattern", Json.Str s.pattern);
+                   ("policy", policy_json s.policy);
+                 ])
+             b.tolerances) );
+      ("snapshot", b.snapshot);
+    ]
+
+let of_json j =
+  match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> (
+    let tolerances =
+      match Json.member "tolerances" j with
+      | Some (Json.Arr specs) ->
+        List.fold_left
+          (fun acc sj ->
+            match acc with
+            | Error _ -> acc
+            | Ok acc -> (
+              match (Json.member "pattern" sj, Json.member "policy" sj) with
+              | Some (Json.Str pattern), Some pj -> (
+                match policy_of_json pj with
+                | Ok policy -> Ok ({ pattern; policy } :: acc)
+                | Error e -> Error e)
+              | _ -> Error "tolerance entry needs \"pattern\" and \"policy\""))
+          (Ok []) specs
+        |> Result.map List.rev
+      | _ -> Error "baseline without a \"tolerances\" array"
+    in
+    match (tolerances, Json.member "snapshot" j) with
+    | Error e, _ -> Error e
+    | Ok _, None -> Error "baseline without a \"snapshot\""
+    | Ok tolerances, Some snapshot -> Ok { tolerances; snapshot })
+  | _ -> Error (Printf.sprintf "baseline schema is not %S" schema)
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> Result.bind (Json.of_string text) of_json
+
+let save path b =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Json.to_channel ~minify:false oc (to_json b);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let num_of = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let json_equal a b =
+  match (num_of a, num_of b) with
+  | Some x, Some y -> x = y  (* 2 == 2.0 *)
+  | _ -> a = b
+
+let short = function
+  | Json.Str s -> Printf.sprintf "%S" s
+  | j -> Json.to_string j
+
+let compare_field specs ~path ~field ~base ~cur acc =
+  let full = path ^ "." ^ field in
+  let policy =
+    match find_policy specs ~path:full ~field with
+    | Some p -> p
+    | None -> (
+      match base with Json.Float _ -> Band default_band | _ -> Exact)
+  in
+  match policy with
+  | Skip -> acc
+  | Exact ->
+    if json_equal base cur then acc
+    else
+      {
+        path = full;
+        severity = Regression;
+        msg =
+          Printf.sprintf "expected %s, got %s (exact)" (short base) (short cur);
+      }
+      :: acc
+  | Band band -> (
+    match (num_of base, num_of cur) with
+    | Some b, Some c ->
+      let tol = band *. Float.max (Float.abs b) 1.0 in
+      if Float.abs (c -. b) <= tol then acc
+      else
+        {
+          path = full;
+          severity = Regression;
+          msg =
+            Printf.sprintf "%g outside %g +/- %g (band %g)" c b tol band;
+        }
+        :: acc
+    | _ ->
+      if json_equal base cur then acc
+      else
+        {
+          path = full;
+          severity = Regression;
+          msg =
+            Printf.sprintf "expected %s, got %s (band on non-number)"
+              (short base) (short cur);
+        }
+        :: acc)
+
+let fields_of = function Json.Obj fs -> fs | _ -> []
+
+let compare_row specs ~path ~base ~cur acc =
+  let bf = fields_of base and cf = fields_of cur in
+  let acc =
+    List.fold_left
+      (fun acc (field, bv) ->
+        match List.assoc_opt field cf with
+        | None ->
+          {
+            path = path ^ "." ^ field;
+            severity = Regression;
+            msg = "field missing from current run";
+          }
+          :: acc
+        | Some cv -> compare_field specs ~path ~field ~base:bv ~cur:cv acc)
+      acc bf
+  in
+  List.fold_left
+    (fun acc (field, _) ->
+      if List.mem_assoc field bf then acc
+      else
+        {
+          path = path ^ "." ^ field;
+          severity = Info;
+          msg = "new field (not in baseline)";
+        }
+        :: acc)
+    acc cf
+
+let rows_of = function Some (Json.Arr rows) -> rows | _ -> []
+
+let compare_doc b cur =
+  (* The gate covers the E-series experiment rows; the free-form
+     "metrics" section (whose contents depend on which campaigns ran and
+     include wall-clock histograms) is advisory only. *)
+  let base_exps =
+    match Json.member "experiments" b.snapshot with
+    | Some (Json.Obj es) -> es
+    | _ -> []
+  in
+  let cur_exps =
+    match Json.member "experiments" cur with Some (Json.Obj es) -> es | _ -> []
+  in
+  let acc =
+    List.fold_left
+      (fun acc (exp, base_rows) ->
+        match List.assoc_opt exp cur_exps with
+        | None ->
+          {
+            path = exp;
+            severity = Regression;
+            msg = "experiment missing from current run";
+          }
+          :: acc
+        | Some cur_rows ->
+          let brs = rows_of (Some base_rows) and crs = rows_of (Some cur_rows) in
+          let nb = List.length brs and nc = List.length crs in
+          let acc =
+            if nc < nb then
+              {
+                path = exp;
+                severity = Regression;
+                msg = Printf.sprintf "%d rows in baseline, %d in current" nb nc;
+              }
+              :: acc
+            else if nc > nb then
+              {
+                path = exp;
+                severity = Info;
+                msg = Printf.sprintf "%d new rows (baseline has %d)" (nc - nb) nb;
+              }
+              :: acc
+            else acc
+          in
+          List.fold_left
+            (fun (i, acc) base_row ->
+              match List.nth_opt crs i with
+              | None -> (i + 1, acc)  (* already reported above *)
+              | Some cur_row ->
+                ( i + 1,
+                  compare_row b.tolerances
+                    ~path:(Printf.sprintf "%s[%d]" exp i)
+                    ~base:base_row ~cur:cur_row acc ))
+            (0, acc) brs
+          |> snd)
+      [] base_exps
+  in
+  let acc =
+    List.fold_left
+      (fun acc (exp, _) ->
+        if List.mem_assoc exp base_exps then acc
+        else
+          {
+            path = exp;
+            severity = Info;
+            msg = "new experiment (not in baseline)";
+          }
+          :: acc)
+      acc cur_exps
+  in
+  List.sort (fun a b -> String.compare a.path b.path) acc
+
+let regressions issues =
+  List.filter (fun i -> i.severity = Regression) issues
+
+let pp_issue fmt i =
+  Format.fprintf fmt "%s %-28s %s"
+    (match i.severity with Regression -> "REGRESSION" | Info -> "info      ")
+    i.path i.msg
+
+let pp fmt issues =
+  List.iter (fun i -> Format.fprintf fmt "%a@." pp_issue i) issues

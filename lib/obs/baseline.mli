@@ -1,0 +1,59 @@
+(** The perf-regression gate: diff a BENCH.json document against a
+    committed baseline under per-metric tolerance policies.
+
+    A baseline file is self-describing: it carries the tolerance specs
+    alongside the snapshot it protects, so the gate's contract is
+    reviewable (and tunable) in the same diff as the numbers.  The gate
+    covers the E-series experiment rows only; the free-form ["metrics"]
+    section and wall-clock-derived fields (matched by the default skip
+    patterns) are advisory.  Deterministic fields — message counts,
+    verdict tallies, logical-time percentiles — default to exact
+    equality, so a regression in any reproducible quantity fails CI. *)
+
+type policy =
+  | Exact  (** values must be equal (ints and floats compare numerically) *)
+  | Band of float
+      (** numeric values must lie within [base +/- band * max(|base|, 1)] *)
+  | Skip  (** field is not gated *)
+
+type spec = { pattern : string; policy : policy }
+(** [pattern] is a ['*']-glob matched against the full address
+    ["EXP[i]"-less, i.e. "EXP[i].field" is matched as the full string]
+    and against the bare field name; first matching spec wins.  Fields
+    matching no spec default to [Exact] ([Band 0.5] for floats). *)
+
+type severity = Regression | Info
+
+type issue = { path : string; severity : severity; msg : string }
+
+type t = { tolerances : spec list; snapshot : Json.t }
+
+val default_tolerances : spec list
+(** Skip patterns for wall-clock and scheduling-dependent fields
+    ([*seconds*], [*_ns], [*_ratio], ...). *)
+
+val default_band : float
+
+val make : ?tolerances:spec list -> Json.t -> t
+(** Wrap a BENCH.json document as a baseline (dropping the volatile
+    [generated_at] stamp). *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val load : string -> (t, string) result
+val save : string -> t -> unit
+
+val compare_doc : t -> Json.t -> issue list
+(** Diff a current BENCH.json document against the baseline: missing
+    experiments/rows/fields and out-of-tolerance values are
+    {!Regression}s; new experiments/rows/fields are {!Info}.  Rows are
+    matched by index within their experiment.  Sorted by path. *)
+
+val regressions : issue list -> issue list
+
+val glob_match : string -> string -> bool
+(** [glob_match pattern s]: ['*'] matches any substring. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val pp : Format.formatter -> issue list -> unit

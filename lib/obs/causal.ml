@@ -1,0 +1,197 @@
+(* Causal span collector: a mutable span store that harnesses and the
+   net layer feed directly (no trace ring involved), reconstructing each
+   operation as a tree: composite op (from note markers) -> ABD op ->
+   phase -> per-replica rpc / backoff wait.  Exported as Chrome trace
+   events that merge onto the message timeline's track layout. *)
+
+type kind = Op | Phase | Rpc | Wait | Note
+
+let kind_label = function
+  | Op -> "op"
+  | Phase -> "phase"
+  | Rpc -> "rpc"
+  | Wait -> "wait"
+  | Note -> "note"
+
+type span = {
+  id : int;
+  trace : int;
+  parent : int option;
+  kind : kind;
+  name : string;
+  track : int;
+  t0 : int;
+  mutable t1 : int;
+  mutable closed : bool;
+  mutable args : (string * Json.t) list;
+}
+
+type t = {
+  mutable next_id : int;
+  mutable next_trace : int;
+  mutable spans : span list;  (* reverse creation order *)
+  mutable n_spans : int;
+  note_stacks : (int, span list) Hashtbl.t;  (* open Note spans, per track *)
+  mutable mismatched : int;
+  mutable last_at : int;
+}
+
+let create () =
+  {
+    next_id = 0;
+    next_trace = 0;
+    spans = [];
+    n_spans = 0;
+    note_stacks = Hashtbl.create 8;
+    mismatched = 0;
+    last_at = 0;
+  }
+
+let fresh_trace t =
+  let tr = t.next_trace in
+  t.next_trace <- tr + 1;
+  tr
+
+let note_stack t track =
+  Option.value (Hashtbl.find_opt t.note_stacks track) ~default:[]
+
+let current t ~track =
+  match note_stack t track with [] -> None | s :: _ -> Some s
+
+let start t ?parent ?trace ?(args = []) ~kind ~track ~at name =
+  let parent =
+    match parent with
+    | Some _ -> parent
+    | None -> current t ~track  (* nest under the innermost note span *)
+  in
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> (
+      match parent with Some p -> p.trace | None -> fresh_trace t)
+  in
+  let s =
+    {
+      id = t.next_id;
+      trace;
+      parent = Option.map (fun p -> p.id) parent;
+      kind;
+      name;
+      track;
+      t0 = at;
+      t1 = at;
+      closed = false;
+      args;
+    }
+  in
+  t.next_id <- s.id + 1;
+  t.spans <- s :: t.spans;
+  t.n_spans <- t.n_spans + 1;
+  t.last_at <- max t.last_at at;
+  s
+
+let finish t ?(args = []) ~at s =
+  s.t1 <- max s.t0 at;
+  s.closed <- true;
+  if args <> [] then s.args <- s.args @ args;
+  t.last_at <- max t.last_at at
+
+let note t ~track ~at text =
+  t.last_at <- max t.last_at at;
+  match Csim.Trace.span_of_note text with
+  | None -> ()
+  | Some (`B, name) ->
+    let s = start t ~kind:Note ~track ~at name in
+    Hashtbl.replace t.note_stacks track (s :: note_stack t track)
+  | Some (`E, name) -> (
+    match note_stack t track with
+    | [] -> ()  (* stray end marker *)
+    | s :: rest ->
+      Hashtbl.replace t.note_stacks track rest;
+      if not (String.equal name s.name) then begin
+        t.mismatched <- t.mismatched + 1;
+        s.args <- ("mismatched_end", Json.Str name) :: s.args
+      end;
+      finish t ~at s)
+
+let spans t = List.rev t.spans
+let span_count t = t.n_spans
+let mismatched t = t.mismatched
+
+let unclosed_count t =
+  List.fold_left (fun acc s -> if s.closed then acc else acc + 1) 0 t.spans
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+let span_args s =
+  ("trace", Json.Int s.trace)
+  :: ("span", Json.Int s.id)
+  :: (match s.parent with
+     | None -> []
+     | Some p -> [ ("parent", Json.Int p) ])
+  @ (if s.closed then [] else [ ("unclosed", Json.Bool true) ])
+  @ s.args
+
+let to_events ?(pid = 0) t =
+  (* Unclosed spans render up to the last event seen, like
+     [Span.of_trace] closing at the trace's final step. *)
+  let horizon = t.last_at in
+  List.concat_map
+    (fun s ->
+      let t1 = if s.closed then s.t1 else max s.t0 horizon in
+      let base =
+        [
+          ("name", Json.Str s.name);
+          ("cat", Json.Str (kind_label s.kind));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int s.track);
+          ("args", Json.Obj (span_args s));
+        ]
+      in
+      match s.kind with
+      | Op | Phase | Note ->
+        (* Complete events: the viewer nests them by containment, which
+           tolerates the overlap patterns a B/E stack cannot. *)
+        [
+          Json.Obj
+            (("ph", Json.Str "X")
+            :: ("ts", Json.Int s.t0)
+            :: ("dur", Json.Int (max 1 (t1 - s.t0)))
+            :: base);
+        ]
+      | Rpc | Wait ->
+        (* Async begin/end pairs keyed by span id: concurrent rpcs to
+           different replicas overlap freely on the client track. *)
+        [
+          Json.Obj
+            (("ph", Json.Str "b")
+            :: ("id", Json.Int s.id)
+            :: ("ts", Json.Int s.t0)
+            :: base);
+          Json.Obj
+            (("ph", Json.Str "e")
+            :: ("id", Json.Int s.id)
+            :: ("ts", Json.Int t1)
+            :: base);
+        ])
+    (spans t)
+
+let pp fmt t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace tbl s.id s) t.spans;
+  let rec depth s =
+    match s.parent with
+    | None -> 0
+    | Some p -> (
+      match Hashtbl.find_opt tbl p with None -> 1 | Some ps -> 1 + depth ps)
+  in
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "t%d %s[%s] %s [%d, %d]%s%s@." s.track
+        (String.make (2 * depth s) ' ')
+        (kind_label s.kind) s.name s.t0 s.t1
+        (if s.closed then "" else " (unclosed)")
+        (if List.mem_assoc "mismatched_end" s.args then " (mismatched)" else ""))
+    (spans t)

@@ -1,0 +1,92 @@
+(** Causal operation spans across the message-passing boundary.
+
+    {!Span} reconstructs intervals from a simulator trace ring after the
+    fact; this module is the {e online} collector the net layer feeds
+    directly.  [Net.Abd] opens an {!kind.Op} span per read/write, a
+    {!kind.Phase} span per query/write phase, an async {!kind.Rpc} span
+    per replica request (closed by the accepted ack, left unclosed by a
+    crashed replica) and {!kind.Wait} spans for retransmit-backoff
+    windows, all stitched to the composite-level Scan/Update markers
+    ([Composite.Snapshot.record ~note]) via {!note}.  Each span carries
+    a trace id (one per top-level operation), its parent span id, and
+    any extra [args] (e.g. the Lamport timestamps stamped on the wire) —
+    enough to export one Chrome trace in which a quorum read is a tree:
+    op -> phase -> per-replica rpcs, with flow arrows joining the
+    message timeline (see [Net.Timeline.export_merged]). *)
+
+type kind =
+  | Op  (** one ABD-level read/write *)
+  | Phase  (** one query/write quorum phase *)
+  | Rpc  (** one request to one replica, send -> accepted ack *)
+  | Wait  (** a retransmit-backoff window *)
+  | Note  (** composite-level span from begin/end note markers *)
+
+type span = {
+  id : int;  (** unique within the collector; also the async-event id *)
+  trace : int;  (** groups every span of one top-level operation *)
+  parent : int option;  (** parent span id *)
+  kind : kind;
+  name : string;
+  track : int;  (** client/process id; becomes the Chrome [tid] *)
+  t0 : int;
+  mutable t1 : int;
+  mutable closed : bool;
+  mutable args : (string * Json.t) list;
+}
+
+type t
+
+val create : unit -> t
+
+val fresh_trace : t -> int
+(** A new trace id (sequential, deterministic). *)
+
+val start :
+  t ->
+  ?parent:span ->
+  ?trace:int ->
+  ?args:(string * Json.t) list ->
+  kind:kind ->
+  track:int ->
+  at:int ->
+  string ->
+  span
+(** Open a span.  When [?parent] is omitted it defaults to the innermost
+    open {!kind.Note} span of [track] (so ABD ops nest under the
+    composite Scan/Update that issued them); when [?trace] is omitted it
+    inherits the parent's trace, or a fresh one at the root. *)
+
+val finish : t -> ?args:(string * Json.t) list -> at:int -> span -> unit
+
+val note : t -> track:int -> at:int -> string -> unit
+(** A note sink ([string -> unit] after partial application) accepting
+    the same [Trace.span_begin]/[span_end] markers as {!Span.emitter}:
+    begin markers open a {!kind.Note} span, end markers close the
+    innermost one on that track (a name disagreement counts into
+    {!mismatched} and is recorded in the span's args).  Non-marker notes
+    are ignored, as are stray end markers. *)
+
+val current : t -> track:int -> span option
+(** The innermost open note span on [track], if any. *)
+
+val spans : t -> span list
+(** All spans in creation order. *)
+
+val span_count : t -> int
+
+val unclosed_count : t -> int
+(** Spans never finished — crash-stopped replicas' rpcs, operations cut
+    off by the end of the run. *)
+
+val mismatched : t -> int
+(** Note end markers whose name disagreed with the span they closed. *)
+
+val to_events : ?pid:int -> t -> Json.t list
+(** Chrome trace events: Op/Phase/Note spans as ["X"] complete events
+    (the viewer nests by containment), Rpc/Wait as async ["b"]/["e"]
+    pairs keyed by span id so concurrent per-replica rpcs overlap freely
+    on the client track.  Unclosed spans extend to the last time seen
+    and carry ["unclosed": true] in their args. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented per-track listing, unclosed/mismatched spans flagged. *)

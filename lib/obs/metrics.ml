@@ -133,6 +133,18 @@ let percentile h p =
 (* Merging                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let find_counter t name =
+  match Hashtbl.find_opt t.tbl name with Some (C c) -> Some c | _ -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.tbl name with Some (H h) -> Some h | _ -> None
+
+let histogram_names t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun k v acc -> match v with H _ -> k :: acc | _ -> acc)
+       t.tbl [])
+
 let sorted_bindings t =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
@@ -181,9 +193,11 @@ let hist_json h =
       ("min", Json.Int (hist_min h));
       ("max", Json.Int (hist_max h));
       ("mean", if h.n = 0 then Json.Null else Json.Float (mean h));
+      ("p10", Json.Int (percentile h 10.));
       ("p50", Json.Int (percentile h 50.));
       ("p90", Json.Int (percentile h 90.));
       ("p99", Json.Int (percentile h 99.));
+      ("p999", Json.Int (percentile h 99.9));
     ]
 
 let to_json t =

@@ -60,7 +60,23 @@ val mean : histogram -> float  (** of the bucket representatives; [nan] when emp
 val percentile : histogram -> float -> int
 (** [percentile h p] for [p] in [(0, 100]]: the smallest recorded bucket
     bound [x] such that at least [ceil (p/100 * count)] samples are
-    [<= x] (see the precision note above).  0 when empty. *)
+    [<= x] (see the precision note above).  0 when empty.  Tail
+    percentiles (p999 = [99.9]) follow the same rule — with fewer than
+    1000 samples p999 equals the maximum-rank bucket, i.e. it degrades
+    to [p100] rather than extrapolating. *)
+
+(** {2 Lookup without registration}
+
+    [find_*] return [None] when the name is absent {e or} registered as
+    a different kind — they never create metrics, so they are safe to
+    use on merged registries whose contents depend on which campaigns
+    ran. *)
+
+val find_counter : t -> string -> counter option
+val find_histogram : t -> string -> histogram option
+
+val histogram_names : t -> string list
+(** All registered histogram names, sorted. *)
 
 (** {2 Merging} *)
 
@@ -91,7 +107,8 @@ val merge : into:t -> t -> unit
 val to_json : t -> Json.t
 (** The whole registry as one object:
     [{"counters": {...}, "gauges": {...}, "histograms": {name: {count,
-    min, max, mean, p50, p90, p99}}}], fields sorted by name. *)
+    min, max, mean, p10, p50, p90, p99, p999}}}], fields sorted by
+    name. *)
 
 val to_json_lines : t -> string
 (** One JSON object per line per metric

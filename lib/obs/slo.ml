@@ -1,0 +1,97 @@
+type pct = P50 | P90 | P99 | P999
+
+let pct_label = function
+  | P50 -> "p50"
+  | P90 -> "p90"
+  | P99 -> "p99"
+  | P999 -> "p999"
+
+let pct_value = function P50 -> 50. | P90 -> 90. | P99 -> 99. | P999 -> 99.9
+
+type budget = {
+  op : string;  (* op class, e.g. "net/scan" *)
+  metric : string;  (* histogram name in the registry *)
+  pct : pct;
+  limit : int;  (* same unit as the histogram's samples *)
+  unit_ : string;  (* "steps", "ticks", "ns", ... display only *)
+}
+
+type verdict = {
+  budget : budget;
+  observed : int option;  (* None: histogram absent or empty *)
+  count : int;
+  ok : bool;  (* vacuously true when absent *)
+}
+
+let budget ~op ~metric ~pct ~limit ~unit_ = { op; metric; pct; limit; unit_ }
+
+(* Budgets for the repo's own campaigns.  The sim-backed classes are in
+   deterministic logical time (scheduler steps / network ticks), so the
+   limits are exact contracts, set ~2x above the measured p999 of the
+   default campaigns; the serve class is wall-clock and its limits are
+   deliberately loose (order-of-magnitude guards only). *)
+let default_budgets =
+  [
+    budget ~op:"shm/scan" ~metric:"campaign.shm.scan.latency" ~pct:P999
+      ~limit:600 ~unit_:"steps";
+    budget ~op:"shm/update" ~metric:"campaign.shm.update.latency" ~pct:P999
+      ~limit:300 ~unit_:"steps";
+    budget ~op:"net/scan" ~metric:"netchaos.scan.latency" ~pct:P999
+      ~limit:40_000 ~unit_:"ticks";
+    budget ~op:"net/update" ~metric:"netchaos.update.latency" ~pct:P999
+      ~limit:20_000 ~unit_:"ticks";
+    budget ~op:"byz/scan" ~metric:"byzchaos.scan.latency" ~pct:P999
+      ~limit:6_000 ~unit_:"steps";
+    budget ~op:"byz/update" ~metric:"byzchaos.update.latency" ~pct:P999
+      ~limit:3_000 ~unit_:"steps";
+    budget ~op:"serve/scan" ~metric:"serve.scan.latency_ns" ~pct:P999
+      ~limit:1_000_000_000 ~unit_:"ns";
+    budget ~op:"serve/update" ~metric:"serve.update.latency_ns" ~pct:P999
+      ~limit:2_000_000_000 ~unit_:"ns";
+    budget ~op:"serve/post" ~metric:"serve.post.latency_ns" ~pct:P999
+      ~limit:1_000_000_000 ~unit_:"ns";
+  ]
+
+let check_budget m b =
+  match Metrics.find_histogram m b.metric with
+  | None -> { budget = b; observed = None; count = 0; ok = true }
+  | Some h ->
+    let n = Metrics.count h in
+    if n = 0 then { budget = b; observed = None; count = 0; ok = true }
+    else
+      let v = Metrics.percentile h (pct_value b.pct) in
+      { budget = b; observed = Some v; count = n; ok = v <= b.limit }
+
+let check ?(budgets = default_budgets) m = List.map (check_budget m) budgets
+
+let all_ok vs = List.for_all (fun v -> v.ok) vs
+
+let verdict_json v =
+  Json.Obj
+    [
+      ("op", Json.Str v.budget.op);
+      ("metric", Json.Str v.budget.metric);
+      ("pct", Json.Str (pct_label v.budget.pct));
+      ("limit", Json.Int v.budget.limit);
+      ("unit", Json.Str v.budget.unit_);
+      ( "observed",
+        match v.observed with None -> Json.Null | Some x -> Json.Int x );
+      ("count", Json.Int v.count);
+      ("ok", Json.Bool v.ok);
+    ]
+
+let to_json vs = Json.Arr (List.map verdict_json vs)
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "%-12s %s(%s) %s  budget %d %s%s" v.budget.op
+    (pct_label v.budget.pct) v.budget.metric
+    (match v.observed with
+    | None -> "-"
+    | Some x -> string_of_int x)
+    v.budget.limit v.budget.unit_
+    (match v.observed with
+    | None -> "  (no data)"
+    | Some _ -> if v.ok then "  OK" else "  VIOLATED")
+
+let pp fmt vs =
+  List.iter (fun v -> Format.fprintf fmt "%a@." pp_verdict v) vs

@@ -1,0 +1,47 @@
+(** Latency budgets (SLOs) per operation class, judged against the
+    metrics registry's histograms.
+
+    A {!budget} names an op class (e.g. ["net/scan"]), the histogram
+    that records its latencies, a percentile and a limit; {!check} turns
+    a registry into {!verdict}s.  The sim-backed classes (shm, net, byz)
+    measure in deterministic logical time — scheduler steps or network
+    ticks — so their verdicts are exact, reproducible contracts suitable
+    for the regression gate; the serving-layer class is wall-clock and
+    its default limits are loose order-of-magnitude guards. *)
+
+type pct = P50 | P90 | P99 | P999
+
+val pct_label : pct -> string
+val pct_value : pct -> float
+
+type budget = {
+  op : string;  (** op class label, e.g. ["net/scan"] *)
+  metric : string;  (** histogram name in the registry *)
+  pct : pct;
+  limit : int;  (** inclusive upper bound, in the histogram's unit *)
+  unit_ : string;  (** display unit: ["steps"], ["ticks"], ["ns"] *)
+}
+
+type verdict = {
+  budget : budget;
+  observed : int option;
+      (** the percentile, or [None] when the histogram is absent/empty *)
+  count : int;  (** samples behind the percentile *)
+  ok : bool;  (** [observed <= limit]; vacuously true on no data *)
+}
+
+val budget :
+  op:string -> metric:string -> pct:pct -> limit:int -> unit_:string -> budget
+
+val default_budgets : budget list
+(** Budgets for the repo's own campaign latency histograms
+    ([campaign.shm.*], [netchaos.*], [byzchaos.*], [serve.*]). *)
+
+val check : ?budgets:budget list -> Metrics.t -> verdict list
+val all_ok : verdict list -> bool
+
+val verdict_json : verdict -> Json.t
+val to_json : verdict list -> Json.t
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp : Format.formatter -> verdict list -> unit

@@ -7,13 +7,17 @@ type t = {
   t1 : int;
   depth : int;
   closed : bool;
+  mismatch : string option;
 }
 
 let emitter env text = Sim.note env ~proc:(Sim.self ()) text
 
 type open_span = { o_name : string; o_t0 : int; o_depth : int }
 
-let of_trace tr =
+let of_trace ?metrics tr =
+  let mismatched =
+    Option.map (fun m -> Metrics.counter m "span.mismatched") metrics
+  in
   let stacks : (int, open_span list) Hashtbl.t = Hashtbl.create 8 in
   let out = ref [] in
   let last_step = ref 0 in
@@ -28,10 +32,17 @@ let of_trace tr =
           Hashtbl.replace stacks e.Trace.proc
             ({ o_name = name; o_t0 = e.Trace.step; o_depth = List.length st }
             :: st)
-        | Some (`E, _name) -> (
+        | Some (`E, name) -> (
           match stack e.Trace.proc with
           | [] -> ()  (* stray end marker *)
           | o :: rest ->
+            let mismatch =
+              if String.equal name o.o_name then None
+              else begin
+                Option.iter Metrics.incr mismatched;
+                Some name
+              end
+            in
             Hashtbl.replace stacks e.Trace.proc rest;
             out :=
               {
@@ -41,6 +52,7 @@ let of_trace tr =
                 t1 = e.Trace.step;
                 depth = o.o_depth;
                 closed = true;
+                mismatch;
               }
               :: !out));
   (* Close anything left open (crashed mid-operation, truncated trace). *)
@@ -56,6 +68,7 @@ let of_trace tr =
               t1 = !last_step;
               depth = o.o_depth;
               closed = false;
+              mismatch = None;
             }
             :: !out)
         st)
@@ -67,8 +80,16 @@ let of_trace tr =
 
 let max_depth spans = List.fold_left (fun acc s -> max acc s.depth) (-1) spans
 
+let mismatch_count spans =
+  List.fold_left
+    (fun acc s -> if Option.is_some s.mismatch then acc + 1 else acc)
+    0 spans
+
 let pp fmt s =
-  Format.fprintf fmt "p%d %s%s [%d, %d] depth %d%s" s.proc
+  Format.fprintf fmt "p%d %s%s [%d, %d] depth %d%s%s" s.proc
     (String.make (2 * s.depth) ' ')
     s.name s.t0 s.t1 s.depth
     (if s.closed then "" else " (unclosed)")
+    (match s.mismatch with
+    | None -> ""
+    | Some e -> Printf.sprintf " (mismatched end %S)" e)

@@ -18,6 +18,10 @@ type t = {
   closed : bool;
       (** [false] if the end marker was missing (crashed process,
           truncated trace) and the span was closed at the last step *)
+  mismatch : string option;
+      (** [Some ended] when the end marker that closed this span carried
+          a different name ([ended]) than the begin marker — crossed or
+          truncated markers.  The span keeps the begin marker's name. *)
 }
 
 val emitter : Csim.Sim.env -> string -> unit
@@ -26,14 +30,20 @@ val emitter : Csim.Sim.env -> string -> unit
     to instrumented harnesses.  Must only be invoked from inside a
     running simulation. *)
 
-val of_trace : Csim.Trace.t -> t list
+val of_trace : ?metrics:Metrics.t -> Csim.Trace.t -> t list
 (** Reconstruct all spans, in order of their begin markers.  Markers are
     matched per process, stack-wise (an end marker closes the innermost
-    open span of that process regardless of name — names only label).
-    Unclosed spans are closed at the last event's step with
+    open span of that process regardless of name — names only label, but
+    a name disagreement is recorded in the span's [mismatch] field and,
+    when [?metrics] is given, counted into the [span.mismatched]
+    counter).  Unclosed spans are closed at the last event's step with
     [closed = false].  Stray end markers are ignored. *)
 
 val max_depth : t list -> int
 (** Deepest nesting over all spans; [-1] when empty. *)
+
+val mismatch_count : t list -> int
+(** Number of spans whose end marker name disagreed with their begin
+    marker. *)
 
 val pp : Format.formatter -> t -> unit

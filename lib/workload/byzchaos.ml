@@ -137,7 +137,7 @@ let stack_description (case : case) =
       (case.components + case.readers)
       faulty
 
-let exec ~max_steps (case : case) mode =
+let exec ?metrics ~max_steps (case : case) mode =
   let env = Sim.create ~trace_capacity:4096 () in
   let base = Memory.of_sim env in
   let who () = try Sim.self () with Sim.Not_in_simulation -> 0 in
@@ -205,6 +205,9 @@ let exec ~max_steps (case : case) mode =
     (* No crashes here, so no dangling-operation excuses: every
        Shrinking condition must hold on the full history. *)
     let h = Composite.Snapshot.history rec_ in
+    Option.iter
+      (fun m -> Campaign.observe_op_latencies m ~prefix:"byzchaos" h)
+      metrics;
     let violations = History.Shrinking.check ~equal:Int.equal h in
     finish
       (if violations = [] then Chaos.Passed else Chaos.Flagged violations)
@@ -461,7 +464,7 @@ let run ?(jobs = 1) ?pool ?metrics cfg =
           if i mod 2 = 0 then Schedule.Random case.fault_seed
           else Schedule.Starving case.fault_seed
         in
-        let r = exec ~max_steps:cfg.max_steps case (Record policy) in
+        let r = exec ~metrics:m ~max_steps:cfg.max_steps case (Record policy) in
         Obs.Metrics.observe
           (Obs.Metrics.histogram m "byz.schedule_entries")
           (Array.length r.schedule);

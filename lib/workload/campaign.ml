@@ -130,11 +130,31 @@ let stuck_outcome =
     ro_example = None;
   }
 
+(* Per-op latencies out of a recorded history: res - inv in the
+   harness's logical clock (scheduler steps for shm/byz, network ticks
+   for net, atomic ticks for multicore).  Shared by every campaign
+   flavor so each backend grows a comparable scan/update latency
+   histogram for the SLO layer. *)
+let observe_op_latencies m ~prefix (h : _ History.Snapshot_history.t) =
+  let scan = Obs.Metrics.histogram m (prefix ^ ".scan.latency") in
+  let update = Obs.Metrics.histogram m (prefix ^ ".update.latency") in
+  List.iter
+    (fun (w : _ History.Snapshot_history.write) ->
+      Obs.Metrics.observe update (w.wres - w.winv))
+    h.History.Snapshot_history.writes;
+  List.iter
+    (fun (r : _ History.Snapshot_history.read) ->
+      Obs.Metrics.observe scan (r.rres - r.rinv))
+    h.History.Snapshot_history.reads
+
 let outcome_of_history worker_metrics cfg ~init h =
     let ops = History.Snapshot_history.size h in
     Obs.Metrics.observe
       (Obs.Metrics.histogram worker_metrics "campaign.ops_per_run")
       ops;
+    observe_op_latencies worker_metrics
+      ~prefix:("campaign." ^ cfg.backend.Backend.name)
+      h;
     let violations = History.Shrinking.check ~equal:Int.equal h in
     let shrinking_ok = violations = [] in
     let witness_ok =

@@ -50,6 +50,14 @@ type config = {
 
 val default : config
 
+val observe_op_latencies :
+  Obs.Metrics.t -> prefix:string -> 'a History.Snapshot_history.t -> unit
+(** Feed every recorded operation's [res - inv] latency (in the
+    recording harness's logical clock) into [<prefix>.scan.latency] /
+    [<prefix>.update.latency] histograms.  Campaigns call this with
+    their backend name so the SLO layer ({!Obs.Slo}) sees one
+    comparable latency class per backend. *)
+
 type result = {
   runs : int;
   ops_checked : int;  (** operations across all runs *)

@@ -83,7 +83,7 @@ type run_result = {
 
 type mode = Record of Csim.Schedule.t | Replay of int array
 
-let run_case ?(log = false) ~max_steps (case : case) mode =
+let run_case ?(log = false) ?metrics ?causal ~max_steps (case : case) mode =
   let env =
     Net.Sim.create ~log ~loss:case.prof.loss ~crashes:case.prof.crashes
       ~byzantine:case.prof.byz ~replicas:case.replicas ~seed:case.seed ()
@@ -93,12 +93,23 @@ let run_case ?(log = false) ~max_steps (case : case) mode =
     | None -> Net.Abd.Majority
     | Some k -> Net.Abd.Fixed k
   in
-  let abd = Net.Abd.create ~quorum env in
+  let abd = Net.Abd.create ~quorum ?causal env in
   let mem = Net.Abd.memory abd in
   let init = Array.init case.components (fun k -> (k + 1) * 10) in
-  let handle = Campaign.make_handle case.impl mem ~readers:case.readers ~init in
+  (* With a causal collector, composite-level Scan/Update markers (and
+     Anderson's per-level markers) become note spans on the issuing
+     client's track — the parents the ABD op spans attach to. *)
+  let note =
+    Option.map
+      (fun c text ->
+        Obs.Causal.note c ~track:(Net.Sim.self ()) ~at:(Net.Sim.now env) text)
+      causal
+  in
+  let handle =
+    Campaign.make_handle ?note case.impl mem ~readers:case.readers ~init
+  in
   let rec_ =
-    Composite.Snapshot.record
+    Composite.Snapshot.record ?note
       ~clock:(fun () -> Net.Sim.now env)
       ~initial:init handle
   in
@@ -155,11 +166,20 @@ let run_case ?(log = false) ~max_steps (case : case) mode =
        dangling operations to complete — every client op terminates,
        and the full history must check out with no excuses. *)
     let h = Composite.Snapshot.history rec_ in
+    Option.iter
+      (fun m -> Campaign.observe_op_latencies m ~prefix:"netchaos" h)
+      metrics;
     let violations = History.Shrinking.check ~equal:Int.equal h in
     finish
       (if violations = [] then Chaos.Passed else Chaos.Flagged violations)
 
-let exec ~max_steps case mode = fst (run_case ~max_steps case mode)
+let exec ?metrics ~max_steps case mode =
+  fst (run_case ?metrics ~max_steps case mode)
+
+let run_once ?log ?metrics ?causal case =
+  fst
+    (run_case ?log ?metrics ?causal ~max_steps:default.max_steps case
+       (Record (Csim.Schedule.Random case.seed)))
 
 let replay case ~script =
   (exec ~max_steps:default.max_steps case (Replay script)).outcome
@@ -171,6 +191,15 @@ let export_timeline ?pp (case : case) ~path =
   in
   Net.Timeline.export ~path ?pp env;
   result
+
+let export_causal ?pp (case : case) ~path =
+  let causal = Obs.Causal.create () in
+  let result, env =
+    run_case ~log:true ~causal ~max_steps:default.max_steps case
+      (Record (Csim.Schedule.Random case.seed))
+  in
+  Net.Timeline.export ~path ?pp ~causal env;
+  (result, causal)
 
 (* ------------------------------------------------------------------ *)
 (* Counterexample minimization                                          *)
@@ -492,7 +521,7 @@ let run ?(jobs = 1) ?pool ?metrics cfg =
         let case = case_of cfg impl prof i in
         (* Random delivery order is the reordering adversary. *)
         let r =
-          exec ~max_steps:cfg.max_steps case
+          exec ~metrics:m ~max_steps:cfg.max_steps case
             (Record (Csim.Schedule.Random case.seed))
         in
         Obs.Metrics.observe

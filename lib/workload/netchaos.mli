@@ -92,10 +92,36 @@ val replay : case -> script:int array -> Chaos.outcome
     network's canonical action enumeration.  Deterministic: same case +
     same script = same outcome. *)
 
+val run_once :
+  ?log:bool ->
+  ?metrics:Obs.Metrics.t ->
+  ?causal:Obs.Causal.t ->
+  case ->
+  run_result
+(** One recorded [Random case.seed] run of the case, outside any
+    campaign.  [metrics] books the history's per-op latencies into
+    [netchaos.scan.latency]/[netchaos.update.latency]; [causal] enables
+    end-to-end causal tracing (the collector is fed both the composite
+    note markers and the ABD instrumentation — see
+    {!Net.Abd.create}[ ~causal]).  Tracing does not change the
+    schedule: the run's outcome and counters are identical with and
+    without it (E19 measures the wall-clock overhead). *)
+
 val export_timeline :
   ?pp:(Net.Sim.payload -> string) -> case -> path:string -> run_result
 (** Run one recorded schedule of the case with event logging on and
     write the message timeline ({!Net.Timeline}) to [path]. *)
+
+val export_causal :
+  ?pp:(Net.Sim.payload -> string) ->
+  case ->
+  path:string ->
+  run_result * Obs.Causal.t
+(** Like {!export_timeline}, but with causal tracing on: writes the
+    {e merged} Chrome trace ({!Net.Timeline.export}[ ~causal]) — span
+    trees for every composite Scan/Update, ABD op, phase and
+    per-replica rpc on the client tracks, message flow arrows joining
+    them — and returns the collector for span accounting. *)
 
 type counterexample = {
   cx_case : case;  (** with the {e minimized} fault profile *)

@@ -85,6 +85,9 @@ let run_one worker_metrics (cfg : config) (_ : int) =
   Obs.Metrics.observe
     (Obs.Metrics.histogram worker_metrics "serve_campaign.ops_per_run")
     ops;
+  (* Latencies in multicore ticks (the stress clock): how many other
+     operations started/finished while this one was in flight. *)
+  Campaign.observe_op_latencies worker_metrics ~prefix:"serve_campaign" h;
   let violations = History.Shrinking.check ~equal:Int.equal h in
   let shrinking_ok = violations = [] in
   let generic_ok =

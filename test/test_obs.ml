@@ -463,6 +463,488 @@ let test_profile () =
   check bool "renders the header" true (contains s "switch-adj");
   check bool "renders the summary" true (contains s "total accesses")
 
+(* ------------------------------------------------------------------ *)
+(* Percentile satellites: p999/p10 in the JSON dump, merge preserves    *)
+(* percentiles bucket-wise                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_json_p999 () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  for v = 1 to 2000 do
+    Obs.Metrics.observe h v
+  done;
+  let hj =
+    match
+      Obs.Json.member "histograms" (Obs.Metrics.to_json m)
+      |> Option.map (Obs.Json.member "lat")
+    with
+    | Some (Some j) -> j
+    | _ -> Alcotest.fail "lat histogram missing from dump"
+  in
+  let field name =
+    match Obs.Json.member name hj with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> Alcotest.fail ("histogram dump missing " ^ name)
+  in
+  check int "p10 matches percentile" (Obs.Metrics.percentile h 10.)
+    (field "p10");
+  check int "p999 matches percentile" (Obs.Metrics.percentile h 99.9)
+    (field "p999");
+  check bool "p999 above p99" true (field "p999" >= field "p99");
+  (* tail resolution: with 2000 unit samples p999 must sit in the last
+     octave, not collapse onto p99 *)
+  check bool "p999 in the tail" true (field "p999" >= 1900);
+  (* degradation: below 1000 samples p999 is the max *)
+  let m2 = Obs.Metrics.create () in
+  let h2 = Obs.Metrics.histogram m2 "few" in
+  List.iter (Obs.Metrics.observe h2) [ 5; 9; 7 ];
+  check int "p999 of 3 samples = max" 9 (Obs.Metrics.percentile h2 99.9)
+
+let qcheck_merge_preserves_p999 =
+  (* Bucket-wise merging means a merged histogram is indistinguishable
+     from one that observed the concatenation — at every percentile,
+     including the p999 tail. *)
+  QCheck2.Test.make ~count:200
+    ~name:"Metrics.merge preserves percentiles bucket-wise"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 300) (int_range 0 100_000))
+        (list_size (int_range 1 300) (int_range 0 100_000)))
+    (fun (xs, ys) ->
+      let observe name vs =
+        let m = Obs.Metrics.create () in
+        List.iter (Obs.Metrics.observe (Obs.Metrics.histogram m name)) vs;
+        m
+      in
+      let a = observe "h" xs and b = observe "h" ys in
+      let whole = observe "h" (xs @ ys) in
+      Obs.Metrics.merge ~into:a b;
+      let p m q =
+        match Obs.Metrics.find_histogram m "h" with
+        | Some h -> Obs.Metrics.percentile h q
+        | None -> -1
+      in
+      List.for_all (fun q -> p a q = p whole q) [ 10.; 50.; 90.; 99.; 99.9 ])
+
+(* ------------------------------------------------------------------ *)
+(* Span mismatch accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_mismatch () =
+  (* Crossed markers: the end marker names a different span than the
+     innermost open one.  The span must still close (at the crossing
+     end), but carry the disagreeing name, count into the registry, and
+     be flagged by pp. *)
+  let env = Sim.create () in
+  let (_ : Sim.stats) =
+    Sim.run_solo env (fun () ->
+        Sim.note env ~proc:0 (Trace.span_begin "a");
+        Sim.note env ~proc:0 (Trace.span_begin "b");
+        Sim.note env ~proc:0 (Trace.span_end "a");
+        (* closes "b", mismatched *)
+        Sim.note env ~proc:0 (Trace.span_end "a"))
+  in
+  let m = Obs.Metrics.create () in
+  let spans = Obs.Span.of_trace ~metrics:m (Sim.trace env) in
+  check int "two spans" 2 (List.length spans);
+  check int "one mismatch" 1 (Obs.Span.mismatch_count spans);
+  let b = List.find (fun s -> s.Obs.Span.name = "b") spans in
+  check bool "b closed" true b.Obs.Span.closed;
+  check bool "b records the disagreeing end name" true
+    (b.Obs.Span.mismatch = Some "a");
+  let a = List.find (fun s -> s.Obs.Span.name = "a") spans in
+  check bool "a clean" true (a.Obs.Span.mismatch = None);
+  check int "metric incremented" 1
+    (Obs.Metrics.counter_value (Obs.Metrics.counter m "span.mismatched"));
+  let rendered = Format.asprintf "%a" Obs.Span.pp b in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "pp flags the mismatch" true (contains rendered "mismatched");
+  (* well-nested markers count zero mismatches *)
+  check int "clean trace has none" 0
+    (Obs.Span.mismatch_count (Obs.Span.of_trace (traced_scan ~c:3)))
+
+(* ------------------------------------------------------------------ *)
+(* Causal collector                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_causal_nesting () =
+  let c = Obs.Causal.create () in
+  (* note span (as the composite layer emits) -> op -> phase -> rpcs *)
+  Obs.Causal.note c ~track:0 ~at:0 (Csim.Trace.span_begin "Scan");
+  let op = Obs.Causal.start c ~kind:Obs.Causal.Op ~track:0 ~at:1 "abd.read" in
+  check bool "op parented under the note span" true (op.Obs.Causal.parent <> None);
+  let ph =
+    Obs.Causal.start c ~parent:op ~kind:Obs.Causal.Phase ~track:0 ~at:1 "query"
+  in
+  check int "trace inherited" op.Obs.Causal.trace ph.Obs.Causal.trace;
+  let rpcs =
+    List.map
+      (fun r ->
+        Obs.Causal.start c ~parent:ph ~kind:Obs.Causal.Rpc ~track:0 ~at:2
+          (Printf.sprintf "rpc r%d" r))
+      [ 0; 1; 2 ]
+  in
+  (* quorum: two of three ack; the third stays open *)
+  (match rpcs with
+  | [ r0; r1; _r2 ] ->
+    Obs.Causal.finish c ~at:5 r0;
+    Obs.Causal.finish c ~at:6 r1
+  | _ -> assert false);
+  Obs.Causal.finish c ~at:7 ph;
+  Obs.Causal.finish c ~at:7 op;
+  Obs.Causal.note c ~track:0 ~at:8 (Csim.Trace.span_end "Scan");
+  check int "six spans" 6 (Obs.Causal.span_count c);
+  check int "one unclosed (unacked rpc)" 1 (Obs.Causal.unclosed_count c);
+  check int "no mismatches" 0 (Obs.Causal.mismatched c);
+  (* all spans share the note span's trace *)
+  let traces =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Obs.Causal.trace) (Obs.Causal.spans c))
+  in
+  check int "single trace id" 1 (List.length traces);
+  (* mismatched note end markers are counted *)
+  Obs.Causal.note c ~track:1 ~at:9 (Csim.Trace.span_begin "Update");
+  Obs.Causal.note c ~track:1 ~at:10 (Csim.Trace.span_end "Scan");
+  check int "note mismatch counted" 1 (Obs.Causal.mismatched c)
+
+let test_causal_events () =
+  let c = Obs.Causal.create () in
+  Obs.Causal.note c ~track:3 ~at:0 (Csim.Trace.span_begin "Scan");
+  let op = Obs.Causal.start c ~kind:Obs.Causal.Op ~track:3 ~at:1 "abd.read" in
+  let rpc =
+    Obs.Causal.start c ~parent:op ~kind:Obs.Causal.Rpc ~track:3 ~at:1 "rpc r0"
+  in
+  Obs.Causal.finish c ~at:4 rpc;
+  Obs.Causal.finish c ~at:4 op;
+  Obs.Causal.note c ~track:3 ~at:5 (Csim.Trace.span_end "Scan");
+  let evs = Obs.Causal.to_events c in
+  let str_field name e =
+    match Obs.Json.member name e with
+    | Some (Obs.Json.Str s) -> s
+    | _ -> Alcotest.fail ("event missing string field " ^ name)
+  in
+  let phs = List.map (fun e -> str_field "ph" e) evs in
+  check int "two X events (note + op)" 2
+    (List.length (List.filter (( = ) "X") phs));
+  check int "one async begin" 1 (List.length (List.filter (( = ) "b") phs));
+  check int "one async end" 1 (List.length (List.filter (( = ) "e") phs));
+  List.iter
+    (fun e ->
+      if str_field "ph" e = "X" then (
+        match Obs.Json.member "dur" e with
+        | Some (Obs.Json.Int d) ->
+          check bool "X duration positive" true (d >= 1)
+        | _ -> Alcotest.fail "X event missing dur"))
+    evs;
+  (* every event carries its span/trace coordinates in args *)
+  List.iter
+    (fun e ->
+      match Obs.Json.member "args" e with
+      | Some args ->
+        check bool "args carry trace" true (Obs.Json.member "trace" args <> None)
+      | None -> Alcotest.fail "event missing args")
+    evs
+
+(* ------------------------------------------------------------------ *)
+(* Causal reconstruction across faulty network runs                     *)
+(* ------------------------------------------------------------------ *)
+
+let netcase prof =
+  {
+    Workload.Netchaos.impl = Workload.Campaign.Impl_anderson;
+    prof;
+    replicas = 3;
+    components = 2;
+    readers = 2;
+    writes_per_writer = 2;
+    scans_per_reader = 2;
+    seed = 5;
+  }
+
+let test_causal_clean_run () =
+  (* Fault-free: every span closes, op trees are complete, and tracing
+     does not perturb the schedule (same counters with and without). *)
+  let case = netcase (Workload.Netchaos.profile "none") in
+  let bare = Workload.Netchaos.run_once case in
+  let c = Obs.Causal.create () in
+  let traced = Workload.Netchaos.run_once ~causal:c case in
+  check int "same messages with tracing on"
+    bare.Workload.Netchaos.net.Net.Sim.sent
+    traced.Workload.Netchaos.net.Net.Sim.sent;
+  check bool "clean" true
+    (traced.Workload.Netchaos.outcome = Workload.Chaos.Passed);
+  check bool "spans collected" true (Obs.Causal.span_count c > 0);
+  check int "no mismatches" 0 (Obs.Causal.mismatched c);
+  (* per-replica rpcs: every phase span fathers one rpc per replica *)
+  let spans = Obs.Causal.spans c in
+  let rpcs =
+    List.filter (fun s -> s.Obs.Causal.kind = Obs.Causal.Rpc) spans
+  in
+  let phases =
+    List.filter (fun s -> s.Obs.Causal.kind = Obs.Causal.Phase) spans
+  in
+  check bool "has phases" true (phases <> []);
+  check int "3 rpcs per phase" (3 * List.length phases) (List.length rpcs);
+  (* a quorum op abandons the slowest replica's rpc once the quorum
+     acks, so unclosed spans are always rpcs — never ops, phases or
+     composite note spans, which all complete in a clean run *)
+  List.iter
+    (fun s ->
+      if not s.Obs.Causal.closed then
+        check bool ("only rpcs unclosed: " ^ s.Obs.Causal.name) true
+          (s.Obs.Causal.kind = Obs.Causal.Rpc))
+    spans;
+  check bool "at most one abandoned rpc per phase" true
+    (Obs.Causal.unclosed_count c <= List.length phases)
+
+let test_causal_crashed_run () =
+  (* A crash-stopped replica leaves every subsequent rpc to it open —
+     the crash is visible as unclosed-span evidence skewed onto that
+     replica — while the run itself stays clean (the emulation masks a
+     minority crash). *)
+  let case =
+    netcase (Workload.Netchaos.profile ~crashes:[ (0, 10) ] "crash")
+  in
+  let c = Obs.Causal.create () in
+  let r = Workload.Netchaos.run_once ~causal:c case in
+  check bool "masked" true (r.Workload.Netchaos.outcome = Workload.Chaos.Passed);
+  let unclosed =
+    List.filter (fun s -> not s.Obs.Causal.closed) (Obs.Causal.spans c)
+  in
+  check bool "unclosed rpc evidence" true (unclosed <> []);
+  check bool "every unclosed span is an rpc" true
+    (List.for_all (fun s -> s.Obs.Causal.kind = Obs.Causal.Rpc) unclosed);
+  (* the crashed replica collects strictly more dangling rpcs than the
+     live ones, which only lose the ordinary quorum-abandonment race *)
+  let dangling r =
+    List.length
+      (List.filter
+         (fun s -> s.Obs.Causal.name = Printf.sprintf "rpc r%d" r)
+         unclosed)
+  in
+  check bool "evidence concentrates on the crashed replica" true
+    (dangling 0 > dangling 1 && dangling 0 > dangling 2);
+  check int "markers still balanced" 0 (Obs.Causal.mismatched c)
+
+let test_causal_byzantine_run () =
+  (* Byzantine replicas lie but do answer, so the span tree still
+     closes; the lie count is visible in the run result while the
+     collector stays structurally sound. *)
+  let case =
+    netcase
+      (Workload.Netchaos.profile ~byz:[ (1, Net.Sim.Forge_ts) ] "byz-forge")
+  in
+  let c = Obs.Causal.create () in
+  let r = Workload.Netchaos.run_once ~causal:c case in
+  check bool "the liar lied" true (r.Workload.Netchaos.byz_lies > 0);
+  check bool "spans collected" true (Obs.Causal.span_count c > 0);
+  check int "no crossed markers under lying faults" 0 (Obs.Causal.mismatched c);
+  (* every op span has a phase child: reconstruction survives lies *)
+  let spans = Obs.Causal.spans c in
+  let ops = List.filter (fun s -> s.Obs.Causal.kind = Obs.Causal.Op) spans in
+  check bool "has ops" true (ops <> []);
+  List.iter
+    (fun (op : Obs.Causal.span) ->
+      check bool "op has a phase child" true
+        (List.exists
+           (fun s ->
+             s.Obs.Causal.kind = Obs.Causal.Phase
+             && s.Obs.Causal.parent = Some op.Obs.Causal.id)
+           spans))
+    ops
+
+(* ------------------------------------------------------------------ *)
+(* SLO budgets                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_slo_check () =
+  let m = Obs.Metrics.create () in
+  (* absent histogram: vacuously ok, no observation *)
+  let vs = Obs.Slo.check m in
+  check bool "all vacuously ok" true (Obs.Slo.all_ok vs);
+  check bool "no data recorded" true
+    (List.for_all (fun v -> v.Obs.Slo.observed = None) vs);
+  (* a budget graded against real samples, from both sides *)
+  let h = Obs.Metrics.histogram m "x.latency" in
+  for v = 1 to 1000 do
+    Obs.Metrics.observe h v
+  done;
+  let graded limit =
+    match
+      Obs.Slo.check
+        ~budgets:
+          [
+            Obs.Slo.budget ~op:"x" ~metric:"x.latency" ~pct:Obs.Slo.P999 ~limit
+              ~unit_:"steps";
+          ]
+        m
+    with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "one verdict expected"
+  in
+  let good = graded 2000 in
+  check bool "within budget" true good.Obs.Slo.ok;
+  check bool "observed the tail" true (good.Obs.Slo.observed >= Some 990);
+  let bad = graded 10 in
+  check bool "violated" false bad.Obs.Slo.ok;
+  check bool "violation visible in pp" true
+    (let s = Format.asprintf "%a" Obs.Slo.pp_verdict bad in
+     String.length s > 0
+     &&
+     let nl = String.length "VIOLATED" and hl = String.length s in
+     let rec go i =
+       i + nl <= hl && (String.sub s i nl = "VIOLATED" || go (i + 1))
+     in
+     go 0);
+  (* verdict JSON carries the verdict *)
+  match Obs.Json.member "ok" (Obs.Slo.verdict_json bad) with
+  | Some (Obs.Json.Bool false) -> ()
+  | _ -> Alcotest.fail "verdict_json ok field"
+
+(* ------------------------------------------------------------------ *)
+(* Baseline gate                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_doc rows =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "composite-registers/bench/v2");
+      ("version", Obs.Json.Int 2);
+      ("generated_at", Obs.Json.Str "2026-01-01T00:00:00Z");
+      ("experiments", Obs.Json.Obj [ ("E1", Obs.Json.Arr rows) ]);
+      ("metrics", Obs.Json.Obj []);
+    ]
+
+let row msgs ratio =
+  Obs.Json.Obj
+    [ ("msgs", Obs.Json.Int msgs); ("gain", Obs.Json.Float ratio) ]
+
+let test_baseline_glob () =
+  check bool "exact" true (Obs.Baseline.glob_match "msgs" "msgs");
+  check bool "star suffix" true (Obs.Baseline.glob_match "*_ns" "lat_ns");
+  check bool "star middle" true
+    (Obs.Baseline.glob_match "E1[*].msgs" "E1[7].msgs");
+  check bool "star everywhere" true (Obs.Baseline.glob_match "*seconds*" "wall_seconds_total");
+  check bool "no match" false (Obs.Baseline.glob_match "*_ns" "lat_ms");
+  check bool "empty pattern" false (Obs.Baseline.glob_match "" "x");
+  check bool "lone star" true (Obs.Baseline.glob_match "*" "anything")
+
+let test_baseline_identical () =
+  let doc = bench_doc [ row 10 1.5 ] in
+  let b = Obs.Baseline.make doc in
+  check int "no issues on itself" 0
+    (List.length (Obs.Baseline.compare_doc b doc));
+  (* generated_at may differ: make strips it, compare ignores it *)
+  let doc' = bench_doc [ row 10 1.5 ] in
+  let doc' =
+    match doc' with
+    | Obs.Json.Obj kvs ->
+      Obs.Json.Obj
+        (List.map
+           (function
+             | "generated_at", _ ->
+               ("generated_at", Obs.Json.Str "2030-12-31T23:59:59Z")
+             | kv -> kv)
+           kvs)
+    | _ -> assert false
+  in
+  check int "timestamp not gated" 0
+    (List.length (Obs.Baseline.compare_doc b doc'))
+
+let test_baseline_policies () =
+  let b = Obs.Baseline.make (bench_doc [ row 10 1.5 ]) in
+  (* ints default to Exact: off by one is a regression *)
+  let issues = Obs.Baseline.compare_doc b (bench_doc [ row 11 1.5 ]) in
+  check int "int drift caught" 1
+    (List.length (Obs.Baseline.regressions issues));
+  (* floats default to Band default_band: small drift passes... *)
+  let issues = Obs.Baseline.compare_doc b (bench_doc [ row 10 1.9 ]) in
+  check int "float drift within band" 0
+    (List.length (Obs.Baseline.regressions issues));
+  (* ...large drift does not *)
+  let issues = Obs.Baseline.compare_doc b (bench_doc [ row 10 4.0 ]) in
+  check int "float drift out of band" 1
+    (List.length (Obs.Baseline.regressions issues));
+  (* explicit Skip silences the field entirely *)
+  let b_skip =
+    Obs.Baseline.make
+      ~tolerances:[ { Obs.Baseline.pattern = "msgs"; policy = Obs.Baseline.Skip } ]
+      (bench_doc [ row 10 1.5 ])
+  in
+  let issues = Obs.Baseline.compare_doc b_skip (bench_doc [ row 999 1.5 ]) in
+  check int "skipped field never gates" 0
+    (List.length (Obs.Baseline.regressions issues));
+  (* default tolerances skip wall-clock-shaped names *)
+  let wall v =
+    Obs.Json.Obj [ ("elapsed_seconds", Obs.Json.Float v) ]
+  in
+  let b_wall =
+    Obs.Baseline.make ~tolerances:Obs.Baseline.default_tolerances
+      (bench_doc [ wall 1.0 ])
+  in
+  check int "*seconds* skipped by default" 0
+    (List.length
+       (Obs.Baseline.regressions
+          (Obs.Baseline.compare_doc b_wall (bench_doc [ wall 99.0 ]))))
+
+let test_baseline_shape_drift () =
+  let b = Obs.Baseline.make (bench_doc [ row 10 1.5; row 20 1.5 ]) in
+  (* a vanished row is a regression *)
+  let issues = Obs.Baseline.compare_doc b (bench_doc [ row 10 1.5 ]) in
+  check bool "missing row regresses" true
+    (Obs.Baseline.regressions issues <> []);
+  (* a new row (or field) is informational only *)
+  let extra =
+    Obs.Json.Obj
+      [
+        ("msgs", Obs.Json.Int 10);
+        ("gain", Obs.Json.Float 1.5);
+        ("brand_new", Obs.Json.Int 1);
+      ]
+  in
+  let issues =
+    Obs.Baseline.compare_doc b (bench_doc [ extra; row 20 1.5; row 30 1.5 ])
+  in
+  check int "extra row+field informational" 0
+    (List.length (Obs.Baseline.regressions issues));
+  check bool "but reported" true (issues <> [])
+
+let test_baseline_roundtrip () =
+  let b =
+    Obs.Baseline.make ~tolerances:Obs.Baseline.default_tolerances
+      (bench_doc [ row 10 1.5 ])
+  in
+  (match Obs.Baseline.of_json (Obs.Baseline.to_json b) with
+  | Ok b' ->
+    check int "tolerances survive" (List.length b.Obs.Baseline.tolerances)
+      (List.length b'.Obs.Baseline.tolerances);
+    check bool "snapshot survives" true
+      (b.Obs.Baseline.snapshot = b'.Obs.Baseline.snapshot);
+    check int "reloaded baseline still clean" 0
+      (List.length
+         (Obs.Baseline.regressions
+            (Obs.Baseline.compare_doc b' (bench_doc [ row 10 1.5 ]))))
+  | Error e -> Alcotest.fail e);
+  (* file round-trip *)
+  let path = Filename.temp_file "baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Baseline.save path b;
+      match Obs.Baseline.load path with
+      | Ok b' ->
+        check bool "file snapshot survives" true
+          (b.Obs.Baseline.snapshot = b'.Obs.Baseline.snapshot)
+      | Error e -> Alcotest.fail e);
+  match Obs.Baseline.of_json (Obs.Json.Int 3) with
+  | Ok _ -> Alcotest.fail "accepted a non-baseline document"
+  | Error _ -> ()
+
 let test_campaign_metrics () =
   let m = Obs.Metrics.create () in
   let cfg =
@@ -509,6 +991,41 @@ let () =
             test_span_nesting;
           Alcotest.test_case "unclosed and stray markers" `Quick
             test_span_unclosed;
+          Alcotest.test_case "mismatched end markers counted" `Quick
+            test_span_mismatch;
+        ] );
+      ( "percentiles",
+        [
+          Alcotest.test_case "p10/p999 in the JSON dump" `Quick
+            test_hist_json_p999;
+          QCheck_alcotest.to_alcotest qcheck_merge_preserves_p999;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "nesting, traces and unacked rpcs" `Quick
+            test_causal_nesting;
+          Alcotest.test_case "chrome events well-formed" `Quick
+            test_causal_events;
+          Alcotest.test_case "clean net run: complete trees" `Quick
+            test_causal_clean_run;
+          Alcotest.test_case "crashed replica: unclosed rpc evidence" `Quick
+            test_causal_crashed_run;
+          Alcotest.test_case "byzantine replica: trees survive lies" `Quick
+            test_causal_byzantine_run;
+        ] );
+      ( "slo",
+        [ Alcotest.test_case "budget verdicts" `Quick test_slo_check ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "glob matching" `Quick test_baseline_glob;
+          Alcotest.test_case "identical doc passes" `Quick
+            test_baseline_identical;
+          Alcotest.test_case "exact, band and skip policies" `Quick
+            test_baseline_policies;
+          Alcotest.test_case "missing vs extra rows" `Quick
+            test_baseline_shape_drift;
+          Alcotest.test_case "json and file round-trip" `Quick
+            test_baseline_roundtrip;
         ] );
       ( "chrome",
         [ Alcotest.test_case "export well-formed" `Quick test_chrome_export ] );
