@@ -1526,7 +1526,8 @@ let outer_conv =
   Arg.conv (parse, print)
 
 let serve_run outer shard_counts components readers writes scans schedules
-    jobs pool_trace no_validate no_cache expect_clean expect_flagged =
+    jobs pool_trace no_validate no_cache no_combine expect_clean expect_flagged
+    =
   let shard_counts = if shard_counts = [] then [ 1; 2; 4 ] else shard_counts in
   let shard_counts =
     List.sort_uniq compare
@@ -1536,24 +1537,27 @@ let serve_run outer shard_counts components readers writes scans schedules
     Printf.eprintf "no requested shard count lies in 1..%d\n" components;
     exit 2
   end;
-  let validate = not no_validate and cache = not no_cache in
+  let validate = not no_validate
+  and cache = not no_cache
+  and combine = not no_combine in
   (* No [jobs] in the banner: clean campaign output is bit-identical at
      every job count, and the CI legs diff it. *)
   Printf.printf
     "serve campaign: outer=%s C=%d R=%d ops/proc=%d/%d runs/shard-count=%d \
-     validate=%b cache=%b\n\n\
+     validate=%b cache=%b combine=%b\n\n\
      %!"
     (Serve.outer_impl_name outer)
-    components readers writes scans schedules validate cache;
+    components readers writes scans schedules validate cache combine;
   let t =
     Workload.Table.create
       ~header:
         [
-          "S"; "runs"; "ops"; "flagged"; "oracle fails"; "publishes";
-          "coalesced"; "hit%"; "stale";
+          "S"; "runs"; "ops"; "flagged"; "oracle fails"; "acct fails";
+          "publishes"; "coalesced"; "combined"; "hit%"; "stale";
         ]
   in
   let total_flagged = ref 0 and total_generic = ref 0 in
+  let total_accounting = ref 0 in
   let example = ref None in
   with_pool_trace pool_trace (fun pool ->
       List.iter
@@ -1570,12 +1574,14 @@ let serve_run outer shard_counts components readers writes scans schedules
               runs = schedules;
               validate;
               cache;
+              combine;
               check_generic = components * (writes + scans) <= 40;
             }
           in
           let r = Workload.Serve_campaign.run ~jobs ~pool ~metrics:m cfg in
           total_flagged := !total_flagged + r.flagged_runs;
           total_generic := !total_generic + r.generic_failures;
+          total_accounting := !total_accounting + r.accounting_failures;
           if !example = None then example := r.example;
           let c name =
             Obs.Metrics.counter_value (Obs.Metrics.counter m name)
@@ -1591,8 +1597,10 @@ let serve_run outer shard_counts components readers writes scans schedules
               string_of_int r.ops_checked;
               string_of_int r.flagged_runs;
               string_of_int r.generic_failures;
+              string_of_int r.accounting_failures;
               string_of_int (c "serve.publishes");
               string_of_int (c "serve.coalesced");
+              string_of_int (c "serve.scan.combined");
               (if cached_scans = 0 then "-"
                else
                  Printf.sprintf "%.0f" (100. *. float hits /. float cached_scans));
@@ -1603,7 +1611,10 @@ let serve_run outer shard_counts components readers writes scans schedules
   (match !example with
   | Some ex -> Format.printf "@.example violation:@.%s@." ex
   | None -> ());
-  if expect_clean && (!total_flagged > 0 || !total_generic > 0) then exit 1;
+  if
+    expect_clean
+    && (!total_flagged > 0 || !total_generic > 0 || !total_accounting > 0)
+  then exit 1;
   if expect_flagged && !total_flagged = 0 then exit 1
 
 let serve_cmd =
@@ -1653,6 +1664,14 @@ let serve_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Disable read caching (every scan is full).")
   in
+  let no_combine =
+    Arg.(
+      value & flag
+      & info [ "no-combine" ]
+          ~doc:
+            "Disable scan-sharing (every cache miss pays its own outer scan; \
+             the pre-combining differential baseline).")
+  in
   let expect_clean =
     Arg.(
       value & flag
@@ -1675,7 +1694,7 @@ let serve_cmd =
     Term.(
       const serve_run $ outer $ shard_counts $ components $ readers $ writes
       $ scans $ schedules $ jobs_arg $ pool_trace_arg $ no_validate $ no_cache
-      $ expect_clean $ expect_flagged)
+      $ no_combine $ expect_clean $ expect_flagged)
 
 let fullstack_cmd =
   let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in

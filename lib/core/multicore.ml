@@ -1,13 +1,29 @@
 open Csim
 
+(* Same contract as [Memory.atomic], but every register lives in its
+   own cache line: the constructions' cells are written by different
+   domains, and with plain [Atomic.make] several of them share a line
+   (see {!Padded_atomic}). *)
+let padded_memory () =
+  let make : type a. name:string -> bits:int -> a -> a Memory.cell =
+   fun ~name:_ ~bits:_ init ->
+    let a = Padded_atomic.make init in
+    {
+      Memory.read = (fun () -> Atomic.get a);
+      write = (fun v -> Atomic.set a v);
+      peek = (fun () -> Atomic.get a);
+    }
+  in
+  { Memory.make }
+
 let anderson ~readers ~init =
   Anderson.handle
-    (Anderson.create (Memory.atomic ()) ~readers ~bits_per_value:64 ~init)
+    (Anderson.create (padded_memory ()) ~readers ~bits_per_value:64 ~init)
 
-let afek ~init = Afek.create (Memory.atomic ()) ~bits_per_value:64 ~init
+let afek ~init = Afek.create (padded_memory ()) ~bits_per_value:64 ~init
 
 let unsafe_collect ~init =
-  Double_collect.create_unsafe (Memory.atomic ()) ~bits_per_value:64 ~init
+  Double_collect.create_unsafe (padded_memory ()) ~bits_per_value:64 ~init
 
 let multi_writer ~components ~writers_per_component ~readers ~init =
   let factory =
@@ -15,7 +31,7 @@ let multi_writer ~components ~writers_per_component ~readers ~init =
       Snapshot.make_sw =
         (fun ~readers:r ~init ->
           ignore r;
-          Afek.create (Memory.atomic ()) ~bits_per_value:64 ~init);
+          Afek.create (padded_memory ()) ~bits_per_value:64 ~init);
     }
   in
   Multi_writer.create factory ~components ~writers_per_component ~readers ~init
@@ -43,7 +59,7 @@ let locked ~readers ~init =
   { Snapshot.components = c; readers; scan_items; update }
 
 let tick_clock () =
-  let counter = Atomic.make 0 in
+  let counter = Padded_atomic.make 0 in
   fun () -> Atomic.fetch_and_add counter 1
 
 type stress_config = { writer_ops : int; reader_ops : int; readers : int }

@@ -11,6 +11,11 @@
     runs writer and reader domains and returns the recorded history for
     offline checking. *)
 
+val padded_memory : unit -> Csim.Memory.t
+(** {!Csim.Memory.atomic} with every register on its own cache line
+    ({!Padded_atomic}); the substrate of every construction below and
+    of the serving layer's outer register. *)
+
 val anderson : readers:int -> init:'a array -> 'a Snapshot.t
 val afek : init:'a array -> 'a Snapshot.t
 val unsafe_collect : init:'a array -> 'a Snapshot.t

@@ -1,0 +1,26 @@
+(* An ['a Atomic.t] is represented at runtime as a one-field mutable
+   block, and every [Atomic] primitive addresses field 0.  Allocating a
+   wider block and treating it as the atomic therefore changes nothing
+   but the footprint: field 0 is the value, fields 1.. are immediate
+   filler.  [Obj.new_block] initializes all fields to [()], so the
+   filler is GC-safe from the moment the block exists; we then install
+   the real initial value in field 0.
+
+   [words] = 15 makes the whole block 16 words = 128 bytes with its
+   header, so consecutive field 0s are 128 bytes apart — a full line of
+   separation even for CPUs whose prefetcher pulls adjacent line
+   pairs. *)
+
+type 'a t = 'a Atomic.t
+
+let line_bytes = 64
+let words = 15
+
+let make (v : 'a) : 'a t =
+  let b = Obj.new_block 0 words in
+  Obj.set_field b 0 (Obj.repr v);
+  (Obj.magic b : 'a t)
+
+let array n v = Array.init n (fun _ -> make v)
+let init n f = Array.init n (fun i -> make (f i))
+let size_words (a : 'a t) = Obj.size (Obj.repr a)

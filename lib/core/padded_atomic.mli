@@ -1,0 +1,44 @@
+(** Cache-line-padded atomic references.
+
+    OCaml boxes every [Atomic.t] as a one-field heap block (16 bytes
+    with its header), so [Array.init n (fun _ -> Atomic.make v)]
+    typically lays four atomics on one 64-byte cache line.  Under real
+    parallelism that is {e false sharing}: a writer bumping its own
+    counter invalidates the line under three innocent neighbours, and
+    the coherence traffic — not the algorithm — becomes the hot path.
+    Experiment E20's contended-increment microbench measures exactly
+    this (the effect needs at least two cores to exist at all; on a
+    single-core host both layouts cost the same).
+
+    [make] allocates the atomic inside a block stretched to
+    {!words} fields, so two padded atomics can never share a cache
+    line no matter how the allocator packs them.  The type is exposed
+    as an equality with ['a Atomic.t]: every [Atomic] operation
+    (get/set/exchange/compare_and_set/fetch_and_add) works on a padded
+    atomic unchanged, because they all address field 0 of the block.
+    This is the standard pre-5.2 OCaml idiom (what
+    [Atomic.make_contended] does natively from OCaml 5.2 on). *)
+
+type 'a t = 'a Atomic.t
+
+val line_bytes : int
+(** Assumed cache-line size (64). *)
+
+val words : int
+(** Fields per padded block: enough that consecutive blocks' field 0s
+    are more than {!line_bytes} apart. *)
+
+val make : 'a -> 'a t
+(** A padded atomic holding [v].  Field 0 is the live value; the
+    remaining fields are immediate filler the GC skips over. *)
+
+val array : int -> 'a -> 'a t array
+(** [array n v]: [n] padded atomics, each initialized to [v] (no
+    sharing — [n] separate blocks, unlike [Array.make]). *)
+
+val init : int -> (int -> 'a) -> 'a t array
+
+val size_words : 'a t -> int
+(** Heap-block size of a (padded) atomic, in fields — [>= words] for
+    values built here, [1] for a plain [Atomic.make].  Exposed so tests
+    can pin the layout contract. *)

@@ -66,6 +66,14 @@ let default_tolerances =
       "stale";
       "scans";
       "ops";
+      (* E20 scan-sharing: how many requests adopted vs performed (and
+         how many invalidations the driver injected) depends on the
+         scheduler; the identity requested = combined + performed is
+         asserted exactly from BENCH.json by CI instead. *)
+      "invalidations";
+      "scans_combined";
+      "scans_performed";
+      "full_scans";
     ]
 
 let default_band = 0.5

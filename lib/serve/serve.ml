@@ -15,12 +15,22 @@ type 'a shard_view = { view : 'a Composite.Item.t array; version : int }
 
 type 'a cache = { snap : 'a Composite.Item.t array; versions : int array }
 
+(* A snapshot published by a combiner, tagged with the value the
+   scan-start counter was bumped to immediately before its collect
+   began.  The record is immutable after publication; adopters copy
+   [snap] on the way out. *)
+type 'a shared = { stamp : int; sview : 'a cache }
+
+module Pad = Composite.Padded_atomic
+
 type 'a t = {
   components : int;
   shards : int;
   readers : int;
   validate : bool;
   cache_enabled : bool;
+  combine : bool;
+  note : (string -> unit) option;
   slice_off : int array;  (* per shard: first owned component *)
   slice_len : int array;  (* per shard: number of owned components *)
   owner : int array;  (* component -> owning shard *)
@@ -29,8 +39,13 @@ type 'a t = {
      finds a cell equal to its cached version knows no publish of that
      shard has intervened (cells can run ahead of the outer register,
      never behind it). *)
-  version_cells : int Atomic.t array;  (* per shard *)
+  version_cells : int Atomic.t array;  (* per shard; padded *)
   mailboxes : ('a * int) option Atomic.t array;  (* per comp: value, ticket *)
+  (* Per shard: the whole slice's batched posts in one padded cell,
+     slice-indexed (value, ticket) options.  Installed by [post_batch]
+     with one CAS per shard in the uncontended case, drained by the
+     applier with one exchange. *)
+  shard_batch : ('a * int) option array option Atomic.t array;
   tickets : int array;  (* per component; touched only by its writer *)
   acked : (int * int) Atomic.t array;  (* per comp: last applied ticket, id *)
   states : 'a Composite.Item.t array array;  (* per shard; applier-private *)
@@ -39,10 +54,22 @@ type 'a t = {
   coalesced : int Atomic.t array;  (* per component *)
   applied : int Atomic.t array;  (* per component *)
   publishes : int Atomic.t array;  (* per shard *)
+  batch_installs : int Atomic.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
   stale : int Atomic.t;
   full_scans : int Atomic.t;
+  (* Scan-sharing state: the combiner lock serializes outer collects,
+     [scan_started] stamps them, [shared_slot] publishes the latest. *)
+  scan_started : int Atomic.t;
+  combiner_lock : bool Atomic.t;
+  shared_slot : 'a shared option Atomic.t;
+  requested : int Atomic.t;
+  combined : int Atomic.t;
+  performed : int Atomic.t;
+  r_requested : int Atomic.t array;  (* per reader *)
+  r_combined : int Atomic.t array;
+  r_performed : int Atomic.t array;
   caches : 'a cache option array;  (* per reader; touched only by it *)
   stop : bool Atomic.t;
   mutable appliers : unit Domain.t list;
@@ -51,10 +78,11 @@ type 'a t = {
 let components t = t.components
 let shards t = t.shards
 let readers t = t.readers
+let combining t = t.combine
 let shard_of t k = t.owner.(k)
 
-let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true) ~shards
-    ~readers ~init () =
+let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true)
+    ?(combine = true) ?note ~shards ~readers ~init () =
   let components = Array.length init in
   if components < 1 then invalid_arg "Serve.create: need at least 1 component";
   if shards < 1 || shards > components then
@@ -84,7 +112,7 @@ let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true) ~shards
   let outer_init =
     Array.init shards (fun s -> { view = Array.copy states.(s); version = 0 })
   in
-  let mem = Memory.atomic () in
+  let mem = Composite.Multicore.padded_memory () in
   let outer_h =
     match outer with
     | Outer_afek -> Composite.Afek.create mem ~bits_per_value:64 ~init:outer_init
@@ -104,31 +132,53 @@ let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true) ~shards
     readers;
     validate;
     cache_enabled = cache;
+    combine;
+    note;
     slice_off;
     slice_len;
     owner;
     outer = outer_h;
-    version_cells = Array.init shards (fun _ -> Atomic.make 0);
-    mailboxes = Array.init components (fun _ -> Atomic.make None);
+    version_cells = Pad.array shards 0;
+    mailboxes = Pad.array components None;
+    shard_batch = Pad.array shards None;
     tickets = Array.make components 0;
-    acked = Array.init components (fun _ -> Atomic.make (0, 0));
+    acked = Pad.array components (0, 0);
     states;
     next_id = Array.make components 0;
-    posted = Array.init components (fun _ -> Atomic.make 0);
-    coalesced = Array.init components (fun _ -> Atomic.make 0);
-    applied = Array.init components (fun _ -> Atomic.make 0);
-    publishes = Array.init shards (fun _ -> Atomic.make 0);
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    stale = Atomic.make 0;
-    full_scans = Atomic.make 0;
+    posted = Pad.array components 0;
+    coalesced = Pad.array components 0;
+    applied = Pad.array components 0;
+    publishes = Pad.array shards 0;
+    batch_installs = Pad.make 0;
+    hits = Pad.make 0;
+    misses = Pad.make 0;
+    stale = Pad.make 0;
+    full_scans = Pad.make 0;
+    scan_started = Pad.make 0;
+    combiner_lock = Pad.make false;
+    shared_slot = Pad.make None;
+    requested = Pad.make 0;
+    combined = Pad.make 0;
+    performed = Pad.make 0;
+    r_requested = Pad.array readers 0;
+    r_combined = Pad.array readers 0;
+    r_performed = Pad.array readers 0;
     caches = Array.make readers None;
-    stop = Atomic.make false;
+    stop = Pad.make false;
     appliers = [];
   }
 
+let with_span t name f =
+  match t.note with
+  | None -> f ()
+  | Some n ->
+    n (Trace.span_begin name);
+    let r = f () in
+    n (Trace.span_end name);
+    r
+
 (* ------------------------------------------------------------------ *)
-(* Write path: mailboxes, coalescing, appliers                          *)
+(* Write path: mailboxes, batched posts, coalescing, appliers           *)
 (* ------------------------------------------------------------------ *)
 
 let post t ~writer v =
@@ -143,16 +193,109 @@ let post t ~writer v =
   | None -> ()
   | Some _ -> Atomic.incr t.coalesced.(writer)
 
+let post_batch t writes =
+  List.iter
+    (fun (k, _) ->
+      if k < 0 || k >= t.components then
+        invalid_arg "Serve.post_batch: bad component")
+    writes;
+  (* Stage the batch locally, one slice-shaped array per shard touched.
+     Tickets come from the same per-component sequence as [post], so
+     the applier can order a batched and a mailbox post to the same
+     component no matter which channel it drains first. *)
+  let locals = Array.make t.shards None in
+  List.iter
+    (fun (k, v) ->
+      t.tickets.(k) <- t.tickets.(k) + 1;
+      Atomic.incr t.posted.(k);
+      let s = t.owner.(k) in
+      let arr =
+        match locals.(s) with
+        | Some a -> a
+        | None ->
+          let a = Array.make t.slice_len.(s) None in
+          locals.(s) <- Some a;
+          a
+      in
+      let i = k - t.slice_off.(s) in
+      (match arr.(i) with
+      | Some _ -> Atomic.incr t.coalesced.(k)  (* repeated in this batch *)
+      | None -> ());
+      arr.(i) <- Some (v, t.tickets.(k)))
+    writes;
+  (* One install per shard touched: a plain CAS in the uncontended
+     case.  On interference (another batch, or the applier's drain) the
+     merge is recomputed — newer tickets win per component and the
+     superseded entries count coalesced, exactly as mailbox handoffs
+     do. *)
+  Array.iteri
+    (fun s local ->
+      match local with
+      | None -> ()
+      | Some mine ->
+        let cell = t.shard_batch.(s) in
+        let off = t.slice_off.(s) in
+        let rec install () =
+          let cur = Atomic.get cell in
+          let merged, superseded =
+            match cur with
+            | None -> (mine, [])
+            | Some old ->
+              let sup = ref [] in
+              let m =
+                Array.mapi
+                  (fun i o ->
+                    match mine.(i) with
+                    | None -> o
+                    | Some _ as mi ->
+                      (match o with Some _ -> sup := i :: !sup | None -> ());
+                      mi)
+                  old
+              in
+              (m, !sup)
+          in
+          if Atomic.compare_and_set cell cur (Some merged) then begin
+            Atomic.incr t.batch_installs;
+            List.iter (fun i -> Atomic.incr t.coalesced.(off + i)) superseded
+          end
+          else install ()
+        in
+        install ())
+    locals
+
 let drain_shard t s =
   let off = t.slice_off.(s) and len = t.slice_len.(s) in
-  let batch = ref [] in
+  (* A cell is only exchanged when a plain read sees something in it:
+     an empty mailbox costs one load instead of one RMW, so a shard fed
+     purely through the batch cell drains with a single exchange.  (A
+     post landing between the read and the next drain is simply picked
+     up then — the read-None case never loses anything the bare
+     exchange would have caught, because only this drainer empties the
+     cell.) *)
+  let take cell =
+    match Atomic.get cell with
+    | None -> None
+    | Some _ -> Atomic.exchange cell None
+  in
+  (* One exchange takes the whole slice's batched posts... *)
+  let batched = match take t.shard_batch.(s) with None -> [||] | Some arr -> arr in
+  let todo = ref [] in
   for i = len - 1 downto 0 do
     let k = off + i in
-    match Atomic.exchange t.mailboxes.(k) None with
-    | None -> ()
-    | Some (v, ticket) -> batch := (i, k, v, ticket) :: !batch
+    let single = take t.mailboxes.(k) in
+    let from_batch = if Array.length batched = 0 then None else batched.(i) in
+    match (single, from_batch) with
+    | None, None -> ()
+    | Some (v, tk), None | None, Some (v, tk) -> todo := (i, k, v, tk) :: !todo
+    | Some (sv, stk), Some (bv, btk) ->
+      (* The component reached this drain through both channels; its
+         writer's ticket order decides, and the superseded post counts
+         coalesced (it was never applied). *)
+      Atomic.incr t.coalesced.(k);
+      if stk > btk then todo := (i, k, sv, stk) :: !todo
+      else todo := (i, k, bv, btk) :: !todo
   done;
-  match !batch with
+  match !todo with
   | [] -> false
   | batch ->
     let acks =
@@ -219,10 +362,12 @@ let update t ~writer v =
   wait ()
 
 (* ------------------------------------------------------------------ *)
-(* Read path: full scans and the validated cache                        *)
+(* Read path: scan-sharing, full scans and the validated cache          *)
 (* ------------------------------------------------------------------ *)
 
-let full_scan t ~reader =
+(* The actual outer-register collect — the only place that pays the
+   snapshot construction. *)
+let raw_full_scan t ~reader =
   Atomic.incr t.full_scans;
   let views = t.outer.Composite.Snapshot.scan_items ~reader in
   let versions = Array.map (fun it -> it.Composite.Item.v.version) views in
@@ -245,15 +390,114 @@ let cache_fresh t c =
   done;
   !ok
 
+(* Scan-sharing.  A reader that needs the outer register's state either
+   performs the collect itself (it is the combiner) or receives one
+   combiner's published snapshot.  Receiving is sound in exactly two
+   cases, and the protocol only ever uses these:
+
+   - {e validated adoption}: the published snapshot's version vector
+     still matches a fresh collect of the version cells, so by the
+     cache-freshness argument the snapshot is the register state right
+     now — the adopter's own cell collect is its linearization point,
+     inside its own interval.
+
+   - {e stamped adoption}: the snapshot's stamp proves its collect
+     {e started} after this reader read the stamp counter (the counter
+     is monotone and bumped before each collect, so reading [s0] means
+     every later bump — and hence every collect stamped [> s0] — began
+     after the read).  A collect's linearization point lies inside the
+     collect, hence inside the enlisted reader's interval too.
+
+   A reader that arrives while a collect is in flight spins for a
+   {e bounded} number of steps: it adopts the moment the in-flight
+   result validates or a strictly newer collect publishes, and once the
+   budget is exhausted it reverts to a private collect of its own — the
+   lock only gates who publishes into the shared slot, never whether a
+   reader makes progress, so the combining path stays wait-free even
+   when a combiner is preempted mid-collect (on few-core hosts an
+   unbounded enlistment would burn whole scheduler quanta waiting for a
+   descheduled combiner).  Exactly one of [combined]/[performed] is
+   bumped per request, so [requested = combined + performed]. *)
+let enlist_budget = 128
+
+let shared_scan t ~reader =
+  Atomic.incr t.requested;
+  Atomic.incr t.r_requested.(reader);
+  let adopt sh =
+    Atomic.incr t.combined;
+    Atomic.incr t.r_combined.(reader);
+    sh.sview
+  in
+  let perform_private () =
+    let c =
+      with_span t
+        (Printf.sprintf "scan.collect.r%d" reader)
+        (fun () -> raw_full_scan t ~reader)
+    in
+    Atomic.incr t.performed;
+    Atomic.incr t.r_performed.(reader);
+    c
+  in
+  let perform_locked ~stamp =
+    let c =
+      with_span t
+        (Printf.sprintf "scan.collect.r%d" reader)
+        (fun () -> raw_full_scan t ~reader)
+    in
+    Atomic.set t.shared_slot (Some { stamp; sview = c });
+    Atomic.set t.combiner_lock false;
+    Atomic.incr t.performed;
+    Atomic.incr t.r_performed.(reader);
+    c
+  in
+  if not t.combine then perform_private ()
+  else
+    let budget = ref enlist_budget in
+    let rec attempt () =
+      match Atomic.get t.shared_slot with
+      | Some sh when cache_fresh t sh.sview -> adopt sh
+      | _ -> (
+        let s0 = Atomic.get t.scan_started in
+        if Atomic.compare_and_set t.combiner_lock false true then
+          match Atomic.get t.shared_slot with
+          | Some sh when sh.stamp > s0 ->
+            (* Published between our stamp read and the lock: that
+               collect started after us, adopt it. *)
+            Atomic.set t.combiner_lock false;
+            adopt sh
+          | _ -> perform_locked ~stamp:(1 + Atomic.fetch_and_add t.scan_started 1)
+        else if !budget <= 0 then perform_private ()
+        else
+          (* Enlist: a combiner's collect is in flight. *)
+          with_span t
+            (Printf.sprintf "scan.enlist.r%d" reader)
+            (fun () ->
+              let rec await () =
+                match Atomic.get t.shared_slot with
+                | Some sh when sh.stamp > s0 -> adopt sh
+                | Some sh when cache_fresh t sh.sview -> adopt sh
+                | _ ->
+                  if !budget <= 0 then perform_private ()
+                  else if Atomic.get t.combiner_lock then begin
+                    decr budget;
+                    Domain.cpu_relax ();
+                    await ()
+                  end
+                  else attempt ()
+              in
+              await ()))
+    in
+    attempt ()
+
 let scan_items t ~reader =
   if reader < 0 || reader >= t.readers then
     invalid_arg "Serve.scan_items: bad reader";
-  if not t.cache_enabled then (full_scan t ~reader).snap
+  if not t.cache_enabled then (shared_scan t ~reader).snap
   else
     match t.caches.(reader) with
     | None ->
       Atomic.incr t.misses;
-      let c = full_scan t ~reader in
+      let c = shared_scan t ~reader in
       t.caches.(reader) <- Some c;
       Array.copy c.snap
     | Some c ->
@@ -265,7 +509,7 @@ let scan_items t ~reader =
       end
       else begin
         Atomic.incr t.stale;
-        let c = full_scan t ~reader in
+        let c = shared_scan t ~reader in
         t.caches.(reader) <- Some c;
         Array.copy c.snap
       end
@@ -290,13 +534,23 @@ type stats = {
   applied : int;
   pending : int;
   publishes : int;
+  batch_installs : int;
   hits : int;
   misses : int;
   stale : int;
   full_scans : int;
+  scans_requested : int;
+  scans_combined : int;
+  scans_performed : int;
 }
 
 type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
+
+type reader_stats = {
+  r_requested : int;
+  r_combined : int;
+  r_performed : int;
+}
 
 let sum a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
 
@@ -306,16 +560,31 @@ let stats t =
       (fun acc mb -> if Atomic.get mb = None then acc else acc + 1)
       0 t.mailboxes
   in
+  let pending =
+    Array.fold_left
+      (fun acc cell ->
+        match Atomic.get cell with
+        | None -> acc
+        | Some arr ->
+          Array.fold_left
+            (fun acc e -> if e = None then acc else acc + 1)
+            acc arr)
+      pending t.shard_batch
+  in
   {
     posted = sum t.posted;
     coalesced = sum t.coalesced;
     applied = sum t.applied;
     pending;
     publishes = sum t.publishes;
+    batch_installs = Atomic.get t.batch_installs;
     hits = Atomic.get t.hits;
     misses = Atomic.get t.misses;
     stale = Atomic.get t.stale;
     full_scans = Atomic.get t.full_scans;
+    scans_requested = Atomic.get t.requested;
+    scans_combined = Atomic.get t.combined;
+    scans_performed = Atomic.get t.performed;
   }
 
 let writer_stats t ~writer =
@@ -327,6 +596,15 @@ let writer_stats t ~writer =
     w_applied = Atomic.get t.applied.(writer);
   }
 
+let reader_stats t ~reader =
+  if reader < 0 || reader >= t.readers then
+    invalid_arg "Serve.reader_stats: bad reader";
+  {
+    r_requested = Atomic.get t.r_requested.(reader);
+    r_combined = Atomic.get t.r_combined.(reader);
+    r_performed = Atomic.get t.r_performed.(reader);
+  }
+
 let observe t m =
   let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
   let s = stats t in
@@ -334,7 +612,11 @@ let observe t m =
   c "serve.coalesced" s.coalesced;
   c "serve.applied" s.applied;
   c "serve.publishes" s.publishes;
+  c "serve.batch.installs" s.batch_installs;
   c "serve.cache.hit" s.hits;
   c "serve.cache.miss" s.misses;
   c "serve.cache.stale" s.stale;
-  c "serve.full_scans" s.full_scans
+  c "serve.full_scans" s.full_scans;
+  c "serve.scan.requested" s.scans_requested;
+  c "serve.scan.combined" s.scans_combined;
+  c "serve.scan.performed" s.scans_performed

@@ -1,14 +1,19 @@
 (** The snapshot {e serving} layer: a long-lived, sharded composite
-    register with write coalescing and validated read caching.
+    register with write coalescing, batched posts, scan-sharing and
+    validated read caching.
 
     The paper's Section 4 recursion builds a [C]-component register out
     of smaller composite registers; this module applies the same move
     horizontally to serve traffic.  [C] components are partitioned
     across [S] {e shards}.  Each shard's state lives in one component
-    of an {e outer} composite register (Afek et al. by default, or the
-    paper's construction), so a cross-shard Scan is one linearizable
-    scan of the outer register — the serving layer is itself literally
-    an [S]-component composite register of shard views.
+    of an {e outer} composite register (Afek et al. by default — the
+    polynomial scan is the hot path; the paper's exponential Anderson
+    construction is retained as the differential oracle), so a
+    cross-shard Scan is one linearizable scan of the outer register —
+    the serving layer is itself literally an [S]-component composite
+    register of shard views.  Every register the hot path touches
+    (version cells, mailboxes, batch cells, counters) lives on its own
+    cache line ({!Composite.Padded_atomic}).
 
     {2 Write path}
 
@@ -23,6 +28,15 @@
     coalesce counters.  Because the exchange is atomic, every post is
     either applied or coalesced, exactly once:
     [posted = applied + coalesced + pending].
+
+    A multi-component write can instead use {!post_batch}: its entries
+    are grouped by owning shard and installed into one per-shard
+    {e batch cell} — a single CAS per shard in the uncontended case,
+    and a single exchange for the applier to drain, instead of one
+    exchange per component on both sides.  Batched and mailbox posts to
+    the same component are ordered by the writer's ticket sequence, and
+    whichever loses counts coalesced, so the accounting identity is
+    unchanged.
 
     The synchronous {!update} (the {!handle} path used by the stress
     harness and checkers) posts and then waits for its ticket to be
@@ -43,13 +57,42 @@
     began — so the cached snapshot was the exact register state at the
     instant the collect started, a valid linearization point inside the
     Scan's interval.  Otherwise the cache is stale and the reader pays
-    a full outer scan.  This is the double-collect validation idea
-    turned into a cache-freshness check; hits, misses and stale
-    revalidations are counted ({!stats}, {!observe}).
+    the outer register — but not necessarily alone:
+
+    {2 Scan-sharing (flat combining)}
+
+    With [combine] (the default), concurrent readers that all need the
+    outer register's state share one collect.  A {e combiner} takes a
+    lock, stamps and performs the collect, and publishes the snapshot —
+    tagged with its version vector and stamp — in a shared slot.  Other
+    readers {e enlist} and adopt a published snapshot in exactly two
+    sound ways: {e validated adoption} (a one-collect freshness check
+    of the version cells proves the snapshot is the register state
+    right now, so the adopter's own collect is its linearization
+    point), or {e stamped adoption} (the stamp proves the shared
+    collect started after the adopter arrived, so the collect's
+    linearization point lies inside the adopter's interval as well).
+    Requests, adoptions and self-performed collects are counted
+    exactly: [scans_requested = scans_combined + scans_performed], per
+    service and per reader ({!reader_stats} — so hot-cell profiles can
+    attribute shared collects to their enlisted readers, not just the
+    combiner).  The published slot doubles as a service-wide validated
+    cache: between publishes, readers with no (or stale) private cache
+    adopt it for the price of one cell collect.
+
+    Enlistment is {e bounded}: a reader waiting on an in-flight collect
+    spins only a fixed budget of steps before reverting to a private
+    collect of its own, so the combiner lock gates who publishes into
+    the shared slot, never whether a reader makes progress — scans stay
+    wait-free even when a combiner is preempted mid-collect.
+    [~combine:false] disables sharing entirely (every cache miss pays
+    its own outer scan) and is the differential baseline of experiment
+    E20's before/after rows.
 
     Passing [~validate:false] to {!create} produces the deliberately
-    broken mutant that reuses the cache blindly — the Shrinking and
-    Wing–Gong checkers must flag it (new-old inversions). *)
+    broken mutant that reuses the per-reader cache blindly — the
+    Shrinking and Wing–Gong checkers must flag it (new-old
+    inversions). *)
 
 type outer_impl = Outer_anderson | Outer_afek
 
@@ -62,6 +105,8 @@ val create :
   ?outer:outer_impl ->
   ?validate:bool ->
   ?cache:bool ->
+  ?combine:bool ->
+  ?note:(string -> unit) ->
   shards:int ->
   readers:int ->
   init:'a array ->
@@ -71,12 +116,19 @@ val create :
     [C = Array.length init] components partitioned contiguously across
     [shards] inner slices (sizes differ by at most one), composed via an
     outer register built by [outer] (default [Outer_afek], whose
-    polynomial scans suit the [S]-component outer object) on
-    {!Csim.Memory.atomic} registers.
+    polynomial scans suit the [S]-component outer object) on padded
+    atomic registers ({!Composite.Multicore.padded_memory}).
 
     [cache] (default [true]) enables per-reader validated caching;
     [validate] (default [true]) enables the freshness check — disabling
-    it while caching yields the broken mutant.
+    it while caching yields the broken mutant.  [combine] (default
+    [true]) enables scan-sharing; [~combine:false] preserves the
+    pre-combining behavior (every cache miss pays its own outer scan).
+
+    [note] (default none) receives {!Csim.Trace.span_begin}/[span_end]
+    markers ["scan.collect.r<j>"] around a combiner's outer collect and
+    ["scan.enlist.r<j>"] around an enlisted reader's wait, so span
+    profiles attribute shared collects per reader.
 
     Raises [Invalid_argument] unless [1 <= shards <= C] and
     [readers >= 1]. *)
@@ -84,6 +136,9 @@ val create :
 val components : 'a t -> int
 val shards : 'a t -> int
 val readers : 'a t -> int
+
+val combining : 'a t -> bool
+(** Whether scan-sharing is enabled. *)
 
 val shard_of : 'a t -> int -> int
 (** Owning shard of a component. *)
@@ -106,6 +161,15 @@ val post : 'a t -> writer:int -> 'a -> unit
     the same component down to the latest value.  [writer] is the
     component index (one writer process per component). *)
 
+val post_batch : 'a t -> (int * 'a) list -> unit
+(** Asynchronous multi-component write: all entries staged locally,
+    then installed with one batch-cell CAS per shard touched (counted
+    in [batch_installs]) instead of one exchange per component.  The
+    caller must be the writing process of every component it names;
+    listing a component twice coalesces the earlier entry.  Lock-free:
+    an install retries only if another batch or the applier's drain
+    touched the same shard cell concurrently. *)
+
 val update : 'a t -> writer:int -> 'a -> int
 (** Synchronous write: posts, then waits until the owning applier has
     published the value; returns the auxiliary id it was assigned.
@@ -114,7 +178,8 @@ val update : 'a t -> writer:int -> 'a -> int
 
 val scan_items : 'a t -> reader:int -> 'a Composite.Item.t array
 (** Linearizable Scan of all [C] components: a cache hit when the
-    version collect validates, a full outer-register scan otherwise. *)
+    version collect validates, otherwise a shared or private scan of
+    the outer register. *)
 
 val scan : 'a t -> reader:int -> 'a array
 (** [scan_items] with the auxiliary ids stripped. *)
@@ -126,34 +191,51 @@ val handle : 'a t -> 'a Composite.Snapshot.t
 
 val drain : 'a t -> unit
 (** Manual mode for deterministic unit tests: drain every shard once on
-    the calling thread.  Raises [Invalid_argument] if appliers are
-    running (shard state is applier-private). *)
+    the calling thread (batch cells first, then mailboxes).  Raises
+    [Invalid_argument] if appliers are running (shard state is
+    applier-private). *)
 
 (** {2 Accounting}
 
     All counters are exact, not sampled; see the module preamble for
-    the [posted = applied + coalesced + pending] invariant. *)
+    the [posted = applied + coalesced + pending] and
+    [scans_requested = scans_combined + scans_performed] identities. *)
 
 type stats = {
-  posted : int;  (** posts accepted across all components *)
-  coalesced : int;  (** posts superseded in a mailbox before application *)
+  posted : int;  (** posts accepted across all components (both channels) *)
+  coalesced : int;  (** posts superseded before application *)
   applied : int;  (** posts folded into a published view *)
-  pending : int;  (** posts currently sitting in mailboxes *)
+  pending : int;  (** posts sitting in mailboxes or batch cells *)
   publishes : int;  (** outer-register updates across all shards *)
-  hits : int;  (** scans served from a validated cache *)
+  batch_installs : int;  (** successful per-shard batch-cell installs *)
+  hits : int;  (** scans served from a validated private cache *)
   misses : int;  (** scans with no cache to validate *)
   stale : int;  (** scans whose cache failed validation *)
-  full_scans : int;  (** outer-register scans (misses + stale + uncached) *)
+  full_scans : int;  (** outer-register collects actually performed *)
+  scans_requested : int;  (** entries into the (shared) scan machinery *)
+  scans_combined : int;  (** requests served by an adopted shared snapshot *)
+  scans_performed : int;  (** requests that performed their own collect *)
 }
 
 type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
 
+type reader_stats = {
+  r_requested : int;
+  r_combined : int;
+  r_performed : int;
+}
+(** Per-reader split of the scan-sharing counters:
+    [r_requested = r_combined + r_performed] once the reader is
+    quiescent. *)
+
 val stats : 'a t -> stats
 val writer_stats : 'a t -> writer:int -> writer_stats
+val reader_stats : 'a t -> reader:int -> reader_stats
 
 val observe : 'a t -> Obs.Metrics.t -> unit
 (** Accumulate current totals into counters [serve.posted],
     [serve.coalesced], [serve.applied], [serve.publishes],
-    [serve.cache.hit], [serve.cache.miss], [serve.cache.stale] and
-    [serve.full_scans] (additive across calls — observe once per
-    service lifetime). *)
+    [serve.batch.installs], [serve.cache.hit], [serve.cache.miss],
+    [serve.cache.stale], [serve.full_scans], [serve.scan.requested],
+    [serve.scan.combined] and [serve.scan.performed] (additive across
+    calls — observe once per service lifetime). *)

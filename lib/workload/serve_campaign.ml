@@ -8,6 +8,7 @@ type config = {
   runs : int;
   validate : bool;
   cache : bool;
+  combine : bool;
   check_generic : bool;
 }
 
@@ -22,6 +23,7 @@ let default =
     runs = 5;
     validate = true;
     cache = true;
+    combine = true;
     check_generic = true;
   }
 
@@ -30,6 +32,7 @@ type result = {
   ops_checked : int;
   flagged_runs : int;
   generic_failures : int;
+  accounting_failures : int;
   example : string option;
 }
 
@@ -37,6 +40,7 @@ type run_outcome = {
   ro_ops : int;
   ro_flagged : bool;
   ro_generic_fail : bool;
+  ro_accounting_fail : bool;
   ro_example : string option;
 }
 
@@ -48,7 +52,7 @@ let run_one worker_metrics (cfg : config) (_ : int) =
   let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
   let srv =
     Serve.create ~outer:cfg.outer ~validate:cfg.validate ~cache:cfg.cache
-      ~shards:cfg.shards ~readers:cfg.readers ~init ()
+      ~combine:cfg.combine ~shards:cfg.shards ~readers:cfg.readers ~init ()
   in
   Serve.start srv;
   (* Cached scans are orders of magnitude cheaper than synchronous
@@ -81,6 +85,19 @@ let run_one worker_metrics (cfg : config) (_ : int) =
   in
   Serve.shutdown srv;
   Serve.observe srv worker_metrics;
+  (* The raw-speed identities must hold exactly at quiescence: every
+     post applied or coalesced, every scan request either combined or
+     performed (and the outer register paid only for the performed
+     ones). *)
+  let st = Serve.stats srv in
+  let accounting_ok =
+    st.Serve.posted = st.Serve.applied + st.Serve.coalesced
+    && st.Serve.pending = 0
+    && st.Serve.scans_requested
+       = st.Serve.scans_combined + st.Serve.scans_performed
+    && st.Serve.full_scans = st.Serve.scans_performed
+    && (cfg.combine || st.Serve.scans_combined = 0)
+  in
   let ops = History.Snapshot_history.size h in
   Obs.Metrics.observe
     (Obs.Metrics.histogram worker_metrics "serve_campaign.ops_per_run")
@@ -107,6 +124,7 @@ let run_one worker_metrics (cfg : config) (_ : int) =
     ro_ops = ops;
     ro_flagged = not shrinking_ok;
     ro_generic_fail = not generic_ok;
+    ro_accounting_fail = not accounting_ok;
     ro_example =
       (if shrinking_ok then None
        else
@@ -130,6 +148,7 @@ let run ?(jobs = 1) ?pool ?metrics (cfg : config) =
      choice are independent of the job count. *)
   let flagged = ref 0 in
   let generic_failures = ref 0 in
+  let accounting_failures = ref 0 in
   let ops = ref 0 in
   let example = ref None in
   Array.iter
@@ -139,7 +158,8 @@ let run ?(jobs = 1) ?pool ?metrics (cfg : config) =
         incr flagged;
         if !example = None then example := o.ro_example
       end;
-      if o.ro_generic_fail then incr generic_failures)
+      if o.ro_generic_fail then incr generic_failures;
+      if o.ro_accounting_fail then incr accounting_failures)
     outcomes;
   let result =
     {
@@ -147,6 +167,7 @@ let run ?(jobs = 1) ?pool ?metrics (cfg : config) =
       ops_checked = !ops;
       flagged_runs = !flagged;
       generic_failures = !generic_failures;
+      accounting_failures = !accounting_failures;
       example = !example;
     }
   in
@@ -158,11 +179,14 @@ let run ?(jobs = 1) ?pool ?metrics (cfg : config) =
     c "serve_campaign.runs" result.runs;
     c "serve_campaign.ops_checked" result.ops_checked;
     c "serve_campaign.flagged_runs" result.flagged_runs;
-    c "serve_campaign.generic_failures" result.generic_failures);
+    c "serve_campaign.generic_failures" result.generic_failures;
+    c "serve_campaign.accounting_failures" result.accounting_failures);
   result
 
 let pp_result fmt r =
   Format.fprintf fmt
     "@[<v>runs: %d@,operations checked: %d@,runs flagged by Shrinking \
-     checker: %d@,runs rejected by generic oracle: %d@]"
+     checker: %d@,runs rejected by generic oracle: %d@,runs with broken \
+     counter identities: %d@]"
     r.runs r.ops_checked r.flagged_runs r.generic_failures
+    r.accounting_failures

@@ -20,6 +20,7 @@ type config = {
   runs : int;  (** service lifetimes to stress *)
   validate : bool;  (** cache freshness checks ([false] = mutant) *)
   cache : bool;
+  combine : bool;  (** scan-sharing ([false] = pre-combining baseline) *)
   check_generic : bool;
       (** also run the exponential Wing–Gong oracle (requires small
           histories) *)
@@ -32,6 +33,12 @@ type result = {
   ops_checked : int;  (** operations across all runs *)
   flagged_runs : int;  (** runs with at least one Shrinking violation *)
   generic_failures : int;  (** runs the generic oracle rejected *)
+  accounting_failures : int;
+      (** runs where a counter identity broke at quiescence
+          ([posted = applied + coalesced], [pending = 0],
+          [requested = combined + performed],
+          [full_scans = performed], and [combined = 0] when combining
+          is off) *)
   example : string option;  (** rendering of one flagged history *)
 }
 
@@ -47,7 +54,7 @@ val run :
     [serve.*] counters ({!Serve.observe}), history sizes into histogram
     [serve_campaign.ops_per_run], and the result into counters
     [serve_campaign.runs], [serve_campaign.ops_checked],
-    [serve_campaign.flagged_runs] and
-    [serve_campaign.generic_failures]. *)
+    [serve_campaign.flagged_runs], [serve_campaign.generic_failures]
+    and [serve_campaign.accounting_failures]. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,84 @@
+(* Layout and semantics of the cache-line-padded atomics (lib/core's
+   Padded_atomic): the padded block must behave exactly like a plain
+   [Atomic.t] under every primitive — sequentially and under domains —
+   while actually occupying a full cache line. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+module P = Composite.Padded_atomic
+
+let test_layout () =
+  let a = P.make 42 in
+  check bool "padded block spans a cache line" true
+    (P.size_words a * 8 >= P.line_bytes);
+  check int "plain atomic is one word (the contrast)" 1
+    (P.size_words (Atomic.make 42));
+  (* Arrays allocate one padded block per slot, no sharing. *)
+  let arr = P.array 4 0 in
+  Atomic.set arr.(1) 7;
+  check int "slots are independent" 0 (Atomic.get arr.(0));
+  check int "written slot" 7 (Atomic.get arr.(1));
+  let ini = P.init 3 (fun i -> i * 10) in
+  check int "init seeds each slot" 20 (Atomic.get ini.(2))
+
+let test_atomic_semantics () =
+  let a = P.make 1 in
+  check int "get" 1 (Atomic.get a);
+  Atomic.set a 5;
+  check int "set/get" 5 (Atomic.get a);
+  check int "exchange returns old" 5 (Atomic.exchange a 9);
+  check int "exchange installs new" 9 (Atomic.get a);
+  check bool "cas hit" true (Atomic.compare_and_set a 9 11);
+  check bool "cas miss" false (Atomic.compare_and_set a 9 13);
+  check int "fetch_and_add returns old" 11 (Atomic.fetch_and_add a 3);
+  check int "after fetch_and_add" 14 (Atomic.get a);
+  Atomic.incr a;
+  Atomic.decr a;
+  check int "incr/decr" 14 (Atomic.get a);
+  (* Boxed values survive the padded block (GC scans field 0). *)
+  let b = P.make [| "x" |] in
+  Atomic.set b [| "y"; "z" |];
+  Gc.full_major ();
+  check int "boxed payload intact" 2 (Array.length (Atomic.get b))
+
+let test_contended_increments () =
+  (* D domains hammer fetch_and_add on their own padded cell; totals
+     must be exact (each cell is a real atomic, padding changes layout
+     only). *)
+  let d = 4 and per = 20_000 in
+  let cells = P.array d 0 in
+  let domains =
+    List.init d (fun i ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              ignore (Atomic.fetch_and_add cells.(i) 1)
+            done))
+  in
+  List.iter Domain.join domains;
+  Array.iteri
+    (fun i c -> check int (Printf.sprintf "cell %d total" i) per (Atomic.get c))
+    cells
+
+let test_padded_memory () =
+  (* The Memory.t built on padded cells honours the cell contract. *)
+  let mem = Composite.Multicore.padded_memory () in
+  let c = mem.Csim.Memory.make ~name:"pad" ~bits:64 3 in
+  check int "initial" 3 (c.Csim.Memory.read ());
+  c.Csim.Memory.write 8;
+  check int "written" 8 (c.Csim.Memory.read ());
+  check int "peek" 8 (c.Csim.Memory.peek ())
+
+let () =
+  Alcotest.run "padded_atomic"
+    [
+      ( "padded",
+        [
+          Alcotest.test_case "layout" `Quick test_layout;
+          Alcotest.test_case "atomic semantics" `Quick test_atomic_semantics;
+          Alcotest.test_case "contended increments" `Quick
+            test_contended_increments;
+          Alcotest.test_case "padded memory" `Quick test_padded_memory;
+        ] );
+    ]

@@ -129,7 +129,12 @@ let test_accounting_invariant_under_domains () =
 (* ---------------------------------------------------------------- *)
 
 let test_cache_hit_miss_stale () =
-  let srv = Serve.create ~shards:2 ~readers:2 ~init:[| 1; 2; 3 |] () in
+  (* combine:false pins the pre-combining baseline accounting (with
+     scan-sharing on, reader 1's first scan would adopt the shared slot
+     and never reach the outer register). *)
+  let srv =
+    Serve.create ~combine:false ~shards:2 ~readers:2 ~init:[| 1; 2; 3 |] ()
+  in
   check (Alcotest.array int) "first scan (miss)" [| 1; 2; 3 |]
     (Serve.scan srv ~reader:0);
   check (Alcotest.array int) "second scan (hit)" [| 1; 2; 3 |]
@@ -151,7 +156,8 @@ let test_cache_hit_miss_stale () =
 
 let test_cache_disabled () =
   let srv =
-    Serve.create ~cache:false ~shards:1 ~readers:1 ~init:[| 5 |] ()
+    Serve.create ~combine:false ~cache:false ~shards:1 ~readers:1 ~init:[| 5 |]
+      ()
   in
   for _ = 1 to 4 do
     check (Alcotest.array int) "uncached scan" [| 5 |] (Serve.scan srv ~reader:0)
@@ -175,6 +181,306 @@ let test_observe_metrics () =
   check int "serve.coalesced" 1 (v "serve.coalesced");
   check int "serve.cache.hit" 1 (v "serve.cache.hit");
   check int "serve.cache.miss" 1 (v "serve.cache.miss")
+
+(* ---------------------------------------------------------------- *)
+(* Scan-sharing accounting (manual drain: fully deterministic)       *)
+(* ---------------------------------------------------------------- *)
+
+let scan_identity st =
+  st.Serve.scans_requested = st.Serve.scans_combined + st.Serve.scans_performed
+
+let test_combining_accounting () =
+  (* Single-threaded, so the combiner lock is never contended and the
+     exact adoption pattern is deterministic: reader 1's misses adopt
+     reader 0's published collects via validation. *)
+  let srv = Serve.create ~shards:2 ~readers:2 ~init:[| 1; 2; 3 |] () in
+  check bool "combining on by default" true (Serve.combining srv);
+  check (Alcotest.array int) "r0 first scan performs" [| 1; 2; 3 |]
+    (Serve.scan srv ~reader:0);
+  check (Alcotest.array int) "r1 first scan adopts" [| 1; 2; 3 |]
+    (Serve.scan srv ~reader:1);
+  let st = Serve.stats srv in
+  check int "requested" 2 st.Serve.scans_requested;
+  check int "performed" 1 st.Serve.scans_performed;
+  check int "combined" 1 st.Serve.scans_combined;
+  check int "outer register paid once" 1 st.Serve.full_scans;
+  Serve.post srv ~writer:1 20;
+  Serve.drain srv;
+  (* Both caches and the shared slot are now stale: r0 performs a fresh
+     collect (republishing the slot), r1 adopts it. *)
+  check (Alcotest.array int) "r0 stale scan performs" [| 1; 20; 3 |]
+    (Serve.scan srv ~reader:0);
+  check (Alcotest.array int) "r1 stale scan adopts" [| 1; 20; 3 |]
+    (Serve.scan srv ~reader:1);
+  let st = Serve.stats srv in
+  check int "requested'" 4 st.Serve.scans_requested;
+  check int "performed'" 2 st.Serve.scans_performed;
+  check int "combined'" 2 st.Serve.scans_combined;
+  check bool "identity" true (scan_identity st);
+  check int "full_scans = performed" st.Serve.scans_performed
+    st.Serve.full_scans;
+  (* Per-reader attribution sums to the totals and shows who combined. *)
+  let r0 = Serve.reader_stats srv ~reader:0 in
+  let r1 = Serve.reader_stats srv ~reader:1 in
+  check int "r0 performed" 2 r0.Serve.r_performed;
+  check int "r0 combined" 0 r0.Serve.r_combined;
+  check int "r1 combined" 2 r1.Serve.r_combined;
+  check int "per-reader requested sums" st.Serve.scans_requested
+    (r0.Serve.r_requested + r1.Serve.r_requested);
+  (* Cache hits never enter the scan machinery. *)
+  ignore (Serve.scan srv ~reader:0);
+  let st' = Serve.stats srv in
+  check int "hit bypasses requested" st.Serve.scans_requested
+    st'.Serve.scans_requested;
+  check int "hit counted" 1 st'.Serve.hits
+
+let test_combining_negative_control () =
+  (* combine:false is the differential baseline: nothing is ever
+     combined and every request pays the outer register. *)
+  let srv =
+    Serve.create ~combine:false ~cache:false ~shards:2 ~readers:2
+      ~init:[| 0; 0; 0 |] ()
+  in
+  check bool "combining off" false (Serve.combining srv);
+  for _ = 1 to 3 do
+    ignore (Serve.scan srv ~reader:0);
+    ignore (Serve.scan srv ~reader:1)
+  done;
+  let st = Serve.stats srv in
+  check int "no combined scans" 0 st.Serve.scans_combined;
+  check int "requested = performed" st.Serve.scans_requested
+    st.Serve.scans_performed;
+  check int "performed = full scans" st.Serve.scans_performed
+    st.Serve.full_scans;
+  check int "six requests" 6 st.Serve.scans_requested
+
+let test_combining_uncached_adoption () =
+  (* With caching off and combining on, the shared slot acts as the
+     service-wide validated cache: a quiescent service pays the outer
+     register once, then serves every reader by adoption. *)
+  let srv =
+    Serve.create ~cache:false ~shards:1 ~readers:2 ~init:[| 7 |] ()
+  in
+  for _ = 1 to 3 do
+    check (Alcotest.array int) "r0" [| 7 |] (Serve.scan srv ~reader:0);
+    check (Alcotest.array int) "r1" [| 7 |] (Serve.scan srv ~reader:1)
+  done;
+  let st = Serve.stats srv in
+  check int "one real collect" 1 st.Serve.full_scans;
+  check int "everything else adopted" 5 st.Serve.scans_combined;
+  check bool "identity" true (scan_identity st)
+
+let test_combining_span_markers () =
+  (* The note hook receives balanced per-reader span markers around
+     combiner collects, so profiles can attribute shared scans. *)
+  let notes = ref [] in
+  let srv =
+    Serve.create ~note:(fun s -> notes := s :: !notes) ~cache:false ~shards:1
+      ~readers:1 ~init:[| 0 |] ()
+  in
+  ignore (Serve.scan srv ~reader:0);
+  Serve.post srv ~writer:0 1;
+  Serve.drain srv;
+  ignore (Serve.scan srv ~reader:0);
+  let markers = List.rev_map Csim.Trace.span_of_note !notes in
+  let collects_b, collects_e =
+    List.fold_left
+      (fun (b, e) m ->
+        match m with
+        | Some (`B, "scan.collect.r0") -> (b + 1, e)
+        | Some (`E, "scan.collect.r0") -> (b, e + 1)
+        | _ -> (b, e))
+      (0, 0) markers
+  in
+  check int "collect spans open" 2 collects_b;
+  check int "collect spans balanced" collects_b collects_e
+
+let qcheck_combining_identity_under_domains =
+  QCheck2.Test.make ~count:6
+    ~name:"requested = combined + performed under domains"
+    QCheck2.Gen.(
+      tup4 (int_range 2 5) (int_range 1 3) (int_range 2 5) (int_range 1 3))
+    (fun (c, shards_raw, reader_ops, writer_ops) ->
+      let shards = 1 + ((shards_raw - 1) mod c) in
+      let init = Array.init c (fun k -> k) in
+      let srv = Serve.create ~shards ~readers:3 ~init () in
+      Serve.start srv;
+      let domains =
+        List.init c (fun k ->
+            Domain.spawn (fun () ->
+                for s = 1 to writer_ops do
+                  ignore (Serve.update srv ~writer:k ((k * 100) + s))
+                done))
+        @ List.init 3 (fun j ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to reader_ops do
+                    ignore (Serve.scan_items srv ~reader:j)
+                  done))
+      in
+      List.iter Domain.join domains;
+      Serve.shutdown srv;
+      let st = Serve.stats srv in
+      let readers_sum =
+        List.init 3 (fun j -> Serve.reader_stats srv ~reader:j)
+      in
+      let sum f = List.fold_left (fun a r -> a + f r) 0 readers_sum in
+      scan_identity st
+      && st.Serve.full_scans = st.Serve.scans_performed
+      && sum (fun r -> r.Serve.r_requested) = st.Serve.scans_requested
+      && sum (fun r -> r.Serve.r_combined) = st.Serve.scans_combined
+      && sum (fun r -> r.Serve.r_performed) = st.Serve.scans_performed
+      && st.Serve.posted = st.Serve.applied + st.Serve.coalesced
+      && st.Serve.pending = 0)
+
+(* ---------------------------------------------------------------- *)
+(* Batched posts (manual drain: fully deterministic)                 *)
+(* ---------------------------------------------------------------- *)
+
+let test_batch_post_counters () =
+  let srv = Serve.create ~shards:2 ~readers:1 ~init:[| 0; 0; 0; 0; 0 |] () in
+  (* One batch spanning both shards: one install per shard touched. *)
+  Serve.post_batch srv [ (0, 1); (2, 3); (4, 5) ];
+  let st = Serve.stats srv in
+  check int "posted" 3 st.Serve.posted;
+  check int "pending (in batch cells)" 3 st.Serve.pending;
+  check int "installs = shards touched" 2 st.Serve.batch_installs;
+  Serve.drain srv;
+  let st = Serve.stats srv in
+  check int "applied" 3 st.Serve.applied;
+  check int "coalesced" 0 st.Serve.coalesced;
+  check int "pending drained" 0 st.Serve.pending;
+  check int "one publish per shard" 2 st.Serve.publishes;
+  check (Alcotest.array int) "batched values land" [| 1; 0; 3; 0; 5 |]
+    (Serve.scan srv ~reader:0)
+
+let test_batch_coalescing_rules () =
+  let srv = Serve.create ~shards:2 ~readers:1 ~init:[| 0; 0; 0 |] () in
+  (* Batch then mailbox to the same component: the mailbox post has the
+     later ticket, so it wins and the batched entry coalesces. *)
+  Serve.post_batch srv [ (0, 10) ];
+  Serve.post srv ~writer:0 11;
+  Serve.drain srv;
+  let st = Serve.stats srv in
+  check int "posted" 2 st.Serve.posted;
+  check int "applied" 1 st.Serve.applied;
+  check int "batched entry coalesced" 1 st.Serve.coalesced;
+  check (Alcotest.array int) "mailbox wins (newer ticket)" [| 11; 0; 0 |]
+    (Serve.scan srv ~reader:0);
+  (* Mailbox then batch: the batch wins. *)
+  Serve.post srv ~writer:1 20;
+  Serve.post_batch srv [ (1, 21) ];
+  Serve.drain srv;
+  let st = Serve.stats srv in
+  check int "coalesced'" 2 st.Serve.coalesced;
+  check (Alcotest.array int) "batch wins (newer ticket)" [| 11; 21; 0 |]
+    (Serve.scan srv ~reader:0);
+  (* A component listed twice in one batch keeps the later entry. *)
+  Serve.post_batch srv [ (2, 30); (2, 31) ];
+  Serve.drain srv;
+  let st = Serve.stats srv in
+  check int "coalesced''" 3 st.Serve.coalesced;
+  check (Alcotest.array int) "later duplicate wins" [| 11; 21; 31 |]
+    (Serve.scan srv ~reader:0);
+  (* Two batches to the same shard before a drain merge; the second
+     install recomputes over the first. *)
+  Serve.post_batch srv [ (0, 40) ];
+  Serve.post_batch srv [ (0, 41); (1, 42) ];
+  Serve.drain srv;
+  let st = Serve.stats srv in
+  check int "posted total" 9 st.Serve.posted;
+  check int "coalesced merge" 4 st.Serve.coalesced;
+  check int "posted = applied + coalesced" st.Serve.posted
+    (st.Serve.applied + st.Serve.coalesced);
+  check (Alcotest.array int) "merged batches" [| 41; 42; 31 |]
+    (Serve.scan srv ~reader:0)
+
+let test_batch_accounting_under_domains () =
+  (* Live appliers; three mailbox writers (components 0-2) and one
+     batch writer owning components 3-5 (tickets are per-component
+     writer state, so a component's posts must come from one domain).
+     The identity must hold exactly at quiescence. *)
+  let srv = Serve.create ~shards:3 ~readers:1 ~init:(Array.make 6 0) () in
+  Serve.start srv;
+  let singles =
+    List.init 3 (fun k ->
+        Domain.spawn (fun () ->
+            for s = 1 to 50 do
+              Serve.post srv ~writer:k ((k * 1000) + s)
+            done;
+            ignore (Serve.update srv ~writer:k ((k * 1000) + 999))))
+  in
+  let batcher =
+    Domain.spawn (fun () ->
+        for s = 1 to 50 do
+          Serve.post_batch srv [ (3, 3000 + s); (4, 4000 + s); (5, 5000 + s) ]
+        done;
+        List.iter
+          (fun k -> ignore (Serve.update srv ~writer:k ((k * 1000) + 999)))
+          [ 3; 4; 5 ])
+  in
+  List.iter Domain.join (batcher :: singles);
+  Serve.shutdown srv;
+  let st = Serve.stats srv in
+  check int "posted" (3 * 51 * 2) st.Serve.posted;
+  check int "pending" 0 st.Serve.pending;
+  check int "posted = applied + coalesced" st.Serve.posted
+    (st.Serve.applied + st.Serve.coalesced);
+  check bool "batch installs happened" true (st.Serve.batch_installs > 0);
+  check (Alcotest.array int) "closing updates win"
+    [| 999; 1999; 2999; 3999; 4999; 5999 |]
+    (Serve.scan srv ~reader:0)
+
+let test_batch_validation () =
+  let srv = Serve.create ~shards:1 ~readers:1 ~init:[| 0 |] () in
+  check bool "bad component rejected" true
+    (try Serve.post_batch srv [ (1, 5) ]; false
+     with Invalid_argument _ -> true);
+  Serve.post_batch srv [];
+  check int "empty batch is a no-op" 0 (Serve.stats srv).Serve.posted
+
+(* ---------------------------------------------------------------- *)
+(* Anderson as differential oracle of the Afek fast path             *)
+(* ---------------------------------------------------------------- *)
+
+let test_differential_anderson_afek () =
+  (* Random serve workloads in manual-drain mode are deterministic, so
+     the Anderson- and Afek-backed services must agree scan for scan —
+     the exponential construction is the oracle of the fast path. *)
+  let lcg = ref 12345 in
+  let rand n =
+    lcg := ((!lcg * 1103515245) + 12347) land 0x3FFFFFFF;
+    !lcg mod n
+  in
+  let c = 5 and shards = 2 and readers = 2 in
+  let init = Array.init c (fun k -> k * 10) in
+  let mk outer = Serve.create ~outer ~shards ~readers ~init () in
+  let a = mk Serve.Outer_anderson and f = mk Serve.Outer_afek in
+  let scans = ref 0 in
+  for _ = 1 to 200 do
+    match rand 4 with
+    | 0 ->
+      let k = rand c and v = rand 1000 in
+      Serve.post a ~writer:k v;
+      Serve.post f ~writer:k v
+    | 1 ->
+      let ws = List.init (1 + rand c) (fun _ -> (rand c, rand 1000)) in
+      Serve.post_batch a ws;
+      Serve.post_batch f ws
+    | 2 ->
+      Serve.drain a;
+      Serve.drain f
+    | _ ->
+      let r = rand readers in
+      incr scans;
+      check (Alcotest.array int)
+        (Printf.sprintf "scan %d agrees" !scans)
+        (Serve.scan a ~reader:r) (Serve.scan f ~reader:r)
+  done;
+  check bool "exercised scans" true (!scans > 20);
+  let sa = Serve.stats a and sf = Serve.stats f in
+  check int "posted agree" sa.Serve.posted sf.Serve.posted;
+  check int "applied agree" sa.Serve.applied sf.Serve.applied;
+  check int "coalesced agree" sa.Serve.coalesced sf.Serve.coalesced
 
 (* ---------------------------------------------------------------- *)
 (* Linearizability under real domains                                *)
@@ -231,6 +537,19 @@ let qcheck_stress_random_shapes =
       let init = Array.init c (fun k -> k * 100) in
       let srv = Serve.create ~shards ~readers:2 ~init () in
       let h = stress_serve srv ~writer_ops ~reader_ops ~readers:2 ~init in
+      History.Shrinking.check ~equal:Int.equal h = [])
+
+let qcheck_differential_stress =
+  QCheck2.Test.make ~count:4
+    ~name:"anderson-backed service linearizable under domains (oracle leg)"
+    QCheck2.Gen.(tup2 (int_range 2 4) (int_range 1 3))
+    (fun (c, writer_ops) ->
+      let init = Array.init c (fun k -> k * 100) in
+      let srv =
+        Serve.create ~outer:Serve.Outer_anderson ~shards:(min 2 c) ~readers:2
+          ~init ()
+      in
+      let h = stress_serve srv ~writer_ops ~reader_ops:2 ~readers:2 ~init in
       History.Shrinking.check ~equal:Int.equal h = [])
 
 let test_campaign_clean () =
@@ -377,6 +696,32 @@ let () =
             test_cache_hit_miss_stale;
           Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
           Alcotest.test_case "observe metrics" `Quick test_observe_metrics;
+        ] );
+      ( "scan-sharing",
+        [
+          Alcotest.test_case "combining accounting" `Quick
+            test_combining_accounting;
+          Alcotest.test_case "combining negative control" `Quick
+            test_combining_negative_control;
+          Alcotest.test_case "uncached adoption" `Quick
+            test_combining_uncached_adoption;
+          Alcotest.test_case "span markers" `Quick test_combining_span_markers;
+          QCheck_alcotest.to_alcotest qcheck_combining_identity_under_domains;
+        ] );
+      ( "batched-posts",
+        [
+          Alcotest.test_case "batch counters" `Quick test_batch_post_counters;
+          Alcotest.test_case "coalescing rules" `Quick
+            test_batch_coalescing_rules;
+          Alcotest.test_case "accounting under domains" `Quick
+            test_batch_accounting_under_domains;
+          Alcotest.test_case "validation" `Quick test_batch_validation;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "anderson vs afek agree" `Quick
+            test_differential_anderson_afek;
+          QCheck_alcotest.to_alcotest qcheck_differential_stress;
         ] );
       ( "linearizability",
         [
