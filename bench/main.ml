@@ -30,6 +30,11 @@
          post_batch vs loop-of-posts, padded vs plain contended
          atomics, and the Afek fast path vs the Anderson oracle
          (with a deterministic differential replay gate).
+   E21 — Network edge: the TCP front-end under open-loop load
+         (Poisson arrivals, Zipfian skew) across shard and connection
+         counts for the serve and multicore backends, with exact
+         accounting (every op accounted for, identities at shutdown)
+         and shape-only wall-clock percentiles.
 
    Counts (E1-E6, E9) are deterministic and compared against the paper
    exactly; wall-clock numbers (E7, E8, E15 timings) are
@@ -2100,6 +2105,183 @@ let e20 ~quick () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E21                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The network edge: real sockets in one process — the TCP front-end
+   (effect-based accept loops on a worker-domain pool) over the sharded
+   serving layer and the multicore Afek handle, driven by the open-loop
+   generator (Poisson arrivals, Zipfian component skew, latency charged
+   from the op's scheduled arrival so queueing behind a saturated
+   server is not silently omitted).
+
+   Wall-clock throughput and percentiles are machine-dependent (shape
+   only; baseline-skipped field names).  What CI asserts exactly from
+   the rows: every op accounted for (ops_done = ops requested), zero
+   client-visible errors, zero stalled connections, zero server-side
+   protocol/op/fiber errors, and the backend accounting identities at
+   graceful shutdown (posted = applied + coalesced with pending = 0,
+   scans_requested = scans_combined + scans_performed).
+
+   Caveats, honestly: client and server share one host (the generator
+   perturbs what it measures), and loopback TCP has none of a real
+   network's latency distribution.  The sharded serving layer and the
+   multicore handle serve concurrently; the simulator substrates would
+   serialize every op under a global lock (see `serve-net`), so E21
+   sticks to the two concurrent backends for its matrix. *)
+let e21 ~quick () =
+  section "E21: network edge — TCP front-end under open-loop load";
+  let components = 8 and workers = 2 in
+  let ops = if quick then 1_200 else 4_000 in
+  let rate = 8_000. in
+  let t =
+    Workload.Table.create
+      ~header:
+        [
+          "backend"; "shards"; "conns"; "ops"; "throughput";
+          "scan p50/p999 us"; "write p999 us"; "clean";
+        ]
+  in
+  let cell ~backend_name ~shards ~conns =
+    let init = Array.init components (fun k -> (k + 1) * 10) in
+    let backend =
+      match backend_name with
+      | "serve" -> Edge.Backend.of_serve ~shards ~workers ~init ()
+      | name -> (
+        match Workload.Backend.find name with
+        | Ok b -> Workload.Edge_backends.of_registry ~workers ~init b
+        | Error msg -> failwith msg)
+    in
+    let server =
+      Edge.Server.start
+        ~config:{ Edge.Server.workers; backlog = 64; grace = 1.0 }
+        backend
+    in
+    let cfg =
+      {
+        Workload.Loadgen.default with
+        Workload.Loadgen.connections = conns;
+        clients = max 128 conns;
+        ops;
+        arrival = Workload.Loadgen.Open_loop rate;
+        domains = 2;
+      }
+    in
+    let m = Obs.Metrics.create () in
+    let rep =
+      Workload.Loadgen.run ~metrics:m ~port:(Edge.Server.port server)
+        ~components cfg
+    in
+    let identities = Edge.Server.shutdown server in
+    let st = Edge.Server.stats server in
+    let accounting_ok = match identities with Ok () -> true | Error _ -> false in
+    let pct kind p =
+      match Obs.Metrics.find_histogram m ("edge." ^ kind ^ ".latency_ns") with
+      | None -> 0
+      | Some h -> if Obs.Metrics.count h = 0 then 0 else Obs.Metrics.percentile h p
+    in
+    (* Per-cell percentiles come from the cell's own registry; the merge
+       below unions the histograms into the run-wide registry so the
+       edge/* SLO classes and BENCH.json's metrics section see them. *)
+    Obs.Metrics.merge ~into:Record.metrics m;
+    let clean =
+      rep.Workload.Loadgen.errors = 0
+      && rep.Workload.Loadgen.stalled_conns = 0
+      && st.Edge.Server.protocol_errors = 0
+      && st.Edge.Server.op_errors = 0
+      && st.Edge.Server.fiber_errors = 0
+      && rep.Workload.Loadgen.ops_done = ops
+      && accounting_ok
+    in
+    Record.row "E21"
+      [
+        ("backend", Obs.Json.Str backend_name);
+        ("label", Obs.Json.Str backend.Edge.Backend.label);
+        ("shards", Obs.Json.Int shards);
+        ("connections", Obs.Json.Int conns);
+        ("clients", Obs.Json.Int cfg.Workload.Loadgen.clients);
+        ("workers", Obs.Json.Int workers);
+        ("components", Obs.Json.Int components);
+        ("arrival", Obs.Json.Str "open-loop");
+        ("offered_per_sec", Obs.Json.Float rate);
+        ("zipf_theta", Obs.Json.Float cfg.Workload.Loadgen.zipf_theta);
+        ("ops_done", Obs.Json.Int rep.Workload.Loadgen.ops_done);
+        ("errors", Obs.Json.Int rep.Workload.Loadgen.errors);
+        ("stalled_connections", Obs.Json.Int rep.Workload.Loadgen.stalled_conns);
+        ("protocol_errors", Obs.Json.Int st.Edge.Server.protocol_errors);
+        ("op_errors", Obs.Json.Int st.Edge.Server.op_errors);
+        ("fiber_errors", Obs.Json.Int st.Edge.Server.fiber_errors);
+        ("throughput_per_sec", Obs.Json.Float rep.Workload.Loadgen.throughput_per_sec);
+        ("elapsed_ns", Obs.Json.Int rep.Workload.Loadgen.elapsed_ns);
+        ("scan_p50_ns", Obs.Json.Int (pct "scan" 50.));
+        ("scan_p99_ns", Obs.Json.Int (pct "scan" 99.));
+        ("scan_p999_ns", Obs.Json.Int (pct "scan" 99.9));
+        ("write_p999_ns", Obs.Json.Int (pct "write" 99.9));
+        ("post_p999_ns", Obs.Json.Int (pct "post" 99.9));
+        ("accounting_ok", Obs.Json.Bool accounting_ok);
+        ("clean", Obs.Json.Bool clean);
+      ];
+    Workload.Table.add_row t
+      [
+        backend_name;
+        (if backend_name = "serve" then string_of_int shards else "-");
+        string_of_int conns;
+        string_of_int rep.Workload.Loadgen.ops_done;
+        Printf.sprintf "%.0f/s" rep.Workload.Loadgen.throughput_per_sec;
+        Printf.sprintf "%.0f/%.0f"
+          (float_of_int (pct "scan" 50.) /. 1e3)
+          (float_of_int (pct "scan" 99.9) /. 1e3);
+        Printf.sprintf "%.0f" (float_of_int (pct "write" 99.9) /. 1e3);
+        Workload.Table.cell_bool clean;
+      ]
+  in
+  let shard_counts = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let conn_counts = if quick then [ 4; 16 ] else [ 4; 16; 32 ] in
+  (* vs shard count at a fixed fan-in, then vs connection count at a
+     fixed shard count, then the multicore handle for a second backend. *)
+  List.iter (fun s -> cell ~backend_name:"serve" ~shards:s ~conns:16) shard_counts;
+  List.iter
+    (fun c -> if c <> 16 then cell ~backend_name:"serve" ~shards:2 ~conns:c)
+    conn_counts;
+  List.iter (fun c -> cell ~backend_name:"multicore" ~shards:0 ~conns:c) conn_counts;
+  Workload.Table.print t;
+  (* The edge/* SLO classes over the merged histograms: loose
+     order-of-magnitude wall-clock guards (like the serve class),
+     recorded with baseline-skipped observed fields. *)
+  let edge_budgets =
+    List.filter
+      (fun (b : Obs.Slo.budget) ->
+        String.length b.Obs.Slo.op > 5 && String.sub b.Obs.Slo.op 0 5 = "edge/")
+      Obs.Slo.default_budgets
+  in
+  let verdicts = Obs.Slo.check ~budgets:edge_budgets Record.metrics in
+  List.iter
+    (fun (v : Obs.Slo.verdict) ->
+      let b = v.Obs.Slo.budget in
+      Record.row "E21"
+        ([
+           ("kind", Obs.Json.Str "slo");
+           ("op", Obs.Json.Str b.Obs.Slo.op);
+           ("metric", Obs.Json.Str b.Obs.Slo.metric);
+           ("pct", Obs.Json.Str (Obs.Slo.pct_label b.Obs.Slo.pct));
+           ("limit", Obs.Json.Int b.Obs.Slo.limit);
+           ("unit", Obs.Json.Str b.Obs.Slo.unit_);
+         ]
+        @ (match v.Obs.Slo.observed with
+          | None -> []
+          | Some x -> [ ("observed_ns", Obs.Json.Int x) ])
+        @ [
+            ("samples_wall", Obs.Json.Int v.Obs.Slo.count);
+            ("ok_wall", Obs.Json.Str (if v.Obs.Slo.ok then "ok" else "violated"));
+          ]))
+    verdicts;
+  Format.printf "@.SLO budgets (p999 per edge op class):@.%a" Obs.Slo.pp verdicts;
+  print_endline
+    "(single host: the generator shares the machine with the server it \
+     measures; percentiles are loopback round trips, open loop, charged \
+     from scheduled arrival)"
+
+(* ------------------------------------------------------------------ *)
 
 let flag_value name =
   let v = ref None in
@@ -2193,8 +2375,17 @@ let () =
       Record.write ~path;
       Printf.printf "\nwrote machine-readable results to %s\n" path);
     exit 0
+  | Some "e21" | Some "E21" ->
+    (* The network-edge matrix alone (the CI serve-net bench leg). *)
+    e21 ~quick ();
+    (match json with
+    | None -> ()
+    | Some path ->
+      Record.write ~path;
+      Printf.printf "\nwrote machine-readable results to %s\n" path);
+    exit 0
   | Some other ->
-    Printf.eprintf "bench: unknown --only %s (supported: e20)\n" other;
+    Printf.eprintf "bench: unknown --only %s (supported: e20, e21)\n" other;
     exit 2
   | None -> ());
   e1 ();
@@ -2216,6 +2407,7 @@ let () =
   e18 ~jobs ();
   e19 ~quick ();
   e20 ~quick ();
+  e21 ~quick ();
   if not quick then begin
     e7 ();
     e8 ()

@@ -1696,6 +1696,242 @@ let serve_cmd =
       $ scans $ schedules $ jobs_arg $ pool_trace_arg $ no_validate $ no_cache
       $ no_combine $ expect_clean $ expect_flagged)
 
+(* ------------------------------------------------------------------ *)
+(* serve-net                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One process, real sockets: start the TCP edge on an ephemeral
+   loopback port over the chosen backend, drive it with the open- or
+   closed-loop generator, then shut down gracefully and grade what the
+   histograms and the accounting identities say.  This is experiment
+   E21's correctness/smoke side; the throughput x latency matrix lives
+   in the bench binary. *)
+let serve_net_run backend_name shards components workers conns clients ops rate
+    write_ratio post_ratio zipf seed domains expect_clean =
+  let components = max 1 components in
+  let init = Array.init components (fun k -> (k + 1) * 10) in
+  let backend =
+    if backend_name = "serve" then Edge.Backend.of_serve ~shards ~workers ~init ()
+    else
+      match Workload.Backend.find backend_name with
+      | Error msg ->
+        prerr_endline msg;
+        prerr_endline "(or \"serve\" for the sharded serving layer)";
+        exit 2
+      | Ok b -> Workload.Edge_backends.of_registry ~seed ~workers ~init b
+  in
+  let server =
+    Edge.Server.start
+      ~config:{ Edge.Server.workers; backlog = 64; grace = 1.0 }
+      backend
+  in
+  let arrival =
+    if rate > 0.0 then Workload.Loadgen.Open_loop rate
+    else Workload.Loadgen.Closed_loop
+  in
+  let cfg =
+    {
+      Workload.Loadgen.connections = conns;
+      clients = max clients conns;
+      ops;
+      arrival;
+      write_ratio;
+      post_ratio;
+      zipf_theta = zipf;
+      seed;
+      domains;
+    }
+  in
+  let m = Obs.Metrics.create () in
+  Printf.printf
+    "serve-net: backend=%s components=%d workers=%d conns=%d clients=%d \
+     ops=%d %s zipf=%.2f seed=%d\n\
+     %!"
+    backend.Edge.Backend.label components workers conns cfg.clients ops
+    (match arrival with
+    | Workload.Loadgen.Open_loop r -> Printf.sprintf "open-loop@%.0f/s" r
+    | Workload.Loadgen.Closed_loop -> "closed-loop")
+    zipf seed;
+  let rep =
+    Workload.Loadgen.run ~metrics:m ~port:(Edge.Server.port server) ~components
+      cfg
+  in
+  let identities = Edge.Server.shutdown server in
+  Edge.Server.observe server m;
+  let {
+    Workload.Loadgen.ops_done;
+    errors;
+    elapsed_ns;
+    throughput_per_sec;
+    stalled_conns;
+  } =
+    rep
+  in
+  Printf.printf "ops: %d done, %d errors, %d stalled connections\n" ops_done
+    errors stalled_conns;
+  Printf.printf "elapsed: %.3f s, throughput: %.0f ops/s\n"
+    (float_of_int elapsed_ns /. 1e9)
+    throughput_per_sec;
+  let t =
+    Workload.Table.create
+      ~header:[ "op"; "count"; "p50 us"; "p99 us"; "p999 us"; "max us" ]
+  in
+  List.iter
+    (fun kind ->
+      match Obs.Metrics.find_histogram m ("edge." ^ kind ^ ".latency_ns") with
+      | None -> ()
+      | Some h when Obs.Metrics.count h = 0 -> ()
+      | Some h ->
+        let us p = Printf.sprintf "%.0f" (float (Obs.Metrics.percentile h p) /. 1e3) in
+        Workload.Table.add_row t
+          [
+            kind;
+            string_of_int (Obs.Metrics.count h);
+            us 50.;
+            us 99.;
+            us 99.9;
+            Printf.sprintf "%.0f" (float (Obs.Metrics.hist_max h) /. 1e3);
+          ])
+    [ "write"; "post"; "scan" ];
+  Workload.Table.print t;
+  let {
+    Edge.Server.accepted;
+    disconnects;
+    hellos = _;
+    writes;
+    posts;
+    scans;
+    protocol_errors;
+    op_errors;
+    fiber_errors;
+  } =
+    Edge.Server.stats server
+  in
+  Printf.printf
+    "server: %d accepted, %d disconnects, ops %d/%d/%d (write/post/scan), \
+     errors %d protocol %d op %d fiber\n"
+    accepted disconnects writes posts scans protocol_errors op_errors
+    fiber_errors;
+  (match backend.Edge.Backend.counters () with
+  | [] -> ()
+  | cs ->
+    print_string "backend:";
+    List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) cs;
+    print_newline ());
+  (match identities with
+  | Ok () -> print_endline "accounting identities: ok"
+  | Error msg -> Printf.printf "accounting identities: BROKEN (%s)\n" msg);
+  let edge_budgets =
+    List.filter
+      (fun b -> String.length b.Obs.Slo.op > 5 && String.sub b.Obs.Slo.op 0 5 = "edge/")
+      Obs.Slo.default_budgets
+  in
+  Format.printf "@[<v>SLO budgets:@,%a@]@." Obs.Slo.pp
+    (Obs.Slo.check ~budgets:edge_budgets m);
+  let clean =
+    errors = 0 && stalled_conns = 0 && protocol_errors = 0 && op_errors = 0
+    && fiber_errors = 0
+    && ops_done = ops
+    && match identities with Ok () -> true | Error _ -> false
+  in
+  if expect_clean && not clean then begin
+    print_endline "serve-net: NOT CLEAN";
+    exit 1
+  end
+
+let serve_net_cmd =
+  let backend =
+    Arg.(
+      value & opt string "serve"
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "What the edge serves: $(b,serve) (the sharded serving layer on \
+             real domains), or a registry backend — $(b,multicore) (Afek \
+             handle on real domains), $(b,shm)/$(b,net)/$(b,byz) (simulator \
+             substrates, each op a single-process run under a global lock).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Shard count for the serve backend (ignored otherwise).")
+  in
+  let components =
+    Arg.(value & opt int 8 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~doc:"Server worker domains (accept loops).")
+  in
+  let conns =
+    Arg.(
+      value & opt int 16
+      & info [ "conns" ] ~docv:"N" ~doc:"Client socket connections.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 256
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Logical clients multiplexed over the connections.")
+  in
+  let ops =
+    Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"Total operations.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20000.0
+      & info [ "rate" ] ~docv:"OPS/S"
+          ~doc:
+            "Open-loop Poisson arrival rate in ops/second; 0 switches to \
+             closed-loop (each connection fires as soon as its previous \
+             response lands).")
+  in
+  let write_ratio =
+    Arg.(
+      value & opt float 0.3
+      & info [ "write-ratio" ] ~doc:"Fraction of ops that write.")
+  in
+  let post_ratio =
+    Arg.(
+      value & opt float 0.5
+      & info [ "post-ratio" ] ~doc:"Fraction of writes sent as async posts.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipfian component skew; 0 = uniform.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Plan seed.") in
+  let domains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~doc:"Client domains driving the connections.")
+  in
+  let expect_clean =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:
+            "Exit nonzero unless every op completed without error, no \
+             connection stalled, the server saw no protocol/op/fiber errors, \
+             and the backend's accounting identities hold at quiescence.")
+  in
+  Cmd.v
+    (Cmd.info "serve-net"
+       ~doc:
+         "Serve a composite-register backend over TCP (length-prefixed binary \
+          frames, effect-based accept loops on a worker-domain pool) and \
+          drive it with the open-/closed-loop load generator in the same \
+          process: throughput, latency percentiles, SLO verdicts and the \
+          accounting identities at graceful shutdown (experiment E21's smoke \
+          side).")
+    Term.(
+      const serve_net_run $ backend $ shards $ components $ workers $ conns
+      $ clients $ ops $ rate $ write_ratio $ post_ratio $ zipf $ seed $ domains
+      $ expect_clean)
+
 let fullstack_cmd =
   let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in
   Cmd.v
@@ -1831,5 +2067,5 @@ let () =
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
             mutants_cmd; trace_cmd; chaos_cmd; net_cmd; byz_cmd; serve_cmd;
-            profile_cmd; stat_cmd;
+            serve_net_cmd; profile_cmd; stat_cmd;
           ]))

@@ -1,0 +1,58 @@
+(** The TCP front-end: a listening socket served by a small pool of
+    worker domains, each running an effect-based accept loop
+    ({!Sched}).
+
+    Every worker selects on the shared non-blocking listen socket and
+    accepts directly — no cross-domain dispatch, the kernel is the load
+    balancer — then serves each connection as a fiber: read a
+    length-prefixed frame, decode, execute against the {!Backend},
+    reply.  A malformed frame gets an ['e'] response and a closed
+    connection; the server survives and counts it.  Backend
+    [Invalid_argument] (e.g. component out of range) is returned as an
+    ['e'] response with the connection kept open.
+
+    {!shutdown} is graceful: stop accepting, give in-flight fibers a
+    grace period (connections closed by their clients finish
+    immediately), cancel stragglers, join the workers, then shut the
+    backend down — which drains its mailboxes — and finally report the
+    backend's accounting identities. *)
+
+type config = {
+  workers : int;  (** worker domains (≥ 1) *)
+  backlog : int;  (** listen(2) backlog *)
+  grace : float;  (** shutdown grace for in-flight fibers, seconds *)
+}
+
+val default_config : config
+(** 4 workers, backlog 64, 1.0s grace. *)
+
+type stats = {
+  accepted : int;  (** connections accepted *)
+  disconnects : int;  (** connections that ended (any reason) *)
+  hellos : int;
+  writes : int;
+  posts : int;
+  scans : int;
+  protocol_errors : int;  (** malformed frames (connection dropped) *)
+  op_errors : int;  (** well-formed requests the backend rejected *)
+  fiber_errors : int;  (** fibers killed by unexpected exceptions *)
+}
+
+type t
+
+val start : ?config:config -> Backend.t -> t
+(** Bind [127.0.0.1] on an ephemeral port, listen, spawn the workers. *)
+
+val port : t -> int
+val backend : t -> Backend.t
+val stats : t -> stats
+
+val shutdown : t -> (unit, string) result
+(** Graceful shutdown as described above.  The result is the backend's
+    {!Backend.identities_ok} verdict at quiescence. *)
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Accumulate {!stats} into counters [edge.accepted],
+    [edge.disconnects], [edge.hello], [edge.write], [edge.post],
+    [edge.scan], [edge.protocol_errors], [edge.op_errors] and
+    [edge.fiber_errors]. *)

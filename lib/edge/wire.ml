@@ -1,0 +1,159 @@
+let max_payload = 1 lsl 20
+
+type request =
+  | Hello
+  | Write of { component : int; value : int }
+  | Post of { component : int; value : int }
+  | Scan
+
+type response =
+  | Hello_ok of { components : int }
+  | Write_ok of { id : int }
+  | Post_ok
+  | Scan_ok of (int * int) array
+  | Error of string
+
+let request_label = function
+  | Hello -> "hello"
+  | Write _ -> "write"
+  | Post _ -> "post"
+  | Scan -> "scan"
+
+(* Frames carry a 4-byte big-endian payload length; [framed n] allocates
+   the whole frame and returns it with the header already written, so
+   encoders fill from offset 4. *)
+let framed n =
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  b
+
+let encode_request = function
+  | Hello ->
+    let b = framed 1 in
+    Bytes.set b 4 'H';
+    b
+  | Write { component; value } ->
+    let b = framed 13 in
+    Bytes.set b 4 'W';
+    Bytes.set_int32_be b 5 (Int32.of_int component);
+    Bytes.set_int64_be b 9 (Int64.of_int value);
+    b
+  | Post { component; value } ->
+    let b = framed 13 in
+    Bytes.set b 4 'P';
+    Bytes.set_int32_be b 5 (Int32.of_int component);
+    Bytes.set_int64_be b 9 (Int64.of_int value);
+    b
+  | Scan ->
+    let b = framed 1 in
+    Bytes.set b 4 'S';
+    b
+
+let encode_response = function
+  | Hello_ok { components } ->
+    let b = framed 5 in
+    Bytes.set b 4 'h';
+    Bytes.set_int32_be b 5 (Int32.of_int components);
+    b
+  | Write_ok { id } ->
+    let b = framed 9 in
+    Bytes.set b 4 'w';
+    Bytes.set_int64_be b 5 (Int64.of_int id);
+    b
+  | Post_ok ->
+    let b = framed 1 in
+    Bytes.set b 4 'p';
+    b
+  | Scan_ok items ->
+    let n = Array.length items in
+    let b = framed (5 + (16 * n)) in
+    Bytes.set b 4 's';
+    Bytes.set_int32_be b 5 (Int32.of_int n);
+    Array.iteri
+      (fun i (v, id) ->
+        Bytes.set_int64_be b (9 + (16 * i)) (Int64.of_int v);
+        Bytes.set_int64_be b (17 + (16 * i)) (Int64.of_int id))
+      items;
+    b
+  | Error msg ->
+    let msg =
+      if String.length msg <= max_payload - 1 then msg
+      else String.sub msg 0 (max_payload - 1)
+    in
+    let n = String.length msg in
+    let b = framed (1 + n) in
+    Bytes.set b 4 'e';
+    Bytes.blit_string msg 0 b 5 n;
+    b
+
+let decode_length b =
+  if Bytes.length b <> 4 then
+    Result.Error "edge.wire: length header must be 4 bytes"
+  else
+    let n = Int32.to_int (Bytes.get_int32_be b 0) in
+    if n < 1 then
+      Result.Error (Printf.sprintf "edge.wire: bad frame length %d" n)
+    else if n > max_payload then
+      Result.Error
+        (Printf.sprintf "edge.wire: frame length %d exceeds max %d" n
+           max_payload)
+    else Result.Ok n
+
+let u32 b off = Int32.to_int (Bytes.get_int32_be b off)
+let i64 b off = Int64.to_int (Bytes.get_int64_be b off)
+
+let expect_len b n what =
+  if Bytes.length b = n then Result.Ok ()
+  else
+    Result.Error
+      (Printf.sprintf "edge.wire: %s payload is %d bytes (expected %d)" what
+         (Bytes.length b) n)
+
+let decode_request b =
+  if Bytes.length b < 1 then Result.Error "edge.wire: empty request payload"
+  else
+    match Bytes.get b 0 with
+    | 'H' -> Result.map (fun () -> Hello) (expect_len b 1 "hello")
+    | 'W' ->
+      Result.map
+        (fun () -> Write { component = u32 b 1; value = i64 b 5 })
+        (expect_len b 13 "write")
+    | 'P' ->
+      Result.map
+        (fun () -> Post { component = u32 b 1; value = i64 b 5 })
+        (expect_len b 13 "post")
+    | 'S' -> Result.map (fun () -> Scan) (expect_len b 1 "scan")
+    | c ->
+      Result.Error (Printf.sprintf "edge.wire: unknown request opcode %C" c)
+
+let decode_response b =
+  if Bytes.length b < 1 then Result.Error "edge.wire: empty response payload"
+  else
+    match Bytes.get b 0 with
+    | 'h' ->
+      Result.map
+        (fun () -> Hello_ok { components = u32 b 1 })
+        (expect_len b 5 "hello_ok")
+    | 'w' ->
+      Result.map
+        (fun () -> Write_ok { id = i64 b 1 })
+        (expect_len b 9 "write_ok")
+    | 'p' -> Result.map (fun () -> Post_ok) (expect_len b 1 "post_ok")
+    | 's' ->
+      if Bytes.length b < 5 then
+        Result.Error "edge.wire: truncated snapshot header"
+      else
+        let n = u32 b 1 in
+        if n < 0 || Bytes.length b <> 5 + (16 * n) then
+          Result.Error
+            (Printf.sprintf
+               "edge.wire: snapshot of %d items in %d payload bytes" n
+               (Bytes.length b))
+        else
+          Result.Ok
+            (Scan_ok
+               (Array.init n (fun i ->
+                    (i64 b (5 + (16 * i)), i64 b (13 + (16 * i))))))
+    | 'e' -> Result.Ok (Error (Bytes.sub_string b 1 (Bytes.length b - 1)))
+    | c ->
+      Result.Error (Printf.sprintf "edge.wire: unknown response opcode %C" c)

@@ -1,0 +1,59 @@
+(** The edge wire protocol: length-prefixed binary frames.
+
+    Every message — request or response — is one {e frame}: a 4-byte
+    big-endian payload length followed by that many payload bytes.  The
+    first payload byte is the opcode; integer fields are big-endian
+    (components as unsigned 32-bit, values and auxiliary ids as signed
+    64-bit).  The format is deliberately trivial: the edge exists to
+    measure the serving core under socket traffic, not to showcase a
+    serialization library.
+
+    Requests: ['H'] hello, ['W'] synchronous write, ['P'] asynchronous
+    post, ['S'] snapshot scan.  Responses: ['h'] components count,
+    ['w'] assigned auxiliary id, ['p'] post accepted, ['s'] snapshot
+    (count, then [(value, id)] pairs), ['e'] error (UTF-8 message).
+
+    Decoding is total: malformed input is a typed [Error _], never an
+    exception — the server turns it into an ['e'] response and a closed
+    connection, and stays up. *)
+
+val max_payload : int
+(** Upper bound on a frame's payload length (1 MiB).  Larger length
+    prefixes are rejected before any allocation. *)
+
+type request =
+  | Hello  (** negotiate: learn the backend's component count *)
+  | Write of { component : int; value : int }
+      (** synchronous write; acked with the auxiliary id after the
+          value is in the register *)
+  | Post of { component : int; value : int }
+      (** asynchronous write; acked on acceptance, may coalesce *)
+  | Scan  (** read one linearizable snapshot of all components *)
+
+type response =
+  | Hello_ok of { components : int }
+  | Write_ok of { id : int }
+  | Post_ok
+  | Scan_ok of (int * int) array  (** per component: (value, aux id) *)
+  | Error of string
+
+(** {2 Encoding} — full frames, header included *)
+
+val encode_request : request -> bytes
+val encode_response : response -> bytes
+
+(** {2 Decoding} *)
+
+val decode_length : bytes -> (int, string) result
+(** Payload length from a 4-byte header; [Error _] if negative or over
+    {!max_payload}. *)
+
+val decode_request : bytes -> (request, string) result
+(** Decode a request payload (no header).  Total: unknown opcodes,
+    truncated and oversized payloads are [Error _]. *)
+
+val decode_response : bytes -> (response, string) result
+(** Decode a response payload (no header); total, as above. *)
+
+val request_label : request -> string
+(** ["hello"], ["write"], ["post"] or ["scan"] — for metrics keys. *)

@@ -89,9 +89,11 @@ let map_workers ?jobs ?recorder:rec_ ?label ~worker tasks f =
     let rec go () =
       let i = Atomic.fetch_and_add next 1 in
       if i < tasks then begin
-        let t0 = Unix.gettimeofday () in
+        (* Monotonic, not wall clock: a clock step during the task would
+           otherwise yield negative durations in Chrome traces. *)
+        let t0 = Obs.Mono.now_s () in
         let v = f st i in
-        let t1 = Unix.gettimeofday () in
+        let t1 = Obs.Mono.now_s () in
         (match rec_ with
         | None -> ()
         | Some r ->

@@ -16,16 +16,19 @@
     the states are returned at the join for an order-insensitive merge
     (see [Obs.Metrics.merge]).
 
-    The pool optionally records one wall-clock span per task into a
-    {!recorder}, exportable as Chrome trace-event JSON with one track
-    per worker — load it in ui.perfetto.dev to see the pool's
-    occupancy. *)
+    The pool optionally records one span per task into a {!recorder},
+    exportable as Chrome trace-event JSON with one track per worker —
+    load it in ui.perfetto.dev to see the pool's occupancy.  Spans are
+    timed with the monotonic clock ({!Obs.Mono}), so durations are
+    non-negative by construction even across wall-clock steps; the
+    absolute origin is unspecified and only differences matter (the
+    Chrome export already rebases to the earliest span). *)
 
 type span = {
   sp_worker : int;  (** worker (domain slot) that ran the task *)
   sp_label : string;  (** task label *)
-  sp_t0 : float;  (** wall-clock start, seconds *)
-  sp_t1 : float;  (** wall-clock end, seconds *)
+  sp_t0 : float;  (** monotonic start, seconds (unspecified origin) *)
+  sp_t1 : float;  (** monotonic end, seconds; [sp_t1 >= sp_t0] *)
 }
 
 type recorder

@@ -267,11 +267,12 @@ let probe_finish t pr ~wait =
 
 (* One quorum phase: broadcast [payload] to every replica not yet heard
    from, then consume deliveries until [q] distinct replicas have acked
-   (matched by [on_ack]); timeouts retransmit to the laggards under
-   bounded exponential backoff — the delay (counted in timeout events)
-   doubles up to [cap] plus seeded jitter, and resets to [base] whenever
-   an ack is accepted.  Acks are counted per replica, so duplicates from
-   retransmission are harmless. *)
+   (matched by [on_ack], which also learns which replica the ack came
+   from); timeouts retransmit to the laggards under bounded exponential
+   backoff — the delay (counted in timeout events) doubles up to [cap]
+   plus seeded jitter, and resets to [base] whenever an ack is accepted.
+   Acks are counted per replica, so duplicates from retransmission are
+   harmless. *)
 let phase t ?op ~name payload ~on_ack =
   t.stats.rounds <- t.stats.rounds + 1;
   let started = Sim.now t.env in
@@ -315,7 +316,7 @@ let phase t ?op ~name payload ~on_ack =
     | Some pkt -> (
       match pkt.Sim.src with
       | Sim.Replica r when not acked.(r) ->
-        if on_ack pkt.Sim.payload then begin
+        if on_ack ~replica:r pkt.Sim.payload then begin
           acked.(r) <- true;
           incr count;
           probe_wait_end t pr;
@@ -356,7 +357,9 @@ let write_phase t ?op reg ~ts ~v =
   let rid = fresh_rid t in
   phase t ?op ~name:(Printf.sprintf "write reg%d" reg)
     (Write_req { reg; rid; ts; v })
-    ~on_ack:(function Write_ack w -> w.rid = rid | _ -> false)
+    ~on_ack:(fun ~replica:_ -> function
+      | Write_ack w -> w.rid = rid
+      | _ -> false)
 
 (* SWMR write: one round.  [wts] is the writer's private timestamp
    counter for this register. *)
@@ -370,59 +373,87 @@ let write t reg wts v =
 (* Read: query round picks the maximum-timestamp value a quorum knows,
    then a write-back round makes that value known to a quorum before
    returning — the step that makes reads atomic rather than merely
-   regular (no new/old inversion between non-overlapping reads). *)
+   regular (no new/old inversion between non-overlapping reads).
+   Returns the adopted value together with the replica whose ack won,
+   so the API boundary can name the offender on a shape mismatch. *)
 let read t reg =
   t.stats.reads <- t.stats.reads + 1;
   let rid = fresh_rid t in
   let op = op_start t (Printf.sprintf "abd.read reg%d" reg) in
   let best_ts = ref (-1) in
   let best_v = ref None in
+  let best_src = ref (-1) in
   phase t ?op ~name:(Printf.sprintf "query reg%d" reg)
     (Read_req { reg; rid })
-    ~on_ack:(function
+    ~on_ack:(fun ~replica -> function
       | Read_ack a when a.rid = rid ->
         if a.ts > !best_ts then begin
           best_ts := a.ts;
-          best_v := Some a.v
+          best_v := Some a.v;
+          best_src := replica
         end;
         true
       | _ -> false);
-  let ts = !best_ts and v = Option.get !best_v in
+  let ts = !best_ts in
+  let v =
+    match !best_v with
+    | Some v -> v
+    | None ->
+      (* Unreachable: every store is seeded at register creation, so
+         the first matching ack always carries ts >= 0 > -1. *)
+      invalid_arg
+        (Printf.sprintf "Net.Abd.read: register %d: quorum with no value"
+           reg)
+  in
   write_phase t ?op reg ~ts ~v;
   op_finish t op;
-  v
+  (v, !best_src)
 
 (* Ghost read for [Memory.peek]: the freshest value any replica store
-   holds, without network traffic. *)
+   holds, without network traffic.  Also returns the holding replica. *)
 let peek t reg =
   let best = ref None in
   for r = 0 to t.n - 1 do
     match Hashtbl.find_opt t.stores.(r) reg with
     | Some (ts, v) -> (
       match !best with
-      | Some (bts, _) when bts >= ts -> ()
-      | _ -> best := Some (ts, v))
+      | Some (bts, _, _) when bts >= ts -> ()
+      | _ -> best := Some (ts, v, r))
     | None -> ()
   done;
-  match !best with Some (_, v) -> v | None -> assert false
+  match !best with Some (_, v, r) -> (v, r) | None -> assert false
 
 (* A universal type via an extensible variant, so one monomorphic
-   network message type can carry values of every register's type. *)
-let embed (type a) () : (a -> exn) * (exn -> a) =
+   network message type can carry values of every register's type.
+   [proj] is total: a payload built by a different register's [inj]
+   (or forged by a Byzantine replica) projects to [None] instead of
+   crashing mid-quorum — the caller owns the error report. *)
+let embed (type a) () : (a -> exn) * (exn -> a option) =
   let module M = struct
     exception E of a
   end in
-  ( (fun x -> M.E x),
-    function
-    | M.E x -> x
-    | _ -> failwith "Net.Abd: register value of unexpected type" )
+  ((fun x -> M.E x), function M.E x -> Some x | _ -> None)
 
 let memory t =
   let make : type a. name:string -> bits:int -> a -> a Csim.Memory.cell =
-   fun ~name:_ ~bits:_ init ->
+   fun ~name ~bits:_ init ->
     let reg = t.next_reg in
     t.next_reg <- reg + 1;
     let inj, proj = embed () in
+    (* Shape validation at the API boundary: a mismatched payload is a
+       typed, catchable [Invalid_argument] naming the register and the
+       replica that supplied the value — not a [failwith] deep in the
+       quorum loop. *)
+    let checked ~via (e, replica) =
+      match proj e with
+      | Some v -> v
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Net.Abd.%s: register %d (%s): value of unexpected type \
+              from replica %d"
+             via reg name replica)
+    in
     let first = (0, inj init) in
     Hashtbl.replace t.firsts reg first;
     for r = 0 to t.n - 1 do
@@ -430,9 +461,9 @@ let memory t =
     done;
     let wts = ref 0 in
     {
-      Csim.Memory.read = (fun () -> proj (read t reg));
+      Csim.Memory.read = (fun () -> checked ~via:"read" (read t reg));
       write = (fun v -> write t reg wts (inj v));
-      peek = (fun () -> proj (peek t reg));
+      peek = (fun () -> checked ~via:"peek" (peek t reg));
     }
   in
   { Csim.Memory.make }

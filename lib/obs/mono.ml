@@ -1,0 +1,3 @@
+external now_ns : unit -> int = "obs_mono_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) /. 1e9

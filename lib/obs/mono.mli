@@ -1,0 +1,18 @@
+(** Monotonic clock.
+
+    [Unix.gettimeofday] is wall time: NTP steps and leap smearing can
+    move it {e backwards}, which turns span durations negative and
+    corrupts occupancy stats.  This module reads
+    [clock_gettime(CLOCK_MONOTONIC)] through a tiny C stub (no
+    third-party dependency), so durations computed as [now - earlier]
+    are non-negative by construction.
+
+    The absolute origin is unspecified (typically boot time); only
+    differences are meaningful. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds from an unspecified origin.  Never decreases
+    within a process. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds, for call sites that keep float timestamps. *)

@@ -1,0 +1,14 @@
+/* Monotonic clock stub: CLOCK_MONOTONIC nanoseconds as a tagged int.
+   63-bit nanoseconds overflow after ~146 years of uptime, so Val_long
+   is safe; [@@noalloc] on the OCaml side keeps this callable from hot
+   paths without touching the GC. */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_mono_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

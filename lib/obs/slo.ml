@@ -50,6 +50,16 @@ let default_budgets =
       ~limit:2_000_000_000 ~unit_:"ns";
     budget ~op:"serve/post" ~metric:"serve.post.latency_ns" ~pct:P999
       ~limit:1_000_000_000 ~unit_:"ns";
+    (* The network edge measures whole request round-trips over loopback
+       sockets (open-loop latency includes queueing behind the arrival
+       process), so these are loose order-of-magnitude guards like the
+       serve class, not tight contracts. *)
+    budget ~op:"edge/scan" ~metric:"edge.scan.latency_ns" ~pct:P999
+      ~limit:2_000_000_000 ~unit_:"ns";
+    budget ~op:"edge/write" ~metric:"edge.write.latency_ns" ~pct:P999
+      ~limit:5_000_000_000 ~unit_:"ns";
+    budget ~op:"edge/post" ~metric:"edge.post.latency_ns" ~pct:P999
+      ~limit:2_000_000_000 ~unit_:"ns";
   ]
 
 let check_budget m b =

@@ -35,7 +35,8 @@ val budget :
 
 val default_budgets : budget list
 (** Budgets for the repo's own campaign latency histograms
-    ([campaign.shm.*], [netchaos.*], [byzchaos.*], [serve.*]). *)
+    ([campaign.shm.*], [netchaos.*], [byzchaos.*], [serve.*]) and the
+    network edge's socket round-trip histograms ([edge.*]). *)
 
 val check : ?budgets:budget list -> Metrics.t -> verdict list
 val all_ok : verdict list -> bool

@@ -23,6 +23,40 @@ type 'a shared = { stamp : int; sview : 'a cache }
 
 module Pad = Composite.Padded_atomic
 
+(* Bounded exponential backoff for spin waits — the same shape as the
+   ABD retransmit policy (PR 6): the delay doubles from [base] up to
+   [cap] and collapses back to [base] on progress.  Every full wave
+   spent at the cap bumps the [stalls] counter, so a waiter burning a
+   core on a descheduled applier shows up in the accounting instead of
+   spinning invisibly. *)
+module Backoff = struct
+  type t = { mutable delay : int; cap : int; stalls : int Atomic.t }
+
+  let base = 1
+  let default_cap = 4096
+
+  let make ?(cap = default_cap) stalls = { delay = base; cap; stalls }
+  let reset b = b.delay <- base
+
+  let once b =
+    if b.delay >= b.cap then begin
+      (* Saturated: the waited-on domain may be starved for the very
+         CPU we are spinning on (single-core hosts, oversubscribed
+         pools).  Count the stall and yield the timeslice instead of
+         burning it. *)
+      Atomic.incr b.stalls;
+      Unix.sleepf 50e-6
+    end
+    else begin
+      for _ = 1 to b.delay do
+        Domain.cpu_relax ()
+      done;
+      b.delay <- min b.cap (b.delay * 2)
+    end
+
+  let stall_count b = Atomic.get b.stalls
+end
+
 type 'a t = {
   components : int;
   shards : int;
@@ -71,6 +105,7 @@ type 'a t = {
   r_combined : int Atomic.t array;
   r_performed : int Atomic.t array;
   caches : 'a cache option array;  (* per reader; touched only by it *)
+  stalls : int Atomic.t;  (* backoff waves that hit the cap *)
   stop : bool Atomic.t;
   mutable appliers : unit Domain.t list;
 }
@@ -164,6 +199,7 @@ let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true)
     r_combined = Pad.array readers 0;
     r_performed = Pad.array readers 0;
     caches = Array.make readers None;
+    stalls = Pad.make 0;
     stop = Pad.make false;
     appliers = [];
   }
@@ -331,8 +367,9 @@ let drain t =
   done
 
 let applier t s () =
+  let b = Backoff.make t.stalls in
   while not (Atomic.get t.stop) do
-    if not (drain_shard t s) then Domain.cpu_relax ()
+    if drain_shard t s then Backoff.reset b else Backoff.once b
   done;
   (* One sweep after the stop flag: posts that raced with shutdown must
      still be applied so blocked synchronous updates can complete. *)
@@ -351,11 +388,12 @@ let shutdown t =
 let update t ~writer v =
   post t ~writer v;
   let ticket = t.tickets.(writer) in
+  let b = Backoff.make t.stalls in
   let rec wait () =
     let tk, id = Atomic.get t.acked.(writer) in
     if tk >= ticket then id
     else begin
-      Domain.cpu_relax ();
+      Backoff.once b;
       wait ()
     end
   in
@@ -409,9 +447,10 @@ let cache_fresh t c =
      collect, hence inside the enlisted reader's interval too.
 
    A reader that arrives while a collect is in flight spins for a
-   {e bounded} number of steps: it adopts the moment the in-flight
-   result validates or a strictly newer collect publishes, and once the
-   budget is exhausted it reverts to a private collect of its own — the
+   {e bounded} number of backoff waves: it adopts the moment the
+   in-flight result validates or a strictly newer collect publishes,
+   and once the budget is exhausted it reverts to a private collect of
+   its own — the
    lock only gates who publishes into the shared slot, never whether a
    reader makes progress, so the combining path stays wait-free even
    when a combiner is preempted mid-collect (on few-core hosts an
@@ -453,6 +492,9 @@ let shared_scan t ~reader =
   if not t.combine then perform_private ()
   else
     let budget = ref enlist_budget in
+    (* Short cap: the enlist wait must stay cheap relative to a private
+       collect, since reverting to one is its progress guarantee. *)
+    let b = Backoff.make ~cap:64 t.stalls in
     let rec attempt () =
       match Atomic.get t.shared_slot with
       | Some sh when cache_fresh t sh.sview -> adopt sh
@@ -480,7 +522,7 @@ let shared_scan t ~reader =
                   if !budget <= 0 then perform_private ()
                   else if Atomic.get t.combiner_lock then begin
                     decr budget;
-                    Domain.cpu_relax ();
+                    Backoff.once b;
                     await ()
                   end
                   else attempt ()
@@ -542,6 +584,7 @@ type stats = {
   scans_requested : int;
   scans_combined : int;
   scans_performed : int;
+  stalls : int;
 }
 
 type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
@@ -585,6 +628,7 @@ let stats t =
     scans_requested = Atomic.get t.requested;
     scans_combined = Atomic.get t.combined;
     scans_performed = Atomic.get t.performed;
+    stalls = Atomic.get t.stalls;
   }
 
 let writer_stats t ~writer =
@@ -619,4 +663,5 @@ let observe t m =
   c "serve.full_scans" s.full_scans;
   c "serve.scan.requested" s.scans_requested;
   c "serve.scan.combined" s.scans_combined;
-  c "serve.scan.performed" s.scans_performed
+  c "serve.scan.performed" s.scans_performed;
+  c "serve.stalls" s.stalls

@@ -94,6 +94,40 @@
     Shrinking and Wing–Gong checkers must flag it (new-old
     inversions). *)
 
+(** Bounded exponential backoff for spin waits, shared by every spin
+    site in the serving stack (applier idle loop, synchronous-update
+    ack wait, scan-sharing enlistment) and reusable by campaigns and
+    the network edge.  Same shape as the ABD retransmit policy: the
+    delay doubles from 1 up to [cap] relaxations per wave and collapses
+    back on progress.  Every wave spent {e at} the cap increments the
+    supplied stall counter — making stalled waiters observable (the
+    service feeds its own counter into {!observe} as [serve.stalls]) —
+    and {e yields the OS timeslice} instead of spinning: past the cap
+    the waited-on domain is plausibly starved for the very CPU the
+    waiter is burning (single-core hosts, oversubscribed pools). *)
+module Backoff : sig
+  type t
+
+  val default_cap : int
+  (** 4096 relaxations per wave. *)
+
+  val make : ?cap:int -> int Atomic.t -> t
+  (** [make stalls] starts a fresh backoff; waves that reach [cap]
+      (default {!default_cap}) bump [stalls]. *)
+
+  val once : t -> unit
+  (** Wait one wave ([delay] times [Domain.cpu_relax]), then double the
+      delay up to the cap.  At the cap: count a stall and sleep a few
+      tens of microseconds (yielding the OS thread) instead of
+      spinning. *)
+
+  val reset : t -> unit
+  (** Collapse the delay back to 1 — call on progress. *)
+
+  val stall_count : t -> int
+  (** Current value of the backing stall counter. *)
+end
+
 type outer_impl = Outer_anderson | Outer_afek
 
 val outer_impl_name : outer_impl -> string
@@ -215,6 +249,10 @@ type stats = {
   scans_requested : int;  (** entries into the (shared) scan machinery *)
   scans_combined : int;  (** requests served by an adopted shared snapshot *)
   scans_performed : int;  (** requests that performed their own collect *)
+  stalls : int;
+      (** backoff waves that hit their cap across all spin sites — a
+          proxy for time burned waiting on a descheduled applier or
+          combiner *)
 }
 
 type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
@@ -237,5 +275,5 @@ val observe : 'a t -> Obs.Metrics.t -> unit
     [serve.coalesced], [serve.applied], [serve.publishes],
     [serve.batch.installs], [serve.cache.hit], [serve.cache.miss],
     [serve.cache.stale], [serve.full_scans], [serve.scan.requested],
-    [serve.scan.combined] and [serve.scan.performed] (additive across
-    calls — observe once per service lifetime). *)
+    [serve.scan.combined], [serve.scan.performed] and [serve.stalls]
+    (additive across calls — observe once per service lifetime). *)

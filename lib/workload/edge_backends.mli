@@ -1,0 +1,15 @@
+(** {!Backend} registry entries as servable edge backends.
+
+    [of_registry ~workers ~init b] adapts substrate [b] for
+    {!Edge.Server.start}: the [multicore] backend is served
+    concurrently (an Afek handle on real domains, one reader per
+    worker); the simulator-backed substrates ([shm], [net] as an ABD
+    quorum over a clean simulated network, [byz] with its budgeted
+    lying adversary active) execute each op as a single-process
+    simulator run under a global lock — linearizable because fully
+    serialized, and reported as such in E21.  [seed] drives the
+    simulated network's delivery order and the Byzantine fault
+    injection (default 1). *)
+
+val of_registry :
+  ?seed:int -> workers:int -> init:int array -> Backend.t -> Edge.Backend.t

@@ -1,0 +1,360 @@
+module Prng = Csim.Schedule.Prng
+
+type arrival = Open_loop of float | Closed_loop
+
+type config = {
+  connections : int;
+  clients : int;
+  ops : int;
+  arrival : arrival;
+  write_ratio : float;
+  post_ratio : float;
+  zipf_theta : float;
+  seed : int;
+  domains : int;
+}
+
+let default =
+  {
+    connections = 16;
+    clients = 256;
+    ops = 2000;
+    arrival = Open_loop 20_000.;
+    write_ratio = 0.3;
+    post_ratio = 0.5;
+    zipf_theta = 0.9;
+    seed = 1;
+    domains = 2;
+  }
+
+type op_kind = Op_write | Op_post | Op_scan
+
+type planned = {
+  p_at_ns : int;
+  p_conn : int;
+  p_client : int;
+  p_kind : op_kind;
+  p_component : int;
+  p_value : int;
+}
+
+(* Cumulative Zipf weights: component k drawn with probability
+   proportional to 1/(k+1)^theta.  theta = 0 degenerates to uniform. *)
+let zipf_weights ~components ~theta =
+  if components < 1 then invalid_arg "Loadgen.zipf_weights: no components";
+  let cum = Array.make components 0. in
+  let acc = ref 0. in
+  for k = 0 to components - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (k + 1)) theta);
+    cum.(k) <- !acc
+  done;
+  let total = cum.(components - 1) in
+  Array.map (fun c -> c /. total) cum
+
+let zipf_pick cum u =
+  (* Smallest k with cum.(k) >= u. *)
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let validate cfg =
+  if cfg.connections < 1 then
+    invalid_arg "Loadgen: connections must be >= 1";
+  if cfg.clients < cfg.connections then
+    invalid_arg "Loadgen: clients must be >= connections";
+  if cfg.ops < 1 then invalid_arg "Loadgen: ops must be >= 1";
+  if cfg.write_ratio < 0. || cfg.write_ratio > 1. then
+    invalid_arg "Loadgen: write_ratio must be in [0, 1]";
+  if cfg.post_ratio < 0. || cfg.post_ratio > 1. then
+    invalid_arg "Loadgen: post_ratio must be in [0, 1]";
+  if cfg.zipf_theta < 0. then invalid_arg "Loadgen: zipf_theta must be >= 0";
+  if cfg.domains < 1 then invalid_arg "Loadgen: domains must be >= 1";
+  (match cfg.arrival with
+  | Open_loop r when r <= 0. -> invalid_arg "Loadgen: open-loop rate must be > 0"
+  | _ -> ())
+
+let plan ~components cfg =
+  validate cfg;
+  if components < 1 then invalid_arg "Loadgen.plan: no components";
+  let prng = Prng.make cfg.seed in
+  let cum = zipf_weights ~components ~theta:cfg.zipf_theta in
+  let t = ref 0. in
+  Array.init cfg.ops (fun j ->
+      (* Draw order is fixed: arrival gap, client, kind, component —
+         the plan is a pure function of (config, components). *)
+      let at_ns =
+        match cfg.arrival with
+        | Closed_loop -> 0
+        | Open_loop rate ->
+          let u = Prng.float prng in
+          t := !t +. (-.log (1. -. u) /. rate);
+          int_of_float (!t *. 1e9)
+      in
+      let client = Prng.int prng cfg.clients in
+      let kind =
+        if Prng.float prng < cfg.write_ratio then
+          if Prng.float prng < cfg.post_ratio then Op_post else Op_write
+        else Op_scan
+      in
+      let component = zipf_pick cum (Prng.float prng) in
+      {
+        p_at_ns = at_ns;
+        p_conn = client mod cfg.connections;
+        p_client = client;
+        p_kind = kind;
+        p_component = component;
+        p_value = 1000 + j;
+      })
+
+type report = {
+  ops_done : int;
+  errors : int;
+  elapsed_ns : int;
+  throughput_per_sec : float;
+  stalled_conns : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Execution engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type conn_state = {
+  fd : Unix.file_descr;
+  mutable queue : planned list;  (* plan order *)
+  mutable inflight : planned option;
+  mutable sent_ns : int;  (* monotonic, for closed-loop latency *)
+  mutable dead : bool;
+}
+
+type domain_outcome = {
+  d_ops : int;
+  d_errors : int;
+  d_stalled : int;
+  d_first_send : int;  (* monotonic ns; max_int if none *)
+  d_last_resp : int;  (* monotonic ns; 0 if none *)
+  d_metrics : Obs.Metrics.t;
+}
+
+let read_exact fd buf off len =
+  let got = ref 0 in
+  while !got < len do
+    match Unix.read fd buf (off + !got) (len - !got) with
+    | 0 -> raise End_of_file
+    | n -> got := !got + n
+  done
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let request_of op =
+  match op.p_kind with
+  | Op_write -> Edge.Wire.Write { component = op.p_component; value = op.p_value }
+  | Op_post -> Edge.Wire.Post { component = op.p_component; value = op.p_value }
+  | Op_scan -> Edge.Wire.Scan
+
+let kind_metric = function
+  | Op_write -> "edge.write.latency_ns"
+  | Op_post -> "edge.post.latency_ns"
+  | Op_scan -> "edge.scan.latency_ns"
+
+let response_matches op resp =
+  match (op.p_kind, resp) with
+  | Op_write, Edge.Wire.Write_ok _ -> true
+  | Op_post, Edge.Wire.Post_ok -> true
+  | Op_scan, Edge.Wire.Scan_ok _ -> true
+  | _ -> false
+
+(* One client domain: drive [conns] through a flat select loop, one
+   request in flight per connection.  Sockets stay blocking — requests
+   are tiny and responses are read only after select reports the first
+   bytes, so the brief tail of a large frame is the only blocking. *)
+let drive ~host ~port ~open_loop ~t0 conns_plans =
+  let m = Obs.Metrics.create () in
+  let errors = ref 0 and ops_done = ref 0 and stalled = ref 0 in
+  let first_send = ref max_int and last_resp = ref 0 in
+  let conns =
+    List.map
+      (fun queue ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        { fd; queue; inflight = None; sent_ns = 0; dead = false })
+      conns_plans
+  in
+  let kill c =
+    if not c.dead then begin
+      c.dead <- true;
+      incr stalled;
+      c.inflight <- None;
+      c.queue <- [];
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let now_rel () = Obs.Mono.now_ns () - t0 in
+  let send c op =
+    let b = Edge.Wire.encode_request (request_of op) in
+    match write_all c.fd b with
+    | () ->
+      c.sent_ns <- Obs.Mono.now_ns ();
+      if c.sent_ns < !first_send then first_send := c.sent_ns;
+      c.inflight <- Some op
+    | exception (End_of_file | Unix.Unix_error _) -> kill c
+  in
+  let receive c op =
+    match
+      let hdr = Bytes.create 4 in
+      read_exact c.fd hdr 0 4;
+      match Edge.Wire.decode_length hdr with
+      | Error e -> Result.Error e
+      | Ok n ->
+        let payload = Bytes.create n in
+        read_exact c.fd payload 0 n;
+        Edge.Wire.decode_response payload
+    with
+    | exception (End_of_file | Unix.Unix_error _) -> kill c
+    | Error _ -> incr errors; kill c
+    | Ok resp ->
+      let now = Obs.Mono.now_ns () in
+      if now > !last_resp then last_resp := now;
+      c.inflight <- None;
+      incr ops_done;
+      if response_matches op resp then begin
+        (* Open loop charges queueing behind the arrival schedule to
+           the op (no coordinated omission); closed loop is RTT. *)
+        let lat =
+          if open_loop then now - (t0 + op.p_at_ns) else now - c.sent_ns
+        in
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram m (kind_metric op.p_kind))
+          (max 0 lat)
+      end
+      else incr errors
+  in
+  let live () =
+    List.exists (fun c -> (not c.dead) && (c.inflight <> None || c.queue <> [])) conns
+  in
+  while live () do
+    let now = now_rel () in
+    (* Fire everything due on idle connections. *)
+    List.iter
+      (fun c ->
+        if (not c.dead) && c.inflight = None then
+          match c.queue with
+          | op :: rest when (not open_loop) || op.p_at_ns <= now ->
+            c.queue <- rest;
+            send c op
+          | _ -> ())
+      conns;
+    let reading =
+      List.filter (fun c -> (not c.dead) && c.inflight <> None) conns
+    in
+    if reading = [] then begin
+      (* Open loop, all idle: sleep until the earliest due op. *)
+      let next =
+        List.fold_left
+          (fun acc c ->
+            match c.queue with
+            | op :: _ when not c.dead -> min acc op.p_at_ns
+            | _ -> acc)
+          max_int conns
+      in
+      if next < max_int then begin
+        let gap_s = float_of_int (next - now_rel ()) /. 1e9 in
+        if gap_s > 0. then
+          ignore (Unix.select [] [] [] (Float.min gap_s 0.05))
+      end
+    end
+    else begin
+      let timeout =
+        if not open_loop then 0.05
+        else
+          let next =
+            List.fold_left
+              (fun acc c ->
+                match c.queue with
+                | op :: _ when (not c.dead) && c.inflight = None ->
+                  min acc op.p_at_ns
+                | _ -> acc)
+              max_int conns
+          in
+          if next = max_int then 0.05
+          else
+            Float.max 0.
+              (Float.min 0.05 (float_of_int (next - now_rel ()) /. 1e9))
+      in
+      match
+        Unix.select (List.map (fun c -> c.fd) reading) [] [] timeout
+      with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun c ->
+            if List.mem c.fd ready then
+              match c.inflight with
+              | Some op -> receive c op
+              | None -> ())
+          reading
+    end
+  done;
+  List.iter (fun c -> if not c.dead then try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  {
+    d_ops = !ops_done;
+    d_errors = !errors;
+    d_stalled = !stalled;
+    d_first_send = !first_send;
+    d_last_resp = !last_resp;
+    d_metrics = m;
+  }
+
+let run ?metrics ?(host = "127.0.0.1") ~port ~components cfg =
+  let ops = plan ~components cfg in
+  let open_loop = match cfg.arrival with Open_loop _ -> true | Closed_loop -> false in
+  (* Per-connection queues in plan order, then connections dealt to
+     domains round-robin; each domain's select loop is independent. *)
+  let queues = Array.make cfg.connections [] in
+  Array.iter (fun op -> queues.(op.p_conn) <- op :: queues.(op.p_conn)) ops;
+  let queues = Array.map List.rev queues in
+  let domains = min cfg.domains cfg.connections in
+  let shares = Array.make domains [] in
+  Array.iteri (fun c q -> shares.(c mod domains) <- q :: shares.(c mod domains)) queues;
+  let shares = Array.map List.rev shares in
+  let t0 = Obs.Mono.now_ns () in
+  let outcomes =
+    if domains = 1 then [| drive ~host ~port ~open_loop ~t0 shares.(0) |]
+    else
+      Array.map Domain.join
+        (Array.map
+           (fun share -> Domain.spawn (fun () -> drive ~host ~port ~open_loop ~t0 share))
+           shares)
+  in
+  let ops_done = Array.fold_left (fun a o -> a + o.d_ops) 0 outcomes in
+  let errors = Array.fold_left (fun a o -> a + o.d_errors) 0 outcomes in
+  let stalled = Array.fold_left (fun a o -> a + o.d_stalled) 0 outcomes in
+  let first = Array.fold_left (fun a o -> min a o.d_first_send) max_int outcomes in
+  let last = Array.fold_left (fun a o -> max a o.d_last_resp) 0 outcomes in
+  let elapsed_ns = if last > first then last - first else 0 in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Array.iter (fun o -> Obs.Metrics.merge ~into:m o.d_metrics) outcomes;
+    let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
+    c "loadgen.ops" ops_done;
+    c "loadgen.errors" errors;
+    c "loadgen.stalled_conns" stalled);
+  {
+    ops_done;
+    errors;
+    elapsed_ns;
+    throughput_per_sec =
+      (if elapsed_ns <= 0 then 0.
+       else float_of_int ops_done /. (float_of_int elapsed_ns /. 1e9));
+    stalled_conns = stalled;
+  }

@@ -44,7 +44,13 @@ let run_scenario ~writer_ops ~segments =
     match h.History.Snapshot_history.reads with
     | [ r ] ->
       (r.History.Snapshot_history.values, r.History.Snapshot_history.ids)
-    | _ -> failwith "scenario: expected exactly one Read"
+    | reads ->
+      invalid_arg
+        (Printf.sprintf
+           "Workload.Scenario: schedule produced %d Reads (expected \
+            exactly 1) — the scripted segments must let the reader's \
+            single scan complete"
+           (List.length reads))
   in
   {
     case = Composite.Anderson.last_case reg;

@@ -65,12 +65,16 @@ let run_one worker_metrics (cfg : config) (_ : int) =
      validation-disabled mutant reliably observable. *)
   let total_writes = cfg.components * cfg.writer_ops in
   let applied () = (Serve.stats srv).Serve.applied in
+  (* Bounded exponential backoff instead of a bare relax loop: if an
+     applier domain is descheduled mid-campaign the pacing readers back
+     off instead of spinning flat out, and the waves that hit the cap
+     are counted so the stall is visible in the worker metrics. *)
+  let pace_stalls = Atomic.make 0 in
   let reader_pace () =
     let before = applied () in
-    while
-      before < total_writes && applied () = before
-    do
-      Domain.cpu_relax ()
+    let b = Serve.Backoff.make pace_stalls in
+    while before < total_writes && applied () = before do
+      Serve.Backoff.once b
     done
   in
   let h =
@@ -85,6 +89,9 @@ let run_one worker_metrics (cfg : config) (_ : int) =
   in
   Serve.shutdown srv;
   Serve.observe srv worker_metrics;
+  Obs.Metrics.incr
+    ~by:(Atomic.get pace_stalls)
+    (Obs.Metrics.counter worker_metrics "serve_campaign.pace.stalls");
   (* The raw-speed identities must hold exactly at quiescence: every
      post applied or coalesced, every scan request either combined or
      performed (and the outer register paid only for the performed
