@@ -35,6 +35,10 @@
          counts for the serve and multicore backends, with exact
          accounting (every op accounted for, identities at shutdown)
          and shape-only wall-clock percentiles.
+   E22 — Elastic sharding: throughput dip and recovery across an
+         online reshard under live load, and the quiesce-migrate-
+         publish cost vs shard count, with the per-epoch accounting
+         identities asserted exactly.
 
    Counts (E1-E6, E9) are deterministic and compared against the paper
    exactly; wall-clock numbers (E7, E8, E15 timings) are
@@ -2282,6 +2286,206 @@ let e21 ~quick () =
      from scheduled arrival)"
 
 (* ------------------------------------------------------------------ *)
+(* E22                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Elastic sharding: what an online reshard costs.  Two questions:
+   how deep is the throughput dip while an epoch switch drains,
+   migrates and republishes under live load (and does it recover), and
+   how does the quiesce-migrate-publish cost scale with the shard
+   count when there is no load at all.
+
+   Wall-clock numbers (throughputs, dip/recovery ratios, migration
+   nanoseconds) are machine-dependent and carried in baseline-skipped
+   field names.  What CI asserts exactly from the rows: every cell's
+   epoch count (one switch per dip cell, two per migration cell), the
+   per-epoch accounting identities at quiescence, and [clean].  The
+   correctness side of E22 — linearizability across the epoch
+   boundary, mutant detection, ddmin replays — is the `reshard`
+   subcommand of the main binary, exercised by the CI smoke legs. *)
+let e22 ~quick () =
+  section "E22: elastic sharding — reshard dip/recovery and migration cost";
+  let components = 8 in
+  let writers = 4 in
+  let readers = 2 in
+  let init = Array.init components (fun k -> (k + 1) * 10) in
+  (* The per-epoch identities of Serve.epoch_stats, closed exactly at
+     quiescence (same set Reshard_campaign asserts). *)
+  let epochs_ok srv =
+    let eps = Serve.epoch_stats srv in
+    let last = eps.(Array.length eps - 1) in
+    Array.for_all
+      (fun (e : Serve.epoch_stats) ->
+        e.Serve.e_posted + e.Serve.e_carried_in
+        = e.Serve.e_applied + e.Serve.e_coalesced + e.Serve.e_carried_out
+        && e.Serve.e_scans_requested + e.Serve.e_inflight_in
+           = e.Serve.e_scans_combined + e.Serve.e_scans_performed
+             + e.Serve.e_inflight_out)
+      eps
+    && last.Serve.e_carried_out = 0
+    && last.Serve.e_inflight_out = 0
+    && (Serve.stats srv).Serve.pending = 0
+  in
+  (* One closed-loop stint: [writers] domains each sync-writing its own
+     components (SWMR preserved: writer domain w owns components
+     congruent to w), [readers] domains scanning, all joined.  Returns
+     achieved ops/sec. *)
+  let stint srv ~per_writer ~per_reader =
+    let t0 = Obs.Mono.now_ns () in
+    let ws =
+      List.init writers (fun w ->
+          Domain.spawn (fun () ->
+              for i = 1 to per_writer do
+                let comp = w + (writers * (i mod (components / writers))) in
+                ignore (Serve.update srv ~writer:comp ((1000 * w) + i) : int)
+              done))
+    in
+    let rs =
+      List.init readers (fun r ->
+          Domain.spawn (fun () ->
+              for _ = 1 to per_reader do
+                ignore
+                  (Serve.scan_items srv ~reader:r
+                    : int Composite.Item.t array)
+              done))
+    in
+    List.iter Domain.join ws;
+    List.iter Domain.join rs;
+    let dt = max 1 (Obs.Mono.now_ns () - t0) in
+    let ops = (writers * per_writer) + (readers * per_reader) in
+    float_of_int ops *. 1e9 /. float_of_int dt
+  in
+  let per_writer = if quick then 2_000 else 8_000 in
+  let per_reader = if quick then 1_000 else 4_000 in
+  let dip_t =
+    Workload.Table.create
+      ~header:
+        [
+          "reshard"; "before ops/s"; "during ops/s"; "after ops/s";
+          "dip"; "recovery"; "switch us"; "clean";
+        ]
+  in
+  (* Dip/recovery: a quiet stint in the old layout, the same stint with
+     one epoch switch landing mid-load, then the same stint again in
+     the new layout. *)
+  let dip_cell ~from_s ~to_s =
+    let srv =
+      Serve.create ~shards:from_s
+        ~max_shards:(max from_s to_s)
+        ~readers ~init ()
+    in
+    Serve.start srv;
+    let before = stint srv ~per_writer ~per_reader in
+    let baseline_applied = (Serve.stats srv).Serve.applied in
+    let switch_ns = ref 0 in
+    let resharder =
+      Domain.spawn (fun () ->
+          (* Fire roughly mid-stint: wait for a quarter of the new
+             writes to land, then switch. *)
+          let target = baseline_applied + (writers * per_writer / 4) in
+          while (Serve.stats srv).Serve.applied < target do
+            Domain.cpu_relax ()
+          done;
+          let t0 = Obs.Mono.now_ns () in
+          Serve.reshard srv ~shards:to_s;
+          switch_ns := Obs.Mono.now_ns () - t0)
+    in
+    let during = stint srv ~per_writer ~per_reader in
+    Domain.join resharder;
+    let after = stint srv ~per_writer ~per_reader in
+    Serve.shutdown srv;
+    let epoch = Serve.epoch srv in
+    let accounting_ok = epochs_ok srv in
+    let clean = accounting_ok && epoch = 1 in
+    let dip = during /. before and recovery = after /. before in
+    Record.row "E22"
+      [
+        ("kind", Obs.Json.Str "dip");
+        ("shards_from", Obs.Json.Int from_s);
+        ("shards_to", Obs.Json.Int to_s);
+        ("components", Obs.Json.Int components);
+        ("writers", Obs.Json.Int writers);
+        ("readers", Obs.Json.Int readers);
+        ("writes_per_phase", Obs.Json.Int (writers * per_writer));
+        ("scans_per_phase", Obs.Json.Int (readers * per_reader));
+        ("epoch", Obs.Json.Int epoch);
+        ("before_per_sec", Obs.Json.Float before);
+        ("during_per_sec", Obs.Json.Float during);
+        ("after_per_sec", Obs.Json.Float after);
+        ("dip_ratio", Obs.Json.Float dip);
+        ("recovery_ratio", Obs.Json.Float recovery);
+        ("switch_ns", Obs.Json.Int !switch_ns);
+        ("accounting_ok", Obs.Json.Bool accounting_ok);
+        ("clean", Obs.Json.Bool clean);
+      ];
+    Workload.Table.add_row dip_t
+      [
+        Printf.sprintf "S=%d->%d" from_s to_s;
+        Printf.sprintf "%.0f" before;
+        Printf.sprintf "%.0f" during;
+        Printf.sprintf "%.0f" after;
+        Printf.sprintf "%.2f" dip;
+        Printf.sprintf "%.2f" recovery;
+        Printf.sprintf "%.0f" (float_of_int !switch_ns /. 1e3);
+        Workload.Table.cell_bool clean;
+      ]
+  in
+  dip_cell ~from_s:2 ~to_s:4;
+  dip_cell ~from_s:4 ~to_s:2;
+  Workload.Table.print dip_t;
+  (* Migration cost vs S, no load: populate every component, then time
+     a grow (S -> 2S) and the shrink back.  The cost is dominated by
+     the boundary snapshot and the republish of every shard view. *)
+  let mig_t =
+    Workload.Table.create
+      ~header:[ "S"; "grow us (S->2S)"; "shrink us (2S->S)"; "clean" ]
+  in
+  let mig_cell s =
+    let srv = Serve.create ~shards:s ~max_shards:(2 * s) ~readers ~init () in
+    Serve.start srv;
+    for k = 0 to components - 1 do
+      ignore (Serve.update srv ~writer:k (k + 100) : int)
+    done;
+    let time f =
+      let t0 = Obs.Mono.now_ns () in
+      f ();
+      Obs.Mono.now_ns () - t0
+    in
+    let grow_ns = time (fun () -> Serve.reshard srv ~shards:(2 * s)) in
+    let shrink_ns = time (fun () -> Serve.reshard srv ~shards:s) in
+    Serve.shutdown srv;
+    let epoch = Serve.epoch srv in
+    let accounting_ok = epochs_ok srv in
+    let clean = accounting_ok && epoch = 2 in
+    Record.row "E22"
+      [
+        ("kind", Obs.Json.Str "migration");
+        ("shards_from", Obs.Json.Int s);
+        ("shards_to", Obs.Json.Int (2 * s));
+        ("components", Obs.Json.Int components);
+        ("migrated_components", Obs.Json.Int components);
+        ("epoch", Obs.Json.Int epoch);
+        ("grow_ns", Obs.Json.Int grow_ns);
+        ("shrink_ns", Obs.Json.Int shrink_ns);
+        ("accounting_ok", Obs.Json.Bool accounting_ok);
+        ("clean", Obs.Json.Bool clean);
+      ];
+    Workload.Table.add_row mig_t
+      [
+        string_of_int s;
+        Printf.sprintf "%.0f" (float_of_int grow_ns /. 1e3);
+        Printf.sprintf "%.0f" (float_of_int shrink_ns /. 1e3);
+        Workload.Table.cell_bool clean;
+      ]
+  in
+  List.iter mig_cell (if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ]);
+  Workload.Table.print mig_t;
+  print_endline
+    "(dip/recovery and migration times are wall clock on a shared host — \
+     shape only; the epoch counts and per-epoch accounting identities are \
+     asserted exactly)"
+
+(* ------------------------------------------------------------------ *)
 
 let flag_value name =
   let v = ref None in
@@ -2384,8 +2588,18 @@ let () =
       Record.write ~path;
       Printf.printf "\nwrote machine-readable results to %s\n" path);
     exit 0
+  | Some "e22" | Some "E22" ->
+    (* The elastic-sharding cost matrix alone (the CI reshard bench leg). *)
+    e22 ~quick ();
+    (match json with
+    | None -> ()
+    | Some path ->
+      Record.write ~path;
+      Printf.printf "\nwrote machine-readable results to %s\n" path);
+    exit 0
   | Some other ->
-    Printf.eprintf "bench: unknown --only %s (supported: e20, e21)\n" other;
+    Printf.eprintf "bench: unknown --only %s (supported: e20, e21, e22)\n"
+      other;
     exit 2
   | None -> ());
   e1 ();
@@ -2408,6 +2622,7 @@ let () =
   e19 ~quick ();
   e20 ~quick ();
   e21 ~quick ();
+  e22 ~quick ();
   if not quick then begin
     e7 ();
     e8 ()

@@ -31,30 +31,32 @@ let jobs_arg =
            bit-identical for every value.")
 
 (* Canonical flag spellings are shared across the campaign subcommands
-   (--jobs, --seed, --schedules, --backend); superseded spellings
-   survive as aliases hidden from the man page that print a one-line
-   deprecation note when used. *)
-let schedules_term ~legacy ~default ~doc =
+   (--jobs, --seed, --schedules, --backend).  The superseded --seeds
+   spelling no longer parses: it stays registered — hidden from the man
+   page — only so that using it is a typed evaluation error naming the
+   replacement, not an opaque unknown-option failure. *)
+let schedules_term ~default ~doc =
   let canonical =
     Arg.(
       value
       & opt (some int) None
       & info [ "schedules" ] ~docv:"N" ~doc)
   in
-  let alias =
+  let retired =
     Arg.(
       value
       & opt (some int) None
-      & info [ legacy ] ~deprecated:"use --schedules instead"
-          ~docs:Manpage.s_none ~docv:"N" ~doc)
+      & info [ "seeds" ] ~docs:Manpage.s_none ~docv:"N"
+          ~doc:"Retired spelling of $(b,--schedules); using it is an error.")
   in
-  Term.(
-    const (fun c a ->
-        match (c, a) with
-        | Some n, _ -> n
-        | None, Some n -> n
-        | None, None -> default)
-    $ canonical $ alias)
+  Term.term_result'
+    Term.(
+      const (fun c r ->
+          match r with
+          | Some (_ : int) ->
+            Error "option '--seeds' was removed; use '--schedules' instead"
+          | None -> Ok (Option.value c ~default))
+      $ canonical $ retired)
 
 let pool_trace_arg =
   Arg.(
@@ -96,14 +98,13 @@ let resolve_backend backend replicas crash loss =
   | Error msg ->
     prerr_endline msg;
     exit 2
-  | Ok b -> (
-    match b.Workload.Backend.kind with
-    | Workload.Backend.Net _ ->
+  | Ok b ->
+    if b.Workload.Backend.caps.Workload.Backend.messaging then
       (* Re-derive the descriptor so the CLI parameter overrides apply. *)
       Workload.Backend.net
         ~replicas:(Option.value replicas ~default:5)
         ~crash ~loss ()
-    | _ -> b)
+    else b
 
 let backend_arg =
   Arg.(
@@ -144,7 +145,7 @@ let verify impl backend replicas crash loss components readers writes scans
     schedules seed jobs pool_trace exhaustive =
   let backend = resolve_backend backend replicas crash loss in
   if exhaustive then begin
-    (if backend.Workload.Backend.kind <> Workload.Backend.Shm then begin
+    (if backend.Workload.Backend.caps <> Workload.Backend.static_caps then begin
        prerr_endline
          "verify --exhaustive explores shared-memory interleavings only";
        exit 2
@@ -950,7 +951,7 @@ let chaos_cmd =
     Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
   in
   let seeds =
-    schedules_term ~legacy:"seeds" ~default:10
+    schedules_term ~default:10
       ~doc:"Seeded schedules per (impl, profile) cell."
   in
   let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
@@ -1229,7 +1230,7 @@ let net_cmd =
     Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
   in
   let seeds =
-    schedules_term ~legacy:"seeds" ~default:10
+    schedules_term ~default:10
       ~doc:"Seeded schedules per (impl, profile) cell."
   in
   let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
@@ -1427,7 +1428,7 @@ let byz_cmd =
     Arg.(value & opt int 2 & info [ "scans" ] ~doc:"Scans per reader.")
   in
   let seeds =
-    schedules_term ~legacy:"seeds" ~default:6
+    schedules_term ~default:6
       ~doc:"Seeded schedules per (impl, profile) cell."
   in
   let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
@@ -1699,6 +1700,145 @@ let serve_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve-net                                                            *)
 (* ------------------------------------------------------------------ *)
+(* reshard (elastic sharding under load)                                *)
+(* ------------------------------------------------------------------ *)
+
+let reshard_run outer shards steps components readers writes scans schedules
+    jobs pool_trace mutant minimize_budget expect_clean expect_flagged =
+  if expect_clean && expect_flagged then begin
+    prerr_endline "--expect-clean and --expect-flagged are mutually exclusive";
+    exit 2
+  end;
+  let steps = if steps = [] then [ 4; 1; 3 ] else steps in
+  let cfg =
+    {
+      Workload.Reshard_campaign.outer;
+      shards;
+      schedule = steps;
+      components;
+      readers;
+      writer_ops = writes;
+      reader_ops = scans;
+      runs = schedules;
+      migrate = not mutant;
+      check_generic = components * (writes + scans) <= 40;
+      minimize_budget;
+    }
+  in
+  Printf.printf
+    "reshard campaign: outer=%s S=%d steps=%s C=%d R=%d ops/proc=%d/%d \
+     runs=%d migrate=%b\n\n\
+     %!"
+    (Serve.outer_impl_name outer)
+    shards
+    (String.concat "->" (List.map string_of_int steps))
+    components readers writes scans schedules (not mutant);
+  let m = Obs.Metrics.create () in
+  let r =
+    with_pool_trace pool_trace (fun pool ->
+        Workload.Reshard_campaign.run ~jobs ~pool ~metrics:m cfg)
+  in
+  Format.printf "%a@." Workload.Reshard_campaign.pp_result r;
+  let c name = Obs.Metrics.counter_value (Obs.Metrics.counter m name) in
+  Printf.printf "reshards: %d, publishes: %d, coalesced: %d, rerouted \
+                 batch entries absorbed in carried work\n"
+    (c "serve.reshards") (c "serve.publishes") (c "serve.coalesced");
+  (match r.Workload.Reshard_campaign.example with
+  | Some ex -> Format.printf "@.example violation:@.%s@." ex
+  | None -> ());
+  let failures =
+    r.Workload.Reshard_campaign.flagged_runs
+    + r.Workload.Reshard_campaign.generic_failures
+    + r.Workload.Reshard_campaign.accounting_failures
+  in
+  if expect_clean && failures > 0 then exit 1;
+  if expect_flagged && failures = 0 then exit 1
+
+let reshard_cmd =
+  let outer =
+    Arg.(
+      value
+      & opt outer_conv Serve.Outer_afek
+      & info [ "impl" ] ~docv:"anderson|afek"
+          ~doc:"Construction for the outer register of shard views.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"S" ~doc:"Initial shard count.")
+  in
+  let steps =
+    Arg.(
+      value & opt_all int []
+      & info [ "step" ] ~docv:"S"
+          ~doc:
+            "Reshard step: target shard count, repeatable, walked in order \
+             by the reconfigurer while load runs (default 4, 1, 3; clamped \
+             to 1..C).")
+  in
+  let components =
+    Arg.(value & opt int 4 & info [ "c"; "components" ] ~doc:"Components.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "r"; "readers" ] ~doc:"Readers.") in
+  let writes =
+    Arg.(
+      value & opt int 4
+      & info [ "writes" ] ~doc:"Synchronous updates per writer domain.")
+  in
+  let scans =
+    Arg.(value & opt int 4 & info [ "scans" ] ~doc:"Scans per reader domain.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 5
+      & info [ "schedules" ] ~doc:"Service lifetimes to stress.")
+  in
+  let mutant =
+    Arg.(
+      value & flag
+      & info [ "mutant" ]
+          ~doc:
+            "Publish-before-migrate mutant: each reshard publishes the new \
+             shard map with the previous epoch's boundary snapshot, so \
+             acknowledged writes vanish at the switch (negative control; \
+             combine with --expect-flagged).")
+  in
+  let minimize_budget =
+    Arg.(
+      value & opt int 40
+      & info [ "minimize-budget" ]
+          ~doc:
+            "Lifetimes the reshard-schedule minimizer may spend shrinking a \
+             failing step list (0 disables).")
+  in
+  let expect_clean =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:
+            "Exit nonzero if any run is flagged by any checker or breaks \
+             the per-epoch accounting identities.")
+  in
+  let expect_flagged =
+    Arg.(
+      value & flag
+      & info [ "expect-flagged" ]
+          ~doc:"Exit nonzero if no run fails (negative-control mode).")
+  in
+  Cmd.v
+    (Cmd.info "reshard"
+       ~doc:
+         "Stress live resharding: writer/reader domains hammer the sharded \
+          serving layer while a reconfigurer walks a schedule of shard \
+          counts through online epoch switches; every history is checked by \
+          the Shrinking and Wing-Gong checkers and the per-epoch counter \
+          identities must close exactly (experiment E22's correctness side).")
+    Term.(
+      const reshard_run $ outer $ shards $ steps $ components $ readers
+      $ writes $ scans $ schedules $ jobs_arg $ pool_trace_arg $ mutant
+      $ minimize_budget $ expect_clean $ expect_flagged)
+
+(* ------------------------------------------------------------------ *)
 
 (* One process, real sockets: start the TCP edge on an ephemeral
    loopback port over the chosen backend, drive it with the open- or
@@ -1706,12 +1846,14 @@ let serve_cmd =
    histograms and the accounting identities say.  This is experiment
    E21's correctness/smoke side; the throughput x latency matrix lives
    in the bench binary. *)
-let serve_net_run backend_name shards components workers conns clients ops rate
-    write_ratio post_ratio zipf seed domains expect_clean =
+let serve_net_run backend_name shards reshard_to components workers conns
+    clients ops rate write_ratio post_ratio zipf seed domains expect_clean =
   let components = max 1 components in
   let init = Array.init components (fun k -> (k + 1) * 10) in
   let backend =
-    if backend_name = "serve" then Edge.Backend.of_serve ~shards ~workers ~init ()
+    if backend_name = "serve" then
+      let max_shards = List.fold_left max shards reshard_to in
+      Edge.Backend.of_serve ~max_shards ~shards ~workers ~init ()
     else
       match Workload.Backend.find backend_name with
       | Error msg ->
@@ -1752,10 +1894,45 @@ let serve_net_run backend_name shards components workers conns clients ops rate
     | Workload.Loadgen.Open_loop r -> Printf.sprintf "open-loop@%.0f/s" r
     | Workload.Loadgen.Closed_loop -> "closed-loop")
     zipf seed;
+  (* Mid-load online reconfigurations, issued over the wire like any
+     other client: wait for the first ops to land, then walk the
+     requested shard counts while the generator keeps the edge busy. *)
+  let reshard_errors = Atomic.make 0 in
+  let resharder =
+    if reshard_to = [] then None
+    else
+      Some
+        (Domain.spawn (fun () ->
+             let busy () =
+               let st = Edge.Server.stats server in
+               st.Edge.Server.writes + st.Edge.Server.posts
+               + st.Edge.Server.scans
+               > 0
+             in
+             let deadline = Unix.gettimeofday () +. 5.0 in
+             while (not (busy ())) && Unix.gettimeofday () < deadline do
+               Unix.sleepf 0.01
+             done;
+             let c = Edge.Client.connect ~port:(Edge.Server.port server) () in
+             Fun.protect
+               ~finally:(fun () -> Edge.Client.close c)
+               (fun () ->
+                 List.iter
+                   (fun s ->
+                     (match Edge.Client.reshard c ~shards:s with
+                     | Ok epoch ->
+                       Printf.printf "reshard -> S=%d (epoch %d)\n%!" s epoch
+                     | Error msg ->
+                       Atomic.incr reshard_errors;
+                       Printf.printf "reshard -> S=%d FAILED: %s\n%!" s msg);
+                     Unix.sleepf 0.02)
+                   reshard_to)))
+  in
   let rep =
     Workload.Loadgen.run ~metrics:m ~port:(Edge.Server.port server) ~components
       cfg
   in
+  Option.iter Domain.join resharder;
   let identities = Edge.Server.shutdown server in
   Edge.Server.observe server m;
   let {
@@ -1801,6 +1978,7 @@ let serve_net_run backend_name shards components workers conns clients ops rate
     writes;
     posts;
     scans;
+    reshards;
     protocol_errors;
     op_errors;
     fiber_errors;
@@ -1809,8 +1987,8 @@ let serve_net_run backend_name shards components workers conns clients ops rate
   in
   Printf.printf
     "server: %d accepted, %d disconnects, ops %d/%d/%d (write/post/scan), \
-     errors %d protocol %d op %d fiber\n"
-    accepted disconnects writes posts scans protocol_errors op_errors
+     %d reshards, errors %d protocol %d op %d fiber\n"
+    accepted disconnects writes posts scans reshards protocol_errors op_errors
     fiber_errors;
   (match backend.Edge.Backend.counters () with
   | [] -> ()
@@ -1831,6 +2009,8 @@ let serve_net_run backend_name shards components workers conns clients ops rate
   let clean =
     errors = 0 && stalled_conns = 0 && protocol_errors = 0 && op_errors = 0
     && fiber_errors = 0
+    && Atomic.get reshard_errors = 0
+    && reshards = List.length reshard_to
     && ops_done = ops
     && match identities with Ok () -> true | Error _ -> false
   in
@@ -1855,6 +2035,15 @@ let serve_net_cmd =
       value & opt int 2
       & info [ "shards" ] ~docv:"S"
           ~doc:"Shard count for the serve backend (ignored otherwise).")
+  in
+  let reshard_to =
+    Arg.(
+      value & opt_all int []
+      & info [ "reshard-to" ] ~docv:"S"
+          ~doc:
+            "Reshard the serve backend to $(docv) shards mid-load, over the \
+             wire, without dropping connections; repeatable — each occurrence \
+             is one online epoch switch, walked in order.")
   in
   let components =
     Arg.(value & opt int 8 & info [ "c"; "components" ] ~doc:"Components.")
@@ -1928,9 +2117,9 @@ let serve_net_cmd =
           accounting identities at graceful shutdown (experiment E21's smoke \
           side).")
     Term.(
-      const serve_net_run $ backend $ shards $ components $ workers $ conns
-      $ clients $ ops $ rate $ write_ratio $ post_ratio $ zipf $ seed $ domains
-      $ expect_clean)
+      const serve_net_run $ backend $ shards $ reshard_to $ components
+      $ workers $ conns $ clients $ ops $ rate $ write_ratio $ post_ratio
+      $ zipf $ seed $ domains $ expect_clean)
 
 let fullstack_cmd =
   let max_c = Arg.(value & opt int 6 & info [ "max-c" ] ~doc:"Largest C.") in
@@ -2067,5 +2256,5 @@ let () =
             verify_cmd; complexity_cmd; space_cmd; compare_cmd; scenario_cmd;
             starvation_cmd; lemmas_cmd; fullstack_cmd; resilience_cmd;
             mutants_cmd; trace_cmd; chaos_cmd; net_cmd; byz_cmd; serve_cmd;
-            serve_net_cmd; profile_cmd; stat_cmd;
+            reshard_cmd; serve_net_cmd; profile_cmd; stat_cmd;
           ]))

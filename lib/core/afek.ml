@@ -66,6 +66,7 @@ let create mem ~bits_per_value ~init =
     readers = max_int;
     scan_items = (fun ~reader:_ -> scan reg);
     update = (fun ~writer v -> update reg ~writer v);
+    caps = Composite_intf.static_caps;
   }
 
 let scan_bound ~components = (components + 2) * components

@@ -277,4 +277,5 @@ let handle t =
     readers = readers t;
     scan_items = (fun ~reader -> scan_items t ~reader);
     update = (fun ~writer v -> update t ~writer v);
+    caps = Composite_intf.static_caps;
   }

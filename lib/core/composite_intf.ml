@@ -1,8 +1,16 @@
+type caps = {
+  epoch : unit -> int;
+  reconfigure : (shards:int -> unit) option;
+}
+
+let static_caps = { epoch = (fun () -> 0); reconfigure = None }
+
 type 'a t = {
   components : int;
   readers : int;
   scan_items : reader:int -> 'a Item.t array;
   update : writer:int -> 'a -> int;
+  caps : caps;
 }
 
 let components t = t.components
@@ -10,6 +18,14 @@ let readers t = t.readers
 let scan_items t ~reader = t.scan_items ~reader
 let update t ~writer v = t.update ~writer v
 let scan t ~reader = Item.values (t.scan_items ~reader)
+let caps t = t.caps
+let epoch t = t.caps.epoch ()
+let reconfigurable t = t.caps.reconfigure <> None
+
+let reconfigure t ~shards =
+  match t.caps.reconfigure with
+  | None -> invalid_arg "Composite_intf.reconfigure: handle is static"
+  | Some f -> f ~shards
 
 module type HANDLE = sig
   type elt

@@ -28,11 +28,42 @@
     there), so existing code using [Composite.Snapshot.t] and new code
     using [Composite_intf.t] interoperate freely. *)
 
+(** {2 Capabilities}
+
+    Beyond the four operations, a handle advertises what it {e can do}
+    as data, so campaigns, the edge server and the CLI discover
+    reconfigurability instead of special-casing backend names.
+
+    Every handle carries a {!caps} record:
+    - [epoch ()] is the configuration epoch the object is currently
+      serving.  Static constructions (the paper's recursion, Afek
+      et al., the double collects, …) are forever in epoch [0]; an
+      elastic object ([Serve.handle]) increments it at each completed
+      reconfiguration.  Epochs are monotone and start at [0].
+    - [reconfigure], when present, atomically moves the object to a new
+      shard count {e while operations are in flight}: a Scan that
+      observes the new epoch observes all migrated state, and every
+      accounting identity holds per epoch.  [None] means the layout is
+      fixed at creation — the common case, and the default
+      ({!static_caps}). *)
+type caps = {
+  epoch : unit -> int;
+      (** Current configuration epoch (monotone, 0 at creation). *)
+  reconfigure : (shards:int -> unit) option;
+      (** Online reconfiguration to [shards] shards, or [None] for
+          static constructions. *)
+}
+
+val static_caps : caps
+(** The capability record of every fixed-layout construction:
+    [epoch () = 0] forever, no [reconfigure]. *)
+
 type 'a t = {
   components : int;
   readers : int;
   scan_items : reader:int -> 'a Item.t array;
   update : writer:int -> 'a -> int;
+  caps : caps;
 }
 
 val components : 'a t -> int
@@ -42,6 +73,18 @@ val update : 'a t -> writer:int -> 'a -> int
 
 val scan : 'a t -> reader:int -> 'a array
 (** [scan_items] with the auxiliary ids stripped: the public Read. *)
+
+val caps : 'a t -> caps
+
+val epoch : 'a t -> int
+(** [caps t .epoch ()]. *)
+
+val reconfigurable : 'a t -> bool
+(** Whether [caps t .reconfigure] is present. *)
+
+val reconfigure : 'a t -> shards:int -> unit
+(** Invoke the capability; raises [Invalid_argument] on a static
+    handle (check {!reconfigurable} first). *)
 
 (** First-class-module spelling of the same contract, for code that
     wants to abstract the handle representation itself rather than use

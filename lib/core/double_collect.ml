@@ -33,6 +33,7 @@ let create_unsafe mem ~bits_per_value ~init =
     readers = max_int;
     scan_items = (fun ~reader:_ -> collect reg);
     update = (fun ~writer v -> update reg ~writer v);
+    caps = Composite_intf.static_caps;
   }
 
 let create_repeated mem ~bits_per_value ~init =
@@ -50,4 +51,5 @@ let create_repeated mem ~bits_per_value ~init =
     readers = max_int;
     scan_items = (fun ~reader:_ -> scan_until (collect reg));
     update = (fun ~writer v -> update reg ~writer v);
+    caps = Composite_intf.static_caps;
   }

@@ -77,6 +77,7 @@ let handle t =
         if writer < 0 || writer >= t.c * t.w then
           invalid_arg "Multi_writer.handle: bad write port";
         update t ~comp:(writer / t.w) ~widx:(writer mod t.w) v);
+    caps = Composite_intf.static_caps;
   }
 
 (* ------------------------------------------------------------------ *)

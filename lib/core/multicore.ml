@@ -56,7 +56,8 @@ let locked ~readers ~init =
     Mutex.unlock mutex;
     id
   in
-  { Snapshot.components = c; readers; scan_items; update }
+  { Snapshot.components = c; readers; scan_items; update;
+    caps = Composite_intf.static_caps }
 
 let tick_clock () =
   let counter = Padded_atomic.make 0 in

@@ -199,6 +199,7 @@ let create mut mem ~readers ~bits_per_value ~init =
     readers;
     scan_items = (fun ~reader -> scan_items t ~reader);
     update = (fun ~writer v -> update t ~writer v);
+    caps = Composite_intf.static_caps;
   }
 
 type verdict = {

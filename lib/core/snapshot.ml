@@ -3,6 +3,7 @@ type 'a t = 'a Composite_intf.t = {
   readers : int;
   scan_items : reader:int -> 'a Item.t array;
   update : writer:int -> 'a -> int;
+  caps : Composite_intf.caps;
 }
 
 let scan t ~reader = Item.values (t.scan_items ~reader)

@@ -31,6 +31,10 @@ type 'a t = 'a Composite_intf.t = {
   readers : int;
   scan_items : reader:int -> 'a Item.t array;
   update : writer:int -> 'a -> int;
+  caps : Composite_intf.caps;
+      (** Capability record ({!Composite_intf.caps}):
+          [Composite_intf.static_caps] for every fixed-layout
+          construction. *)
 }
 
 val scan : 'a t -> reader:int -> 'a array

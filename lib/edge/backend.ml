@@ -1,6 +1,7 @@
 type t = {
   label : string;
   components : int;
+  caps : Composite.Composite_intf.caps;
   write : worker:int -> component:int -> int -> int;
   post : worker:int -> component:int -> int -> unit;
   scan : worker:int -> (int * int) array;
@@ -45,6 +46,7 @@ let of_handle ~label ~workers ?(on_shutdown = fun () -> ())
   {
     label;
     components;
+    caps = h.Composite.Snapshot.caps;
     write;
     post = (fun ~worker ~component v -> ignore (write ~worker ~component v : int));
     scan;
@@ -77,9 +79,22 @@ let solo ~label ~run ?(on_shutdown = fun () -> ())
   let scan ~worker:_ =
     locked (fun () -> items_to_pairs (h.Composite.Snapshot.scan_items ~reader:0))
   in
+  (* A reconfigure capability, like every other op, only runs inside a
+     simulator coroutine — route it through the same lock. *)
+  let caps =
+    let hc = h.Composite.Snapshot.caps in
+    {
+      hc with
+      Composite.Composite_intf.reconfigure =
+        Option.map
+          (fun f ~shards -> locked (fun () -> f ~shards))
+          hc.Composite.Composite_intf.reconfigure;
+    }
+  in
   {
     label;
     components;
+    caps;
     write;
     post = (fun ~worker ~component v -> ignore (write ~worker ~component v : int));
     scan;
@@ -88,9 +103,9 @@ let solo ~label ~run ?(on_shutdown = fun () -> ())
     counters = (fun () -> []);
   }
 
-let of_serve ?outer ~shards ~workers ~init () =
+let of_serve ?outer ?max_shards ~shards ~workers ~init () =
   if workers < 1 then invalid_arg "Edge.Backend.of_serve: workers must be >= 1";
-  let srv = Serve.create ?outer ~shards ~readers:workers ~init () in
+  let srv = Serve.create ?outer ?max_shards ~shards ~readers:workers ~init () in
   Serve.start srv;
   let components = Array.length init in
   let label =
@@ -112,6 +127,43 @@ let of_serve ?outer ~shards ~workers ~init () =
   let scan ~worker =
     items_to_pairs (Serve.scan_items srv ~reader:(worker mod workers))
   in
+  (* Accounting must close {e per epoch}, not only as lifetime totals:
+     a counter double-bumped across a reshard boundary cancels out in
+     the cumulative sums but shows up as a negative carry or a broken
+     per-epoch identity (see {!Serve.epoch_stats}). *)
+  let check_epoch (e : Serve.epoch_stats) =
+    let fail fmt = Printf.ksprintf (fun m -> Some m) fmt in
+    if
+      e.Serve.e_posted < 0 || e.Serve.e_applied < 0 || e.Serve.e_coalesced < 0
+      || e.Serve.e_publishes < 0
+      || e.Serve.e_carried_in < 0
+      || e.Serve.e_carried_out < 0
+      || e.Serve.e_scans_requested < 0
+      || e.Serve.e_scans_combined < 0
+      || e.Serve.e_scans_performed < 0
+      || e.Serve.e_inflight_in < 0
+      || e.Serve.e_inflight_out < 0
+    then fail "serve: epoch %d has a negative counter delta" e.Serve.e_epoch
+    else if
+      e.Serve.e_posted + e.Serve.e_carried_in
+      <> e.Serve.e_applied + e.Serve.e_coalesced + e.Serve.e_carried_out
+    then
+      fail "serve: epoch %d: posted %d + carried_in %d <> applied %d + \
+            coalesced %d + carried_out %d"
+        e.Serve.e_epoch e.Serve.e_posted e.Serve.e_carried_in
+        e.Serve.e_applied e.Serve.e_coalesced e.Serve.e_carried_out
+    else if
+      e.Serve.e_scans_requested + e.Serve.e_inflight_in
+      <> e.Serve.e_scans_combined + e.Serve.e_scans_performed
+         + e.Serve.e_inflight_out
+    then
+      fail "serve: epoch %d: scans_requested %d + inflight_in %d <> \
+            combined %d + performed %d + inflight_out %d"
+        e.Serve.e_epoch e.Serve.e_scans_requested e.Serve.e_inflight_in
+        e.Serve.e_scans_combined e.Serve.e_scans_performed
+        e.Serve.e_inflight_out
+    else None
+  in
   let identities_ok () =
     let st = Serve.stats srv in
     let fail fmt = Printf.ksprintf (fun m -> Result.Error m) fmt in
@@ -127,11 +179,29 @@ let of_serve ?outer ~shards ~workers ~init () =
       fail "serve: scans_requested %d <> combined %d + performed %d"
         st.Serve.scans_requested st.Serve.scans_combined
         st.Serve.scans_performed
-    else Ok ()
+    else
+      let eps = Serve.epoch_stats srv in
+      let per_epoch =
+        Array.fold_left
+          (fun acc e -> match acc with Some _ -> acc | None -> check_epoch e)
+          None eps
+      in
+      match per_epoch with
+      | Some m -> Result.Error m
+      | None ->
+        let last = eps.(Array.length eps - 1) in
+        if last.Serve.e_carried_out <> 0 || last.Serve.e_inflight_out <> 0 then
+          fail
+            "serve: final epoch %d still carries work out (posts %d, \
+             scans %d)"
+            last.Serve.e_epoch last.Serve.e_carried_out
+            last.Serve.e_inflight_out
+        else Ok ()
   in
   let counters () =
     let st = Serve.stats srv in
     [
+      ("epoch", Serve.epoch srv);
       ("posted", st.Serve.posted);
       ("applied", st.Serve.applied);
       ("coalesced", st.Serve.coalesced);
@@ -147,6 +217,7 @@ let of_serve ?outer ~shards ~workers ~init () =
   {
     label;
     components;
+    caps = Serve.caps srv;
     write;
     post;
     scan;

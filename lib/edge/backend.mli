@@ -20,6 +20,12 @@
 type t = {
   label : string;
   components : int;
+  caps : Composite.Composite_intf.caps;
+      (** The served object's capability record.  [reconfigure] present
+          means the edge can reshard the service {e while serving} (the
+          wire [Reshard] request); for {!solo} backends the capability
+          is re-wrapped so it runs under the same global lock as every
+          other op. *)
   write : worker:int -> component:int -> int -> int;
       (** synchronous write; returns the auxiliary id *)
   post : worker:int -> component:int -> int -> unit;
@@ -62,6 +68,7 @@ val solo :
 
 val of_serve :
   ?outer:Serve.outer_impl ->
+  ?max_shards:int ->
   shards:int ->
   workers:int ->
   init:int array ->
@@ -69,6 +76,11 @@ val of_serve :
   t
 (** Create {e and start} a sharded serving instance with [workers]
     readers; [post] is the wait-free mailbox channel ({!Serve.post}).
-    [shutdown] drains the appliers; [identities_ok] then checks
-    [posted = applied + coalesced] with [pending = 0] and
-    [scans_requested = scans_combined + scans_performed]. *)
+    [max_shards] (default [shards]) bounds what the [caps.reconfigure]
+    capability — wired to {!Serve.reshard} — may grow the service to.
+    [shutdown] drains the appliers; [identities_ok] then checks the
+    lifetime totals ([posted = applied + coalesced] with [pending = 0]
+    and the scan-sharing identity) {e and} every per-epoch slice of
+    {!Serve.epoch_stats}: non-negative deltas, conservation of posts
+    and scans across each epoch boundary, and a final epoch that
+    carries nothing out. *)

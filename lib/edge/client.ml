@@ -68,3 +68,10 @@ let scan t =
   | Ok (Wire.Error m) -> Error m
   | Ok _ -> Error "edge.client: unexpected response to scan"
   | Error _ as e -> e
+
+let reshard t ~shards =
+  match request t (Wire.Reshard { shards }) with
+  | Ok (Wire.Reshard_ok { epoch }) -> Ok epoch
+  | Ok (Wire.Error m) -> Error m
+  | Ok _ -> Error "edge.client: unexpected response to reshard"
+  | Error _ as e -> e

@@ -17,12 +17,18 @@ val request : t -> Wire.request -> (Wire.response, string) result
 (** Send one frame, block for the reply.  [Error _] on protocol
     violations or a closed peer. *)
 
+(** Typed wrappers over {!request}; an ['e'] response or a mismatched
+    response kind is [Error _]. *)
+
 val hello : t -> (int, string) result
 val write : t -> component:int -> int -> (int, string) result
 val post : t -> component:int -> int -> (unit, string) result
 val scan : t -> ((int * int) array, string) result
-(** Typed wrappers over {!request}; an ['e'] response or a mismatched
-    response kind is [Error _]. *)
+
+val reshard : t -> shards:int -> (int, string) result
+(** Online reconfiguration to [shards] shards; [Ok epoch] is the
+    configuration epoch after the switch.  [Error _] if the served
+    backend has no [reconfigure] capability. *)
 
 val send_raw : t -> bytes -> unit
 (** Write raw bytes on the socket — for malformed-frame tests. *)

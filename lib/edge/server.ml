@@ -9,6 +9,7 @@ type stats = {
   writes : int;
   posts : int;
   scans : int;
+  reshards : int;
   protocol_errors : int;
   op_errors : int;
   fiber_errors : int;
@@ -21,6 +22,7 @@ type counters = {
   c_writes : int Atomic.t;
   c_posts : int Atomic.t;
   c_scans : int Atomic.t;
+  c_reshards : int Atomic.t;
   c_proto : int Atomic.t;
   c_op : int Atomic.t;
   c_fiber : int Atomic.t;
@@ -48,6 +50,7 @@ let stats t =
     writes = Atomic.get t.c.c_writes;
     posts = Atomic.get t.c.c_posts;
     scans = Atomic.get t.c.c_scans;
+    reshards = Atomic.get t.c.c_reshards;
     protocol_errors = Atomic.get t.c.c_proto;
     op_errors = Atomic.get t.c.c_op;
     fiber_errors = Atomic.get t.c.c_fiber;
@@ -99,6 +102,17 @@ let exec t ~worker = function
   | Wire.Scan ->
     Atomic.incr t.c.c_scans;
     Wire.Scan_ok (t.b.Backend.scan ~worker)
+  | Wire.Reshard { shards } -> (
+    (* Serialized by the serving layer itself; open connections keep
+       flowing — the epoch switch is atomic through the outer register. *)
+    match t.b.Backend.caps.Composite.Composite_intf.reconfigure with
+    | None ->
+      invalid_arg (t.b.Backend.label ^ ": backend is not reconfigurable")
+    | Some f ->
+      f ~shards;
+      Atomic.incr t.c.c_reshards;
+      Wire.Reshard_ok
+        { epoch = t.b.Backend.caps.Composite.Composite_intf.epoch () })
 
 let serve_conn t ~worker fd =
   Unix.set_nonblock fd;
@@ -200,6 +214,7 @@ let start ?(config = default_config) b =
           c_writes = atomic0 ();
           c_posts = atomic0 ();
           c_scans = atomic0 ();
+          c_reshards = atomic0 ();
           c_proto = atomic0 ();
           c_op = atomic0 ();
           c_fiber = atomic0 ();
@@ -233,6 +248,7 @@ let observe t m =
   c "edge.write" s.writes;
   c "edge.post" s.posts;
   c "edge.scan" s.scans;
+  c "edge.reshard" s.reshards;
   c "edge.protocol_errors" s.protocol_errors;
   c "edge.op_errors" s.op_errors;
   c "edge.fiber_errors" s.fiber_errors

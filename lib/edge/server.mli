@@ -33,6 +33,7 @@ type stats = {
   writes : int;
   posts : int;
   scans : int;
+  reshards : int;  (** completed online reconfigurations *)
   protocol_errors : int;  (** malformed frames (connection dropped) *)
   op_errors : int;  (** well-formed requests the backend rejected *)
   fiber_errors : int;  (** fibers killed by unexpected exceptions *)
@@ -54,5 +55,5 @@ val shutdown : t -> (unit, string) result
 val observe : t -> Obs.Metrics.t -> unit
 (** Accumulate {!stats} into counters [edge.accepted],
     [edge.disconnects], [edge.hello], [edge.write], [edge.post],
-    [edge.scan], [edge.protocol_errors], [edge.op_errors] and
-    [edge.fiber_errors]. *)
+    [edge.scan], [edge.reshard], [edge.protocol_errors],
+    [edge.op_errors] and [edge.fiber_errors]. *)

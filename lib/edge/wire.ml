@@ -5,12 +5,14 @@ type request =
   | Write of { component : int; value : int }
   | Post of { component : int; value : int }
   | Scan
+  | Reshard of { shards : int }
 
 type response =
   | Hello_ok of { components : int }
   | Write_ok of { id : int }
   | Post_ok
   | Scan_ok of (int * int) array
+  | Reshard_ok of { epoch : int }
   | Error of string
 
 let request_label = function
@@ -18,6 +20,7 @@ let request_label = function
   | Write _ -> "write"
   | Post _ -> "post"
   | Scan -> "scan"
+  | Reshard _ -> "reshard"
 
 (* Frames carry a 4-byte big-endian payload length; [framed n] allocates
    the whole frame and returns it with the header already written, so
@@ -48,6 +51,11 @@ let encode_request = function
     let b = framed 1 in
     Bytes.set b 4 'S';
     b
+  | Reshard { shards } ->
+    let b = framed 5 in
+    Bytes.set b 4 'R';
+    Bytes.set_int32_be b 5 (Int32.of_int shards);
+    b
 
 let encode_response = function
   | Hello_ok { components } ->
@@ -74,6 +82,11 @@ let encode_response = function
         Bytes.set_int64_be b (9 + (16 * i)) (Int64.of_int v);
         Bytes.set_int64_be b (17 + (16 * i)) (Int64.of_int id))
       items;
+    b
+  | Reshard_ok { epoch } ->
+    let b = framed 5 in
+    Bytes.set b 4 'r';
+    Bytes.set_int32_be b 5 (Int32.of_int epoch);
     b
   | Error msg ->
     let msg =
@@ -123,6 +136,10 @@ let decode_request b =
         (fun () -> Post { component = u32 b 1; value = i64 b 5 })
         (expect_len b 13 "post")
     | 'S' -> Result.map (fun () -> Scan) (expect_len b 1 "scan")
+    | 'R' ->
+      Result.map
+        (fun () -> Reshard { shards = u32 b 1 })
+        (expect_len b 5 "reshard")
     | c ->
       Result.Error (Printf.sprintf "edge.wire: unknown request opcode %C" c)
 
@@ -154,6 +171,10 @@ let decode_response b =
             (Scan_ok
                (Array.init n (fun i ->
                     (i64 b (5 + (16 * i)), i64 b (13 + (16 * i))))))
+    | 'r' ->
+      Result.map
+        (fun () -> Reshard_ok { epoch = u32 b 1 })
+        (expect_len b 5 "reshard_ok")
     | 'e' -> Result.Ok (Error (Bytes.sub_string b 1 (Bytes.length b - 1)))
     | c ->
       Result.Error (Printf.sprintf "edge.wire: unknown response opcode %C" c)

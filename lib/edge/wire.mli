@@ -9,9 +9,11 @@
     serialization library.
 
     Requests: ['H'] hello, ['W'] synchronous write, ['P'] asynchronous
-    post, ['S'] snapshot scan.  Responses: ['h'] components count,
-    ['w'] assigned auxiliary id, ['p'] post accepted, ['s'] snapshot
-    (count, then [(value, id)] pairs), ['e'] error (UTF-8 message).
+    post, ['S'] snapshot scan, ['R'] reshard (target shard count).
+    Responses: ['h'] components count, ['w'] assigned auxiliary id,
+    ['p'] post accepted, ['s'] snapshot (count, then [(value, id)]
+    pairs), ['r'] reshard done (new epoch), ['e'] error (UTF-8
+    message).
 
     Decoding is total: malformed input is a typed [Error _], never an
     exception — the server turns it into an ['e'] response and a closed
@@ -29,12 +31,17 @@ type request =
   | Post of { component : int; value : int }
       (** asynchronous write; acked on acceptance, may coalesce *)
   | Scan  (** read one linearizable snapshot of all components *)
+  | Reshard of { shards : int }
+      (** online reconfiguration to [shards] shards; only backends
+          whose capability record has [reconfigure] accept it *)
 
 type response =
   | Hello_ok of { components : int }
   | Write_ok of { id : int }
   | Post_ok
   | Scan_ok of (int * int) array  (** per component: (value, aux id) *)
+  | Reshard_ok of { epoch : int }
+      (** the reshard completed; the service is in [epoch] *)
   | Error of string
 
 (** {2 Encoding} — full frames, header included *)
@@ -56,4 +63,5 @@ val decode_response : bytes -> (response, string) result
 (** Decode a response payload (no header); total, as above. *)
 
 val request_label : request -> string
-(** ["hello"], ["write"], ["post"] or ["scan"] — for metrics keys. *)
+(** ["hello"], ["write"], ["post"], ["scan"] or ["reshard"] — for
+    metrics keys. *)

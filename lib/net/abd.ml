@@ -38,7 +38,18 @@ type stats = {
 type t = {
   env : Sim.env;
   n : int;
-  q : int;
+  quorum : quorum;
+  (* The active member set (sorted replica ids).  Reads and writes are
+     quorum operations over the members only; the other replicas of the
+     environment are passive — alive and answering, but never asked —
+     until a {!reconfigure} joins them.  During a reconfiguration
+     [trans] holds the incoming member set and every phase requires a
+     quorum of BOTH sets (joint quorums): any operation completing
+     during the transition is installed where both the old and the new
+     configuration's quorums will find it. *)
+  mutable members : int array;
+  mutable trans : int array option;
+  mutable cfg_epoch : int;
   stores : (int, int * exn) Hashtbl.t array;
       (* per replica: register id -> (timestamp, value) *)
   firsts : (int, int * exn) Hashtbl.t;
@@ -51,22 +62,50 @@ type t = {
   stats : stats;
   on_phase : wait:int -> unit;
   causal : Obs.Causal.t option;
+  (* Per epoch, newest first: (epoch, members, cumulative stats at the
+     epoch's start, cumulative network sends at its start, registers
+     state-transferred by the reconfiguration that opened it). *)
+  mutable epoch_log : (int * int array * stats * int * int) list;
 }
 
-let quorum_size t = t.q
+let snap_stats (st : stats) = { st with reads = st.reads }
+
+let maj set = (Array.length set / 2) + 1
+
+let quorum_of t set =
+  match t.quorum with Majority -> maj set | Fixed k -> k
+
+let quorum_size t = quorum_of t t.members
 let stats t = t.stats
+let epoch t = t.cfg_epoch
+let members t = Array.to_list t.members
+
+let check_members ~n ~quorum ~via raw =
+  let ms = List.sort_uniq compare raw in
+  if ms = [] then invalid_arg (Printf.sprintf "Net.Abd.%s: empty member set" via);
+  List.iter
+    (fun r ->
+      if r < 0 || r >= n then
+        invalid_arg
+          (Printf.sprintf "Net.Abd.%s: member %d not a replica (0..%d)" via r
+             (n - 1)))
+    ms;
+  (match quorum with
+  | Majority -> ()
+  | Fixed k ->
+    if k < 1 || k > List.length ms then
+      invalid_arg
+        (Printf.sprintf "Net.Abd.%s: quorum %d not in 1..%d members" via k
+           (List.length ms)));
+  Array.of_list ms
 
 let create ?(quorum = Majority) ?(backoff = no_backoff) ?(retry_seed = 0)
-    ?(on_phase = fun ~wait:_ -> ()) ?causal env =
+    ?(on_phase = fun ~wait:_ -> ()) ?causal ?members env =
   let n = Sim.replicas env in
-  let q =
-    match quorum with
-    | Majority -> (n / 2) + 1
-    | Fixed k ->
-      if k < 1 || k > n then
-        invalid_arg
-          (Printf.sprintf "Net.Abd.create: quorum %d not in 1..%d" k n);
-      k
+  let members =
+    match members with
+    | None -> Array.init n (fun r -> r)
+    | Some ms -> check_members ~n ~quorum ~via:"create" ms
   in
   if backoff.base < 1 || backoff.cap < backoff.base || backoff.jitter < 0 then
     invalid_arg "Net.Abd.create: backoff wants 1 <= base <= cap, jitter >= 0";
@@ -74,7 +113,10 @@ let create ?(quorum = Majority) ?(backoff = no_backoff) ?(retry_seed = 0)
     {
       env;
       n;
-      q;
+      quorum;
+      members;
+      trans = None;
+      cfg_epoch = 0;
       stores = Array.init n (fun _ -> Hashtbl.create 16);
       firsts = Hashtbl.create 16;
       backoff;
@@ -94,8 +136,11 @@ let create ?(quorum = Majority) ?(backoff = no_backoff) ?(retry_seed = 0)
         };
       on_phase;
       causal;
+      epoch_log = [];
     }
   in
+  t.epoch_log <-
+    [ (0, members, snap_stats t.stats, (Sim.totals env).Sim.sent, 0) ];
   (* Honest replica logic, shared by every flavor branch that does not
      override the given request. *)
   let honest_read store ~src ~reg ~rid =
@@ -265,33 +310,54 @@ let probe_finish t pr ~wait =
       Sim.set_context t.env ~client:p.client None)
     pr
 
-(* One quorum phase: broadcast [payload] to every replica not yet heard
-   from, then consume deliveries until [q] distinct replicas have acked
-   (matched by [on_ack], which also learns which replica the ack came
-   from); timeouts retransmit to the laggards under bounded exponential
-   backoff — the delay (counted in timeout events) doubles up to [cap]
-   plus seeded jitter, and resets to [base] whenever an ack is accepted.
-   Acks are counted per replica, so duplicates from retransmission are
-   harmless. *)
+(* One quorum phase: broadcast [payload] to every current target not
+   yet heard from, then consume deliveries until the quorum predicate
+   holds (acks matched by [on_ack], which also learns which replica the
+   ack came from); timeouts retransmit to the laggards under bounded
+   exponential backoff — the delay (counted in timeout events) doubles
+   up to [cap] plus seeded jitter, and resets to [base] whenever an ack
+   is accepted.  Acks are counted per replica, so duplicates from
+   retransmission are harmless.
+
+   The target set and the quorum predicate are re-evaluated live on
+   every loop iteration rather than captured at phase start.  That is
+   the reconfiguration safety argument: the simulator is cooperative,
+   so "this phase completed" and "a transition began" are totally
+   ordered.  A phase that completes before the transition installs its
+   value at a quorum of the old members, which the transfer's joint
+   read then meets by old-quorum intersection; a phase still in flight
+   when the transition begins picks up the joint predicate on its next
+   iteration and must additionally meet a quorum of the incoming set —
+   so either way the value is where the next configuration looks. *)
 let phase t ?op ~name payload ~on_ack =
   t.stats.rounds <- t.stats.rounds + 1;
   let started = Sim.now t.env in
   let pr = probe_start t ~op ~name in
   let acked = Array.make t.n false in
-  let count = ref 0 in
+  let count set =
+    Array.fold_left (fun acc r -> if acked.(r) then acc + 1 else acc) 0 set
+  in
+  let quorum_met () =
+    count t.members >= quorum_of t t.members
+    && match t.trans with
+       | None -> true
+       | Some tr -> count tr >= quorum_of t tr
+  in
   let send_round ~retx =
-    for r = 0 to t.n - 1 do
+    let send_to r =
       if not acked.(r) then begin
         Sim.send r payload;
         probe_sent t pr ~replica:r ~retx
       end
-    done
+    in
+    Array.iter send_to t.members;
+    Option.iter (Array.iter send_to) t.trans
   in
   send_round ~retx:false;
   let timeouts = ref 0 in
   let delay = ref t.backoff.base in
   let due = ref t.backoff.base in
-  while !count < t.q do
+  while not (quorum_met ()) do
     match Sim.recv () with
     | None ->
       incr timeouts;
@@ -318,7 +384,6 @@ let phase t ?op ~name payload ~on_ack =
       | Sim.Replica r when not acked.(r) ->
         if on_ack ~replica:r pkt.Sim.payload then begin
           acked.(r) <- true;
-          incr count;
           probe_wait_end t pr;
           probe_acked t pr ~replica:r ~lamport:pkt.Sim.lamport;
           (* Progress: collapse the backoff window. *)
@@ -408,6 +473,79 @@ let read t reg =
   write_phase t ?op reg ~ts ~v;
   op_finish t op;
   (v, !best_src)
+
+(* Online membership change.  Runs as an ordinary client coroutine
+   inside [Sim.run]:
+
+   1. Arm the transition: [trans <- Some new_members].  From this
+      instant every phase — including ones already in flight — must
+      meet a quorum of BOTH member sets (see [phase]).
+   2. State transfer: one joint-quorum [read] per allocated register.
+      The query meets a quorum of the old members, so by intersection
+      it sees the freshest completed write; the read's write-back phase
+      then installs that value at a quorum of the incoming set.
+   3. Install: [members <- new_members], [trans <- None], epoch++, and
+      an epoch-log entry snapshotting the cumulative counters so the
+      per-epoch deltas of [epochs] stay exact.
+
+   Transfer traffic is charged to the epoch being closed (the entry for
+   the new epoch is pushed after the transfer completes).  Liveness,
+   not safety, is the casualty when a joint quorum is unreachable —
+   like a crash set beyond f, the phase retransmits forever. *)
+let reconfigure t ~members:raw =
+  if t.trans <> None then
+    invalid_arg "Net.Abd.reconfigure: reconfiguration already in progress";
+  let nm = check_members ~n:t.n ~quorum:t.quorum ~via:"reconfigure" raw in
+  let op = op_start t (Printf.sprintf "abd.reconfigure e%d" (t.cfg_epoch + 1)) in
+  t.trans <- Some nm;
+  let transferred = ref 0 in
+  for reg = 0 to t.next_reg - 1 do
+    ignore (read t reg);
+    incr transferred
+  done;
+  t.members <- nm;
+  t.trans <- None;
+  t.cfg_epoch <- t.cfg_epoch + 1;
+  t.epoch_log <-
+    (t.cfg_epoch, nm, snap_stats t.stats, (Sim.totals t.env).Sim.sent,
+     !transferred)
+    :: t.epoch_log;
+  op_finish t op
+
+type epoch_info = {
+  ei_epoch : int;
+  ei_members : int list;
+  ei_transferred : int;
+  ei_reads : int;
+  ei_writes : int;
+  ei_rounds : int;
+  ei_retransmits : int;
+  ei_sent : int;
+}
+
+(* Per-epoch deltas from the cumulative snapshots, oldest first.  The
+   diffs telescope: summing any field over all epochs reproduces the
+   cumulative total exactly — the accounting identity the reconfig
+   tests assert. *)
+let epochs t =
+  let rec build (upper : stats) upper_sent acc = function
+    | [] -> acc
+    | (e, ms, (at : stats), at_sent, transferred) :: rest ->
+      let info =
+        {
+          ei_epoch = e;
+          ei_members = Array.to_list ms;
+          ei_transferred = transferred;
+          ei_reads = upper.reads - at.reads;
+          ei_writes = upper.writes - at.writes;
+          ei_rounds = upper.rounds - at.rounds;
+          ei_retransmits = upper.retransmits - at.retransmits;
+          ei_sent = upper_sent - at_sent;
+        }
+      in
+      build at at_sent (info :: acc) rest
+  in
+  build (snap_stats t.stats) (Sim.totals t.env).Sim.sent [] t.epoch_log
 
 (* Ghost read for [Memory.peek]: the freshest value any replica store
    holds, without network traffic.  Also returns the holding replica. *)

@@ -18,7 +18,25 @@
 
     The point of the module is {!memory}: the emulation presented as a
     {!Csim.Memory.t}, so [Composite.Anderson.create] and
-    [Composite.Afek.create] run unchanged over message passing. *)
+    [Composite.Afek.create] run unchanged over message passing.
+
+    {2 Reconfiguration}
+
+    The quorum system is elastic: [create ?members] names the initial
+    active member set (default: all replicas), and {!reconfigure}
+    changes it online — replicas join or leave while reads and writes
+    keep flowing.  During a transition every quorum phase must meet a
+    quorum of {e both} the old and the new member set (joint quorums);
+    the transition performs a state transfer (one joint-quorum read per
+    register, whose write-back installs the freshest value at the
+    incoming quorum) and then installs the new set, bumping the
+    configuration {!epoch}.  Safety needs no message sealing: the
+    simulator is cooperative, so phase completions and transition steps
+    are totally ordered, and joint quorums cover every interleaving.
+    Liveness degrades exactly like crashes beyond [f]: if a joint
+    quorum is unreachable (e.g. the incoming set is mostly crashed),
+    phases retransmit forever.  Per-epoch accounting is exposed by
+    {!epochs}. *)
 
 type Sim.payload +=
   | Read_req of { reg : int; rid : int }
@@ -71,6 +89,7 @@ val create :
   ?retry_seed:int ->
   ?on_phase:(wait:int -> unit) ->
   ?causal:Obs.Causal.t ->
+  ?members:int list ->
   Sim.env ->
   t
 (** Installs the replica handler on [env] — including the lying
@@ -95,7 +114,16 @@ val create :
     the reply's Lamport stamp — so the Chrome export can draw flow
     arrows from the message timeline into the span tree.  Tracing
     changes packet metadata only: scheduling, counters and results are
-    bit-identical with and without it. *)
+    bit-identical with and without it.
+
+    [members] (default: all replicas of [env]) is the initial active
+    member set — sorted, deduplicated, each in [0..n-1].  Non-member
+    replicas stay live and answering but are never asked until a
+    {!reconfigure} joins them.  [Fixed k] quorums must fit the member
+    set ([k <= length members]) and apply to both sets of a joint
+    quorum during transitions.
+
+    @raise Invalid_argument on an empty or out-of-range member set. *)
 
 val memory : t -> Csim.Memory.t
 (** Registers whose [read]/[write] are ABD operations issued by the
@@ -103,4 +131,48 @@ val memory : t -> Csim.Memory.t
     a ghost read of the freshest replica state, for observers only. *)
 
 val quorum_size : t -> int
+(** Quorum threshold over the {e current} member set (majority of
+    members, or the [Fixed] override). *)
+
 val stats : t -> stats
+
+(** {2 Reconfiguration} *)
+
+val reconfigure : t -> members:int list -> unit
+(** Replace the active member set online.  Must be called from a client
+    coroutine inside {!Sim.run} — the state transfer is made of
+    ordinary quorum reads.  Arms joint quorums, transfers every
+    allocated register to the incoming set, then installs the new
+    membership and bumps {!epoch}.  Concurrent reads/writes by other
+    clients stay atomic throughout.
+
+    @raise Invalid_argument on an empty/out-of-range member set, a
+    [Fixed] quorum larger than the new set, or a reconfiguration
+    already in progress. *)
+
+val epoch : t -> int
+(** Configuration epoch: [0] at creation, incremented by each completed
+    {!reconfigure}. *)
+
+val members : t -> int list
+(** The current active member set (sorted replica ids). *)
+
+type epoch_info = {
+  ei_epoch : int;
+  ei_members : int list;  (** active set during this epoch *)
+  ei_transferred : int;
+      (** registers re-installed by the state transfer that opened this
+          epoch ([0] for epoch 0) *)
+  ei_reads : int;
+  ei_writes : int;
+  ei_rounds : int;
+  ei_retransmits : int;
+  ei_sent : int;  (** network transmissions attempted during the epoch *)
+}
+
+val epochs : t -> epoch_info list
+(** Per-epoch operation and message accounting, oldest first; the last
+    entry covers the still-open epoch up to now.  Deltas are computed
+    from cumulative snapshots taken at each install, so each field sums
+    over epochs to the cumulative total {e exactly} — transfer traffic
+    is charged to the epoch being closed. *)

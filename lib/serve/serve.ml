@@ -11,7 +11,32 @@ let outer_impl_of_name = function
   | "afek" -> Some Outer_afek
   | _ -> None
 
-type 'a shard_view = { view : 'a Composite.Item.t array; version : int }
+(* The outer register has [1 + max_shards] components.  Component 0
+   holds the current {e configuration} — epoch number, component->shard
+   map and the {e boundary}: a full C-item snapshot of everything
+   applied before the epoch began.  Components [1+s] hold shard [s]'s
+   view, tagged with the epoch it was published under.  Publishing a
+   new configuration is a single outer-register update, so the epoch
+   switch is atomic: a scan that decodes the new map also sees the new
+   boundary, i.e. all migrated state. *)
+type 'a config = {
+  cepoch : int;
+  cowner : int array;  (* component -> owning shard, this epoch *)
+  coff : int array;  (* per shard: first owned component *)
+  boundary : 'a Composite.Item.t array;  (* all C items at epoch start *)
+  cversion : int;
+}
+
+type 'a slot =
+  | Config of 'a config
+  | View of {
+      vepoch : int;
+      voff : int;  (* first component of the slice, per its epoch *)
+      view : 'a Composite.Item.t array;
+      vversion : int;
+    }
+
+let slot_version = function Config c -> c.cversion | View v -> v.vversion
 
 type 'a cache = { snap : 'a Composite.Item.t array; versions : int array }
 
@@ -57,37 +82,66 @@ module Backoff = struct
   let stall_count b = Atomic.get b.stalls
 end
 
+type stats = {
+  posted : int;
+  coalesced : int;
+  applied : int;
+  pending : int;
+  publishes : int;
+  batch_installs : int;
+  hits : int;
+  misses : int;
+  stale : int;
+  full_scans : int;
+  scans_requested : int;
+  scans_combined : int;
+  scans_performed : int;
+  stalls : int;
+}
+
 type 'a t = {
   components : int;
-  shards : int;
+  max_shards : int;
   readers : int;
   validate : bool;
   cache_enabled : bool;
   combine : bool;
+  migrate : bool;  (* false = the publish-map-without-state mutant *)
   note : (string -> unit) option;
-  slice_off : int array;  (* per shard: first owned component *)
-  slice_len : int array;  (* per shard: number of owned components *)
-  owner : int array;  (* component -> owning shard *)
-  outer : 'a shard_view Composite.Snapshot.t;
+  (* Current layout.  The arrays themselves are immutable; the fields
+     are swapped wholesale by [reshard] while no applier is running.
+     Writers may read a stale [owner] map — every batch cell is drained
+     by some live applier in every epoch, so a post routed by a stale
+     map is re-routed, never stranded. *)
+  mutable cur_shards : int;
+  mutable slice_off : int array;  (* per shard: first owned component *)
+  mutable slice_len : int array;  (* per shard: number of owned components *)
+  mutable owner : int array;  (* component -> owning shard *)
+  mutable states : 'a Composite.Item.t array array;  (* applier-private *)
+  mutable last_boundary : 'a Composite.Item.t array;  (* at last epoch start *)
+  outer : 'a slot Composite.Snapshot.t;
   (* Bumped by the owning applier BEFORE each publish: a reader that
      finds a cell equal to its cached version knows no publish of that
-     shard has intervened (cells can run ahead of the outer register,
-     never behind it). *)
-  version_cells : int Atomic.t array;  (* per shard; padded *)
+     slot has intervened (cells can run ahead of the outer register,
+     never behind it).  Cell 0 guards the configuration slot, so one
+     bump there invalidates every pre-reshard cache. *)
+  version_cells : int Atomic.t array;  (* 1 + max_shards; padded *)
   mailboxes : ('a * int) option Atomic.t array;  (* per comp: value, ticket *)
-  (* Per shard: the whole slice's batched posts in one padded cell,
-     slice-indexed (value, ticket) options.  Installed by [post_batch]
-     with one CAS per shard in the uncontended case, drained by the
-     applier with one exchange. *)
-  shard_batch : ('a * int) option array option Atomic.t array;
+  (* Per shard slot: batched posts as component-indexed (comp, value,
+     ticket) entries in one padded cell.  Installed by [post_batch]
+     with one CAS per cell in the uncontended case, drained by an
+     applier with one exchange.  Entries carry their absolute component
+     index, so an install routed by a stale owner map is simply
+     re-routed by whichever applier covers the cell in the new epoch. *)
+  shard_batch : (int * 'a * int) list option Atomic.t array;  (* max_shards *)
   tickets : int array;  (* per component; touched only by its writer *)
   acked : (int * int) Atomic.t array;  (* per comp: last applied ticket, id *)
-  states : 'a Composite.Item.t array array;  (* per shard; applier-private *)
+  applied_tk : int array;  (* per comp: last applied ticket; owner-private *)
   next_id : int array;  (* per component; touched only by its applier *)
   posted : int Atomic.t array;  (* per component *)
   coalesced : int Atomic.t array;  (* per component *)
   applied : int Atomic.t array;  (* per component *)
-  publishes : int Atomic.t array;  (* per shard *)
+  publishes : int Atomic.t array;  (* per shard slot *)
   batch_installs : int Atomic.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
@@ -108,23 +162,23 @@ type 'a t = {
   stalls : int Atomic.t;  (* backoff waves that hit the cap *)
   stop : bool Atomic.t;
   mutable appliers : unit Domain.t list;
+  cur_epoch : int Atomic.t;
+  reconfig : Mutex.t;
+  (* Cumulative stats at the start of each epoch, newest first:
+     (epoch, shard count during the epoch, totals at its start). *)
+  mutable epoch_log : (int * int * stats) list;
 }
 
 let components t = t.components
-let shards t = t.shards
+let shards t = t.cur_shards
+let max_shards t = t.max_shards
 let readers t = t.readers
 let combining t = t.combine
 let shard_of t k = t.owner.(k)
+let epoch t = Atomic.get t.cur_epoch
 
-let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true)
-    ?(combine = true) ?note ~shards ~readers ~init () =
-  let components = Array.length init in
-  if components < 1 then invalid_arg "Serve.create: need at least 1 component";
-  if shards < 1 || shards > components then
-    invalid_arg
-      (Printf.sprintf "Serve.create: shards = %d not in 1..%d" shards components);
-  if readers < 1 then invalid_arg "Serve.create: readers must be >= 1";
-  (* Contiguous partition; shard sizes differ by at most one. *)
+(* Contiguous partition; shard sizes differ by at most one. *)
+let layout ~components ~shards =
   let q = components / shards and rem = components mod shards in
   let slice_off = Array.make shards 0 and slice_len = Array.make shards 0 in
   let off = ref 0 in
@@ -139,13 +193,68 @@ let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true)
       owner.(k) <- s
     done
   done;
+  (slice_off, slice_len, owner)
+
+let zero_stats =
+  {
+    posted = 0;
+    coalesced = 0;
+    applied = 0;
+    pending = 0;
+    publishes = 0;
+    batch_installs = 0;
+    hits = 0;
+    misses = 0;
+    stale = 0;
+    full_scans = 0;
+    scans_requested = 0;
+    scans_combined = 0;
+    scans_performed = 0;
+    stalls = 0;
+  }
+
+let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true)
+    ?(combine = true) ?(migrate = true) ?max_shards ?note ~shards ~readers ~init
+    () =
+  let components = Array.length init in
+  if components < 1 then invalid_arg "Serve.create: need at least 1 component";
+  let max_shards = match max_shards with Some m -> m | None -> shards in
+  if shards < 1 || shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "Serve.create: shards = %d not in 1..max_shards = %d"
+         shards max_shards);
+  if max_shards > components then
+    invalid_arg
+      (Printf.sprintf "Serve.create: max_shards = %d > components = %d"
+         max_shards components);
+  if readers < 1 then invalid_arg "Serve.create: readers must be >= 1";
+  let slice_off, slice_len, owner = layout ~components ~shards in
   let states =
     Array.init shards (fun s ->
         Array.init slice_len.(s) (fun i ->
             Composite.Item.initial init.(slice_off.(s) + i)))
   in
+  let boundary = Array.init components (fun k -> Composite.Item.initial init.(k)) in
   let outer_init =
-    Array.init shards (fun s -> { view = Array.copy states.(s); version = 0 })
+    Array.init (1 + max_shards) (fun i ->
+        if i = 0 then
+          Config
+            {
+              cepoch = 0;
+              cowner = Array.copy owner;
+              coff = Array.copy slice_off;
+              boundary = Array.copy boundary;
+              cversion = 0;
+            }
+        else if i - 1 < shards then
+          View
+            {
+              vepoch = 0;
+              voff = slice_off.(i - 1);
+              view = Array.copy states.(i - 1);
+              vversion = 0;
+            }
+        else View { vepoch = -1; voff = 0; view = [||]; vversion = 0 })
   in
   let mem = Composite.Multicore.padded_memory () in
   let outer_h =
@@ -163,27 +272,31 @@ let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true)
   in
   {
     components;
-    shards;
+    max_shards;
     readers;
     validate;
     cache_enabled = cache;
     combine;
+    migrate;
     note;
+    cur_shards = shards;
     slice_off;
     slice_len;
     owner;
+    states;
+    last_boundary = boundary;
     outer = outer_h;
-    version_cells = Pad.array shards 0;
+    version_cells = Pad.array (1 + max_shards) 0;
     mailboxes = Pad.array components None;
-    shard_batch = Pad.array shards None;
+    shard_batch = Pad.array max_shards None;
     tickets = Array.make components 0;
     acked = Pad.array components (0, 0);
-    states;
+    applied_tk = Array.make components 0;
     next_id = Array.make components 0;
     posted = Pad.array components 0;
     coalesced = Pad.array components 0;
     applied = Pad.array components 0;
-    publishes = Pad.array shards 0;
+    publishes = Pad.array max_shards 0;
     batch_installs = Pad.make 0;
     hits = Pad.make 0;
     misses = Pad.make 0;
@@ -202,6 +315,9 @@ let create ?(outer = Outer_afek) ?(validate = true) ?(cache = true)
     stalls = Pad.make 0;
     stop = Pad.make false;
     appliers = [];
+    cur_epoch = Pad.make 0;
+    reconfig = Mutex.create ();
+    epoch_log = [ (0, shards, zero_stats) ];
   }
 
 let with_span t name f =
@@ -235,72 +351,91 @@ let post_batch t writes =
       if k < 0 || k >= t.components then
         invalid_arg "Serve.post_batch: bad component")
     writes;
-  (* Stage the batch locally, one slice-shaped array per shard touched.
-     Tickets come from the same per-component sequence as [post], so
-     the applier can order a batched and a mailbox post to the same
-     component no matter which channel it drains first. *)
-  let locals = Array.make t.shards None in
+  (* Stage the batch locally, grouped by the owner map as currently
+     published.  Entries carry their absolute component index, so a map
+     made stale by a concurrent reshard only mis-routes the cell — the
+     applier covering that cell in the new epoch re-routes the entry to
+     its owner's mailbox; nothing is ever stranded.  Tickets come from
+     the same per-component sequence as [post], so the applier can
+     order a batched and a mailbox post to the same component no matter
+     which channel it drains first. *)
+  let owner = t.owner in
+  let locals = Hashtbl.create 4 in
   List.iter
     (fun (k, v) ->
       t.tickets.(k) <- t.tickets.(k) + 1;
       Atomic.incr t.posted.(k);
-      let s = t.owner.(k) in
-      let arr =
-        match locals.(s) with
-        | Some a -> a
-        | None ->
-          let a = Array.make t.slice_len.(s) None in
-          locals.(s) <- Some a;
-          a
+      let s = owner.(k) in
+      let cur = try Hashtbl.find locals s with Not_found -> [] in
+      (* Listing a component twice in one batch coalesces the earlier
+         entry. *)
+      let cur =
+        List.filter
+          (fun (k', _, _) ->
+            if k' = k then begin
+              Atomic.incr t.coalesced.(k);
+              false
+            end
+            else true)
+          cur
       in
-      let i = k - t.slice_off.(s) in
-      (match arr.(i) with
-      | Some _ -> Atomic.incr t.coalesced.(k)  (* repeated in this batch *)
-      | None -> ());
-      arr.(i) <- Some (v, t.tickets.(k)))
+      Hashtbl.replace locals s ((k, v, t.tickets.(k)) :: cur))
     writes;
-  (* One install per shard touched: a plain CAS in the uncontended
-     case.  On interference (another batch, or the applier's drain) the
-     merge is recomputed — newer tickets win per component and the
-     superseded entries count coalesced, exactly as mailbox handoffs
-     do. *)
-  Array.iteri
-    (fun s local ->
-      match local with
-      | None -> ()
-      | Some mine ->
-        let cell = t.shard_batch.(s) in
-        let off = t.slice_off.(s) in
-        let rec install () =
-          let cur = Atomic.get cell in
-          let merged, superseded =
-            match cur with
-            | None -> (mine, [])
-            | Some old ->
-              let sup = ref [] in
-              let m =
-                Array.mapi
-                  (fun i o ->
-                    match mine.(i) with
-                    | None -> o
-                    | Some _ as mi ->
-                      (match o with Some _ -> sup := i :: !sup | None -> ());
-                      mi)
-                  old
-              in
-              (m, !sup)
-          in
-          if Atomic.compare_and_set cell cur (Some merged) then begin
-            Atomic.incr t.batch_installs;
-            List.iter (fun i -> Atomic.incr t.coalesced.(off + i)) superseded
-          end
-          else install ()
+  (* One install per cell touched: a plain CAS in the uncontended case.
+     On interference (another batch, or the applier's drain) the merge
+     is recomputed — newer tickets win per component and the superseded
+     entries count coalesced, exactly as mailbox handoffs do. *)
+  Hashtbl.iter
+    (fun s mine ->
+      let cell = t.shard_batch.(s) in
+      let rec install () =
+        let cur = Atomic.get cell in
+        let merged =
+          match cur with
+          | None -> mine
+          | Some old ->
+            (* Union; per component the newer ticket wins and the loser
+               counts coalesced. *)
+            let keep_old =
+              List.filter
+                (fun (k, _, _) ->
+                  if List.exists (fun (k', _, _) -> k' = k) mine then begin
+                    (* Tickets are per-component monotone: ours is the
+                       newer post, the old entry is superseded. *)
+                    Atomic.incr t.coalesced.(k);
+                    false
+                  end
+                  else true)
+                old
+            in
+            mine @ keep_old
         in
-        install ())
+        if Atomic.compare_and_set cell cur (Some merged) then
+          Atomic.incr t.batch_installs
+        else install ()
+      in
+      install ())
     locals
+
+(* Re-route a batch entry whose component this applier does not own
+   (it was installed under a stale owner map) into the component's
+   mailbox, newest ticket wins.  The CAS loop coexists with the
+   writer's plain exchange: if the writer overwrites us, its post has a
+   newer ticket from the same per-component sequence and counts ours
+   coalesced on its side of the exchange. *)
+let rec reroute t k v tk =
+  let cell = t.mailboxes.(k) in
+  let cur = Atomic.get cell in
+  match cur with
+  | Some (_, tk') when tk' >= tk -> Atomic.incr t.coalesced.(k)
+  | _ ->
+    if Atomic.compare_and_set cell cur (Some (v, tk)) then
+      match cur with Some _ -> Atomic.incr t.coalesced.(k) | None -> ()
+    else reroute t k v tk
 
 let drain_shard t s =
   let off = t.slice_off.(s) and len = t.slice_len.(s) in
+  let shards = t.cur_shards in
   (* A cell is only exchanged when a plain read sees something in it:
      an empty mailbox costs one load instead of one RMW, so a shard fed
      purely through the batch cell drains with a single exchange.  (A
@@ -313,26 +448,58 @@ let drain_shard t s =
     | None -> None
     | Some _ -> Atomic.exchange cell None
   in
-  (* One exchange takes the whole slice's batched posts... *)
-  let batched = match take t.shard_batch.(s) with None -> [||] | Some arr -> arr in
+  (* Best pending (value, ticket) per owned component. *)
+  let best = Array.make len None in
+  let moved = ref false in
+  let consider k v tk =
+    if t.owner.(k) = s then begin
+      let i = k - off in
+      match best.(i) with
+      | Some (_, tk') when tk' >= tk -> Atomic.incr t.coalesced.(k)
+      | cur ->
+        (match cur with Some _ -> Atomic.incr t.coalesced.(k) | None -> ());
+        best.(i) <- Some (v, tk)
+    end
+    else begin
+      (* Not ours: the entry was routed by a stale owner map.  Hand it
+         to the owner's mailbox and report progress, so drain loops and
+         applier backoffs know work moved even if none was applied
+         here. *)
+      moved := true;
+      reroute t k v tk
+    end
+  in
+  (* Batch cells: applier [s] covers every cell congruent to [s] modulo
+     the live shard count, so all [max_shards] cells are drained in
+     every epoch no matter how stale the map that filled them was. *)
+  let c = ref s in
+  while !c < t.max_shards do
+    (match take t.shard_batch.(!c) with
+    | None -> ()
+    | Some entries -> List.iter (fun (k, v, tk) -> consider k v tk) entries);
+    c := !c + shards
+  done;
+  (* ... then one exchange per non-empty owned mailbox. *)
+  for i = 0 to len - 1 do
+    match take t.mailboxes.(off + i) with
+    | None -> ()
+    | Some (v, tk) -> consider (off + i) v tk
+  done;
   let todo = ref [] in
   for i = len - 1 downto 0 do
-    let k = off + i in
-    let single = take t.mailboxes.(k) in
-    let from_batch = if Array.length batched = 0 then None else batched.(i) in
-    match (single, from_batch) with
-    | None, None -> ()
-    | Some (v, tk), None | None, Some (v, tk) -> todo := (i, k, v, tk) :: !todo
-    | Some (sv, stk), Some (bv, btk) ->
-      (* The component reached this drain through both channels; its
-         writer's ticket order decides, and the superseded post counts
-         coalesced (it was never applied). *)
-      Atomic.incr t.coalesced.(k);
-      if stk > btk then todo := (i, k, sv, stk) :: !todo
-      else todo := (i, k, bv, btk) :: !todo
+    match best.(i) with
+    | None -> ()
+    | Some (v, tk) ->
+      let k = off + i in
+      if tk <= t.applied_tk.(k) then
+        (* A newer post to this component was already applied (the
+           entry sat in a stale batch cell across a reshard): it is
+           superseded, never applied. *)
+        Atomic.incr t.coalesced.(k)
+      else todo := (i, k, v, tk) :: !todo
   done;
   match !todo with
-  | [] -> false
+  | [] -> !moved
   | batch ->
     let acks =
       List.map
@@ -340,6 +507,7 @@ let drain_shard t s =
           t.next_id.(k) <- t.next_id.(k) + 1;
           let id = t.next_id.(k) in
           t.states.(s).(i) <- { Composite.Item.v; id };
+          t.applied_tk.(k) <- ticket;
           Atomic.incr t.applied.(k);
           (k, ticket, id))
         batch
@@ -348,10 +516,16 @@ let drain_shard t s =
        can then read ahead of the outer register (a harmless forced
        miss) but never behind it, which is what makes a single collect
        of the cells a sound cache validation. *)
-    let version = 1 + Atomic.fetch_and_add t.version_cells.(s) 1 in
+    let version = 1 + Atomic.fetch_and_add t.version_cells.(1 + s) 1 in
     let (_ : int) =
-      t.outer.Composite.Snapshot.update ~writer:s
-        { view = Array.copy t.states.(s); version }
+      t.outer.Composite.Snapshot.update ~writer:(1 + s)
+        (View
+           {
+             vepoch = Atomic.get t.cur_epoch;
+             voff = off;
+             view = Array.copy t.states.(s);
+             vversion = version;
+           })
     in
     Atomic.incr t.publishes.(s);
     (* Acks only after the publish: a synchronous update that saw its
@@ -362,8 +536,15 @@ let drain_shard t s =
 let drain t =
   if t.appliers <> [] then
     invalid_arg "Serve.drain: appliers are running; drain is for manual mode";
-  for s = 0 to t.shards - 1 do
-    ignore (drain_shard t s : bool)
+  (* Loop until a quiet pass: an entry re-routed out of a stale batch
+     cell lands in a mailbox whose owning shard may already have been
+     swept this pass. *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for s = 0 to t.cur_shards - 1 do
+      if drain_shard t s then progress := true
+    done
   done
 
 let applier t s () =
@@ -376,14 +557,21 @@ let applier t s () =
   ignore (drain_shard t s : bool)
 
 let start t =
-  if t.appliers <> [] then invalid_arg "Serve.start: already started";
+  Mutex.lock t.reconfig;
+  if t.appliers <> [] then begin
+    Mutex.unlock t.reconfig;
+    invalid_arg "Serve.start: already started"
+  end;
   Atomic.set t.stop false;
-  t.appliers <- List.init t.shards (fun s -> Domain.spawn (applier t s))
+  t.appliers <- List.init t.cur_shards (fun s -> Domain.spawn (applier t s));
+  Mutex.unlock t.reconfig
 
 let shutdown t =
+  Mutex.lock t.reconfig;
   Atomic.set t.stop true;
   List.iter Domain.join t.appliers;
-  t.appliers <- []
+  t.appliers <- [];
+  Mutex.unlock t.reconfig
 
 let update t ~writer v =
   post t ~writer v;
@@ -400,31 +588,253 @@ let update t ~writer v =
   wait ()
 
 (* ------------------------------------------------------------------ *)
+(* Accounting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
+
+type reader_stats = {
+  r_requested : int;
+  r_combined : int;
+  r_performed : int;
+}
+
+let sum a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
+
+let stats t =
+  let pending =
+    Array.fold_left
+      (fun acc mb -> if Atomic.get mb = None then acc else acc + 1)
+      0 t.mailboxes
+  in
+  let pending =
+    Array.fold_left
+      (fun acc cell ->
+        match Atomic.get cell with
+        | None -> acc
+        | Some entries -> acc + List.length entries)
+      pending t.shard_batch
+  in
+  {
+    posted = sum t.posted;
+    coalesced = sum t.coalesced;
+    applied = sum t.applied;
+    pending;
+    publishes = sum t.publishes;
+    batch_installs = Atomic.get t.batch_installs;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    stale = Atomic.get t.stale;
+    full_scans = Atomic.get t.full_scans;
+    scans_requested = Atomic.get t.requested;
+    scans_combined = Atomic.get t.combined;
+    scans_performed = Atomic.get t.performed;
+    stalls = Atomic.get t.stalls;
+  }
+
+let writer_stats t ~writer =
+  if writer < 0 || writer >= t.components then
+    invalid_arg "Serve.writer_stats: bad writer";
+  {
+    w_posted = Atomic.get t.posted.(writer);
+    w_coalesced = Atomic.get t.coalesced.(writer);
+    w_applied = Atomic.get t.applied.(writer);
+  }
+
+let reader_stats t ~reader =
+  if reader < 0 || reader >= t.readers then
+    invalid_arg "Serve.reader_stats: bad reader";
+  {
+    r_requested = Atomic.get t.r_requested.(reader);
+    r_combined = Atomic.get t.r_combined.(reader);
+    r_performed = Atomic.get t.r_performed.(reader);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reconfiguration: live resharding                                     *)
+(* ------------------------------------------------------------------ *)
+
+type epoch_stats = {
+  e_epoch : int;
+  e_shards : int;
+  e_posted : int;
+  e_coalesced : int;
+  e_applied : int;
+  e_carried_in : int;
+  e_carried_out : int;
+  e_publishes : int;
+  e_scans_requested : int;
+  e_scans_combined : int;
+  e_scans_performed : int;
+  e_inflight_in : int;
+  e_inflight_out : int;
+}
+
+(* Carried work at a boundary is {e derived} from the monotone
+   counters: posts accepted but neither applied nor coalesced yet, and
+   scans requested but not yet resolved.  Deriving (rather than
+   counting cells) is what makes the per-epoch identities exact under
+   open-loop load — a post between its counter bump and its mailbox
+   exchange is pending by definition.  Negative carry would mean a
+   counter was double-bumped; the checks treat it as a violation. *)
+let carried (st : stats) = st.posted - st.applied - st.coalesced
+
+let inflight (st : stats) =
+  st.scans_requested - st.scans_combined - st.scans_performed
+
+let epoch_stats t =
+  Mutex.lock t.reconfig;
+  let log = t.epoch_log in
+  Mutex.unlock t.reconfig;
+  let now = stats t in
+  (* [log] is newest-first: close each epoch against the next entry's
+     start (or the live totals for the open epoch). *)
+  let rec build (upper : stats) acc = function
+    | [] -> acc
+    | (e, shards, (at : stats)) :: rest ->
+      let es =
+        {
+          e_epoch = e;
+          e_shards = shards;
+          e_posted = upper.posted - at.posted;
+          e_coalesced = upper.coalesced - at.coalesced;
+          e_applied = upper.applied - at.applied;
+          e_carried_in = carried at;
+          e_carried_out = carried upper;
+          e_publishes = upper.publishes - at.publishes;
+          e_scans_requested = upper.scans_requested - at.scans_requested;
+          e_scans_combined = upper.scans_combined - at.scans_combined;
+          e_scans_performed = upper.scans_performed - at.scans_performed;
+          e_inflight_in = inflight at;
+          e_inflight_out = inflight upper;
+        }
+      in
+      build at (es :: acc) rest
+  in
+  Array.of_list (build now [] log)
+
+let reshard t ~shards:s' =
+  if s' < 1 || s' > t.max_shards then
+    invalid_arg
+      (Printf.sprintf "Serve.reshard: shards = %d not in 1..max_shards = %d" s'
+         t.max_shards);
+  Mutex.lock t.reconfig;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reconfig) @@ fun () ->
+  let e = Atomic.get t.cur_epoch in
+  with_span t (Printf.sprintf "reshard.e%d" (e + 1)) @@ fun () ->
+  let running = t.appliers <> [] in
+  (* 1. Quiesce the appliers of the closing epoch.  Posts and scans
+     keep flowing: posts land in mailboxes/batch cells and are drained
+     into the new layout; scans decode whichever configuration the
+     outer register holds when they collect. *)
+  if running then begin
+    Atomic.set t.stop true;
+    List.iter Domain.join t.appliers;
+    t.appliers <- []
+  end;
+  (* Two more sweeps on this thread to shrink the carried residue (two,
+     so entries the first pass re-routed reach their owner; not for
+     correctness — anything still pending is drained by the new epoch's
+     appliers, which cover every batch cell and mailbox). *)
+  for _pass = 1 to 2 do
+    for s = 0 to t.cur_shards - 1 do
+      ignore (drain_shard t s : bool)
+    done
+  done;
+  (* 2. Boundary: everything applied up to this instant, as C items
+     with their auxiliary ids. *)
+  let boundary =
+    Array.init t.components (fun k ->
+        let s = t.owner.(k) in
+        t.states.(s).(k - t.slice_off.(s)))
+  in
+  (* The mutant publishes the new map but ships the PREVIOUS epoch's
+     boundary: state applied during the closing epoch is dropped from
+     both the published configuration and the new shard states — the
+     checkers must flag the resulting new-old inversions. *)
+  let migrated = if t.migrate then boundary else t.last_boundary in
+  let slice_off, slice_len, owner = layout ~components:t.components ~shards:s' in
+  let states =
+    Array.init s' (fun s ->
+        Array.init slice_len.(s) (fun i -> migrated.(slice_off.(s) + i)))
+  in
+  (* 3. Publish the new configuration: bump the config version cell
+     first (every validated cache and shared snapshot of the old epoch
+     goes stale), then one outer-register update — the atomic epoch
+     switch.  A scan that sees the new map sees the migrated boundary
+     in the same collect. *)
+  let record_boundary = stats t in
+  let cversion = 1 + Atomic.fetch_and_add t.version_cells.(0) 1 in
+  let (_ : int) =
+    t.outer.Composite.Snapshot.update ~writer:0
+      (Config
+         {
+           cepoch = e + 1;
+           cowner = Array.copy owner;
+           coff = Array.copy slice_off;
+           boundary = Array.copy migrated;
+           cversion;
+         })
+  in
+  (* 4. Install the new layout and respawn. *)
+  t.cur_shards <- s';
+  t.slice_off <- slice_off;
+  t.slice_len <- slice_len;
+  t.owner <- owner;
+  t.states <- states;
+  t.last_boundary <- migrated;
+  Atomic.set t.cur_epoch (e + 1);
+  t.epoch_log <- (e + 1, s', record_boundary) :: t.epoch_log;
+  if running then begin
+    Atomic.set t.stop false;
+    t.appliers <- List.init s' (fun s -> Domain.spawn (applier t s))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Read path: scan-sharing, full scans and the validated cache          *)
 (* ------------------------------------------------------------------ *)
 
 (* The actual outer-register collect — the only place that pays the
-   snapshot construction. *)
+   snapshot construction.  The collect is one linearizable scan of the
+   [1 + max_shards]-component outer register; decoding picks, for each
+   component, the owning shard's view if that shard has published under
+   the configuration's epoch, and the configuration's boundary
+   otherwise (the shard has not published since the switch, so its
+   components' state IS the boundary state).  A view tagged with a
+   NEWER epoch than the configuration cannot appear: appliers only
+   publish after the configuration carrying their epoch, and the
+   collect is atomic. *)
 let raw_full_scan t ~reader =
   Atomic.incr t.full_scans;
-  let views = t.outer.Composite.Snapshot.scan_items ~reader in
-  let versions = Array.map (fun it -> it.Composite.Item.v.version) views in
+  let slots = t.outer.Composite.Snapshot.scan_items ~reader in
+  let versions =
+    Array.map (fun it -> slot_version it.Composite.Item.v) slots
+  in
+  let cfg =
+    match slots.(0).Composite.Item.v with
+    | Config c -> c
+    | View _ -> assert false
+  in
   let snap =
-    Array.concat
-      (Array.to_list (Array.map (fun it -> it.Composite.Item.v.view) views))
+    Array.init t.components (fun k ->
+        let s = cfg.cowner.(k) in
+        match slots.(1 + s).Composite.Item.v with
+        | View w when w.vepoch = cfg.cepoch -> w.view.(k - w.voff)
+        | _ -> cfg.boundary.(k))
   in
   { snap; versions }
 
 (* Single collect of the version cells.  Sound because cells are bumped
    before publishes and versions are strictly monotone: if every cell
-   still equals the cached version at its read point, every shard has
-   held the cached view continuously since before this scan began, so
+   still equals the cached version at its read point, every slot has
+   held the cached value continuously since before this scan began, so
    at the instant the collect started the outer register held exactly
-   the cached state. *)
+   the cached state.  Cell 0 guards the configuration, so a reshard
+   invalidates every cache with a single bump. *)
 let cache_fresh t c =
   let ok = ref true in
-  for s = 0 to t.shards - 1 do
-    if Atomic.get t.version_cells.(s) <> c.versions.(s) then ok := false
+  for i = 0 to t.max_shards do
+    if Atomic.get t.version_cells.(i) <> c.versions.(i) then ok := false
   done;
   !ok
 
@@ -558,95 +968,19 @@ let scan_items t ~reader =
 
 let scan t ~reader = Composite.Item.values (scan_items t ~reader)
 
+let caps t =
+  {
+    Composite.Composite_intf.epoch = (fun () -> epoch t);
+    reconfigure = Some (fun ~shards -> reshard t ~shards);
+  }
+
 let handle t =
   {
     Composite.Snapshot.components = t.components;
     readers = t.readers;
     scan_items = (fun ~reader -> scan_items t ~reader);
     update = (fun ~writer v -> update t ~writer v);
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Accounting                                                           *)
-(* ------------------------------------------------------------------ *)
-
-type stats = {
-  posted : int;
-  coalesced : int;
-  applied : int;
-  pending : int;
-  publishes : int;
-  batch_installs : int;
-  hits : int;
-  misses : int;
-  stale : int;
-  full_scans : int;
-  scans_requested : int;
-  scans_combined : int;
-  scans_performed : int;
-  stalls : int;
-}
-
-type writer_stats = { w_posted : int; w_coalesced : int; w_applied : int }
-
-type reader_stats = {
-  r_requested : int;
-  r_combined : int;
-  r_performed : int;
-}
-
-let sum a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
-
-let stats t =
-  let pending =
-    Array.fold_left
-      (fun acc mb -> if Atomic.get mb = None then acc else acc + 1)
-      0 t.mailboxes
-  in
-  let pending =
-    Array.fold_left
-      (fun acc cell ->
-        match Atomic.get cell with
-        | None -> acc
-        | Some arr ->
-          Array.fold_left
-            (fun acc e -> if e = None then acc else acc + 1)
-            acc arr)
-      pending t.shard_batch
-  in
-  {
-    posted = sum t.posted;
-    coalesced = sum t.coalesced;
-    applied = sum t.applied;
-    pending;
-    publishes = sum t.publishes;
-    batch_installs = Atomic.get t.batch_installs;
-    hits = Atomic.get t.hits;
-    misses = Atomic.get t.misses;
-    stale = Atomic.get t.stale;
-    full_scans = Atomic.get t.full_scans;
-    scans_requested = Atomic.get t.requested;
-    scans_combined = Atomic.get t.combined;
-    scans_performed = Atomic.get t.performed;
-    stalls = Atomic.get t.stalls;
-  }
-
-let writer_stats t ~writer =
-  if writer < 0 || writer >= t.components then
-    invalid_arg "Serve.writer_stats: bad writer";
-  {
-    w_posted = Atomic.get t.posted.(writer);
-    w_coalesced = Atomic.get t.coalesced.(writer);
-    w_applied = Atomic.get t.applied.(writer);
-  }
-
-let reader_stats t ~reader =
-  if reader < 0 || reader >= t.readers then
-    invalid_arg "Serve.reader_stats: bad reader";
-  {
-    r_requested = Atomic.get t.r_requested.(reader);
-    r_combined = Atomic.get t.r_combined.(reader);
-    r_performed = Atomic.get t.r_performed.(reader);
+    caps = caps t;
   }
 
 let observe t m =
@@ -664,4 +998,5 @@ let observe t m =
   c "serve.scan.requested" s.scans_requested;
   c "serve.scan.combined" s.scans_combined;
   c "serve.scan.performed" s.scans_performed;
-  c "serve.stalls" s.stalls
+  c "serve.stalls" s.stalls;
+  c "serve.reshards" (epoch t)

@@ -92,7 +92,46 @@
     Passing [~validate:false] to {!create} produces the deliberately
     broken mutant that reuses the per-reader cache blindly — the
     Shrinking and Wing–Gong checkers must flag it (new-old
-    inversions). *)
+    inversions).
+
+    {2 Elastic sharding (epochs)}
+
+    The shard count is no longer fixed for the service's lifetime:
+    {!reshard} moves the service from [S] to [S'] shards {e while
+    operations are in flight}.  The outer register is the mechanism.
+    It has [1 + max_shards] components: component [0] holds the current
+    {e configuration} — an epoch number, the component-to-shard map,
+    and the {e boundary}, a full [C]-item snapshot of everything
+    applied before the epoch began — and component [1+s] holds shard
+    [s]'s view, tagged with the epoch it was published under.
+    Publishing a new configuration is one outer-register update, so the
+    epoch switch is atomic: {e a scan that decodes the new map sees the
+    migrated boundary in the same collect}.  A scan decodes component
+    [k] from its owning shard's view when that shard has published
+    under the configuration's epoch, and from the boundary otherwise
+    (the shard has not published since the switch, so its components'
+    state is exactly the boundary state).
+
+    A reshard quiesces the closing epoch's appliers, drains, snapshots
+    the boundary, publishes the new configuration (bumping the
+    configuration's version cell first, so every validated cache and
+    shared snapshot of the old epoch goes stale), installs the new
+    layout and respawns appliers.  Writers never stop: posts keep
+    landing in mailboxes and batch cells and are drained into the new
+    layout; batch entries carry absolute component indices, every batch
+    cell is covered by some live applier in every epoch, and entries
+    routed by a stale owner map are re-routed to their owner's mailbox
+    with per-component tickets arbitrating order — so the
+    [posted = applied + coalesced + pending] identity holds {e per
+    epoch} (see {!epoch_stats}), with the boundary residue carried into
+    the next epoch.
+
+    Passing [~migrate:false] to {!create} produces the second
+    deliberately broken mutant: {!reshard} publishes the new map but
+    ships the {e previous} epoch's boundary — the observable effect of
+    publishing the map before migrating state.  Acknowledged writes
+    from the closing epoch vanish from scans until their components are
+    re-written; the checkers must flag the new-old inversions. *)
 
 (** Bounded exponential backoff for spin waits, shared by every spin
     site in the serving stack (applier idle loop, synchronous-update
@@ -140,6 +179,8 @@ val create :
   ?validate:bool ->
   ?cache:bool ->
   ?combine:bool ->
+  ?migrate:bool ->
+  ?max_shards:int ->
   ?note:(string -> unit) ->
   shards:int ->
   readers:int ->
@@ -150,25 +191,39 @@ val create :
     [C = Array.length init] components partitioned contiguously across
     [shards] inner slices (sizes differ by at most one), composed via an
     outer register built by [outer] (default [Outer_afek], whose
-    polynomial scans suit the [S]-component outer object) on padded
+    polynomial scans suit the outer object) on padded
     atomic registers ({!Composite.Multicore.padded_memory}).
+
+    [max_shards] (default [shards]) caps what {!reshard} may grow to;
+    the outer register is created with [1 + max_shards] components, so
+    leaving it at the default costs one extra (configuration) component
+    over the pre-elastic layout and nothing else.
 
     [cache] (default [true]) enables per-reader validated caching;
     [validate] (default [true]) enables the freshness check — disabling
-    it while caching yields the broken mutant.  [combine] (default
-    [true]) enables scan-sharing; [~combine:false] preserves the
-    pre-combining behavior (every cache miss pays its own outer scan).
+    it while caching yields the broken caching mutant.  [combine]
+    (default [true]) enables scan-sharing; [~combine:false] preserves
+    the pre-combining behavior (every cache miss pays its own outer
+    scan).  [migrate] (default [true]): [~migrate:false] is the broken
+    resharding mutant — {!reshard} publishes the new shard map without
+    the state applied during the closing epoch (see the module
+    preamble).
 
     [note] (default none) receives {!Csim.Trace.span_begin}/[span_end]
-    markers ["scan.collect.r<j>"] around a combiner's outer collect and
-    ["scan.enlist.r<j>"] around an enlisted reader's wait, so span
-    profiles attribute shared collects per reader.
+    markers ["scan.collect.r<j>"] around a combiner's outer collect,
+    ["scan.enlist.r<j>"] around an enlisted reader's wait, and
+    ["reshard.e<n>"] around a reconfiguration, so span profiles
+    attribute shared collects per reader and reshards per epoch.
 
-    Raises [Invalid_argument] unless [1 <= shards <= C] and
-    [readers >= 1]. *)
+    Raises [Invalid_argument] unless
+    [1 <= shards <= max_shards <= C] and [readers >= 1]. *)
 
 val components : 'a t -> int
+
 val shards : 'a t -> int
+(** Shard count of the {e current} epoch. *)
+
+val max_shards : 'a t -> int
 val readers : 'a t -> int
 
 val combining : 'a t -> bool
@@ -187,6 +242,29 @@ val shutdown : 'a t -> unit
 (** Stop and join the appliers.  Each applier performs one final drain
     after seeing the stop flag, so posts issued before [shutdown] are
     still applied.  Callers must have stopped issuing operations. *)
+
+(** {2 Reconfiguration} *)
+
+val reshard : 'a t -> shards:int -> unit
+(** Move the service to [shards] shards, atomically with respect to
+    every concurrent operation (see the module preamble: the epoch
+    switch is a single outer-register update carrying the migrated
+    boundary).  Posts, synchronous updates and scans may be in flight
+    throughout; a synchronous {!update} issued during the switch
+    completes once the new epoch's appliers drain it.  Works in both
+    modes: with appliers running they are quiesced and respawned over
+    the new layout; in manual mode ({!drain}) only the layout and epoch
+    change.  Serialized with {!start}/{!shutdown} and other reshards.
+    Raises [Invalid_argument] unless [1 <= shards <= max_shards]. *)
+
+val epoch : 'a t -> int
+(** Current configuration epoch: 0 at creation, +1 per completed
+    {!reshard}. *)
+
+val caps : 'a t -> Composite.Composite_intf.caps
+(** The service's capability record: [epoch] reads {!epoch},
+    [reconfigure] is [Some] and calls {!reshard}.  {!handle} embeds
+    it. *)
 
 (** {2 Operations} *)
 
@@ -269,6 +347,41 @@ type reader_stats = {
 val stats : 'a t -> stats
 val writer_stats : 'a t -> writer:int -> writer_stats
 val reader_stats : 'a t -> reader:int -> reader_stats
+
+(** Per-epoch slice of the accounting.  All deltas are differences of
+    the cumulative counters between the epoch's two boundaries (the
+    open epoch's upper boundary is "now").  Work in flight at a
+    boundary is {e carried}: [e_carried_in]/[e_carried_out] are posts
+    accepted but not yet applied or coalesced at each boundary, and
+    [e_inflight_in]/[e_inflight_out] the scans requested but not yet
+    resolved.  The per-epoch identities are then exact even under
+    open-loop load:
+    [e_posted + e_carried_in = e_applied + e_coalesced + e_carried_out]
+    and
+    [e_scans_requested + e_inflight_in
+       = e_scans_combined + e_scans_performed + e_inflight_out],
+    with every field non-negative — a negative carry would mean a
+    counter was double-bumped.  At final quiescence the last epoch's
+    carry and inflight are 0 and the totals identities close. *)
+type epoch_stats = {
+  e_epoch : int;
+  e_shards : int;  (** shard count during the epoch *)
+  e_posted : int;
+  e_coalesced : int;
+  e_applied : int;
+  e_carried_in : int;
+  e_carried_out : int;
+  e_publishes : int;
+  e_scans_requested : int;
+  e_scans_combined : int;
+  e_scans_performed : int;
+  e_inflight_in : int;
+  e_inflight_out : int;
+}
+
+val epoch_stats : 'a t -> epoch_stats array
+(** One entry per epoch, index = epoch number; the last entry is the
+    open epoch measured against the current totals. *)
 
 val observe : 'a t -> Obs.Metrics.t -> unit
 (** Accumulate current totals into counters [serve.posted],

@@ -1,10 +1,40 @@
-type kind =
-  | Shm
-  | Net of { replicas : int; crash : int; loss : float }
-  | Byz of { f : int; budget : int }
-  | Multicore
+type caps = {
+  messaging : bool;
+  adversarial : bool;
+  real_parallelism : bool;
+  reconfigurable : bool;
+}
 
-type t = { name : string; doc : string; kind : kind }
+type outcome = Completed | Stuck_run
+
+type instance = {
+  memory : Csim.Memory.t;
+  clock : unit -> int;
+  drive : (unit -> unit) array -> outcome;
+  observe : Obs.Metrics.t -> unit;
+  reconfigure : (members:int list -> unit) option;
+}
+
+type provision =
+  | Simulated of (metrics:Obs.Metrics.t -> seed:int -> procs:int -> instance)
+  | Domains
+
+type t = {
+  name : string;
+  doc : string;
+  label : string;
+  caps : caps;
+  steps_budget : int;
+  provision : provision;
+}
+
+let static_caps =
+  {
+    messaging = false;
+    adversarial = false;
+    real_parallelism = false;
+    reconfigurable = false;
+  }
 
 let shm =
   {
@@ -12,8 +42,37 @@ let shm =
     doc =
       "deterministic shared-memory simulator; nondeterminism is the \
        process interleaving";
-    kind = Shm;
+    label = "shm";
+    caps = static_caps;
+    steps_budget = 1_000_000;
+    provision =
+      Simulated
+        (fun ~metrics:_ ~seed ~procs:_ ->
+          let env = Csim.Sim.create ~trace:false () in
+          {
+            memory = Csim.Memory.of_sim env;
+            clock = (fun () -> Csim.Sim.now env);
+            drive =
+              (fun procs ->
+                match
+                  Csim.Sim.run env
+                    ~policy:(Csim.Schedule.Random seed)
+                    ~max_steps:1_000_000 procs
+                with
+                | exception Csim.Sim.Stuck _ -> Stuck_run
+                | (_ : Csim.Sim.stats) -> Completed);
+            observe = (fun _ -> ());
+            reconfigure = None;
+          });
   }
+
+(* Crash points for the message-passing backend, derived from the
+   schedule seed: the last [crash] replicas each stop after handling a
+   small seed-dependent number of messages.  Deterministic, so the
+   sharded campaign merges bit-identically. *)
+let net_crashes ~replicas ~crash ~seed =
+  let prng = Csim.Schedule.Prng.make ((seed * 0x9e3779b9) lxor 0x2545f491) in
+  List.init crash (fun j -> (replicas - 1 - j, Csim.Schedule.Prng.int prng 40))
 
 let net ?(replicas = 3) ?(crash = 0) ?(loss = 0.) () =
   if replicas < 1 then invalid_arg "Backend.net: replicas must be >= 1";
@@ -26,7 +85,56 @@ let net ?(replicas = 3) ?(crash = 0) ?(loss = 0.) () =
     doc =
       "ABD quorum emulation over the simulated crash-prone network; \
        nondeterminism is the message delivery order";
-    kind = Net { replicas; crash; loss };
+    label = Printf.sprintf "net(n=%d,f=%d,loss=%.2f)" replicas crash loss;
+    caps = { static_caps with messaging = true; reconfigurable = true };
+    steps_budget = 1_000_000;
+    provision =
+      Simulated
+        (fun ~metrics ~seed ~procs:_ ->
+          let env =
+            Net.Sim.create ~loss
+              ~crashes:(net_crashes ~replicas ~crash ~seed)
+              ~replicas ~seed ()
+          in
+          let abd =
+            Net.Abd.create env ~on_phase:(fun ~wait ->
+                Obs.Metrics.observe
+                  (Obs.Metrics.histogram metrics "net.phase_wait")
+                  wait)
+          in
+          {
+            memory = Net.Abd.memory abd;
+            clock = (fun () -> Net.Sim.now env);
+            drive =
+              (fun procs ->
+                match
+                  Net.Sim.run env
+                    ~policy:(Csim.Schedule.Random seed)
+                    ~max_steps:1_000_000 procs
+                with
+                | exception Net.Sim.Stuck _ -> Stuck_run
+                | (_ : Net.Sim.stats) -> Completed);
+            observe =
+              (fun m ->
+                let s = Net.Sim.totals env in
+                let a = Net.Abd.stats abd in
+                let c name by =
+                  Obs.Metrics.incr ~by (Obs.Metrics.counter m name)
+                in
+                c "net.msgs_sent" s.Net.Sim.sent;
+                c "net.msgs_delivered" s.Net.Sim.delivered;
+                c "net.msgs_lost" s.Net.Sim.lost;
+                c "net.timeouts" s.Net.Sim.timeouts;
+                c "net.rounds" a.Net.Abd.rounds;
+                c "net.retransmits" a.Net.Abd.retransmits;
+                c "net.retransmit.sent" a.Net.Abd.retransmits;
+                c "net.retransmit.suppressed" a.Net.Abd.retrans_suppressed;
+                Obs.Metrics.observe
+                  (Obs.Metrics.histogram m "net.retransmit.backoff_peak")
+                  a.Net.Abd.backoff_peak);
+            reconfigure =
+              Some (fun ~members -> Net.Abd.reconfigure abd ~members);
+          });
   }
 
 let byz ?(f = 1) ?(budget = 1) () =
@@ -38,7 +146,51 @@ let byz ?(f = 1) ?(budget = 1) () =
       "the f-tolerant Byzantine register construction over shared memory \
        with a budgeted lying adversary on the base cells; nondeterminism \
        is the process interleaving";
-    kind = Byz { f; budget };
+    label = Printf.sprintf "byz(f=%d,budget=%d)" f budget;
+    caps = { static_caps with adversarial = true };
+    steps_budget = 2_000_000;
+    provision =
+      Simulated
+        (fun ~metrics:_ ~seed ~procs ->
+          let env = Csim.Sim.create ~trace:false () in
+          let base = Csim.Memory.of_sim env in
+          let who () =
+            try Csim.Sim.self () with Csim.Sim.Not_in_simulation -> 0
+          in
+          let injections =
+            if budget > 0 then
+              [
+                {
+                  Csim.Faults.kind =
+                    Csim.Faults.Byzantine { f = budget; prob = 1.0 };
+                  target = Csim.Faults.All;
+                };
+              ]
+            else []
+          in
+          let faulty, counters = Csim.Faults.wrap ~seed ~who injections base in
+          {
+            memory = Registers.Byzantine.memory ~f ~readers:procs faulty;
+            clock = (fun () -> Csim.Sim.now env);
+            drive =
+              (fun ps ->
+                match
+                  Csim.Sim.run env
+                    ~policy:(Csim.Schedule.Random seed)
+                    ~max_steps:2_000_000 ps
+                with
+                | exception Csim.Sim.Stuck _ -> Stuck_run
+                | (_ : Csim.Sim.stats) -> Completed);
+            observe =
+              (fun m ->
+                let c name by =
+                  Obs.Metrics.incr ~by (Obs.Metrics.counter m name)
+                in
+                c "byz.cells_claimed" counters.Csim.Faults.byz_cells;
+                c "byz.lies" counters.Csim.Faults.byz_lies;
+                c "byz.drops" counters.Csim.Faults.byz_drops);
+            reconfigure = None;
+          });
   }
 
 let multicore =
@@ -47,7 +199,10 @@ let multicore =
     doc =
       "real parallelism on OCaml domains over Atomic.t registers; \
        nondeterminism is the hardware schedule";
-    kind = Multicore;
+    label = "multicore";
+    caps = { static_caps with real_parallelism = true };
+    steps_budget = 0;
+    provision = Domains;
   }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 8
@@ -67,10 +222,4 @@ let find name =
       (Printf.sprintf "unknown backend %S (registered: %s)" name
          (String.concat ", " (names ())))
 
-let label b =
-  match b.kind with
-  | Shm -> "shm"
-  | Net { replicas; crash; loss } ->
-    Printf.sprintf "net(n=%d,f=%d,loss=%.2f)" replicas crash loss
-  | Byz { f; budget } -> Printf.sprintf "byz(f=%d,budget=%d)" f budget
-  | Multicore -> "multicore"
+let label b = b.label

@@ -3,7 +3,7 @@
 
     A backend decides what the algorithms' registers are made of and
     where the nondeterminism that drives a campaign comes from.  The
-    three built-ins:
+    built-ins:
 
     - ["shm"] — cells of the deterministic shared-memory simulator
       ({!Csim.Memory.of_sim}); schedules are seeded interleavings.
@@ -19,20 +19,78 @@
       hardware schedule is the nondeterminism, and histories are
       recorded with a fetch-and-add clock for offline checking.
 
+    {2 Capabilities, not kinds}
+
+    A descriptor no longer exposes a closed [kind] variant for callers
+    to dispatch on.  It carries two things instead:
+
+    - {!caps} — what the substrate {e is}, as plain data.  Front ends
+      branch on capabilities ("does it reconfigure?", "is it
+      adversarial?") rather than on names, so out-of-tree backends
+      registered with {!register} participate in every decision
+      automatically.
+    - {!provision} — how to {e build} it.  [Simulated] backends yield a
+      fresh, seed-deterministic {!instance} per schedule: the memory,
+      the logical clock, a driver that runs client procs to completion,
+      a metrics hook, and the optional reconfiguration capability as a
+      first-class closure.  [Domains] marks real parallelism, where the
+      harness owns thread creation and no seeded instance exists.
+
     The registry maps names to descriptors so front ends resolve user
     input with {!find} and error messages can enumerate what exists;
     {!register} lets out-of-tree code plug in additional backends. *)
 
-type kind =
-  | Shm
-  | Net of { replicas : int; crash : int; loss : float }
-  | Byz of { f : int; budget : int }
-  | Multicore
+type caps = {
+  messaging : bool;
+      (** register ops are quorum phases over a simulated network *)
+  adversarial : bool;  (** lying faults are injected under the registers *)
+  real_parallelism : bool;  (** OCaml domains; no seeded scheduler *)
+  reconfigurable : bool;
+      (** instances expose an online membership-change closure *)
+}
+
+val static_caps : caps
+(** All-[false]: the plain deterministic shared-memory substrate. *)
+
+type outcome = Completed | Stuck_run  (** driver verdict for one schedule *)
+
+type instance = {
+  memory : Csim.Memory.t;  (** what the composite constructions build on *)
+  clock : unit -> int;
+      (** logical time for history recording (scheduler steps, network
+          ticks, ...) *)
+  drive : (unit -> unit) array -> outcome;
+      (** run the client procs under this schedule's seed to
+          quiescence; [Stuck_run] reports a wait-freedom violation *)
+  observe : Obs.Metrics.t -> unit;
+      (** book backend-specific counters (messages, lies, ...) after a
+          drive; safe to call after [Stuck_run] too *)
+  reconfigure : (members:int list -> unit) option;
+      (** online membership change, present iff
+          [caps.reconfigurable]; must be invoked from inside a driven
+          proc (it performs quorum operations) *)
+}
+
+type provision =
+  | Simulated of (metrics:Obs.Metrics.t -> seed:int -> procs:int -> instance)
+      (** build a fresh deterministic instance for one schedule;
+          [procs] is the number of client processes the workload will
+          run (some substrates size fault tolerance by it) *)
+  | Domains
+      (** real parallelism: the campaign's multicore harness owns
+          execution; there is no per-seed instance *)
 
 type t = {
   name : string;  (** registry key, e.g. ["net"] *)
   doc : string;  (** one-line description, for [--help] and errors *)
-  kind : kind;
+  label : string;
+      (** parameter-carrying rendering for reports, e.g.
+          ["net(n=5,f=1,loss=0.10)"] *)
+  caps : caps;
+  steps_budget : int;
+      (** scheduler step bound per driven schedule ([0] when
+          [provision = Domains]) *)
+  provision : provision;
 }
 
 val shm : t
@@ -40,7 +98,9 @@ val shm : t
 val net : ?replicas:int -> ?crash:int -> ?loss:float -> unit -> t
 (** Defaults: 3 replicas, no crashes, no loss.  Raises
     [Invalid_argument] unless [crash < replicas / 2] (a write quorum
-    must survive) and [0 <= loss < 1]. *)
+    must survive) and [0 <= loss < 1].  Its instances carry
+    [reconfigure = Some _]: {!Net.Abd.reconfigure} over the instance's
+    quorum system. *)
 
 val byz : ?f:int -> ?budget:int -> unit -> t
 (** Registers of {!Registers.Byzantine.memory} with tolerance [f] over
@@ -62,5 +122,4 @@ val names : unit -> string list
 (** Registered names, sorted. *)
 
 val label : t -> string
-(** Parameter-carrying rendering for reports, e.g.
-    ["net(n=5,f=1,loss=0.10)"]. *)
+(** [label b = b.label]. *)

@@ -87,24 +87,6 @@ let workload_procs cfg rec_ =
   Array.init (cfg.components + cfg.readers) (fun i ->
       if i < cfg.components then writer i else reader (i - cfg.components))
 
-let build_system cfg ~seed:_ =
-  let env = Sim.create ~trace:false () in
-  let mem = Memory.of_sim env in
-  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
-  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
-  let rec_ =
-    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init handle
-  in
-  (env, init, rec_, workload_procs cfg rec_)
-
-(* Crash points for the message-passing backend, derived from the
-   schedule seed: the last [crash] replicas each stop after handling a
-   small seed-dependent number of messages.  Deterministic, so the
-   sharded campaign merges bit-identically. *)
-let net_crashes ~replicas ~crash ~seed =
-  let prng = Schedule.Prng.make ((seed * 0x9e3779b9) lxor 0x2545f491) in
-  List.init crash (fun j -> (replicas - 1 - j, Schedule.Prng.int prng 40))
-
 (* One seeded schedule, end to end: simulate, collect the history, run
    every checker.  Self-contained (its own [Sim.create]) and so safe to
    farm across domains; [ro_example] is rendered eagerly because the
@@ -193,113 +175,13 @@ let outcome_of_history worker_metrics cfg ~init h =
                 h));
     }
 
-let run_one_shm worker_metrics cfg i =
-  let seed = cfg.base_seed + i in
-  let env, init, rec_, procs = build_system cfg ~seed in
-  match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs with
-  | exception Sim.Stuck _ -> stuck_outcome
-  | (_ : Sim.stats) ->
-    outcome_of_history worker_metrics cfg ~init (Composite.Snapshot.history rec_)
-
-(* Same workload and checkers, but every register access is an ABD
-   quorum operation over the simulated network; the network scheduler
-   (message reordering) replaces the shared-memory scheduler as the
-   source of nondeterminism, with loss and replica crashes injected on
-   top. *)
-let run_one_net worker_metrics cfg ~replicas ~crash ~loss i =
-  let seed = cfg.base_seed + i in
-  let env =
-    Net.Sim.create ~loss ~crashes:(net_crashes ~replicas ~crash ~seed)
-      ~replicas ~seed ()
-  in
-  let abd =
-    Net.Abd.create env ~on_phase:(fun ~wait ->
-        Obs.Metrics.observe
-          (Obs.Metrics.histogram worker_metrics "net.phase_wait")
-          wait)
-  in
-  let mem = Net.Abd.memory abd in
-  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
-  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
-  let rec_ =
-    Composite.Snapshot.record
-      ~clock:(fun () -> Net.Sim.now env)
-      ~initial:init handle
-  in
-  let procs = workload_procs cfg rec_ in
-  let outcome =
-    match
-      Net.Sim.run env ~policy:(Schedule.Random seed) ~max_steps:1_000_000 procs
-    with
-    | exception Net.Sim.Stuck _ -> stuck_outcome
-    | (_ : Net.Sim.stats) ->
-      outcome_of_history worker_metrics cfg ~init
-        (Composite.Snapshot.history rec_)
-  in
-  let s = Net.Sim.totals env in
-  let a = Net.Abd.stats abd in
-  let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter worker_metrics name) in
-  c "net.msgs_sent" s.Net.Sim.sent;
-  c "net.msgs_delivered" s.Net.Sim.delivered;
-  c "net.msgs_lost" s.Net.Sim.lost;
-  c "net.timeouts" s.Net.Sim.timeouts;
-  c "net.rounds" a.Net.Abd.rounds;
-  c "net.retransmits" a.Net.Abd.retransmits;
-  c "net.retransmit.sent" a.Net.Abd.retransmits;
-  c "net.retransmit.suppressed" a.Net.Abd.retrans_suppressed;
-  Obs.Metrics.observe
-    (Obs.Metrics.histogram worker_metrics "net.retransmit.backoff_peak")
-    a.Net.Abd.backoff_peak;
-  outcome
-
-(* The Byzantine backend: every register the impl allocates is the
-   f-tolerant construction over simulator cells, and a budgeted lying
-   adversary ([Faults.Byzantine]) owns the first [budget] base cells.
-   With [budget <= f] the lies must be masked — the same workload and
-   checkers as shm, with an actively hostile memory underneath. *)
-let run_one_byz worker_metrics cfg ~f ~budget i =
-  let seed = cfg.base_seed + i in
-  let env = Sim.create ~trace:false () in
-  let base = Memory.of_sim env in
-  let who () = try Sim.self () with Sim.Not_in_simulation -> 0 in
-  let injections =
-    if budget > 0 then
-      [ { Faults.kind = Faults.Byzantine { f = budget; prob = 1.0 };
-          target = Faults.All } ]
-    else []
-  in
-  let faulty, counters = Faults.wrap ~seed ~who injections base in
-  let mem =
-    Registers.Byzantine.memory ~f
-      ~readers:(cfg.components + cfg.readers)
-      faulty
-  in
-  let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
-  let handle = make_handle cfg.impl mem ~readers:cfg.readers ~init in
-  let rec_ =
-    Composite.Snapshot.record ~clock:(fun () -> Sim.now env) ~initial:init handle
-  in
-  let procs = workload_procs cfg rec_ in
-  let outcome =
-    match Sim.run env ~policy:(Schedule.Random seed) ~max_steps:2_000_000 procs with
-    | exception Sim.Stuck _ -> stuck_outcome
-    | (_ : Sim.stats) ->
-      outcome_of_history worker_metrics cfg ~init
-        (Composite.Snapshot.history rec_)
-  in
-  let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter worker_metrics name) in
-  c "byz.cells_claimed" counters.Faults.byz_cells;
-  c "byz.lies" counters.Faults.byz_lies;
-  c "byz.drops" counters.Faults.byz_drops;
-  outcome
-
 (* Real parallelism: the handle sits on [Atomic.t] registers and the
    stress harness runs one domain per process.  The schedule index
    seeds nothing (the hardware interleaves), but every operation is
    recorded, so for histories the checkers accept — the expected case
    for the correct constructions — the outcome record is deterministic
    and the campaign result still merges bit-identically across [jobs]. *)
-let run_one_mc worker_metrics cfg _i =
+let run_one_domains worker_metrics cfg _i =
   let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
   let handle =
     make_handle cfg.impl (Memory.atomic ()) ~readers:cfg.readers ~init
@@ -316,13 +198,37 @@ let run_one_mc worker_metrics cfg _i =
   in
   outcome_of_history worker_metrics cfg ~init h
 
+(* One schedule on any simulated substrate.  The backend descriptor is
+   the whole story: it provisions the memory, the clock, the seeded
+   driver and the metrics hook — the campaign no longer knows what the
+   registers are made of, so a backend registered out of tree runs
+   under the exact same code path as the built-ins. *)
 let run_one worker_metrics cfg i =
-  match cfg.backend.Backend.kind with
-  | Backend.Shm -> run_one_shm worker_metrics cfg i
-  | Backend.Net { replicas; crash; loss } ->
-    run_one_net worker_metrics cfg ~replicas ~crash ~loss i
-  | Backend.Byz { f; budget } -> run_one_byz worker_metrics cfg ~f ~budget i
-  | Backend.Multicore -> run_one_mc worker_metrics cfg i
+  match cfg.backend.Backend.provision with
+  | Backend.Domains -> run_one_domains worker_metrics cfg i
+  | Backend.Simulated provision ->
+    let seed = cfg.base_seed + i in
+    let inst =
+      provision ~metrics:worker_metrics ~seed
+        ~procs:(cfg.components + cfg.readers)
+    in
+    let init = Array.init cfg.components (fun k -> (k + 1) * 10) in
+    let handle =
+      make_handle cfg.impl inst.Backend.memory ~readers:cfg.readers ~init
+    in
+    let rec_ =
+      Composite.Snapshot.record ~clock:inst.Backend.clock ~initial:init handle
+    in
+    let procs = workload_procs cfg rec_ in
+    let outcome =
+      match inst.Backend.drive procs with
+      | Backend.Stuck_run -> stuck_outcome
+      | Backend.Completed ->
+        outcome_of_history worker_metrics cfg ~init
+          (Composite.Snapshot.history rec_)
+    in
+    inst.Backend.observe worker_metrics;
+    outcome
 
 let run ?(jobs = 1) ?pool ?metrics cfg =
   let outcomes, workers =

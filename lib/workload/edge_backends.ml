@@ -1,58 +1,36 @@
-open Csim
-
 (* Bridge from the {!Backend} registry to the network edge: every
-   execution substrate the campaigns know — shm, net, byz, multicore —
-   becomes something a TCP front-end can serve.
+   execution substrate the campaigns know becomes something a TCP
+   front-end can serve — through the descriptor's own provision, so a
+   backend registered out of tree is served by the same code path as
+   the built-ins.
 
-   The multicore handle runs on real domains, so the edge drives it
-   concurrently (one validated-cache reader per worker).  The
-   simulator-backed substrates only execute ops inside a simulator
-   coroutine, so each op becomes its own single-process run under
-   {!Edge.Backend.solo}'s global lock — a fully serialized service,
-   which E21 reports honestly as such.  The sharded serving layer is
-   bridged separately by {!Edge.Backend.of_serve}. *)
+   [Domains] backends run on real domains, so the edge drives them
+   concurrently (one validated-cache reader per worker).  [Simulated]
+   substrates only execute ops inside a simulator coroutine, so each op
+   becomes its own single-process drive under {!Edge.Backend.solo}'s
+   global lock — a fully serialized service, which E21 reports honestly
+   as such.  The sharded serving layer is bridged separately by
+   {!Edge.Backend.of_serve}. *)
 
 let of_registry ?(seed = 1) ~workers ~init (b : Backend.t) : Edge.Backend.t =
   let label = Backend.label b in
-  match b.Backend.kind with
-  | Backend.Multicore ->
+  match b.Backend.provision with
+  | Backend.Domains ->
     Edge.Backend.of_handle ~label ~workers (Composite.Multicore.afek ~init)
-  | Backend.Shm ->
-    let env = Sim.create ~trace:false () in
-    let mem = Memory.of_sim env in
-    let handle = Campaign.make_handle Campaign.Impl_afek mem ~readers:1 ~init in
-    Edge.Backend.solo ~label
-      ~run:(fun thunk -> ignore (Sim.run_solo env thunk : Sim.stats))
-      handle
-  | Backend.Net { replicas; crash = _; loss = _ } ->
-    (* Crash and loss are chaos-campaign knobs; the serving bridge runs
-       the quorum over a clean network (retransmit machinery idle). *)
-    let env = Net.Sim.create ~replicas ~seed () in
-    let abd = Net.Abd.create env in
-    let mem = Net.Abd.memory abd in
-    let handle = Campaign.make_handle Campaign.Impl_afek mem ~readers:1 ~init in
-    Edge.Backend.solo ~label
-      ~run:(fun thunk -> ignore (Net.Sim.run env [| thunk |] : Net.Sim.stats))
-      handle
-  | Backend.Byz { f; budget } ->
-    let env = Sim.create ~trace:false () in
-    let base = Memory.of_sim env in
-    let who () = try Sim.self () with Sim.Not_in_simulation -> 0 in
-    let injections =
-      if budget > 0 then
-        [
-          {
-            Faults.kind = Faults.Byzantine { f = budget; prob = 1.0 };
-            target = Faults.All;
-          };
-        ]
-      else []
+  | Backend.Simulated provision ->
+    (* The edge keeps no campaign metrics; backend-internal counters go
+       to a private sink. *)
+    let inst =
+      provision ~metrics:(Obs.Metrics.create ()) ~seed
+        ~procs:(Array.length init + 1)
     in
-    let faulty, (_ : Faults.counters) = Faults.wrap ~seed ~who injections base in
-    let mem =
-      Registers.Byzantine.memory ~f ~readers:(Array.length init + 1) faulty
+    let handle =
+      Campaign.make_handle Campaign.Impl_afek inst.Backend.memory ~readers:1
+        ~init
     in
-    let handle = Campaign.make_handle Campaign.Impl_afek mem ~readers:1 ~init in
     Edge.Backend.solo ~label
-      ~run:(fun thunk -> ignore (Sim.run_solo env thunk : Sim.stats))
+      ~run:(fun thunk ->
+        match inst.Backend.drive [| thunk |] with
+        | Backend.Completed -> ()
+        | Backend.Stuck_run -> failwith (label ^ ": stuck solo drive"))
       handle

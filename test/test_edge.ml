@@ -26,6 +26,7 @@ let test_wire_roundtrip () =
       Edge.Wire.Write { component = 3; value = -17 };
       Edge.Wire.Post { component = 0; value = max_int / 2 };
       Edge.Wire.Scan;
+      Edge.Wire.Reshard { shards = 5 };
     ]
   in
   List.iter
@@ -44,6 +45,7 @@ let test_wire_roundtrip () =
       Edge.Wire.Write_ok { id = 42 };
       Edge.Wire.Post_ok;
       Edge.Wire.Scan_ok [| (10, 1); (-20, 2); (30, 0) |];
+      Edge.Wire.Reshard_ok { epoch = 3 };
       Edge.Wire.Error "boom";
     ]
   in
@@ -63,6 +65,7 @@ let test_wire_total () =
   check bool "empty payload" true (bad Bytes.empty);
   check bool "unknown opcode" true (bad (Bytes.of_string "Z"));
   check bool "truncated write" true (bad (Bytes.of_string "W\000\000"));
+  check bool "truncated reshard" true (bad (Bytes.of_string "R\000"));
   check bool "oversized hello" true (bad (Bytes.of_string "Hxx"));
   (* Length prefixes: zero, negative, over the cap. *)
   let len_of n =
@@ -155,6 +158,77 @@ let test_roundtrip_byz () =
     (Workload.Edge_backends.of_registry ~workers:2 ~init:init4
        (Workload.Backend.byz ()))
     ()
+
+(* ---------------------------------------------------------------- *)
+(* Online resharding over the wire                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* A reshard is just another request: existing connections keep
+   flowing across the epoch switch, every value written before the
+   switch stays visible after it, and the per-epoch accounting
+   identities (re-checked by [with_server] at shutdown) close. *)
+let test_reshard_over_wire () =
+  with_server
+    (Edge.Backend.of_serve ~shards:2 ~max_shards:4 ~workers:2 ~init:init4 ())
+    (fun srv ->
+      let port = Edge.Server.port srv in
+      let a = Edge.Client.connect ~port () in
+      let b = Edge.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () ->
+          Edge.Client.close a;
+          Edge.Client.close b)
+        (fun () ->
+          let expect = Array.copy init4 in
+          let write c comp v =
+            ignore (ok_or_fail "write" (Edge.Client.write c ~component:comp v));
+            expect.(comp) <- v
+          in
+          let check_snap what c =
+            let snap = ok_or_fail what (Edge.Client.scan c) in
+            Array.iteri
+              (fun i (v, _) ->
+                check int (Printf.sprintf "%s: component %d" what i)
+                  expect.(i) v)
+              snap
+          in
+          write a 0 100;
+          List.iteri
+            (fun i s ->
+              let epoch =
+                ok_or_fail "reshard" (Edge.Client.reshard b ~shards:s)
+              in
+              check int "epoch advances per switch" (i + 1) epoch;
+              (* The connection that never resharded still works, and
+                 pre-switch writes survived the migration. *)
+              check_snap (Printf.sprintf "scan in epoch %d" epoch) a;
+              write a (i mod 4) (1000 + i);
+              check_snap "scan after post-switch write" a)
+            [ 4; 1; 3 ];
+          let st = Edge.Server.stats srv in
+          check int "reshards counted" 3 st.Edge.Server.reshards))
+
+let test_reshard_not_supported () =
+  with_server
+    (Workload.Edge_backends.of_registry ~workers:2 ~init:init4
+       Workload.Backend.multicore)
+    (fun srv ->
+      let c = Edge.Client.connect ~port:(Edge.Server.port srv) () in
+      Fun.protect
+        ~finally:(fun () -> Edge.Client.close c)
+        (fun () ->
+          (match Edge.Client.reshard c ~shards:4 with
+          | Ok _ -> Alcotest.failf "static backend accepted a reshard"
+          | Error m ->
+            check bool "error names the backend" true
+              (String.length m > 0));
+          (* A typed op error, not a protocol error: the connection
+             survives. *)
+          let snap = ok_or_fail "scan after refusal" (Edge.Client.scan c) in
+          check int "arity" 4 (Array.length snap);
+          let st = Edge.Server.stats srv in
+          check int "counted as op error" 1 st.Edge.Server.op_errors;
+          check int "no reshard recorded" 0 st.Edge.Server.reshards))
 
 (* ---------------------------------------------------------------- *)
 (* Malformed frames and mid-request disconnects                      *)
@@ -394,6 +468,12 @@ let () =
           Alcotest.test_case "shm backend" `Quick test_roundtrip_shm;
           Alcotest.test_case "net backend" `Quick test_roundtrip_net;
           Alcotest.test_case "byz backend" `Quick test_roundtrip_byz;
+        ] );
+      ( "reshard",
+        [
+          Alcotest.test_case "over the wire" `Quick test_reshard_over_wire;
+          Alcotest.test_case "static backend refuses" `Quick
+            test_reshard_not_supported;
         ] );
       ( "abuse",
         [

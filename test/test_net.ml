@@ -198,6 +198,207 @@ let qcheck_abd_linearizable =
         ~init:0 (List.rev !ops))
 
 (* ------------------------------------------------------------------ *)
+(* Online quorum reconfiguration                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_reconfig_solo () =
+  let env = mk_env ~replicas:5 ~seed:21 () in
+  let abd = Net.Abd.create ~members:[ 0; 1; 2 ] env in
+  let mem = Net.Abd.memory abd in
+  check int "initial quorum over members only" 2 (Net.Abd.quorum_size abd);
+  let out = ref [] in
+  let (_ : Net.Sim.stats) =
+    Net.Sim.run env
+      [|
+        (fun () ->
+          let c = mem.Csim.Memory.make ~name:"x" ~bits:64 0 in
+          c.Csim.Memory.write 7;
+          out := c.Csim.Memory.read () :: !out;
+          (* Full handover: the write must survive into a disjoint
+             member set via the state transfer. *)
+          Net.Abd.reconfigure abd ~members:[ 2; 3; 4 ];
+          out := c.Csim.Memory.read () :: !out;
+          c.Csim.Memory.write 9;
+          (* And shrink back down to a singleton of the new set. *)
+          Net.Abd.reconfigure abd ~members:[ 3 ];
+          out := c.Csim.Memory.read () :: !out);
+      |]
+  in
+  check bool "reads straddle both handovers" true (!out = [ 9; 7; 7 ]);
+  check int "epoch counts installs" 2 (Net.Abd.epoch abd);
+  check bool "members reflect the last install" true
+    (Net.Abd.members abd = [ 3 ]);
+  check int "singleton quorum" 1 (Net.Abd.quorum_size abd)
+
+let test_reconfig_validation () =
+  let expect_invalid f =
+    try
+      f ();
+      false
+    with Invalid_argument _ -> true
+  in
+  let env = mk_env ~replicas:3 ~seed:0 () in
+  check bool "empty member set rejected" true
+    (expect_invalid (fun () -> ignore (Net.Abd.create ~members:[] env)));
+  let env = mk_env ~replicas:3 ~seed:0 () in
+  check bool "out-of-range member rejected" true
+    (expect_invalid (fun () -> ignore (Net.Abd.create ~members:[ 0; 3 ] env)));
+  let env = mk_env ~replicas:5 ~seed:0 () in
+  check bool "Fixed quorum wider than member set rejected" true
+    (expect_invalid (fun () ->
+         ignore
+           (Net.Abd.create ~quorum:(Net.Abd.Fixed 4) ~members:[ 0; 1; 2 ] env)));
+  let env = mk_env ~replicas:5 ~seed:0 () in
+  let abd = Net.Abd.create ~quorum:(Net.Abd.Fixed 2) ~members:[ 0; 1; 2 ] env in
+  check bool "reconfigure below the Fixed quorum rejected" true
+    (expect_invalid (fun () -> Net.Abd.reconfigure abd ~members:[ 3 ]))
+
+(* Clients hammer one ABD register while another client walks the
+   membership through join, handover and shrink — under loss, reorder
+   and a crash of a replica that has already left.  Every completed
+   history must still linearize against the register spec, and the
+   per-epoch accounting must telescope exactly. *)
+let test_reconfig_under_load_linearizable () =
+  List.iter
+    (fun seed ->
+      (* Replica 0 crashes after it has left the member set. *)
+      let env =
+        mk_env ~loss:0.15 ~crashes:[ (0, 40) ] ~replicas:5 ~seed ()
+      in
+      let abd = Net.Abd.create ~members:[ 0; 1; 2 ] env in
+      let mem = Net.Abd.memory abd in
+      let ops = ref [] in
+      let record ~proc ~label ~input ~output ~inv ~res =
+        ops := History.Oprec.v ~proc ~label ~input ~output ~inv ~res :: !ops
+      in
+      let cellr = ref None in
+      let cell () =
+        match !cellr with
+        | Some c -> c
+        | None ->
+          let c = mem.Csim.Memory.make ~name:"r" ~bits:64 0 in
+          cellr := Some c;
+          c
+      in
+      let client proc () =
+        let cell = cell () in
+        for i = 1 to 3 do
+          let v = (100 * (proc + 1)) + i in
+          let inv = Net.Sim.now env in
+          cell.Csim.Memory.write v;
+          record ~proc ~label:"write"
+            ~input:(History.Linearize.Reg_write v)
+            ~output:History.Linearize.Reg_done ~inv ~res:(Net.Sim.now env);
+          let inv = Net.Sim.now env in
+          let got = cell.Csim.Memory.read () in
+          record ~proc ~label:"read" ~input:History.Linearize.Reg_read
+            ~output:(History.Linearize.Reg_value got) ~inv
+            ~res:(Net.Sim.now env)
+        done
+      in
+      let reconfigurer () =
+        ignore (cell ());
+        Net.Abd.reconfigure abd ~members:[ 1; 2; 3 ];
+        Net.Abd.reconfigure abd ~members:[ 2; 3; 4 ];
+        Net.Abd.reconfigure abd ~members:[ 3; 4 ]
+      in
+      let (_ : Net.Sim.stats) =
+        Net.Sim.run env
+          ~policy:(Csim.Schedule.Random (seed lxor 0xe1a57))
+          [| client 0; client 1; reconfigurer |]
+      in
+      check bool
+        (Printf.sprintf "linearizable across reconfigurations (seed %d)" seed)
+        true
+        (History.Linearize.is_linearizable
+           (History.Linearize.register_spec ~equal:Int.equal)
+           ~init:0 (List.rev !ops));
+      check int "three installs" 3 (Net.Abd.epoch abd);
+      (* Accounting: one epoch_info per epoch, deltas telescoping to
+         the cumulative totals, transfer work booked where it ran. *)
+      let eps = Net.Abd.epochs abd in
+      check int "one info per epoch" 4 (List.length eps);
+      let st = Net.Abd.stats abd in
+      let sum f = List.fold_left (fun a e -> a + f e) 0 eps in
+      check int "reads telescope" st.Net.Abd.reads
+        (sum (fun e -> e.Net.Abd.ei_reads));
+      check int "writes telescope" st.Net.Abd.writes
+        (sum (fun e -> e.Net.Abd.ei_writes));
+      check int "rounds telescope" st.Net.Abd.rounds
+        (sum (fun e -> e.Net.Abd.ei_rounds));
+      check int "sent telescopes" (Net.Sim.totals env).Net.Sim.sent
+        (sum (fun e -> e.Net.Abd.ei_sent));
+      List.iter
+        (fun e ->
+          check bool "non-negative epoch deltas" true
+            (e.Net.Abd.ei_reads >= 0 && e.Net.Abd.ei_writes >= 0
+           && e.Net.Abd.ei_rounds >= 0 && e.Net.Abd.ei_sent >= 0);
+          (* Every epoch after the first opens with a full transfer of
+             the one allocated register. *)
+          check int "transfer covers all registers"
+            (if e.Net.Abd.ei_epoch = 0 then 0 else 1)
+            e.Net.Abd.ei_transferred)
+        eps)
+    [ 5; 23; 71 ]
+
+(* Anderson's composite register running over the ABD memory while the
+   quorum system reconfigures underneath it: scans stay valid snapshots
+   (Shrinking Lemma) end to end. *)
+let test_reconfig_composite_smoke () =
+  let env = mk_env ~loss:0.1 ~replicas:5 ~seed:13 () in
+  let abd = Net.Abd.create ~members:[ 0; 1; 2 ] env in
+  let mem = Net.Abd.memory abd in
+  let rec_r = ref None in
+  (* Built lazily by whichever client runs first, so construction's
+     register traffic happens inside [Sim.run]. *)
+  let get_rec () =
+    match !rec_r with
+    | Some r -> r
+    | None ->
+      let reg =
+        Composite.Anderson.create mem ~readers:2 ~bits_per_value:16
+          ~init:[| 0; 0 |]
+      in
+      let r =
+        Composite.Snapshot.record
+          ~clock:(fun () -> Net.Sim.now env)
+          ~initial:[| 0; 0 |]
+          (Composite.Anderson.handle reg)
+      in
+      rec_r := Some r;
+      r
+  in
+  let writer w () =
+    let r = get_rec () in
+    for v = 1 to 3 do
+      r.Composite.Snapshot.rupdate ~writer:w ((10 * w) + v)
+    done
+  in
+  let scanner p () =
+    let r = get_rec () in
+    for _ = 1 to 2 do
+      ignore (r.Composite.Snapshot.rscan ~reader:p)
+    done
+  in
+  let reconfigurer () =
+    ignore (get_rec ());
+    Net.Abd.reconfigure abd ~members:[ 2; 3; 4 ]
+  in
+  let (_ : Net.Sim.stats) =
+    Net.Sim.run env
+      ~policy:(Csim.Schedule.Random 4242)
+      [| writer 0; writer 1; scanner 0; scanner 1; reconfigurer |]
+  in
+  match
+    History.Shrinking.check ~equal:Int.equal
+      (Composite.Snapshot.history (get_rec ()))
+  with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "composite over reconfiguring ABD: %d violations"
+      (List.length vs)
+
+(* ------------------------------------------------------------------ *)
 (* Negative control: the broken quorum variant must be caught          *)
 (* ------------------------------------------------------------------ *)
 
@@ -316,6 +517,16 @@ let () =
         ] );
       ( "linearizability",
         [ QCheck_alcotest.to_alcotest qcheck_abd_linearizable ] );
+      ( "reconfig",
+        [
+          Alcotest.test_case "solo handover + shrink" `Quick test_reconfig_solo;
+          Alcotest.test_case "member-set validation" `Quick
+            test_reconfig_validation;
+          Alcotest.test_case "linearizable under load + crash" `Quick
+            test_reconfig_under_load_linearizable;
+          Alcotest.test_case "composite over reconfiguring quorums" `Quick
+            test_reconfig_composite_smoke;
+        ] );
       ( "netchaos",
         [
           Alcotest.test_case "broken quorum flagged + minimized" `Slow

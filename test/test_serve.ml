@@ -636,8 +636,30 @@ let test_backend_registry () =
     [ "byz"; "multicore"; "net"; "shm" ]
     (Workload.Backend.names ());
   (match Workload.Backend.find "shm" with
-  | Ok b -> check bool "shm kind" true (b.Workload.Backend.kind = Workload.Backend.Shm)
+  | Ok b ->
+    check bool "shm is the plain deterministic substrate" true
+      (b.Workload.Backend.caps = Workload.Backend.static_caps)
   | Error e -> Alcotest.failf "shm not found: %s" e);
+  (* Capabilities are data on the descriptor: the net substrate is the
+     messaging one and the only reconfigurable one among the built-ins. *)
+  (match Workload.Backend.find "net" with
+  | Ok b ->
+    check bool "net caps" true
+      (b.Workload.Backend.caps.Workload.Backend.messaging
+      && b.Workload.Backend.caps.Workload.Backend.reconfigurable
+      && not b.Workload.Backend.caps.Workload.Backend.adversarial)
+  | Error e -> Alcotest.failf "net not found: %s" e);
+  (match Workload.Backend.find "byz" with
+  | Ok b ->
+    check bool "byz caps" true
+      b.Workload.Backend.caps.Workload.Backend.adversarial
+  | Error e -> Alcotest.failf "byz not found: %s" e);
+  (match Workload.Backend.find "multicore" with
+  | Ok b ->
+    check bool "multicore caps" true
+      (b.Workload.Backend.caps.Workload.Backend.real_parallelism
+      && b.Workload.Backend.provision = Workload.Backend.Domains)
+  | Error e -> Alcotest.failf "multicore not found: %s" e);
   (match Workload.Backend.find "bogus" with
   | Ok _ -> Alcotest.fail "bogus resolved"
   | Error e ->
